@@ -1,0 +1,92 @@
+package gables
+
+import (
+	"github.com/gables-model/gables/internal/logca"
+	"github.com/gables-model/gables/internal/optimize"
+	"github.com/gables-model/gables/internal/plot"
+	"github.com/gables-model/gables/internal/power"
+	"github.com/gables-model/gables/internal/sweep"
+)
+
+// Power-aware evaluation (extension beyond the paper, motivated by its
+// §I 3 W thermal-design-point framing).
+type (
+	// PowerBudget characterizes a platform's TDP and per-IP energy.
+	PowerBudget = power.Budget
+	// IPPower is one IP's energy characterization.
+	IPPower = power.IPPower
+	// PowerResult is a power-capped evaluation.
+	PowerResult = power.Result
+)
+
+// EvaluatePower computes the power-aware bound for a usecase.
+func EvaluatePower(m *Model, b *PowerBudget, u *Usecase) (*PowerResult, error) {
+	return power.Evaluate(m, b, u)
+}
+
+// MobileBudget returns a 3 W phone-class energy parameterization.
+func MobileBudget(s *SoC) *PowerBudget { return power.MobileBudget(s) }
+
+// LogCA is the accelerator-interface sub-model of Altaf and Wood that §VI
+// points to for IP interaction overheads: it predicts offload speedup as a
+// function of granularity given latency, overhead, computational index,
+// and peak acceleration.
+type LogCA = logca.Model
+
+// Design-space analysis (see internal/sweep and internal/optimize) and
+// visualization (see internal/plot).
+type (
+	// SweepPoint is one sample of a parameter sweep.
+	SweepPoint = sweep.Point
+	// GridPoint is one cell of the analytic Figure 8 grid.
+	GridPoint = sweep.GridPoint
+	// Balance is a component's headroom above the attainable bound.
+	Balance = optimize.Balance
+	// SplitResult is the best two-IP work split.
+	SplitResult = optimize.SplitResult
+	// Chart is a renderable SVG/ASCII figure.
+	Chart = plot.Chart
+	// Series is one plotted curve.
+	Series = plot.Series
+)
+
+// Sweeps.
+var (
+	// SweepWorkSplit sweeps the two-IP fraction f (Figure 8's x-axis,
+	// predicted analytically).
+	SweepWorkSplit = sweep.WorkSplit
+	// SweepMemoryBandwidth sweeps Bpeak (the Figure 6b→6d reasoning).
+	SweepMemoryBandwidth = sweep.MemoryBandwidth
+	// SweepIntensity sweeps one IP's operational intensity.
+	SweepIntensity = sweep.Intensity
+	// SweepMissRatio sweeps one SRAM miss ratio (§V-A ablation).
+	SweepMissRatio = sweep.MissRatio
+	// Figure8Grid predicts the whole mixing-curve family on the model.
+	Figure8Grid = sweep.Figure8Grid
+	// Steps builds an evenly spaced parameter range.
+	Steps = sweep.Steps
+)
+
+// Balance and optimization.
+var (
+	// SufficientBandwidth finds the minimal Bpeak the usecase can use
+	// (Figure 6d's 20 GB/s).
+	SufficientBandwidth = optimize.SufficientBandwidth
+	// RequiredIntensity finds the reuse an IP needs to reach a target.
+	RequiredIntensity = optimize.RequiredIntensity
+	// BestSplit finds the work fraction maximizing Pattainable.
+	BestSplit = optimize.BestSplit
+	// AnalyzeBalance reports per-component headroom.
+	AnalyzeBalance = optimize.Analyze
+	// IsBalanced checks Figure 6d's "all rooflines equal" condition.
+	IsBalanced = optimize.IsBalanced
+)
+
+// Visualization.
+var (
+	// RooflineChart builds the classic Figure 1/7/9 plot.
+	RooflineChart = plot.RooflineChart
+	// GablesChart builds the §III-C multi-roofline visualization with
+	// drop lines and selected operating points.
+	GablesChart = plot.GablesChart
+)

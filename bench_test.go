@@ -1,0 +1,159 @@
+// Benchmarks: one per paper table and figure (each regenerates the full
+// artifact through the experiment registry, failing the run if any
+// paper-vs-measured check regresses), plus ablation and micro benchmarks
+// for the model core, the simulator, and the native kernel.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package gables_test
+
+import (
+	"testing"
+
+	gables "github.com/gables-model/gables"
+	"github.com/gables-model/gables/internal/experiments"
+)
+
+// benchArtifact runs one experiment per iteration and verifies its checks.
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		art, err := experiments.Run(id)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if !art.Passed() {
+			for _, c := range art.Checks {
+				if !c.Match {
+					b.Fatalf("%s: check %q failed: paper %q vs measured %q",
+						id, c.Metric, c.Paper, c.Measured)
+				}
+			}
+		}
+	}
+}
+
+// --- Every figure ---
+
+func BenchmarkFig1Roofline(b *testing.B)       { benchArtifact(b, "fig1") }
+func BenchmarkFig2aChipsets(b *testing.B)      { benchArtifact(b, "fig2a") }
+func BenchmarkFig2bIPCount(b *testing.B)       { benchArtifact(b, "fig2b") }
+func BenchmarkFig3Topology(b *testing.B)       { benchArtifact(b, "fig3") }
+func BenchmarkFig4Streaming(b *testing.B)      { benchArtifact(b, "fig4") }
+func BenchmarkFig5NIPSoC(b *testing.B)         { benchArtifact(b, "fig5") }
+func BenchmarkFig6Gables(b *testing.B)         { benchArtifact(b, "fig6") }
+func BenchmarkFig7aCPURoofline(b *testing.B)   { benchArtifact(b, "fig7a") }
+func BenchmarkFig7bGPURoofline(b *testing.B)   { benchArtifact(b, "fig7b") }
+func BenchmarkFig8Mixing(b *testing.B)         { benchArtifact(b, "fig8") }
+func BenchmarkFig9DSPRoofline(b *testing.B)    { benchArtifact(b, "fig9") }
+func BenchmarkFig10SRAMExtension(b *testing.B) { benchArtifact(b, "fig10") }
+func BenchmarkFig11Interconnect(b *testing.B)  { benchArtifact(b, "fig11") }
+
+// --- Every table ---
+
+func BenchmarkTable1Usecases(b *testing.B) { benchArtifact(b, "table1") }
+func BenchmarkTable2Glossary(b *testing.B) { benchArtifact(b, "table2") }
+
+// --- In-text analyses and ablations ---
+
+func BenchmarkHFRBandwidth(b *testing.B)          { benchArtifact(b, "hfr") }
+func BenchmarkSerializedWork(b *testing.B)        { benchArtifact(b, "serialized") }
+func BenchmarkIavgAblation(b *testing.B)          { benchArtifact(b, "iavg") }
+func BenchmarkCacheFootprintSweep(b *testing.B)   { benchArtifact(b, "cache") }
+func BenchmarkThermalAblation(b *testing.B)       { benchArtifact(b, "thermal") }
+func BenchmarkDeriveFromMeasurement(b *testing.B) { benchArtifact(b, "derive") }
+
+// --- Extensions and deferred measurements the paper invites ---
+
+func BenchmarkDSPMixing(b *testing.B)        { benchArtifact(b, "dspmix") }
+func BenchmarkHVXVector(b *testing.B)        { benchArtifact(b, "hvx") }
+func BenchmarkSIMDCeiling(b *testing.B)      { benchArtifact(b, "simd") }
+func BenchmarkCrossChip821(b *testing.B)     { benchArtifact(b, "sd821") }
+func BenchmarkLogCABaseline(b *testing.B)    { benchArtifact(b, "logca") }
+func BenchmarkPhasedWork(b *testing.B)       { benchArtifact(b, "phases") }
+func BenchmarkPeerFlows(b *testing.B)        { benchArtifact(b, "peer") }
+func BenchmarkModelValidation(b *testing.B)  { benchArtifact(b, "validate") }
+func BenchmarkUsecaseSuite(b *testing.B)     { benchArtifact(b, "suite") }
+func BenchmarkPowerCap(b *testing.B)         { benchArtifact(b, "power") }
+func BenchmarkAllocation(b *testing.B)       { benchArtifact(b, "allocation") }
+func BenchmarkLatencyTolerance(b *testing.B) { benchArtifact(b, "latency") }
+
+// --- Micro-benchmarks: how fast is the model itself? ---
+
+// BenchmarkEvaluateTwoIP measures a single two-IP model evaluation — the
+// paper's pitch is that this replaces hours of cycle-level simulation.
+func BenchmarkEvaluateTwoIP(b *testing.B) {
+	soc, err := gables.TwoIP("bench", gables.Gops(40), gables.GBs(10), 5,
+		gables.GBs(6), gables.GBs(15))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := gables.New(soc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := gables.TwoIPUsecase("6b", 0.75, 8, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Evaluate(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateNIP measures evaluation on the full 13-IP catalog chip.
+func BenchmarkEvaluateNIP(b *testing.B) {
+	chip := gables.Snapdragon835Like()
+	m, index, err := chip.Model("CPU")
+	if err != nil {
+		b.Fatal(err)
+	}
+	flow := gables.HDRPlus(gables.UHD4K)
+	u, err := flow.ToGables(len(m.SoC.IPs), index)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Evaluate(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimKernel measures the discrete-event substrate executing one
+// bandwidth-bound kernel on the simulated CPU.
+func BenchmarkSimKernel(b *testing.B) {
+	sys, err := gables.NewSimSystem(gables.SimSnapdragon835())
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := gables.Kernel{Name: "bench", WorkingSet: 4 << 20, Trials: 2,
+		FlopsPerWord: 8, Pattern: gables.ReadWrite}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run([]gables.SimAssignment{{IP: "CPU", Kernel: k}},
+			gables.SimRunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNativeKernel measures Algorithm 1 itself on this host — the
+// real micro-benchmark the paper runs on silicon. bytes/op reports the
+// DRAM traffic the kernel generates per iteration.
+func BenchmarkNativeKernel(b *testing.B) {
+	k := gables.Kernel{Name: "native", WorkingSet: 1 << 20, Trials: 1,
+		FlopsPerWord: 8, Pattern: gables.ReadWrite}
+	b.SetBytes(2 << 20) // read + write of the working set per iteration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gables.RunNativeKernel(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command gables-erb runs the empirical-roofline harness on the simulated
+// SoC (the repository's stand-in for the paper's Snapdragon silicon): it
+// sweeps the Algorithm 1 micro-benchmark over operational intensities,
+// fits and prints each IP's pessimistic roofline, and optionally runs the
+// §IV-C mixing analysis or the host-native kernel.
+//
+// Usage:
+//
+//	gables-erb [-chip 835|821] [-ip CPU,GPU,DSP] [-mixing] [-native] [-dir out]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/gables-model/gables/internal/erb"
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/plot"
+	"github.com/gables-model/gables/internal/report"
+	"github.com/gables-model/gables/internal/sim"
+)
+
+func main() {
+	chip := flag.String("chip", "835", "simulated chip: 835 or 821")
+	ips := flag.String("ip", "CPU,GPU,DSP", "comma-separated IPs to measure")
+	mixing := flag.Bool("mixing", false, "also run the §IV-C CPU+GPU mixing analysis")
+	native := flag.Bool("native", false, "also run Algorithm 1 natively on this host")
+	validate := flag.Bool("validate", false, "also cross-validate the analytic model against the simulator")
+	dir := flag.String("dir", "", "write roofline SVGs into this directory")
+	flag.Parse()
+
+	if err := run(*chip, *ips, *mixing, *native, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "gables-erb:", err)
+		os.Exit(1)
+	}
+	if *validate {
+		if err := runValidation(*chip); err != nil {
+			fmt.Fprintln(os.Stderr, "gables-erb:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runValidation prints the model-vs-simulator grid (the paper's "correct
+// shape and reasonable relative error" bar).
+func runValidation(chip string) error {
+	cfg := sim.Snapdragon835()
+	if chip == "821" {
+		cfg = sim.Snapdragon821()
+	}
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := erb.ValidateModel(sys, erb.ValidationOptions{CPU: "CPU", Accel: "GPU"})
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable("model vs simulator (GFLOPS/s)", "f", "I (ops/B)", "predicted", "measured", "rel err")
+	for _, c := range res.Cells {
+		tbl.AddRow(c.F, float64(c.FlopsPerWord)/8, c.Predicted/1e9, c.Measured/1e9,
+			fmt.Sprintf("%.1f%%", 100*c.RelError))
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("shape consistent: %v; mean error %.1f%%, max %.1f%%\n",
+		res.ShapeConsistent, 100*res.MeanRelError, 100*res.MaxRelError)
+	return nil
+}
+
+func run(chip, ips string, mixing, native bool, dir string) error {
+	var cfg sim.Config
+	switch chip {
+	case "835":
+		cfg = sim.Snapdragon835()
+	case "821":
+		cfg = sim.Snapdragon821()
+	default:
+		return fmt.Errorf("unknown chip %q (want 835 or 821)", chip)
+	}
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	patterns := map[string]kernel.Pattern{"GPU": kernel.StreamCopy}
+	for _, name := range strings.Split(ips, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p := kernel.ReadWrite
+		if pp, ok := patterns[name]; ok {
+			p = pp
+		}
+		pts, fit, err := erb.MeasureRoofline(sys, name, erb.SweepOptions{Pattern: p})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s roofline (%s kernel): peak %s, bandwidth %s, ridge %.3g ops/B\n",
+			name, p, fit.Peak, fit.Bandwidth, float64(fit.RidgePoint()))
+		tbl := report.NewTable("", "intensity (flops/B)", "GFLOPS/s", "GB/s")
+		for _, pt := range pts {
+			tbl.AddRow(float64(pt.Intensity), pt.Attainable.Gops(),
+				float64(pt.Attainable)/float64(pt.Intensity)/1e9)
+		}
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if dir != "" {
+			ch, err := plot.RooflineChart(fit, 0.01, 1000, 65)
+			if err != nil {
+				return err
+			}
+			ch.Series = append(ch.Series, plot.FitPointsSeries("measured", pts))
+			svg, err := ch.SVG(900, 560)
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(dir, strings.ToLower(name)+"_roofline.svg")
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+
+	if mixing {
+		res, err := erb.Mixing(sys, erb.MixingOptions{CPU: "CPU", Accel: "GPU"})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mixing analysis (baseline %.4g GFLOPS/s):\n", res.BaselineRate/1e9)
+		tbl := report.NewTable("", "f", "I=1", "I=4", "I=16", "I=64", "I=256", "I=1024")
+		fpws := []int{8, 32, 128, 512, 2048, 8192}
+		base := res.Line(8)
+		for i := range base {
+			row := []any{base[i].F}
+			for _, fpw := range fpws {
+				row = append(row, res.Line(fpw)[i].Normalized)
+			}
+			tbl.AddRow(row...)
+		}
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if native {
+		fmt.Println("Algorithm 1 on this host (read+write, 16 MiB, 3 trials):")
+		tbl := report.NewTable("", "flops/word", "GFLOPS/s")
+		for _, fpw := range kernel.PowersOfTwo(8) {
+			res, err := kernel.RunNative(kernel.Kernel{
+				Name: "host", WorkingSet: 16 << 20, Trials: 3,
+				FlopsPerWord: fpw, Pattern: kernel.ReadWrite,
+			})
+			if err != nil {
+				return err
+			}
+			tbl.AddRow(fpw, res.Rate.Gops())
+		}
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

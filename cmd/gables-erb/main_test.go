@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDSPOnly(t *testing.T) {
+	if err := run("835", "DSP", false, false, ""); err != nil {
+		t.Fatalf("DSP roofline failed: %v", err)
+	}
+}
+
+func TestRunWithDirAndMixing(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("821", "CPU", false, false, dir); err != nil {
+		t.Fatalf("821 CPU with dir failed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cpu_roofline.svg")); err != nil {
+		t.Errorf("roofline SVG not written: %v", err)
+	}
+}
+
+func TestRunNative(t *testing.T) {
+	// Only the native Algorithm 1 pass: measure the host briefly.
+	if err := run("835", "", false, true, ""); err != nil {
+		t.Fatalf("native run failed: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("999", "CPU", false, false, ""); err == nil {
+		t.Error("unknown chip must fail")
+	}
+	if err := run("835", "GhostIP", false, false, ""); err == nil {
+		t.Error("unknown IP must fail")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := runValidation("835"); err != nil {
+		t.Fatalf("validation failed: %v", err)
+	}
+}

@@ -1,0 +1,179 @@
+// Command gables-explore answers the early-stage design questions §VII's
+// conjectures motivate, for a spec file or the built-in paper SoC: which
+// component binds each usecase, how much headroom every other component
+// wastes, the minimal sufficient off-chip bandwidth, the reuse each IP
+// would need for balance, and (for two-IP SoCs) the best work split.
+//
+// Usage:
+//
+//	gables-explore [-spec file.json] [-target gops]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/optimize"
+	"github.com/gables-model/gables/internal/report"
+	"github.com/gables-model/gables/internal/soc"
+	"github.com/gables-model/gables/internal/spec"
+	"github.com/gables-model/gables/internal/units"
+	"github.com/gables-model/gables/internal/usecase"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "JSON spec file; empty explores the paper's Fig 6b design")
+	target := flag.Float64("target", 0, "optional target performance in Gops/s for required-intensity analysis")
+	suite := flag.Bool("suite", false, "run the §I usecase-suite criterion instead")
+	chipPath := flag.String("chip", "", "block-level chip JSON for -suite; empty uses the Snapdragon-835-like catalog entry")
+	flag.Parse()
+
+	var err error
+	if *suite {
+		err = runSuite(*chipPath)
+	} else {
+		err = run(*specPath, *target)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gables-explore:", err)
+		os.Exit(1)
+	}
+}
+
+// runSuite checks the standard 13-usecase suite on a chip: every usecase
+// must run acceptably; the average is immaterial (§I).
+func runSuite(chipPath string) error {
+	chip := soc.Snapdragon835Like()
+	if chipPath != "" {
+		data, err := os.ReadFile(chipPath)
+		if err != nil {
+			return err
+		}
+		chip, err = spec.ParseChip(data)
+		if err != nil {
+			return err
+		}
+	}
+	rep, err := usecase.AnalyzeSuite(chip, usecase.StandardSuite())
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable(fmt.Sprintf("usecase suite on %s", rep.Chip),
+		"usecase", "target", "max rate", "margin", "limited by", "ok")
+	for _, e := range rep.Entries {
+		tbl.AddRow(e.Usecase, e.TargetRate, e.MaxRate, e.Margin, e.Limiter, e.Met)
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	binding := rep.Entries[rep.Binding]
+	fmt.Printf("\nsuite acceptable: %v; binding usecase: %q (margin %.2f, limited by %s)\n",
+		rep.AllMet, binding.Usecase, binding.Margin, binding.Limiter)
+	return nil
+}
+
+func run(specPath string, targetGops float64) error {
+	m, usecases, err := load(specPath)
+	if err != nil {
+		return err
+	}
+	for _, u := range usecases {
+		res, err := m.Evaluate(u)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== usecase %q on %s ==\n", u.Name, m.SoC.Name)
+		fmt.Printf("Pattainable = %s, bottleneck %s\n", res.Attainable, res.Bottleneck)
+
+		bal, err := optimize.Analyze(m, u)
+		if err != nil {
+			return err
+		}
+		tbl := report.NewTable("component headroom (1.0 = bottleneck)", "component", "headroom")
+		for _, b := range bal {
+			tbl.AddRow(b.Component.String(), b.Headroom)
+		}
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if optimize.IsBalanced(bal, 0.01) {
+			fmt.Println("design is balanced for this usecase (all rooflines meet)")
+		}
+
+		if suff, err := optimize.SufficientBandwidth(m, u); err == nil {
+			fmt.Printf("sufficient Bpeak: %s (configured %s)\n", suff, m.SoC.MemoryBandwidth)
+			if float64(m.SoC.MemoryBandwidth) > float64(suff)*1.05 {
+				fmt.Println("  -> memory bandwidth is over-provisioned for this usecase")
+			}
+		}
+
+		target := res.Attainable
+		if targetGops > 0 {
+			target = units.GopsPerSec(targetGops)
+		}
+		for i := range m.SoC.IPs {
+			if u.Work[i].Fraction == 0 {
+				continue
+			}
+			need, err := optimize.RequiredIntensity(m, u, i, target)
+			if err != nil {
+				fmt.Printf("IP[%d] (%s): cannot reach %s (%v)\n", i, m.SoC.IPs[i].Name, target, err)
+				continue
+			}
+			fmt.Printf("IP[%d] (%s): needs I >= %.4g ops/B for %s (currently %.4g)\n",
+				i, m.SoC.IPs[i].Name, float64(need), target, float64(u.Work[i].Intensity))
+		}
+
+		if len(m.SoC.IPs) == 2 {
+			i0, i1 := u.Work[0].Intensity, u.Work[1].Intensity
+			if i0 > 0 && i1 > 0 {
+				split, err := optimize.BestSplit(m, i0, i1)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("best work split at these intensities: f = %.4g -> %s (%s)\n",
+					split.F, split.Attainable, split.Bottleneck)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func load(specPath string) (*core.Model, []*core.Usecase, error) {
+	if specPath == "" {
+		s, err := core.TwoIP("paper-two-ip", units.GopsPerSec(40), units.GBPerSec(10), 5,
+			units.GBPerSec(6), units.GBPerSec(15))
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := core.New(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		u, err := core.TwoIPUsecase("fig6b", 0.75, 8, 0.1)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, []*core.Usecase{u}, nil
+	}
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	doc, err := spec.Parse(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := doc.Model()
+	if err != nil {
+		return nil, nil, err
+	}
+	us, err := doc.CoreUsecases()
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, us, nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltin(t *testing.T) {
+	if err := run("", 0); err != nil {
+		t.Fatalf("built-in exploration failed: %v", err)
+	}
+	if err := run("", 100); err != nil {
+		t.Fatalf("explicit target failed: %v", err)
+	}
+}
+
+func TestRunSuiteCatalog(t *testing.T) {
+	if err := runSuite(""); err != nil {
+		t.Fatalf("catalog suite failed: %v", err)
+	}
+}
+
+func TestRunSuiteCustomChip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chip.json")
+	// A chip with every block the standard suite references.
+	doc := `{
+  "chip": {
+    "name": "custom", "dram_gbs": 40,
+    "blocks": [
+      {"name": "CPU", "class": "cpu", "peak_gops": 10, "bandwidth_gbs": 16},
+      {"name": "GPU", "class": "gpu", "peak_gops": 400, "bandwidth_gbs": 30},
+      {"name": "DSP", "class": "dsp", "peak_gops": 4, "bandwidth_gbs": 6},
+      {"name": "ISP", "class": "isp", "peak_gops": 80, "bandwidth_gbs": 16},
+      {"name": "IPU", "class": "ipu", "peak_gops": 150, "bandwidth_gbs": 12},
+      {"name": "VDEC", "class": "vdec", "peak_gops": 50, "bandwidth_gbs": 10},
+      {"name": "VENC", "class": "venc", "peak_gops": 50, "bandwidth_gbs": 10},
+      {"name": "JPEG", "class": "jpeg", "peak_gops": 25, "bandwidth_gbs": 5},
+      {"name": "G2D", "class": "g2d", "peak_gops": 20, "bandwidth_gbs": 8},
+      {"name": "Display", "class": "display", "peak_gops": 12, "bandwidth_gbs": 10},
+      {"name": "Audio", "class": "audio", "peak_gops": 3, "bandwidth_gbs": 1.5},
+      {"name": "Modem", "class": "modem", "peak_gops": 5, "bandwidth_gbs": 3},
+      {"name": "Crypto", "class": "crypto", "peak_gops": 10, "bandwidth_gbs": 5}
+    ]
+  }
+}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSuite(path); err != nil {
+		t.Fatalf("custom chip suite failed: %v", err)
+	}
+}
+
+func TestRunSuiteErrors(t *testing.T) {
+	if err := runSuite("/nonexistent.json"); err == nil {
+		t.Error("missing chip file must fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"chip":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSuite(bad); err == nil {
+		t.Error("invalid chip must fail")
+	}
+}

@@ -1,0 +1,121 @@
+// Command gables-repro regenerates every table and figure of the Gables
+// paper's evaluation: it runs the experiment registry, prints the same
+// rows/series the paper reports, writes each figure as an SVG, and emits a
+// paper-vs-measured summary (the source of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	gables-repro [-only id] [-dir out] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/gables-model/gables/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment id (see -list)")
+	dir := flag.String("dir", "", "write figure SVGs into this directory")
+	csv := flag.Bool("csv", false, "also write each table as CSV into -dir")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if err := run(*only, *dir, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "gables-repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(only, dir string, csv bool) error {
+	ids := experiments.IDs()
+	if only != "" {
+		ids = []string{only}
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	failures := 0
+	var summary []string
+	for _, id := range ids {
+		art, err := experiments.Run(id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("==== %s: %s ====\n\n", art.ID, art.Title)
+		for _, tbl := range art.Tables {
+			if err := tbl.WriteText(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		for _, n := range art.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		for _, c := range art.Checks {
+			status := "OK "
+			if !c.Match {
+				status = "FAIL"
+				failures++
+			}
+			line := fmt.Sprintf("[%s] %s — paper: %s; measured: %s", status, c.Metric, c.Paper, c.Measured)
+			fmt.Println(line)
+			summary = append(summary, fmt.Sprintf("%-8s %s", art.ID, line))
+		}
+		if dir != "" && csv {
+			for ti, tbl := range art.Tables {
+				path := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", art.ID, ti))
+				if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+		if dir != "" {
+			for name, ch := range art.Charts {
+				svg, err := ch.SVG(900, 560)
+				if err != nil {
+					return fmt.Errorf("%s: chart %s: %w", id, name, err)
+				}
+				path := filepath.Join(dir, name+".svg")
+				if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+			for name, hm := range art.Heatmaps {
+				svg, err := hm.SVG(900, 420)
+				if err != nil {
+					return fmt.Errorf("%s: heatmap %s: %w", id, name, err)
+				}
+				path := filepath.Join(dir, name+".svg")
+				if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("==== paper-vs-measured summary ====")
+	fmt.Println(strings.Join(summary, "\n"))
+	if failures > 0 {
+		return fmt.Errorf("%d checks failed", failures)
+	}
+	fmt.Printf("\nall %d checks passed across %d experiments\n", len(summary), len(ids))
+	return nil
+}

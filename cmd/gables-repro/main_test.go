@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig6", dir, true); err != nil {
+		t.Fatalf("fig6 repro failed: %v", err)
+	}
+	// Four multi-roofline SVGs plus the table CSV.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svgs, csvs := 0, 0
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".svg":
+			svgs++
+		case ".csv":
+			csvs++
+		}
+	}
+	if svgs != 4 {
+		t.Errorf("svgs = %d, want 4 (Fig 6a–6d)", svgs)
+	}
+	if csvs != 1 {
+		t.Errorf("csvs = %d, want 1", csvs)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := run("nope", "", false); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
+
+func TestRunNoDir(t *testing.T) {
+	if err := run("table2", "", false); err != nil {
+		t.Fatalf("dir-less run failed: %v", err)
+	}
+}

@@ -1,0 +1,29 @@
+// Command gables-web serves the interactive Gables visualization — the
+// repository's counterpart of the interactive tool published on the
+// paper's home page. It renders the two-IP multi-roofline plot live as
+// hardware and usecase parameters change.
+//
+// Usage:
+//
+//	gables-web [-addr :8337]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"github.com/gables-model/gables/internal/web"
+)
+
+func main() {
+	addr := flag.String("addr", ":8337", "listen address")
+	flag.Parse()
+
+	fmt.Printf("gables-web: serving the interactive model on http://localhost%s/\n", *addr)
+	if err := http.ListenAndServe(*addr, web.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "gables-web:", err)
+		os.Exit(1)
+	}
+}

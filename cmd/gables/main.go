@@ -1,0 +1,168 @@
+// Command gables evaluates Gables SoC + usecase specifications: it prints
+// the attainable-performance bound, the per-component breakdown and the
+// scaled-roofline operating points, and optionally renders the §III-C
+// multi-roofline plot.
+//
+// Usage:
+//
+//	gables [-spec file.json] [-serialized] [-svg out.svg] [-ascii]
+//
+// Without -spec it evaluates the paper's built-in two-IP walk-through
+// (Figures 6a–6d).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/plot"
+	"github.com/gables-model/gables/internal/report"
+	"github.com/gables-model/gables/internal/spec"
+	"github.com/gables-model/gables/internal/units"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "JSON spec file (see internal/spec); empty runs the built-in paper demo")
+	serialized := flag.Bool("serialized", false, "evaluate with the §V-C exclusive/serialized-work extension")
+	svgPath := flag.String("svg", "", "write the multi-roofline plot of the first usecase to this SVG file")
+	ascii := flag.Bool("ascii", false, "print an ASCII multi-roofline plot per usecase")
+	flag.Parse()
+
+	if err := run(*specPath, *serialized, *svgPath, *ascii); err != nil {
+		fmt.Fprintln(os.Stderr, "gables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specPath string, serialized bool, svgPath string, ascii bool) error {
+	m, usecases, err := load(specPath)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("SoC %s: Ppeak=%s, Bpeak=%s, %d IPs\n",
+		m.SoC.Name, m.SoC.Peak, m.SoC.MemoryBandwidth, len(m.SoC.IPs))
+	hw := report.NewTable("", "IP", "Ai", "peak", "Bi")
+	for _, ip := range m.SoC.IPs {
+		hw.AddRow(ip.Name, ip.Acceleration, ip.Peak(m.SoC.Peak), ip.Bandwidth)
+	}
+	if err := hw.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	for i, u := range usecases {
+		var res *core.Result
+		if serialized {
+			res, err = m.EvaluateSerialized(u)
+		} else {
+			res, err = m.Evaluate(u)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("usecase %q: Pattainable = %s (bottleneck: %s)\n",
+			u.Name, res.Attainable, res.Bottleneck)
+		tbl := report.NewTable("", "component", "f", "I (ops/B)", "bound (ops/s)")
+		terms, _, err := m.PerformanceForm(u)
+		if err == nil {
+			for _, t := range terms {
+				f, in := "-", "-"
+				if t.Component.Kind == "IP" {
+					w := u.Work[t.Component.Index]
+					f = fmt.Sprintf("%.4g", w.Fraction)
+					in = fmt.Sprintf("%.4g", float64(w.Intensity))
+				}
+				tbl.AddRow(t.Component.String(), f, in, t.Perf)
+			}
+			if err := tbl.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+
+		if ascii || (svgPath != "" && i == 0) {
+			lo, hi := chartRange(u)
+			ch, err := plot.GablesChart(m, u, lo, hi, 65)
+			if err != nil {
+				return fmt.Errorf("chart for %q: %w", u.Name, err)
+			}
+			if ascii {
+				out, err := ch.ASCII(72, 20)
+				if err != nil {
+					return err
+				}
+				fmt.Println(out)
+			}
+			if svgPath != "" && i == 0 {
+				svg, err := ch.SVG(900, 560)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(svgPath, []byte(svg), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", svgPath)
+			}
+		}
+	}
+	return nil
+}
+
+// chartRange picks a log-spanning intensity range around the usecase's
+// operating intensities.
+func chartRange(u *core.Usecase) (units.Intensity, units.Intensity) {
+	lo, hi := units.Intensity(1e30), units.Intensity(0)
+	for _, w := range u.Work {
+		if w.Fraction == 0 || w.Intensity <= 0 {
+			continue
+		}
+		if w.Intensity < lo {
+			lo = w.Intensity
+		}
+		if w.Intensity > hi {
+			hi = w.Intensity
+		}
+	}
+	if hi == 0 {
+		return 0.01, 100
+	}
+	return lo / 16, hi * 16
+}
+
+func load(specPath string) (*core.Model, []*core.Usecase, error) {
+	if specPath == "" {
+		s, err := core.TwoIP("paper-two-ip (built-in demo)",
+			units.GopsPerSec(40), units.GBPerSec(10), 5,
+			units.GBPerSec(6), units.GBPerSec(15))
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := core.New(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		a, _ := core.TwoIPUsecase("fig6a (f=0)", 0, 8, 0.1)
+		b, _ := core.TwoIPUsecase("fig6b (f=0.75)", 0.75, 8, 0.1)
+		return m, []*core.Usecase{a, b}, nil
+	}
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	doc, err := spec.Parse(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := doc.Model()
+	if err != nil {
+		return nil, nil, err
+	}
+	us, err := doc.CoreUsecases()
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, us, nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltinDemo(t *testing.T) {
+	if err := run("", false, "", false); err != nil {
+		t.Fatalf("built-in demo failed: %v", err)
+	}
+	if err := run("", true, "", true); err != nil {
+		t.Fatalf("serialized + ascii failed: %v", err)
+	}
+}
+
+func TestRunWithSpecAndSVG(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "soc.json")
+	svgPath := filepath.Join(dir, "out.svg")
+	doc := `{
+  "soc": {
+    "name": "t", "ppeak_gops": 40, "bpeak_gbs": 10,
+    "ips": [
+      {"name": "CPU", "acceleration": 1, "bandwidth_gbs": 6},
+      {"name": "GPU", "acceleration": 5, "bandwidth_gbs": 15}
+    ]
+  },
+  "usecases": [
+    {"name": "u", "work": [
+      {"fraction": 0.25, "intensity": 8},
+      {"fraction": 0.75, "intensity": 0.1}
+    ]}
+  ]
+}`
+	if err := os.WriteFile(specPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(specPath, false, svgPath, false); err != nil {
+		t.Fatalf("spec run failed: %v", err)
+	}
+	data, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatalf("SVG not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Error("empty SVG")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent/path.json", false, "", false); err == nil {
+		t.Error("missing spec file must fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, false, "", false); err == nil {
+		t.Error("malformed spec must fail")
+	}
+}
+
+func TestChartRange(t *testing.T) {
+	m, us, err := load("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+	lo, hi := chartRange(us[1])
+	if lo <= 0 || hi <= lo {
+		t.Errorf("range [%v, %v] invalid", float64(lo), float64(hi))
+	}
+}

@@ -1,0 +1,64 @@
+package gables_test
+
+import (
+	"fmt"
+
+	gables "github.com/gables-model/gables"
+)
+
+// Example walks the paper's two-IP story end to end: a low-reuse offload
+// starves on memory; adding reuse and right-sizing bandwidth balances the
+// design at 160 Gops/s.
+func Example() {
+	evaluate := func(bpeakGB, f, i0, i1 float64) {
+		soc, _ := gables.TwoIP("demo", gables.Gops(40), gables.GBs(bpeakGB), 5,
+			gables.GBs(6), gables.GBs(15))
+		m, _ := gables.New(soc)
+		u, _ := gables.TwoIPUsecase("u", f, gables.Intensity(i0), gables.Intensity(i1))
+		res, _ := m.Evaluate(u)
+		fmt.Printf("Bpeak=%g f=%g I1=%g -> %s\n", bpeakGB, f, i1, res.Attainable)
+	}
+	evaluate(10, 0, 8, 0.1)    // Fig 6a
+	evaluate(10, 0.75, 8, 0.1) // Fig 6b
+	evaluate(30, 0.75, 8, 0.1) // Fig 6c
+	evaluate(20, 0.75, 8, 8)   // Fig 6d
+	// Output:
+	// Bpeak=10 f=0 I1=0.1 -> 40 Gops/s
+	// Bpeak=10 f=0.75 I1=0.1 -> 1.328 Gops/s
+	// Bpeak=30 f=0.75 I1=0.1 -> 2 Gops/s
+	// Bpeak=20 f=0.75 I1=8 -> 160 Gops/s
+}
+
+// ExampleSufficientBandwidth answers an early-design question directly:
+// how much off-chip bandwidth does this usecase deserve?
+func ExampleSufficientBandwidth() {
+	soc, _ := gables.TwoIP("candidate", gables.Gops(40), gables.GBs(30), 5,
+		gables.GBs(6), gables.GBs(15))
+	m, _ := gables.New(soc)
+	u, _ := gables.TwoIPUsecase("target", 0.75, 8, 8)
+	suff, _ := gables.SufficientBandwidth(m, u)
+	fmt.Println(suff)
+	// Output: 20 GB/s
+}
+
+// ExampleMaxRate asks the usecase-level question a system integrator asks
+// first: will 4K high-frame-rate capture hit its frame rate on this chip?
+func ExampleMaxRate() {
+	chip := gables.Snapdragon835Like()
+	flow := gables.VideoCaptureHFR(gables.UHD4K)
+	rate, limiter, _ := gables.MaxRate(flow, chip)
+	fmt.Printf("%.0f FPS (limited by %s)\n", rate, limiter)
+	// Output: 105 FPS (limited by VENC link)
+}
+
+// ExampleMeasureRoofline applies the paper's §IV methodology to the
+// simulated Snapdragon 835 and recovers the published CPU ceilings.
+func ExampleMeasureRoofline() {
+	sys, _ := gables.NewSimSystem(gables.SimSnapdragon835())
+	_, fit, _ := gables.MeasureRoofline(sys, "CPU", gables.SweepOptions{
+		Pattern: gables.ReadWrite,
+	})
+	fmt.Printf("peak %.1f GFLOPS/s, bandwidth %.1f GB/s\n",
+		fit.Peak.Gops(), fit.Bandwidth.GB())
+	// Output: peak 7.5 GFLOPS/s, bandwidth 15.0 GB/s
+}

@@ -1,0 +1,72 @@
+// Camerahdr analyzes the paper's motivating camera usecases (Table I) on a
+// Snapdragon-835-like chip: it derives Gables work fractions and
+// intensities from each usecase's dataflow graph, finds the bottleneck per
+// usecase, and shows the §II-B bandwidth wall at 4K high frame rate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gables "github.com/gables-model/gables"
+)
+
+func main() {
+	chip := gables.Snapdragon835Like()
+	m, index, err := chip.Model("CPU")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	flows := []*gables.Dataflow{
+		gables.HDRPlus(gables.UHD4K),
+		gables.VideoCapture(gables.UHD4K, 2),
+		gables.VideoCaptureHFR(gables.UHD4K),
+		gables.VideoPlaybackUI(gables.UHD4K),
+		gables.GoogleLens(gables.FHD),
+	}
+
+	fmt.Printf("Camera usecases on %s (per-frame dataflows):\n\n", chip.Name)
+	for _, flow := range flows {
+		// Frame-rate feasibility: the usecase-level question a system
+		// integrator asks first.
+		rate, limiter, err := gables.MaxRate(flow, chip)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The Gables view: concurrent work fractions and intensities
+		// derived from the same dataflow.
+		u, err := flow.ToGables(len(m.SoC.IPs), index)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Evaluate(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-22s blocks: %v\n", flow.Name, flow.Blocks())
+		fmt.Printf("%22s max rate %.1f items/s (limited by %s)\n", "", rate, limiter)
+		fmt.Printf("%22s Gables bound %s, bottleneck %s\n\n",
+			"", res.Attainable, res.Bottleneck)
+	}
+
+	// The §II-B back-of-envelope: 4K240 blows the DRAM budget.
+	frame := gables.FrameBytes(gables.UHD4K, gables.YUV420)
+	fmt.Printf("4K YUV420 frame: %s (paper: ~12 MB)\n", frame)
+	hfr := gables.VideoCaptureHFR(gables.UHD4K)
+	analysis, err := gables.AnalyzeRate(hfr, chip, 240)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4K @ 240 FPS HFR capture: DRAM demand %.1f GB/s against %s — feasible: %v\n",
+		float64(analysis.DRAMDemand)/1e9, chip.DRAMBandwidth, analysis.Feasible)
+	if !analysis.Feasible {
+		maxRate, limiter, err := gables.MaxRate(hfr, chip)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("the chip sustains at most %.0f FPS at 4K (limited by %s)\n", maxRate, limiter)
+	}
+}

@@ -1,0 +1,97 @@
+// Designspace does the early-stage exploration §VII's conjectures
+// motivate: given a candidate usecase, sweep accelerator strength and
+// off-chip bandwidth, find the sufficient Bpeak and the best work split,
+// and print the attainable-performance landscape an architect would use
+// to pick an IP "and roughly how big" — years before software exists.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gables "github.com/gables-model/gables"
+)
+
+func main() {
+	const (
+		ppeakGops = 10  // CPU complex reference
+		i0        = 4   // CPU-side reuse of the target usecase
+		i1        = 2   // accelerator-side reuse (before tuning)
+		f         = 0.8 // work the accelerator is meant to absorb
+	)
+
+	fmt.Println("Candidate usecase: f=0.8 offload, I0=4, I1=2 ops/B on a 10 Gops/s CPU")
+	fmt.Println("\nHow big an accelerator is worth building? (Bpeak=12 GB/s)")
+	fmt.Printf("%6s  %12s  %s\n", "A", "Pattainable", "bottleneck")
+	for _, a := range []float64{2, 4, 8, 16, 32, 64} {
+		res := evaluate(a, 12, f, i0, i1)
+		fmt.Printf("%6.0f  %12s  %s\n", a, res.Attainable, res.Bottleneck)
+	}
+	fmt.Println("-> acceleration beyond the memory wall is wasted silicon (Amdahl again)")
+
+	fmt.Println("\nHow much off-chip bandwidth does the A=16 design deserve?")
+	m := model(16, 12)
+	u, err := gables.TwoIPUsecase("target", f, i0, i1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts, err := gables.SweepMemoryBandwidth(m, u, []gables.BytesPerSec{
+		gables.GBs(4), gables.GBs(8), gables.GBs(12), gables.GBs(16),
+		gables.GBs(24), gables.GBs(32), gables.GBs(48),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%10s  %12s  %s\n", "Bpeak", "Pattainable", "bottleneck")
+	for _, p := range pts {
+		fmt.Printf("%8.0f G  %12s  %s\n", p.X/1e9, p.Attainable, p.Bottleneck)
+	}
+	suff, err := gables.SufficientBandwidth(m, u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-> sufficient Bpeak: %s; anything more buys nothing for this usecase\n", suff)
+
+	fmt.Println("\nAnd if software could retune the split?")
+	split, err := gables.BestSplit(m, i0, i1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-> best f = %.3f achieving %s (%s)\n",
+		split.F, split.Attainable, split.Bottleneck)
+
+	fmt.Println("\nHow much accelerator-side reuse unlocks the full design?")
+	ipts, err := gables.SweepIntensity(m, u, 1, []gables.Intensity{1, 2, 4, 8, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%6s  %12s  %s\n", "I1", "Pattainable", "bottleneck")
+	for _, p := range ipts {
+		fmt.Printf("%6.0f  %12s  %s\n", p.X, p.Attainable, p.Bottleneck)
+	}
+}
+
+func model(a, bpeakGB float64) *gables.Model {
+	soc, err := gables.TwoIP("candidate", gables.Gops(10), gables.GBs(bpeakGB), a,
+		gables.GBs(8), gables.GBs(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := gables.New(soc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func evaluate(a, bpeakGB, f, i0, i1 float64) *gables.Result {
+	u, err := gables.TwoIPUsecase("target", f, gables.Intensity(i0), gables.Intensity(i1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := model(a, bpeakGB).Evaluate(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,80 @@
+// Quickstart walks through the paper's §III-C two-IP example (Figures
+// 6a–6d) using the public gables API: define a SoC, assign a usecase, read
+// the attainable-performance bound and its bottleneck, then fix the design
+// step by step until it is balanced.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gables "github.com/gables-model/gables"
+)
+
+func main() {
+	// Hardware: Ppeak = 40 Gops/s CPU (B0 = 6 GB/s), a 5× accelerator
+	// (B1 = 15 GB/s), 10 GB/s of off-chip bandwidth.
+	step := func(title string, bpeakGB, f, i0, i1 float64) {
+		soc, err := gables.TwoIP("demo", gables.Gops(40), gables.GBs(bpeakGB), 5,
+			gables.GBs(6), gables.GBs(15))
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := gables.New(soc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		u, err := gables.TwoIPUsecase(title, f, gables.Intensity(i0), gables.Intensity(i1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Evaluate(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-52s -> %10s  (bottleneck: %s)\n", title, res.Attainable, res.Bottleneck)
+	}
+
+	fmt.Println("The paper's Figure 6 walk-through:")
+	step("6a: all work on the CPU (f=0, I0=8)", 10, 0, 8, 0.1)
+	step("6b: offload 75% to the accelerator (I1=0.1)", 10, 0.75, 8, 0.1)
+	step("6c: triple memory bandwidth to 30 GB/s", 30, 0.75, 8, 0.1)
+	step("6d: add reuse (I1=8), trim Bpeak to 20 GB/s", 20, 0.75, 8, 8)
+
+	// The balanced design: confirm all rooflines meet, then print the
+	// §III-C multi-roofline plot in the terminal.
+	soc, err := gables.TwoIP("demo", gables.Gops(40), gables.GBs(20), 5,
+		gables.GBs(6), gables.GBs(15))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := gables.New(soc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u, err := gables.TwoIPUsecase("balanced", 0.75, 8, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bal, err := gables.AnalyzeBalance(m, u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nBalance of the final design (headroom 1.0 = at the bound):")
+	for _, b := range bal {
+		fmt.Printf("  %-18s headroom %.3f\n", b.Component, b.Headroom)
+	}
+	if gables.IsBalanced(bal, 1e-9) {
+		fmt.Println("  -> perfectly balanced: all three rooflines equal at I = 8")
+	}
+
+	ch, err := gables.GablesChart(m, u, 0.05, 200, 65)
+	if err != nil {
+		log.Fatal(err)
+	}
+	art, err := ch.ASCII(72, 18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n" + art)
+}

@@ -1,0 +1,144 @@
+// Package gables implements the Gables performance model of Hill and Reddi
+// ("Gables: A Roofline Model for Mobile SoCs", HPCA 2019) together with the
+// substrates needed to use it end to end: the classic Roofline model, an
+// SoC hardware catalog, usecase dataflow analysis, a simulated mobile SoC
+// for empirical roofline measurement, parameter sweeps, balance
+// optimization, and SVG/ASCII visualization.
+//
+// The model in one paragraph: a mobile SoC has N IP blocks (CPU complex,
+// GPU, DSP, ISP, codecs, ...) that run *concurrently* and share off-chip
+// memory bandwidth Bpeak. Hardware gives each IP[i] a roofline — peak
+// computation Ai·Ppeak and link bandwidth Bi. A workload "usecase" assigns
+// each IP a fraction fi of the work at operational intensity Ii (ops per
+// DRAM byte). The usecase's maximal attainable performance is bounded by
+// the slowest of: each IP's own roofline scaled by its work share, and the
+// memory interface at the work-weighted harmonic-mean intensity:
+//
+//	Pattainable = min_i [ min(Bi·Ii, Ai·Ppeak)/fi ],  Bpeak·Iavg
+//
+// Quick start — the paper's Figure 6b:
+//
+//	soc, _ := gables.TwoIP("demo", gables.Gops(40), gables.GBs(10), 5,
+//		gables.GBs(6), gables.GBs(15))
+//	m, _ := gables.New(soc)
+//	u, _ := gables.TwoIPUsecase("fig6b", 0.75, 8, 0.1)
+//	res, _ := m.Evaluate(u)
+//	fmt.Println(res.Attainable) // 1.328 Gops/s — memory bound
+//
+// This root package is a façade: the implementation lives in internal
+// packages (core, roofline, soc, usecase, sim, erb, sweep, optimize, plot),
+// re-exported here as type aliases so the public surface is one import.
+package gables
+
+import (
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/roofline"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// Quantity types (see internal/units).
+type (
+	// OpsPerSec is a computation rate.
+	OpsPerSec = units.OpsPerSec
+	// BytesPerSec is a bandwidth.
+	BytesPerSec = units.BytesPerSec
+	// Intensity is operational intensity in ops/byte.
+	Intensity = units.Intensity
+	// Bytes is a data capacity.
+	Bytes = units.Bytes
+	// Seconds is a duration.
+	Seconds = units.Seconds
+	// Ops is an operation count.
+	Ops = units.Ops
+)
+
+// Gops converts Gops/s to an OpsPerSec, matching the paper's unit style.
+func Gops(v float64) OpsPerSec { return units.GopsPerSec(v) }
+
+// GBs converts GB/s to a BytesPerSec.
+func GBs(v float64) BytesPerSec { return units.GBPerSec(v) }
+
+// Core model types (see internal/core).
+type (
+	// SoC is the hardware side of the model: Ppeak, Bpeak and the IPs.
+	SoC = core.SoC
+	// IP is one block's roofline: acceleration Ai and bandwidth Bi.
+	IP = core.IP
+	// Usecase is the software side: work fractions and intensities.
+	Usecase = core.Usecase
+	// Work is one IP's usecase entry.
+	Work = core.Work
+	// Model couples a SoC with the optional §V extensions.
+	Model = core.Model
+	// Result is a full evaluation.
+	Result = core.Result
+	// IPBreakdown is the per-IP time-form detail.
+	IPBreakdown = core.IPBreakdown
+	// Component identifies a bottleneck.
+	Component = core.Component
+	// PerfTerm is one performance-form term.
+	PerfTerm = core.PerfTerm
+	// ScaledRoofline is one curve of the §III-C visualization.
+	ScaledRoofline = core.ScaledRoofline
+	// SRAM is the §V-A memory-side scratchpad/cache extension.
+	SRAM = core.SRAM
+	// Bus is one network of the §V-B interconnect extension.
+	Bus = core.Bus
+	// Phase is one serialized stage of a mixed serial/parallel workload.
+	Phase = core.Phase
+	// PhasedResult reports a phased evaluation.
+	PhasedResult = core.PhasedResult
+	// PeerFlow is a direct inter-IP link (the §V-B "richer flows").
+	PeerFlow = core.PeerFlow
+	// PeerModel couples a model with direct inter-IP flows.
+	PeerModel = core.PeerModel
+)
+
+// NewPeerModel attaches direct inter-IP flows to a model.
+func NewPeerModel(m *Model, flows []PeerFlow) (*PeerModel, error) {
+	return core.NewPeerModel(m, flows)
+}
+
+// ParallelBuses folds alternative bus paths into one effective bus
+// (bottleneck analysis' parallel rule: capacities add).
+func ParallelBuses(name string, buses ...Bus) (Bus, error) {
+	return core.ParallelBuses(name, buses...)
+}
+
+// SinglePhase wraps a usecase as a one-phase workload.
+func SinglePhase(u *Usecase) []Phase { return core.SinglePhase(u) }
+
+// New returns a base-model evaluator for the SoC.
+func New(s *SoC) (*Model, error) { return core.New(s) }
+
+// TwoIP constructs the paper's §III-B two-IP SoC.
+func TwoIP(name string, ppeak OpsPerSec, bpeak BytesPerSec, accel float64, b0, b1 BytesPerSec) (*SoC, error) {
+	return core.TwoIP(name, ppeak, bpeak, accel, b0, b1)
+}
+
+// TwoIPUsecase builds a two-IP usecase: (1−f) work at IP[0] with intensity
+// i0 and f work at IP[1] with intensity i1.
+func TwoIPUsecase(name string, f float64, i0, i1 Intensity) (*Usecase, error) {
+	return core.TwoIPUsecase(name, f, i0, i1)
+}
+
+// Classic Roofline (see internal/roofline).
+type (
+	// Roofline is the classic single-chip model Gables builds on.
+	Roofline = roofline.Model
+	// Ceiling is a lesser bound under a restriction.
+	Ceiling = roofline.Ceiling
+	// RooflinePoint is one (intensity, attainable) sample.
+	RooflinePoint = roofline.Point
+)
+
+// NewRoofline constructs a classic roofline.
+func NewRoofline(name string, peak OpsPerSec, bandwidth BytesPerSec) (*Roofline, error) {
+	return roofline.New(name, peak, bandwidth)
+}
+
+// FitRoofline estimates a pessimistic roofline from empirical samples, the
+// paper's §IV methodology for black-box chips.
+func FitRoofline(name string, samples []RooflinePoint) (*Roofline, error) {
+	return roofline.Fit(name, samples)
+}

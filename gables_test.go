@@ -1,0 +1,98 @@
+package gables_test
+
+import (
+	"testing"
+
+	gables "github.com/gables-model/gables"
+)
+
+// TestQuickstartFigure6 exercises the public façade end to end on the
+// paper's appendix numbers, exactly as the README's quick start does.
+func TestQuickstartFigure6(t *testing.T) {
+	soc, err := gables.TwoIP("demo", gables.Gops(40), gables.GBs(10), 5,
+		gables.GBs(6), gables.GBs(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := gables.New(soc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := gables.TwoIPUsecase("fig6b", 0.75, 8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Attainable.Gops(); got < 1.32 || got > 1.34 {
+		t.Errorf("Fig 6b via the façade = %v, want ~1.328", got)
+	}
+	if res.Bottleneck.Kind != "memory" {
+		t.Errorf("bottleneck = %v, want memory", res.Bottleneck)
+	}
+}
+
+func TestCatalogThroughFacade(t *testing.T) {
+	chip := gables.Snapdragon835Like()
+	m, index, err := chip.Model("CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := gables.GoogleLens(gables.FHD)
+	u, err := flow.ToGables(len(m.SoC.IPs), index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attainable <= 0 {
+		t.Error("catalog usecase evaluation must produce a bound")
+	}
+}
+
+func TestMeasurementThroughFacade(t *testing.T) {
+	sys, err := gables.NewSimSystem(gables.SimSnapdragon835())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fit, err := gables.MeasureRoofline(sys, "CPU", gables.SweepOptions{
+		Pattern: gables.ReadWrite, MaxExp: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Peak.Gops() < 7 || fit.Peak.Gops() > 8 {
+		t.Errorf("measured CPU peak = %v, want ~7.5", fit.Peak.Gops())
+	}
+}
+
+func TestChartThroughFacade(t *testing.T) {
+	soc, _ := gables.TwoIP("demo", gables.Gops(40), gables.GBs(10), 5,
+		gables.GBs(6), gables.GBs(15))
+	m, _ := gables.New(soc)
+	u, _ := gables.TwoIPUsecase("fig6b", 0.75, 8, 0.1)
+	ch, err := gables.GablesChart(m, u, 0.01, 100, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.SVG(800, 500); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeKernelThroughFacade(t *testing.T) {
+	res, err := gables.RunNativeKernel(gables.Kernel{
+		Name: "host", WorkingSet: 256 << 10, Trials: 2,
+		FlopsPerWord: 8, Pattern: gables.ReadWrite,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate <= 0 {
+		t.Error("native kernel must report a rate")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/gables-model/gables
+
+go 1.22

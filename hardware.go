@@ -1,0 +1,96 @@
+package gables
+
+import (
+	"github.com/gables-model/gables/internal/soc"
+	"github.com/gables-model/gables/internal/usecase"
+)
+
+// SoC hardware descriptions (see internal/soc): block-level chip specs
+// with the fabric hierarchy of the paper's Figure 3, convertible to the
+// abstract N-IP model.
+type (
+	// Chip is a block-level SoC hardware description.
+	Chip = soc.Chip
+	// Block is one IP block on a chip.
+	Block = soc.Block
+	// Fabric is one interconnect of a chip's hierarchy.
+	Fabric = soc.Fabric
+	// BlockClass categorizes a block's role.
+	BlockClass = soc.Class
+)
+
+// Chip catalog entries.
+var (
+	// PaperTwoIP is the §III-C teaching SoC (pass the Bpeak in GB/s the
+	// walk-through step uses: 10, 20 or 30).
+	PaperTwoIP = soc.PaperTwoIP
+	// Snapdragon835Like carries the paper's §IV measured ceilings.
+	Snapdragon835Like = soc.Snapdragon835Like
+	// Snapdragon821Like is the older measured chipset.
+	Snapdragon821Like = soc.Snapdragon821Like
+	// Figure3Example is the illustrative block diagram of Figure 3.
+	Figure3Example = soc.Figure3Example
+)
+
+// Usecase dataflow analysis (see internal/usecase): §II-B application
+// dataflows and the Table I concurrency matrix.
+type (
+	// Dataflow is a usecase dataflow graph.
+	Dataflow = usecase.Graph
+	// Stage is one processing step bound to an SoC block.
+	Stage = usecase.Stage
+	// RateAnalysis is a steady-state feasibility result.
+	RateAnalysis = usecase.RateAnalysis
+	// Requirement binds a dataflow to its acceptability rate.
+	Requirement = usecase.Requirement
+	// SuiteReport is the all-usecases-must-pass verdict of §I.
+	SuiteReport = usecase.SuiteReport
+	// Resolution is a frame geometry.
+	Resolution = usecase.Resolution
+	// PixelFormat is a frame encoding.
+	PixelFormat = usecase.PixelFormat
+)
+
+// Usecase library entries and frame math.
+var (
+	// StreamingWiFi is the Figure 4 dataflow.
+	StreamingWiFi = usecase.StreamingWiFi
+	// HDRPlus, VideoCapture, VideoCaptureHFR, VideoPlaybackUI and
+	// GoogleLens are the Table I camera usecases.
+	HDRPlus         = usecase.HDRPlus
+	VideoCapture    = usecase.VideoCapture
+	VideoCaptureHFR = usecase.VideoCaptureHFR
+	VideoPlaybackUI = usecase.VideoPlaybackUI
+	GoogleLens      = usecase.GoogleLens
+	// PhoneCall, MoviePlayback, Gaming, VoiceAssistant, PhotoEdit,
+	// MusicPlayback and VideoConference round the library out toward
+	// §I's 10-20 important usecases.
+	PhoneCall       = usecase.PhoneCall
+	MoviePlayback   = usecase.MoviePlayback
+	Gaming          = usecase.Gaming
+	VoiceAssistant  = usecase.VoiceAssistant
+	PhotoEdit       = usecase.PhotoEdit
+	MusicPlayback   = usecase.MusicPlayback
+	VideoConference = usecase.VideoConference
+
+	// AnalyzeSuite checks a whole requirement suite on a chip (§I:
+	// every usecase must pass; the average is immaterial).
+	AnalyzeSuite = usecase.AnalyzeSuite
+	// StandardSuite is a representative 13-usecase phone workload.
+	StandardSuite = usecase.StandardSuite
+
+	// FrameBytes computes a frame's size (§II-B's 12 MB 4K example).
+	FrameBytes = usecase.FrameBytes
+	// AnalyzeRate checks a dataflow's feasibility at an item rate.
+	AnalyzeRate = usecase.AnalyzeRate
+	// MaxRate finds a dataflow's peak sustainable rate and its limiter.
+	MaxRate = usecase.MaxRate
+)
+
+// Common resolutions and formats.
+var (
+	UHD4K  = usecase.UHD4K
+	FHD    = usecase.FHD
+	HD720  = usecase.HD720
+	YUV420 = usecase.YUV420
+)

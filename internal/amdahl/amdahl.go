@@ -1,0 +1,136 @@
+// Package amdahl implements the family of Amdahl's-Law models the Gables
+// paper positions itself against (§VI): Amdahl's original law (1967),
+// Gustafson's reevaluation (1988), and the Hill–Marty multicore corollaries
+// (Computer 2008). Gables generalizes these by apportioning *concurrent*
+// work among IPs and adding data-movement bounds; these baselines cover the
+// serialized, compute-only view.
+package amdahl
+
+import (
+	"fmt"
+	"math"
+)
+
+// Speedup returns Amdahl's Law: the overall speedup when a fraction f of a
+// computation is sped up by factor s (the rest is unimproved),
+//
+//	Speedup(f, s) = 1 / ((1−f) + f/s)
+//
+// f must lie in [0,1] and s must be positive.
+func Speedup(f, s float64) (float64, error) {
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return 0, fmt.Errorf("amdahl: fraction must be in [0,1], got %v", f)
+	}
+	if s <= 0 || math.IsNaN(s) {
+		return 0, fmt.Errorf("amdahl: speedup factor must be positive, got %v", s)
+	}
+	return 1 / ((1 - f) + f/s), nil
+}
+
+// Limit returns the asymptotic speedup 1/(1−f) as s → ∞, or +Inf for f = 1.
+func Limit(f float64) (float64, error) {
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return 0, fmt.Errorf("amdahl: fraction must be in [0,1], got %v", f)
+	}
+	if f == 1 {
+		return math.Inf(1), nil
+	}
+	return 1 / (1 - f), nil
+}
+
+// Gustafson returns the scaled speedup of Gustafson's reevaluation: with n
+// processors and a serial fraction (1−f) measured on the parallel system,
+//
+//	Scaled(f, n) = (1−f) + f·n
+func Gustafson(f float64, n int) (float64, error) {
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return 0, fmt.Errorf("amdahl: fraction must be in [0,1], got %v", f)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("amdahl: processor count must be at least 1, got %d", n)
+	}
+	return (1 - f) + f*float64(n), nil
+}
+
+// Perf is the Hill–Marty single-core performance function: a core built
+// from r base-core-equivalent (BCE) resources performs at sqrt(r) — the
+// "Pollack's rule" assumption of the paper.
+func Perf(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return math.Sqrt(r)
+}
+
+// Symmetric returns the Hill–Marty speedup of a symmetric multicore with n
+// BCEs total, organized as n/r cores of r BCEs each, on software with
+// parallel fraction f:
+//
+//	Speedup = 1 / ( (1−f)/perf(r) + f·r/(perf(r)·n) )
+func Symmetric(f float64, n, r int) (float64, error) {
+	if err := checkChip(f, n, r); err != nil {
+		return 0, err
+	}
+	p := Perf(float64(r))
+	return 1 / ((1-f)/p + f*float64(r)/(p*float64(n))), nil
+}
+
+// Asymmetric returns the Hill–Marty speedup of an asymmetric multicore: one
+// big core of r BCEs plus n−r base cores. Sequential work runs on the big
+// core; parallel work uses everything:
+//
+//	Speedup = 1 / ( (1−f)/perf(r) + f/(perf(r) + n − r) )
+func Asymmetric(f float64, n, r int) (float64, error) {
+	if err := checkChip(f, n, r); err != nil {
+		return 0, err
+	}
+	p := Perf(float64(r))
+	return 1 / ((1-f)/p + f/(p+float64(n-r))), nil
+}
+
+// Dynamic returns the Hill–Marty speedup of a dynamic multicore that can
+// fuse r BCEs into one powerful sequential core and also use all n BCEs in
+// parallel:
+//
+//	Speedup = 1 / ( (1−f)/perf(r) + f/n )
+func Dynamic(f float64, n, r int) (float64, error) {
+	if err := checkChip(f, n, r); err != nil {
+		return 0, err
+	}
+	return 1 / ((1-f)/Perf(float64(r)) + f/float64(n)), nil
+}
+
+func checkChip(f float64, n, r int) error {
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return fmt.Errorf("amdahl: fraction must be in [0,1], got %v", f)
+	}
+	if n < 1 {
+		return fmt.Errorf("amdahl: chip must have at least 1 BCE, got %d", n)
+	}
+	if r < 1 || r > n {
+		return fmt.Errorf("amdahl: core size r must be in [1,%d], got %d", n, r)
+	}
+	return nil
+}
+
+// BestSymmetricR searches all core sizes r that divide n and returns the r
+// maximizing the symmetric speedup, with the speedup. It mirrors the
+// design-space sweeps of Hill–Marty Figure 2.
+func BestSymmetricR(f float64, n int) (bestR int, bestSpeedup float64, err error) {
+	if n < 1 {
+		return 0, 0, fmt.Errorf("amdahl: chip must have at least 1 BCE, got %d", n)
+	}
+	for r := 1; r <= n; r++ {
+		if n%r != 0 {
+			continue
+		}
+		s, serr := Symmetric(f, n, r)
+		if serr != nil {
+			return 0, 0, serr
+		}
+		if s > bestSpeedup {
+			bestR, bestSpeedup = r, s
+		}
+	}
+	return bestR, bestSpeedup, nil
+}

@@ -1,0 +1,234 @@
+package amdahl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedup(t *testing.T) {
+	cases := []struct {
+		f, s, want float64
+	}{
+		{0, 10, 1},        // nothing sped up
+		{1, 10, 10},       // everything sped up
+		{0.5, 2, 4.0 / 3}, // 1/(0.5+0.25)
+		{0.9, 10, 1 / (0.1 + 0.09)},
+		{0.5, 1, 1}, // speedup factor 1 changes nothing
+	}
+	for _, c := range cases {
+		got, err := Speedup(c.f, c.s)
+		if err != nil {
+			t.Fatalf("Speedup(%v,%v): %v", c.f, c.s, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Speedup(%v,%v) = %v, want %v", c.f, c.s, got, c.want)
+		}
+	}
+}
+
+func TestSpeedupValidation(t *testing.T) {
+	if _, err := Speedup(-0.1, 2); err == nil {
+		t.Error("negative fraction must be rejected")
+	}
+	if _, err := Speedup(1.1, 2); err == nil {
+		t.Error("fraction > 1 must be rejected")
+	}
+	if _, err := Speedup(0.5, 0); err == nil {
+		t.Error("zero speedup factor must be rejected")
+	}
+	if _, err := Speedup(math.NaN(), 2); err == nil {
+		t.Error("NaN fraction must be rejected")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	got, err := Limit(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Errorf("Limit(0.9) = %v, want 10", got)
+	}
+	inf, err := Limit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(inf, 1) {
+		t.Errorf("Limit(1) = %v, want +Inf", inf)
+	}
+	if _, err := Limit(2); err == nil {
+		t.Error("fraction > 1 must be rejected")
+	}
+}
+
+func TestGustafson(t *testing.T) {
+	got, err := Gustafson(0.99, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.01 + 0.99*100
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Gustafson(0.99,100) = %v, want %v", got, want)
+	}
+	if _, err := Gustafson(0.5, 0); err == nil {
+		t.Error("n < 1 must be rejected")
+	}
+}
+
+func TestHillMartySymmetric(t *testing.T) {
+	// Known values from Hill–Marty: n=256, f=0.999. r=1 gives
+	// 1/(0.001 + 0.999/256) ≈ 204.0.
+	got, err := Symmetric(0.999, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (0.001 + 0.999/256)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Symmetric = %v, want %v", got, want)
+	}
+
+	// f=0.5 strongly favors bigger cores: r=256 (one huge core) gives
+	// 1/((0.5+0.5)/16) = 16.
+	got, err = Symmetric(0.5, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-16) > 1e-9 {
+		t.Errorf("Symmetric(0.5,256,256) = %v, want 16", got)
+	}
+}
+
+func TestHillMartyAsymmetric(t *testing.T) {
+	// One 4-BCE core + 12 BCEs, f = 0.5:
+	// 1/(0.5/2 + 0.5/(2+12)) = 1/(0.25 + 0.035714...) ≈ 3.5.
+	got, err := Asymmetric(0.5, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (0.5/2 + 0.5/14)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Asymmetric = %v, want %v", got, want)
+	}
+}
+
+func TestHillMartyDynamic(t *testing.T) {
+	// Dynamic dominates both other organizations for equal n, r.
+	f, n, r := 0.9, 64, 16
+	sym, _ := Symmetric(f, n, r)
+	asym, _ := Asymmetric(f, n, r)
+	dyn, err := Dynamic(f, n, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn < sym || dyn < asym {
+		t.Errorf("dynamic (%v) must dominate symmetric (%v) and asymmetric (%v)", dyn, sym, asym)
+	}
+}
+
+func TestChipValidation(t *testing.T) {
+	if _, err := Symmetric(0.5, 16, 0); err == nil {
+		t.Error("r < 1 must be rejected")
+	}
+	if _, err := Symmetric(0.5, 16, 17); err == nil {
+		t.Error("r > n must be rejected")
+	}
+	if _, err := Asymmetric(1.5, 16, 4); err == nil {
+		t.Error("bad fraction must be rejected")
+	}
+	if _, err := Dynamic(0.5, 0, 1); err == nil {
+		t.Error("n < 1 must be rejected")
+	}
+}
+
+func TestPerf(t *testing.T) {
+	if Perf(16) != 4 {
+		t.Errorf("Perf(16) = %v, want 4", Perf(16))
+	}
+	if Perf(0) != 0 || Perf(-1) != 0 {
+		t.Error("non-positive resources must give zero performance")
+	}
+}
+
+func TestBestSymmetricR(t *testing.T) {
+	// With highly parallel software, many small cores win.
+	r, s, err := BestSymmetricR(0.999, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("best r for f=0.999 = %d, want 1", r)
+	}
+	if s <= 1 {
+		t.Errorf("speedup = %v, want > 1", s)
+	}
+
+	// With mostly serial software, one big core wins.
+	r, _, err = BestSymmetricR(0.1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 256 {
+		t.Errorf("best r for f=0.1 = %d, want 256", r)
+	}
+
+	if _, _, err := BestSymmetricR(0.5, 0); err == nil {
+		t.Error("n < 1 must be rejected")
+	}
+}
+
+// Property: Amdahl speedup is monotone in both f and s and bounded by
+// Limit(f).
+func TestSpeedupMonotonicityProperty(t *testing.T) {
+	f := func(fa, fb, sa, sb uint8) bool {
+		f1, f2 := float64(fa)/255, float64(fb)/255
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		s1, s2 := 1+float64(sa), 1+float64(sb)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		lo, err := Speedup(f1, s1)
+		if err != nil {
+			return false
+		}
+		hiF, err := Speedup(f2, s1)
+		if err != nil {
+			return false
+		}
+		hiS, err := Speedup(f1, s2)
+		if err != nil {
+			return false
+		}
+		lim, err := Limit(f1)
+		if err != nil {
+			return false
+		}
+		return hiF >= lo-1e-12 && hiS >= lo-1e-12 && lo <= lim+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with r = 1 the symmetric chip reduces to classic Amdahl with
+// speedup factor n.
+func TestSymmetricReducesToAmdahlProperty(t *testing.T) {
+	f := func(fr uint8, nSeed uint8) bool {
+		fv := float64(fr) / 255
+		n := 1 + int(nSeed)
+		sym, err := Symmetric(fv, n, 1)
+		if err != nil {
+			return false
+		}
+		amd, err := Speedup(fv, float64(n))
+		if err != nil {
+			return false
+		}
+		return math.Abs(sym-amd) <= 1e-9*math.Max(sym, amd)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

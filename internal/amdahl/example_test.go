@@ -1,0 +1,26 @@
+package amdahl_test
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/amdahl"
+)
+
+// ExampleSpeedup is the classic law: speeding 90% of the work up 10×
+// yields far less than 10×.
+func ExampleSpeedup() {
+	s, _ := amdahl.Speedup(0.9, 10)
+	limit, _ := amdahl.Limit(0.9)
+	fmt.Printf("speedup %.2f (limit %.0f as s grows)\n", s, limit)
+	// Output: speedup 5.26 (limit 10 as s grows)
+}
+
+// ExampleBestSymmetricR reproduces the Hill–Marty design lesson: highly
+// parallel software wants many small cores; mostly serial software wants
+// one big core.
+func ExampleBestSymmetricR() {
+	rParallel, _, _ := amdahl.BestSymmetricR(0.999, 256)
+	rSerial, _, _ := amdahl.BestSymmetricR(0.1, 256)
+	fmt.Printf("f=0.999 -> r=%d; f=0.1 -> r=%d\n", rParallel, rSerial)
+	// Output: f=0.999 -> r=1; f=0.1 -> r=256
+}

@@ -1,0 +1,203 @@
+// Package bottleneck implements classical bottleneck analysis (Lazowska,
+// Zahorjan, Graham and Sevcik, "Quantitative System Performance", 1984), of
+// which both Roofline and Gables are special cases (paper §VI).
+//
+// Bottleneck analysis models the maximum throughput of a system by
+// recursively combining component throughputs with two rules:
+//
+//  1. the throughput of a subsystem of components in PARALLEL is the SUM of
+//     the component throughputs;
+//  2. the throughput of a subsystem of components in SERIES is the MINIMUM
+//     of the component throughputs.
+//
+// The package represents systems as expression trees of leaves (named
+// capacities), series nodes, and parallel nodes; Throughput evaluates the
+// tree and Critical walks it to find the limiting leaf.
+package bottleneck
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Node is one vertex of a bottleneck expression tree.
+type Node interface {
+	// Throughput returns the subsystem's maximum throughput.
+	Throughput() float64
+	// critical returns the leaf that limits this subsystem. For
+	// parallel nodes (where no single leaf limits) it returns the
+	// smallest-throughput child's critical leaf as the conventional
+	// representative.
+	critical() *Leaf
+	describe(b *strings.Builder, depth int)
+}
+
+// Leaf is a single component with a fixed maximum throughput, e.g. one IP's
+// compute engine or one link's bandwidth.
+type Leaf struct {
+	Name     string
+	Capacity float64
+}
+
+// NewLeaf constructs a leaf; capacity must be non-negative.
+func NewLeaf(name string, capacity float64) (*Leaf, error) {
+	if capacity < 0 || math.IsNaN(capacity) {
+		return nil, fmt.Errorf("bottleneck: leaf %q: capacity must be non-negative, got %v", name, capacity)
+	}
+	return &Leaf{Name: name, Capacity: capacity}, nil
+}
+
+// Throughput returns the leaf's capacity.
+func (l *Leaf) Throughput() float64 { return l.Capacity }
+
+func (l *Leaf) critical() *Leaf { return l }
+
+func (l *Leaf) describe(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "%s = %g\n", l.Name, l.Capacity)
+}
+
+// seriesNode composes components in series: everything must flow through
+// every component, so the minimum capacity governs.
+type seriesNode struct{ children []Node }
+
+// parallelNode composes components in parallel: flow divides among the
+// components, so capacities add.
+type parallelNode struct{ children []Node }
+
+// Series composes the children in series. It requires at least one child.
+func Series(children ...Node) (Node, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("bottleneck: series node needs at least one child")
+	}
+	return &seriesNode{children: children}, nil
+}
+
+// Parallel composes the children in parallel. It requires at least one child.
+func Parallel(children ...Node) (Node, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("bottleneck: parallel node needs at least one child")
+	}
+	return &parallelNode{children: children}, nil
+}
+
+func (s *seriesNode) Throughput() float64 {
+	out := math.Inf(1)
+	for _, c := range s.children {
+		out = math.Min(out, c.Throughput())
+	}
+	return out
+}
+
+func (s *seriesNode) critical() *Leaf {
+	var best Node
+	bestT := math.Inf(1)
+	for _, c := range s.children {
+		if t := c.Throughput(); t < bestT {
+			bestT, best = t, c
+		}
+	}
+	return best.critical()
+}
+
+func (s *seriesNode) describe(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "series (throughput %g):\n", s.Throughput())
+	for _, c := range s.children {
+		c.describe(b, depth+1)
+	}
+}
+
+func (p *parallelNode) Throughput() float64 {
+	out := 0.0
+	for _, c := range p.children {
+		out += c.Throughput()
+	}
+	return out
+}
+
+func (p *parallelNode) critical() *Leaf {
+	var best Node
+	bestT := math.Inf(1)
+	for _, c := range p.children {
+		if t := c.Throughput(); t < bestT {
+			bestT, best = t, c
+		}
+	}
+	return best.critical()
+}
+
+func (p *parallelNode) describe(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "parallel (throughput %g):\n", p.Throughput())
+	for _, c := range p.children {
+		c.describe(b, depth+1)
+	}
+}
+
+func indent(b *strings.Builder, depth int) {
+	for range depth {
+		b.WriteString("  ")
+	}
+}
+
+// Critical returns the limiting leaf of the system rooted at n.
+func Critical(n Node) *Leaf { return n.critical() }
+
+// Describe renders the tree with per-node throughputs, for reports.
+func Describe(n Node) string {
+	var b strings.Builder
+	n.describe(&b, 0)
+	return b.String()
+}
+
+// DemandSystem models the Gables-style weighted variant directly: each
+// station k serves demand d_k (e.g., seconds of service per unit of work),
+// stations run concurrently, and the system completes work at rate
+// 1/max(d_k). It is the bridge from bottleneck analysis to Gables
+// Equation 11, where each IP and the memory interface is a station.
+type DemandSystem struct {
+	names   []string
+	demands []float64
+}
+
+// AddStation registers a station with its demand (time per unit work).
+func (d *DemandSystem) AddStation(name string, demand float64) error {
+	if demand < 0 || math.IsNaN(demand) {
+		return fmt.Errorf("bottleneck: station %q: demand must be non-negative, got %v", name, demand)
+	}
+	d.names = append(d.names, name)
+	d.demands = append(d.demands, demand)
+	return nil
+}
+
+// Throughput returns the completion rate 1/max(d_k), or +Inf when all
+// demands are zero, or an error when no stations are registered.
+func (d *DemandSystem) Throughput() (float64, error) {
+	if len(d.demands) == 0 {
+		return 0, fmt.Errorf("bottleneck: demand system has no stations")
+	}
+	maxD := 0.0
+	for _, dem := range d.demands {
+		maxD = math.Max(maxD, dem)
+	}
+	if maxD == 0 {
+		return math.Inf(1), nil
+	}
+	return 1 / maxD, nil
+}
+
+// Critical returns the name of the station with the largest demand.
+func (d *DemandSystem) Critical() (string, error) {
+	if len(d.demands) == 0 {
+		return "", fmt.Errorf("bottleneck: demand system has no stations")
+	}
+	best, bestD := 0, -1.0
+	for k, dem := range d.demands {
+		if dem > bestD {
+			best, bestD = k, dem
+		}
+	}
+	return d.names[best], nil
+}

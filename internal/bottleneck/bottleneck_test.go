@@ -1,0 +1,216 @@
+package bottleneck
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func leaf(t *testing.T, name string, cap float64) *Leaf {
+	t.Helper()
+	l, err := NewLeaf(name, cap)
+	if err != nil {
+		t.Fatalf("NewLeaf(%q, %v): %v", name, cap, err)
+	}
+	return l
+}
+
+func TestLeafValidation(t *testing.T) {
+	if _, err := NewLeaf("bad", -1); err == nil {
+		t.Error("negative capacity must be rejected")
+	}
+	if _, err := NewLeaf("bad", math.NaN()); err == nil {
+		t.Error("NaN capacity must be rejected")
+	}
+	if _, err := NewLeaf("zero", 0); err != nil {
+		t.Errorf("zero capacity is a valid (stalled) component: %v", err)
+	}
+}
+
+func TestSeriesMin(t *testing.T) {
+	s, err := Series(leaf(t, "a", 10), leaf(t, "b", 3), leaf(t, "c", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Throughput(); got != 3 {
+		t.Errorf("series throughput = %v, want 3", got)
+	}
+	if got := Critical(s).Name; got != "b" {
+		t.Errorf("critical = %q, want b", got)
+	}
+}
+
+func TestParallelSum(t *testing.T) {
+	p, err := Parallel(leaf(t, "a", 10), leaf(t, "b", 3), leaf(t, "c", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Throughput(); got != 20 {
+		t.Errorf("parallel throughput = %v, want 20", got)
+	}
+}
+
+func TestEmptyNodesRejected(t *testing.T) {
+	if _, err := Series(); err == nil {
+		t.Error("empty series must be rejected")
+	}
+	if _, err := Parallel(); err == nil {
+		t.Error("empty parallel must be rejected")
+	}
+}
+
+func TestNestedComposition(t *testing.T) {
+	// Two parallel pipes of capacity 4 each feed a shared stage of
+	// capacity 6: min(4+4, 6) = 6.
+	pipes, err := Parallel(leaf(t, "pipe0", 4), leaf(t, "pipe1", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Series(pipes, leaf(t, "shared", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Throughput(); got != 6 {
+		t.Errorf("throughput = %v, want 6", got)
+	}
+	if got := Critical(sys).Name; got != "shared" {
+		t.Errorf("critical = %q, want shared", got)
+	}
+}
+
+func TestRooflineAsBottleneck(t *testing.T) {
+	// Roofline is bottleneck analysis: compute in series with memory,
+	// where the memory leg's throughput is Bpeak·I. Ppeak = 40,
+	// Bpeak·I = 10·0.5 = 5 → system throughput 5.
+	sys, err := Series(leaf(t, "compute", 40), leaf(t, "memory", 10*0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Throughput(); got != 5 {
+		t.Errorf("throughput = %v, want 5", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	pipes, _ := Parallel(leaf(t, "p0", 4), leaf(t, "p1", 4))
+	sys, _ := Series(pipes, leaf(t, "shared", 6))
+	out := Describe(sys)
+	for _, want := range []string{"series (throughput 6)", "parallel (throughput 8)", "p0 = 4", "shared = 6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDemandSystem(t *testing.T) {
+	var d DemandSystem
+	// Gables Fig 6b as a demand system (times per unit work):
+	// T_IP0 = 1/160e9, T_IP1 = 1/2e9, Tmem = 1/1.3278e9.
+	if err := d.AddStation("IP0", 1/160e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddStation("IP1", 1/2e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddStation("memory", 7.53125e-10); err != nil {
+		t.Fatal(err)
+	}
+	tp, err := d.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tp-1.3278e9)/1.3278e9 > 1e-3 {
+		t.Errorf("throughput = %v, want ~1.3278e9", tp)
+	}
+	crit, err := d.Critical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit != "memory" {
+		t.Errorf("critical = %q, want memory", crit)
+	}
+}
+
+func TestDemandSystemEdgeCases(t *testing.T) {
+	var empty DemandSystem
+	if _, err := empty.Throughput(); err == nil {
+		t.Error("empty system must be an error")
+	}
+	if _, err := empty.Critical(); err == nil {
+		t.Error("empty system must be an error")
+	}
+
+	var d DemandSystem
+	if err := d.AddStation("bad", -1); err == nil {
+		t.Error("negative demand must be rejected")
+	}
+	if err := d.AddStation("idle", 0); err != nil {
+		t.Fatal(err)
+	}
+	tp, err := d.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tp, 1) {
+		t.Errorf("all-zero demand throughput = %v, want +Inf", tp)
+	}
+}
+
+// Property: series throughput never exceeds any child; parallel throughput
+// never falls below any child.
+func TestCompositionBoundsProperty(t *testing.T) {
+	f := func(caps []uint16) bool {
+		if len(caps) == 0 {
+			return true
+		}
+		leaves := make([]Node, len(caps))
+		for i, c := range caps {
+			l, err := NewLeaf("l", float64(c))
+			if err != nil {
+				return false
+			}
+			leaves[i] = l
+		}
+		s, err := Series(leaves...)
+		if err != nil {
+			return false
+		}
+		p, err := Parallel(leaves...)
+		if err != nil {
+			return false
+		}
+		st, pt := s.Throughput(), p.Throughput()
+		for _, l := range leaves {
+			if st > l.Throughput() || pt < l.Throughput() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: series of one and parallel of one are identities.
+func TestSingletonIdentityProperty(t *testing.T) {
+	f := func(c uint16) bool {
+		l, err := NewLeaf("x", float64(c))
+		if err != nil {
+			return false
+		}
+		s, err := Series(l)
+		if err != nil {
+			return false
+		}
+		p, err := Parallel(l)
+		if err != nil {
+			return false
+		}
+		return s.Throughput() == l.Throughput() && p.Throughput() == l.Throughput()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// Component identifies which part of the SoC limits a usecase.
+type Component struct {
+	// Kind is one of "IP", "memory", or "bus".
+	Kind string
+	// Index is the IP or bus index; -1 for memory.
+	Index int
+	// Name is a human-readable label, e.g. "GPU" or "DRAM".
+	Name string
+}
+
+func (c Component) String() string {
+	switch c.Kind {
+	case "memory":
+		return "memory interface"
+	case "bus":
+		return fmt.Sprintf("bus[%d] (%s)", c.Index, c.Name)
+	default:
+		return fmt.Sprintf("IP[%d] (%s)", c.Index, c.Name)
+	}
+}
+
+// IPBreakdown reports the time-form intermediate values for one IP
+// (the paper's Ci, Di, and T_IP[i] from Equations 1–2 and 9).
+type IPBreakdown struct {
+	// Compute is Ci = fi / (Ai·Ppeak): the IP's computation time.
+	Compute units.Seconds
+	// Data is Di = fi / Ii: the bytes the IP must move for its work.
+	Data units.Bytes
+	// Transfer is Di / Bi: the minimum time to move that data over the
+	// IP's link to the interconnect.
+	Transfer units.Seconds
+	// Time is T_IP[i] = max(Transfer, Compute): the IP's minimum time.
+	Time units.Seconds
+	// ComputeBound reports whether the IP's own limit is compute
+	// (Time == Compute) rather than its link bandwidth.
+	ComputeBound bool
+}
+
+// Result is a full evaluation of a usecase on a SoC.
+type Result struct {
+	// Attainable is the paper's Pattainable: the upper bound on SoC
+	// performance for this usecase (Equation 4 / 11).
+	Attainable units.OpsPerSec
+	// Time is the minimum time to complete the usecase's TotalOps work,
+	// 1/Attainable scaled by total work.
+	Time units.Seconds
+	// Bottleneck identifies the limiting component.
+	Bottleneck Component
+	// IPs holds the per-IP breakdown, index-aligned with the SoC.
+	IPs []IPBreakdown
+	// MemoryTime is Tmemory = ΣDi / Bpeak (Equation 3 / 10), after any
+	// memory-side SRAM filtering (Equation 15).
+	MemoryTime units.Seconds
+	// MemoryTraffic is the total off-chip data ΣD'i in bytes.
+	MemoryTraffic units.Bytes
+	// AvgIntensity is the paper's Iavg (weighted harmonic mean), or 0
+	// when undefined. With the SRAM extension it reflects off-chip
+	// traffic (misses), matching the memory roofline's slope.
+	AvgIntensity units.Intensity
+	// BusTimes holds T_Bus[j] for each bus when the interconnect
+	// extension is active (Equation 16); nil otherwise.
+	BusTimes []units.Seconds
+}
+
+// Model couples a SoC with the optional §V extensions. The zero extensions
+// give the base Gables model.
+type Model struct {
+	SoC *SoC
+	// SRAM, when non-nil, enables the §V-A memory-side
+	// scratchpad/cache extension.
+	SRAM *SRAM
+	// Buses, when non-empty, enables the §V-B interconnect extension.
+	Buses []Bus
+}
+
+// New returns a base-model evaluator for the SoC.
+func New(s *SoC) (*Model, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{SoC: s}, nil
+}
+
+// Evaluate computes the usecase's maximal attainable performance on the SoC
+// using the time-form equations (1–4 for two IPs, 9–11 for N IPs), extended
+// with Equation 15 when an SRAM is configured and Equations 16–17 when
+// buses are configured. Work at all IPs proceeds concurrently.
+func (m *Model) Evaluate(u *Usecase) (*Result, error) {
+	if err := m.validate(u); err != nil {
+		return nil, err
+	}
+	s := m.SoC
+	total := u.totalOps()
+
+	res := &Result{IPs: make([]IPBreakdown, len(s.IPs))}
+	var offChip float64 // ΣD'i in bytes
+	var iavgDen float64 // Σ fi/I'i for the off-chip Iavg
+	for i, ip := range s.IPs {
+		w := u.Work[i]
+		br := &res.IPs[i]
+		if w.Fraction == 0 {
+			continue
+		}
+		ops := w.Fraction * total
+		br.Compute = units.Seconds(ops / float64(ip.Peak(s.Peak)))
+		br.Data = units.Bytes(ops / float64(w.Intensity))
+		br.Transfer = units.Seconds(float64(br.Data) / float64(ip.Bandwidth))
+		br.Time = max(br.Transfer, br.Compute)
+		br.ComputeBound = br.Compute >= br.Transfer
+
+		miss := m.missRatio(i)
+		dPrime := float64(br.Data) * miss
+		offChip += dPrime
+		if dPrime > 0 {
+			iavgDen += dPrime / total
+		}
+	}
+
+	res.MemoryTraffic = units.Bytes(offChip)
+	res.MemoryTime = units.Seconds(offChip / float64(s.MemoryBandwidth))
+	if iavgDen > 0 {
+		res.AvgIntensity = units.Intensity(1 / iavgDen)
+	}
+
+	// Find the limiting component: the maximum time across IPs, the
+	// memory interface, and any buses.
+	limit := res.MemoryTime
+	res.Bottleneck = Component{Kind: "memory", Index: -1, Name: "DRAM"}
+	for i := range res.IPs {
+		if res.IPs[i].Time > limit {
+			limit = res.IPs[i].Time
+			res.Bottleneck = Component{Kind: "IP", Index: i, Name: s.IPs[i].Name}
+		}
+	}
+	if len(m.Buses) > 0 {
+		res.BusTimes = make([]units.Seconds, len(m.Buses))
+		for j, bus := range m.Buses {
+			var data float64
+			for i := range res.IPs {
+				if bus.uses(i) {
+					data += float64(res.IPs[i].Data) * m.busTrafficScale(i)
+				}
+			}
+			res.BusTimes[j] = units.Seconds(data / float64(bus.Bandwidth))
+			if res.BusTimes[j] > limit {
+				limit = res.BusTimes[j]
+				res.Bottleneck = Component{Kind: "bus", Index: j, Name: bus.Name}
+			}
+		}
+	}
+
+	res.Time = limit
+	if limit > 0 {
+		res.Attainable = units.OpsPerSec(total / float64(limit))
+	}
+	return res, nil
+}
+
+// EvaluateSerialized computes attainable performance under the §V-C
+// exclusive/serialized-work extension: only one IP is active at a time
+// (Amdahl/MultiAmdahl-style), each IP overlaps its own off-chip transfers
+// with its execution, and the usecase time is the *sum* of per-IP times
+// T'_IP[i] = max(Di/Bpeak, Di/Bi, Ci) (Equations 18–19). Tmemory is omitted
+// because each IP's off-chip transfer time is already included in its own
+// term. The SRAM extension composes: off-chip transfer uses D'i = mi·Di
+// while the IP link still carries the full Di.
+func (m *Model) EvaluateSerialized(u *Usecase) (*Result, error) {
+	if err := m.validate(u); err != nil {
+		return nil, err
+	}
+	s := m.SoC
+	total := u.totalOps()
+
+	res := &Result{IPs: make([]IPBreakdown, len(s.IPs))}
+	var sum units.Seconds
+	var offChip float64
+	slowest := -1
+	for i, ip := range s.IPs {
+		w := u.Work[i]
+		br := &res.IPs[i]
+		if w.Fraction == 0 {
+			continue
+		}
+		ops := w.Fraction * total
+		br.Compute = units.Seconds(ops / float64(ip.Peak(s.Peak)))
+		br.Data = units.Bytes(ops / float64(w.Intensity))
+		br.Transfer = units.Seconds(float64(br.Data) / float64(ip.Bandwidth))
+		dPrime := float64(br.Data) * m.missRatio(i)
+		offChipTime := units.Seconds(dPrime / float64(s.MemoryBandwidth))
+		br.Time = max(offChipTime, br.Transfer, br.Compute)
+		br.ComputeBound = br.Compute >= br.Transfer && br.Compute >= offChipTime
+		sum += br.Time
+		offChip += dPrime
+		if slowest < 0 || br.Time > res.IPs[slowest].Time {
+			slowest = i
+		}
+	}
+
+	res.MemoryTraffic = units.Bytes(offChip)
+	res.Time = sum
+	if sum > 0 {
+		res.Attainable = units.OpsPerSec(total / float64(sum))
+	}
+	if slowest >= 0 {
+		res.Bottleneck = Component{Kind: "IP", Index: slowest, Name: s.IPs[slowest].Name}
+	} else {
+		res.Bottleneck = Component{Kind: "memory", Index: -1, Name: "DRAM"}
+	}
+	if iavg, ok := u.AverageIntensity(); ok {
+		res.AvgIntensity = iavg
+	}
+	return res, nil
+}
+
+func (m *Model) validate(u *Usecase) error {
+	if err := m.SoC.Validate(); err != nil {
+		return err
+	}
+	if err := u.ValidateFor(m.SoC); err != nil {
+		return err
+	}
+	if m.SRAM != nil {
+		if err := m.SRAM.validateFor(m.SoC); err != nil {
+			return err
+		}
+	}
+	for j, bus := range m.Buses {
+		if err := bus.validateFor(m.SoC, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// evalPaper evaluates the §III-C example usecase against the paper SoC
+// with the given Bpeak and returns the result.
+func evalPaper(t *testing.T, bpeakGB, f, i0, i1 float64) *Result {
+	t.Helper()
+	s := paperSoC(t, bpeakGB)
+	m, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := TwoIPUsecase("case", f, units.Intensity(i0), units.Intensity(i1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFigure6Golden reproduces the appendix's exact worked numbers for
+// Figures 6a–6d. These are the paper's own oracle values.
+func TestFigure6Golden(t *testing.T) {
+	cases := []struct {
+		name       string
+		bpeak      float64
+		f, i0, i1  float64
+		wantGops   float64
+		bottleneck string
+	}{
+		// Fig 6a: Pattainable = MIN(40, –, 80) = 40 Gops/s, IP[0] limits.
+		{"6a", 10, 0, 8, 0.1, 40, "IP"},
+		// Fig 6b: MIN(160, 2, 1.3278) = 1.3278 Gops/s, memory limits.
+		{"6b", 10, 0.75, 8, 0.1, 10 / (0.25/8 + 0.75/0.1), "memory"},
+		// Fig 6c: MIN(160, 2, 3.983) = 2 Gops/s, IP[1] limits.
+		{"6c", 30, 0.75, 8, 0.1, 2, "IP"},
+		// Fig 6d: MIN(160, 160, 160) = 160 Gops/s, balanced.
+		{"6d", 20, 0.75, 8, 8, 160, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := evalPaper(t, c.bpeak, c.f, c.i0, c.i1)
+			if !units.ApproxEqual(res.Attainable.Gops(), c.wantGops, 1e-9) {
+				t.Errorf("Pattainable = %v Gops/s, want %v", res.Attainable.Gops(), c.wantGops)
+			}
+			if c.bottleneck != "" && res.Bottleneck.Kind != c.bottleneck {
+				t.Errorf("bottleneck = %v, want kind %q", res.Bottleneck, c.bottleneck)
+			}
+		})
+	}
+}
+
+// TestFigure6RoundedValues checks the numbers exactly as the paper rounds
+// them in the figure captions: 40, 1.3, 2 and 160 Gops/s.
+func TestFigure6RoundedValues(t *testing.T) {
+	if got := evalPaper(t, 10, 0, 8, 0.1).Attainable.Gops(); got != 40 {
+		t.Errorf("Fig 6a: %v, want 40", got)
+	}
+	if got := evalPaper(t, 10, 0.75, 8, 0.1).Attainable.Gops(); !units.ApproxEqual(got, 1.3278, 1e-3) {
+		t.Errorf("Fig 6b: %v, want ~1.3278 (paper: 1.3)", got)
+	}
+	if got := evalPaper(t, 30, 0.75, 8, 0.1).Attainable.Gops(); !units.ApproxEqual(got, 2, 1e-12) {
+		t.Errorf("Fig 6c: %v, want 2", got)
+	}
+	if got := evalPaper(t, 20, 0.75, 8, 8).Attainable.Gops(); !units.ApproxEqual(got, 160, 1e-12) {
+		t.Errorf("Fig 6d: %v, want 160", got)
+	}
+}
+
+func TestFigure6aBreakdown(t *testing.T) {
+	res := evalPaper(t, 10, 0, 8, 0.1)
+	// IP[0] does all the work: D0 = 1/8 byte per op of work; C0 = 1/40e9 s.
+	ip0 := res.IPs[0]
+	if !units.ApproxEqual(float64(ip0.Data), 1.0/8, 1e-12) {
+		t.Errorf("D0 = %v, want 0.125", float64(ip0.Data))
+	}
+	if !units.ApproxEqual(float64(ip0.Compute), 1.0/40e9, 1e-12) {
+		t.Errorf("C0 = %v, want 2.5e-11", float64(ip0.Compute))
+	}
+	// B0·I0 = 48 > Ppeak = 40, so IP[0] is compute bound.
+	if !ip0.ComputeBound {
+		t.Error("IP[0] must be compute bound at I0=8")
+	}
+	// IP[1] idle: zero breakdown.
+	ip1 := res.IPs[1]
+	if ip1.Time != 0 || ip1.Data != 0 || ip1.Compute != 0 {
+		t.Errorf("idle IP must have zero breakdown, got %+v", ip1)
+	}
+	// Memory traffic is D0 alone.
+	if !units.ApproxEqual(float64(res.MemoryTraffic), 1.0/8, 1e-12) {
+		t.Errorf("memory traffic = %v, want 0.125", float64(res.MemoryTraffic))
+	}
+	if res.AvgIntensity != 8 {
+		t.Errorf("Iavg = %v, want 8", float64(res.AvgIntensity))
+	}
+}
+
+func TestFigure6bBreakdown(t *testing.T) {
+	res := evalPaper(t, 10, 0.75, 8, 0.1)
+	// IP[1]: D1 = 0.75/0.1 = 7.5 bytes; transfer = 7.5/15e9 = 0.5e-9 s;
+	// compute = 0.75/200e9 = 3.75e-12 s → bandwidth bound.
+	ip1 := res.IPs[1]
+	if !units.ApproxEqual(float64(ip1.Data), 7.5, 1e-12) {
+		t.Errorf("D1 = %v, want 7.5", float64(ip1.Data))
+	}
+	if ip1.ComputeBound {
+		t.Error("IP[1] at I1=0.1 must be bandwidth bound")
+	}
+	// Tmemory = (0.03125 + 7.5) / 10e9.
+	wantTm := (0.25/8 + 0.75/0.1) / 10e9
+	if !units.ApproxEqual(float64(res.MemoryTime), wantTm, 1e-12) {
+		t.Errorf("Tmemory = %v, want %v", float64(res.MemoryTime), wantTm)
+	}
+	if res.Bottleneck.Kind != "memory" {
+		t.Errorf("bottleneck = %v, want memory", res.Bottleneck)
+	}
+}
+
+func TestTotalOpsScaling(t *testing.T) {
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	u, _ := TwoIPUsecase("unit", 0.75, 8, 0.1)
+
+	unit, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	u.TotalOps = 1e9 // a Gop of total work
+	scaled, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attainable performance is a rate: unchanged by the total.
+	if !units.ApproxEqual(float64(unit.Attainable), float64(scaled.Attainable), 1e-12) {
+		t.Errorf("Pattainable changed with TotalOps: %v vs %v",
+			float64(unit.Attainable), float64(scaled.Attainable))
+	}
+	// Time scales linearly.
+	if !units.ApproxEqual(float64(scaled.Time), 1e9*float64(unit.Time), 1e-12) {
+		t.Errorf("Time = %v, want %v", float64(scaled.Time), 1e9*float64(unit.Time))
+	}
+	// So does traffic.
+	if !units.ApproxEqual(float64(scaled.MemoryTraffic), 1e9*float64(unit.MemoryTraffic), 1e-12) {
+		t.Errorf("traffic = %v, want %v", float64(scaled.MemoryTraffic), 1e9*float64(unit.MemoryTraffic))
+	}
+}
+
+func TestEvaluateRejectsInvalid(t *testing.T) {
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	bad := &Usecase{Name: "bad", Work: []Work{{Fraction: 0.5, Intensity: 8}}}
+	if _, err := m.Evaluate(bad); err == nil {
+		t.Error("mismatched usecase must be rejected")
+	}
+	if _, err := m.EvaluateSerialized(bad); err == nil {
+		t.Error("mismatched usecase must be rejected by serialized evaluation")
+	}
+}
+
+func TestNewRejectsInvalidSoC(t *testing.T) {
+	if _, err := New(&SoC{}); err == nil {
+		t.Error("invalid SoC must be rejected")
+	}
+}
+
+// TestNIPThreeWay exercises the N-IP generalization with a CPU+GPU+DSP SoC
+// and hand-computed expectations.
+func TestNIPThreeWay(t *testing.T) {
+	s := &SoC{
+		Name:            "threeip",
+		Peak:            units.GopsPerSec(10),
+		MemoryBandwidth: units.GBPerSec(20),
+		IPs: []IP{
+			{Name: "CPU", Acceleration: 1, Bandwidth: units.GBPerSec(10)},
+			{Name: "GPU", Acceleration: 40, Bandwidth: units.GBPerSec(20)},
+			{Name: "DSP", Acceleration: 0.4, Bandwidth: units.GBPerSec(5)},
+		},
+	}
+	m, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := &Usecase{
+		Name: "mix",
+		Work: []Work{
+			{Fraction: 0.2, Intensity: 4},
+			{Fraction: 0.7, Intensity: 16},
+			{Fraction: 0.1, Intensity: 2},
+		},
+	}
+	res, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand computation (unit work):
+	// CPU: C = .2/10e9 = 2e-11; D = .2/4 = .05 B; X = .05/10e9 = 5e-12 → T = 2e-11
+	// GPU: C = .7/400e9 = 1.75e-12; D = .7/16 = .04375; X = .04375/20e9 = 2.1875e-12 → T = 2.1875e-12
+	// DSP: C = .1/4e9 = 2.5e-11; D = .1/2 = .05; X = .05/5e9 = 1e-11 → T = 2.5e-11
+	// Mem: (0.05+0.04375+0.05)/20e9 = 0.14375/20e9 = 7.1875e-12
+	// max = DSP 2.5e-11 → Pattainable = 40 Gops/s.
+	if !units.ApproxEqual(res.Attainable.Gops(), 40, 1e-9) {
+		t.Errorf("Pattainable = %v Gops/s, want 40", res.Attainable.Gops())
+	}
+	if res.Bottleneck.Kind != "IP" || res.Bottleneck.Index != 2 {
+		t.Errorf("bottleneck = %v, want IP[2] (DSP)", res.Bottleneck)
+	}
+	if !units.ApproxEqual(float64(res.MemoryTime), 0.14375/20e9, 1e-12) {
+		t.Errorf("Tmemory = %v, want %v", float64(res.MemoryTime), 0.14375/20e9)
+	}
+}
+
+func TestSingleIPReducesToRoofline(t *testing.T) {
+	// With one IP whose link bandwidth is not the constraint, Gables
+	// degenerates to the classic roofline min(Ppeak, Bpeak·I).
+	s := &SoC{
+		Name:            "solo",
+		Peak:            units.GopsPerSec(40),
+		MemoryBandwidth: units.GBPerSec(10),
+		IPs:             []IP{{Name: "CPU", Acceleration: 1, Bandwidth: units.GBPerSec(1000)}},
+	}
+	m, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []float64{0.01, 0.1, 1, 4, 8, 100} {
+		u := &Usecase{Name: "k", Work: []Work{{Fraction: 1, Intensity: units.Intensity(i)}}}
+		res, err := m.Evaluate(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := min(40.0, 10*i)
+		if !units.ApproxEqual(res.Attainable.Gops(), want, 1e-9) {
+			t.Errorf("I=%v: %v Gops/s, want %v", i, res.Attainable.Gops(), want)
+		}
+	}
+}

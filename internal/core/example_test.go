@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// ExampleModel_Evaluate reproduces the paper's Figure 6b: offloading 75%
+// of the work at poor reuse starves the chip on memory bandwidth.
+func ExampleModel_Evaluate() {
+	soc, _ := core.TwoIP("demo", units.GopsPerSec(40), units.GBPerSec(10), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	m, _ := core.New(soc)
+	u, _ := core.TwoIPUsecase("fig6b", 0.75, 8, 0.1)
+
+	res, _ := m.Evaluate(u)
+	fmt.Printf("%.4g Gops/s, bottleneck: %s\n", res.Attainable.Gops(), res.Bottleneck)
+	// Output: 1.328 Gops/s, bottleneck: memory interface
+}
+
+// ExampleModel_PerformanceForm shows the dual roofline-form terms of the
+// same usecase — the three numbers the appendix lists for Figure 6b.
+func ExampleModel_PerformanceForm() {
+	soc, _ := core.TwoIP("demo", units.GopsPerSec(40), units.GBPerSec(10), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	m, _ := core.New(soc)
+	u, _ := core.TwoIPUsecase("fig6b", 0.75, 8, 0.1)
+
+	terms, bound, _ := m.PerformanceForm(u)
+	for _, t := range terms {
+		fmt.Printf("%-16s %.4g Gops/s\n", t.Component, t.Perf.Gops())
+	}
+	fmt.Printf("Pattainable = %.4g Gops/s\n", bound.Gops())
+	// Output:
+	// IP[0] (IP[0])    160 Gops/s
+	// IP[1] (IP[1])    2 Gops/s
+	// memory interface 1.328 Gops/s
+	// Pattainable = 1.328 Gops/s
+}
+
+// ExampleModel_EvaluateSerialized contrasts the §V-C exclusive-work
+// extension with the base concurrent model on the balanced Figure 6d
+// design.
+func ExampleModel_EvaluateSerialized() {
+	soc, _ := core.TwoIP("demo", units.GopsPerSec(40), units.GBPerSec(20), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	m, _ := core.New(soc)
+	u, _ := core.TwoIPUsecase("fig6d", 0.75, 8, 8)
+
+	conc, _ := m.Evaluate(u)
+	ser, _ := m.EvaluateSerialized(u)
+	fmt.Printf("concurrent %.0f, serialized %.0f Gops/s\n",
+		conc.Attainable.Gops(), ser.Attainable.Gops())
+	// Output: concurrent 160, serialized 80 Gops/s
+}
+
+// ExampleSRAM shows the §V-A memory-side cache extension eliminating the
+// accelerator's DRAM traffic.
+func ExampleSRAM() {
+	soc, _ := core.TwoIP("demo", units.GopsPerSec(40), units.GBPerSec(10), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	m := &core.Model{SoC: soc, SRAM: &core.SRAM{
+		Name:      "system cache",
+		MissRatio: []float64{1, 0}, // perfect reuse for IP[1]
+	}}
+	u, _ := core.TwoIPUsecase("fig6b+sram", 0.75, 8, 0.1)
+
+	res, _ := m.Evaluate(u)
+	fmt.Printf("%.4g Gops/s, bottleneck: %s\n", res.Attainable.Gops(), res.Bottleneck)
+	// Output: 2 Gops/s, bottleneck: IP[1] (IP[1])
+}
+
+// ExampleUsecase_AverageIntensity computes the weighted harmonic mean the
+// memory roofline slides along.
+func ExampleUsecase_AverageIntensity() {
+	u, _ := core.TwoIPUsecase("fig6b", 0.75, 8, 0.1)
+	iavg, _ := u.AverageIntensity()
+	fmt.Printf("Iavg = %.5f ops/byte\n", float64(iavg))
+	// Output: Iavg = 0.13278 ops/byte
+}

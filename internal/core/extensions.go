@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// SRAM is the §V-A memory-side memory/scratchpad/cache extension
+// (Figure 10). Shared on-chip (or on-package) memory buffers inter-IP
+// communication so that IP[i]'s references go off-chip to DRAM only with
+// probability mi (its miss ratio) and are reused from the new memory with
+// probability 1−mi. Good reuse has mi ≪ 1. The values of mi depend on both
+// the SoC (memory size) and the usecase (reuse pattern), so they are model
+// inputs rather than derived quantities.
+type SRAM struct {
+	// Name labels the structure, e.g. "system cache" or "HBM".
+	Name string
+	// MissRatio holds mi per IP, index-aligned with SoC.IPs. Each must
+	// lie in [0, 1].
+	MissRatio []float64
+	// FiltersBusTraffic selects where the structure sits relative to the
+	// §V-B buses. The paper's placement is memory-side — behind the
+	// interconnect, directly filtering the DRAM interface — so buses
+	// still carry the full Di (false, the default). Setting it true
+	// models a fabric-level cache on the IP side of the buses, so buses
+	// carry only the miss traffic mi·Di. Used by ablation studies.
+	FiltersBusTraffic bool
+}
+
+func (sr *SRAM) validateFor(s *SoC) error {
+	if len(sr.MissRatio) != len(s.IPs) {
+		return fmt.Errorf("gables: SRAM %q has %d miss ratios for SoC %q with %d IPs",
+			sr.Name, len(sr.MissRatio), s.Name, len(s.IPs))
+	}
+	for i, mi := range sr.MissRatio {
+		if mi < 0 || mi > 1 {
+			return fmt.Errorf("gables: SRAM %q: miss ratio m[%d] must be in [0,1], got %v", sr.Name, i, mi)
+		}
+	}
+	return nil
+}
+
+// missRatio returns the fraction of IP i's data that reaches DRAM: mi under
+// the SRAM extension, 1 in the base model.
+func (m *Model) missRatio(i int) float64 {
+	if m.SRAM == nil {
+		return 1
+	}
+	return m.SRAM.MissRatio[i]
+}
+
+// busTrafficScale returns the fraction of IP i's data Di that crosses the
+// buses: 1 in the base model and with the paper's memory-side SRAM
+// placement, or mi when the SRAM is configured to filter bus traffic.
+func (m *Model) busTrafficScale(i int) float64 {
+	if m.SRAM != nil && m.SRAM.FiltersBusTraffic {
+		return m.SRAM.MissRatio[i]
+	}
+	return 1
+}
+
+// Bus is one interconnection network of the §V-B extension (Figure 11):
+// some topology of Q buses, each contributing the diagonal part of a
+// roofline — a pure bandwidth bound with no computational limit. Buses
+// operate concurrently with each other, the IPs, and the memory interface.
+// The data that flows over Bus[j] is determined by the Use(i,j) incidence:
+// each IP has one bus path to/from memory.
+type Bus struct {
+	// Name labels the fabric, e.g. "multimedia fabric".
+	Name string
+	// Bandwidth is B_Bus[j] in bytes/s.
+	Bandwidth units.BytesPerSec
+	// Users lists the IP indices whose memory path crosses this bus
+	// (the paper's Use(i,j) = 1 entries).
+	Users []int
+}
+
+func (b Bus) uses(i int) bool {
+	for _, u := range b.Users {
+		if u == i {
+			return true
+		}
+	}
+	return false
+}
+
+func (b Bus) validateFor(s *SoC, j int) error {
+	if b.Bandwidth <= 0 {
+		return fmt.Errorf("gables: bus[%d] %q: bandwidth must be positive, got %v", j, b.Name, float64(b.Bandwidth))
+	}
+	seen := make(map[int]bool, len(b.Users))
+	for _, u := range b.Users {
+		if u < 0 || u >= len(s.IPs) {
+			return fmt.Errorf("gables: bus[%d] %q: user index %d out of range [0,%d)", j, b.Name, u, len(s.IPs))
+		}
+		if seen[u] {
+			return fmt.Errorf("gables: bus[%d] %q: duplicate user index %d", j, b.Name, u)
+		}
+		seen[u] = true
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+func TestSRAMExtension(t *testing.T) {
+	// Fig 6b's memory-bound case: perfect reuse at IP[1] (m1 = 0) removes
+	// the GPU's DRAM traffic, so only IP[0]'s D0 hits DRAM.
+	s := paperSoC(t, 10)
+	m := &Model{SoC: s, SRAM: &SRAM{Name: "syscache", MissRatio: []float64{1, 0}}}
+	u, _ := TwoIPUsecase("6b+sram", 0.75, 8, 0.1)
+
+	res, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-chip traffic is D'0 = 0.25/8 = 0.03125 bytes.
+	if !units.ApproxEqual(float64(res.MemoryTraffic), 0.03125, 1e-12) {
+		t.Errorf("off-chip traffic = %v, want 0.03125", float64(res.MemoryTraffic))
+	}
+	// Tmemory = 0.03125/10e9 = 3.125e-12 s; IP[1] transfer is now the
+	// limit: D1/B1 = 7.5/15e9 = 5e-10 s → Pattainable = 2 Gops/s.
+	if !units.ApproxEqual(res.Attainable.Gops(), 2, 1e-9) {
+		t.Errorf("Pattainable = %v Gops/s, want 2", res.Attainable.Gops())
+	}
+	if res.Bottleneck.Kind != "IP" || res.Bottleneck.Index != 1 {
+		t.Errorf("bottleneck = %v, want IP[1]", res.Bottleneck)
+	}
+}
+
+func TestSRAMAllMissEqualsBase(t *testing.T) {
+	s := paperSoC(t, 10)
+	base := &Model{SoC: s}
+	sram := &Model{SoC: s, SRAM: &SRAM{Name: "useless", MissRatio: []float64{1, 1}}}
+	u, _ := TwoIPUsecase("u", 0.75, 8, 0.1)
+
+	a, err := base.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sram.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Attainable != b.Attainable || a.MemoryTime != b.MemoryTime {
+		t.Errorf("all-miss SRAM must equal the base model: %v vs %v",
+			float64(a.Attainable), float64(b.Attainable))
+	}
+}
+
+func TestSRAMValidation(t *testing.T) {
+	s := paperSoC(t, 10)
+	u, _ := TwoIPUsecase("u", 0.5, 8, 8)
+
+	m := &Model{SoC: s, SRAM: &SRAM{MissRatio: []float64{0.5}}}
+	if _, err := m.Evaluate(u); err == nil {
+		t.Error("wrong miss-ratio count must be rejected")
+	}
+	m = &Model{SoC: s, SRAM: &SRAM{MissRatio: []float64{0.5, 1.5}}}
+	if _, err := m.Evaluate(u); err == nil {
+		t.Error("miss ratio > 1 must be rejected")
+	}
+	m = &Model{SoC: s, SRAM: &SRAM{MissRatio: []float64{-0.1, 0.5}}}
+	if _, err := m.Evaluate(u); err == nil {
+		t.Error("negative miss ratio must be rejected")
+	}
+}
+
+func TestBusExtension(t *testing.T) {
+	// Paper Fig 11 shape: IP[0] and IP[1] on bus[0]/bus[1], both feeding
+	// bus[2] to memory. A narrow shared bus becomes the bottleneck.
+	s := paperSoC(t, 20)
+	m := &Model{
+		SoC: s,
+		Buses: []Bus{
+			{Name: "cpu-fabric", Bandwidth: units.GBPerSec(6), Users: []int{0}},
+			{Name: "mm-fabric", Bandwidth: units.GBPerSec(15), Users: []int{1}},
+			{Name: "system-fabric", Bandwidth: units.GBPerSec(8), Users: []int{0, 1}},
+		},
+	}
+	u, _ := TwoIPUsecase("6d", 0.75, 8, 8)
+
+	res, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without buses (Fig 6d with Bpeak=20) everything balanced at 160.
+	// The shared 8 GB/s system fabric carries D0+D1 = 1/8 bytes at
+	// 8e9 B/s → 15.625e-12 s → bound 64 Gops/s.
+	if res.Bottleneck.Kind != "bus" || res.Bottleneck.Index != 2 {
+		t.Errorf("bottleneck = %v, want bus[2]", res.Bottleneck)
+	}
+	if !units.ApproxEqual(res.Attainable.Gops(), 64, 1e-9) {
+		t.Errorf("Pattainable = %v Gops/s, want 64", res.Attainable.Gops())
+	}
+	if len(res.BusTimes) != 3 {
+		t.Fatalf("BusTimes len = %d, want 3", len(res.BusTimes))
+	}
+	// Per-bus times: bus0 carries D0 = 0.03125 B at 6 GB/s; bus1 D1 =
+	// 0.09375 at 15 GB/s; bus2 0.125 at 8 GB/s.
+	wants := []float64{0.03125 / 6e9, 0.09375 / 15e9, 0.125 / 8e9}
+	for j, want := range wants {
+		if !units.ApproxEqual(float64(res.BusTimes[j]), want, 1e-12) {
+			t.Errorf("T_Bus[%d] = %v, want %v", j, float64(res.BusTimes[j]), want)
+		}
+	}
+}
+
+func TestBusWideEnoughMatchesBase(t *testing.T) {
+	s := paperSoC(t, 10)
+	u, _ := TwoIPUsecase("u", 0.75, 8, 0.1)
+	base := &Model{SoC: s}
+	wide := &Model{SoC: s, Buses: []Bus{{Name: "wide", Bandwidth: units.GBPerSec(10000), Users: []int{0, 1}}}}
+
+	a, _ := base.Evaluate(u)
+	b, err := wide.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(float64(a.Attainable), float64(b.Attainable), 1e-12) {
+		t.Errorf("ample bus must not change the bound: %v vs %v",
+			float64(a.Attainable), float64(b.Attainable))
+	}
+}
+
+func TestBusValidation(t *testing.T) {
+	s := paperSoC(t, 10)
+	u, _ := TwoIPUsecase("u", 0.5, 8, 8)
+
+	m := &Model{SoC: s, Buses: []Bus{{Name: "b", Bandwidth: 0, Users: []int{0}}}}
+	if _, err := m.Evaluate(u); err == nil {
+		t.Error("zero bus bandwidth must be rejected")
+	}
+	m = &Model{SoC: s, Buses: []Bus{{Name: "b", Bandwidth: units.GBPerSec(5), Users: []int{7}}}}
+	if _, err := m.Evaluate(u); err == nil {
+		t.Error("out-of-range bus user must be rejected")
+	}
+	m = &Model{SoC: s, Buses: []Bus{{Name: "b", Bandwidth: units.GBPerSec(5), Users: []int{0, 0}}}}
+	if _, err := m.Evaluate(u); err == nil {
+		t.Error("duplicate bus user must be rejected")
+	}
+}
+
+func TestSRAMFiltersBusTraffic(t *testing.T) {
+	s := paperSoC(t, 10)
+	u, _ := TwoIPUsecase("u", 0.75, 8, 0.1)
+	bus := Bus{Name: "shared", Bandwidth: units.GBPerSec(2), Users: []int{0, 1}}
+
+	memorySide := &Model{SoC: s, Buses: []Bus{bus},
+		SRAM: &SRAM{MissRatio: []float64{1, 0}}}
+	fabricSide := &Model{SoC: s, Buses: []Bus{bus},
+		SRAM: &SRAM{MissRatio: []float64{1, 0}, FiltersBusTraffic: true}}
+
+	a, err := memorySide.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fabricSide.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory-side placement: bus still carries D0+D1 = 7.53125 bytes.
+	wantA := (0.25/8 + 0.75/0.1) / 2e9
+	if !units.ApproxEqual(float64(a.BusTimes[0]), wantA, 1e-12) {
+		t.Errorf("memory-side bus time = %v, want %v", float64(a.BusTimes[0]), wantA)
+	}
+	// Fabric-side placement: bus carries only D0 (GPU traffic hits the cache).
+	wantB := (0.25 / 8) / 2e9
+	if !units.ApproxEqual(float64(b.BusTimes[0]), wantB, 1e-12) {
+		t.Errorf("fabric-side bus time = %v, want %v", float64(b.BusTimes[0]), wantB)
+	}
+	if b.Attainable <= a.Attainable {
+		t.Error("filtering bus traffic must improve a bus-bound usecase")
+	}
+}
+
+func TestSerializedWork(t *testing.T) {
+	// §V-C: serialized work sums per-IP times, each including off-chip
+	// transfer. Fig 6d parameters: per unit work,
+	// IP[0]: max(D0/Bpeak, D0/B0, C0) with D0 = 0.03125 B:
+	//   0.03125/20e9 = 1.5625e-12, 0.03125/6e9 = 5.208e-12, 0.25/40e9 = 6.25e-12 → 6.25e-12
+	// IP[1]: D1 = 0.09375: /20e9 = 4.6875e-12, /15e9 = 6.25e-12, C1 = 0.75/200e9 = 3.75e-12 → 6.25e-12
+	// Sum = 1.25e-11 → Pattainable = 80 Gops/s (half the concurrent 160).
+	s := paperSoC(t, 20)
+	m, _ := New(s)
+	u, _ := TwoIPUsecase("6d-serial", 0.75, 8, 8)
+
+	res, err := m.EvaluateSerialized(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(res.Attainable.Gops(), 80, 1e-9) {
+		t.Errorf("serialized Pattainable = %v Gops/s, want 80", res.Attainable.Gops())
+	}
+}
+
+func TestSerializedNeverBeatsConcurrent(t *testing.T) {
+	// Concurrency can only help: for any usecase, serialized time ≥
+	// concurrent time (the sum of maxima dominates the max).
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	for _, f := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for _, i1 := range []float64{0.1, 1, 8, 64} {
+			u, _ := TwoIPUsecase("u", f, 8, units.Intensity(i1))
+			conc, err := m.Evaluate(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ser, err := m.EvaluateSerialized(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(ser.Attainable) > float64(conc.Attainable)*(1+1e-12) {
+				t.Errorf("f=%v I1=%v: serialized %v > concurrent %v",
+					f, i1, float64(ser.Attainable), float64(conc.Attainable))
+			}
+		}
+	}
+}
+
+func TestSerializedSingleIPEqualsConcurrent(t *testing.T) {
+	// With all work on one IP and that IP's off-chip path the only
+	// traffic, serial and concurrent agree when the IP is compute bound
+	// and differ only via the off-chip term otherwise.
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	u, _ := TwoIPUsecase("u", 0, 8, 8) // all work at IP[0], compute bound
+	conc, _ := m.Evaluate(u)
+	ser, err := m.EvaluateSerialized(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(float64(conc.Attainable), float64(ser.Attainable), 1e-12) {
+		t.Errorf("single-IP compute-bound case must agree: %v vs %v",
+			float64(conc.Attainable), float64(ser.Attainable))
+	}
+}
+
+func TestSerializedWithSRAM(t *testing.T) {
+	// Perfect reuse for IP[1] removes its off-chip term; with Fig 6b
+	// parameters IP[1] is still link-bound (D1/B1 = 5e-10 s).
+	s := paperSoC(t, 10)
+	m := &Model{SoC: s, SRAM: &SRAM{MissRatio: []float64{1, 0}}}
+	u, _ := TwoIPUsecase("u", 1, 8, 0.1) // all work at IP[1]
+	res, err := m.EvaluateSerialized(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T = max(0, 10/0.1/... ) per unit work: D1 = 10 B? No: f=1, I=0.1
+	// → D1 = 10 bytes... 1/0.1 = 10; transfer = 10/15e9; off-chip 0;
+	// compute = 1/200e9. Transfer dominates → P = 1.5 Gops/s.
+	if !units.ApproxEqual(res.Attainable.Gops(), 1.5, 1e-9) {
+		t.Errorf("Pattainable = %v Gops/s, want 1.5", res.Attainable.Gops())
+	}
+	if res.MemoryTraffic != 0 {
+		t.Errorf("perfect reuse must eliminate off-chip traffic, got %v", float64(res.MemoryTraffic))
+	}
+}

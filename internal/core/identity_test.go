@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/gables-model/gables/internal/bottleneck"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// TestGablesIsBottleneckAnalysisProperty pins the §VI claim that Gables is
+// a special case of bottleneck analysis: building a DemandSystem whose
+// stations are each IP's time and the memory interface's time reproduces
+// Pattainable and the bottleneck exactly.
+func TestGablesIsBottleneckAnalysisProperty(t *testing.T) {
+	f := func(sd scenarioSeed) bool {
+		m, u, ok := sd.build()
+		if !ok {
+			return true
+		}
+		res, err := m.Evaluate(u)
+		if err != nil {
+			return false
+		}
+
+		var d bottleneck.DemandSystem
+		for i := range res.IPs {
+			if err := d.AddStation(fmt.Sprintf("IP[%d]", i), float64(res.IPs[i].Time)); err != nil {
+				return false
+			}
+		}
+		if err := d.AddStation("memory", float64(res.MemoryTime)); err != nil {
+			return false
+		}
+		tp, err := d.Throughput()
+		if err != nil {
+			return false
+		}
+		if !units.ApproxEqual(tp, float64(res.Attainable), 1e-12) {
+			return false
+		}
+		crit, err := d.Critical()
+		if err != nil {
+			return false
+		}
+		switch res.Bottleneck.Kind {
+		case "memory":
+			return crit == "memory"
+		default:
+			return crit == fmt.Sprintf("IP[%d]", res.Bottleneck.Index)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRooflineIsGablesSpecialCase pins the other direction: a one-IP SoC
+// with an ample link is exactly the classic roofline, term by term.
+func TestRooflineIsGablesSpecialCase(t *testing.T) {
+	f := func(peakSeed, bwSeed uint8, iSeed uint16) bool {
+		ppeak := units.OpsPerSec(1e9 * (1 + float64(peakSeed)))
+		bpeak := units.BytesPerSec(1e9 * (1 + float64(bwSeed)))
+		i := units.Intensity(0.01 + float64(iSeed)/100)
+
+		s := &SoC{
+			Name: "solo", Peak: ppeak, MemoryBandwidth: bpeak,
+			IPs: []IP{{Name: "only", Acceleration: 1, Bandwidth: units.BytesPerSec(1e15)}},
+		}
+		m, err := New(s)
+		if err != nil {
+			return false
+		}
+		u := &Usecase{Name: "k", Work: []Work{{Fraction: 1, Intensity: i}}}
+		res, err := m.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		classic := min(float64(ppeak), float64(bpeak)*float64(i))
+		return units.ApproxEqual(float64(res.Attainable), classic, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

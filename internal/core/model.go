@@ -1,0 +1,219 @@
+// Package core implements the Gables performance model of Hill and Reddi
+// (HPCA 2019): a generalization of Roofline bottleneck analysis to a mobile
+// system-on-chip with N IP blocks that operate concurrently and share
+// off-chip memory bandwidth.
+//
+// Hardware is modeled by a roofline for each IP — peak computation
+// performance Ai·Ppeak and link bandwidth Bi — plus the SoC's shared
+// off-chip memory bandwidth Bpeak. A workload "usecase" apportions
+// concurrent work fractions fi with per-IP operational intensities Ii.
+// The model computes the usecase's maximal attainable performance and
+// identifies the bottleneck component.
+//
+// The package implements both dual formulations from the paper — the time
+// form (Equations 1–4 and 9–11) and the performance/roofline form
+// (Equations 5–8 and 12–14) — together with the three extensions of §V:
+// a memory-side SRAM/scratchpad/cache, detailed on-chip interconnect
+// topologies, and exclusive/serialized work.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// FractionTolerance is how far the work fractions of a usecase may deviate
+// from summing to exactly 1 before validation rejects them. It absorbs
+// accumulated floating-point error from sweep generators that divide an
+// interval into steps.
+const FractionTolerance = 1e-9
+
+// IP describes the hardware of one IP block (CPU complex, GPU, DSP, ISP,
+// video codec, ...) as the base Gables model sees it: a roofline.
+type IP struct {
+	// Name labels the block, e.g. "CPU", "GPU", "DSP".
+	Name string
+	// Acceleration is the paper's Ai: the block's peak computation
+	// performance expressed as a multiple of the SoC's reference Ppeak.
+	// The model requires A0 = 1 for IP[0] (the CPU complex).
+	Acceleration float64
+	// Bandwidth is the paper's Bi: peak bandwidth in and out of the IP
+	// to the on-chip interconnect.
+	Bandwidth units.BytesPerSec
+}
+
+// Peak returns the IP's peak computation performance Ai·Ppeak given the
+// SoC's reference peak.
+func (ip IP) Peak(ppeak units.OpsPerSec) units.OpsPerSec {
+	return units.OpsPerSec(ip.Acceleration * float64(ppeak))
+}
+
+// SoC is the hardware side of the base Gables model (the paper's Figure 5):
+// N IP blocks that can operate in parallel with each other and with memory
+// transfers, sharing bandwidth Bpeak to off-chip DRAM. All substantial
+// inter-IP communication is assumed to occur via DRAM.
+type SoC struct {
+	// Name labels the chip.
+	Name string
+	// Peak is the paper's Ppeak: the reference peak computation
+	// performance of IP[0], the CPU complex.
+	Peak units.OpsPerSec
+	// MemoryBandwidth is the paper's Bpeak: peak off-chip bandwidth.
+	MemoryBandwidth units.BytesPerSec
+	// IPs lists the blocks; IPs[0] must have Acceleration 1.
+	IPs []IP
+}
+
+// Validate checks the structural invariants the model assumes. It returns
+// nil when the SoC is well formed.
+func (s *SoC) Validate() error {
+	if s.Peak <= 0 {
+		return fmt.Errorf("gables: SoC %q: Ppeak must be positive, got %v", s.Name, float64(s.Peak))
+	}
+	if s.MemoryBandwidth <= 0 {
+		return fmt.Errorf("gables: SoC %q: Bpeak must be positive, got %v", s.Name, float64(s.MemoryBandwidth))
+	}
+	if len(s.IPs) == 0 {
+		return fmt.Errorf("gables: SoC %q: needs at least one IP", s.Name)
+	}
+	if s.IPs[0].Acceleration != 1 {
+		return fmt.Errorf("gables: SoC %q: IP[0] (%s) must have acceleration A0 = 1, got %v",
+			s.Name, s.IPs[0].Name, s.IPs[0].Acceleration)
+	}
+	for i, ip := range s.IPs {
+		if ip.Acceleration <= 0 {
+			return fmt.Errorf("gables: SoC %q: IP[%d] (%s): acceleration must be positive, got %v",
+				s.Name, i, ip.Name, ip.Acceleration)
+		}
+		if ip.Bandwidth <= 0 {
+			return fmt.Errorf("gables: SoC %q: IP[%d] (%s): bandwidth must be positive, got %v",
+				s.Name, i, ip.Name, float64(ip.Bandwidth))
+		}
+	}
+	return nil
+}
+
+// Work is a usecase's assignment to one IP: a non-negative fraction of the
+// total work executed at the IP's operational intensity.
+type Work struct {
+	// Fraction is the paper's fi, in [0, 1]. The fractions across all
+	// IPs must sum to 1.
+	Fraction float64
+	// Intensity is the paper's Ii in ops/byte. It must be positive
+	// whenever Fraction is positive; it is ignored when Fraction is 0.
+	Intensity units.Intensity
+}
+
+// Usecase is the software side of the model: concurrent work apportioned
+// among the SoC's IPs (the paper's §II-B observation that camera and
+// streaming usecases exercise many IPs simultaneously).
+type Usecase struct {
+	// Name labels the usecase, e.g. "HDR+" or "Videocapture (HFR)".
+	Name string
+	// Work holds one entry per SoC IP, index-aligned with SoC.IPs.
+	Work []Work
+	// TotalOps optionally scales the result: the total amount of work in
+	// operations. Zero means the conventional normalization to 1 op, in
+	// which case attainable "performance" is the paper's upper bound in
+	// ops/s for unit work.
+	TotalOps units.Ops
+}
+
+// ValidateFor checks the usecase against a SoC: entry count matches,
+// fractions are non-negative and sum to 1, and every active IP has a
+// positive intensity.
+func (u *Usecase) ValidateFor(s *SoC) error {
+	if len(u.Work) != len(s.IPs) {
+		return fmt.Errorf("gables: usecase %q has %d work entries for SoC %q with %d IPs",
+			u.Name, len(u.Work), s.Name, len(s.IPs))
+	}
+	if u.TotalOps < 0 {
+		return fmt.Errorf("gables: usecase %q: TotalOps must be non-negative, got %v", u.Name, float64(u.TotalOps))
+	}
+	sum := 0.0
+	for i, w := range u.Work {
+		if w.Fraction < 0 || math.IsNaN(w.Fraction) {
+			return fmt.Errorf("gables: usecase %q: f[%d] must be non-negative, got %v", u.Name, i, w.Fraction)
+		}
+		if w.Fraction > 0 && w.Intensity <= 0 {
+			return fmt.Errorf("gables: usecase %q: IP[%d] (%s) has work f=%v but non-positive intensity %v",
+				u.Name, i, s.IPs[i].Name, w.Fraction, float64(w.Intensity))
+		}
+		sum += w.Fraction
+	}
+	if math.Abs(sum-1) > FractionTolerance {
+		return fmt.Errorf("gables: usecase %q: work fractions sum to %v, want 1", u.Name, sum)
+	}
+	return nil
+}
+
+// totalOps returns the work normalization: 1 op unless the usecase says
+// otherwise.
+func (u *Usecase) totalOps() float64 {
+	if u.TotalOps > 0 {
+		return float64(u.TotalOps)
+	}
+	return 1
+}
+
+// TotalOpsOrUnit returns the usecase's total work in operations, applying
+// the conventional unit-work normalization when TotalOps is unset. It is
+// the divisor that converts a Result's absolute quantities (bytes, time)
+// into per-operation figures.
+func (u *Usecase) TotalOpsOrUnit() float64 { return u.totalOps() }
+
+// AverageIntensity returns the paper's Iavg: the harmonic mean of the
+// per-IP intensities weighted by fraction of work,
+// Iavg = 1 / Σ(fi/Ii). IPs with fi = 0 contribute nothing.
+// The second return value is false when no IP has work (undefined mean).
+func (u *Usecase) AverageIntensity() (units.Intensity, bool) {
+	den := 0.0
+	any := false
+	for _, w := range u.Work {
+		if w.Fraction == 0 {
+			continue
+		}
+		any = true
+		den += w.Fraction / float64(w.Intensity)
+	}
+	if !any || den == 0 {
+		return 0, false
+	}
+	return units.Intensity(1 / den), true
+}
+
+// TwoIP constructs the paper's §III-B two-IP SoC primer: IP[0] is the CPU
+// complex with peak Ppeak and bandwidth b0; IP[1] is an accelerator with
+// peak a·Ppeak and bandwidth b1.
+func TwoIP(name string, ppeak units.OpsPerSec, bpeak units.BytesPerSec, a float64, b0, b1 units.BytesPerSec) (*SoC, error) {
+	s := &SoC{
+		Name:            name,
+		Peak:            ppeak,
+		MemoryBandwidth: bpeak,
+		IPs: []IP{
+			{Name: "IP[0]", Acceleration: 1, Bandwidth: b0},
+			{Name: "IP[1]", Acceleration: a, Bandwidth: b1},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// TwoIPUsecase builds the matching usecase: (1-f) work at IP[0] with
+// intensity i0 and f work at IP[1] with intensity i1, 0 ≤ f ≤ 1.
+func TwoIPUsecase(name string, f float64, i0, i1 units.Intensity) (*Usecase, error) {
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return nil, fmt.Errorf("gables: two-IP usecase %q: f must be in [0,1], got %v", name, f)
+	}
+	return &Usecase{
+		Name: name,
+		Work: []Work{
+			{Fraction: 1 - f, Intensity: i0},
+			{Fraction: f, Intensity: i1},
+		},
+	}, nil
+}

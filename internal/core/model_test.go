@@ -1,0 +1,196 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// paperSoC returns the two-IP SoC of §III-C / the appendix:
+// Ppeak = 40 Gops/s, A1 = 5, B0 = 6 GB/s, B1 = 15 GB/s.
+func paperSoC(t *testing.T, bpeakGB float64) *SoC {
+	t.Helper()
+	s, err := TwoIP("paper", units.GopsPerSec(40), units.GBPerSec(bpeakGB), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	if err != nil {
+		t.Fatalf("TwoIP: %v", err)
+	}
+	return s
+}
+
+func TestSoCValidate(t *testing.T) {
+	valid := func() *SoC {
+		return &SoC{
+			Name:            "s",
+			Peak:            units.GopsPerSec(40),
+			MemoryBandwidth: units.GBPerSec(10),
+			IPs: []IP{
+				{Name: "CPU", Acceleration: 1, Bandwidth: units.GBPerSec(6)},
+				{Name: "GPU", Acceleration: 5, Bandwidth: units.GBPerSec(15)},
+			},
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid SoC rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*SoC)
+		substr string
+	}{
+		{"zero peak", func(s *SoC) { s.Peak = 0 }, "Ppeak"},
+		{"zero bpeak", func(s *SoC) { s.MemoryBandwidth = 0 }, "Bpeak"},
+		{"no IPs", func(s *SoC) { s.IPs = nil }, "at least one IP"},
+		{"A0 != 1", func(s *SoC) { s.IPs[0].Acceleration = 2 }, "A0 = 1"},
+		{"negative accel", func(s *SoC) { s.IPs[1].Acceleration = -5 }, "acceleration"},
+		{"zero IP bandwidth", func(s *SoC) { s.IPs[1].Bandwidth = 0 }, "bandwidth"},
+	}
+	for _, c := range cases {
+		s := valid()
+		c.mutate(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.substr)
+		}
+	}
+}
+
+func TestUsecaseValidate(t *testing.T) {
+	s := paperSoC(t, 10)
+	valid := func() *Usecase {
+		return &Usecase{
+			Name: "u",
+			Work: []Work{
+				{Fraction: 0.25, Intensity: 8},
+				{Fraction: 0.75, Intensity: 0.1},
+			},
+		}
+	}
+	if err := valid().ValidateFor(s); err != nil {
+		t.Fatalf("valid usecase rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Usecase)
+	}{
+		{"wrong entry count", func(u *Usecase) { u.Work = u.Work[:1] }},
+		{"negative fraction", func(u *Usecase) { u.Work[0].Fraction = -0.1 }},
+		{"fractions not summing to 1", func(u *Usecase) { u.Work[0].Fraction = 0.5 }},
+		{"active IP with zero intensity", func(u *Usecase) { u.Work[1].Intensity = 0 }},
+		{"negative total ops", func(u *Usecase) { u.TotalOps = -1 }},
+	}
+	for _, c := range cases {
+		u := valid()
+		c.mutate(u)
+		if err := u.ValidateFor(s); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestUsecaseZeroFractionNeedsNoIntensity(t *testing.T) {
+	s := paperSoC(t, 10)
+	u := &Usecase{
+		Name: "f0",
+		Work: []Work{
+			{Fraction: 1, Intensity: 8},
+			{Fraction: 0, Intensity: 0}, // unused IP: intensity irrelevant
+		},
+	}
+	if err := u.ValidateFor(s); err != nil {
+		t.Errorf("unused IP with zero intensity must be allowed: %v", err)
+	}
+}
+
+func TestFractionTolerance(t *testing.T) {
+	s := paperSoC(t, 10)
+	// A sweep generator producing 1/3 + 1/3 + 1/3 accumulates error
+	// within FractionTolerance and must be accepted. Two-IP case:
+	third := 1.0 / 3.0
+	u := &Usecase{
+		Name: "tol",
+		Work: []Work{
+			{Fraction: third + third, Intensity: 8},
+			{Fraction: third, Intensity: 8},
+		},
+	}
+	if err := u.ValidateFor(s); err != nil {
+		t.Errorf("fractions within tolerance rejected: %v", err)
+	}
+}
+
+func TestTwoIPUsecaseValidation(t *testing.T) {
+	if _, err := TwoIPUsecase("bad", -0.1, 8, 8); err == nil {
+		t.Error("f < 0 must be rejected")
+	}
+	if _, err := TwoIPUsecase("bad", 1.1, 8, 8); err == nil {
+		t.Error("f > 1 must be rejected")
+	}
+	u, err := TwoIPUsecase("ok", 0.75, 8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Work[0].Fraction != 0.25 || u.Work[1].Fraction != 0.75 {
+		t.Errorf("fractions = %v, %v; want 0.25, 0.75", u.Work[0].Fraction, u.Work[1].Fraction)
+	}
+}
+
+func TestAverageIntensity(t *testing.T) {
+	// The appendix's Figure 6b value: Iavg = 1/[(0.25/8) + (0.75/0.1)]
+	// = 0.13278...
+	u, err := TwoIPUsecase("6b", 0.75, 8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iavg, ok := u.AverageIntensity()
+	if !ok {
+		t.Fatal("Iavg undefined for an active usecase")
+	}
+	want := 1 / (0.25/8 + 0.75/0.1)
+	if !units.ApproxEqual(float64(iavg), want, 1e-12) {
+		t.Errorf("Iavg = %v, want %v", float64(iavg), want)
+	}
+
+	// With all work on one IP, Iavg is that IP's intensity.
+	u0, _ := TwoIPUsecase("6a", 0, 8, 0.1)
+	iavg, ok = u0.AverageIntensity()
+	if !ok || iavg != 8 {
+		t.Errorf("Iavg for f=0 = %v (ok=%v), want 8", float64(iavg), ok)
+	}
+
+	// No active work: undefined.
+	empty := &Usecase{Work: []Work{{}, {}}}
+	if _, ok := empty.AverageIntensity(); ok {
+		t.Error("Iavg must be undefined with no work")
+	}
+}
+
+func TestIPPeak(t *testing.T) {
+	ip := IP{Name: "GPU", Acceleration: 5, Bandwidth: units.GBPerSec(15)}
+	if got := ip.Peak(units.GopsPerSec(40)); got.Gops() != 200 {
+		t.Errorf("Peak = %v Gops/s, want 200", got.Gops())
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	cases := []struct {
+		c    Component
+		want string
+	}{
+		{Component{Kind: "IP", Index: 1, Name: "GPU"}, "IP[1] (GPU)"},
+		{Component{Kind: "memory", Index: -1, Name: "DRAM"}, "memory interface"},
+		{Component{Kind: "bus", Index: 0, Name: "mmfabric"}, "bus[0] (mmfabric)"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

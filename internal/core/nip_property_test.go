@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// nipSeed generates random N-IP scenarios (N up to 12) for the
+// generalized model equations (9–14).
+type nipSeed struct {
+	N          uint8
+	Ppeak      uint16
+	Bpeak      uint16
+	Accels     [12]uint8
+	Bandwidths [12]uint8
+	RawFracs   [12]uint8
+	Intensity  [12]uint8
+}
+
+func (sd nipSeed) build() (*Model, *Usecase, bool) {
+	n := 2 + int(sd.N%11) // 2..12 IPs
+	s := &SoC{
+		Name:            "nip",
+		Peak:            units.OpsPerSec(1e9 * (1 + float64(sd.Ppeak%500))),
+		MemoryBandwidth: units.BytesPerSec(1e9 * (1 + float64(sd.Bpeak%64))),
+	}
+	u := &Usecase{Name: "nip"}
+	fracSum := 0.0
+	raw := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := 1.0
+		if i > 0 {
+			a = 0.1 + float64(sd.Accels[i])/4
+		}
+		s.IPs = append(s.IPs, IP{
+			Name:         "ip",
+			Acceleration: a,
+			Bandwidth:    units.BytesPerSec(1e9 * (0.5 + float64(sd.Bandwidths[i])/8)),
+		})
+		raw[i] = float64(sd.RawFracs[i]) // may be zero → idle IP
+		fracSum += raw[i]
+	}
+	if fracSum == 0 {
+		raw[0], fracSum = 1, 1
+	}
+	for i := 0; i < n; i++ {
+		u.Work = append(u.Work, Work{
+			Fraction:  raw[i] / fracSum,
+			Intensity: units.Intensity(math.Exp(float64(sd.Intensity[i]%121)/10 - 6)),
+		})
+	}
+	m, err := New(s)
+	if err != nil {
+		return nil, nil, false
+	}
+	if err := u.ValidateFor(s); err != nil {
+		return nil, nil, false
+	}
+	return m, u, true
+}
+
+// TestNIPDualFormEquivalenceProperty extends the two-IP dual-form check to
+// the general Equations 9–14.
+func TestNIPDualFormEquivalenceProperty(t *testing.T) {
+	f := func(sd nipSeed) bool {
+		m, u, ok := sd.build()
+		if !ok {
+			return true
+		}
+		res, err := m.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		_, bound, err := m.PerformanceForm(u)
+		if err != nil {
+			return false
+		}
+		return units.ApproxEqual(float64(res.Attainable), float64(bound), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNIPScaledRooflineConsistencyProperty: the lowest selected point of
+// the §III-C visualization equals Pattainable for any N.
+func TestNIPScaledRooflineConsistencyProperty(t *testing.T) {
+	f := func(sd nipSeed) bool {
+		m, u, ok := sd.build()
+		if !ok {
+			return true
+		}
+		res, err := m.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		curves, err := m.ScaledRooflines(u)
+		if err != nil {
+			return false
+		}
+		lowest := math.Inf(1)
+		for _, c := range curves {
+			lowest = math.Min(lowest, float64(c.Selected))
+		}
+		return units.ApproxEqual(lowest, float64(res.Attainable), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNIPIdleIPsAreFreeProperty: removing an idle IP from the SoC (and its
+// zero work entry) never changes the bound.
+func TestNIPIdleIPsAreFreeProperty(t *testing.T) {
+	f := func(sd nipSeed) bool {
+		m, u, ok := sd.build()
+		if !ok {
+			return true
+		}
+		// Find a removable idle IP (never IP[0], which anchors A0=1).
+		idle := -1
+		for i := 1; i < len(u.Work); i++ {
+			if u.Work[i].Fraction == 0 {
+				idle = i
+				break
+			}
+		}
+		if idle < 0 {
+			return true
+		}
+		full, err := m.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		trimmed := &SoC{Name: m.SoC.Name, Peak: m.SoC.Peak, MemoryBandwidth: m.SoC.MemoryBandwidth}
+		var work []Work
+		for i := range m.SoC.IPs {
+			if i == idle {
+				continue
+			}
+			trimmed.IPs = append(trimmed.IPs, m.SoC.IPs[i])
+			work = append(work, u.Work[i])
+		}
+		tm, err := New(trimmed)
+		if err != nil {
+			return false
+		}
+		tu := &Usecase{Name: "trimmed", Work: work}
+		res, err := tm.Evaluate(tu)
+		if err != nil {
+			return false
+		}
+		return units.ApproxEqual(float64(res.Attainable), float64(full.Attainable), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNIPSerializedPhasesIdentityProperty: a phased workload of single-IP
+// phases with shares equal to the work fractions matches the §V-C
+// serialized evaluation whenever off-chip transfer is not a phase's
+// binding term (ample Bpeak makes the two formulations coincide).
+func TestNIPSerializedPhasesIdentityProperty(t *testing.T) {
+	f := func(sd nipSeed) bool {
+		m, u, ok := sd.build()
+		if !ok {
+			return true
+		}
+		// Ample memory bandwidth isolates the per-IP terms.
+		big := *m.SoC
+		big.MemoryBandwidth = units.BytesPerSec(1e18)
+		bm, err := New(&big)
+		if err != nil {
+			return false
+		}
+		ser, err := bm.EvaluateSerialized(u)
+		if err != nil {
+			return false
+		}
+		var phases []Phase
+		for i, w := range u.Work {
+			if w.Fraction == 0 {
+				continue
+			}
+			pu := &Usecase{Name: "p", Work: make([]Work, len(u.Work))}
+			pu.Work[i] = Work{Fraction: 1, Intensity: w.Intensity}
+			phases = append(phases, Phase{Usecase: pu, Share: w.Fraction})
+		}
+		if len(phases) == 0 {
+			return true
+		}
+		ph, err := bm.EvaluatePhased(phases, 0)
+		if err != nil {
+			return false
+		}
+		return units.ApproxEqual(float64(ph.Attainable), float64(ser.Attainable), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// This file implements §V-B's invited "richer flows (e.g., directly among
+// IPs)" extension: the base model assumes all substantial inter-IP
+// communication travels via DRAM, but real SoCs can stream producer to
+// consumer over dedicated links (ISP → IPU line buffers, codec → display
+// paths). A PeerFlow diverts a fraction of one IP's data onto a direct
+// link, removing it from the off-chip demand (and from the §V-B buses)
+// while adding the link itself as a potential bottleneck.
+//
+// It also implements the invited "richer topologies (e.g., multiple
+// alternative bus paths)": ParallelBuses folds alternative paths into one
+// effective bus using bottleneck analysis' parallel rule (capacities add).
+
+// PeerFlow diverts part of an IP's traffic onto a direct inter-IP link.
+type PeerFlow struct {
+	// Name labels the link, e.g. "ISP→IPU stream".
+	Name string
+	// From and To are the producer and consumer IP indices.
+	From, To int
+	// Fraction is the share of From's data Di that travels directly, in
+	// [0, 1]. The sum of fractions leaving one IP must not exceed 1.
+	Fraction float64
+	// Bandwidth is the direct link's rate.
+	Bandwidth units.BytesPerSec
+}
+
+func (p PeerFlow) validateFor(s *SoC, k int) error {
+	if p.From < 0 || p.From >= len(s.IPs) || p.To < 0 || p.To >= len(s.IPs) {
+		return fmt.Errorf("gables: peer flow %d (%s): endpoint out of range", k, p.Name)
+	}
+	if p.From == p.To {
+		return fmt.Errorf("gables: peer flow %d (%s): self loop", k, p.Name)
+	}
+	if p.Fraction < 0 || p.Fraction > 1 || math.IsNaN(p.Fraction) {
+		return fmt.Errorf("gables: peer flow %d (%s): fraction must be in [0,1], got %v", k, p.Name, p.Fraction)
+	}
+	if p.Bandwidth <= 0 {
+		return fmt.Errorf("gables: peer flow %d (%s): bandwidth must be positive", k, p.Name)
+	}
+	return nil
+}
+
+// PeerModel couples a base model with direct inter-IP flows.
+type PeerModel struct {
+	*Model
+	// Flows lists the direct links in use.
+	Flows []PeerFlow
+}
+
+// NewPeerModel validates the flows against the model's SoC.
+func NewPeerModel(m *Model, flows []PeerFlow) (*PeerModel, error) {
+	if m == nil {
+		return nil, fmt.Errorf("gables: nil base model")
+	}
+	if err := m.SoC.Validate(); err != nil {
+		return nil, err
+	}
+	diverted := make([]float64, len(m.SoC.IPs))
+	for k, f := range flows {
+		if err := f.validateFor(m.SoC, k); err != nil {
+			return nil, err
+		}
+		diverted[f.From] += f.Fraction
+		if diverted[f.From] > 1+FractionTolerance {
+			return nil, fmt.Errorf("gables: peer flows divert %v of IP[%d]'s data (max 1)",
+				diverted[f.From], f.From)
+		}
+	}
+	return &PeerModel{Model: m, Flows: flows}, nil
+}
+
+// Evaluate computes the bound with direct flows: each IP's off-chip (and
+// bus) traffic shrinks by its total diverted fraction, each direct link
+// contributes a time term Di·fraction/bandwidth, and all other terms are
+// the base model's. The SRAM extension composes (misses apply to the
+// remaining memory-bound traffic).
+func (pm *PeerModel) Evaluate(u *Usecase) (*Result, error) {
+	if err := pm.Model.validate(u); err != nil {
+		return nil, err
+	}
+	s := pm.SoC
+	total := u.totalOps()
+
+	// Per-IP diverted share.
+	diverted := make([]float64, len(s.IPs))
+	for _, f := range pm.Flows {
+		diverted[f.From] += f.Fraction
+	}
+
+	res := &Result{IPs: make([]IPBreakdown, len(s.IPs))}
+	var offChip float64
+	for i, ip := range s.IPs {
+		w := u.Work[i]
+		br := &res.IPs[i]
+		if w.Fraction == 0 {
+			continue
+		}
+		ops := w.Fraction * total
+		br.Compute = units.Seconds(ops / float64(ip.Peak(s.Peak)))
+		br.Data = units.Bytes(ops / float64(w.Intensity))
+		// The IP's own link still carries all of its data — direct
+		// flows reroute beyond the link, not around it.
+		br.Transfer = units.Seconds(float64(br.Data) / float64(ip.Bandwidth))
+		br.Time = max(br.Transfer, br.Compute)
+		br.ComputeBound = br.Compute >= br.Transfer
+
+		remaining := 1 - diverted[i]
+		offChip += float64(br.Data) * remaining * pm.missRatio(i)
+	}
+
+	res.MemoryTraffic = units.Bytes(offChip)
+	res.MemoryTime = units.Seconds(offChip / float64(s.MemoryBandwidth))
+	if offChip > 0 {
+		res.AvgIntensity = units.Intensity(total / offChip)
+	}
+
+	limit := res.MemoryTime
+	res.Bottleneck = Component{Kind: "memory", Index: -1, Name: "DRAM"}
+	for i := range res.IPs {
+		if res.IPs[i].Time > limit {
+			limit = res.IPs[i].Time
+			res.Bottleneck = Component{Kind: "IP", Index: i, Name: s.IPs[i].Name}
+		}
+	}
+
+	// Buses carry the non-diverted share.
+	if len(pm.Buses) > 0 {
+		res.BusTimes = make([]units.Seconds, len(pm.Buses))
+		for j, bus := range pm.Buses {
+			var data float64
+			for i := range res.IPs {
+				if bus.uses(i) {
+					data += float64(res.IPs[i].Data) * (1 - diverted[i]) * pm.busTrafficScale(i)
+				}
+			}
+			res.BusTimes[j] = units.Seconds(data / float64(bus.Bandwidth))
+			if res.BusTimes[j] > limit {
+				limit = res.BusTimes[j]
+				res.Bottleneck = Component{Kind: "bus", Index: j, Name: bus.Name}
+			}
+		}
+	}
+
+	// Each direct link is its own concurrent station.
+	for k, f := range pm.Flows {
+		i := f.From
+		t := units.Seconds(float64(res.IPs[i].Data) * f.Fraction / float64(f.Bandwidth))
+		if t > limit {
+			limit = t
+			res.Bottleneck = Component{Kind: "bus", Index: len(pm.Buses) + k, Name: f.Name}
+		}
+	}
+
+	res.Time = limit
+	if limit > 0 {
+		res.Attainable = units.OpsPerSec(total / float64(limit))
+	}
+	return res, nil
+}
+
+// ParallelBuses folds alternative bus paths serving the same IPs into one
+// effective bus: by bottleneck analysis' parallel rule, the throughput of
+// components in parallel is the sum of their throughputs. All buses must
+// share an identical user set.
+func ParallelBuses(name string, buses ...Bus) (Bus, error) {
+	if len(buses) == 0 {
+		return Bus{}, fmt.Errorf("gables: parallel bus group %q is empty", name)
+	}
+	var total units.BytesPerSec
+	ref := buses[0].Users
+	for k, b := range buses {
+		if b.Bandwidth <= 0 {
+			return Bus{}, fmt.Errorf("gables: parallel bus group %q: member %d has non-positive bandwidth", name, k)
+		}
+		if !sameUsers(ref, b.Users) {
+			return Bus{}, fmt.Errorf("gables: parallel bus group %q: member %d serves different IPs", name, k)
+		}
+		total += b.Bandwidth
+	}
+	users := append([]int(nil), ref...)
+	return Bus{Name: name, Bandwidth: total, Users: users}, nil
+}
+
+func sameUsers(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]int, len(a))
+	for _, u := range a {
+		seen[u]++
+	}
+	for _, u := range b {
+		seen[u]--
+		if seen[u] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+func TestPeerModelNoFlowsEqualsBase(t *testing.T) {
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	pm, err := NewPeerModel(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := TwoIPUsecase("6b", 0.75, 8, 0.1)
+	base, _ := m.Evaluate(u)
+	peer, err := pm.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(float64(base.Attainable), float64(peer.Attainable), 1e-12) {
+		t.Errorf("no flows must equal base: %v vs %v",
+			float64(base.Attainable), float64(peer.Attainable))
+	}
+}
+
+func TestPeerFlowRelievesMemory(t *testing.T) {
+	// Fig 6b is memory bound at 1.33 Gops/s because IP[1] streams 7.5
+	// bytes per op of work through DRAM. Divert 80% of that onto a
+	// direct link: the off-chip demand drops to
+	// 0.03125 + 0.2·7.5 = 1.53125 B → Tmem = 0.153 ns; the direct link
+	// (10 GB/s) carries 6 B → 0.6 ns; IP[1]'s own link 0.5 ns.
+	// The direct link becomes the bottleneck at 1/0.6e-9 ≈ 1.667 Gops/s.
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	pm, err := NewPeerModel(m, []PeerFlow{{
+		Name: "IP1→IP0 stream", From: 1, To: 0,
+		Fraction: 0.8, Bandwidth: units.GBPerSec(10),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := TwoIPUsecase("6b+peer", 0.75, 8, 0.1)
+	res, err := pm.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(res.Attainable.Gops(), 1/0.6, 1e-9) {
+		t.Errorf("Pattainable = %v, want %v", res.Attainable.Gops(), 1/0.6)
+	}
+	if res.Bottleneck.Name != "IP1→IP0 stream" {
+		t.Errorf("bottleneck = %v, want the direct link", res.Bottleneck)
+	}
+	if !units.ApproxEqual(float64(res.MemoryTraffic), 0.25/8+0.2*7.5, 1e-12) {
+		t.Errorf("off-chip traffic = %v", float64(res.MemoryTraffic))
+	}
+
+	// With a fat direct link the bottleneck moves to IP[1]'s own link
+	// (D1/B1 = 7.5/15e9 → 2 Gops/s).
+	pm2, err := NewPeerModel(m, []PeerFlow{{
+		Name: "fat", From: 1, To: 0, Fraction: 0.8, Bandwidth: units.GBPerSec(1000),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := pm2.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(res2.Attainable.Gops(), 2, 1e-9) {
+		t.Errorf("fat link Pattainable = %v, want 2", res2.Attainable.Gops())
+	}
+}
+
+func TestPeerFlowWithBuses(t *testing.T) {
+	// Diverted traffic also avoids the buses.
+	s := paperSoC(t, 20)
+	m := &Model{SoC: s, Buses: []Bus{
+		{Name: "shared", Bandwidth: units.GBPerSec(8), Users: []int{0, 1}},
+	}}
+	u, _ := TwoIPUsecase("6d", 0.75, 8, 8)
+	base, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bus bound: 64 Gops/s (see extensions_test).
+	pm, err := NewPeerModel(m, []PeerFlow{{
+		Name: "direct", From: 1, To: 0, Fraction: 1, Bandwidth: units.GBPerSec(1000),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pm.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Attainable) <= float64(base.Attainable) {
+		t.Errorf("diverting IP[1] off the bus must help: %v vs %v",
+			float64(res.Attainable), float64(base.Attainable))
+	}
+	// Bus now carries only D0 = 0.03125 B at 8e9 → 160·... bus term =
+	// 8e9/0.03125·... time = 3.906e-12 s → 256 Gops/s bound; binding
+	// constraints are IP terms at 160.
+	if !units.ApproxEqual(res.Attainable.Gops(), 160, 1e-9) {
+		t.Errorf("Pattainable = %v, want 160", res.Attainable.Gops())
+	}
+}
+
+func TestPeerValidation(t *testing.T) {
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+
+	cases := []PeerFlow{
+		{Name: "oob", From: 5, To: 0, Fraction: 0.5, Bandwidth: units.GBPerSec(1)},
+		{Name: "self", From: 1, To: 1, Fraction: 0.5, Bandwidth: units.GBPerSec(1)},
+		{Name: "frac", From: 1, To: 0, Fraction: 1.5, Bandwidth: units.GBPerSec(1)},
+		{Name: "bw", From: 1, To: 0, Fraction: 0.5, Bandwidth: 0},
+	}
+	for _, f := range cases {
+		if _, err := NewPeerModel(m, []PeerFlow{f}); err == nil {
+			t.Errorf("%s: expected error", f.Name)
+		}
+	}
+	// Combined diverted fraction > 1.
+	over := []PeerFlow{
+		{Name: "a", From: 1, To: 0, Fraction: 0.7, Bandwidth: units.GBPerSec(1)},
+		{Name: "b", From: 1, To: 0, Fraction: 0.7, Bandwidth: units.GBPerSec(1)},
+	}
+	if _, err := NewPeerModel(m, over); err == nil {
+		t.Error("over-diversion must be rejected")
+	}
+	if _, err := NewPeerModel(nil, nil); err == nil {
+		t.Error("nil base model must be rejected")
+	}
+}
+
+func TestParallelBuses(t *testing.T) {
+	a := Bus{Name: "a", Bandwidth: units.GBPerSec(4), Users: []int{0, 1}}
+	b := Bus{Name: "b", Bandwidth: units.GBPerSec(6), Users: []int{1, 0}}
+	combined, err := ParallelBuses("a+b", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Bandwidth != units.GBPerSec(10) {
+		t.Errorf("combined bandwidth = %v, want 10 GB/s", float64(combined.Bandwidth))
+	}
+	if len(combined.Users) != 2 {
+		t.Errorf("users = %v", combined.Users)
+	}
+
+	// Model-level effect: doubling paths doubles the bus bound.
+	s := paperSoC(t, 20)
+	u, _ := TwoIPUsecase("6d", 0.75, 8, 8)
+	single := &Model{SoC: s, Buses: []Bus{{Name: "one", Bandwidth: units.GBPerSec(8), Users: []int{0, 1}}}}
+	double := &Model{SoC: s, Buses: []Bus{mustParallel(t,
+		Bus{Name: "p0", Bandwidth: units.GBPerSec(8), Users: []int{0, 1}},
+		Bus{Name: "p1", Bandwidth: units.GBPerSec(8), Users: []int{0, 1}},
+	)}}
+	rs, _ := single.Evaluate(u)
+	rd, err := double.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(rs.Attainable.Gops(), 64, 1e-9) {
+		t.Errorf("single path = %v, want 64", rs.Attainable.Gops())
+	}
+	if !units.ApproxEqual(rd.Attainable.Gops(), 128, 1e-9) {
+		t.Errorf("double path = %v, want 128", rd.Attainable.Gops())
+	}
+}
+
+func mustParallel(t *testing.T, buses ...Bus) Bus {
+	t.Helper()
+	b, err := ParallelBuses("group", buses...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParallelBusesValidation(t *testing.T) {
+	if _, err := ParallelBuses("empty"); err == nil {
+		t.Error("empty group must be rejected")
+	}
+	a := Bus{Name: "a", Bandwidth: units.GBPerSec(4), Users: []int{0}}
+	b := Bus{Name: "b", Bandwidth: units.GBPerSec(4), Users: []int{1}}
+	if _, err := ParallelBuses("mismatch", a, b); err == nil {
+		t.Error("different user sets must be rejected")
+	}
+	z := Bus{Name: "z", Bandwidth: 0, Users: []int{0}}
+	if _, err := ParallelBuses("zero", a, z); err == nil {
+		t.Error("zero-bandwidth member must be rejected")
+	}
+}

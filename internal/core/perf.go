@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// This file implements the performance/roofline form of Gables — the dual
+// of the time equations, obtained by algebra and re-expanding terms
+// (Equations 5–8 for two IPs, 12–14 for N IPs):
+//
+//	1/T_IP[i]  = min(Bi·Ii, Ai·Ppeak) / fi      (omitted when fi = 0)
+//	1/Tmemory  = Bpeak · Iavg
+//	Pattainable = min over the defined terms
+//
+// Its disadvantage is the divide-by-zero bookkeeping when fi = 0; its key
+// advantage is that it enables the multi-roofline visualizations of §III-C.
+// The two forms are algebraically identical; the test suite property-checks
+// the equivalence.
+
+// PerfTerm is one reciprocal-time term in the performance form.
+type PerfTerm struct {
+	// Component identifies which roofline the term belongs to.
+	Component Component
+	// Perf is the term's value: the performance the usecase could attain
+	// if only this component were the bottleneck.
+	Perf units.OpsPerSec
+}
+
+// PerformanceForm evaluates the usecase via the dual performance equations
+// and returns every defined term together with the overall bound (their
+// minimum). IPs with fi = 0 contribute no term, exactly as the paper
+// prescribes. The SRAM extension scales the memory term's Iavg to off-chip
+// traffic; buses contribute one diagonal term each.
+func (m *Model) PerformanceForm(u *Usecase) ([]PerfTerm, units.OpsPerSec, error) {
+	if err := m.validate(u); err != nil {
+		return nil, 0, err
+	}
+	s := m.SoC
+	var terms []PerfTerm
+
+	// Per-IP scaled rooflines (Equation 12).
+	for i, ip := range s.IPs {
+		w := u.Work[i]
+		if w.Fraction == 0 {
+			continue
+		}
+		bound := min(
+			units.OpsPerSec(float64(ip.Bandwidth)*float64(w.Intensity)),
+			ip.Peak(s.Peak),
+		)
+		terms = append(terms, PerfTerm{
+			Component: Component{Kind: "IP", Index: i, Name: ip.Name},
+			Perf:      units.OpsPerSec(float64(bound) / w.Fraction),
+		})
+	}
+
+	// Memory's slanted-only roofline (Equation 13), with the SRAM
+	// extension folded into Iavg: the off-chip byte per op is Σ fi·mi/Ii,
+	// so the effective Iavg is its reciprocal.
+	den := 0.0
+	for i, w := range u.Work {
+		if w.Fraction == 0 {
+			continue
+		}
+		den += w.Fraction * m.missRatio(i) / float64(w.Intensity)
+	}
+	if den > 0 {
+		terms = append(terms, PerfTerm{
+			Component: Component{Kind: "memory", Index: -1, Name: "DRAM"},
+			Perf:      units.OpsPerSec(float64(s.MemoryBandwidth) / den),
+		})
+	}
+
+	// Bus diagonal terms (dual of Equation 16): 1/T_Bus[j] =
+	// B_Bus[j] / Σ_{i uses j} fi·scale_i/Ii.
+	for j, bus := range m.Buses {
+		bden := 0.0
+		for i, w := range u.Work {
+			if w.Fraction == 0 || !bus.uses(i) {
+				continue
+			}
+			bden += w.Fraction * m.busTrafficScale(i) / float64(w.Intensity)
+		}
+		if bden > 0 {
+			terms = append(terms, PerfTerm{
+				Component: Component{Kind: "bus", Index: j, Name: bus.Name},
+				Perf:      units.OpsPerSec(float64(bus.Bandwidth) / bden),
+			})
+		}
+	}
+
+	if len(terms) == 0 {
+		return nil, 0, fmt.Errorf("gables: usecase %q has no active components", u.Name)
+	}
+	bound := terms[0].Perf
+	for _, t := range terms[1:] {
+		if t.Perf < bound {
+			bound = t.Perf
+		}
+	}
+	// The performance form is normalized to unit work; scale is a no-op
+	// because Pattainable is a rate, independent of TotalOps.
+	return terms, bound, nil
+}
+
+// ScaledRoofline describes one curve of the §III-C multi-roofline plot: a
+// scaled roofline to draw by varying operational intensity over the x-axis,
+// plus the drop line where the usecase's actual intensity selects the
+// operating point. Attainable performance is the lowest selected point
+// among all curves.
+type ScaledRoofline struct {
+	// Component identifies the curve.
+	Component Component
+	// Slope is the bandwidth term: the curve rises as Slope·I before
+	// saturating (bytes/s divided by work fraction, so the units are
+	// ops/s per unit intensity).
+	Slope float64
+	// Flat is the computation bound the curve saturates at; 0 for
+	// memory and bus curves, which are slanted-only.
+	Flat units.OpsPerSec
+	// DropAt is the operational intensity of the usecase's operating
+	// point on this curve (Ii for IPs, Iavg for memory and buses).
+	DropAt units.Intensity
+	// Selected is the performance at the drop line.
+	Selected units.OpsPerSec
+}
+
+// Value evaluates the scaled roofline at intensity x.
+func (r ScaledRoofline) Value(x units.Intensity) units.OpsPerSec {
+	v := units.OpsPerSec(r.Slope * float64(x))
+	if r.Flat > 0 && v > r.Flat {
+		return r.Flat
+	}
+	return v
+}
+
+// ScaledRooflines produces the curves for the §III-C visualization of the
+// usecase on this model: one scaled roofline per IP with work, a memory
+// roofline, and one per bus. The returned curves plug directly into the
+// plot package.
+func (m *Model) ScaledRooflines(u *Usecase) ([]ScaledRoofline, error) {
+	terms, _, err := m.PerformanceForm(u)
+	if err != nil {
+		return nil, err
+	}
+	s := m.SoC
+	curves := make([]ScaledRoofline, 0, len(terms))
+	for _, t := range terms {
+		var c ScaledRoofline
+		c.Component = t.Component
+		switch t.Component.Kind {
+		case "IP":
+			i := t.Component.Index
+			w := u.Work[i]
+			c.Slope = float64(s.IPs[i].Bandwidth) / w.Fraction
+			c.Flat = units.OpsPerSec(float64(s.IPs[i].Peak(s.Peak)) / w.Fraction)
+			c.DropAt = w.Intensity
+		case "memory":
+			c.Slope = float64(s.MemoryBandwidth)
+			// Drop line at the effective off-chip Iavg: Perf/Bpeak.
+			c.DropAt = units.Intensity(float64(t.Perf) / float64(s.MemoryBandwidth))
+		case "bus":
+			bus := m.Buses[t.Component.Index]
+			c.Slope = float64(bus.Bandwidth)
+			c.DropAt = units.Intensity(float64(t.Perf) / float64(bus.Bandwidth))
+		}
+		c.Selected = t.Perf
+		curves = append(curves, c)
+	}
+	return curves, nil
+}

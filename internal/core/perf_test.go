@@ -1,0 +1,229 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+func TestPerformanceFormFig6b(t *testing.T) {
+	// The appendix lists the three terms for Fig 6b:
+	// 1/T_IP[0] = MIN(6·8, 40)/0.25 = 160
+	// 1/T_IP[1] = MIN(15·0.1, 200)/0.75 = 2
+	// 1/Tmemory = 10·0.13278 = 1.3278
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	u, _ := TwoIPUsecase("6b", 0.75, 8, 0.1)
+
+	terms, bound, err := m.PerformanceForm(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(terms) != 3 {
+		t.Fatalf("got %d terms, want 3", len(terms))
+	}
+	byName := map[string]float64{}
+	for _, tm := range terms {
+		byName[tm.Component.Kind+string(rune('0'+max(tm.Component.Index, 0)))] = tm.Perf.Gops()
+	}
+	if !units.ApproxEqual(byName["IP0"], 160, 1e-9) {
+		t.Errorf("IP[0] term = %v, want 160", byName["IP0"])
+	}
+	if !units.ApproxEqual(byName["IP1"], 2, 1e-9) {
+		t.Errorf("IP[1] term = %v, want 2", byName["IP1"])
+	}
+	if !units.ApproxEqual(byName["memory0"], 1.3278, 1e-3) {
+		t.Errorf("memory term = %v, want ~1.3278", byName["memory0"])
+	}
+	if !units.ApproxEqual(bound.Gops(), 1.3278, 1e-3) {
+		t.Errorf("bound = %v, want ~1.3278", bound.Gops())
+	}
+}
+
+func TestPerformanceFormOmitsIdleIPs(t *testing.T) {
+	// Fig 6a: f=0 means the IP[1] term is moot — it must be absent, not
+	// infinite or NaN.
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	u, _ := TwoIPUsecase("6a", 0, 8, 0.1)
+
+	terms, bound, err := m.PerformanceForm(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range terms {
+		if tm.Component.Kind == "IP" && tm.Component.Index == 1 {
+			t.Error("idle IP[1] must contribute no term")
+		}
+	}
+	if !units.ApproxEqual(bound.Gops(), 40, 1e-9) {
+		t.Errorf("bound = %v, want 40", bound.Gops())
+	}
+}
+
+func TestPerformanceFormNoWorkError(t *testing.T) {
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	// Fractions summing to 1 is enforced by validation, so a no-work
+	// usecase is impossible through the public API; invalid input must
+	// error rather than return an unbounded result.
+	u := &Usecase{Name: "none", Work: []Work{{}, {}}}
+	if _, _, err := m.PerformanceForm(u); err == nil {
+		t.Error("no-work usecase must be rejected")
+	}
+}
+
+func TestScaledRooflines(t *testing.T) {
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	u, _ := TwoIPUsecase("6b", 0.75, 8, 0.1)
+
+	curves, err := m.ScaledRooflines(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("got %d curves, want 3", len(curves))
+	}
+
+	var ip0, ip1, mem *ScaledRoofline
+	for k := range curves {
+		c := &curves[k]
+		switch {
+		case c.Component.Kind == "IP" && c.Component.Index == 0:
+			ip0 = c
+		case c.Component.Kind == "IP" && c.Component.Index == 1:
+			ip1 = c
+		case c.Component.Kind == "memory":
+			mem = c
+		}
+	}
+	if ip0 == nil || ip1 == nil || mem == nil {
+		t.Fatal("missing curves")
+	}
+
+	// IP[0]: slope B0/(1-f) = 6e9/0.25; flat Ppeak/(1-f) = 160 Gops/s;
+	// drop at I0=8 selecting min(48,40)/0.25 = 160.
+	if !units.ApproxEqual(ip0.Slope, 6e9/0.25, 1e-12) {
+		t.Errorf("IP0 slope = %v", ip0.Slope)
+	}
+	if !units.ApproxEqual(ip0.Flat.Gops(), 160, 1e-9) {
+		t.Errorf("IP0 flat = %v, want 160", ip0.Flat.Gops())
+	}
+	if ip0.DropAt != 8 {
+		t.Errorf("IP0 drop at %v, want 8", float64(ip0.DropAt))
+	}
+	if !units.ApproxEqual(ip0.Selected.Gops(), 160, 1e-9) {
+		t.Errorf("IP0 selected = %v, want 160", ip0.Selected.Gops())
+	}
+
+	// IP[1] selected at I1 = 0.1: min(1.5, 200)/0.75 = 2 Gops/s.
+	if !units.ApproxEqual(ip1.Selected.Gops(), 2, 1e-9) {
+		t.Errorf("IP1 selected = %v, want 2", ip1.Selected.Gops())
+	}
+
+	// Memory: slanted only, slope Bpeak, drop at Iavg.
+	if mem.Flat != 0 {
+		t.Error("memory roofline must be slanted-only")
+	}
+	if !units.ApproxEqual(float64(mem.DropAt), 0.13278, 1e-3) {
+		t.Errorf("memory drop at %v, want ~0.13278", float64(mem.DropAt))
+	}
+
+	// Curve evaluation: IP[0] at x=4 → min(6e9*4, 40e9)/0.25 = 24e9/0.25.
+	got := ip0.Value(4)
+	if !units.ApproxEqual(float64(got), 24e9/0.25, 1e-12) {
+		t.Errorf("IP0.Value(4) = %v", float64(got))
+	}
+	// Beyond the ridge the curve is flat.
+	if ip0.Value(1000) != ip0.Flat {
+		t.Error("IP0 curve must saturate at its flat bound")
+	}
+	// Memory curve never saturates.
+	if mem.Value(1e6) <= mem.Value(1e3) {
+		t.Error("memory curve must keep rising")
+	}
+}
+
+func TestScaledRooflinesLowestSelectedIsBound(t *testing.T) {
+	s := paperSoC(t, 30)
+	m, _ := New(s)
+	u, _ := TwoIPUsecase("6c", 0.75, 8, 0.1)
+
+	curves, err := m.ScaledRooflines(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowest := curves[0].Selected
+	for _, c := range curves[1:] {
+		if c.Selected < lowest {
+			lowest = c.Selected
+		}
+	}
+	if !units.ApproxEqual(float64(lowest), float64(res.Attainable), 1e-9) {
+		t.Errorf("lowest selected point %v != Pattainable %v",
+			float64(lowest), float64(res.Attainable))
+	}
+}
+
+func TestPerformanceFormWithBuses(t *testing.T) {
+	s := paperSoC(t, 20)
+	m := &Model{SoC: s, Buses: []Bus{
+		{Name: "shared", Bandwidth: units.GBPerSec(8), Users: []int{0, 1}},
+	}}
+	u, _ := TwoIPUsecase("6d", 0.75, 8, 8)
+
+	terms, bound, err := m.PerformanceForm(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bus term: 8e9 / (0.25/8 + 0.75/8) = 8e9·8 = 64 Gops/s; it is the
+	// minimum among {160, 160, 160, 64}.
+	if !units.ApproxEqual(bound.Gops(), 64, 1e-9) {
+		t.Errorf("bound = %v, want 64", bound.Gops())
+	}
+	found := false
+	for _, tm := range terms {
+		if tm.Component.Kind == "bus" {
+			found = true
+			if !units.ApproxEqual(tm.Perf.Gops(), 64, 1e-9) {
+				t.Errorf("bus term = %v, want 64", tm.Perf.Gops())
+			}
+		}
+	}
+	if !found {
+		t.Error("bus term missing")
+	}
+
+	// And the time form agrees.
+	res, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(float64(res.Attainable), float64(bound), 1e-9) {
+		t.Errorf("time form %v != perf form %v", float64(res.Attainable), float64(bound))
+	}
+}
+
+func TestPerformanceFormWithSRAM(t *testing.T) {
+	s := paperSoC(t, 10)
+	m := &Model{SoC: s, SRAM: &SRAM{MissRatio: []float64{1, 0.1}}}
+	u, _ := TwoIPUsecase("u", 0.75, 8, 0.1)
+
+	_, bound, err := m.PerformanceForm(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(float64(res.Attainable), float64(bound), 1e-9) {
+		t.Errorf("time form %v != perf form %v with SRAM",
+			float64(res.Attainable), float64(bound))
+	}
+}

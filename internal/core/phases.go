@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// This file implements the "more complex combinations of parallel and
+// serialized work" that §V-C notes are possible: a usecase expressed as a
+// sequence of phases. Phases execute one after another (serialized, like
+// Amdahl/MultiAmdahl); within each phase the base Gables model applies —
+// IPs run concurrently and share Bpeak. A one-phase workload reduces to
+// base Gables; a workload of single-IP phases reduces to the §V-C
+// exclusive-work extension (modulo its per-IP transfer overlap term).
+
+// Phase is one serialized stage of a phased workload.
+type Phase struct {
+	// Usecase is the phase's concurrent work assignment. Its internal
+	// fractions sum to 1 over the phase's own work.
+	Usecase *Usecase
+	// Share is the fraction of the workload's total operations executed
+	// in this phase; shares must be positive and sum to 1.
+	Share float64
+}
+
+// PhasedResult reports a phased evaluation.
+type PhasedResult struct {
+	// Attainable is the workload's overall performance bound: total work
+	// over the sum of per-phase minimum times.
+	Attainable units.OpsPerSec
+	// Time is the total time for TotalOps work.
+	Time units.Seconds
+	// Phases holds each phase's own evaluation (for unit work scaled by
+	// its share).
+	Phases []*Result
+	// CriticalPhase is the index of the phase consuming the most time.
+	CriticalPhase int
+}
+
+// EvaluatePhased computes the bound for a serialized sequence of
+// concurrent phases: T = Σ_k share_k / P_k where P_k is phase k's base
+// Gables bound, and Pattainable = 1/T. totalOps scales Time (zero means
+// unit work).
+func (m *Model) EvaluatePhased(phases []Phase, totalOps units.Ops) (*PhasedResult, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("gables: phased evaluation needs at least one phase")
+	}
+	if totalOps < 0 {
+		return nil, fmt.Errorf("gables: total ops must be non-negative, got %v", float64(totalOps))
+	}
+	total := float64(totalOps)
+	if total == 0 {
+		total = 1
+	}
+	shareSum := 0.0
+	for k, p := range phases {
+		if p.Usecase == nil {
+			return nil, fmt.Errorf("gables: phase %d has no usecase", k)
+		}
+		if p.Share <= 0 || math.IsNaN(p.Share) {
+			return nil, fmt.Errorf("gables: phase %d (%s): share must be positive, got %v",
+				k, p.Usecase.Name, p.Share)
+		}
+		shareSum += p.Share
+	}
+	if math.Abs(shareSum-1) > FractionTolerance {
+		return nil, fmt.Errorf("gables: phase shares sum to %v, want 1", shareSum)
+	}
+
+	out := &PhasedResult{Phases: make([]*Result, len(phases))}
+	var worst units.Seconds
+	var timeSum float64
+	for k, p := range phases {
+		// Evaluate the phase for its own share of the work: scale via
+		// TotalOps so the per-phase Result reports real times.
+		u := *p.Usecase
+		u.TotalOps = units.Ops(total * p.Share)
+		res, err := m.Evaluate(&u)
+		if err != nil {
+			return nil, fmt.Errorf("gables: phase %d (%s): %w", k, p.Usecase.Name, err)
+		}
+		out.Phases[k] = res
+		timeSum += float64(res.Time)
+		if res.Time > worst {
+			worst = res.Time
+			out.CriticalPhase = k
+		}
+	}
+	out.Time = units.Seconds(timeSum)
+	if timeSum > 0 {
+		out.Attainable = units.OpsPerSec(total / timeSum)
+	}
+	return out, nil
+}
+
+// SinglePhase wraps a usecase as a one-phase workload, for uniform
+// handling of phased and unphased inputs.
+func SinglePhase(u *Usecase) []Phase {
+	return []Phase{{Usecase: u, Share: 1}}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+func TestEvaluatePhasedSingleReducesToBase(t *testing.T) {
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	u, _ := TwoIPUsecase("6b", 0.75, 8, 0.1)
+
+	base, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phased, err := m.EvaluatePhased(SinglePhase(u), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(float64(base.Attainable), float64(phased.Attainable), 1e-12) {
+		t.Errorf("single phase must equal base: %v vs %v",
+			float64(base.Attainable), float64(phased.Attainable))
+	}
+	if phased.CriticalPhase != 0 || len(phased.Phases) != 1 {
+		t.Errorf("phased bookkeeping wrong: %+v", phased)
+	}
+}
+
+func TestEvaluatePhasedHarmonicCombination(t *testing.T) {
+	// Two equal-share phases with per-phase bounds P1 and P2 combine as
+	// the harmonic mean: 1/(0.5/P1 + 0.5/P2). Use Fig 6a (40 Gops/s)
+	// and Fig 6d-at-Bpeak-10 usecases on the same SoC.
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	uA, _ := TwoIPUsecase("phaseA", 0, 8, 8)    // 40 Gops/s
+	uB, _ := TwoIPUsecase("phaseB", 0.75, 8, 8) // min(160,160, 10·8=80) = 80
+
+	resA, _ := m.Evaluate(uA)
+	resB, _ := m.Evaluate(uB)
+	phased, err := m.EvaluatePhased([]Phase{
+		{Usecase: uA, Share: 0.5},
+		{Usecase: uB, Share: 0.5},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (0.5/float64(resA.Attainable) + 0.5/float64(resB.Attainable))
+	if !units.ApproxEqual(float64(phased.Attainable), want, 1e-12) {
+		t.Errorf("phased = %v, want harmonic %v", float64(phased.Attainable), want)
+	}
+	// Phase A is slower (40 < 80) so it is critical at equal shares.
+	if phased.CriticalPhase != 0 {
+		t.Errorf("critical phase = %d, want 0", phased.CriticalPhase)
+	}
+}
+
+func TestEvaluatePhasedTotalOpsScaling(t *testing.T) {
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	u, _ := TwoIPUsecase("u", 0.5, 8, 8)
+	unit, err := m.EvaluatePhased(SinglePhase(u), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := m.EvaluatePhased(SinglePhase(u), 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(float64(unit.Attainable), float64(scaled.Attainable), 1e-12) {
+		t.Error("attainable rate must be scale free")
+	}
+	if !units.ApproxEqual(float64(scaled.Time), 1e9*float64(unit.Time), 1e-12) {
+		t.Errorf("time = %v, want %v", float64(scaled.Time), 1e9*float64(unit.Time))
+	}
+}
+
+func TestEvaluatePhasedValidation(t *testing.T) {
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	u, _ := TwoIPUsecase("u", 0.5, 8, 8)
+
+	if _, err := m.EvaluatePhased(nil, 0); err == nil {
+		t.Error("empty phases must be rejected")
+	}
+	if _, err := m.EvaluatePhased([]Phase{{Usecase: nil, Share: 1}}, 0); err == nil {
+		t.Error("nil usecase must be rejected")
+	}
+	if _, err := m.EvaluatePhased([]Phase{{Usecase: u, Share: 0.5}}, 0); err == nil {
+		t.Error("shares not summing to 1 must be rejected")
+	}
+	if _, err := m.EvaluatePhased([]Phase{{Usecase: u, Share: -1}, {Usecase: u, Share: 2}}, 0); err == nil {
+		t.Error("negative share must be rejected")
+	}
+	if _, err := m.EvaluatePhased(SinglePhase(u), -5); err == nil {
+		t.Error("negative total ops must be rejected")
+	}
+}
+
+func TestPhasedNeverBeatsBestPhase(t *testing.T) {
+	// The phased bound is a weighted harmonic mean, so it lies between
+	// the slowest and fastest phase bounds.
+	s := paperSoC(t, 10)
+	m, _ := New(s)
+	uA, _ := TwoIPUsecase("a", 0, 8, 8)
+	uB, _ := TwoIPUsecase("b", 0.75, 8, 0.1)
+	phased, err := m.EvaluatePhased([]Phase{
+		{Usecase: uA, Share: 0.3},
+		{Usecase: uB, Share: 0.7},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := m.Evaluate(uA)
+	rb, _ := m.Evaluate(uB)
+	lo, hi := rb.Attainable, ra.Attainable
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if phased.Attainable < lo || phased.Attainable > hi {
+		t.Errorf("phased %v outside [%v, %v]",
+			float64(phased.Attainable), float64(lo), float64(hi))
+	}
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// genScenario maps raw quick-generated seeds to a valid random two-IP
+// model + usecase. Returning ok=false skips degenerate seeds.
+type scenarioSeed struct {
+	Ppeak, Bpeak, A, B0, B1 uint16
+	F, I0, I1               uint16
+	M0, M1                  uint8
+}
+
+func (sd scenarioSeed) build() (*Model, *Usecase, bool) {
+	ppeak := units.OpsPerSec(1e9 * (1 + float64(sd.Ppeak%1000)))
+	bpeak := units.BytesPerSec(1e9 * (1 + float64(sd.Bpeak%100)))
+	a := 1 + float64(sd.A%100)
+	b0 := units.BytesPerSec(1e9 * (0.5 + float64(sd.B0%50)))
+	b1 := units.BytesPerSec(1e9 * (0.5 + float64(sd.B1%50)))
+	f := float64(sd.F%257) / 256                               // includes exactly 0 and 1
+	i0 := units.Intensity(math.Exp(float64(sd.I0%141)/10 - 7)) // e^-7 .. e^7
+	i1 := units.Intensity(math.Exp(float64(sd.I1%141)/10 - 7))
+
+	s := &SoC{
+		Name:            "rand",
+		Peak:            ppeak,
+		MemoryBandwidth: bpeak,
+		IPs: []IP{
+			{Name: "IP0", Acceleration: 1, Bandwidth: b0},
+			{Name: "IP1", Acceleration: a, Bandwidth: b1},
+		},
+	}
+	u := &Usecase{
+		Name: "rand",
+		Work: []Work{
+			{Fraction: 1 - f, Intensity: i0},
+			{Fraction: f, Intensity: i1},
+		},
+	}
+	m, err := New(s)
+	if err != nil {
+		return nil, nil, false
+	}
+	if err := u.ValidateFor(s); err != nil {
+		return nil, nil, false
+	}
+	return m, u, true
+}
+
+// Property: the time form (Eq 11) and the performance form (Eq 14) are
+// algebraically identical wherever both are defined.
+func TestDualFormEquivalenceProperty(t *testing.T) {
+	f := func(sd scenarioSeed) bool {
+		m, u, ok := sd.build()
+		if !ok {
+			return true
+		}
+		res, err := m.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		_, bound, err := m.PerformanceForm(u)
+		if err != nil {
+			return false
+		}
+		return units.ApproxEqual(float64(res.Attainable), float64(bound), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Pattainable never exceeds the total compute capability of the
+// active IPs, nor the memory roofline Bpeak·Iavg.
+func TestUpperBoundsProperty(t *testing.T) {
+	f := func(sd scenarioSeed) bool {
+		m, u, ok := sd.build()
+		if !ok {
+			return true
+		}
+		res, err := m.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		s := m.SoC
+		// Compute capability bound: the work at each IP cannot finish
+		// faster than all active IPs at their peaks. Pattainable ≤
+		// min over active i of Ai·Ppeak/fi.
+		for i, w := range u.Work {
+			if w.Fraction == 0 {
+				continue
+			}
+			lim := float64(s.IPs[i].Peak(s.Peak)) / w.Fraction
+			if float64(res.Attainable) > lim*(1+1e-9) {
+				return false
+			}
+		}
+		if iavg, ok := u.AverageIntensity(); ok {
+			memLim := float64(s.MemoryBandwidth) * float64(iavg)
+			if float64(res.Attainable) > memLim*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: monotonicity in hardware — increasing any bandwidth or the
+// acceleration never decreases attainable performance.
+func TestHardwareMonotonicityProperty(t *testing.T) {
+	f := func(sd scenarioSeed, bump uint8) bool {
+		m, u, ok := sd.build()
+		if !ok {
+			return true
+		}
+		base, err := m.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		factor := 1 + float64(bump%100)/10
+
+		better := *m.SoC
+		better.IPs = append([]IP(nil), m.SoC.IPs...)
+		better.MemoryBandwidth = units.BytesPerSec(float64(better.MemoryBandwidth) * factor)
+		better.IPs[0].Bandwidth = units.BytesPerSec(float64(better.IPs[0].Bandwidth) * factor)
+		better.IPs[1].Bandwidth = units.BytesPerSec(float64(better.IPs[1].Bandwidth) * factor)
+		better.IPs[1].Acceleration *= factor
+		better.Peak = units.OpsPerSec(float64(better.Peak) * factor)
+
+		m2, err := New(&better)
+		if err != nil {
+			return false
+		}
+		up, err := m2.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		return float64(up.Attainable) >= float64(base.Attainable)*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: monotonicity in reuse — lowering any SRAM miss ratio never
+// decreases attainable performance.
+func TestSRAMMonotonicityProperty(t *testing.T) {
+	f := func(sd scenarioSeed, m0a, m0b, m1a, m1b uint8) bool {
+		base, u, ok := sd.build()
+		if !ok {
+			return true
+		}
+		lo0, hi0 := orderedRatios(m0a, m0b)
+		lo1, hi1 := orderedRatios(m1a, m1b)
+
+		worse := &Model{SoC: base.SoC, SRAM: &SRAM{MissRatio: []float64{hi0, hi1}}}
+		better := &Model{SoC: base.SoC, SRAM: &SRAM{MissRatio: []float64{lo0, lo1}}}
+
+		rw, err := worse.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		rb, err := better.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		return float64(rb.Attainable) >= float64(rw.Attainable)*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func orderedRatios(a, b uint8) (lo, hi float64) {
+	x, y := float64(a)/255, float64(b)/255
+	if x > y {
+		x, y = y, x
+	}
+	return x, y
+}
+
+// Property: the bottleneck component's time equals the total time.
+func TestBottleneckConsistencyProperty(t *testing.T) {
+	f := func(sd scenarioSeed) bool {
+		m, u, ok := sd.build()
+		if !ok {
+			return true
+		}
+		res, err := m.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		var bt units.Seconds
+		switch res.Bottleneck.Kind {
+		case "IP":
+			bt = res.IPs[res.Bottleneck.Index].Time
+		case "memory":
+			bt = res.MemoryTime
+		case "bus":
+			bt = res.BusTimes[res.Bottleneck.Index]
+		default:
+			return false
+		}
+		return units.ApproxEqual(float64(bt), float64(res.Time), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding buses can only lower (or preserve) the bound, never
+// raise it, and removing all buses recovers the base model.
+func TestBusesOnlyConstrainProperty(t *testing.T) {
+	f := func(sd scenarioSeed, busBW uint16) bool {
+		m, u, ok := sd.build()
+		if !ok {
+			return true
+		}
+		base, err := m.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		withBus := &Model{SoC: m.SoC, Buses: []Bus{{
+			Name:      "b",
+			Bandwidth: units.BytesPerSec(1e9 * (0.1 + float64(busBW%100))),
+			Users:     []int{0, 1},
+		}}}
+		constrained, err := withBus.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		return float64(constrained.Attainable) <= float64(base.Attainable)*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: serialized execution is never faster than concurrent.
+func TestSerializedSlowerProperty(t *testing.T) {
+	f := func(sd scenarioSeed) bool {
+		m, u, ok := sd.build()
+		if !ok {
+			return true
+		}
+		conc, err := m.Evaluate(u)
+		if err != nil {
+			return false
+		}
+		ser, err := m.EvaluateSerialized(u)
+		if err != nil {
+			return false
+		}
+		return float64(ser.Attainable) <= float64(conc.Attainable)*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaled-roofline curves are nondecreasing in intensity and the
+// selected points match Value(DropAt).
+func TestScaledRooflineShapeProperty(t *testing.T) {
+	f := func(sd scenarioSeed) bool {
+		m, u, ok := sd.build()
+		if !ok {
+			return true
+		}
+		curves, err := m.ScaledRooflines(u)
+		if err != nil {
+			return false
+		}
+		for _, c := range curves {
+			if float64(c.Value(1)) > float64(c.Value(2))*(1+1e-12) {
+				return false
+			}
+			got := c.Value(c.DropAt)
+			if !units.ApproxEqual(float64(got), float64(c.Selected), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+// Package dataset embeds the market-context series behind the Gables
+// paper's Figure 2: (a) the number of new mobile SoC chipsets introduced
+// per year, mined from GSMArena across 9165 phone models and 109 brands,
+// and (b) the estimated number of IP blocks in a state-of-the-art SoC per
+// generation, based on Shao et al.
+//
+// The paper prints the charts, not the raw tables, so the values here are
+// digitized to match the narrative: chipset introductions rise steeply
+// from 2007, peak around 2015, then decline as vendors consolidate (TI and
+// Intel exit; Qualcomm trims 49 chipsets in 2014 to 27 in 2017); the IP
+// count climbs steadily past 30.
+package dataset
+
+// YearCount is one bar of a per-year series.
+type YearCount struct {
+	Year  int
+	Count int
+}
+
+// ChipsetsPerYear returns the Figure 2a series: new SoC chipsets observed
+// "in the wild" per year.
+func ChipsetsPerYear() []YearCount {
+	return []YearCount{
+		{2007, 14}, {2008, 22}, {2009, 34}, {2010, 58},
+		{2011, 94}, {2012, 126}, {2013, 158}, {2014, 182},
+		{2015, 192}, {2016, 164}, {2017, 130},
+	}
+}
+
+// IPBlocksPerGeneration returns the Figure 2b series: estimated IP blocks
+// in a flagship SoC by generation (Shao et al.'s Aladdin analysis of Apple
+// SoC die photos).
+func IPBlocksPerGeneration() []YearCount {
+	return []YearCount{
+		{2010, 11}, {2011, 14}, {2012, 18}, {2013, 22},
+		{2014, 26}, {2015, 29}, {2016, 32},
+	}
+}
+
+// Facts summarizes the dataset's headline numbers as the paper states them.
+type Facts struct {
+	PhoneModels  int // GSMArena models mined
+	DeviceBrands int // distinct brands
+	PeakYear     int // year chipset introductions peak
+	MaxIPBlocks  int // IP count the trend surpasses
+}
+
+// Headline returns the paper's quoted figures.
+func Headline() Facts {
+	return Facts{PhoneModels: 9165, DeviceBrands: 109, PeakYear: 2015, MaxIPBlocks: 30}
+}
+
+// PeakYear returns the year with the largest count in a series; ok is
+// false for an empty series.
+func PeakYear(series []YearCount) (int, bool) {
+	if len(series) == 0 {
+		return 0, false
+	}
+	best := series[0]
+	for _, yc := range series[1:] {
+		if yc.Count > best.Count {
+			best = yc
+		}
+	}
+	return best.Year, true
+}
+
+// Monotone reports whether a series never decreases year over year.
+func Monotone(series []YearCount) bool {
+	for i := 1; i < len(series); i++ {
+		if series[i].Count < series[i-1].Count {
+			return false
+		}
+	}
+	return true
+}

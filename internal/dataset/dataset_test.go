@@ -1,0 +1,71 @@
+package dataset
+
+import "testing"
+
+func TestChipsetsPerYearShape(t *testing.T) {
+	s := ChipsetsPerYear()
+	if len(s) != 11 {
+		t.Fatalf("series length = %d, want 11 (2007–2017)", len(s))
+	}
+	if s[0].Year != 2007 || s[len(s)-1].Year != 2017 {
+		t.Errorf("year range = %d..%d, want 2007..2017", s[0].Year, s[len(s)-1].Year)
+	}
+	// The paper's narrative: growth until a peak around 2015, then a
+	// decline from consolidation.
+	peak, ok := PeakYear(s)
+	if !ok || peak != 2015 {
+		t.Errorf("peak year = %d, want 2015", peak)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Year != s[i-1].Year+1 {
+			t.Errorf("years not consecutive at %d", i)
+		}
+		if s[i].Year <= 2015 && s[i].Count <= s[i-1].Count {
+			t.Errorf("series must grow through 2015, broke at %d", s[i].Year)
+		}
+		if s[i].Year > 2015 && s[i].Count >= s[i-1].Count {
+			t.Errorf("series must decline after 2015, broke at %d", s[i].Year)
+		}
+	}
+}
+
+func TestIPBlocksShape(t *testing.T) {
+	s := IPBlocksPerGeneration()
+	if !Monotone(s) {
+		t.Error("IP count must climb steadily")
+	}
+	if last := s[len(s)-1].Count; last <= 30 {
+		t.Errorf("IP count must surpass 30, got %d", last)
+	}
+	if first := s[0].Count; first >= 20 {
+		t.Errorf("early generations had few IPs, got %d", first)
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	f := Headline()
+	if f.PhoneModels != 9165 || f.DeviceBrands != 109 {
+		t.Errorf("headline = %+v, paper says 9165 models across 109 brands", f)
+	}
+	if f.PeakYear != 2015 || f.MaxIPBlocks != 30 {
+		t.Errorf("headline = %+v", f)
+	}
+}
+
+func TestPeakYearEmpty(t *testing.T) {
+	if _, ok := PeakYear(nil); ok {
+		t.Error("empty series has no peak")
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	if !Monotone([]YearCount{{2010, 1}, {2011, 1}, {2012, 5}}) {
+		t.Error("nondecreasing series must be monotone")
+	}
+	if Monotone([]YearCount{{2010, 5}, {2011, 4}}) {
+		t.Error("decreasing series must not be monotone")
+	}
+	if !Monotone(nil) {
+		t.Error("empty series is trivially monotone")
+	}
+}

@@ -1,0 +1,48 @@
+package erb
+
+import (
+	"testing"
+)
+
+func TestValidateModelAgainstSimulator(t *testing.T) {
+	sys := system(t)
+	res, err := ValidateModel(sys, ValidationOptions{CPU: "CPU", Accel: "GPU"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 20 { // 4 intensities × 5 fractions
+		t.Fatalf("cells = %d, want 20", len(res.Cells))
+	}
+	// The paper's accuracy bar: correct shape, reasonable relative error.
+	if !res.ShapeConsistent {
+		t.Error("model and simulator must order the grid identically")
+	}
+	if res.MeanRelError > 0.10 {
+		t.Errorf("mean relative error = %.1f%%, want under 10%%", 100*res.MeanRelError)
+	}
+	if res.MaxRelError > 0.30 {
+		t.Errorf("max relative error = %.1f%%, want under 30%%", 100*res.MaxRelError)
+	}
+	for _, c := range res.Cells {
+		if c.Predicted <= 0 || c.Measured <= 0 {
+			t.Fatalf("degenerate cell %+v", c)
+		}
+		// The model is an upper bound in spirit; the simulator adds
+		// warmup and queueing, so measurements should rarely exceed
+		// the bound by more than a whisker.
+		if c.Measured > c.Predicted*1.10 {
+			t.Errorf("cell f=%v fpw=%d: measured %.3g exceeds bound %.3g by >10%%",
+				c.F, c.FlopsPerWord, c.Measured, c.Predicted)
+		}
+	}
+}
+
+func TestValidateModelOptions(t *testing.T) {
+	sys := system(t)
+	if _, err := ValidateModel(sys, ValidationOptions{CPU: "CPU", Accel: "CPU"}); err == nil {
+		t.Error("identical IPs must be rejected")
+	}
+	if _, err := ValidateModel(sys, ValidationOptions{}); err == nil {
+		t.Error("missing names must be rejected")
+	}
+}

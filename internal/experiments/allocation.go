@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/multiamdahl"
+	"github.com/gables-model/gables/internal/report"
+	"github.com/gables-model/gables/internal/units"
+)
+
+func init() {
+	register("allocation", AllocationComparison)
+}
+
+// AllocationComparison quantifies §VI's central contrast with MultiAmdahl:
+// "the most important difference between the two models is that Gables
+// models bandwidth bounds … this follows Roofline's view that data
+// movement is a first-order consideration."
+//
+// A chip area budget is divided between a CPU and an accelerator by
+// MultiAmdahl's optimal (bandwidth-blind) allocation under Pollack's rule.
+// The resulting design is then evaluated under Gables, first with ample
+// bandwidth everywhere (where it reproduces MultiAmdahl's serialized
+// prediction), then with a realistic usecase intensity and memory system
+// (where the same silicon delivers a fraction of the promise).
+func AllocationComparison() (*Artifact, error) {
+	const (
+		budget   = 100.0 // base-core equivalents
+		cpuShare = 0.3   // fraction of work that stays general purpose
+	)
+	sys := &multiamdahl.System{
+		Budget: budget,
+		Tasks: []multiamdahl.Task{
+			{Name: "cpu phase", Fraction: cpuShare, Perf: multiamdahl.Sqrt},
+			{Name: "accel phase", Fraction: 1 - cpuShare, Perf: multiamdahl.Sqrt},
+		},
+	}
+	alloc, maTime, err := sys.Optimize()
+	if err != nil {
+		return nil, err
+	}
+	// Pollack's rule: performance ∝ √area; scale so 1 BCE ≡ 1 Gops/s of
+	// general-purpose performance.
+	ppeak := units.GopsPerSec(math.Sqrt(alloc[0]))
+	accel := math.Sqrt(alloc[1]) / math.Sqrt(alloc[0])
+	maPerf := 1 / maTime // Gops/s under the same normalization
+
+	build := func(bGBs float64, linkGBs float64) (*core.Model, error) {
+		s, err := core.TwoIP("allocated", ppeak, units.GBPerSec(bGBs), accel,
+			units.GBPerSec(linkGBs), units.GBPerSec(linkGBs))
+		if err != nil {
+			return nil, err
+		}
+		return core.New(s)
+	}
+	// A streaming-class usecase: 0.25 ops/byte, the low-reuse regime the
+	// paper says consumer SoCs live in ("process video, audio, and other
+	// streams").
+	u, err := core.TwoIPUsecase("workload", 1-cpuShare, 0.25, 0.25)
+	if err != nil {
+		return nil, err
+	}
+
+	// Ample bandwidth: Gables' serialized evaluation degenerates to the
+	// compute-only MultiAmdahl prediction.
+	ample, err := build(1e6, 1e6)
+	if err != nil {
+		return nil, err
+	}
+	ampleSer, err := ample.EvaluateSerialized(u)
+	if err != nil {
+		return nil, err
+	}
+
+	// Realistic memory system: 12 GB/s off-chip, 8 GB/s links.
+	real, err := build(12, 8)
+	if err != nil {
+		return nil, err
+	}
+	realSer, err := real.EvaluateSerialized(u)
+	if err != nil {
+		return nil, err
+	}
+	realConc, err := real.Evaluate(u)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := report.NewTable("MultiAmdahl allocation under Gables' bandwidth bounds",
+		"evaluation", "Gops/s", "notes")
+	tbl.AddRow("MultiAmdahl optimum (compute only)", maPerf,
+		fmt.Sprintf("areas %.1f / %.1f BCEs, A = %.2f", alloc[0], alloc[1], accel))
+	tbl.AddRow("Gables serialized, ample bandwidth", ampleSer.Attainable.Gops(), "degenerates to MultiAmdahl")
+	tbl.AddRow("Gables serialized, real memory system", realSer.Attainable.Gops(), "data movement now counted")
+	tbl.AddRow("Gables concurrent, real memory system", realConc.Attainable.Gops(),
+		fmt.Sprintf("bottleneck: %s", realConc.Bottleneck))
+
+	loss := realSer.Attainable.Gops() / maPerf
+	return &Artifact{
+		ID:     "allocation",
+		Title:  "MultiAmdahl vs Gables: bandwidth as a first-order concern (§VI)",
+		Tables: []*report.Table{tbl},
+		Checks: []Check{
+			{
+				Metric:   "Gables degenerates to MultiAmdahl without bandwidth limits",
+				Paper:    "a secondary difference is concurrent vs sequential work; the Gables extension of Section V-C eliminates this difference",
+				Measured: fmt.Sprintf("%.4g vs %.4g Gops/s", ampleSer.Attainable.Gops(), maPerf),
+				Match:    approx(ampleSer.Attainable.Gops(), maPerf, 1e-6),
+			},
+			{
+				Metric:   "bandwidth bounds change the verdict",
+				Paper:    "Gables models bandwidth bounds … data movement is a first-order consideration",
+				Measured: fmt.Sprintf("the MultiAmdahl-optimal silicon delivers only %.0f%% of its compute-only promise on a real memory system", 100*loss),
+				Match:    loss < 0.8,
+			},
+			{
+				Metric:   "concurrency recovers some of it",
+				Paper:    "base Gables assumes concurrent rather than sequential work (§II-B)",
+				Measured: fmt.Sprintf("concurrent %.4g vs serialized %.4g Gops/s", realConc.Attainable.Gops(), realSer.Attainable.Gops()),
+				Match:    realConc.Attainable >= realSer.Attainable,
+			},
+		},
+	}, nil
+}

@@ -1,0 +1,106 @@
+// Package experiments regenerates every table and figure of the Gables
+// paper's evaluation: each experiment returns the rows/series the paper
+// reports (as a text table), the charts to render, and a set of
+// paper-vs-measured checks that EXPERIMENTS.md records. The registry is
+// consumed by cmd/gables-repro and by the top-level benchmark suite.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gables-model/gables/internal/plot"
+	"github.com/gables-model/gables/internal/report"
+)
+
+// Check is one paper-vs-measured comparison.
+type Check struct {
+	// Metric names what is compared, e.g. "Pattainable (Fig 6b)".
+	Metric string
+	// Paper is the value the paper reports.
+	Paper string
+	// Measured is what this repository reproduces.
+	Measured string
+	// Match reports whether the reproduction criterion held.
+	Match bool
+}
+
+// Artifact is one regenerated table or figure.
+type Artifact struct {
+	// ID is the experiment key, e.g. "fig6" or "table1".
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Tables holds the printed rows, in presentation order.
+	Tables []*report.Table
+	// Charts maps file-stem names to renderable charts.
+	Charts map[string]*plot.Chart
+	// Heatmaps maps file-stem names to matrix renderings.
+	Heatmaps map[string]*plot.Heatmap
+	// Checks holds the paper-vs-measured record.
+	Checks []Check
+	// Notes holds free-form commentary (substitutions, discrepancies).
+	Notes []string
+}
+
+// Passed reports whether every check matched.
+func (a *Artifact) Passed() bool {
+	for _, c := range a.Checks {
+		if !c.Match {
+			return false
+		}
+	}
+	return true
+}
+
+// Runner produces one artifact.
+type Runner func() (*Artifact, error)
+
+// registry maps experiment IDs to runners, populated by init functions in
+// this package's files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", id))
+	}
+	registry[id] = r
+}
+
+// IDs returns every registered experiment id, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string) (*Artifact, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r()
+}
+
+// approx reports whether measured is within rel of want.
+func approx(measured, want, rel float64) bool {
+	if want == 0 {
+		return measured == 0
+	}
+	d := measured - want
+	if d < 0 {
+		d = -d
+	}
+	aw := want
+	if aw < 0 {
+		aw = -aw
+	}
+	return d <= rel*aw
+}
+
+// g formats a float compactly for check records.
+func g(v float64) string { return fmt.Sprintf("%.4g", v) }

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every registered experiment and requires
+// every paper-vs-measured check to hold — the repository's top-level
+// reproduction gate.
+func TestAllExperimentsPass(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiments registered: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			art, err := Run(id)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if art.ID != id {
+				t.Errorf("artifact id %q != %q", art.ID, id)
+			}
+			if art.Title == "" {
+				t.Error("artifact has no title")
+			}
+			if len(art.Tables) == 0 {
+				t.Error("artifact has no tables")
+			}
+			if len(art.Checks) == 0 {
+				t.Error("artifact has no paper-vs-measured checks")
+			}
+			for _, c := range art.Checks {
+				if !c.Match {
+					t.Errorf("%s: check %q failed: paper %q vs measured %q",
+						id, c.Metric, c.Paper, c.Measured)
+				}
+			}
+			for _, tbl := range art.Tables {
+				if tbl.NumRows() == 0 {
+					t.Errorf("%s: empty table %q", id, tbl.Title)
+				}
+				if tbl.Text() == "" {
+					t.Errorf("%s: table %q renders empty", id, tbl.Title)
+				}
+			}
+			for name, ch := range art.Charts {
+				svg, err := ch.SVG(800, 500)
+				if err != nil {
+					t.Errorf("%s: chart %q: %v", id, name, err)
+					continue
+				}
+				if !strings.Contains(svg, "</svg>") {
+					t.Errorf("%s: chart %q produced malformed SVG", id, name)
+				}
+			}
+			for name, hm := range art.Heatmaps {
+				svg, err := hm.SVG(800, 400)
+				if err != nil {
+					t.Errorf("%s: heatmap %q: %v", id, name, err)
+					continue
+				}
+				if !strings.Contains(svg, "</svg>") {
+					t.Errorf("%s: heatmap %q produced malformed SVG", id, name)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope"); err == nil {
+		t.Error("unknown id must be rejected")
+	}
+}
+
+func TestExpectedInventory(t *testing.T) {
+	// Every table and figure in the paper's evaluation must have a
+	// runner, plus the substitution-record extras.
+	want := []string{
+		"fig1", "fig2a", "fig2b", "fig3", "fig4", "fig5", "fig6",
+		"fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11",
+		"table1", "table2",
+		"hfr", "serialized", "iavg", "cache", "thermal", "derive",
+		"dspmix", "hvx", "simd", "sd821", "logca", "phases", "peer",
+		"validate", "suite", "power", "allocation", "latency",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q missing from the registry", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, inventory lists %d: %v",
+			len(IDs()), len(want), IDs())
+	}
+}
+
+func TestApproxHelper(t *testing.T) {
+	if !approx(1.0, 1.0, 0) || !approx(10.1, 10, 0.02) {
+		t.Error("approx too strict")
+	}
+	if approx(11, 10, 0.05) {
+		t.Error("approx too loose")
+	}
+	if !approx(0, 0, 0.1) || approx(1, 0, 0.1) {
+		t.Error("approx zero handling wrong")
+	}
+	if !approx(-10.1, -10, 0.02) {
+		t.Error("approx must handle negatives")
+	}
+}
+
+func TestArtifactPassed(t *testing.T) {
+	a := &Artifact{Checks: []Check{{Match: true}, {Match: true}}}
+	if !a.Passed() {
+		t.Error("all-match artifact must pass")
+	}
+	a.Checks = append(a.Checks, Check{Match: false})
+	if a.Passed() {
+		t.Error("any failed check must fail the artifact")
+	}
+}

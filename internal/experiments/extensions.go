@@ -1,0 +1,498 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/erb"
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/logca"
+	"github.com/gables-model/gables/internal/plot"
+	"github.com/gables-model/gables/internal/report"
+	"github.com/gables-model/gables/internal/roofline"
+	"github.com/gables-model/gables/internal/sim"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// This file registers the paper's explicitly invited extensions and
+// deferred measurements: the §IV-D three-IP mixing observation, the HVX
+// vector unit, the §IV-B SIMD remark, the cross-chip claim, the §V-B/§V-C
+// "richer" model variants, and the LogCA sub-model §VI points to.
+
+func init() {
+	register("dspmix", DSPMixing)
+	register("hvx", HVXVector)
+	register("simd", SIMDCeiling)
+	register("sd821", CrossChip821)
+	register("logca", LogCABaseline)
+	register("phases", PhasedWork)
+	register("peer", PeerFlows)
+	register("validate", ModelValidation)
+}
+
+// ModelValidation quantifies the paper's stated accuracy goal — "the
+// correct shape and reasonable relative error" — by comparing the analytic
+// Gables bound against the discrete-event simulator over a
+// work-split × intensity grid (device-resident runs, since the base model
+// has no coordination term).
+func ModelValidation() (*Artifact, error) {
+	sys, err := simSystem()
+	if err != nil {
+		return nil, err
+	}
+	res, err := erb.ValidateModel(sys, erb.ValidationOptions{CPU: "CPU", Accel: "GPU"})
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("Model vs simulator over the (f × intensity) grid",
+		"f", "I (ops/B)", "predicted (GFLOPS/s)", "measured (GFLOPS/s)", "rel err")
+	for _, c := range res.Cells {
+		tbl.AddRow(c.F, float64(c.FlopsPerWord)/8, c.Predicted/1e9, c.Measured/1e9,
+			fmt.Sprintf("%.1f%%", 100*c.RelError))
+	}
+	hm, err := validationHeatmap(res)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		ID:       "validate",
+		Title:    "Analytic-model vs discrete-event cross-validation",
+		Tables:   []*report.Table{tbl},
+		Heatmaps: map[string]*plot.Heatmap{"validate_relerr": hm},
+		Checks: []Check{
+			{
+				Metric:   "correct shape",
+				Paper:    "predictions as parameters change should at the very least have the correct shape",
+				Measured: fmt.Sprintf("rank-consistent across all %d grid cells: %v", len(res.Cells), res.ShapeConsistent),
+				Match:    res.ShapeConsistent,
+			},
+			{
+				Metric:   "reasonable relative error",
+				Paper:    "…and reasonable relative error (absolute accuracy left to cycle-level simulation)",
+				Measured: fmt.Sprintf("mean %.1f%%, max %.1f%%", 100*res.MeanRelError, 100*res.MaxRelError),
+				Match:    res.MeanRelError < 0.10 && res.MaxRelError < 0.30,
+			},
+		},
+	}, nil
+}
+
+// DSPMixing reproduces §IV-D's unpublished observation: running the DSP
+// scalar unit in parallel with a CPU+GPU mix "was too wimpy to
+// substantially perturb CPU-GPU behavior."
+func DSPMixing() (*Artifact, error) {
+	sys, err := simSystem()
+	if err != nil {
+		return nil, err
+	}
+	mk := func(words int, fpw int, p kernel.Pattern) kernel.Kernel {
+		return kernel.Kernel{Name: "mix", WorkingSet: units.Bytes(words * kernel.WordSize),
+			Trials: 2, FlopsPerWord: fpw, Pattern: p}
+	}
+	// High-intensity work keeps the CPU-GPU pair at the hundreds of
+	// GFLOPS the paper's mixing runs reached, against which the scalar
+	// DSP's 3 GFLOPS/s is noise.
+	const words = 4 << 20
+	cpuK := mk(words/2, 512, kernel.ReadWrite)
+	gpuK := mk(words/2, 512, kernel.ReadWrite)
+	dspK := mk(words/4, 512, kernel.ReadWrite)
+
+	two, err := sys.Run([]sim.Assignment{
+		{IP: "CPU", Kernel: cpuK}, {IP: "GPU", Kernel: gpuK},
+	}, sim.RunOptions{Coordination: true})
+	if err != nil {
+		return nil, err
+	}
+	three, err := sys.Run([]sim.Assignment{
+		{IP: "CPU", Kernel: cpuK}, {IP: "GPU", Kernel: gpuK}, {IP: "DSP", Kernel: dspK},
+	}, sim.RunOptions{Coordination: true})
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := report.NewTable("§IV-D: CPU+GPU mixing with and without the DSP scalar unit",
+		"configuration", "CPU GFLOPS/s", "GPU GFLOPS/s", "DSP GFLOPS/s", "total")
+	tbl.AddRow("CPU+GPU", two.IPs[0].Rate/1e9, two.IPs[1].Rate/1e9, "-", two.TotalFlops/two.Makespan/1e9)
+	tbl.AddRow("CPU+GPU+DSP", three.IPs[0].Rate/1e9, three.IPs[1].Rate/1e9,
+		three.IPs[2].Rate/1e9, three.TotalFlops/three.Makespan/1e9)
+
+	// Perturbation of the CPU-GPU pair when the DSP joins.
+	cpuDelta := math.Abs(three.IPs[0].Rate-two.IPs[0].Rate) / two.IPs[0].Rate
+	gpuDelta := math.Abs(three.IPs[1].Rate-two.IPs[1].Rate) / two.IPs[1].Rate
+	perturb := math.Max(cpuDelta, gpuDelta)
+	// "3 GFLOPS/s against hundreds": the scalar DSP versus what the GPU
+	// alone is capable of.
+	dspVsGPU := three.IPs[2].Rate / 349.6e9
+
+	return &Artifact{
+		ID:     "dspmix",
+		Title:  "Three-IP mixing: the wimpy-DSP observation (§IV-D)",
+		Tables: []*report.Table{tbl},
+		Checks: []Check{
+			{
+				Metric:   "DSP scalar barely perturbs CPU-GPU behavior",
+				Paper:    "the scalar DSP was too wimpy to substantially perturb CPU-GPU behavior",
+				Measured: fmt.Sprintf("max CPU/GPU rate change %.2f%% when the DSP joins", 100*perturb),
+				Match:    perturb < 0.05,
+			},
+			{
+				Metric:   "DSP contribution is marginal",
+				Paper:    "(implied: ~3 GFLOPS/s against the GPU's hundreds)",
+				Measured: fmt.Sprintf("DSP sustains %.1f%% of the GPU's 349.6 GFLOPS/s", 100*dspVsGPU),
+				Match:    dspVsGPU < 0.02,
+			},
+		},
+	}, nil
+}
+
+// HVXVector measures the Hexagon vector unit's roofline — §IV-D's future
+// work, enabled here because the simulated substrate makes the "method
+// change" trivial: ops count integer lane operations.
+func HVXVector() (*Artifact, error) {
+	sys, err := sim.New(sim.Snapdragon835Extended())
+	if err != nil {
+		return nil, err
+	}
+	pts, fit, err := erb.MeasureRoofline(sys, "DSP-HVX", erb.SweepOptions{
+		Pattern: kernel.ReadWrite, WorkingSet: 8 << 20, MaxExp: 12,
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, scalarFit, err := erb.MeasureRoofline(sys, "DSP", erb.SweepOptions{
+		Pattern: kernel.ReadWrite, WorkingSet: 8 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("§IV-D future work: Hexagon HVX integer-vector roofline (Gint-ops/s)",
+		"intensity (ops/B)", "Gops/s")
+	for _, p := range pts {
+		tbl.AddRow(float64(p.Intensity), p.Attainable.Gops())
+	}
+	ratio := float64(fit.Peak) / float64(scalarFit.Peak)
+	return &Artifact{
+		ID:     "hvx",
+		Title:  "DSP vector unit (integer ops)",
+		Tables: []*report.Table{tbl},
+		Checks: []Check{
+			{
+				Metric:   "HVX dwarfs the scalar unit",
+				Paper:    "a high-performance integer-only vector unit (4096 bits per cycle); scalar unit leaves acceleration to the vector units",
+				Measured: fmt.Sprintf("vector/scalar peak ratio %.3g× (%.4g vs %.4g Gops/s)", ratio, fit.Peak.Gops(), scalarFit.Peak.Gops()),
+				Match:    ratio > 10,
+			},
+			{
+				Metric:   "HVX bandwidth matches §IV-D's prose figure",
+				Paper:    "the DSP's bandwidth is limited to 12.5 GB/s",
+				Measured: fmt.Sprintf("%.4g GB/s fitted", fit.Bandwidth.GB()),
+				Match:    approx(fit.Bandwidth.GB(), 12.5, 0.1),
+			},
+		},
+		Notes: []string{
+			"Integer ops, not FLOPS: the §IV-D method change. The HVX parameters are a sketch (the paper defers this measurement), so the check is qualitative.",
+		},
+	}, nil
+}
+
+// SIMDCeiling reproduces the §IV-B remark that NEON vectorization lifts
+// the same benchmark past 40 GFLOPS/s: the scalar roofline is a compute
+// ceiling under the vector roof, with the memory side unchanged.
+func SIMDCeiling() (*Artifact, error) {
+	sys, err := sim.New(sim.Snapdragon835Extended())
+	if err != nil {
+		return nil, err
+	}
+	_, scalar, err := erb.MeasureRoofline(sys, "CPU", erb.SweepOptions{Pattern: kernel.ReadWrite})
+	if err != nil {
+		return nil, err
+	}
+	_, simd, err := erb.MeasureRoofline(sys, "CPU-SIMD", erb.SweepOptions{Pattern: kernel.ReadWrite})
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("§IV-B: scalar vs NEON-vectorized CPU roofline",
+		"variant", "peak (GFLOPS/s)", "DRAM bandwidth (GB/s)", "ridge (ops/B)")
+	tbl.AddRow("non-NEON (paper's baseline)", scalar.Peak.Gops(), scalar.Bandwidth.GB(), float64(scalar.RidgePoint()))
+	tbl.AddRow("NEON vectorized", simd.Peak.Gops(), simd.Bandwidth.GB(), float64(simd.RidgePoint()))
+
+	// Render the combined figure: SIMD roof with the scalar ceiling.
+	roof := *simd
+	roof.Name = "CPU (SIMD roof, scalar ceiling)"
+	roof.Ceilings = nil
+	roof.AddCeiling(roofline.Ceiling{Name: "non-NEON", Compute: scalar.Peak})
+	ch, err := plot.RooflineChart(&roof, 0.01, 1000, 65)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		ID:     "simd",
+		Title:  "SIMD lifts the roof, not the slope",
+		Tables: []*report.Table{tbl},
+		Charts: map[string]*plot.Chart{"simd_ceiling": ch},
+		Checks: []Check{
+			{
+				Metric:   "vectorized peak",
+				Paper:    "in excess of 40 GFLOP/s with compiler vectorization",
+				Measured: fmt.Sprintf("%.4g GFLOPS/s", simd.Peak.Gops()),
+				Match:    simd.Peak.Gops() > 40,
+			},
+			{
+				Metric:   "memory side unchanged",
+				Paper:    "(SIMD affects compute, not DRAM bandwidth)",
+				Measured: fmt.Sprintf("%.4g vs %.4g GB/s", scalar.Bandwidth.GB(), simd.Bandwidth.GB()),
+				Match:    approx(simd.Bandwidth.GB(), scalar.Bandwidth.GB(), 0.03),
+			},
+		},
+	}, nil
+}
+
+// CrossChip821 verifies the §IV-A claim that the findings hold on both
+// measured chipsets by repeating the headline measurements on the 821.
+func CrossChip821() (*Artifact, error) {
+	sys, err := sim.New(sim.Snapdragon821())
+	if err != nil {
+		return nil, err
+	}
+	_, cpuFit, err := erb.MeasureRoofline(sys, "CPU", erb.SweepOptions{Pattern: kernel.ReadWrite})
+	if err != nil {
+		return nil, err
+	}
+	_, gpuFit, err := erb.MeasureRoofline(sys, "GPU", erb.SweepOptions{Pattern: kernel.StreamCopy})
+	if err != nil {
+		return nil, err
+	}
+	mix, err := erb.Mixing(sys, erb.MixingOptions{
+		CPU: "CPU", Accel: "GPU",
+		Fractions:    []float64{0, 0.5, 1},
+		FlopsPerWord: []int{8, 8192},
+		Words:        2 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lowEnd := mix.Line(8)[2].Normalized
+	high := mix.Line(8192)
+	best := 0.0
+	for _, p := range high {
+		if p.Normalized > best {
+			best = p.Normalized
+		}
+	}
+	tbl := report.NewTable("Cross-chip check: Snapdragon 821", "metric", "value")
+	tbl.AddRow("CPU peak (GFLOPS/s)", cpuFit.Peak.Gops())
+	tbl.AddRow("GPU peak (GFLOPS/s)", gpuFit.Peak.Gops())
+	tbl.AddRow("A_GPU", float64(gpuFit.Peak)/float64(cpuFit.Peak))
+	tbl.AddRow("normalized perf, f=1 at I=1", lowEnd)
+	tbl.AddRow("best normalized perf at I=1024", best)
+	return &Artifact{
+		ID:     "sd821",
+		Title:  "Findings hold on the older chipset (§IV-A)",
+		Tables: []*report.Table{tbl},
+		Checks: []Check{{
+			Metric:   "same qualitative shape on the 821",
+			Paper:    "our findings hold true for both systems",
+			Measured: fmt.Sprintf("low-I offload %.3g× (slowdown), high-I %.3g× (speedup)", lowEnd, best),
+			Match:    lowEnd < 1 && best > 20,
+		}},
+	}, nil
+}
+
+// LogCABaseline runs the LogCA sub-model §VI points to for IP interaction
+// overheads, characterized from the same numbers the mixing experiment
+// uses, and confirms it tells the same story at offload granularity that
+// Gables tells at operational intensity.
+func LogCABaseline() (*Artifact, error) {
+	// Host: 7.5 Gops/s on 1-op-per-byte work → C = 0.133 ns/B.
+	// Interface: 1.25 host-ops/byte coordination ≈ 6 GB/s → L = 0.167 ns/B,
+	// plus a 100 µs dispatch overhead. A = 46.6.
+	low := logca.Model{
+		Latency: 0.167e-9, Overhead: 100e-6,
+		ComputeIndex: 0.133e-9, Beta: 1, Acceleration: 46.6,
+	}
+	high := low
+	high.ComputeIndex = low.ComputeIndex * 1024 // I = 1024 ops/byte
+
+	tbl := report.NewTable("LogCA baseline: offload speedup vs granularity",
+		"granularity (bytes)", "speedup at I=1", "speedup at I=1024")
+	for _, gBytes := range []float64{1e3, 1e5, 1e7, 1e9} {
+		sLow, err := low.Speedup(gBytes)
+		if err != nil {
+			return nil, err
+		}
+		sHigh, err := high.Speedup(gBytes)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(gBytes, sLow, sHigh)
+	}
+	peakLow, err := low.PeakSpeedup()
+	if err != nil {
+		return nil, err
+	}
+	peakHigh, err := high.PeakSpeedup()
+	if err != nil {
+		return nil, err
+	}
+	_, okLow, err := low.BreakEven()
+	if err != nil {
+		return nil, err
+	}
+	g1High, okHigh, err := high.BreakEven()
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		ID:     "logca",
+		Title:  "LogCA sub-model for IP interaction overheads (§VI)",
+		Tables: []*report.Table{tbl},
+		Checks: []Check{
+			{
+				Metric:   "low-intensity offload never pays",
+				Paper:    "one should not offload low operational intensity work to the GPU (Gables, §IV-C)",
+				Measured: fmt.Sprintf("LogCA peak speedup %.3g at I=1 (break-even exists: %v)", peakLow, okLow),
+				Match:    peakLow < 1 && !okLow,
+			},
+			{
+				Metric:   "high-intensity offload approaches A",
+				Paper:    "substantial speedup, e.g. 39.4 for I = 1024",
+				Measured: fmt.Sprintf("LogCA peak %.3g, break-even at %.3g bytes (exists: %v)", peakHigh, g1High, okHigh),
+				Match:    okHigh && peakHigh > 35,
+			},
+		},
+		Notes: []string{
+			"LogCA and Gables agree from different angles: LogCA amortizes per-offload interface costs over granularity; Gables bounds steady-state concurrent throughput over intensity.",
+		},
+	}, nil
+}
+
+// PhasedWork exercises the mixed serial/parallel combination §V-C says is
+// possible: a camera-style workload alternating a concurrent capture
+// phase with a serialized post-processing phase.
+func PhasedWork() (*Artifact, error) {
+	m, err := paperTwoIPModel(20)
+	if err != nil {
+		return nil, err
+	}
+	capture, _ := core.TwoIPUsecase("capture (concurrent)", 0.75, 8, 8)
+	post, _ := core.TwoIPUsecase("post-process (CPU only)", 0, 8, 8)
+
+	res, err := m.EvaluatePhased([]core.Phase{
+		{Usecase: capture, Share: 0.8},
+		{Usecase: post, Share: 0.2},
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	concOnly, _ := m.Evaluate(capture)
+	serialOnly, _ := m.Evaluate(post)
+
+	tbl := report.NewTable("Mixed parallel/serial phases (§V-C generalization)",
+		"workload", "Pattainable (Gops/s)")
+	tbl.AddRow("capture phase alone (Fig 6d)", concOnly.Attainable.Gops())
+	tbl.AddRow("post-process phase alone", serialOnly.Attainable.Gops())
+	tbl.AddRow("80/20 phased workload", res.Attainable.Gops())
+
+	// Analytic expectation: 1/(0.8/160 + 0.2/40) = 100.
+	want := 1 / (0.8/concOnly.Attainable.Gops() + 0.2/serialOnly.Attainable.Gops())
+	return &Artifact{
+		ID:     "phases",
+		Title:  "Phased (serial-of-concurrent) workloads",
+		Tables: []*report.Table{tbl},
+		Checks: []Check{
+			{
+				Metric:   "phases combine harmonically",
+				Paper:    "more complex combinations of parallel and serialized work are possible",
+				Measured: fmt.Sprintf("%.4g Gops/s (analytic %.4g)", res.Attainable.Gops(), want),
+				Match:    approx(res.Attainable.Gops(), want, 1e-9),
+			},
+			{
+				Metric:   "the 20% serial phase dominates (Amdahl)",
+				Paper:    "beware the aspects that are not sped up",
+				Measured: fmt.Sprintf("phased %.4g ≪ concurrent-only %.4g", res.Attainable.Gops(), concOnly.Attainable.Gops()),
+				Match:    res.Attainable.Gops() < 0.7*concOnly.Attainable.Gops(),
+			},
+		},
+	}, nil
+}
+
+// validationHeatmap lays the grid's relative errors out as a matrix:
+// intensities down, fractions across.
+func validationHeatmap(res *erb.ValidationResult) (*plot.Heatmap, error) {
+	var cols, rows []string
+	colIdx := map[float64]int{}
+	rowIdx := map[int]int{}
+	for _, c := range res.Cells {
+		if _, ok := colIdx[c.F]; !ok {
+			colIdx[c.F] = len(cols)
+			cols = append(cols, fmt.Sprintf("f=%g", c.F))
+		}
+		if _, ok := rowIdx[c.FlopsPerWord]; !ok {
+			rowIdx[c.FlopsPerWord] = len(rows)
+			rows = append(rows, fmt.Sprintf("I=%g", float64(c.FlopsPerWord)/8))
+		}
+	}
+	values := make([][]float64, len(rows))
+	for r := range values {
+		values[r] = make([]float64, len(cols))
+	}
+	for _, c := range res.Cells {
+		values[rowIdx[c.FlopsPerWord]][colIdx[c.F]] = 100 * c.RelError
+	}
+	hm := &plot.Heatmap{
+		Title:   "Model vs simulator: relative error (%)",
+		XLabel:  "fraction of work at the GPU",
+		YLabel:  "operational intensity",
+		Columns: cols, Rows: rows, Values: values,
+		Format: "%.1f",
+	}
+	return hm, hm.Validate()
+}
+
+// PeerFlows exercises the §V-B invited "richer flows" extension: diverting
+// producer→consumer traffic onto a direct link relieves the memory-bound
+// Figure 6b design.
+func PeerFlows() (*Artifact, error) {
+	m, err := paperTwoIPModel(10)
+	if err != nil {
+		return nil, err
+	}
+	u, _ := core.TwoIPUsecase("6b", 0.75, 8, 0.1)
+	base, err := m.Evaluate(u)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := report.NewTable("Richer flows: direct IP[1]→IP[0] link on the Fig 6b usecase",
+		"diverted fraction", "Pattainable (Gops/s)", "off-chip bytes/op", "bottleneck")
+	tbl.AddRow(0.0, base.Attainable.Gops(), float64(base.MemoryTraffic), base.Bottleneck.String())
+	var at80 float64
+	for _, frac := range []float64{0.25, 0.5, 0.8, 1.0} {
+		pm, err := core.NewPeerModel(m, []core.PeerFlow{{
+			Name: "IP1→IP0 direct", From: 1, To: 0,
+			Fraction: frac, Bandwidth: units.GBPerSec(20),
+		}})
+		if err != nil {
+			return nil, err
+		}
+		res, err := pm.Evaluate(u)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(frac, res.Attainable.Gops(), float64(res.MemoryTraffic), res.Bottleneck.String())
+		if frac == 0.8 {
+			at80 = res.Attainable.Gops()
+		}
+	}
+	return &Artifact{
+		ID:     "peer",
+		Title:  "Direct inter-IP flows (§V-B invited extension)",
+		Tables: []*report.Table{tbl},
+		Checks: []Check{{
+			Metric:   "direct flows relieve the memory bottleneck",
+			Paper:    "richer flows (e.g., directly among IPs) are straightforward at the cost of more assumptions",
+			Measured: fmt.Sprintf("%.4g → %.4g Gops/s with 80%% diverted", base.Attainable.Gops(), at80),
+			Match:    at80 > 1.3*base.Attainable.Gops(),
+		}},
+	}, nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/plot"
+	"github.com/gables-model/gables/internal/report"
+	"github.com/gables-model/gables/internal/sim"
+	"github.com/gables-model/gables/internal/sim/ip"
+)
+
+func init() {
+	register("latency", LatencyTolerance)
+}
+
+// LatencyTolerance quantifies the §III-C design contrast the paper's
+// two-IP example is built on: "IP[0] is a CPU complex with caches that
+// support data reuse, while IP[1] is a GPU designed for latency tolerance,
+// not bandwidth reduction." On the simulated substrate, a fixed per-chunk
+// memory round-trip latency starves an engine with a shallow outstanding
+// window while a deep window hides it completely — the mechanism that
+// lets GPUs stream at full link bandwidth where cache-centric designs
+// rely on reuse instead.
+func LatencyTolerance() (*Artifact, error) {
+	const (
+		linkBW  = 20e9
+		latency = 1e-6
+		chunk   = 4096
+		dramBW  = 30e9
+	)
+	run := func(window int) (float64, error) {
+		cfg := sim.Config{
+			Name:          "latency-rig",
+			DRAMBandwidth: dramBW,
+			IPs: []sim.IPSpec{{Config: ip.Config{
+				Name:          "engine",
+				ComputeRate:   1000e9,
+				LinkBandwidth: linkBW,
+				ChunkBytes:    chunk,
+				MaxInflight:   window,
+				MemoryLatency: latency,
+			}}},
+		}
+		sys, err := sim.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		k := kernel.Kernel{Name: "stream", WorkingSet: 4 << 20, Trials: 2,
+			FlopsPerWord: 1, Pattern: kernel.ReadOnly}
+		res, err := sys.Run([]sim.Assignment{{IP: "engine", Kernel: k}}, sim.RunOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return res.IPs[0].Bandwidth, nil
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("Outstanding-window sweep (%.0f ns round-trip latency, %.0f GB/s link)", latency*1e9, linkBW/1e9),
+		"window depth", "achieved bandwidth (GB/s)", "link utilization")
+	s := plot.Series{Name: "achieved bandwidth"}
+	results := map[int]float64{}
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		bw, err := run(w)
+		if err != nil {
+			return nil, err
+		}
+		results[w] = bw
+		tbl.AddRow(w, bw/1e9, fmt.Sprintf("%.0f%%", 100*bw/linkBW))
+		s.X = append(s.X, float64(w))
+		s.Y = append(s.Y, bw/1e9)
+	}
+	return &Artifact{
+		ID:     "latency",
+		Title:  "Latency reduction vs latency tolerance (§III-C design contrast)",
+		Tables: []*report.Table{tbl},
+		Charts: map[string]*plot.Chart{"latency_window": {
+			Title:  "Achieved bandwidth vs outstanding-window depth",
+			XLabel: "outstanding chunks", YLabel: "GB/s", XLog: true,
+			Series: []plot.Series{s},
+		}},
+		Checks: []Check{
+			{
+				Metric:   "shallow windows starve under latency",
+				Paper:    "a GPU designed for latency tolerance, not bandwidth reduction (§III-C)",
+				Measured: fmt.Sprintf("window 1: %.1f GB/s of the %.0f GB/s link", results[1]/1e9, linkBW/1e9),
+				Match:    results[1] < 0.25*linkBW,
+			},
+			{
+				Metric:   "deep windows hide the latency",
+				Paper:    "(the GPU runs 1024 workgroups × 256 threads — §IV-B)",
+				Measured: fmt.Sprintf("window 32: %.1f GB/s", results[32]/1e9),
+				Match:    results[32] > 0.95*linkBW,
+			},
+			{
+				Metric:   "bandwidth grows monotonically with depth",
+				Paper:    "(implied by the latency-tolerance mechanism)",
+				Measured: "monotone across the sweep",
+				Match: results[1] <= results[2] && results[2] <= results[4] &&
+					results[4] <= results[8] && results[8] <= results[16] &&
+					results[16] <= results[32]*1.001,
+			},
+		},
+	}, nil
+}

@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/optimize"
+	"github.com/gables-model/gables/internal/plot"
+	"github.com/gables-model/gables/internal/report"
+	"github.com/gables-model/gables/internal/sweep"
+	"github.com/gables-model/gables/internal/units"
+)
+
+func init() {
+	register("fig5", Figure5)
+	register("fig6", Figure6)
+	register("fig10", Figure10)
+	register("fig11", Figure11)
+	register("serialized", SerializedWork)
+	register("iavg", IavgAblation)
+}
+
+// paperTwoIPModel builds the §III-C SoC at the given Bpeak.
+func paperTwoIPModel(bpeakGB float64) (*core.Model, error) {
+	s, err := core.TwoIP("paper-two-ip", units.GopsPerSec(40), units.GBPerSec(bpeakGB), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	if err != nil {
+		return nil, err
+	}
+	return core.New(s)
+}
+
+// Figure5 documents the N-IP SoC the base model targets, as a parameter
+// table (the paper's figure is a schematic).
+func Figure5() (*Artifact, error) {
+	m, err := paperTwoIPModel(10)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("Figure 5: N-IP SoC with Gables (two-IP instance)",
+		"component", "compute bound", "bandwidth")
+	tbl.AddRow("IP[0] (CPU)", m.SoC.Peak, m.SoC.IPs[0].Bandwidth)
+	tbl.AddRow("IP[1] (A=5)", m.SoC.IPs[1].Peak(m.SoC.Peak), m.SoC.IPs[1].Bandwidth)
+	tbl.AddRow("DRAM interface", "(none)", m.SoC.MemoryBandwidth)
+	return &Artifact{
+		ID:     "fig5",
+		Title:  "The modeled N-IP SoC",
+		Tables: []*report.Table{tbl},
+		Checks: []Check{{
+			Metric: "A0 = 1 normalization", Paper: "A0 must be 1",
+			Measured: g(m.SoC.IPs[0].Acceleration),
+			Match:    m.SoC.IPs[0].Acceleration == 1,
+		}},
+	}, nil
+}
+
+// fig6Case is one step of the paper's worked example.
+type fig6Case struct {
+	name      string
+	bpeak     float64
+	f, i0, i1 float64
+	wantGops  float64 // the appendix's exact value
+	paperSays string
+}
+
+func fig6Cases() []fig6Case {
+	return []fig6Case{
+		{"6a", 10, 0, 8, 0.1, 40, "40 Gops/s (GPU unused)"},
+		{"6b", 10, 0.75, 8, 0.1, 10 / (0.25/8 + 0.75/0.1), "1.3 Gops/s (memory inadequate)"},
+		{"6c", 30, 0.75, 8, 0.1, 2, "2 Gops/s (IP[1] reuse still poor)"},
+		{"6d", 20, 0.75, 8, 8, 160, "160 Gops/s (balanced design)"},
+	}
+}
+
+// Figure6 regenerates the two-IP walk-through of §III-C against the
+// appendix's exact numbers, producing the four multi-roofline plots.
+func Figure6() (*Artifact, error) {
+	art := &Artifact{
+		ID:     "fig6",
+		Title:  "Two-IP Gables walk-through (Figures 6a–6d)",
+		Charts: map[string]*plot.Chart{},
+	}
+	tbl := report.NewTable("Figures 6a–6d: the paper's worked example",
+		"case", "Bpeak (GB/s)", "f", "I0", "I1",
+		"1/T_IP0 (Gops/s)", "1/T_IP1", "1/Tmem", "Pattainable", "bottleneck")
+	for _, c := range fig6Cases() {
+		m, err := paperTwoIPModel(c.bpeak)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.TwoIPUsecase(c.name, c.f, units.Intensity(c.i0), units.Intensity(c.i1))
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.Evaluate(u)
+		if err != nil {
+			return nil, err
+		}
+		terms, _, err := m.PerformanceForm(u)
+		if err != nil {
+			return nil, err
+		}
+		vals := map[string]string{"IP0": "-", "IP1": "-", "mem": "-"}
+		for _, t := range terms {
+			switch {
+			case t.Component.Kind == "IP" && t.Component.Index == 0:
+				vals["IP0"] = g(t.Perf.Gops())
+			case t.Component.Kind == "IP" && t.Component.Index == 1:
+				vals["IP1"] = g(t.Perf.Gops())
+			case t.Component.Kind == "memory":
+				vals["mem"] = g(t.Perf.Gops())
+			}
+		}
+		tbl.AddRow(c.name, c.bpeak, c.f, c.i0, c.i1,
+			vals["IP0"], vals["IP1"], vals["mem"],
+			res.Attainable.Gops(), res.Bottleneck.String())
+		art.Checks = append(art.Checks, Check{
+			Metric:   fmt.Sprintf("Pattainable (Fig %s)", c.name),
+			Paper:    c.paperSays,
+			Measured: g(res.Attainable.Gops()) + " Gops/s",
+			Match:    approx(res.Attainable.Gops(), c.wantGops, 1e-9),
+		})
+		ch, err := plot.GablesChart(m, u, 0.01, 100, 65)
+		if err != nil {
+			return nil, err
+		}
+		art.Charts["fig"+c.name+"_gables"] = ch
+	}
+	art.Tables = []*report.Table{tbl}
+
+	// The balance analysis behind Fig 6d's "perfectly balanced design".
+	m, err := paperTwoIPModel(20)
+	if err != nil {
+		return nil, err
+	}
+	u, _ := core.TwoIPUsecase("6d", 0.75, 8, 8)
+	bal, err := optimize.Analyze(m, u)
+	if err != nil {
+		return nil, err
+	}
+	art.Checks = append(art.Checks, Check{
+		Metric:   "Fig 6d balance",
+		Paper:    "all three rooflines equal at I = 8",
+		Measured: fmt.Sprintf("%d components all at headroom 1", len(bal)),
+		Match:    optimize.IsBalanced(bal, 1e-9),
+	})
+	suff, err := optimize.SufficientBandwidth(m, u)
+	if err != nil {
+		return nil, err
+	}
+	art.Checks = append(art.Checks, Check{
+		Metric:   "Fig 6d sufficient Bpeak",
+		Paper:    "decreasing Bpeak to a sufficient 20 GB/s",
+		Measured: suff.String(),
+		Match:    approx(suff.GB(), 20, 1e-9),
+	})
+	return art, nil
+}
+
+// Figure10 exercises the §V-A memory-side SRAM extension: sweeping IP[1]'s
+// miss ratio on the memory-bound Figure 6b usecase shows off-chip traffic
+// filtering recovering performance up to the next bottleneck.
+func Figure10() (*Artifact, error) {
+	m, err := paperTwoIPModel(10)
+	if err != nil {
+		return nil, err
+	}
+	m.SRAM = &core.SRAM{Name: "memory-side SRAM", MissRatio: []float64{1, 1}}
+	u, _ := core.TwoIPUsecase("6b+sram", 0.75, 8, 0.1)
+
+	ratios := []float64{1, 0.75, 0.5, 0.25, 0.1, 0.05, 0}
+	pts, err := sweep.MissRatio(m, u, 1, ratios)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("Figure 10 extension: memory-side SRAM on the Fig 6b usecase",
+		"m1 (IP[1] miss ratio)", "Pattainable (Gops/s)", "bottleneck")
+	s := plot.Series{Name: "Pattainable"}
+	for _, p := range pts {
+		tbl.AddRow(p.X, p.Attainable.Gops(), p.Bottleneck.String())
+		s.X = append(s.X, p.X)
+		s.Y = append(s.Y, p.Attainable.Gops())
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	return &Artifact{
+		ID:     "fig10",
+		Title:  "Memory-side memory/scratchpad/cache extension (§V-A)",
+		Tables: []*report.Table{tbl},
+		Charts: map[string]*plot.Chart{"fig10_sram": {
+			Title: "SRAM miss-ratio sweep (Fig 6b usecase)", XLabel: "miss ratio m1",
+			YLabel: "Pattainable (Gops/s)", Series: []plot.Series{s},
+		}},
+		Checks: []Check{
+			{
+				Metric:   "m=1 degenerates to the base model",
+				Paper:    "extension reduces off-chip traffic to mi·Di",
+				Measured: g(first.Attainable.Gops()) + " Gops/s at m1=1",
+				Match:    approx(first.Attainable.Gops(), 1.3278, 1e-3),
+			},
+			{
+				Metric:   "perfect reuse shifts the bottleneck off memory",
+				Paper:    "good reuse has mi ≪ 1",
+				Measured: fmt.Sprintf("%s Gops/s at m1=0, bottleneck %s", g(last.Attainable.Gops()), last.Bottleneck),
+				Match:    approx(last.Attainable.Gops(), 2, 1e-9) && last.Bottleneck.Kind == "IP",
+			},
+		},
+	}, nil
+}
+
+// Figure11 exercises the §V-B interconnect extension: the Figure 6d
+// balanced design loses a factor 2.5 when both IPs share an 8 GB/s fabric,
+// and recovers as the fabric widens.
+func Figure11() (*Artifact, error) {
+	u, _ := core.TwoIPUsecase("6d", 0.75, 8, 8)
+	tbl := report.NewTable("Figure 11 extension: shared-bus bandwidth sweep (Fig 6d usecase)",
+		"bus bandwidth (GB/s)", "Pattainable (Gops/s)", "bottleneck")
+	s := plot.Series{Name: "Pattainable"}
+	var at8, atWide float64
+	for _, bw := range []float64{2, 4, 8, 12, 16, 20, 24, 32} {
+		m, err := paperTwoIPModel(20)
+		if err != nil {
+			return nil, err
+		}
+		m.Buses = []core.Bus{{Name: "shared fabric", Bandwidth: units.GBPerSec(bw), Users: []int{0, 1}}}
+		res, err := m.Evaluate(u)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(bw, res.Attainable.Gops(), res.Bottleneck.String())
+		s.X = append(s.X, bw)
+		s.Y = append(s.Y, res.Attainable.Gops())
+		if bw == 8 {
+			at8 = res.Attainable.Gops()
+		}
+		if bw == 32 {
+			atWide = res.Attainable.Gops()
+		}
+	}
+	return &Artifact{
+		ID:     "fig11",
+		Title:  "On-chip interconnect extension (§V-B)",
+		Tables: []*report.Table{tbl},
+		Charts: map[string]*plot.Chart{"fig11_bus": {
+			Title: "Shared-bus sweep (Fig 6d usecase)", XLabel: "bus bandwidth (GB/s)",
+			YLabel: "Pattainable (Gops/s)", Series: []plot.Series{s},
+		}},
+		Checks: []Check{
+			{
+				Metric:   "narrow shared bus binds",
+				Paper:    "each bus contributes a diagonal roofline; T_Bus[j] = Σ Di·Use(i,j)/Bj",
+				Measured: fmt.Sprintf("%s Gops/s behind an 8 GB/s bus (analytic 8·8 = 64)", g(at8)),
+				Match:    approx(at8, 64, 1e-9),
+			},
+			{
+				Metric:   "ample bus recovers the base bound",
+				Paper:    "base model assumes sufficient interconnect bandwidth",
+				Measured: g(atWide) + " Gops/s at 32 GB/s",
+				Match:    approx(atWide, 160, 1e-9),
+			},
+		},
+	}, nil
+}
+
+// SerializedWork exercises the §V-C exclusive-work extension on the
+// Figure 6d usecase: serializing the two IPs halves the balanced design's
+// performance, quantifying the value of the concurrency assumption.
+func SerializedWork() (*Artifact, error) {
+	m, err := paperTwoIPModel(20)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("§V-C extension: concurrent vs exclusive/serialized work",
+		"f", "I0", "I1", "concurrent (Gops/s)", "serialized (Gops/s)", "ratio")
+	type rec struct{ conc, ser float64 }
+	var balanced rec
+	for _, c := range fig6Cases() {
+		mm, err := paperTwoIPModel(c.bpeak)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.TwoIPUsecase(c.name, c.f, units.Intensity(c.i0), units.Intensity(c.i1))
+		if err != nil {
+			return nil, err
+		}
+		conc, err := mm.Evaluate(u)
+		if err != nil {
+			return nil, err
+		}
+		ser, err := mm.EvaluateSerialized(u)
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(conc.Attainable) / float64(ser.Attainable)
+		tbl.AddRow(c.f, c.i0, c.i1, conc.Attainable.Gops(), ser.Attainable.Gops(), ratio)
+		if c.name == "6d" {
+			balanced = rec{conc.Attainable.Gops(), ser.Attainable.Gops()}
+		}
+	}
+	_ = m
+	return &Artifact{
+		ID:     "serialized",
+		Title:  "Exclusive/serialized work extension (§V-C)",
+		Tables: []*report.Table{tbl},
+		Checks: []Check{
+			{
+				Metric:   "serialization halves the balanced design",
+				Paper:    "exclusive work uses the sum of T'_IP[i] rather than the maximum",
+				Measured: fmt.Sprintf("concurrent %s vs serialized %s Gops/s", g(balanced.conc), g(balanced.ser)),
+				Match:    approx(balanced.conc, 160, 1e-9) && approx(balanced.ser, 80, 1e-9),
+			},
+		},
+		Notes: []string{
+			"Serialized evaluation matches MultiAmdahl's computational assumptions plus Gables' data-transfer terms (Equations 18–19).",
+		},
+	}, nil
+}
+
+// IavgAblation compares the paper's weighted harmonic mean Iavg against a
+// naive arithmetic mean, demonstrating why the harmonic form is the right
+// one: only it conserves total bytes.
+func IavgAblation() (*Artifact, error) {
+	m, err := paperTwoIPModel(10)
+	if err != nil {
+		return nil, err
+	}
+	u, _ := core.TwoIPUsecase("6b", 0.75, 8, 0.1)
+	res, err := m.Evaluate(u)
+	if err != nil {
+		return nil, err
+	}
+	iavg, ok := u.AverageIntensity()
+	if !ok {
+		return nil, fmt.Errorf("experiments: Iavg undefined")
+	}
+	arith := 0.25*8 + 0.75*0.1 // the tempting-but-wrong weighted arithmetic mean
+	harmonicMem := 10 * float64(iavg)
+	arithMem := 10 * arith
+	tbl := report.NewTable("Ablation: harmonic vs arithmetic Iavg (Fig 6b usecase)",
+		"formulation", "Iavg (ops/B)", "memory bound (Gops/s)", "consistent with ΣDi?")
+	totalBytes := float64(res.MemoryTraffic)
+	tbl.AddRow("weighted harmonic (paper)", float64(iavg), harmonicMem,
+		fmt.Sprintf("yes (1/Iavg = %s = ΣDi per op)", g(1/float64(iavg))))
+	tbl.AddRow("weighted arithmetic (naive)", arith, arithMem,
+		fmt.Sprintf("no (implies %s bytes, actual %s)", g(1/arith), g(totalBytes)))
+	return &Artifact{
+		ID:     "iavg",
+		Title:  "Why Iavg is a weighted harmonic mean",
+		Tables: []*report.Table{tbl},
+		Checks: []Check{
+			{
+				Metric:   "harmonic Iavg reproduces Tmemory",
+				Paper:    "1/Tmemory = Bpeak·Iavg with Iavg = 1/Σ(fi/Ii)",
+				Measured: fmt.Sprintf("memory bound %s vs Pattainable %s Gops/s", g(harmonicMem), g(res.Attainable.Gops())),
+				Match:    approx(harmonicMem, res.Attainable.Gops(), 1e-9),
+			},
+			{
+				Metric:   "arithmetic mean would be ~16× optimistic here",
+				Paper:    "(implied by Equation 7)",
+				Measured: fmt.Sprintf("%s vs %s Gops/s", g(arithMem), g(harmonicMem)),
+				Match:    arithMem > 10*harmonicMem,
+			},
+		},
+	}, nil
+}

@@ -1,0 +1,178 @@
+// Package kernel defines the paper's Algorithm 1 micro-benchmark — the
+// roofline kernel used in §IV to estimate the CPU, GPU and DSP rooflines of
+// a black-box SoC — both as a descriptor the simulated SoC executes and as
+// native Go code that actually runs on the host (the structure conceived by
+// the Empirical Roofline Toolkit authors).
+//
+// The kernel loads each word of an array of a given size and performs a
+// configurable number of fused multiply-add operations on it, storing the
+// result back. Varying the array size probes the memory hierarchy; varying
+// the operations per word controls operational intensity.
+package kernel
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// Pattern selects the kernel's memory-access variant.
+type Pattern int
+
+// Access patterns.
+const (
+	// ReadWrite is the §IV-A CPU kernel: each word is read, updated and
+	// written back (A[i] ← beta computed from A[i]). Two bytes of DRAM
+	// traffic per array byte per trial.
+	ReadWrite Pattern = iota
+	// ReadOnly is the sanity-check variant mentioned in §IV-B's
+	// footnote: words are read and accumulated without being stored.
+	ReadOnly
+	// StreamCopy is the §IV-B GPU variant: stream-read one array,
+	// update another — "much like the CPU STREAM kernel" — letting a
+	// latency-tolerant engine maximize read bandwidth.
+	StreamCopy
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case ReadWrite:
+		return "read+write"
+	case ReadOnly:
+		return "read-only"
+	case StreamCopy:
+		return "stream-copy"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// WordSize is the array element size: 32-bit single-precision floats, the
+// paper's compromise between HPC's double precision and ML's half
+// precision.
+const WordSize = 4
+
+// Kernel describes one micro-benchmark configuration.
+type Kernel struct {
+	// Name labels the run.
+	Name string
+	// WorkingSet is the array footprint in bytes (one array; StreamCopy
+	// touches a second array of equal size).
+	WorkingSet units.Bytes
+	// Trials repeats the sweep, as Algorithm 1's outer loop does.
+	Trials int
+	// FlopsPerWord is the number of operations applied to each word per
+	// trial (Algorithm 1's FLOPS_PER_BYTE compile-time variants scale
+	// this; the name there notwithstanding, the unrolled statements are
+	// per word).
+	FlopsPerWord int
+	// Pattern is the access variant.
+	Pattern Pattern
+}
+
+// Validate checks the descriptor.
+func (k Kernel) Validate() error {
+	if k.WorkingSet < WordSize {
+		return fmt.Errorf("kernel: %s: working set %v smaller than one word", k.Name, float64(k.WorkingSet))
+	}
+	if k.Trials < 1 {
+		return fmt.Errorf("kernel: %s: need at least one trial, got %d", k.Name, k.Trials)
+	}
+	if k.FlopsPerWord < 1 {
+		return fmt.Errorf("kernel: %s: need at least one flop per word, got %d", k.Name, k.FlopsPerWord)
+	}
+	switch k.Pattern {
+	case ReadWrite, ReadOnly, StreamCopy:
+	default:
+		return fmt.Errorf("kernel: %s: unknown pattern %d", k.Name, int(k.Pattern))
+	}
+	return nil
+}
+
+// Words returns the array length in words.
+func (k Kernel) Words() int { return int(float64(k.WorkingSet) / WordSize) }
+
+// TotalFlops returns the operations the kernel performs across all trials.
+func (k Kernel) TotalFlops() units.Ops {
+	return units.Ops(float64(k.Words()) * float64(k.FlopsPerWord) * float64(k.Trials))
+}
+
+// TrafficPerTrial returns DRAM bytes moved per trial when the working set
+// does not fit in cache: reads plus writes according to the pattern.
+func (k Kernel) TrafficPerTrial() (read, write units.Bytes) {
+	ws := k.WorkingSet
+	switch k.Pattern {
+	case ReadOnly:
+		return ws, 0
+	case StreamCopy:
+		return ws, ws
+	default: // ReadWrite
+		return ws, ws
+	}
+}
+
+// TotalTraffic returns total DRAM bytes across all trials (cache-less).
+func (k Kernel) TotalTraffic() units.Bytes {
+	r, w := k.TrafficPerTrial()
+	return units.Bytes(float64(r+w) * float64(k.Trials))
+}
+
+// Intensity returns the kernel's operational intensity in flops per byte of
+// DRAM traffic (cache-less): FlopsPerWord / (bytes moved per word).
+func (k Kernel) Intensity() units.Intensity {
+	r, w := k.TrafficPerTrial()
+	bytesPerWord := float64(r+w) / float64(k.Words())
+	return units.Intensity(float64(k.FlopsPerWord) / bytesPerWord)
+}
+
+// ForIntensity builds a kernel achieving the requested operational
+// intensity (flops per DRAM byte) under the given pattern, rounding
+// FlopsPerWord up to at least 1. The achievable granularity is one flop per
+// word, i.e. intensity steps of 1/bytesPerWord.
+func ForIntensity(name string, ws units.Bytes, trials int, intensity units.Intensity, p Pattern) (Kernel, error) {
+	if intensity <= 0 {
+		return Kernel{}, fmt.Errorf("kernel: %s: intensity must be positive, got %v", name, float64(intensity))
+	}
+	bytesPerWord := 8.0 // ReadWrite, StreamCopy
+	if p == ReadOnly {
+		bytesPerWord = 4
+	}
+	fpw := int(float64(intensity)*bytesPerWord + 0.5)
+	if fpw < 1 {
+		fpw = 1
+	}
+	k := Kernel{Name: name, WorkingSet: ws, Trials: trials, FlopsPerWord: fpw, Pattern: p}
+	return k, k.Validate()
+}
+
+// Sweep returns kernels covering log-spaced intensities, the way §IV's
+// evaluation sweeps FLOPS_PER_BYTE from 1 up to 1024 in powers of two.
+func Sweep(name string, ws units.Bytes, trials int, flopsPerWord []int, p Pattern) ([]Kernel, error) {
+	if len(flopsPerWord) == 0 {
+		return nil, fmt.Errorf("kernel: %s: empty sweep", name)
+	}
+	out := make([]Kernel, 0, len(flopsPerWord))
+	for _, fpw := range flopsPerWord {
+		k := Kernel{
+			Name:         fmt.Sprintf("%s/fpw=%d", name, fpw),
+			WorkingSet:   ws,
+			Trials:       trials,
+			FlopsPerWord: fpw,
+			Pattern:      p,
+		}
+		if err := k.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// PowersOfTwo returns {1, 2, 4, ..., 2^maxExp}.
+func PowersOfTwo(maxExp int) []int {
+	out := make([]int, 0, maxExp+1)
+	for e := 0; e <= maxExp; e++ {
+		out = append(out, 1<<e)
+	}
+	return out
+}

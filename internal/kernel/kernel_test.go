@@ -1,0 +1,223 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	good := Kernel{Name: "k", WorkingSet: 1024, Trials: 2, FlopsPerWord: 4, Pattern: ReadWrite}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid kernel rejected: %v", err)
+	}
+	cases := []Kernel{
+		{Name: "tiny", WorkingSet: 2, Trials: 1, FlopsPerWord: 1},
+		{Name: "notrials", WorkingSet: 1024, Trials: 0, FlopsPerWord: 1},
+		{Name: "noflops", WorkingSet: 1024, Trials: 1, FlopsPerWord: 0},
+		{Name: "badpattern", WorkingSet: 1024, Trials: 1, FlopsPerWord: 1, Pattern: Pattern(9)},
+	}
+	for _, k := range cases {
+		if err := k.Validate(); err == nil {
+			t.Errorf("%s: expected error", k.Name)
+		}
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	k := Kernel{Name: "k", WorkingSet: 4096, Trials: 3, FlopsPerWord: 8, Pattern: ReadWrite}
+	if k.Words() != 1024 {
+		t.Errorf("Words = %d, want 1024", k.Words())
+	}
+	if got := float64(k.TotalFlops()); got != 1024*8*3 {
+		t.Errorf("TotalFlops = %v, want %v", got, 1024*8*3)
+	}
+	r, w := k.TrafficPerTrial()
+	if r != 4096 || w != 4096 {
+		t.Errorf("RW traffic = %v/%v, want 4096/4096", float64(r), float64(w))
+	}
+	if got := float64(k.TotalTraffic()); got != 4096*2*3 {
+		t.Errorf("TotalTraffic = %v", got)
+	}
+	// Intensity: 8 flops per word over 8 bytes moved per word = 1.
+	if k.Intensity() != 1 {
+		t.Errorf("Intensity = %v, want 1", float64(k.Intensity()))
+	}
+}
+
+func TestPatternTraffic(t *testing.T) {
+	ro := Kernel{WorkingSet: 4096, Trials: 1, FlopsPerWord: 4, Pattern: ReadOnly}
+	r, w := ro.TrafficPerTrial()
+	if r != 4096 || w != 0 {
+		t.Errorf("RO traffic = %v/%v", float64(r), float64(w))
+	}
+	// RO intensity: 4 flops over 4 bytes per word = 1.
+	if ro.Intensity() != 1 {
+		t.Errorf("RO intensity = %v", float64(ro.Intensity()))
+	}
+	sc := Kernel{WorkingSet: 4096, Trials: 1, FlopsPerWord: 4, Pattern: StreamCopy}
+	r, w = sc.TrafficPerTrial()
+	if r != 4096 || w != 4096 {
+		t.Errorf("SC traffic = %v/%v", float64(r), float64(w))
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if ReadWrite.String() != "read+write" || ReadOnly.String() != "read-only" ||
+		StreamCopy.String() != "stream-copy" {
+		t.Error("pattern names wrong")
+	}
+	if Pattern(9).String() == "" {
+		t.Error("unknown pattern must still format")
+	}
+}
+
+func TestForIntensity(t *testing.T) {
+	k, err := ForIntensity("k", 4096, 1, 2, ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 flops/byte × 8 bytes/word = 16 flops/word.
+	if k.FlopsPerWord != 16 {
+		t.Errorf("FlopsPerWord = %d, want 16", k.FlopsPerWord)
+	}
+	if k.Intensity() != 2 {
+		t.Errorf("Intensity = %v, want 2", float64(k.Intensity()))
+	}
+
+	// Sub-granular intensity clamps to one flop per word.
+	k, err = ForIntensity("k", 4096, 1, 0.01, ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.FlopsPerWord != 1 {
+		t.Errorf("FlopsPerWord = %d, want 1", k.FlopsPerWord)
+	}
+
+	if _, err := ForIntensity("k", 4096, 1, 0, ReadWrite); err == nil {
+		t.Error("zero intensity must be rejected")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	ks, err := Sweep("s", 1<<20, 2, PowersOfTwo(10), ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 11 {
+		t.Fatalf("sweep length = %d, want 11", len(ks))
+	}
+	if ks[0].FlopsPerWord != 1 || ks[10].FlopsPerWord != 1024 {
+		t.Errorf("sweep endpoints = %d..%d", ks[0].FlopsPerWord, ks[10].FlopsPerWord)
+	}
+	if _, err := Sweep("s", 1<<20, 2, nil, ReadWrite); err == nil {
+		t.Error("empty sweep must be rejected")
+	}
+}
+
+func TestRunNativeCorrectness(t *testing.T) {
+	k := Kernel{Name: "k", WorkingSet: 1024, Trials: 1, FlopsPerWord: 4, Pattern: StreamCopy}
+	res, err := RunNative(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flops != k.TotalFlops() {
+		t.Errorf("Flops = %v, want %v", float64(res.Flops), float64(k.TotalFlops()))
+	}
+	// dst[0] must equal the analytic reference for a[0] = 1.0.
+	want, err := ReferenceValue(1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checksum is dst[0]+dst[last]+dst[mid]; with a[i] = 1 + (i%7)/4 the
+	// three inputs are known.
+	v0, _ := ReferenceValue(1.0+float32(0%7)*0.25, 4)
+	vLast, _ := ReferenceValue(1.0+float32((k.Words()-1)%7)*0.25, 4)
+	vMid, _ := ReferenceValue(1.0+float32((k.Words()/2)%7)*0.25, 4)
+	sum := v0 + vLast + vMid
+	if math.Abs(float64(res.Checksum-sum)) > 1e-5 {
+		t.Errorf("checksum = %v, want %v (ref for a[0]=%v)", res.Checksum, sum, want)
+	}
+}
+
+func TestRunNativePatterns(t *testing.T) {
+	for _, p := range []Pattern{ReadWrite, ReadOnly, StreamCopy} {
+		k := Kernel{Name: p.String(), WorkingSet: 64 * 1024, Trials: 2, FlopsPerWord: 2, Pattern: p}
+		res, err := RunNative(k)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Rate <= 0 {
+			t.Errorf("%s: rate = %v", p, float64(res.Rate))
+		}
+	}
+}
+
+func TestRunNativeRejectsInvalid(t *testing.T) {
+	if _, err := RunNative(Kernel{}); err == nil {
+		t.Error("invalid kernel must be rejected")
+	}
+}
+
+func TestReferenceValue(t *testing.T) {
+	// 2 flops: one multiply-add pair: 0.5*v + 0.5.
+	got, err := ReferenceValue(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.5 {
+		t.Errorf("ReferenceValue(2,2) = %v, want 1.5", got)
+	}
+	// 1 flop: single multiply 0.5*v.
+	got, _ = ReferenceValue(2, 1)
+	if got != 1.0 {
+		t.Errorf("ReferenceValue(2,1) = %v, want 1", got)
+	}
+	// 3 flops: pair then multiply: (0.5*2+0.5)*2 = 3.
+	got, _ = ReferenceValue(2, 3)
+	if got != 3.0 {
+		t.Errorf("ReferenceValue(2,3) = %v, want 3", got)
+	}
+	if _, err := ReferenceValue(2, 0); err == nil {
+		t.Error("zero flops must be rejected")
+	}
+}
+
+// Property: intensity monotonically increases with FlopsPerWord and total
+// flops scale linearly with trials.
+func TestKernelScalingProperty(t *testing.T) {
+	f := func(fpwSeed, trialSeed uint8) bool {
+		fpw := 1 + int(fpwSeed)
+		trials := 1 + int(trialSeed%16)
+		k1 := Kernel{WorkingSet: 1 << 16, Trials: 1, FlopsPerWord: fpw, Pattern: ReadWrite}
+		kT := k1
+		kT.Trials = trials
+		if float64(kT.TotalFlops()) != float64(k1.TotalFlops())*float64(trials) {
+			return false
+		}
+		k2 := k1
+		k2.FlopsPerWord = fpw + 1
+		return k2.Intensity() > k1.Intensity()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ForIntensity round-trips within one flop-per-word of
+// granularity.
+func TestForIntensityRoundTripProperty(t *testing.T) {
+	f := func(e uint8) bool {
+		want := units.Intensity(math.Pow(2, float64(e%11))) // 1..1024
+		k, err := ForIntensity("k", 1<<16, 1, want, ReadWrite)
+		if err != nil {
+			return false
+		}
+		return k.Intensity() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// NativeResult reports a host execution of the kernel.
+type NativeResult struct {
+	// Flops is the operations performed.
+	Flops units.Ops
+	// Elapsed is wall-clock time.
+	Elapsed time.Duration
+	// Rate is achieved flops/second.
+	Rate units.OpsPerSec
+	// Checksum defeats dead-code elimination and doubles as a
+	// determinism check in tests.
+	Checksum float32
+}
+
+// RunNative executes the kernel on the host CPU — the direct Go
+// transliteration of Algorithm 1's pseudocode: per trial, for each word,
+// beta starts at 0.5 and accumulates FlopsPerWord/2 multiply-add pairs
+// beta = beta*A[i] + alpha before being stored back. An odd FlopsPerWord
+// issues a final multiply. ReadOnly accumulates into the checksum without
+// storing; StreamCopy writes into a second array.
+//
+// This is the code path a real Gables evaluation runs on silicon; the repo
+// uses it both as an executable example and to benchmark the host.
+func RunNative(k Kernel) (*NativeResult, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	words := k.Words()
+	a := make([]float32, words)
+	for i := range a {
+		a[i] = 1.0 + float32(i%7)*0.25
+	}
+	var dst []float32
+	if k.Pattern == StreamCopy {
+		dst = make([]float32, words)
+	}
+	const alpha = float32(0.5)
+	pairs := k.FlopsPerWord / 2
+	odd := k.FlopsPerWord%2 == 1
+
+	var sink float32
+	start := time.Now()
+	for trial := 0; trial < k.Trials; trial++ {
+		switch k.Pattern {
+		case ReadOnly:
+			var acc float32
+			for i := 0; i < words; i++ {
+				beta := float32(0.5)
+				v := a[i]
+				for p := 0; p < pairs; p++ {
+					beta = beta*v + alpha
+				}
+				if odd {
+					beta = beta * v
+				}
+				acc += beta
+			}
+			sink += acc
+		case StreamCopy:
+			for i := 0; i < words; i++ {
+				beta := float32(0.5)
+				v := a[i]
+				for p := 0; p < pairs; p++ {
+					beta = beta*v + alpha
+				}
+				if odd {
+					beta = beta * v
+				}
+				dst[i] = beta
+			}
+		default: // ReadWrite
+			for i := 0; i < words; i++ {
+				beta := float32(0.5)
+				v := a[i]
+				for p := 0; p < pairs; p++ {
+					beta = beta*v + alpha
+				}
+				if odd {
+					beta = beta * v
+				}
+				a[i] = beta
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	switch k.Pattern {
+	case StreamCopy:
+		sink = dst[0] + dst[words-1] + dst[words/2]
+	case ReadWrite:
+		sink = a[0] + a[words-1] + a[words/2]
+	}
+	flops := k.TotalFlops()
+	res := &NativeResult{
+		Flops:    flops,
+		Elapsed:  elapsed,
+		Checksum: sink,
+	}
+	if elapsed > 0 {
+		res.Rate = units.OpsPerSec(float64(flops) / elapsed.Seconds())
+	}
+	return res, nil
+}
+
+// ReferenceValue computes what one word's value becomes after a single
+// trial starting from input v — the analytic oracle for RunNative's inner
+// loop, used by tests.
+func ReferenceValue(v float32, flopsPerWord int) (float32, error) {
+	if flopsPerWord < 1 {
+		return 0, fmt.Errorf("kernel: flops per word must be positive, got %d", flopsPerWord)
+	}
+	beta := float32(0.5)
+	const alpha = float32(0.5)
+	for p := 0; p < flopsPerWord/2; p++ {
+		beta = beta*v + alpha
+	}
+	if flopsPerWord%2 == 1 {
+		beta = beta * v
+	}
+	return beta, nil
+}

@@ -1,0 +1,23 @@
+package logca_test
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/logca"
+)
+
+// Example characterizes a GPU-class accelerator interface and asks the
+// LogCA questions: does offload ever pay, and how big must offloads be?
+func Example() {
+	m := logca.Model{
+		Latency:      0.167e-9,       // per-byte transfer (≈6 GB/s staging)
+		Overhead:     100e-6,         // dispatch cost
+		ComputeIndex: 0.133e-9 * 256, // host time per byte at I = 256
+		Beta:         1,
+		Acceleration: 46.6,
+	}
+	peak, _ := m.PeakSpeedup()
+	g1, _, _ := m.BreakEven()
+	fmt.Printf("peak speedup %.1f, break-even at %.0f KB\n", peak, g1/1e3)
+	// Output: peak speedup 37.9, break-even at 3 KB
+}

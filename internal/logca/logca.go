@@ -1,0 +1,206 @@
+// Package logca implements the LogCA model of Altaf and Wood ("LogCA: A
+// High-Level Performance Model for Hardware Accelerators", ISCA 2017),
+// which the Gables paper's §VI names as a candidate sub-model for IP
+// interaction overheads. LogCA predicts the speedup of offloading a
+// computation of granularity g (bytes of offloaded data) to an accelerator
+// characterized by five parameters:
+//
+//	L — Latency: per-byte data-movement time to/from the accelerator
+//	o — overhead: fixed host-side setup/dispatch cost per offload
+//	g — granularity: the offloaded data size (the model's variable)
+//	C — Computational index: host time per byte of work, with the
+//	    workload's complexity exponent β (time grows as C·g^β)
+//	A — peak Acceleration of the device
+//
+// giving
+//
+//	T_host(g)  = C·g^β
+//	T_accel(g) = o + L·g + C·g^β / A
+//	Speedup(g) = T_host(g) / T_accel(g)
+//
+// LogCA complements Gables: Gables bounds *concurrent* steady-state
+// throughput of the whole SoC, while LogCA explains when a single offload
+// is worth its interaction overhead — the same coordination effect the
+// simulated mixing experiment (§IV-C) charges per byte.
+package logca
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is one accelerator interface characterization.
+type Model struct {
+	// Latency is the per-byte transfer time in seconds (the aggregate
+	// of link traversal as seen by one offload).
+	Latency float64
+	// Overhead is the fixed per-offload setup cost in seconds.
+	Overhead float64
+	// ComputeIndex is the host's time per byte of work (C).
+	ComputeIndex float64
+	// Beta is the workload complexity exponent (work grows as g^β);
+	// the model requires β ≥ 1.
+	Beta float64
+	// Acceleration is the device's peak speedup on the computation (A).
+	Acceleration float64
+}
+
+// Validate checks the parameters.
+func (m Model) Validate() error {
+	if m.Latency < 0 || math.IsNaN(m.Latency) {
+		return fmt.Errorf("logca: latency must be non-negative, got %v", m.Latency)
+	}
+	if m.Overhead < 0 || math.IsNaN(m.Overhead) {
+		return fmt.Errorf("logca: overhead must be non-negative, got %v", m.Overhead)
+	}
+	if m.ComputeIndex <= 0 {
+		return fmt.Errorf("logca: computational index must be positive, got %v", m.ComputeIndex)
+	}
+	if m.Beta < 1 {
+		return fmt.Errorf("logca: complexity exponent must be at least 1, got %v", m.Beta)
+	}
+	if m.Acceleration <= 0 {
+		return fmt.Errorf("logca: acceleration must be positive, got %v", m.Acceleration)
+	}
+	return nil
+}
+
+// TimeHost returns the unaccelerated execution time at granularity g.
+func (m Model) TimeHost(g float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if g <= 0 {
+		return 0, fmt.Errorf("logca: granularity must be positive, got %v", g)
+	}
+	return m.ComputeIndex * math.Pow(g, m.Beta), nil
+}
+
+// TimeAccel returns the offloaded execution time at granularity g.
+func (m Model) TimeAccel(g float64) (float64, error) {
+	th, err := m.TimeHost(g)
+	if err != nil {
+		return 0, err
+	}
+	return m.Overhead + m.Latency*g + th/m.Acceleration, nil
+}
+
+// Speedup returns T_host/T_accel at granularity g. For β ≥ 1 it is
+// nondecreasing in g: overheads amortize as offloads grow.
+func (m Model) Speedup(g float64) (float64, error) {
+	th, err := m.TimeHost(g)
+	if err != nil {
+		return 0, err
+	}
+	ta, err := m.TimeAccel(g)
+	if err != nil {
+		return 0, err
+	}
+	return th / ta, nil
+}
+
+// PeakSpeedup returns the asymptotic speedup as g → ∞: the full A when
+// work grows super-linearly (β > 1, compute swamps transfer), and
+// C/(L + C/A) for linear workloads (β = 1), where data movement caps the
+// benefit — LogCA's central warning and Gables' Bi in another guise.
+func (m Model) PeakSpeedup() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if m.Beta > 1 {
+		return m.Acceleration, nil
+	}
+	return m.ComputeIndex / (m.Latency + m.ComputeIndex/m.Acceleration), nil
+}
+
+// BreakEven returns g₁, the smallest granularity at which offloading is
+// not a loss (speedup ≥ 1). ok is false when no granularity ever breaks
+// even (the peak speedup is below 1).
+func (m Model) BreakEven() (g float64, ok bool, err error) {
+	return m.GranularityFor(1)
+}
+
+// GHalf returns g_{A/2}, the granularity achieving half the peak speedup —
+// LogCA's headline "how big must offloads be" metric.
+func (m Model) GHalf() (float64, bool, error) {
+	peak, err := m.PeakSpeedup()
+	if err != nil {
+		return 0, false, err
+	}
+	return m.GranularityFor(peak / 2)
+}
+
+// GranularityFor returns the smallest granularity achieving the target
+// speedup, by bisection on the monotone speedup curve. ok is false when
+// the target exceeds the asymptotic peak.
+func (m Model) GranularityFor(target float64) (float64, bool, error) {
+	peak, err := m.PeakSpeedup()
+	if err != nil {
+		return 0, false, err
+	}
+	if target <= 0 {
+		return 0, false, fmt.Errorf("logca: target speedup must be positive, got %v", target)
+	}
+	if target >= peak {
+		// β > 1 approaches A but never attains it; treat ≥ peak as
+		// unattainable except in degenerate zero-overhead cases.
+		if m.Overhead == 0 && m.Latency == 0 {
+			return 1, true, nil // speedup is A everywhere
+		}
+		return 0, false, nil
+	}
+	lo, hi := 1e-12, 1.0
+	for {
+		s, err := m.Speedup(hi)
+		if err != nil {
+			return 0, false, err
+		}
+		if s >= target {
+			break
+		}
+		hi *= 2
+		if hi > 1e30 {
+			return 0, false, nil
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := math.Sqrt(lo * hi)
+		s, err := m.Speedup(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if s >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true, nil
+}
+
+// Curve samples the speedup at n log-spaced granularities in [lo, hi].
+type Point struct {
+	Granularity float64
+	Speedup     float64
+}
+
+// Curve samples speedup over a granularity range for plotting.
+func (m Model) Curve(lo, hi float64, n int) ([]Point, error) {
+	if lo <= 0 || hi <= lo {
+		return nil, fmt.Errorf("logca: invalid range [%v, %v]", lo, hi)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("logca: need at least 2 samples, got %d", n)
+	}
+	out := make([]Point, n)
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	for k := 0; k < n; k++ {
+		gk := math.Exp(logLo + (logHi-logLo)*float64(k)/float64(n-1))
+		s, err := m.Speedup(gk)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = Point{Granularity: gk, Speedup: s}
+	}
+	return out, nil
+}

@@ -1,0 +1,227 @@
+package logca
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// example returns a GPU-flavored characterization: host at C = 0.133 ns/B
+// (≈ 7.5 GB/s of 1-op-per-byte work), A = 47, per-byte transfer at
+// L = 0.167 ns/B (≈ 6 GB/s staging) and 100 µs dispatch overhead.
+func example() Model {
+	return Model{
+		Latency:      0.167e-9,
+		Overhead:     100e-6,
+		ComputeIndex: 0.133e-9,
+		Beta:         1,
+		Acceleration: 47,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := example().Validate(); err != nil {
+		t.Fatalf("example invalid: %v", err)
+	}
+	cases := []func(*Model){
+		func(m *Model) { m.Latency = -1 },
+		func(m *Model) { m.Overhead = math.NaN() },
+		func(m *Model) { m.ComputeIndex = 0 },
+		func(m *Model) { m.Beta = 0.5 },
+		func(m *Model) { m.Acceleration = 0 },
+	}
+	for i, mutate := range cases {
+		m := example()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTimes(t *testing.T) {
+	m := example()
+	g := 1e6 // 1 MB offload
+	th, err := m.TimeHost(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.133e-9 * 1e6
+	if math.Abs(th-want) > 1e-15 {
+		t.Errorf("TimeHost = %v, want %v", th, want)
+	}
+	ta, err := m.TimeAccel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := 100e-6 + 0.167e-9*1e6 + want/47
+	if math.Abs(ta-wantA) > 1e-15 {
+		t.Errorf("TimeAccel = %v, want %v", ta, wantA)
+	}
+	if _, err := m.TimeHost(0); err == nil {
+		t.Error("zero granularity must be rejected")
+	}
+}
+
+func TestPeakSpeedupLinear(t *testing.T) {
+	m := example()
+	peak, err := m.PeakSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// β = 1: C/(L + C/A) = 0.133/(0.167 + 0.133/47) ≈ 0.783 — for this
+	// streaming workload, offload NEVER pays: the transfer costs more
+	// than the host compute. LogCA's version of the paper's Fig 8
+	// low-intensity lesson.
+	want := 0.133e-9 / (0.167e-9 + 0.133e-9/47)
+	if math.Abs(peak-want) > 1e-12 {
+		t.Errorf("peak = %v, want %v", peak, want)
+	}
+	if peak >= 1 {
+		t.Errorf("this characterization must never break even, peak %v", peak)
+	}
+	if _, ok, err := m.BreakEven(); err != nil || ok {
+		t.Errorf("break-even must not exist (ok=%v, err=%v)", ok, err)
+	}
+}
+
+func TestPeakSpeedupSuperLinear(t *testing.T) {
+	m := example()
+	m.Beta = 2 // O(g²) work: compute swamps transfer eventually
+	peak, err := m.PeakSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak != 47 {
+		t.Errorf("β>1 peak = %v, want the full A = 47", peak)
+	}
+	g1, ok, err := m.BreakEven()
+	if err != nil || !ok {
+		t.Fatalf("break-even must exist: %v, %v", ok, err)
+	}
+	s, _ := m.Speedup(g1)
+	if math.Abs(s-1) > 1e-6 {
+		t.Errorf("speedup at g1 = %v, want 1", s)
+	}
+	// Just below g1 the offload still loses.
+	below, _ := m.Speedup(g1 * 0.99)
+	if below >= 1 {
+		t.Errorf("speedup just below g1 = %v, want < 1", below)
+	}
+
+	gHalf, ok, err := m.GHalf()
+	if err != nil || !ok {
+		t.Fatalf("g_{A/2} must exist: %v, %v", ok, err)
+	}
+	sHalf, _ := m.Speedup(gHalf)
+	if math.Abs(sHalf-23.5) > 1e-3 {
+		t.Errorf("speedup at g_{A/2} = %v, want 23.5", sHalf)
+	}
+	if gHalf <= g1 {
+		t.Error("g_{A/2} must exceed g1")
+	}
+}
+
+func TestComputeBoundOffloadBreaksEven(t *testing.T) {
+	// A high-intensity workload: 1024 ops per byte means the effective
+	// compute index per byte is 1024× larger, dwarfing transfer.
+	m := example()
+	m.ComputeIndex *= 1024
+	peak, err := m.PeakSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak < 40 {
+		t.Errorf("high-intensity peak = %v, want near A", peak)
+	}
+	g1, ok, err := m.BreakEven()
+	if err != nil || !ok {
+		t.Fatalf("break-even must exist: %v %v", ok, err)
+	}
+	if g1 <= 0 {
+		t.Errorf("g1 = %v", g1)
+	}
+}
+
+func TestGranularityForValidation(t *testing.T) {
+	m := example()
+	if _, _, err := m.GranularityFor(0); err == nil {
+		t.Error("zero target must be rejected")
+	}
+	if _, ok, err := m.GranularityFor(100); err != nil || ok {
+		t.Error("target above peak must report not-ok")
+	}
+}
+
+func TestZeroOverheadDegenerate(t *testing.T) {
+	m := Model{ComputeIndex: 1e-9, Beta: 1, Acceleration: 10}
+	peak, err := m.PeakSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak != 10 {
+		t.Errorf("free interface peak = %v, want A", peak)
+	}
+	g, ok, err := m.GranularityFor(10)
+	if err != nil || !ok || g != 1 {
+		t.Errorf("free interface attains A everywhere: g=%v ok=%v err=%v", g, ok, err)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	m := example()
+	m.Beta = 2
+	pts, err := m.Curve(1e3, 1e9, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 25 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup < pts[i-1].Speedup-1e-12 {
+			t.Fatalf("speedup not monotone at %d", i)
+		}
+	}
+	if _, err := m.Curve(10, 1, 5); err == nil {
+		t.Error("inverted range must be rejected")
+	}
+	if _, err := m.Curve(1, 10, 1); err == nil {
+		t.Error("too few samples must be rejected")
+	}
+}
+
+// Property: speedup is monotone nondecreasing in granularity and bounded
+// by the analytic peak.
+func TestSpeedupMonotoneBoundedProperty(t *testing.T) {
+	f := func(oSeed, lSeed, cSeed, aSeed uint8, g1Seed, g2Seed uint16) bool {
+		m := Model{
+			Overhead:     float64(oSeed) * 1e-6,
+			Latency:      float64(lSeed) * 1e-12,
+			ComputeIndex: (1 + float64(cSeed)) * 1e-12,
+			Beta:         1,
+			Acceleration: 1 + float64(aSeed),
+		}
+		ga := 1 + float64(g1Seed)
+		gb := 1 + float64(g2Seed)
+		if ga > gb {
+			ga, gb = gb, ga
+		}
+		sa, err := m.Speedup(ga)
+		if err != nil {
+			return false
+		}
+		sb, err := m.Speedup(gb)
+		if err != nil {
+			return false
+		}
+		peak, err := m.PeakSpeedup()
+		if err != nil {
+			return false
+		}
+		return sb >= sa-1e-12 && sa <= peak*(1+1e-9) && sb <= peak*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,23 @@
+package multiamdahl_test
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/multiamdahl"
+)
+
+// ExampleSystem_Optimize divides chip area between a CPU and an
+// accelerator for a 70/30 workload: the optimal split follows the
+// fractions to the 2/3 power, not linearly.
+func ExampleSystem_Optimize() {
+	s := &multiamdahl.System{
+		Budget: 100,
+		Tasks: []multiamdahl.Task{
+			{Name: "cpu phase", Fraction: 0.7, Perf: multiamdahl.Sqrt},
+			{Name: "acc phase", Fraction: 0.3, Perf: multiamdahl.Sqrt},
+		},
+	}
+	alloc, _, _ := s.OptimizeSqrtClosedForm()
+	fmt.Printf("cpu %.1f, acc %.1f BCEs\n", alloc[0], alloc[1])
+	// Output: cpu 63.8, acc 36.2 BCEs
+}

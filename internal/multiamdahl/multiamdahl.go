@@ -1,0 +1,247 @@
+// Package multiamdahl implements the MultiAmdahl model of Zidenberg,
+// Keslassy and Weiser (IEEE CAL 2012), the model the Gables paper
+// identifies as its closest relative (§VI). MultiAmdahl also targets an
+// N-IP SoC: it computes each IP's performance as a function of the
+// resources (e.g., chip area) allocated to it, divides work sequentially
+// (exclusively) among the IPs, and finds the optimal resource allocation.
+//
+// The key differences from Gables — reproduced faithfully here so the
+// ablation benchmarks can contrast them — are that MultiAmdahl models no
+// bandwidth bounds (neither per-IP Bi nor off-chip Bpeak) and assumes
+// serialized rather than concurrent work.
+package multiamdahl
+
+import (
+	"fmt"
+	"math"
+)
+
+// PerfFunc maps resources allocated to an IP to its performance.
+// It must be strictly increasing and positive for positive resources.
+type PerfFunc func(resources float64) float64
+
+// Sqrt is the conventional Pollack's-rule performance function
+// perf(a) = √a used in the MultiAmdahl and Hill–Marty papers.
+func Sqrt(a float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	return math.Sqrt(a)
+}
+
+// Linear returns a performance function perf(a) = k·a, the idealized
+// perfectly-scalable accelerator.
+func Linear(k float64) PerfFunc {
+	return func(a float64) float64 {
+		if a <= 0 {
+			return 0
+		}
+		return k * a
+	}
+}
+
+// Task is one sequential phase of the workload, executed exclusively on its
+// own IP.
+type Task struct {
+	// Name labels the phase (and the IP that runs it).
+	Name string
+	// Fraction is the share of total work in this phase; fractions must
+	// be positive and sum to 1.
+	Fraction float64
+	// Perf is the IP's performance as a function of allocated resources.
+	Perf PerfFunc
+}
+
+// System is a MultiAmdahl problem instance: tasks plus a total resource
+// budget to divide among their IPs.
+type System struct {
+	Tasks  []Task
+	Budget float64
+}
+
+// Validate checks the problem is well formed.
+func (s *System) Validate() error {
+	if s.Budget <= 0 || math.IsNaN(s.Budget) {
+		return fmt.Errorf("multiamdahl: budget must be positive, got %v", s.Budget)
+	}
+	if len(s.Tasks) == 0 {
+		return fmt.Errorf("multiamdahl: need at least one task")
+	}
+	sum := 0.0
+	for i, task := range s.Tasks {
+		if task.Fraction <= 0 || math.IsNaN(task.Fraction) {
+			return fmt.Errorf("multiamdahl: task %d (%s): fraction must be positive, got %v",
+				i, task.Name, task.Fraction)
+		}
+		if task.Perf == nil {
+			return fmt.Errorf("multiamdahl: task %d (%s): missing performance function", i, task.Name)
+		}
+		sum += task.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("multiamdahl: task fractions sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Time returns the total execution time of the workload under a given
+// resource allocation (one entry per task): T = Σ tᵢ / perfᵢ(aᵢ).
+// Zero-resource allocations give +Inf time.
+func (s *System) Time(alloc []float64) (float64, error) {
+	if len(alloc) != len(s.Tasks) {
+		return 0, fmt.Errorf("multiamdahl: allocation has %d entries for %d tasks", len(alloc), len(s.Tasks))
+	}
+	total := 0.0
+	for i, task := range s.Tasks {
+		if alloc[i] < 0 {
+			return 0, fmt.Errorf("multiamdahl: allocation %d is negative", i)
+		}
+		p := task.Perf(alloc[i])
+		if p <= 0 {
+			return math.Inf(1), nil
+		}
+		total += task.Fraction / p
+	}
+	return total, nil
+}
+
+// Optimize finds the resource allocation minimizing total execution time
+// subject to Σ aᵢ = Budget, aᵢ ≥ 0, and returns the allocation and the
+// optimal time. For increasing performance functions the objective is
+// decreasing per coordinate, so the full budget is always spent.
+//
+// The solver performs bisection on the Lagrange multiplier λ of the budget
+// constraint: at the optimum every task satisfies
+//
+//	−d/daᵢ [tᵢ/perfᵢ(aᵢ)] = λ,
+//
+// and the marginal benefit −d/da [t/p(a)] is decreasing in a for concave
+// perf functions, so each aᵢ(λ) is found by an inner bisection and Σaᵢ(λ)
+// is decreasing in λ. The derivative is evaluated numerically, which keeps
+// the solver agnostic to the performance-function family.
+func (s *System) Optimize() ([]float64, float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(s.Tasks)
+	// Marginal benefit of giving task i resources a.
+	marginal := func(i int, a float64) float64 {
+		h := math.Max(a*1e-6, 1e-12)
+		task := s.Tasks[i]
+		t0 := task.Fraction / task.Perf(a)
+		t1 := task.Fraction / task.Perf(a+h)
+		return (t0 - t1) / h
+	}
+	// aᵢ(λ): the allocation at which marginal benefit drops to λ.
+	allocAt := func(i int, lambda float64) float64 {
+		lo, hi := 1e-12, s.Budget
+		if marginal(i, hi) >= lambda {
+			return hi // even the full budget still pays ≥ λ
+		}
+		for iter := 0; iter < 200; iter++ {
+			mid := (lo + hi) / 2
+			if marginal(i, mid) > lambda {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return (lo + hi) / 2
+	}
+	spend := func(lambda float64) float64 {
+		total := 0.0
+		for i := 0; i < n; i++ {
+			total += allocAt(i, lambda)
+		}
+		return total
+	}
+	// Outer bisection on λ. Find a bracket: large λ → tiny allocations,
+	// small λ → budget-saturating allocations.
+	loLam, hiLam := 1e-18, 1.0
+	for spend(hiLam) > s.Budget {
+		hiLam *= 10
+		if hiLam > 1e30 {
+			return nil, 0, fmt.Errorf("multiamdahl: optimizer failed to bracket λ (upper)")
+		}
+	}
+	for spend(loLam) < s.Budget {
+		loLam /= 10
+		if loLam < 1e-300 {
+			return nil, 0, fmt.Errorf("multiamdahl: optimizer failed to bracket λ (lower)")
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := math.Sqrt(loLam * hiLam) // geometric: λ spans decades
+		if spend(mid) > s.Budget {
+			loLam = mid
+		} else {
+			hiLam = mid
+		}
+	}
+	lambda := math.Sqrt(loLam * hiLam)
+	alloc := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		alloc[i] = allocAt(i, lambda)
+		total += alloc[i]
+	}
+	// Normalize the small residual so the budget is met exactly.
+	if total > 0 {
+		for i := range alloc {
+			alloc[i] *= s.Budget / total
+		}
+	}
+	tm, err := s.Time(alloc)
+	if err != nil {
+		return nil, 0, err
+	}
+	return alloc, tm, nil
+}
+
+// OptimizeSqrtClosedForm solves the special case where every task uses the
+// Sqrt performance function analytically: the optimality condition
+// tᵢ/(2aᵢ^{3/2}) = λ gives aᵢ ∝ tᵢ^{2/3}, normalized to the budget. It
+// exists both as a fast path and as an independent oracle for testing the
+// numerical solver.
+func (s *System) OptimizeSqrtClosedForm() ([]float64, float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, 0, err
+	}
+	weightSum := 0.0
+	weights := make([]float64, len(s.Tasks))
+	for i, task := range s.Tasks {
+		weights[i] = math.Pow(task.Fraction, 2.0/3.0)
+		weightSum += weights[i]
+	}
+	alloc := make([]float64, len(s.Tasks))
+	for i := range alloc {
+		alloc[i] = s.Budget * weights[i] / weightSum
+	}
+	tm, err := s.Time(alloc)
+	if err != nil {
+		return nil, 0, err
+	}
+	return alloc, tm, nil
+}
+
+// Speedup returns the ratio of the workload's time with all resources on a
+// single reference IP (running every task) to its time under the given
+// allocation. refPerf is the reference IP's performance function.
+func (s *System) Speedup(alloc []float64, refPerf PerfFunc) (float64, error) {
+	if refPerf == nil {
+		return 0, fmt.Errorf("multiamdahl: missing reference performance function")
+	}
+	t, err := s.Time(alloc)
+	if err != nil {
+		return 0, err
+	}
+	if t <= 0 || math.IsInf(t, 1) {
+		return 0, fmt.Errorf("multiamdahl: allocation yields non-finite time")
+	}
+	ref := refPerf(s.Budget)
+	if ref <= 0 {
+		return 0, fmt.Errorf("multiamdahl: reference performance is non-positive")
+	}
+	baseline := 1 / ref // Σ tᵢ = 1 unit of work at performance ref
+	return baseline / t, nil
+}

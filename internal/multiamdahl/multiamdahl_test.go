@@ -1,0 +1,250 @@
+package multiamdahl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func twoTask(f0 float64) *System {
+	return &System{
+		Budget: 100,
+		Tasks: []Task{
+			{Name: "cpu", Fraction: f0, Perf: Sqrt},
+			{Name: "acc", Fraction: 1 - f0, Perf: Sqrt},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := twoTask(0.5).Validate(); err != nil {
+		t.Fatalf("valid system rejected: %v", err)
+	}
+	bad := twoTask(0.5)
+	bad.Budget = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero budget must be rejected")
+	}
+	bad = twoTask(0.5)
+	bad.Tasks[0].Fraction = 0.6
+	if err := bad.Validate(); err == nil {
+		t.Error("fractions not summing to 1 must be rejected")
+	}
+	bad = twoTask(0.5)
+	bad.Tasks[0].Perf = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("missing perf function must be rejected")
+	}
+	bad = &System{Budget: 10}
+	if err := bad.Validate(); err == nil {
+		t.Error("no tasks must be rejected")
+	}
+	bad = twoTask(0.5)
+	bad.Tasks[0].Fraction = -0.5
+	bad.Tasks[1].Fraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("negative fraction must be rejected")
+	}
+}
+
+func TestTime(t *testing.T) {
+	s := twoTask(0.5)
+	tm, err := s.Time([]float64{64, 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5/8 + 0.5/6
+	if math.Abs(tm-want) > 1e-12 {
+		t.Errorf("Time = %v, want %v", tm, want)
+	}
+
+	if _, err := s.Time([]float64{64}); err == nil {
+		t.Error("wrong allocation length must be rejected")
+	}
+	if _, err := s.Time([]float64{-1, 101}); err == nil {
+		t.Error("negative allocation must be rejected")
+	}
+	inf, err := s.Time([]float64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(inf, 1) {
+		t.Errorf("zero allocation must give +Inf time, got %v", inf)
+	}
+}
+
+func TestOptimizeEqualTasksSplitsEvenly(t *testing.T) {
+	s := twoTask(0.5)
+	alloc, tm, err := s.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc[0]-50) > 0.5 || math.Abs(alloc[1]-50) > 0.5 {
+		t.Errorf("equal tasks must split evenly, got %v", alloc)
+	}
+	want := 0.5/math.Sqrt(50) + 0.5/math.Sqrt(50)
+	if math.Abs(tm-want) > 1e-3*want {
+		t.Errorf("optimal time = %v, want %v", tm, want)
+	}
+}
+
+func TestOptimizeMatchesClosedForm(t *testing.T) {
+	for _, f0 := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		s := twoTask(f0)
+		numAlloc, numT, err := s.Optimize()
+		if err != nil {
+			t.Fatalf("f0=%v: %v", f0, err)
+		}
+		cfAlloc, cfT, err := s.OptimizeSqrtClosedForm()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range numAlloc {
+			if math.Abs(numAlloc[i]-cfAlloc[i]) > 0.01*s.Budget {
+				t.Errorf("f0=%v: alloc[%d] = %v, closed form %v", f0, i, numAlloc[i], cfAlloc[i])
+			}
+		}
+		if math.Abs(numT-cfT) > 1e-3*cfT {
+			t.Errorf("f0=%v: time %v vs closed form %v", f0, numT, cfT)
+		}
+	}
+}
+
+func TestOptimizeBiggerFractionGetsMoreArea(t *testing.T) {
+	s := twoTask(0.8)
+	alloc, _, err := s.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0] <= alloc[1] {
+		t.Errorf("the 80%% task must get more resources: %v", alloc)
+	}
+	// Closed form: a0/a1 = (0.8/0.2)^(2/3) = 4^(2/3) ≈ 2.52.
+	ratio := alloc[0] / alloc[1]
+	if math.Abs(ratio-math.Pow(4, 2.0/3.0)) > 0.05 {
+		t.Errorf("allocation ratio = %v, want ~%v", ratio, math.Pow(4, 2.0/3.0))
+	}
+}
+
+func TestOptimizeThreeTasks(t *testing.T) {
+	s := &System{
+		Budget: 60,
+		Tasks: []Task{
+			{Name: "a", Fraction: 0.5, Perf: Sqrt},
+			{Name: "b", Fraction: 0.3, Perf: Sqrt},
+			{Name: "c", Fraction: 0.2, Perf: Sqrt},
+		},
+	}
+	alloc, tm, err := s.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := alloc[0] + alloc[1] + alloc[2]
+	if math.Abs(sum-60) > 1e-6 {
+		t.Errorf("allocations sum to %v, want 60", sum)
+	}
+	if !(alloc[0] > alloc[1] && alloc[1] > alloc[2]) {
+		t.Errorf("allocations must follow fractions: %v", alloc)
+	}
+	_, cfT, _ := s.OptimizeSqrtClosedForm()
+	if math.Abs(tm-cfT) > 1e-3*cfT {
+		t.Errorf("time %v vs closed form %v", tm, cfT)
+	}
+}
+
+func TestOptimizeMixedPerfFunctions(t *testing.T) {
+	// A linear accelerator profits from area much faster than a sqrt
+	// CPU; with equal fractions it should still get a nontrivial share
+	// and the result must beat any naive split.
+	s := &System{
+		Budget: 100,
+		Tasks: []Task{
+			{Name: "cpu", Fraction: 0.5, Perf: Sqrt},
+			{Name: "acc", Fraction: 0.5, Perf: Linear(0.3)},
+		},
+	}
+	alloc, tm, err := s.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, split := range [][]float64{{50, 50}, {80, 20}, {20, 80}, {99, 1}} {
+		naive, err := s.Time(split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm > naive*(1+1e-3) {
+			t.Errorf("optimizer time %v worse than naive split %v (%v)", tm, split, naive)
+		}
+	}
+	if alloc[0]+alloc[1] > 100+1e-6 {
+		t.Errorf("budget exceeded: %v", alloc)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s := twoTask(0.5)
+	alloc, _, err := s.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := s.Speedup(alloc, Sqrt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: 1/√100 = 0.1 s. Optimal: 2·(0.5/√50) ≈ 0.1414 s.
+	// Speedup < 1: splitting the chip hurts when the monolithic CPU can
+	// run everything — the classic MultiAmdahl observation that
+	// specialization must bring acceleration, not just area division.
+	want := 0.1 / (1 / math.Sqrt(50))
+	if math.Abs(sp-want) > 1e-2 {
+		t.Errorf("Speedup = %v, want %v", sp, want)
+	}
+
+	if _, err := s.Speedup(alloc, nil); err == nil {
+		t.Error("nil reference perf must be rejected")
+	}
+	if _, err := s.Speedup([]float64{0, 100}, Sqrt); err == nil {
+		t.Error("infinite-time allocation must be rejected")
+	}
+}
+
+func TestPerfFuncs(t *testing.T) {
+	if Sqrt(16) != 4 || Sqrt(0) != 0 || Sqrt(-4) != 0 {
+		t.Error("Sqrt perf function incorrect")
+	}
+	lin := Linear(2)
+	if lin(3) != 6 || lin(0) != 0 || lin(-1) != 0 {
+		t.Error("Linear perf function incorrect")
+	}
+}
+
+// Property: the numerical optimizer never loses to the closed form (they
+// solve the same convex problem) and always spends the whole budget.
+func TestOptimizerOptimalityProperty(t *testing.T) {
+	f := func(fSeed uint8, budgetSeed uint8) bool {
+		f0 := 0.05 + 0.9*float64(fSeed)/255
+		s := &System{
+			Budget: 1 + float64(budgetSeed),
+			Tasks: []Task{
+				{Name: "a", Fraction: f0, Perf: Sqrt},
+				{Name: "b", Fraction: 1 - f0, Perf: Sqrt},
+			},
+		}
+		alloc, tm, err := s.Optimize()
+		if err != nil {
+			return false
+		}
+		_, cfT, err := s.OptimizeSqrtClosedForm()
+		if err != nil {
+			return false
+		}
+		sum := alloc[0] + alloc[1]
+		if math.Abs(sum-s.Budget) > 1e-6*s.Budget {
+			return false
+		}
+		return tm <= cfT*(1+1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

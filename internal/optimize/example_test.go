@@ -1,0 +1,41 @@
+package optimize_test
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/optimize"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// ExampleSufficientBandwidth recovers the paper's Figure 6d move: the
+// balanced usecase can use exactly 20 GB/s of off-chip bandwidth — the
+// Fig 6c design's 30 GB/s was money spent "without benefit".
+func ExampleSufficientBandwidth() {
+	soc, _ := core.TwoIP("demo", units.GopsPerSec(40), units.GBPerSec(30), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	m, _ := core.New(soc)
+	u, _ := core.TwoIPUsecase("fig6d", 0.75, 8, 8)
+
+	suff, _ := optimize.SufficientBandwidth(m, u)
+	fmt.Printf("sufficient Bpeak: %g GB/s\n", suff.GB())
+	// Output: sufficient Bpeak: 20 GB/s
+}
+
+// ExampleAnalyze inspects the Figure 6c design's imbalance: the CPU is
+// 80× over-provisioned for this usecase while the accelerator binds.
+func ExampleAnalyze() {
+	soc, _ := core.TwoIP("demo", units.GopsPerSec(40), units.GBPerSec(30), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	m, _ := core.New(soc)
+	u, _ := core.TwoIPUsecase("fig6c", 0.75, 8, 0.1)
+
+	balances, _ := optimize.Analyze(m, u)
+	for _, b := range balances {
+		fmt.Printf("%-16s headroom %.3g\n", b.Component, b.Headroom)
+	}
+	// Output:
+	// IP[0] (IP[0])    headroom 80
+	// IP[1] (IP[1])    headroom 1
+	// memory interface headroom 1.99
+}

@@ -1,0 +1,168 @@
+// Package optimize finds balanced SoC designs under the Gables model: the
+// minimal off-chip bandwidth a usecase can actually use (the Figure 6d
+// observation that Bpeak = 20 GB/s "suffices"), the per-IP operational
+// intensities needed for balance, and the work split that maximizes
+// attainable performance. These are the early-design-stage questions §VII's
+// conjectures say the model exists to answer.
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// SufficientBandwidth returns the smallest Bpeak at which memory ceases to
+// be the binding constraint for the usecase: any more off-chip bandwidth is
+// spend without benefit (Figure 6c's wasted 30 GB/s), any less makes DRAM
+// the bottleneck. It equals the non-memory bound divided by the usecase's
+// effective average intensity.
+func SufficientBandwidth(m *core.Model, u *core.Usecase) (units.BytesPerSec, error) {
+	terms, _, err := m.PerformanceForm(u)
+	if err != nil {
+		return 0, err
+	}
+	nonMemory := math.Inf(1)
+	var memPerf units.OpsPerSec
+	for _, t := range terms {
+		if t.Component.Kind == "memory" {
+			memPerf = t.Perf
+			continue
+		}
+		nonMemory = math.Min(nonMemory, float64(t.Perf))
+	}
+	if memPerf == 0 {
+		return 0, fmt.Errorf("optimize: usecase has no off-chip traffic; any Bpeak suffices")
+	}
+	if math.IsInf(nonMemory, 1) {
+		return 0, fmt.Errorf("optimize: no non-memory bound to balance against")
+	}
+	// memPerf = Bpeak·Iavg, so Iavg = memPerf/Bpeak and the sufficient
+	// bandwidth is nonMemory/Iavg.
+	iavg := float64(memPerf) / float64(m.SoC.MemoryBandwidth)
+	return units.BytesPerSec(nonMemory / iavg), nil
+}
+
+// RequiredIntensity returns the operational intensity IP i needs for its
+// own roofline term to stop binding below the target performance — the
+// "add registers/scratchpads/caches and reuse data" lever of Figure 6d.
+// It returns an error when the IP cannot reach the target at any intensity
+// (its compute term min(Bi·Ii, Ai·Ppeak)/fi saturates below the target).
+func RequiredIntensity(m *core.Model, u *core.Usecase, ipIndex int, target units.OpsPerSec) (units.Intensity, error) {
+	if ipIndex < 0 || ipIndex >= len(m.SoC.IPs) {
+		return 0, fmt.Errorf("optimize: IP index %d out of range", ipIndex)
+	}
+	if target <= 0 {
+		return 0, fmt.Errorf("optimize: target must be positive")
+	}
+	fi := u.Work[ipIndex].Fraction
+	if fi == 0 {
+		return 0, fmt.Errorf("optimize: IP %d has no work in this usecase", ipIndex)
+	}
+	ip := m.SoC.IPs[ipIndex]
+	peakTerm := float64(ip.Peak(m.SoC.Peak)) / fi
+	if peakTerm < float64(target)*(1-1e-12) {
+		return 0, fmt.Errorf("optimize: IP %d saturates at %v ops/s below target %v",
+			ipIndex, peakTerm, float64(target))
+	}
+	// Need Bi·Ii/fi ≥ target → Ii ≥ target·fi/Bi.
+	return units.Intensity(float64(target) * fi / float64(ip.Bandwidth)), nil
+}
+
+// SplitResult reports the best two-IP work split.
+type SplitResult struct {
+	F          float64
+	Attainable units.OpsPerSec
+	Bottleneck core.Component
+}
+
+// BestSplit finds the work fraction f maximizing Pattainable on a two-IP
+// model with fixed intensities, via ternary search (Pattainable(f) is the
+// minimum of monotone terms, hence unimodal).
+func BestSplit(m *core.Model, i0, i1 units.Intensity) (*SplitResult, error) {
+	if len(m.SoC.IPs) != 2 {
+		return nil, fmt.Errorf("optimize: best-split needs a two-IP SoC, got %d IPs", len(m.SoC.IPs))
+	}
+	eval := func(f float64) (*core.Result, error) {
+		u, err := core.TwoIPUsecase("split", f, i0, i1)
+		if err != nil {
+			return nil, err
+		}
+		return m.Evaluate(u)
+	}
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 200; iter++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		r1, err := eval(m1)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := eval(m2)
+		if err != nil {
+			return nil, err
+		}
+		if r1.Attainable < r2.Attainable {
+			lo = m1
+		} else {
+			hi = m2
+		}
+	}
+	f := (lo + hi) / 2
+	// The optimum can sit exactly on a boundary; check the endpoints too.
+	best, err := eval(f)
+	if err != nil {
+		return nil, err
+	}
+	for _, cand := range []float64{0, 1} {
+		r, err := eval(cand)
+		if err != nil {
+			return nil, err
+		}
+		if r.Attainable > best.Attainable {
+			best, f = r, cand
+		}
+	}
+	return &SplitResult{F: f, Attainable: best.Attainable, Bottleneck: best.Bottleneck}, nil
+}
+
+// Balance describes how far each component's bound sits above the
+// attainable performance: 1.0 means the component is (one of) the
+// bottleneck(s); large values mean over-provisioned hardware — Amdahl's
+// reminder in §VII that acceleration beyond the assigned work is wasted.
+type Balance struct {
+	Component core.Component
+	// Headroom is the component's bound divided by Pattainable (≥ 1).
+	Headroom float64
+}
+
+// Analyze returns the per-component headroom for a usecase, sorted as the
+// performance form emits terms. A perfectly balanced design (Figure 6d)
+// has every headroom at 1.
+func Analyze(m *core.Model, u *core.Usecase) ([]Balance, error) {
+	terms, bound, err := m.PerformanceForm(u)
+	if err != nil {
+		return nil, err
+	}
+	if bound <= 0 {
+		return nil, fmt.Errorf("optimize: degenerate usecase bound")
+	}
+	out := make([]Balance, len(terms))
+	for i, t := range terms {
+		out[i] = Balance{Component: t.Component, Headroom: float64(t.Perf) / float64(bound)}
+	}
+	return out, nil
+}
+
+// IsBalanced reports whether every component's headroom is within tol of 1
+// (Figure 6d's "all three rooflines equal").
+func IsBalanced(balances []Balance, tol float64) bool {
+	for _, b := range balances {
+		if b.Headroom > 1+tol {
+			return false
+		}
+	}
+	return len(balances) > 0
+}

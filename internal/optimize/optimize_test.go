@@ -1,0 +1,208 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/units"
+)
+
+func paperModel(t *testing.T, bpeakGB float64) *core.Model {
+	t.Helper()
+	s, err := core.TwoIP("paper", units.GopsPerSec(40), units.GBPerSec(bpeakGB), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSufficientBandwidthFig6d reproduces the paper's closing move: with
+// I0 = I1 = 8 and f = 0.75 the non-memory bound is 160 Gops/s at
+// Iavg = 8, so 20 GB/s suffices — exactly the Bpeak Figure 6d picks.
+func TestSufficientBandwidthFig6d(t *testing.T) {
+	m := paperModel(t, 30) // the over-provisioned Fig 6c design
+	u, _ := core.TwoIPUsecase("6d", 0.75, 8, 8)
+	got, err := SufficientBandwidth(m, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(got.GB(), 20, 1e-9) {
+		t.Errorf("sufficient Bpeak = %v GB/s, want 20 (Fig 6d)", got.GB())
+	}
+
+	// Verify: at the sufficient bandwidth the design is balanced; below
+	// it memory binds.
+	at := *m.SoC
+	at.MemoryBandwidth = got
+	bm := &core.Model{SoC: &at}
+	bal, err := Analyze(bm, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBalanced(bal, 1e-9) {
+		t.Errorf("design at sufficient bandwidth must be balanced: %+v", bal)
+	}
+}
+
+func TestSufficientBandwidthLowReuse(t *testing.T) {
+	// Fig 6b's low-reuse usecase: non-memory bound is IP[1]'s 2 Gops/s
+	// at Iavg = 0.13278 → sufficient Bpeak ≈ 15.06 GB/s. The paper's
+	// move to 30 GB/s (Fig 6c) was over-provisioning.
+	m := paperModel(t, 10)
+	u, _ := core.TwoIPUsecase("6b", 0.75, 8, 0.1)
+	got, err := SufficientBandwidth(m, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / (1 / (0.25/8 + 0.75/0.1)) // nonMemory / Iavg
+	if !units.ApproxEqual(got.GB(), want, 1e-9) {
+		t.Errorf("sufficient Bpeak = %v GB/s, want %v", got.GB(), want)
+	}
+	if got.GB() >= 30 {
+		t.Error("Fig 6c's 30 GB/s must be over-provisioned for this usecase")
+	}
+}
+
+func TestRequiredIntensity(t *testing.T) {
+	m := paperModel(t, 20)
+	u, _ := core.TwoIPUsecase("6d", 0.75, 8, 0.1)
+	// For IP[1] to stop binding below 160 Gops/s: I1 ≥ 160e9·0.75/15e9 = 8
+	// — exactly the I1 = 8 Figure 6d installs.
+	got, err := RequiredIntensity(m, u, 1, units.GopsPerSec(160))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(float64(got), 8, 1e-9) {
+		t.Errorf("required I1 = %v, want 8", float64(got))
+	}
+
+	// A target above the IP's saturating bound is impossible.
+	if _, err := RequiredIntensity(m, u, 1, units.GopsPerSec(500)); err == nil {
+		t.Error("unreachable target must be an error")
+	}
+	if _, err := RequiredIntensity(m, u, 5, units.GopsPerSec(1)); err == nil {
+		t.Error("out-of-range IP must be rejected")
+	}
+	u0, _ := core.TwoIPUsecase("f0", 0, 8, 8)
+	if _, err := RequiredIntensity(m, u0, 1, units.GopsPerSec(1)); err == nil {
+		t.Error("idle IP must be rejected")
+	}
+	if _, err := RequiredIntensity(m, u, 1, 0); err == nil {
+		t.Error("zero target must be rejected")
+	}
+}
+
+func TestBestSplit(t *testing.T) {
+	// With high reuse on both IPs and ample bandwidth, the optimum
+	// splits work by compute capability: f* = A/(1+A) = 5/6, giving
+	// each IP equal time.
+	m := paperModel(t, 1000)
+	// Raise link bandwidths out of the way.
+	m.SoC.IPs[0].Bandwidth = units.GBPerSec(1000)
+	m.SoC.IPs[1].Bandwidth = units.GBPerSec(1000)
+	res, err := BestSplit(m, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.F-5.0/6) > 1e-3 {
+		t.Errorf("best f = %v, want 5/6", res.F)
+	}
+	if !units.ApproxEqual(res.Attainable.Gops(), 240, 1e-3) {
+		t.Errorf("best Pattainable = %v, want 240 (40/(1/6))", res.Attainable.Gops())
+	}
+}
+
+func TestBestSplitLowReuseOffloadsOnlyASliver(t *testing.T) {
+	// Fig 6b hardware: offloading low-reuse work in bulk hurts badly
+	// (1.33 Gops/s at f = 0.75), but a *sliver* helps — it relieves the
+	// compute-bound CPU before memory binds. The analytic optimum is
+	// where IP[0]'s scaled roofline meets memory's:
+	// 40/(1−f) = 10/((1−f)/8 + 10f) → f = 1/81, P = 40·81/80 = 40.5.
+	m := paperModel(t, 10)
+	res, err := BestSplit(m, 8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.F-1.0/81) > 1e-4 {
+		t.Errorf("best f = %v, want 1/81 ≈ 0.01235", res.F)
+	}
+	if !units.ApproxEqual(res.Attainable.Gops(), 40.5, 1e-6) {
+		t.Errorf("best Pattainable = %v, want 40.5", res.Attainable.Gops())
+	}
+	// And the bulk-offload point is indeed catastrophic by comparison.
+	bulk, _ := core.TwoIPUsecase("6b", 0.75, 8, 0.1)
+	bulkRes, err := m.Evaluate(bulk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bulkRes.Attainable.Gops() > 2 {
+		t.Errorf("bulk offload = %v, expected the Fig 6b collapse", bulkRes.Attainable.Gops())
+	}
+}
+
+func TestBestSplitValidation(t *testing.T) {
+	three := &core.SoC{
+		Name: "three", Peak: units.GopsPerSec(10), MemoryBandwidth: units.GBPerSec(10),
+		IPs: []core.IP{
+			{Name: "a", Acceleration: 1, Bandwidth: units.GBPerSec(1)},
+			{Name: "b", Acceleration: 2, Bandwidth: units.GBPerSec(1)},
+			{Name: "c", Acceleration: 3, Bandwidth: units.GBPerSec(1)},
+		},
+	}
+	m, err := core.New(three)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BestSplit(m, 8, 8); err == nil {
+		t.Error("three-IP SoC must be rejected")
+	}
+}
+
+func TestAnalyzeHeadroom(t *testing.T) {
+	// Fig 6c: bounds are {160, 2, 3.98} → headrooms {80, 1, ~2}.
+	m := paperModel(t, 30)
+	u, _ := core.TwoIPUsecase("6c", 0.75, 8, 0.1)
+	bal, err := Analyze(m, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bal) != 3 {
+		t.Fatalf("balances = %d", len(bal))
+	}
+	byKind := map[string]float64{}
+	for _, b := range bal {
+		byKind[b.Component.Kind+b.Component.Name] = b.Headroom
+	}
+	if !units.ApproxEqual(byKind["IPIP[0]"], 80, 1e-9) {
+		t.Errorf("IP[0] headroom = %v, want 80", byKind["IPIP[0]"])
+	}
+	if !units.ApproxEqual(byKind["IPIP[1]"], 1, 1e-9) {
+		t.Errorf("IP[1] headroom = %v, want 1 (the bottleneck)", byKind["IPIP[1]"])
+	}
+	if IsBalanced(bal, 0.01) {
+		t.Error("Fig 6c is famously unbalanced")
+	}
+
+	// Fig 6d balances everything.
+	m2 := paperModel(t, 20)
+	u2, _ := core.TwoIPUsecase("6d", 0.75, 8, 8)
+	bal2, err := Analyze(m2, u2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBalanced(bal2, 1e-9) {
+		t.Errorf("Fig 6d must be balanced: %+v", bal2)
+	}
+}
+
+func TestIsBalancedEmpty(t *testing.T) {
+	if IsBalanced(nil, 0.1) {
+		t.Error("empty balance list is not balanced")
+	}
+}

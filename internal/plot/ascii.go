@@ -1,0 +1,135 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// seriesGlyphs are the per-series plot characters for ASCII rendering.
+var seriesGlyphs = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// ASCII renders the chart as terminal art on a cols×rows character grid
+// (plot area; axes and legend add a few lines). It is the quick-look
+// companion to SVG for CLI tools.
+func (c *Chart) ASCII(cols, rows int) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	if cols < 20 || rows < 8 {
+		return "", fmt.Errorf("plot: %q: ASCII grid %dx%d too small (min 20x8)", c.Title, cols, rows)
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = make([]rune, cols)
+		for k := range grid[r] {
+			grid[r][k] = ' '
+		}
+	}
+	toCol := func(x float64) int {
+		col := int(scale(x, xmin, xmax, c.XLog) * float64(cols-1))
+		return clampInt(col, 0, cols-1)
+	}
+	toRow := func(y float64) int {
+		row := int((1 - scale(y, ymin, ymax, c.YLog)) * float64(rows-1))
+		return clampInt(row, 0, rows-1)
+	}
+
+	// Drop lines first so series overwrite them.
+	for _, v := range c.VLines {
+		if c.XLog && v.X <= 0 {
+			continue
+		}
+		col := toCol(v.X)
+		for r := 0; r < rows; r++ {
+			grid[r][col] = '|'
+		}
+	}
+
+	for i, s := range c.Series {
+		glyph := seriesGlyphs[i%len(seriesGlyphs)]
+		switch c.Kind {
+		case Bar:
+			for k := range s.X {
+				col, top := toCol(s.X[k]), toRow(s.Y[k])
+				for r := top; r < rows; r++ {
+					grid[r][col] = glyph
+				}
+			}
+		default:
+			// Interpolate between consecutive samples column by column
+			// so the curve is connected.
+			for k := 1; k < len(s.X); k++ {
+				c0, r0 := toCol(s.X[k-1]), toRow(s.Y[k-1])
+				c1, r1 := toCol(s.X[k]), toRow(s.Y[k])
+				steps := maxInt(absInt(c1-c0), absInt(r1-r0)) + 1
+				for st := 0; st <= steps; st++ {
+					f := float64(st) / float64(steps)
+					col := c0 + int(f*float64(c1-c0))
+					row := r0 + int(f*float64(r1-r0))
+					grid[row][col] = glyph
+				}
+			}
+			if len(s.X) == 1 {
+				grid[toRow(s.Y[0])][toCol(s.X[0])] = glyph
+			}
+		}
+	}
+
+	for _, m := range c.Markers {
+		if (c.XLog && m.X <= 0) || (c.YLog && m.Y <= 0) {
+			continue
+		}
+		grid[toRow(m.Y)][toCol(m.X)] = '●'
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLo, yHi := formatTick(ymin), formatTick(ymax)
+	labelW := maxInt(len(yLo), len(yHi))
+	for r, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", labelW, yHi)
+		} else if r == rows-1 {
+			label = fmt.Sprintf("%*s", labelW, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, strings.TrimRight(string(row), " "))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", cols))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", labelW), cols-len(formatTick(xmax)), formatTick(xmin), formatTick(xmax))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s, y: %s\n", c.XLabel, c.YLabel)
+	}
+	for i, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesGlyphs[i%len(seriesGlyphs)], s.Name)
+	}
+	return b.String(), nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,182 @@
+// Package plot renders charts as SVG documents and as ASCII art using only
+// the standard library. It exists because the paper's artifacts are almost
+// all plots — log-log multi-roofline charts with drop lines (Figures 1, 6,
+// 7, 9), line charts (Figure 8) and bar charts (Figure 2) — and the Go
+// ecosystem has no standard plotting dependency to lean on.
+package plot
+
+import (
+	"fmt"
+	"math"
+)
+
+// Series is one plotted curve: paired X/Y samples.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y are the samples; lengths must match.
+	X, Y []float64
+}
+
+// VLine is a vertical marker ("drop line" in the paper's §III-C plots).
+type VLine struct {
+	Name string
+	X    float64
+}
+
+// Marker is a highlighted point, used for the selected operating points.
+type Marker struct {
+	Name string
+	X, Y float64
+}
+
+// Kind selects the chart geometry.
+type Kind int
+
+// Chart kinds.
+const (
+	Line Kind = iota
+	Bar
+)
+
+// Chart is a renderable figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XLog/YLog select logarithmic axes (base 10), the paper's
+	// convention for roofline plots.
+	XLog, YLog bool
+	Kind       Kind
+	Series     []Series
+	VLines     []VLine
+	Markers    []Marker
+}
+
+// Validate checks the chart can be rendered.
+func (c *Chart) Validate() error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: %q: needs at least one series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: %q: series %q has %d x values and %d y values",
+				c.Title, s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("plot: %q: series %q is empty", c.Title, s.Name)
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) ||
+				math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				return fmt.Errorf("plot: %q: series %q has non-finite sample %d", c.Title, s.Name, i)
+			}
+			if c.XLog && s.X[i] <= 0 {
+				return fmt.Errorf("plot: %q: series %q: x[%d]=%v on a log axis", c.Title, s.Name, i, s.X[i])
+			}
+			if c.YLog && s.Y[i] <= 0 {
+				return fmt.Errorf("plot: %q: series %q: y[%d]=%v on a log axis", c.Title, s.Name, i, s.Y[i])
+			}
+		}
+	}
+	return nil
+}
+
+// bounds returns the data extent including vlines and markers.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	for _, v := range c.VLines {
+		if !c.XLog || v.X > 0 {
+			xmin, xmax = math.Min(xmin, v.X), math.Max(xmax, v.X)
+		}
+	}
+	for _, m := range c.Markers {
+		if !c.XLog || m.X > 0 {
+			xmin, xmax = math.Min(xmin, m.X), math.Max(xmax, m.X)
+		}
+		if !c.YLog || m.Y > 0 {
+			ymin, ymax = math.Min(ymin, m.Y), math.Max(ymax, m.Y)
+		}
+	}
+	// Degenerate extents get a synthetic margin so scaling stays finite.
+	if xmin == xmax {
+		if c.XLog {
+			xmin, xmax = xmin/2, xmax*2
+		} else {
+			xmin, xmax = xmin-1, xmax+1
+		}
+	}
+	if ymin == ymax {
+		if c.YLog {
+			ymin, ymax = ymin/2, ymax*2
+		} else {
+			ymin, ymax = ymin-1, ymax+1
+		}
+	}
+	return
+}
+
+// scale maps a data value to [0,1] under the axis transform.
+func scale(v, lo, hi float64, log bool) float64 {
+	if log {
+		return (math.Log10(v) - math.Log10(lo)) / (math.Log10(hi) - math.Log10(lo))
+	}
+	return (v - lo) / (hi - lo)
+}
+
+// niceTicks returns tick values for an axis: decade ticks for log axes and
+// up to n evenly spaced ticks otherwise.
+func niceTicks(lo, hi float64, log bool, n int) []float64 {
+	if log {
+		var ticks []float64
+		start := math.Floor(math.Log10(lo))
+		end := math.Ceil(math.Log10(hi))
+		for e := start; e <= end; e++ {
+			v := math.Pow(10, e)
+			if v >= lo*(1-1e-12) && v <= hi*(1+1e-12) {
+				ticks = append(ticks, v)
+			}
+		}
+		if len(ticks) == 0 {
+			ticks = []float64{lo, hi}
+		}
+		return ticks
+	}
+	if n < 2 {
+		n = 2
+	}
+	step := (hi - lo) / float64(n-1)
+	ticks := make([]float64, n)
+	for i := range ticks {
+		ticks[i] = lo + float64(i)*step
+	}
+	return ticks
+}
+
+// formatTick renders a tick label compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e12:
+		return fmt.Sprintf("%gT", v/1e12)
+	case av >= 1e9:
+		return fmt.Sprintf("%gG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%gK", v/1e3)
+	case av < 0.01:
+		return fmt.Sprintf("%.0e", v)
+	default:
+		return fmt.Sprintf("%g", math.Round(v*1000)/1000)
+	}
+}

@@ -1,0 +1,172 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a matrix of values as colored cells — the natural form
+// for two-parameter studies like the model-validation (f × intensity)
+// grid. Values map onto a white→blue ramp scaled to the data range; each
+// cell is annotated with its value.
+type Heatmap struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Columns and Rows label the axes; Values is row-major with
+	// len(Values) == len(Rows) and len(Values[r]) == len(Columns).
+	Columns []string
+	Rows    []string
+	Values  [][]float64
+	// Format renders a cell value; empty means "%.2g".
+	Format string
+}
+
+// Validate checks the matrix shape and values.
+func (h *Heatmap) Validate() error {
+	if len(h.Rows) == 0 || len(h.Columns) == 0 {
+		return fmt.Errorf("plot: heatmap %q: empty axes", h.Title)
+	}
+	if len(h.Values) != len(h.Rows) {
+		return fmt.Errorf("plot: heatmap %q: %d value rows for %d row labels", h.Title, len(h.Values), len(h.Rows))
+	}
+	for r, row := range h.Values {
+		if len(row) != len(h.Columns) {
+			return fmt.Errorf("plot: heatmap %q: row %d has %d values for %d columns", h.Title, r, len(row), len(h.Columns))
+		}
+		for c, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("plot: heatmap %q: non-finite value at (%d,%d)", h.Title, r, c)
+			}
+		}
+	}
+	return nil
+}
+
+func (h *Heatmap) rangeOf() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, row := range h.Values {
+		for _, v := range row {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	return
+}
+
+// SVG renders the heatmap as a standalone document.
+func (h *Heatmap) SVG(width, height int) (string, error) {
+	if err := h.Validate(); err != nil {
+		return "", err
+	}
+	if width < 200 || height < 150 {
+		return "", fmt.Errorf("plot: heatmap %q: canvas %dx%d too small", h.Title, width, height)
+	}
+	lo, hi := h.rangeOf()
+	const left, top, right, bottom = 110.0, 50.0, 30.0, 60.0
+	gw := float64(width) - left - right
+	gh := float64(height) - top - bottom
+	cw := gw / float64(len(h.Columns))
+	ch := gh / float64(len(h.Rows))
+	format := h.Format
+	if format == "" {
+		format = "%.2g"
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		left, escape(h.Title))
+
+	for r, row := range h.Values {
+		for c, v := range row {
+			frac := (v - lo) / (hi - lo)
+			// White → steel blue ramp.
+			red := int(255 - frac*(255-70))
+			green := int(255 - frac*(255-130))
+			blue := int(255 - frac*(255-180))
+			x, y := left+float64(c)*cw, top+float64(r)*ch
+			fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="rgb(%d,%d,%d)" stroke="#ccc"/>`+"\n",
+				x, y, cw, ch, red, green, blue)
+			textColor := "#000"
+			if frac > 0.6 {
+				textColor = "#fff"
+			}
+			fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle" fill="%s">%s</text>`+"\n",
+				x+cw/2, y+ch/2+4, textColor, escape(fmt.Sprintf(format, v)))
+		}
+	}
+	for c, label := range h.Columns {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			left+(float64(c)+0.5)*cw, top+gh+16, escape(label))
+	}
+	for r, label := range h.Rows {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			left-8, top+(float64(r)+0.5)*ch+4, escape(label))
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		left+gw/2, float64(height)-14, escape(h.XLabel))
+	fmt.Fprintf(&b, `<text x="20" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 20 %g)">%s</text>`+"\n",
+		top+gh/2, top+gh/2, escape(h.YLabel))
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// ASCII renders the heatmap as an aligned text grid with shade characters.
+func (h *Heatmap) ASCII() (string, error) {
+	if err := h.Validate(); err != nil {
+		return "", err
+	}
+	lo, hi := h.rangeOf()
+	shades := []rune(" .:-=+*#%@")
+	format := h.Format
+	if format == "" {
+		format = "%.2g"
+	}
+	cellW := 0
+	cells := make([][]string, len(h.Values))
+	for r, row := range h.Values {
+		cells[r] = make([]string, len(row))
+		for c, v := range row {
+			frac := (v - lo) / (hi - lo)
+			shade := shades[int(frac*float64(len(shades)-1))]
+			cells[r][c] = fmt.Sprintf("%c%s", shade, fmt.Sprintf(format, v))
+			if len(cells[r][c]) > cellW {
+				cellW = len(cells[r][c])
+			}
+		}
+	}
+	for _, label := range h.Columns {
+		if len(label) > cellW {
+			cellW = len(label)
+		}
+	}
+	rowW := 0
+	for _, label := range h.Rows {
+		if len(label) > rowW {
+			rowW = len(label)
+		}
+	}
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	fmt.Fprintf(&b, "%*s", rowW, "")
+	for _, label := range h.Columns {
+		fmt.Fprintf(&b, "  %*s", cellW, label)
+	}
+	b.WriteString("\n")
+	for r, row := range cells {
+		fmt.Fprintf(&b, "%*s", rowW, h.Rows[r])
+		for _, cell := range row {
+			fmt.Fprintf(&b, "  %*s", cellW, cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

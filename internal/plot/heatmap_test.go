@@ -1,0 +1,100 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoHeatmap() *Heatmap {
+	return &Heatmap{
+		Title:   "grid",
+		XLabel:  "f",
+		YLabel:  "I",
+		Columns: []string{"0", "0.5", "1"},
+		Rows:    []string{"1", "64"},
+		Values:  [][]float64{{1, 2, 0.8}, {1, 10, 40}},
+	}
+}
+
+func TestHeatmapValidate(t *testing.T) {
+	if err := demoHeatmap().Validate(); err != nil {
+		t.Fatalf("valid heatmap rejected: %v", err)
+	}
+	h := demoHeatmap()
+	h.Rows = nil
+	if err := h.Validate(); err == nil {
+		t.Error("empty rows must be rejected")
+	}
+	h = demoHeatmap()
+	h.Values = h.Values[:1]
+	if err := h.Validate(); err == nil {
+		t.Error("row count mismatch must be rejected")
+	}
+	h = demoHeatmap()
+	h.Values[0] = h.Values[0][:2]
+	if err := h.Validate(); err == nil {
+		t.Error("column count mismatch must be rejected")
+	}
+	h = demoHeatmap()
+	h.Values[1][2] = nanValue()
+	if err := h.Validate(); err == nil {
+		t.Error("NaN must be rejected")
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	svg, err := demoHeatmap().SVG(640, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One background + 6 cells.
+	if n := strings.Count(svg, "<rect"); n != 7 {
+		t.Errorf("rects = %d, want 7", n)
+	}
+	for _, want := range []string{"grid", "0.5", "64", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if _, err := demoHeatmap().SVG(50, 50); err == nil {
+		t.Error("tiny canvas must be rejected")
+	}
+}
+
+func TestHeatmapSVGUniformValues(t *testing.T) {
+	h := demoHeatmap()
+	h.Values = [][]float64{{5, 5, 5}, {5, 5, 5}}
+	if _, err := h.SVG(640, 400); err != nil {
+		t.Fatalf("uniform values must render: %v", err)
+	}
+}
+
+func TestHeatmapASCII(t *testing.T) {
+	out, err := demoHeatmap().ASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "40") || !strings.Contains(out, "0.8") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	// The largest value carries the densest shade.
+	if !strings.Contains(out, "@40") {
+		t.Errorf("max cell must use the densest shade:\n%s", out)
+	}
+}
+
+func TestHeatmapCustomFormat(t *testing.T) {
+	h := demoHeatmap()
+	h.Format = "%.1f"
+	out, err := h.ASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "40.0") {
+		t.Errorf("custom format ignored:\n%s", out)
+	}
+}

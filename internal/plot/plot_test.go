@@ -1,0 +1,294 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/roofline"
+	"github.com/gables-model/gables/internal/units"
+)
+
+func lineChart() *Chart {
+	return &Chart{
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+			{Name: "b", X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := lineChart().Validate(); err != nil {
+		t.Fatalf("valid chart rejected: %v", err)
+	}
+	empty := &Chart{Title: "none"}
+	if err := empty.Validate(); err == nil {
+		t.Error("no-series chart must be rejected")
+	}
+	mismatch := &Chart{Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := mismatch.Validate(); err == nil {
+		t.Error("length mismatch must be rejected")
+	}
+	logNeg := &Chart{XLog: true, Series: []Series{{Name: "s", X: []float64{-1}, Y: []float64{1}}}}
+	if err := logNeg.Validate(); err == nil {
+		t.Error("negative value on log axis must be rejected")
+	}
+	nan := &Chart{Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{nanValue()}}}}
+	if err := nan.Validate(); err == nil {
+		t.Error("NaN must be rejected")
+	}
+}
+
+func nanValue() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestSVGBasics(t *testing.T) {
+	svg, err := lineChart().SVG(640, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`<svg`, `width="640"`, `height="480"`, `</svg>`,
+		"polyline", "demo", ">a</text>", ">b</text>",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestSVGTooSmall(t *testing.T) {
+	if _, err := lineChart().SVG(100, 100); err == nil {
+		t.Error("tiny canvas must be rejected")
+	}
+}
+
+func TestSVGBarChart(t *testing.T) {
+	c := &Chart{
+		Title: "bars",
+		Kind:  Bar,
+		Series: []Series{{
+			Name: "per year",
+			X:    []float64{2007, 2008, 2009},
+			Y:    []float64{14, 22, 34},
+		}},
+	}
+	svg, err := c.SVG(640, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One background rect plus three bars.
+	if n := strings.Count(svg, "<rect"); n < 4 {
+		t.Errorf("want >= 4 rects, got %d", n)
+	}
+}
+
+func TestSVGLogAxes(t *testing.T) {
+	c := &Chart{
+		Title: "loglog",
+		XLog:  true, YLog: true,
+		Series: []Series{{Name: "s", X: []float64{0.01, 1, 100}, Y: []float64{0.1, 10, 1000}}},
+		VLines: []VLine{{Name: "drop", X: 1}},
+	}
+	svg, err := c.SVG(640, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Error("drop line missing")
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	c := lineChart()
+	c.Title = `<script>"x"&y</script>`
+	svg, err := c.SVG(640, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<script>") {
+		t.Error("title markup not escaped")
+	}
+	if !strings.Contains(svg, "&lt;script&gt;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestSVGDegenerateExtent(t *testing.T) {
+	c := &Chart{
+		Title:  "flat",
+		Series: []Series{{Name: "s", X: []float64{5, 5}, Y: []float64{2, 2}}},
+	}
+	if _, err := c.SVG(640, 480); err != nil {
+		t.Fatalf("degenerate extent must render: %v", err)
+	}
+}
+
+func TestASCIIBasics(t *testing.T) {
+	out, err := lineChart().ASCII(60, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series glyphs")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Error("missing legend")
+	}
+	lines := strings.Split(out, "\n")
+	// title + 15 grid rows + axis + labels + legend
+	if len(lines) < 18 {
+		t.Errorf("got %d lines", len(lines))
+	}
+}
+
+func TestASCIITooSmall(t *testing.T) {
+	if _, err := lineChart().ASCII(5, 3); err == nil {
+		t.Error("tiny grid must be rejected")
+	}
+}
+
+func TestASCIIMarkersAndVLines(t *testing.T) {
+	c := lineChart()
+	c.VLines = []VLine{{Name: "v", X: 2}}
+	c.Markers = []Marker{{Name: "m", X: 2, Y: 4}}
+	out, err := c.ASCII(60, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "|") {
+		t.Error("vline missing")
+	}
+	if !strings.Contains(out, "●") {
+		t.Error("marker missing")
+	}
+}
+
+func TestASCIIBar(t *testing.T) {
+	c := &Chart{
+		Kind:   Bar,
+		Series: []Series{{Name: "bars", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}}},
+	}
+	out, err := c.ASCII(30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("bars missing")
+	}
+}
+
+func TestRooflineChart(t *testing.T) {
+	m := roofline.MustNew("cpu", units.GopsPerSec(7.5), units.GBPerSec(15.1))
+	m.AddCeiling(roofline.Ceiling{Name: "no-simd", Compute: units.GopsPerSec(3)})
+	ch, err := RooflineChart(m, 0.01, 100, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Series) != 2 {
+		t.Fatalf("series = %d, want main + 1 ceiling", len(ch.Series))
+	}
+	if !ch.XLog || !ch.YLog {
+		t.Error("roofline chart must use log-log axes")
+	}
+	if len(ch.VLines) != 1 {
+		t.Error("ridge drop line missing")
+	}
+	if _, err := ch.SVG(640, 480); err != nil {
+		t.Fatalf("SVG render: %v", err)
+	}
+}
+
+func TestRooflineChartBadRange(t *testing.T) {
+	m := roofline.MustNew("cpu", units.GopsPerSec(7.5), units.GBPerSec(15.1))
+	if _, err := RooflineChart(m, 10, 1, 33); err == nil {
+		t.Error("inverted range must be rejected")
+	}
+}
+
+func TestGablesChart(t *testing.T) {
+	s, err := core.TwoIP("p", units.GopsPerSec(40), units.GBPerSec(10), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := core.New(s)
+	u, _ := core.TwoIPUsecase("6b", 0.75, 8, 0.1)
+
+	ch, err := GablesChart(m, u, 0.01, 100, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three curves: IP[0], IP[1], memory; three drop lines; three markers.
+	if len(ch.Series) != 3 || len(ch.VLines) != 3 || len(ch.Markers) != 3 {
+		t.Fatalf("series/vlines/markers = %d/%d/%d, want 3/3/3",
+			len(ch.Series), len(ch.VLines), len(ch.Markers))
+	}
+	if _, err := ch.SVG(800, 500); err != nil {
+		t.Fatalf("SVG: %v", err)
+	}
+	if _, err := ch.ASCII(70, 20); err != nil {
+		t.Fatalf("ASCII: %v", err)
+	}
+
+	if _, err := GablesChart(m, u, 0, 100, 49); err == nil {
+		t.Error("bad range must be rejected")
+	}
+	if _, err := GablesChart(m, u, 0.01, 100, 1); err == nil {
+		t.Error("too few samples must be rejected")
+	}
+}
+
+func TestFitPointsSeries(t *testing.T) {
+	pts := []roofline.Point{
+		{Intensity: 1, Attainable: units.GopsPerSec(10)},
+		{Intensity: 8, Attainable: units.GopsPerSec(40)},
+	}
+	s := FitPointsSeries("measured", pts)
+	if len(s.X) != 2 || s.X[1] != 8 || s.Y[0] != 10e9 {
+		t.Errorf("series = %+v", s)
+	}
+}
+
+func TestNiceTicksLog(t *testing.T) {
+	ticks := niceTicks(0.01, 100, true, 0)
+	if len(ticks) != 5 { // 0.01, 0.1, 1, 10, 100
+		t.Errorf("log ticks = %v", ticks)
+	}
+}
+
+func TestNiceTicksLinear(t *testing.T) {
+	ticks := niceTicks(0, 10, false, 6)
+	if len(ticks) != 6 || ticks[0] != 0 || ticks[5] != 10 {
+		t.Errorf("linear ticks = %v", ticks)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		40e9:   "40G",
+		1.5e6:  "1.5M",
+		2000:   "2K",
+		0.001:  "1e-03",
+		3:      "3",
+		2.5e12: "2.5T",
+	}
+	for in, want := range cases {
+		if got := formatTick(in); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/roofline"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// RooflineChart builds the classic single-chip roofline figure (the
+// paper's Figure 1 / 7 / 9 shape): log-log axes, the roofline curve, and
+// one extra curve per named ceiling combination.
+func RooflineChart(m *roofline.Model, lo, hi units.Intensity, samples int) (*Chart, error) {
+	pts, err := m.Curve(lo, hi, samples)
+	if err != nil {
+		return nil, err
+	}
+	main := Series{Name: fmt.Sprintf("%s (%s peak)", m.Name, m.Peak)}
+	for _, p := range pts {
+		main.X = append(main.X, float64(p.Intensity))
+		main.Y = append(main.Y, float64(p.Attainable))
+	}
+	ch := &Chart{
+		Title:  fmt.Sprintf("Roofline: %s", m.Name),
+		XLabel: "operational intensity (ops/byte)",
+		YLabel: "attainable performance (ops/s)",
+		XLog:   true,
+		YLog:   true,
+		Series: []Series{main},
+		VLines: []VLine{{Name: "ridge", X: float64(m.RidgePoint())}},
+	}
+	for _, c := range m.Ceilings {
+		s := Series{Name: c.Name}
+		for _, p := range pts {
+			v, err := m.AttainableUnder(p.Intensity, c.Name)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(p.Intensity))
+			s.Y = append(s.Y, float64(v))
+		}
+		ch.Series = append(ch.Series, s)
+	}
+	return ch, nil
+}
+
+// GablesChart builds the §III-C multi-roofline visualization for a usecase
+// on a Gables model: one scaled roofline per active component, a drop line
+// per operating intensity, and a marker at each selected point. The lowest
+// marker is Pattainable.
+func GablesChart(m *core.Model, u *core.Usecase, lo, hi units.Intensity, samples int) (*Chart, error) {
+	if lo <= 0 || hi <= lo {
+		return nil, fmt.Errorf("plot: invalid intensity range [%v, %v]", float64(lo), float64(hi))
+	}
+	if samples < 2 {
+		return nil, fmt.Errorf("plot: need at least 2 samples, got %d", samples)
+	}
+	curves, err := m.ScaledRooflines(u)
+	if err != nil {
+		return nil, err
+	}
+	ch := &Chart{
+		Title:  fmt.Sprintf("Gables: %s on %s", u.Name, m.SoC.Name),
+		XLabel: "operational intensity (ops/byte)",
+		YLabel: "attainable performance (ops/s)",
+		XLog:   true,
+		YLog:   true,
+	}
+	logLo, logHi := math.Log(float64(lo)), math.Log(float64(hi))
+	for _, c := range curves {
+		s := Series{Name: c.Component.String()}
+		for k := 0; k < samples; k++ {
+			x := math.Exp(logLo + (logHi-logLo)*float64(k)/float64(samples-1))
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, float64(c.Value(units.Intensity(x))))
+		}
+		ch.Series = append(ch.Series, s)
+		ch.VLines = append(ch.VLines, VLine{Name: fmt.Sprintf("I(%s)", c.Component.Name), X: float64(c.DropAt)})
+		ch.Markers = append(ch.Markers, Marker{
+			Name: c.Component.Name,
+			X:    float64(c.DropAt),
+			Y:    float64(c.Selected),
+		})
+	}
+	return ch, nil
+}
+
+// FitPointsSeries converts empirical roofline samples (e.g., measured on
+// the simulated SoC) into a chart series, for overlaying measurements on a
+// fitted roofline the way §IV's figures do.
+func FitPointsSeries(name string, pts []roofline.Point) Series {
+	s := Series{Name: name}
+	for _, p := range pts {
+		s.X = append(s.X, float64(p.Intensity))
+		s.Y = append(s.Y, float64(p.Attainable))
+	}
+	return s
+}

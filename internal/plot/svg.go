@@ -1,0 +1,135 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// palette holds the series stroke colors, cycled in order.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 150.0
+	marginTop    = 40.0
+	marginBottom = 55.0
+)
+
+// SVG renders the chart as a standalone SVG document of the given pixel
+// dimensions.
+func (c *Chart) SVG(width, height int) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	if width < 200 || height < 150 {
+		return "", fmt.Errorf("plot: %q: canvas %dx%d too small (min 200x150)", c.Title, width, height)
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+
+	px := func(x float64) float64 { return marginLeft + scale(x, xmin, xmax, c.XLog)*plotW }
+	py := func(y float64) float64 { return marginTop + (1-scale(y, ymin, ymax, c.YLog))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Title.
+	fmt.Fprintf(&b, `<text x="%g" y="22" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(c.Title))
+
+	// Frame.
+	fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#444"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+
+	// Ticks and grid.
+	for _, t := range niceTicks(xmin, xmax, c.XLog, 6) {
+		x := px(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			x, marginTop, x, marginTop+plotH)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, marginTop+plotH+16, formatTick(t))
+	}
+	for _, t := range niceTicks(ymin, ymax, c.YLog, 6) {
+		y := py(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(t))
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, float64(height)-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Drop lines.
+	for _, v := range c.VLines {
+		if c.XLog && v.X <= 0 {
+			continue
+		}
+		x := px(v.X)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#999" stroke-dasharray="4 3"/>`+"\n",
+			x, marginTop, x, marginTop+plotH)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" fill="#666" text-anchor="middle">%s</text>`+"\n",
+			x, marginTop-4, escape(v.Name))
+	}
+
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		switch c.Kind {
+		case Bar:
+			bw := plotW / float64(len(s.X)) * 0.7
+			for k := range s.X {
+				x := px(s.X[k])
+				y := py(s.Y[k])
+				fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s" fill-opacity="0.8"/>`+"\n",
+					x-bw/2, y, bw, marginTop+plotH-y, color)
+			}
+		default:
+			pts := make([]string, len(s.X))
+			for k := range s.X {
+				pts[k] = fmt.Sprintf("%g,%g", px(s.X[k]), py(s.Y[k]))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		// Legend entry.
+		ly := marginTop + 14 + float64(i)*16
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="3"/>`+"\n",
+			marginLeft+plotW+10, ly, marginLeft+plotW+30, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginLeft+plotW+35, ly+4, escape(s.Name))
+	}
+
+	// Markers.
+	for _, m := range c.Markers {
+		if (c.XLog && m.X <= 0) || (c.YLog && m.Y <= 0) {
+			continue
+		}
+		fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="4" fill="#000"/>`+"\n", px(m.X), py(m.Y))
+		if m.Name != "" {
+			fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+				px(m.X)+6, py(m.Y)-6, escape(m.Name))
+		}
+	}
+
+	b.WriteString("</svg>\n")
+	out := b.String()
+	if strings.Contains(out, "NaN") {
+		return "", fmt.Errorf("plot: %q: rendering produced NaN coordinates", c.Title)
+	}
+	return out, nil
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

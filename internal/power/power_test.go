@@ -1,0 +1,176 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/units"
+)
+
+func paperModel(t *testing.T, bpeakGB float64) *core.Model {
+	t.Helper()
+	s, err := core.TwoIP("paper", units.GopsPerSec(40), units.GBPerSec(bpeakGB), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBudgetValidation(t *testing.T) {
+	m := paperModel(t, 10)
+	good := MobileBudget(m.SoC)
+	if err := good.Validate(m.SoC); err != nil {
+		t.Fatalf("mobile budget invalid: %v", err)
+	}
+	cases := []func(*Budget){
+		func(b *Budget) { b.TDP = 0 },
+		func(b *Budget) { b.DRAMEnergyPerByte = -1 },
+		func(b *Budget) { b.IPs = b.IPs[:1] },
+		func(b *Budget) { b.IPs[0].EnergyPerOp = -1 },
+	}
+	for i, mutate := range cases {
+		b := MobileBudget(m.SoC)
+		mutate(b)
+		if err := b.Validate(m.SoC); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPowerAtFig6dOperatingPoint(t *testing.T) {
+	// Fig 6d: 160 Gops/s with f=0.75 at I=8 everywhere. Hand-compute
+	// the draw under the mobile budget:
+	//  idle: 0.05 + 0.05 = 0.1 W
+	//  dyn/op: CPU 0.4n·0.25 + 20p·(0.25/8)
+	//        + GPU 0.04n·0.75 + 20p·(0.75/8)
+	//        + DRAM 60p·(1/8)
+	//  = 0.1e-9 + 0.625e-12 + 0.03e-9 + 1.875e-12 + 7.5e-12 = 0.14e-9 J/op
+	//  at 160e9 ops/s → 22.4 W + idle ≫ 3 W TDP.
+	m := paperModel(t, 20)
+	u, _ := core.TwoIPUsecase("6d", 0.75, 8, 8)
+	res, err := Evaluate(m, MobileBudget(m.SoC), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDyn := 0.4e-9*0.25 + 20e-12*(0.25/8) + 0.04e-9*0.75 + 20e-12*(0.75/8) + 60e-12/8
+	if math.Abs(res.EnergyPerOpTotal-wantDyn)/wantDyn > 1e-9 {
+		t.Errorf("energy/op = %v, want %v", res.EnergyPerOpTotal, wantDyn)
+	}
+	wantPower := 0.1 + wantDyn*160e9
+	if math.Abs(res.PowerAtBound-wantPower)/wantPower > 1e-9 {
+		t.Errorf("power = %v, want %v", res.PowerAtBound, wantPower)
+	}
+	if !res.Throttled {
+		t.Error("a 22 W draw must throttle under a 3 W TDP")
+	}
+	wantSustainable := (3 - 0.1) / wantDyn
+	if math.Abs(float64(res.Sustainable)-wantSustainable)/wantSustainable > 1e-9 {
+		t.Errorf("sustainable = %v, want %v", float64(res.Sustainable), wantSustainable)
+	}
+	if res.Scale >= 1 || res.Scale <= 0 {
+		t.Errorf("scale = %v", res.Scale)
+	}
+	// Sanity: the sustainable point actually fits the TDP.
+	draw := 0.1 + res.EnergyPerOpTotal*float64(res.Sustainable)
+	if math.Abs(draw-3) > 1e-9 {
+		t.Errorf("sustainable draw = %v, want exactly the TDP", draw)
+	}
+}
+
+func TestLowRateUsecaseUnthrottled(t *testing.T) {
+	// Fig 6b's memory-starved 1.33 Gops/s point draws well under 3 W.
+	m := paperModel(t, 10)
+	u, _ := core.TwoIPUsecase("6b", 0.75, 8, 0.1)
+	res, err := Evaluate(m, MobileBudget(m.SoC), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throttled {
+		t.Errorf("1.33 Gops/s must fit 3 W, drew %v W", res.PowerAtBound)
+	}
+	if res.Sustainable != res.Unconstrained || res.Scale != 1 {
+		t.Error("unthrottled result must pass the base bound through")
+	}
+}
+
+func TestOffloadImprovesEnergyEfficiency(t *testing.T) {
+	// §II-A: specialized engines deliver an order of magnitude better
+	// efficiency. Moving work from the CPU (0.4 nJ/op) to the
+	// accelerator (0.04 nJ/op) must cut system energy per op.
+	m := paperModel(t, 20)
+	b := MobileBudget(m.SoC)
+	cpuOnly, _ := core.TwoIPUsecase("cpu", 0, 8, 8)
+	offloaded, _ := core.TwoIPUsecase("acc", 0.75, 8, 8)
+	rc, err := Evaluate(m, b, cpuOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Evaluate(m, b, offloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.EnergyPerOpTotal >= rc.EnergyPerOpTotal {
+		t.Errorf("offload must improve J/op: %v vs %v",
+			ro.EnergyPerOpTotal, rc.EnergyPerOpTotal)
+	}
+	// And under the TDP, the offloaded point therefore sustains more
+	// throughput.
+	if ro.Sustainable <= rc.Sustainable {
+		t.Errorf("offload must sustain more under the TDP: %v vs %v",
+			float64(ro.Sustainable), float64(rc.Sustainable))
+	}
+}
+
+func TestSRAMReducesPower(t *testing.T) {
+	// Filtering off-chip traffic saves DRAM energy.
+	m := paperModel(t, 20)
+	u, _ := core.TwoIPUsecase("u", 0.75, 8, 8)
+	b := MobileBudget(m.SoC)
+	base, err := Evaluate(m, b, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := &core.Model{SoC: m.SoC, SRAM: &core.SRAM{MissRatio: []float64{0.2, 0.2}}}
+	withSRAM, err := Evaluate(cached, b, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSRAM.EnergyPerOpTotal >= base.EnergyPerOpTotal {
+		t.Errorf("SRAM must cut J/op: %v vs %v",
+			withSRAM.EnergyPerOpTotal, base.EnergyPerOpTotal)
+	}
+}
+
+func TestIdleExceedsTDP(t *testing.T) {
+	m := paperModel(t, 10)
+	b := MobileBudget(m.SoC)
+	b.IPs[0].Idle = 5
+	u, _ := core.TwoIPUsecase("u", 0.5, 8, 8)
+	if _, err := Evaluate(m, b, u); err == nil {
+		t.Error("idle power above the TDP must be an error")
+	}
+}
+
+func TestIdleIPsAreGated(t *testing.T) {
+	// An IP with no work contributes no idle power (power gating).
+	m := paperModel(t, 10)
+	b := MobileBudget(m.SoC)
+	b.IPs[1].Idle = 100 // absurd, but gated off at f=0
+	u, _ := core.TwoIPUsecase("cpu-only", 0, 8, 8)
+	res, err := Evaluate(m, b, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CPU at 40 Gops/s legitimately draws ~16.45 W under this
+	// budget; the test is that the idle IP's absurd 100 W is absent.
+	want := 0.05 + (0.4e-9+20e-12/8+60e-12/8)*40e9
+	if math.Abs(res.PowerAtBound-want)/want > 1e-9 {
+		t.Errorf("gated IP leaked power: %v W, want %v", res.PowerAtBound, want)
+	}
+}

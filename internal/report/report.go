@@ -1,0 +1,160 @@
+// Package report renders aligned text tables and CSV for the experiment
+// harness, so every figure and table reproduction can print the rows the
+// paper reports without pulling in external formatting dependencies.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row. Values are formatted with %v; float64 values are
+// formatted compactly with up to four significant decimals.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatCell(c any) string {
+	switch v := c.(type) {
+	case float64:
+		return trimmedFloat(v)
+	case float32:
+		return trimmedFloat(float64(v))
+	case string:
+		return v
+	case fmt.Stringer:
+		return v.String()
+	default:
+		return fmt.Sprintf("%v", c)
+	}
+}
+
+func trimmedFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimSuffix(s, ".")
+	if s == "-0" {
+		s = "0"
+	}
+	return s
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		var line strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			fmt.Fprintf(&line, "%-*s", widths[i], cell)
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Text renders the table to a string.
+func (t *Table) Text() string {
+	var b strings.Builder
+	// strings.Builder never errors.
+	_ = t.WriteText(&b)
+	return b.String()
+}
+
+// WriteCSV renders the table as CSV with a header row. Cells containing
+// commas, quotes or newlines are quoted per RFC 4180.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, cell := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, csvEscape(cell)); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// CSV renders the table to a CSV string.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	_ = t.WriteCSV(&b)
+	return b.String()
+}
+
+// Checkmark renders a boolean as Table I does: "X" for active, blank
+// otherwise.
+func Checkmark(b bool) string {
+	if b {
+		return "X"
+	}
+	return ""
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("beta-long-name", 42)
+	out := tbl.Text()
+
+	if !strings.HasPrefix(out, "Demo\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns must align: "value" starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 {
+		t.Fatalf("no value header: %q", lines[1])
+	}
+	for _, ln := range lines[3:] {
+		if len(ln) < idx {
+			t.Errorf("row shorter than header offset: %q", ln)
+		}
+	}
+	if !strings.Contains(out, "1.5") || !strings.Contains(out, "42") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow("x")
+	if strings.HasPrefix(tbl.Text(), "\n") {
+		t.Error("untitled table must not start with a blank line")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(40.0)
+	tbl.AddRow(1.3278)
+	tbl.AddRow(0.0)
+	out := tbl.Text()
+	if !strings.Contains(out, "40\n") {
+		t.Errorf("40.0 must print as 40:\n%s", out)
+	}
+	if !strings.Contains(out, "1.3278") {
+		t.Errorf("1.3278 must keep its decimals:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("ignored", "a", "b")
+	tbl.AddRow("plain", `has "quotes", and commas`)
+	csv := tbl.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"has ""quotes"", and commas"`) {
+		t.Errorf("escaping wrong: %q", lines[1])
+	}
+}
+
+func TestNumRows(t *testing.T) {
+	tbl := NewTable("", "a")
+	if tbl.NumRows() != 0 {
+		t.Error("new table must have zero rows")
+	}
+	tbl.AddRow(1)
+	tbl.AddRow(2)
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tbl.NumRows())
+	}
+}
+
+func TestCheckmark(t *testing.T) {
+	if Checkmark(true) != "X" || Checkmark(false) != "" {
+		t.Error("Checkmark wrong")
+	}
+}
+
+func TestStringerCell(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(stringer("hello"))
+	if !strings.Contains(tbl.Text(), "hello") {
+		t.Error("Stringer cells must use String()")
+	}
+}
+
+type stringer string
+
+func (s stringer) String() string { return string(s) }

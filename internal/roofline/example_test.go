@@ -1,0 +1,50 @@
+package roofline_test
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/roofline"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// ExampleModel_Attainable evaluates the classic roofline bound on both
+// sides of the ridge point.
+func ExampleModel_Attainable() {
+	m := roofline.MustNew("chip", units.GopsPerSec(40), units.GBPerSec(10))
+	for _, i := range []float64{0.5, 4, 32} {
+		p, _ := m.Attainable(units.Intensity(i))
+		fmt.Printf("I=%-4g -> %g Gops/s\n", i, p.Gops())
+	}
+	fmt.Printf("ridge at %g ops/byte\n", float64(m.RidgePoint()))
+	// Output:
+	// I=0.5  -> 5 Gops/s
+	// I=4    -> 40 Gops/s
+	// I=32   -> 40 Gops/s
+	// ridge at 4 ops/byte
+}
+
+// ExampleFit estimates a black-box chip's roofline from measurements, the
+// paper's §IV pessimistic-ceiling methodology.
+func ExampleFit() {
+	samples := []roofline.Point{
+		{Intensity: 0.25, Attainable: units.GopsPerSec(2.5)},
+		{Intensity: 1, Attainable: units.GopsPerSec(10)},
+		{Intensity: 16, Attainable: units.GopsPerSec(40)},
+		{Intensity: 256, Attainable: units.GopsPerSec(40)},
+	}
+	fit, _ := roofline.Fit("measured", samples)
+	fmt.Printf("peak %g Gops/s, bandwidth %g GB/s\n", fit.Peak.Gops(), fit.Bandwidth.GB())
+	// Output: peak 40 Gops/s, bandwidth 10 GB/s
+}
+
+// ExampleModel_AttainableUnder shows a ceiling: the no-SIMD bound of the
+// paper's §IV-B CPU discussion.
+func ExampleModel_AttainableUnder() {
+	m := roofline.MustNew("cpu", units.GopsPerSec(42), units.GBPerSec(20))
+	m.AddCeiling(roofline.Ceiling{Name: "no-simd", Compute: units.GopsPerSec(7.5)})
+
+	full, _ := m.Attainable(100)
+	scalar, _ := m.AttainableUnder(100, "no-simd")
+	fmt.Printf("vectorized %g, scalar %g Gops/s\n", full.Gops(), scalar.Gops())
+	// Output: vectorized 42, scalar 7.5 Gops/s
+}

@@ -1,0 +1,226 @@
+// Package roofline implements the classic Roofline performance model of
+// Williams, Waterman and Patterson (CACM 2009), which Gables refines and
+// retargets. A roofline bounds the attainable performance of a kernel on a
+// chip by the lesser of the chip's peak computation rate and the product of
+// the kernel's operational intensity with the chip's peak memory bandwidth:
+//
+//	P_attainable(I) = min(Ppeak, Bpeak · I)
+//
+// The model also supports ceilings — lesser bounds that apply when some
+// architectural feature is not exploited (no SIMD, no instruction-level
+// parallelism, non-streaming access patterns, ...) — and the derived
+// ridge-point diagnostics used throughout the Gables paper's evaluation.
+package roofline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// Ceiling is a lesser bound below the roofline's peak. Compute ceilings
+// lower the horizontal (performance) part of the roof; bandwidth ceilings
+// lower the slanted (memory) part.
+type Ceiling struct {
+	// Name identifies the restriction, e.g. "no SIMD" or "read+write".
+	Name string
+	// Compute is the reduced computation bound; zero means the ceiling
+	// does not restrict compute.
+	Compute units.OpsPerSec
+	// Bandwidth is the reduced bandwidth bound; zero means the ceiling
+	// does not restrict bandwidth.
+	Bandwidth units.BytesPerSec
+}
+
+// Model is a classic single-chip roofline.
+type Model struct {
+	// Name labels the chip or IP the roofline describes.
+	Name string
+	// Peak is the chip's peak computation performance (the paper's Ppeak).
+	Peak units.OpsPerSec
+	// Bandwidth is the chip's peak off-chip memory bandwidth (Bpeak).
+	Bandwidth units.BytesPerSec
+	// Ceilings holds optional lesser bounds, ordered arbitrarily.
+	Ceilings []Ceiling
+}
+
+// New constructs a roofline model, validating that both peaks are positive.
+func New(name string, peak units.OpsPerSec, bandwidth units.BytesPerSec) (*Model, error) {
+	if peak <= 0 {
+		return nil, fmt.Errorf("roofline: peak performance must be positive, got %v", float64(peak))
+	}
+	if bandwidth <= 0 {
+		return nil, fmt.Errorf("roofline: peak bandwidth must be positive, got %v", float64(bandwidth))
+	}
+	return &Model{Name: name, Peak: peak, Bandwidth: bandwidth}, nil
+}
+
+// MustNew is New, panicking on invalid inputs. It is intended for package
+// initialization of static catalogs where the inputs are compile-time
+// constants.
+func MustNew(name string, peak units.OpsPerSec, bandwidth units.BytesPerSec) *Model {
+	m, err := New(name, peak, bandwidth)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ErrNonPositiveIntensity is returned when a kernel's operational intensity
+// is zero or negative; the model's bandwidth bound Bpeak·I would be
+// meaningless there.
+var ErrNonPositiveIntensity = errors.New("roofline: operational intensity must be positive")
+
+// Attainable returns the maximum attainable performance at operational
+// intensity i: min(Ppeak, Bpeak·I).
+func (m *Model) Attainable(i units.Intensity) (units.OpsPerSec, error) {
+	if i <= 0 {
+		return 0, ErrNonPositiveIntensity
+	}
+	bw := units.OpsPerSec(float64(m.Bandwidth) * float64(i))
+	return min(m.Peak, bw), nil
+}
+
+// AttainableUnder returns the attainable performance at intensity i when the
+// named ceilings are in force in addition to the roof itself. Unknown names
+// are reported as an error so that typos do not silently yield the full roof.
+func (m *Model) AttainableUnder(i units.Intensity, names ...string) (units.OpsPerSec, error) {
+	if i <= 0 {
+		return 0, ErrNonPositiveIntensity
+	}
+	peak := m.Peak
+	bw := m.Bandwidth
+	for _, name := range names {
+		c, ok := m.ceiling(name)
+		if !ok {
+			return 0, fmt.Errorf("roofline: unknown ceiling %q on %q", name, m.Name)
+		}
+		if c.Compute > 0 && c.Compute < peak {
+			peak = c.Compute
+		}
+		if c.Bandwidth > 0 && c.Bandwidth < bw {
+			bw = c.Bandwidth
+		}
+	}
+	return min(peak, units.OpsPerSec(float64(bw)*float64(i))), nil
+}
+
+func (m *Model) ceiling(name string) (Ceiling, bool) {
+	for _, c := range m.Ceilings {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Ceiling{}, false
+}
+
+// AddCeiling appends a ceiling. Adding a ceiling whose name already exists
+// replaces the previous definition.
+func (m *Model) AddCeiling(c Ceiling) {
+	for idx := range m.Ceilings {
+		if m.Ceilings[idx].Name == c.Name {
+			m.Ceilings[idx] = c
+			return
+		}
+	}
+	m.Ceilings = append(m.Ceilings, c)
+}
+
+// RidgePoint returns the operational intensity at which the memory bound
+// meets the compute bound, Ppeak/Bpeak. Kernels with intensity below the
+// ridge point are memory-bound; above it they are compute-bound.
+func (m *Model) RidgePoint() units.Intensity {
+	return units.Intensity(float64(m.Peak) / float64(m.Bandwidth))
+}
+
+// MemoryBound reports whether a kernel of intensity i is limited by memory
+// bandwidth rather than compute. Exactly at the ridge point both bounds are
+// equal and the kernel is reported as compute-bound (the roof is flat there).
+func (m *Model) MemoryBound(i units.Intensity) bool {
+	return i < m.RidgePoint()
+}
+
+// Point is one sample of a roofline curve: the attainable performance at a
+// given operational intensity.
+type Point struct {
+	Intensity  units.Intensity
+	Attainable units.OpsPerSec
+}
+
+// Curve samples the roofline at n log-spaced intensities in [lo, hi],
+// suitable for plotting on log-log axes exactly as the paper's Figures 1, 7
+// and 9 do. lo and hi must be positive with lo < hi, and n must be at least 2.
+func (m *Model) Curve(lo, hi units.Intensity, n int) ([]Point, error) {
+	if lo <= 0 || hi <= 0 || lo >= hi {
+		return nil, fmt.Errorf("roofline: invalid intensity range [%v, %v]", float64(lo), float64(hi))
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("roofline: need at least 2 samples, got %d", n)
+	}
+	pts := make([]Point, n)
+	logLo, logHi := math.Log(float64(lo)), math.Log(float64(hi))
+	for k := 0; k < n; k++ {
+		i := units.Intensity(math.Exp(logLo + (logHi-logLo)*float64(k)/float64(n-1)))
+		p, err := m.Attainable(i)
+		if err != nil {
+			return nil, err
+		}
+		pts[k] = Point{Intensity: i, Attainable: p}
+	}
+	return pts, nil
+}
+
+// Fit estimates a roofline from empirical measurements, mirroring the
+// paper's §IV methodology: the pessimistic ("ceiling") estimate of a
+// black-box chip's roofline is the best achieved performance at high
+// intensity (the plateau) and the best achieved bandwidth at low intensity
+// (the slope). Measurements at or above the fitted ridge point contribute to
+// the peak estimate; measurements below contribute to the bandwidth
+// estimate. Fit requires at least one point on each side.
+func Fit(name string, samples []Point) (*Model, error) {
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("roofline: need at least 2 samples to fit, got %d", len(samples))
+	}
+	sorted := make([]Point, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Intensity < sorted[b].Intensity })
+	for _, s := range sorted {
+		if s.Intensity <= 0 || s.Attainable <= 0 {
+			return nil, fmt.Errorf("roofline: fit sample must be positive, got (I=%v, P=%v)",
+				float64(s.Intensity), float64(s.Attainable))
+		}
+	}
+	// Peak estimate: the best performance observed anywhere (the plateau
+	// dominates once intensity passes the ridge).
+	var peak units.OpsPerSec
+	for _, s := range sorted {
+		if s.Attainable > peak {
+			peak = s.Attainable
+		}
+	}
+	// Bandwidth estimate: the best implied bandwidth P/I among samples
+	// that have not yet reached the plateau. Samples already at (within
+	// 2% of) the peak are plateau points; implied bandwidth there is an
+	// underestimate, so they are excluded unless nothing else exists.
+	var bw units.BytesPerSec
+	for _, s := range sorted {
+		if float64(s.Attainable) >= 0.98*float64(peak) {
+			continue
+		}
+		implied := units.BytesPerSec(float64(s.Attainable) / float64(s.Intensity))
+		if implied > bw {
+			bw = implied
+		}
+	}
+	if bw == 0 {
+		// All samples sit on the plateau: the bandwidth bound was never
+		// observed; the best we can report is the bound implied by the
+		// lowest-intensity sample.
+		s := sorted[0]
+		bw = units.BytesPerSec(float64(s.Attainable) / float64(s.Intensity))
+	}
+	return New(name, peak, bw)
+}

@@ -1,0 +1,345 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+func mustModel(t *testing.T, name string, peak, bw float64) *Model {
+	t.Helper()
+	m, err := New(name, units.GopsPerSec(peak), units.GBPerSec(bw))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("bad", 0, units.GBPerSec(10)); err == nil {
+		t.Error("zero peak must be rejected")
+	}
+	if _, err := New("bad", units.GopsPerSec(1), 0); err == nil {
+		t.Error("zero bandwidth must be rejected")
+	}
+	if _, err := New("bad", units.GopsPerSec(-1), units.GBPerSec(10)); err == nil {
+		t.Error("negative peak must be rejected")
+	}
+	if _, err := New("ok", units.GopsPerSec(40), units.GBPerSec(10)); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with invalid inputs must panic")
+		}
+	}()
+	MustNew("bad", 0, 0)
+}
+
+func TestAttainable(t *testing.T) {
+	// The paper's Figure 1 machine shape: Ppeak=40 Gops/s, Bpeak=10 GB/s.
+	m := mustModel(t, "fig1", 40, 10)
+
+	cases := []struct {
+		i    float64
+		want float64 // Gops/s
+	}{
+		{0.1, 1},  // memory bound: 10 * 0.1
+		{1, 10},   // memory bound
+		{4, 40},   // exactly the ridge point
+		{8, 40},   // compute bound
+		{100, 40}, // deep compute bound
+	}
+	for _, c := range cases {
+		got, err := m.Attainable(units.Intensity(c.i))
+		if err != nil {
+			t.Fatalf("Attainable(%v): %v", c.i, err)
+		}
+		if !units.ApproxEqual(got.Gops(), c.want, 1e-12) {
+			t.Errorf("Attainable(%v) = %v Gops/s, want %v", c.i, got.Gops(), c.want)
+		}
+	}
+}
+
+func TestAttainableRejectsBadIntensity(t *testing.T) {
+	m := mustModel(t, "m", 40, 10)
+	if _, err := m.Attainable(0); err == nil {
+		t.Error("zero intensity must be rejected")
+	}
+	if _, err := m.Attainable(-1); err == nil {
+		t.Error("negative intensity must be rejected")
+	}
+}
+
+func TestRidgePoint(t *testing.T) {
+	m := mustModel(t, "m", 40, 10)
+	if got := m.RidgePoint(); got != 4 {
+		t.Errorf("RidgePoint = %v, want 4", float64(got))
+	}
+	if !m.MemoryBound(3.9) {
+		t.Error("intensity below ridge must be memory bound")
+	}
+	if m.MemoryBound(4) {
+		t.Error("intensity at ridge is compute bound by convention")
+	}
+	if m.MemoryBound(100) {
+		t.Error("intensity above ridge must be compute bound")
+	}
+}
+
+func TestCeilings(t *testing.T) {
+	// CPU from Fig 7a: 7.5 GFLOPS/s scalar but >40 GFLOPS/s with SIMD;
+	// 15.1 GB/s read+write but ~20 GB/s read-only. Model the full roof as
+	// the SIMD/read-only machine with ceilings for the restricted modes.
+	m := mustModel(t, "cpu", 40, 20)
+	m.AddCeiling(Ceiling{Name: "no-simd", Compute: units.GopsPerSec(7.5)})
+	m.AddCeiling(Ceiling{Name: "read+write", Bandwidth: units.GBPerSec(15.1)})
+
+	got, err := m.AttainableUnder(100, "no-simd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(got.Gops(), 7.5, 1e-12) {
+		t.Errorf("under no-simd at I=100: %v Gops/s, want 7.5", got.Gops())
+	}
+
+	got, err = m.AttainableUnder(0.5, "read+write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(got.Gops(), 15.1*0.5, 1e-12) {
+		t.Errorf("under read+write at I=0.5: %v Gops/s, want %v", got.Gops(), 15.1*0.5)
+	}
+
+	// Both ceilings at once.
+	got, err = m.AttainableUnder(1, "no-simd", "read+write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(got.Gops(), 7.5, 1e-12) {
+		t.Errorf("both ceilings at I=1: %v Gops/s, want 7.5", got.Gops())
+	}
+
+	if _, err := m.AttainableUnder(1, "nonexistent"); err == nil {
+		t.Error("unknown ceiling name must be an error")
+	}
+	if _, err := m.AttainableUnder(0, "no-simd"); err == nil {
+		t.Error("bad intensity must be an error even with ceilings")
+	}
+}
+
+func TestAddCeilingReplaces(t *testing.T) {
+	m := mustModel(t, "m", 40, 10)
+	m.AddCeiling(Ceiling{Name: "x", Compute: units.GopsPerSec(10)})
+	m.AddCeiling(Ceiling{Name: "x", Compute: units.GopsPerSec(5)})
+	if len(m.Ceilings) != 1 {
+		t.Fatalf("expected 1 ceiling after replacement, got %d", len(m.Ceilings))
+	}
+	got, err := m.AttainableUnder(100, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(got.Gops(), 5, 1e-12) {
+		t.Errorf("replaced ceiling not in force: got %v Gops/s", got.Gops())
+	}
+}
+
+func TestCeilingNeverExceedsRoof(t *testing.T) {
+	// A "ceiling" above the roof must not raise the bound.
+	m := mustModel(t, "m", 40, 10)
+	m.AddCeiling(Ceiling{Name: "above", Compute: units.GopsPerSec(100), Bandwidth: units.GBPerSec(50)})
+	got, err := m.AttainableUnder(100, "above")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := m.Attainable(100)
+	if got != plain {
+		t.Errorf("ceiling above the roof changed the bound: %v vs %v", float64(got), float64(plain))
+	}
+}
+
+func TestCurve(t *testing.T) {
+	m := mustModel(t, "m", 40, 10)
+	pts, err := m.Curve(0.01, 100, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 33 {
+		t.Fatalf("len = %d, want 33", len(pts))
+	}
+	if !units.ApproxEqual(float64(pts[0].Intensity), 0.01, 1e-9) {
+		t.Errorf("first intensity = %v, want 0.01", float64(pts[0].Intensity))
+	}
+	if !units.ApproxEqual(float64(pts[len(pts)-1].Intensity), 100, 1e-9) {
+		t.Errorf("last intensity = %v, want 100", float64(pts[len(pts)-1].Intensity))
+	}
+	// Monotone nondecreasing performance with intensity.
+	for k := 1; k < len(pts); k++ {
+		if pts[k].Attainable < pts[k-1].Attainable {
+			t.Fatalf("curve not monotone at sample %d", k)
+		}
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	m := mustModel(t, "m", 40, 10)
+	if _, err := m.Curve(1, 1, 10); err == nil {
+		t.Error("lo == hi must be rejected")
+	}
+	if _, err := m.Curve(-1, 1, 10); err == nil {
+		t.Error("negative lo must be rejected")
+	}
+	if _, err := m.Curve(0.1, 10, 1); err == nil {
+		t.Error("n < 2 must be rejected")
+	}
+}
+
+func TestFitRecoversKnownRoofline(t *testing.T) {
+	truth := mustModel(t, "truth", 40, 10)
+	pts, err := truth.Curve(0.01, 1000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := Fit("fit", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(fit.Peak.Gops(), 40, 1e-6) {
+		t.Errorf("fitted peak = %v Gops/s, want 40", fit.Peak.Gops())
+	}
+	if !units.ApproxEqual(fit.Bandwidth.GB(), 10, 0.05) {
+		t.Errorf("fitted bandwidth = %v GB/s, want ~10", fit.Bandwidth.GB())
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit("x", nil); err == nil {
+		t.Error("empty sample set must be rejected")
+	}
+	bad := []Point{{Intensity: 1, Attainable: 0}, {Intensity: 2, Attainable: 1}}
+	if _, err := Fit("x", bad); err == nil {
+		t.Error("non-positive samples must be rejected")
+	}
+}
+
+func TestFitAllPlateau(t *testing.T) {
+	// All samples at peak: bandwidth is inferred from the lowest-intensity one.
+	pts := []Point{
+		{Intensity: 10, Attainable: units.GopsPerSec(40)},
+		{Intensity: 100, Attainable: units.GopsPerSec(40)},
+	}
+	fit, err := Fit("plateau", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(fit.Peak.Gops(), 40, 1e-12) {
+		t.Errorf("peak = %v, want 40", fit.Peak.Gops())
+	}
+	if !units.ApproxEqual(fit.Bandwidth.GB(), 4, 1e-12) {
+		t.Errorf("bandwidth = %v, want 4 (40/10)", fit.Bandwidth.GB())
+	}
+}
+
+// Property: attainable performance never exceeds either bound, and always
+// equals one of them.
+func TestAttainableBoundsProperty(t *testing.T) {
+	f := func(peakSeed, bwSeed, iSeed uint16) bool {
+		peak := units.OpsPerSec(1 + float64(peakSeed))
+		bw := units.BytesPerSec(1 + float64(bwSeed))
+		i := units.Intensity(0.001 + float64(iSeed)/100)
+		m, err := New("p", peak, bw)
+		if err != nil {
+			return false
+		}
+		p, err := m.Attainable(i)
+		if err != nil {
+			return false
+		}
+		memBound := units.OpsPerSec(float64(bw) * float64(i))
+		if p > peak || p > memBound {
+			return false
+		}
+		return p == peak || p == memBound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the curve is continuous at the ridge point — the two bounds meet.
+func TestRidgeContinuityProperty(t *testing.T) {
+	f := func(peakSeed, bwSeed uint16) bool {
+		peak := units.OpsPerSec(1 + float64(peakSeed))
+		bw := units.BytesPerSec(1 + float64(bwSeed))
+		m, err := New("p", peak, bw)
+		if err != nil {
+			return false
+		}
+		r := m.RidgePoint()
+		p, err := m.Attainable(r)
+		if err != nil {
+			return false
+		}
+		return units.ApproxEqual(float64(p), float64(peak), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fitted rooflines are conservative — they never exceed the truth
+// at sampled intensities by more than numerical tolerance.
+func TestFitConservativeProperty(t *testing.T) {
+	f := func(peakSeed, bwSeed uint8) bool {
+		peak := units.GopsPerSec(1 + float64(peakSeed))
+		bw := units.GBPerSec(1 + float64(bwSeed))
+		truth, err := New("t", peak, bw)
+		if err != nil {
+			return false
+		}
+		pts, err := truth.Curve(0.001, 10000, 48)
+		if err != nil {
+			return false
+		}
+		fit, err := Fit("f", pts)
+		if err != nil {
+			return false
+		}
+		for _, s := range pts {
+			fp, err := fit.Attainable(s.Intensity)
+			if err != nil {
+				return false
+			}
+			tp, _ := truth.Attainable(s.Intensity)
+			if float64(fp) > float64(tp)*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurveLogSpacing(t *testing.T) {
+	m := mustModel(t, "m", 40, 10)
+	pts, err := m.Curve(0.01, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log-spaced: ratios between consecutive intensities must be equal.
+	r := float64(pts[1].Intensity) / float64(pts[0].Intensity)
+	for k := 2; k < len(pts); k++ {
+		rk := float64(pts[k].Intensity) / float64(pts[k-1].Intensity)
+		if math.Abs(rk-r) > 1e-9*r {
+			t.Fatalf("log spacing violated at sample %d: %v vs %v", k, rk, r)
+		}
+	}
+}

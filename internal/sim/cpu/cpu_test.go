@@ -1,0 +1,35 @@
+package cpu
+
+import "testing"
+
+func TestPresetsValid(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		c    interface{ Validate() error }
+	}{} {
+		_ = cfg
+	}
+	k := Kryo835()
+	if err := k.Validate(); err != nil {
+		t.Errorf("Kryo835: %v", err)
+	}
+	if k.ComputeRate != 7.5e9 {
+		t.Errorf("Kryo835 peak = %v, paper measures 7.5 GFLOPS/s", k.ComputeRate)
+	}
+	// The calibration identity behind the 15.1 GB/s read+write figure:
+	// 8 bytes moved per (4 + 4·penalty) serviced at the 20 GB/s link.
+	eff := 8.0 / (4 + 4*k.WritePenalty) * k.LinkBandwidth
+	if eff < 15.0e9 || eff > 15.2e9 {
+		t.Errorf("effective RW bandwidth = %v, want ~15.1e9", eff)
+	}
+	s := Kryo835SIMD()
+	if err := s.Validate(); err != nil {
+		t.Errorf("Kryo835SIMD: %v", err)
+	}
+	if s.ComputeRate <= 40e9 {
+		t.Errorf("SIMD peak = %v, paper reports >40 GFLOPS/s", s.ComputeRate)
+	}
+	if s.LinkBandwidth != k.LinkBandwidth {
+		t.Error("SIMD must not change the memory side")
+	}
+}

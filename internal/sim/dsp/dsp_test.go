@@ -1,0 +1,26 @@
+package dsp
+
+import "testing"
+
+func TestPresetsValid(t *testing.T) {
+	d := Hexagon682Scalar()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Hexagon682Scalar: %v", err)
+	}
+	if d.ComputeRate != 3.0e9 {
+		t.Errorf("peak = %v, paper measures 3.0 GFLOPS/s (spec 3.6)", d.ComputeRate)
+	}
+	if d.LinkBandwidth != 5.4e9 {
+		t.Errorf("link = %v, Figure 9 reports 5.4 GB/s", d.LinkBandwidth)
+	}
+	v := Hexagon682Vector()
+	if err := v.Validate(); err != nil {
+		t.Fatalf("Hexagon682Vector: %v", err)
+	}
+	if v.ComputeRate <= d.ComputeRate {
+		t.Error("HVX vector unit must dwarf the scalar unit")
+	}
+	if v.LinkBandwidth != 12.5e9 {
+		t.Errorf("HVX link = %v, §IV-D prose says 12.5 GB/s", v.LinkBandwidth)
+	}
+}

@@ -1,0 +1,116 @@
+// Package engine is the discrete-event core of the simulated SoC: a
+// priority queue of timestamped events with deterministic FIFO ordering for
+// ties. Every other sim package (bandwidth servers, IP pipelines, thermal
+// governors) schedules closures on an Engine.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds.
+type Time float64
+
+// Event is a scheduled closure.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine drives a simulation.
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventQueue
+}
+
+// New returns an engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at the given absolute time, which must not be in the
+// past. Events scheduled for the same instant run in scheduling order.
+func (e *Engine) Schedule(at Time, fn func()) error {
+	if at < e.now {
+		return fmt.Errorf("engine: cannot schedule at %v before now %v", at, e.now)
+	}
+	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
+		return fmt.Errorf("engine: non-finite event time %v", at)
+	}
+	if fn == nil {
+		return fmt.Errorf("engine: nil event function")
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn delay seconds from now.
+func (e *Engine) After(delay Time, fn func()) error {
+	if delay < 0 {
+		return fmt.Errorf("engine: negative delay %v", delay)
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Run processes events until the queue drains or the optional limit is
+// exceeded, returning the number of events processed. limit <= 0 means no
+// limit (bounded only by the queue draining).
+func (e *Engine) Run(limit int) (int, error) {
+	processed := 0
+	for e.queue.Len() > 0 {
+		if limit > 0 && processed >= limit {
+			return processed, fmt.Errorf("engine: event limit %d exceeded at t=%v (livelock?)", limit, e.now)
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+		processed++
+	}
+	return processed, nil
+}
+
+// RunUntil processes events with timestamps at or before deadline, leaving
+// later events queued and advancing the clock to the deadline.
+func (e *Engine) RunUntil(deadline Time) (int, error) {
+	if deadline < e.now {
+		return 0, fmt.Errorf("engine: deadline %v before now %v", deadline, e.now)
+	}
+	processed := 0
+	for e.queue.Len() > 0 && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+		processed++
+	}
+	e.now = deadline
+	return processed, nil
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }

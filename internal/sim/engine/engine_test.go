@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	for i, at := range []Time{3e-9, 1e-9, 2e-9} {
+		i := i
+		if err := e.Schedule(at, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("processed %d events, want 3", n)
+	}
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3e-9 {
+		t.Errorf("final time = %v, want 3e-9", e.Now())
+	}
+}
+
+func TestFIFOTies(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := e.Schedule(1e-9, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("tie order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	e := New()
+	if err := e.Schedule(1, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(0.5, func() {}); err == nil {
+		t.Error("scheduling in the past must be rejected")
+	}
+	if err := e.Schedule(2, nil); err == nil {
+		t.Error("nil fn must be rejected")
+	}
+	if err := e.Schedule(Time(math.NaN()), func() {}); err == nil {
+		t.Error("NaN time must be rejected")
+	}
+	if err := e.After(-1, func() {}); err == nil {
+		t.Error("negative delay must be rejected")
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	e := New()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 5 {
+			if err := e.After(1e-9, step); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := e.Schedule(0, step); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Now() != 4e-9 {
+		t.Errorf("now = %v, want 4e-9", e.Now())
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	e := New()
+	var loop func()
+	loop = func() {
+		if err := e.After(1e-9, loop); err != nil {
+			t.Error(err)
+		}
+	}
+	if err := e.Schedule(0, loop); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.Run(100)
+	if err == nil {
+		t.Error("livelock must exceed the limit")
+	}
+	if n != 100 {
+		t.Errorf("processed = %d, want 100", n)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	for _, at := range []Time{1, 2, 3, 4} {
+		if err := e.Schedule(at, func() { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := e.RunUntil(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || fired != 2 {
+		t.Errorf("processed %d (fired %d), want 2", n, fired)
+	}
+	if e.Now() != 2.5 {
+		t.Errorf("now = %v, want 2.5", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	if _, err := e.RunUntil(1); err == nil {
+		t.Error("deadline in the past must be rejected")
+	}
+	// Drain the rest.
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 4 {
+		t.Errorf("fired = %d, want 4", fired)
+	}
+}

@@ -1,0 +1,26 @@
+package gpu
+
+import "testing"
+
+func TestPresetValid(t *testing.T) {
+	g := Adreno540()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Adreno540: %v", err)
+	}
+	if g.ComputeRate != 349.6e9 {
+		t.Errorf("peak = %v, paper measures 349.6 GFLOPS/s", g.ComputeRate)
+	}
+	if g.LinkBandwidth != 24.4e9 {
+		t.Errorf("link = %v, paper measures 24.4 GB/s", g.LinkBandwidth)
+	}
+	// A1 = 349.6/7.5 ≈ 46.6 ≈ 47× per §IV-B.
+	if a := g.ComputeRate / 7.5e9; a < 46 || a > 47 {
+		t.Errorf("acceleration = %v, want ~46.6", a)
+	}
+	if g.CoordinationOpsPerByte <= 0 {
+		t.Error("GPU offload must model host coordination")
+	}
+	if g.MaxInflight < 8 {
+		t.Error("latency-tolerant GPU needs a deep outstanding window")
+	}
+}

@@ -1,0 +1,315 @@
+// Package ip models one IP block of the simulated SoC executing the
+// Algorithm 1 micro-benchmark: a compute engine (a FIFO server in ops/s), a
+// link to the interconnect (bytes/s, with an optional write penalty that
+// models read-modify-write turnaround at the block's memory interface), a
+// private streaming cache, and a chunked transfer pipeline with a bounded
+// number of outstanding chunks.
+//
+// A kernel is split into chunks; each chunk's data traverses
+// link → fabric(s) → DRAM (or the private cache when the working set fits),
+// then its computation queues on the compute server. Transfers of later
+// chunks overlap the computation of earlier ones — the double-buffering
+// every real streaming engine uses — so an IP's achieved rate converges to
+// min(compute, bandwidth·intensity): its roofline emerges from the
+// mechanism rather than being asserted.
+//
+// When offload coordination is enabled (the mixing experiments of §IV-C),
+// each chunk is first serviced by the *host CPU's* compute server at a
+// configurable ops-per-byte cost, modeling the paper's §II-B third
+// bottleneck: IPs are exposed as devices whose buffers and completions the
+// CPU must shepherd.
+package ip
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/sim/engine"
+	"github.com/gables-model/gables/internal/sim/mem"
+)
+
+// Config parameterizes an IP block.
+type Config struct {
+	// Name labels the block.
+	Name string
+	// ComputeRate is peak computation in ops/s.
+	ComputeRate float64
+	// LinkBandwidth is the block's interconnect link in bytes/s.
+	LinkBandwidth float64
+	// WritePenalty multiplies the link service cost of written bytes;
+	// 1 means writes cost the same as reads. The paper's CPU measures
+	// 15.1 GB/s read+write against ~20 GB/s read-only, which a penalty
+	// of ~1.65 reproduces.
+	WritePenalty float64
+	// CacheSize is the private cache capacity in bytes; 0 disables it.
+	CacheSize float64
+	// CacheBandwidth is hit bandwidth in bytes/s; required if CacheSize
+	// is set.
+	CacheBandwidth float64
+	// ChunkBytes is the pipeline granularity; defaults to 256 KiB.
+	ChunkBytes float64
+	// MaxInflight bounds outstanding chunk transfers; defaults to 4.
+	MaxInflight int
+	// CoordinationOpsPerByte is the host-CPU cost of shepherding each
+	// byte this block moves when coordination is enabled: driver calls,
+	// buffer management, completion interrupts. Zero for the host
+	// itself.
+	CoordinationOpsPerByte float64
+	// MemoryLatency is the fixed round-trip latency a miss chunk pays
+	// on top of its bandwidth service time, in seconds. With latency,
+	// achievable bandwidth is capped near
+	// MaxInflight·ChunkBytes/(latency + service): a shallow outstanding
+	// window (latency *reduction* designs, like cached CPUs) starves,
+	// while a deep window (latency *tolerance* designs, like GPUs)
+	// sustains the link — the §III-C contrast. Zero disables it.
+	MemoryLatency float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.WritePenalty == 0 {
+		c.WritePenalty = 1
+	}
+	if c.ChunkBytes == 0 {
+		c.ChunkBytes = 256 * 1024
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 4
+	}
+}
+
+// Validate checks the configuration, applying defaults to a local copy
+// first so zero-valued optional fields are legal.
+func (c Config) Validate() error {
+	c.applyDefaults()
+	if c.Name == "" {
+		return fmt.Errorf("ip: config with empty name")
+	}
+	if c.ComputeRate <= 0 {
+		return fmt.Errorf("ip: %s: compute rate must be positive", c.Name)
+	}
+	if c.LinkBandwidth <= 0 {
+		return fmt.Errorf("ip: %s: link bandwidth must be positive", c.Name)
+	}
+	if c.WritePenalty < 1 {
+		return fmt.Errorf("ip: %s: write penalty must be at least 1, got %v", c.Name, c.WritePenalty)
+	}
+	if c.CacheSize < 0 || (c.CacheSize > 0 && c.CacheBandwidth <= 0) {
+		return fmt.Errorf("ip: %s: cache needs positive size and bandwidth", c.Name)
+	}
+	if c.ChunkBytes <= 0 {
+		return fmt.Errorf("ip: %s: chunk size must be positive", c.Name)
+	}
+	if c.MaxInflight < 1 {
+		return fmt.Errorf("ip: %s: need at least one outstanding chunk", c.Name)
+	}
+	if c.CoordinationOpsPerByte < 0 {
+		return fmt.Errorf("ip: %s: coordination cost must be non-negative", c.Name)
+	}
+	if c.MemoryLatency < 0 {
+		return fmt.Errorf("ip: %s: memory latency must be non-negative", c.Name)
+	}
+	return nil
+}
+
+// IP is an instantiated block.
+type IP struct {
+	cfg        Config
+	eng        *engine.Engine
+	compute    *mem.Server
+	link       *mem.Server
+	cache      *mem.Cache
+	fabricPath []*mem.Server
+	dram       *mem.Server
+
+	flopsDone  float64
+	bytesMoved float64
+}
+
+// New instantiates the block on the engine. fabricPath lists the fabric
+// servers between the block's link and the DRAM controller (may be empty);
+// dram is the shared memory controller server.
+func New(eng *engine.Engine, cfg Config, fabricPath []*mem.Server, dram *mem.Server) (*IP, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil {
+		return nil, fmt.Errorf("ip: %s: nil engine", cfg.Name)
+	}
+	if dram == nil {
+		return nil, fmt.Errorf("ip: %s: nil DRAM server", cfg.Name)
+	}
+	compute, err := mem.NewServer(eng, cfg.Name+":compute", cfg.ComputeRate)
+	if err != nil {
+		return nil, err
+	}
+	link, err := mem.NewServer(eng, cfg.Name+":link", cfg.LinkBandwidth)
+	if err != nil {
+		return nil, err
+	}
+	b := &IP{cfg: cfg, eng: eng, compute: compute, link: link, fabricPath: fabricPath, dram: dram}
+	if cfg.CacheSize > 0 {
+		b.cache, err = mem.NewCache(eng, cfg.Name+":cache", cfg.CacheSize, cfg.CacheBandwidth)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Name returns the block's label.
+func (b *IP) Name() string { return b.cfg.Name }
+
+// Config returns the block's configuration (post-defaults).
+func (b *IP) Config() Config { return b.cfg }
+
+// OpsDone returns cumulative operations completed (thermal.Target).
+func (b *IP) OpsDone() float64 { return b.flopsDone }
+
+// BytesMoved returns cumulative data moved, counting actual bytes (the
+// write penalty inflates service time, not this count).
+func (b *IP) BytesMoved() float64 { return b.bytesMoved }
+
+// ComputeServer exposes the compute resource, e.g. as the host server for
+// other IPs' coordination costs.
+func (b *IP) ComputeServer() *mem.Server { return b.compute }
+
+// SetFrequencyScale scales the compute clock (thermal.Target).
+func (b *IP) SetFrequencyScale(s float64) error {
+	if s <= 0 || s > 1 || math.IsNaN(s) {
+		return fmt.Errorf("ip: %s: frequency scale must be in (0,1], got %v", b.cfg.Name, s)
+	}
+	return b.compute.SetCapacity(b.cfg.ComputeRate * s)
+}
+
+// Reset clears progress counters and server accounting for a fresh
+// measurement on the same instantiated system.
+func (b *IP) Reset() {
+	b.flopsDone = 0
+	b.bytesMoved = 0
+	b.compute.Reset()
+	b.link.Reset()
+	if b.cache != nil {
+		b.cache.Server.Reset()
+	}
+}
+
+// chunk describes one pipelined unit of kernel work.
+type chunk struct {
+	read, write float64 // bytes
+	flops       float64
+	cached      bool
+}
+
+// RunKernel executes the kernel on the block and calls done when every
+// chunk's computation has completed. host, when non-nil, is the host CPU
+// compute server that coordination costs are charged to (enable it for
+// offloaded mixing runs; leave nil for device-resident roofline runs and
+// for the host itself).
+func (b *IP) RunKernel(k kernel.Kernel, host *mem.Server, done func()) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	if done == nil {
+		return fmt.Errorf("ip: %s: nil completion", b.cfg.Name)
+	}
+	chunks := b.buildChunks(k)
+	if len(chunks) == 0 {
+		return fmt.Errorf("ip: %s: kernel %s produced no work", b.cfg.Name, k.Name)
+	}
+
+	next := 0
+	completed := 0
+	var launch func()
+	finishOne := func(c chunk) {
+		b.flopsDone += c.flops
+		completed++
+		if completed == len(chunks) {
+			done()
+		}
+	}
+	launch = func() {
+		if next >= len(chunks) {
+			return
+		}
+		c := chunks[next]
+		next++
+		hops := b.hops(c, host)
+		arrived := func() {
+			b.bytesMoved += c.read + c.write
+			// Data arrived: free the pipeline slot, then queue the
+			// chunk's computation.
+			if err := b.compute.Request(c.flops, func() { finishOne(c) }); err != nil {
+				panic(fmt.Sprintf("ip: %s: compute request: %v", b.cfg.Name, err))
+			}
+			launch()
+		}
+		err := mem.Transfer(hops, func() {
+			// Miss chunks pay the fixed round-trip latency on top of
+			// their bandwidth service; it occupies no server, so
+			// deeper outstanding windows hide it.
+			if b.cfg.MemoryLatency > 0 && !c.cached {
+				if err := b.eng.After(engine.Time(b.cfg.MemoryLatency), arrived); err != nil {
+					panic(fmt.Sprintf("ip: %s: latency: %v", b.cfg.Name, err))
+				}
+				return
+			}
+			arrived()
+		})
+		if err != nil {
+			panic(fmt.Sprintf("ip: %s: transfer: %v", b.cfg.Name, err))
+		}
+	}
+	for i := 0; i < b.cfg.MaxInflight && i < len(chunks); i++ {
+		launch()
+	}
+	return nil
+}
+
+// buildChunks splits the kernel into pipeline chunks, trial by trial.
+func (b *IP) buildChunks(k kernel.Kernel) []chunk {
+	readPer, writePer := k.TrafficPerTrial()
+	ws := float64(k.WorkingSet)
+	flopsPerTrial := float64(k.Words()) * float64(k.FlopsPerWord)
+	var out []chunk
+	for trial := 0; trial < k.Trials; trial++ {
+		cached := b.cache != nil && b.cache.Hits(ws, trial)
+		remaining := ws
+		for remaining > 0 {
+			sz := math.Min(b.cfg.ChunkBytes, remaining)
+			frac := sz / ws
+			out = append(out, chunk{
+				read:   float64(readPer) * frac,
+				write:  float64(writePer) * frac,
+				flops:  flopsPerTrial * frac,
+				cached: cached,
+			})
+			remaining -= sz
+		}
+	}
+	return out
+}
+
+// hops builds the transfer path for a chunk.
+func (b *IP) hops(c chunk, host *mem.Server) []mem.Hop {
+	if c.cached {
+		return []mem.Hop{{Server: b.cache.Server, Amount: c.read + c.write}}
+	}
+	var hops []mem.Hop
+	if host != nil && b.cfg.CoordinationOpsPerByte > 0 {
+		hops = append(hops, mem.Hop{
+			Server: host,
+			Amount: (c.read + c.write) * b.cfg.CoordinationOpsPerByte,
+		})
+	}
+	hops = append(hops, mem.Hop{
+		Server: b.link,
+		Amount: c.read + c.write*b.cfg.WritePenalty,
+	})
+	for _, f := range b.fabricPath {
+		hops = append(hops, mem.Hop{Server: f, Amount: c.read + c.write})
+	}
+	hops = append(hops, mem.Hop{Server: b.dram, Amount: c.read + c.write})
+	return hops
+}

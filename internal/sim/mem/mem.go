@@ -1,0 +1,212 @@
+// Package mem provides the bandwidth-server building blocks of the
+// simulated SoC's memory system: FIFO resources with a service rate
+// (links, fabrics, the DRAM controller, and compute engines alike), chained
+// transfers across multi-hop paths, and a streaming cache model.
+//
+// A Server is a single-queue resource: a request of n units (bytes, or ops
+// for compute servers) occupies it for n/capacity seconds after any queued
+// work ahead of it. Shared servers therefore produce contention naturally:
+// two IPs pushing chunks through the same DRAM server each see roughly half
+// its capacity, which is exactly the mechanism behind the Gables paper's
+// shared-Bpeak bound and its Figure 8 mixing results.
+package mem
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gables-model/gables/internal/sim/engine"
+)
+
+// Server is a FIFO bandwidth resource. Requests queue and are serviced one
+// at a time; a request's service time is computed when its service
+// *starts*, so capacity changes (DVFS throttling) apply to queued work, not
+// only to work admitted later.
+type Server struct {
+	name     string
+	eng      *engine.Engine
+	capacity float64 // units per second
+	queue    []request
+	active   bool
+	busy     float64 // total busy seconds
+	served   float64 // total units served
+}
+
+type request struct {
+	amount float64
+	done   func()
+}
+
+// NewServer creates a server with the given capacity in units/second.
+func NewServer(eng *engine.Engine, name string, capacity float64) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("mem: server %q: nil engine", name)
+	}
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return nil, fmt.Errorf("mem: server %q: capacity must be positive and finite, got %v", name, capacity)
+	}
+	return &Server{name: name, eng: eng, capacity: capacity}, nil
+}
+
+// Name returns the server's label.
+func (s *Server) Name() string { return s.name }
+
+// Capacity returns the current service rate.
+func (s *Server) Capacity() float64 { return s.capacity }
+
+// SetCapacity changes the service rate (the DVFS governor's hook). The new
+// rate applies to every service that starts afterwards, including requests
+// already waiting in the queue; only the request being serviced right now
+// keeps its original timing.
+func (s *Server) SetCapacity(c float64) error {
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		return fmt.Errorf("mem: server %q: capacity must be positive and finite, got %v", s.name, c)
+	}
+	s.capacity = c
+	return nil
+}
+
+// Request enqueues amount units of service and calls done when it
+// completes. Zero-amount requests complete after any queued work, with no
+// service time of their own.
+func (s *Server) Request(amount float64, done func()) error {
+	if amount < 0 || math.IsNaN(amount) || math.IsInf(amount, 0) {
+		return fmt.Errorf("mem: server %q: amount must be non-negative and finite, got %v", s.name, amount)
+	}
+	if done == nil {
+		return fmt.Errorf("mem: server %q: nil completion", s.name)
+	}
+	s.queue = append(s.queue, request{amount: amount, done: done})
+	if !s.active {
+		s.startNext()
+	}
+	return nil
+}
+
+// startNext begins servicing the queue head, if any.
+func (s *Server) startNext() {
+	if len(s.queue) == 0 {
+		s.active = false
+		return
+	}
+	s.active = true
+	r := s.queue[0]
+	s.queue = s.queue[1:]
+	service := engine.Time(r.amount / s.capacity)
+	s.busy += float64(service)
+	s.served += r.amount
+	// Delay and engine state are valid by construction; a scheduling
+	// failure here is a programming error.
+	if err := s.eng.After(service, func() {
+		r.done()
+		s.startNext()
+	}); err != nil {
+		panic(fmt.Sprintf("mem: server %q: %v", s.name, err))
+	}
+}
+
+// Served returns the total units served so far.
+func (s *Server) Served() float64 { return s.served }
+
+// BusyTime returns the total seconds the server has been busy.
+func (s *Server) BusyTime() float64 { return s.busy }
+
+// Utilization returns busy time over elapsed time at the horizon, in
+// [0, ~1] (slightly above 1 is possible when admitted work extends past the
+// horizon).
+func (s *Server) Utilization(horizon engine.Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return s.busy / float64(horizon)
+}
+
+// Reset clears accounting for back-to-back measurement runs on one system.
+// It must only be called while the server is idle; resetting with queued
+// work would orphan the queue's completions.
+func (s *Server) Reset() {
+	s.busy = 0
+	s.served = 0
+}
+
+// Hop is one stage of a transfer path: a server and the amount of service
+// the transfer consumes there. Amounts can differ per hop — a DRAM
+// controller may charge writes more than reads, and host-staged transfers
+// cross the memory twice.
+type Hop struct {
+	Server *Server
+	Amount float64
+}
+
+// Transfer moves a request through the hops in order — each hop's service
+// begins when the previous hop completes — and calls done at the end.
+// Different transfers overlap across hops, so a chain of servers behaves
+// like a pipeline whose throughput is set by its busiest stage.
+func Transfer(hops []Hop, done func()) error {
+	if done == nil {
+		return fmt.Errorf("mem: transfer: nil completion")
+	}
+	if len(hops) == 0 {
+		return fmt.Errorf("mem: transfer: no hops")
+	}
+	for i, h := range hops {
+		if h.Server == nil {
+			return fmt.Errorf("mem: transfer: hop %d has nil server", i)
+		}
+	}
+	var step func(i int)
+	step = func(i int) {
+		if i == len(hops) {
+			done()
+			return
+		}
+		// Request errors are validated above (amount checked by the
+		// server); a failure here is a programming error surfaced by
+		// the panic below rather than silently dropping the chunk.
+		if err := hops[i].Server.Request(hops[i].Amount, func() { step(i + 1) }); err != nil {
+			panic(fmt.Sprintf("mem: transfer hop %d: %v", i, err))
+		}
+	}
+	// Validate all amounts before starting so no partial transfer runs.
+	for i, h := range hops {
+		if h.Amount < 0 || math.IsNaN(h.Amount) || math.IsInf(h.Amount, 0) {
+			return fmt.Errorf("mem: transfer: hop %d amount %v invalid", i, h.Amount)
+		}
+	}
+	step(0)
+	return nil
+}
+
+// Cache is a streaming cache model for the Algorithm 1 micro-benchmark
+// pattern: a sequential scan over a working set of W bytes, repeated for
+// several trials. Under LRU, a scan larger than the cache thrashes — every
+// access misses on every trial — while a scan that fits is all hits after
+// the first (warmup) trial. This cliff is the mechanism that lets the
+// §IV method find an IP's DRAM bandwidth (large W) and cache bandwidth
+// (small W) with the same kernel.
+type Cache struct {
+	// Size is the capacity in bytes.
+	Size float64
+	// Server models hit bandwidth: a private resource, uncontended by
+	// other IPs.
+	Server *Server
+}
+
+// NewCache builds a cache with the given size and hit bandwidth.
+func NewCache(eng *engine.Engine, name string, size, hitBandwidth float64) (*Cache, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mem: cache %q: size must be positive, got %v", name, size)
+	}
+	srv, err := NewServer(eng, name, hitBandwidth)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{Size: size, Server: srv}, nil
+}
+
+// Hits reports whether a streaming working set of w bytes is served from
+// the cache on trial number `trial` (0-based): only when it fits and the
+// warmup trial has passed.
+func (c *Cache) Hits(w float64, trial int) bool {
+	return w <= c.Size && trial > 0
+}

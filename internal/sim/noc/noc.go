@@ -1,0 +1,108 @@
+// Package noc builds the simulated SoC's interconnect: a tree of fabrics
+// (each a FIFO bandwidth server) rooted at the DRAM controller, mirroring
+// the hierarchy of the paper's Figure 3. IPs attach to a fabric and their
+// memory traffic traverses every fabric on the path to memory, so a narrow
+// shared fabric throttles exactly the IPs behind it — the mechanism the
+// §V-B interconnect extension models analytically.
+package noc
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/sim/engine"
+	"github.com/gables-model/gables/internal/sim/mem"
+)
+
+// FabricSpec declares one fabric of the topology.
+type FabricSpec struct {
+	// Name identifies the fabric.
+	Name string
+	// Bandwidth is the fabric's aggregate service rate in bytes/s.
+	Bandwidth float64
+	// Parent names the next fabric toward memory; empty attaches the
+	// fabric directly to the DRAM controller.
+	Parent string
+}
+
+// Topology is an instantiated fabric tree.
+type Topology struct {
+	servers map[string]*mem.Server
+	parents map[string]string
+}
+
+// Build instantiates the fabric tree on the engine, validating that parents
+// exist and the hierarchy is acyclic.
+func Build(eng *engine.Engine, specs []FabricSpec) (*Topology, error) {
+	t := &Topology{
+		servers: make(map[string]*mem.Server, len(specs)),
+		parents: make(map[string]string, len(specs)),
+	}
+	for _, s := range specs {
+		if s.Name == "" {
+			return nil, fmt.Errorf("noc: fabric with empty name")
+		}
+		if _, dup := t.servers[s.Name]; dup {
+			return nil, fmt.Errorf("noc: duplicate fabric %q", s.Name)
+		}
+		srv, err := mem.NewServer(eng, "fabric:"+s.Name, s.Bandwidth)
+		if err != nil {
+			return nil, err
+		}
+		t.servers[s.Name] = srv
+		t.parents[s.Name] = s.Parent
+	}
+	for name := range t.servers {
+		if _, err := t.Path(name); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Path returns the fabric servers from the named fabric to the memory
+// controller, in traversal order. An empty name returns an empty path (an
+// IP attached directly to memory).
+func (t *Topology) Path(name string) ([]*mem.Server, error) {
+	if name == "" {
+		return nil, nil
+	}
+	var path []*mem.Server
+	seen := make(map[string]bool)
+	for cur := name; cur != ""; cur = t.parents[cur] {
+		if seen[cur] {
+			return nil, fmt.Errorf("noc: fabric cycle through %q", cur)
+		}
+		seen[cur] = true
+		srv, ok := t.servers[cur]
+		if !ok {
+			return nil, fmt.Errorf("noc: unknown fabric %q", cur)
+		}
+		path = append(path, srv)
+	}
+	return path, nil
+}
+
+// Server returns the named fabric's server, for instrumentation.
+func (t *Topology) Server(name string) (*mem.Server, error) {
+	srv, ok := t.servers[name]
+	if !ok {
+		return nil, fmt.Errorf("noc: unknown fabric %q", name)
+	}
+	return srv, nil
+}
+
+// Names returns all fabric names (unordered).
+func (t *Topology) Names() []string {
+	out := make([]string, 0, len(t.servers))
+	for n := range t.servers {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Reset clears accounting on every fabric server.
+func (t *Topology) Reset() {
+	for _, s := range t.servers {
+		s.Reset()
+	}
+}

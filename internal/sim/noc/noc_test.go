@@ -1,0 +1,101 @@
+package noc
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/sim/engine"
+)
+
+func specs() []FabricSpec {
+	return []FabricSpec{
+		{Name: "hb", Bandwidth: 28e9},
+		{Name: "mm", Bandwidth: 20e9, Parent: "hb"},
+		{Name: "sys", Bandwidth: 12e9, Parent: "hb"},
+		{Name: "peri", Bandwidth: 2e9, Parent: "sys"},
+	}
+}
+
+func TestBuildAndPath(t *testing.T) {
+	topo, err := Build(engine.New(), specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := topo.Path("peri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3 (peri→sys→hb)", len(path))
+	}
+	if path[0].Name() != "fabric:peri" || path[2].Name() != "fabric:hb" {
+		t.Errorf("path order wrong: %s .. %s", path[0].Name(), path[2].Name())
+	}
+
+	empty, err := topo.Path("")
+	if err != nil || empty != nil {
+		t.Errorf("empty fabric name must give empty path, got %v, %v", empty, err)
+	}
+
+	if _, err := topo.Path("nope"); err == nil {
+		t.Error("unknown fabric must be an error")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	eng := engine.New()
+	if _, err := Build(eng, []FabricSpec{{Name: "", Bandwidth: 1}}); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if _, err := Build(eng, []FabricSpec{{Name: "a", Bandwidth: 1}, {Name: "a", Bandwidth: 1}}); err == nil {
+		t.Error("duplicate must be rejected")
+	}
+	if _, err := Build(eng, []FabricSpec{{Name: "a", Bandwidth: 0}}); err == nil {
+		t.Error("zero bandwidth must be rejected")
+	}
+	if _, err := Build(eng, []FabricSpec{{Name: "a", Bandwidth: 1, Parent: "ghost"}}); err == nil {
+		t.Error("unknown parent must be rejected")
+	}
+	cyc := []FabricSpec{
+		{Name: "a", Bandwidth: 1, Parent: "b"},
+		{Name: "b", Bandwidth: 1, Parent: "a"},
+	}
+	if _, err := Build(eng, cyc); err == nil {
+		t.Error("cycle must be rejected")
+	}
+}
+
+func TestServerLookupAndNames(t *testing.T) {
+	topo, err := Build(engine.New(), specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := topo.Server("mm")
+	if err != nil || s.Name() != "fabric:mm" {
+		t.Errorf("Server lookup: %v, %v", s, err)
+	}
+	if _, err := topo.Server("nope"); err == nil {
+		t.Error("unknown server must be an error")
+	}
+	if got := len(topo.Names()); got != 4 {
+		t.Errorf("Names len = %d, want 4", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	eng := engine.New()
+	topo, err := Build(eng, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := topo.Server("hb")
+	if err := s.Request(1e6, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	topo.Reset()
+	if s.Served() != 0 {
+		t.Error("reset must clear fabric accounting")
+	}
+}

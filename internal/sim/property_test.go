@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// These property tests pin the simulator's physical invariants: measured
+// rates never exceed the analytic rooflines the configuration implies,
+// accounting is conserved, and runs are deterministic.
+
+// randKernel maps seeds to a valid kernel on a modest footprint (kept
+// small so property runs stay fast).
+func randKernel(fpwSeed, wsSeed, trialSeed uint8, p kernel.Pattern) kernel.Kernel {
+	return kernel.Kernel{
+		Name:         "prop",
+		WorkingSet:   units.Bytes(int64(1) << (18 + uint(wsSeed%5))), // 256 KiB .. 4 MiB
+		Trials:       1 + int(trialSeed%3),
+		FlopsPerWord: 1 << (fpwSeed % 11),
+		Pattern:      p,
+	}
+}
+
+// TestRatesBoundedByRooflineProperty: for any kernel, the CPU's achieved
+// compute rate never exceeds its configured peak, and its achieved
+// bandwidth never exceeds its link or the DRAM controller.
+func TestRatesBoundedByRooflineProperty(t *testing.T) {
+	sys := mustSystem(t, Snapdragon835())
+	cfgByName := map[string]IPSpec{}
+	for _, spec := range sys.Config().IPs {
+		cfgByName[spec.Name] = spec
+	}
+	f := func(fpwSeed, wsSeed, trialSeed, ipSeed, patSeed uint8) bool {
+		names := []string{"CPU", "GPU", "DSP"}
+		name := names[int(ipSeed)%len(names)]
+		pattern := kernel.Pattern(int(patSeed) % 3)
+		k := randKernel(fpwSeed, wsSeed, trialSeed, pattern)
+		res, err := sys.Run([]Assignment{{IP: name, Kernel: k}}, RunOptions{})
+		if err != nil {
+			return false
+		}
+		r := res.IPs[0]
+		cfg := cfgByName[name]
+		if r.Rate > cfg.ComputeRate*(1+1e-9) {
+			return false
+		}
+		// When the working set fits the private cache, bandwidth can
+		// exceed the link; otherwise link and DRAM bound it.
+		if float64(k.WorkingSet) > cfg.CacheSize {
+			if r.Bandwidth > cfg.LinkBandwidth*(1+1e-9) {
+				return false
+			}
+			if r.Bandwidth > sys.Config().DRAMBandwidth*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAccountingConservationProperty: flops and bytes reported equal the
+// kernel's totals exactly.
+func TestAccountingConservationProperty(t *testing.T) {
+	sys := mustSystem(t, Snapdragon835())
+	f := func(fpwSeed, wsSeed, trialSeed uint8) bool {
+		k := randKernel(fpwSeed, wsSeed, trialSeed, kernel.ReadWrite)
+		res, err := sys.Run([]Assignment{{IP: "CPU", Kernel: k}}, RunOptions{})
+		if err != nil {
+			return false
+		}
+		r := res.IPs[0]
+		return r.Flops == float64(k.TotalFlops()) && r.Bytes == float64(k.TotalTraffic())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterminismProperty: identical runs produce identical results.
+func TestDeterminismProperty(t *testing.T) {
+	sys := mustSystem(t, Snapdragon835())
+	f := func(fpwSeed, wsSeed uint8) bool {
+		k := randKernel(fpwSeed, wsSeed, 1, kernel.StreamCopy)
+		assignments := []Assignment{
+			{IP: "CPU", Kernel: k},
+			{IP: "GPU", Kernel: k},
+		}
+		a, err := sys.Run(assignments, RunOptions{Coordination: true})
+		if err != nil {
+			return false
+		}
+		b, err := sys.Run(assignments, RunOptions{Coordination: true})
+		if err != nil {
+			return false
+		}
+		return a.Makespan == b.Makespan && a.Rate == b.Rate &&
+			a.IPs[0].Time == b.IPs[0].Time && a.IPs[1].Time == b.IPs[1].Time
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContentionNeverHelpsProperty: adding a second concurrent IP never
+// makes the first one faster.
+func TestContentionNeverHelpsProperty(t *testing.T) {
+	sys := mustSystem(t, Snapdragon835())
+	f := func(fpwSeed, wsSeed uint8) bool {
+		k := randKernel(fpwSeed, wsSeed, 1, kernel.ReadWrite)
+		solo, err := sys.Run([]Assignment{{IP: "CPU", Kernel: k}}, RunOptions{})
+		if err != nil {
+			return false
+		}
+		both, err := sys.Run([]Assignment{
+			{IP: "CPU", Kernel: k},
+			{IP: "GPU", Kernel: k},
+		}, RunOptions{})
+		if err != nil {
+			return false
+		}
+		return both.IPs[0].Time >= solo.IPs[0].Time*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMakespanIsMaxProperty: the makespan equals the slowest assignment's
+// finish time, and system rate is total flops over makespan.
+func TestMakespanIsMaxProperty(t *testing.T) {
+	sys := mustSystem(t, Snapdragon835())
+	f := func(fpwSeed, wsSeed uint8) bool {
+		k := randKernel(fpwSeed, wsSeed, 1, kernel.ReadWrite)
+		res, err := sys.Run([]Assignment{
+			{IP: "CPU", Kernel: k},
+			{IP: "DSP", Kernel: k},
+		}, RunOptions{})
+		if err != nil {
+			return false
+		}
+		maxT := math.Max(res.IPs[0].Time, res.IPs[1].Time)
+		if res.Makespan != maxT {
+			return false
+		}
+		wantRate := (res.IPs[0].Flops + res.IPs[1].Flops) / res.Makespan
+		return math.Abs(res.Rate-wantRate) <= 1e-9*wantRate
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package sim assembles the simulated SoC: IP blocks from package ip, a
+// fabric tree from package noc, a shared DRAM controller, and optional
+// thermal governors — the repository's stand-in for the Snapdragon silicon
+// the paper measures in §IV. A System is instantiated from a Config and
+// executes micro-benchmark assignments concurrently, reporting per-IP
+// achieved compute and bandwidth plus the whole-run makespan.
+//
+// Each Run builds a fresh engine and component graph from the Config, so
+// runs are deterministic and independent.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/sim/engine"
+	"github.com/gables-model/gables/internal/sim/ip"
+	"github.com/gables-model/gables/internal/sim/mem"
+	"github.com/gables-model/gables/internal/sim/noc"
+	"github.com/gables-model/gables/internal/sim/thermal"
+)
+
+// IPSpec attaches an IP configuration to a fabric.
+type IPSpec struct {
+	ip.Config
+	// Fabric names the fabric the block attaches to; empty attaches
+	// directly to the DRAM controller.
+	Fabric string
+}
+
+// Config describes a simulated SoC.
+type Config struct {
+	// Name labels the chip.
+	Name string
+	// DRAMBandwidth is the shared memory controller's rate in bytes/s.
+	DRAMBandwidth float64
+	// Fabrics declares the interconnect tree.
+	Fabrics []noc.FabricSpec
+	// IPs declares the blocks.
+	IPs []IPSpec
+	// Host names the IP whose compute server absorbs coordination costs
+	// (conventionally the CPU). Required when any IP has a nonzero
+	// CoordinationOpsPerByte.
+	Host string
+	// Thermal optionally overrides the governor parameters used when a
+	// run enables thermal modeling.
+	Thermal *thermal.Config
+}
+
+// Validate checks the configuration by instantiating it once.
+func (c Config) Validate() error {
+	_, err := c.instantiate()
+	return err
+}
+
+// System is a validated simulated SoC, ready to run measurements.
+type System struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a System.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg}, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// instance is one materialized run graph.
+type instance struct {
+	eng  *engine.Engine
+	dram *mem.Server
+	topo *noc.Topology
+	ips  map[string]*ip.IP
+	host *ip.IP
+}
+
+func (c Config) instantiate() (*instance, error) {
+	if c.DRAMBandwidth <= 0 {
+		return nil, fmt.Errorf("sim: %s: DRAM bandwidth must be positive", c.Name)
+	}
+	if len(c.IPs) == 0 {
+		return nil, fmt.Errorf("sim: %s: needs at least one IP", c.Name)
+	}
+	eng := engine.New()
+	dram, err := mem.NewServer(eng, "dram", c.DRAMBandwidth)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := noc.Build(eng, c.Fabrics)
+	if err != nil {
+		return nil, err
+	}
+	inst := &instance{eng: eng, dram: dram, topo: topo, ips: make(map[string]*ip.IP, len(c.IPs))}
+	needsHost := false
+	for _, spec := range c.IPs {
+		if _, dup := inst.ips[spec.Name]; dup {
+			return nil, fmt.Errorf("sim: %s: duplicate IP %q", c.Name, spec.Name)
+		}
+		path, err := topo.Path(spec.Fabric)
+		if err != nil {
+			return nil, err
+		}
+		blk, err := ip.New(eng, spec.Config, path, dram)
+		if err != nil {
+			return nil, err
+		}
+		inst.ips[spec.Name] = blk
+		if spec.CoordinationOpsPerByte > 0 {
+			needsHost = true
+		}
+	}
+	if c.Host != "" {
+		host, ok := inst.ips[c.Host]
+		if !ok {
+			return nil, fmt.Errorf("sim: %s: host IP %q not declared", c.Name, c.Host)
+		}
+		inst.host = host
+	} else if needsHost {
+		return nil, fmt.Errorf("sim: %s: coordination costs configured but no host IP named", c.Name)
+	}
+	return inst, nil
+}
+
+// Assignment gives one IP a kernel to execute.
+type Assignment struct {
+	// IP names the executing block.
+	IP string
+	// Kernel is the work.
+	Kernel kernel.Kernel
+}
+
+// RunOptions control a measurement run.
+type RunOptions struct {
+	// Coordination charges each offloaded block's traffic to the host
+	// CPU (§IV-C mixing methodology). Device-resident roofline runs
+	// (§IV-B) leave it off.
+	Coordination bool
+	// Thermal enables the per-IP throttle governors; off reproduces the
+	// paper's thermally controlled measurement rig.
+	Thermal bool
+	// MaxEvents caps the event count as a livelock guard; defaults to
+	// 50 million.
+	MaxEvents int
+}
+
+// IPResult reports one block's achieved performance.
+type IPResult struct {
+	IP string
+	// Flops and Bytes are the work completed.
+	Flops, Bytes float64
+	// Time is when the block finished its assignment (seconds).
+	Time float64
+	// Rate is achieved flops/s over the block's own busy window.
+	Rate float64
+	// Bandwidth is achieved bytes/s over the same window.
+	Bandwidth float64
+	// MaxTemp is the peak junction temperature (thermal runs only).
+	MaxTemp float64
+	// Throttled reports whether the governor ever tripped.
+	Throttled bool
+}
+
+// RunResult reports a whole measurement run.
+type RunResult struct {
+	// Makespan is the time for every assignment to finish.
+	Makespan float64
+	// TotalFlops is the work across assignments.
+	TotalFlops float64
+	// Rate is TotalFlops/Makespan — the concurrent system throughput
+	// the paper's Figure 8 normalizes.
+	Rate float64
+	// IPs holds per-assignment results, in assignment order.
+	IPs []IPResult
+	// DRAMUtilization is the memory controller's busy fraction.
+	DRAMUtilization float64
+}
+
+// Run executes the assignments concurrently from time zero and returns the
+// measured results.
+func (s *System) Run(assignments []Assignment, opt RunOptions) (*RunResult, error) {
+	if len(assignments) == 0 {
+		return nil, fmt.Errorf("sim: %s: no assignments", s.cfg.Name)
+	}
+	if opt.MaxEvents == 0 {
+		opt.MaxEvents = 50_000_000
+	}
+	inst, err := s.cfg.instantiate()
+	if err != nil {
+		return nil, err
+	}
+
+	type slot struct {
+		blk      *ip.IP
+		finished engine.Time
+		gov      *thermal.Governor
+	}
+	slots := make([]*slot, len(assignments))
+	seen := make(map[string]bool, len(assignments))
+	remaining := len(assignments)
+	var govs []*thermal.Governor
+
+	for i, a := range assignments {
+		blk, ok := inst.ips[a.IP]
+		if !ok {
+			return nil, fmt.Errorf("sim: %s: unknown IP %q in assignment %d", s.cfg.Name, a.IP, i)
+		}
+		if seen[a.IP] {
+			return nil, fmt.Errorf("sim: %s: IP %q assigned twice", s.cfg.Name, a.IP)
+		}
+		seen[a.IP] = true
+		slots[i] = &slot{blk: blk}
+	}
+
+	if opt.Thermal {
+		tcfg := thermal.DefaultConfig()
+		if s.cfg.Thermal != nil {
+			tcfg = *s.cfg.Thermal
+		}
+		for _, sl := range slots {
+			gov, err := thermal.NewGovernor(inst.eng, sl.blk, tcfg)
+			if err != nil {
+				return nil, err
+			}
+			sl.gov = gov
+			govs = append(govs, gov)
+			if err := gov.Start(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for i, a := range assignments {
+		sl := slots[i]
+		var host *mem.Server
+		if opt.Coordination && inst.host != nil && sl.blk != inst.host {
+			host = inst.host.ComputeServer()
+		}
+		err := sl.blk.RunKernel(a.Kernel, host, func() {
+			sl.finished = inst.eng.Now()
+			remaining--
+			if remaining == 0 {
+				for _, g := range govs {
+					g.Stop()
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if _, err := inst.eng.Run(opt.MaxEvents); err != nil {
+		return nil, err
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("sim: %s: %d assignments never completed", s.cfg.Name, remaining)
+	}
+
+	res := &RunResult{IPs: make([]IPResult, len(assignments))}
+	for i, sl := range slots {
+		r := IPResult{
+			IP:    assignments[i].IP,
+			Flops: sl.blk.OpsDone(),
+			Bytes: sl.blk.BytesMoved(),
+			Time:  float64(sl.finished),
+		}
+		if r.Time > 0 {
+			r.Rate = r.Flops / r.Time
+			r.Bandwidth = r.Bytes / r.Time
+		}
+		if sl.gov != nil {
+			r.MaxTemp = sl.gov.MaxTemp
+			r.Throttled = sl.gov.ThrottleEvents > 0
+		}
+		res.IPs[i] = r
+		res.TotalFlops += r.Flops
+		if r.Time > res.Makespan {
+			res.Makespan = r.Time
+		}
+	}
+	if res.Makespan > 0 {
+		res.Rate = res.TotalFlops / res.Makespan
+		res.DRAMUtilization = inst.dram.Utilization(engine.Time(res.Makespan))
+	}
+	return res, nil
+}

@@ -1,0 +1,173 @@
+// Package thermal models processor heating and DVFS throttling with a
+// lumped thermal-RC circuit. The paper's §IV-A notes that its
+// floating-point-intensive micro-benchmark overheats and throttles mobile
+// silicon, so measurements were taken "in a thermally controlled unit" with
+// vendor governors disabled; this package reproduces both regimes — the
+// controlled one (governor off) used for roofline measurement, and the
+// throttling one for the ablation that shows why control matters.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gables-model/gables/internal/sim/engine"
+)
+
+// Config parameterizes the RC model and the throttle governor.
+type Config struct {
+	// Ambient is the environment temperature in °C.
+	Ambient float64
+	// Resistance is the junction-to-ambient thermal resistance in °C/W.
+	Resistance float64
+	// Capacitance is the lumped thermal capacitance in J/°C.
+	Capacitance float64
+	// IdlePower is static power in W.
+	IdlePower float64
+	// EnergyPerOp is dynamic energy in J per operation executed.
+	EnergyPerOp float64
+	// ThrottleAt is the junction temperature (°C) that trips throttling.
+	ThrottleAt float64
+	// ResumeAt is the temperature below which full speed resumes; it
+	// must be below ThrottleAt (hysteresis).
+	ResumeAt float64
+	// ThrottleScale is the frequency multiplier while throttled, in
+	// (0, 1).
+	ThrottleScale float64
+	// Interval is the governor's sampling period in seconds.
+	Interval float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Resistance <= 0 || c.Capacitance <= 0 {
+		return fmt.Errorf("thermal: resistance and capacitance must be positive")
+	}
+	if c.IdlePower < 0 || c.EnergyPerOp < 0 {
+		return fmt.Errorf("thermal: power terms must be non-negative")
+	}
+	if c.ThrottleAt <= c.Ambient {
+		return fmt.Errorf("thermal: throttle point %v must exceed ambient %v", c.ThrottleAt, c.Ambient)
+	}
+	if c.ResumeAt >= c.ThrottleAt {
+		return fmt.Errorf("thermal: resume point %v must be below throttle point %v", c.ResumeAt, c.ThrottleAt)
+	}
+	if c.ThrottleScale <= 0 || c.ThrottleScale >= 1 {
+		return fmt.Errorf("thermal: throttle scale must be in (0,1), got %v", c.ThrottleScale)
+	}
+	if c.Interval <= 0 {
+		return fmt.Errorf("thermal: interval must be positive")
+	}
+	return nil
+}
+
+// Target is the component a governor controls: it reports work done and
+// accepts a frequency scale.
+type Target interface {
+	// OpsDone returns cumulative operations executed.
+	OpsDone() float64
+	// SetFrequencyScale sets the clock multiplier in (0, 1].
+	SetFrequencyScale(s float64) error
+}
+
+// Governor integrates temperature and throttles a target.
+type Governor struct {
+	cfg       Config
+	eng       *engine.Engine
+	target    Target
+	temp      float64
+	lastOps   float64
+	lastTime  engine.Time
+	throttled bool
+	running   bool
+	// MaxTemp records the peak temperature observed.
+	MaxTemp float64
+	// ThrottleEvents counts throttle activations.
+	ThrottleEvents int
+}
+
+// NewGovernor builds a governor at ambient temperature.
+func NewGovernor(eng *engine.Engine, target Target, cfg Config) (*Governor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil || target == nil {
+		return nil, fmt.Errorf("thermal: nil engine or target")
+	}
+	return &Governor{
+		cfg:     cfg,
+		eng:     eng,
+		target:  target,
+		temp:    cfg.Ambient,
+		MaxTemp: cfg.Ambient,
+	}, nil
+}
+
+// Temperature returns the current junction temperature.
+func (g *Governor) Temperature() float64 { return g.temp }
+
+// Throttled reports whether the governor is currently limiting frequency.
+func (g *Governor) Throttled() bool { return g.throttled }
+
+// Start schedules the periodic sampling loop. The loop reschedules itself
+// as long as Stop has not been called; an idle simulation therefore should
+// Stop the governor so the event queue can drain.
+func (g *Governor) Start() error {
+	if g.running {
+		return fmt.Errorf("thermal: governor already running")
+	}
+	g.running = true
+	g.lastOps = g.target.OpsDone()
+	g.lastTime = g.eng.Now()
+	return g.eng.After(engine.Time(g.cfg.Interval), g.step)
+}
+
+// Stop halts the sampling loop after the next sample.
+func (g *Governor) Stop() { g.running = false }
+
+func (g *Governor) step() {
+	now := g.eng.Now()
+	dt := float64(now - g.lastTime)
+	if dt > 0 {
+		ops := g.target.OpsDone()
+		power := g.cfg.IdlePower + g.cfg.EnergyPerOp*(ops-g.lastOps)/dt
+		// Forward-Euler on the RC circuit:
+		// C dT/dt = P − (T − Tamb)/R.
+		dT := (power - (g.temp-g.cfg.Ambient)/g.cfg.Resistance) / g.cfg.Capacitance * dt
+		g.temp += dT
+		g.MaxTemp = math.Max(g.MaxTemp, g.temp)
+		g.lastOps = ops
+		g.lastTime = now
+
+		if !g.throttled && g.temp >= g.cfg.ThrottleAt {
+			g.throttled = true
+			g.ThrottleEvents++
+			// The target validated ThrottleScale ∈ (0,1).
+			_ = g.target.SetFrequencyScale(g.cfg.ThrottleScale)
+		} else if g.throttled && g.temp <= g.cfg.ResumeAt {
+			g.throttled = false
+			_ = g.target.SetFrequencyScale(1)
+		}
+	}
+	if g.running {
+		// Self-rescheduling from inside an event cannot be in the past.
+		_ = g.eng.After(engine.Time(g.cfg.Interval), g.step)
+	}
+}
+
+// DefaultConfig returns a mobile-SoC-flavored parameterization: ~3 W
+// sustained heats the die toward throttle in a few seconds of simulated
+// time (the paper cites the ~3 W thermal design point of phones).
+func DefaultConfig() Config {
+	return Config{
+		Ambient:       30,
+		Resistance:    15,   // °C/W
+		Capacitance:   0.10, // J/°C — small to keep simulated runs short
+		IdlePower:     0.3,
+		EnergyPerOp:   0.4e-9, // 0.4 nJ/flop
+		ThrottleAt:    75,
+		ResumeAt:      65,
+		ThrottleScale: 0.6,
+		Interval:      5e-3,
+	}
+}

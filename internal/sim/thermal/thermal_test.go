@@ -1,0 +1,177 @@
+package thermal
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/sim/engine"
+)
+
+// fakeTarget is a synthetic compute engine producing ops at a fixed rate
+// scaled by the governor's frequency setting.
+type fakeTarget struct {
+	eng   *engine.Engine
+	rate  float64 // ops/s at full frequency
+	scale float64
+	ops   float64
+	last  engine.Time
+}
+
+func newFake(eng *engine.Engine, rate float64) *fakeTarget {
+	return &fakeTarget{eng: eng, rate: rate, scale: 1}
+}
+
+// advance accrues ops up to now; called from the sampling hooks.
+func (f *fakeTarget) advance() {
+	now := f.eng.Now()
+	f.ops += f.rate * f.scale * float64(now-f.last)
+	f.last = now
+}
+
+func (f *fakeTarget) OpsDone() float64 {
+	f.advance()
+	return f.ops
+}
+
+func (f *fakeTarget) SetFrequencyScale(s float64) error {
+	f.advance()
+	f.scale = s
+	return nil
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Resistance = 0 },
+		func(c *Config) { c.Capacitance = -1 },
+		func(c *Config) { c.IdlePower = -1 },
+		func(c *Config) { c.ThrottleAt = c.Ambient },
+		func(c *Config) { c.ResumeAt = c.ThrottleAt },
+		func(c *Config) { c.ThrottleScale = 1 },
+		func(c *Config) { c.ThrottleScale = 0 },
+		func(c *Config) { c.Interval = 0 },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestGovernorValidation(t *testing.T) {
+	eng := engine.New()
+	tgt := newFake(eng, 1e9)
+	if _, err := NewGovernor(nil, tgt, DefaultConfig()); err == nil {
+		t.Error("nil engine must be rejected")
+	}
+	if _, err := NewGovernor(eng, nil, DefaultConfig()); err == nil {
+		t.Error("nil target must be rejected")
+	}
+	g, err := NewGovernor(eng, tgt, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err == nil {
+		t.Error("double start must be rejected")
+	}
+	g.Stop()
+}
+
+func TestHeatingAndThrottling(t *testing.T) {
+	eng := engine.New()
+	// 10 Gops/s at 0.4 nJ/op = 4 W sustained — above what the RC can
+	// shed below the 75 °C trip point (steady state 30 + 4·15 = 90 °C).
+	tgt := newFake(eng, 10e9)
+	g, err := NewGovernor(eng, tgt, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxTemp <= DefaultConfig().Ambient {
+		t.Error("temperature must rise under load")
+	}
+	if g.ThrottleEvents == 0 {
+		t.Errorf("4 W sustained must trip the governor (max temp %v)", g.MaxTemp)
+	}
+	// Hysteresis: with the clock at 60%, power drops to 2.4 W and steady
+	// state 66 °C — the governor oscillates between limits rather than
+	// pinning at max.
+	if g.MaxTemp > 85 {
+		t.Errorf("throttling must bound the temperature, peak %v", g.MaxTemp)
+	}
+	if tgt.scale == 1 && g.Throttled() {
+		t.Error("throttled governor must have lowered the clock")
+	}
+}
+
+func TestCoolRunNeverThrottles(t *testing.T) {
+	eng := engine.New()
+	// 1 Gop/s at 0.4 nJ/op = 0.4 W + idle: steady state ≈ 40 °C.
+	tgt := newFake(eng, 1e9)
+	g, err := NewGovernor(eng, tgt, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if g.ThrottleEvents != 0 {
+		t.Errorf("light load must not throttle (peak %v)", g.MaxTemp)
+	}
+	if g.Temperature() <= DefaultConfig().Ambient || g.Temperature() >= 60 {
+		t.Errorf("temperature = %v, want moderate warm-up", g.Temperature())
+	}
+}
+
+func TestThrottledThroughputLower(t *testing.T) {
+	run := func(rate float64) float64 {
+		eng := engine.New()
+		tgt := newFake(eng, rate)
+		g, err := NewGovernor(eng, tgt, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.RunUntil(30); err != nil {
+			t.Fatal(err)
+		}
+		g.Stop()
+		if _, err := eng.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return tgt.OpsDone() / 30
+	}
+	hot := run(10e9)
+	if hot >= 10e9*0.999 {
+		t.Errorf("sustained rate %v must sag below the 10e9 peak", hot)
+	}
+	cool := run(1e9)
+	if cool < 1e9*0.999 {
+		t.Errorf("unthrottled rate %v must hold its 1e9 peak", cool)
+	}
+}

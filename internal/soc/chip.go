@@ -1,0 +1,293 @@
+// Package soc describes mobile system-on-chip hardware the way the Gables
+// paper's §II does: IP blocks (CPU complex, GPU, DSP, ISP, codecs, ...)
+// clustered onto a hierarchy of interconnect fabrics that lead to a DRAM
+// memory controller (the paper's Figure 3). A Chip converts to the abstract
+// N-IP Gables model of package core, deriving each block's acceleration Ai
+// from its peak rate and mapping the fabric hierarchy onto the §V-B bus
+// extension.
+package soc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// Class categorizes an IP block by its role. The set follows Table I of the
+// paper plus the connectivity blocks of Figure 3.
+type Class int
+
+// IP block classes.
+const (
+	CPU Class = iota
+	GPU
+	DSP
+	ISP     // camera image signal processor
+	IPU     // image processing unit (e.g. Pixel Visual Core)
+	VDEC    // video decoder
+	VENC    // video encoder
+	JPEG    // JPEG codec
+	G2D     // 2D graphics / scaler
+	Display // display controller
+	Modem   // LTE/WiFi modem
+	Audio   // audio DSP
+	Sensor  // sensor hub
+	Crypto  // crypto engine
+	Other
+)
+
+var classNames = map[Class]string{
+	CPU: "CPU", GPU: "GPU", DSP: "DSP", ISP: "ISP", IPU: "IPU",
+	VDEC: "VDEC", VENC: "VENC", JPEG: "JPEG", G2D: "G2D",
+	Display: "Display", Modem: "Modem", Audio: "Audio",
+	Sensor: "Sensor", Crypto: "Crypto", Other: "Other",
+}
+
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Block is one IP block on the chip.
+type Block struct {
+	// Name labels the block, e.g. "Kryo CPU" or "Adreno 540".
+	Name string
+	// Class is the block's role.
+	Class Class
+	// Peak is the block's peak computation performance.
+	Peak units.OpsPerSec
+	// Bandwidth is the block's link bandwidth to its fabric (Bi).
+	Bandwidth units.BytesPerSec
+	// Fabric names the interconnect the block attaches to.
+	Fabric string
+}
+
+// Fabric is one interconnection network of the chip's hierarchy.
+type Fabric struct {
+	// Name identifies the fabric, e.g. "high-bandwidth fabric".
+	Name string
+	// Bandwidth is the fabric's aggregate bandwidth.
+	Bandwidth units.BytesPerSec
+	// Parent names the next fabric toward memory; empty means the
+	// fabric attaches directly to the memory controller.
+	Parent string
+}
+
+// Chip is a complete SoC hardware description.
+type Chip struct {
+	// Name labels the chip, e.g. "Snapdragon 835-like".
+	Name string
+	// DRAMBandwidth is the chip's peak off-chip bandwidth (Bpeak).
+	DRAMBandwidth units.BytesPerSec
+	// Fabrics holds the interconnect hierarchy.
+	Fabrics []Fabric
+	// Blocks holds the IP blocks.
+	Blocks []Block
+}
+
+// Validate checks structural integrity: positive rates, unique names,
+// existing fabric references, and an acyclic fabric hierarchy rooted at the
+// memory controller.
+func (c *Chip) Validate() error {
+	if c.DRAMBandwidth <= 0 {
+		return fmt.Errorf("soc: %s: DRAM bandwidth must be positive, got %v", c.Name, float64(c.DRAMBandwidth))
+	}
+	if len(c.Blocks) == 0 {
+		return fmt.Errorf("soc: %s: needs at least one block", c.Name)
+	}
+	fabrics := make(map[string]Fabric, len(c.Fabrics))
+	for _, f := range c.Fabrics {
+		if f.Name == "" {
+			return fmt.Errorf("soc: %s: fabric with empty name", c.Name)
+		}
+		if _, dup := fabrics[f.Name]; dup {
+			return fmt.Errorf("soc: %s: duplicate fabric %q", c.Name, f.Name)
+		}
+		if f.Bandwidth <= 0 {
+			return fmt.Errorf("soc: %s: fabric %q: bandwidth must be positive", c.Name, f.Name)
+		}
+		fabrics[f.Name] = f
+	}
+	for name := range fabrics {
+		if _, err := c.fabricPath(name, fabrics); err != nil {
+			return err
+		}
+	}
+	blocks := make(map[string]bool, len(c.Blocks))
+	for i, b := range c.Blocks {
+		if b.Name == "" {
+			return fmt.Errorf("soc: %s: block %d has empty name", c.Name, i)
+		}
+		if blocks[b.Name] {
+			return fmt.Errorf("soc: %s: duplicate block %q", c.Name, b.Name)
+		}
+		blocks[b.Name] = true
+		if b.Peak <= 0 {
+			return fmt.Errorf("soc: %s: block %q: peak must be positive", c.Name, b.Name)
+		}
+		if b.Bandwidth <= 0 {
+			return fmt.Errorf("soc: %s: block %q: bandwidth must be positive", c.Name, b.Name)
+		}
+		if b.Fabric != "" {
+			if _, ok := fabrics[b.Fabric]; !ok {
+				return fmt.Errorf("soc: %s: block %q references unknown fabric %q", c.Name, b.Name, b.Fabric)
+			}
+		}
+	}
+	return nil
+}
+
+// fabricPath returns the chain of fabric names from the named fabric to the
+// memory controller, detecting unknown parents and cycles.
+func (c *Chip) fabricPath(name string, fabrics map[string]Fabric) ([]string, error) {
+	var path []string
+	seen := make(map[string]bool)
+	for cur := name; cur != ""; {
+		if seen[cur] {
+			return nil, fmt.Errorf("soc: %s: fabric hierarchy cycle through %q", c.Name, cur)
+		}
+		seen[cur] = true
+		f, ok := fabrics[cur]
+		if !ok {
+			return nil, fmt.Errorf("soc: %s: unknown fabric %q in hierarchy", c.Name, cur)
+		}
+		path = append(path, cur)
+		cur = f.Parent
+	}
+	return path, nil
+}
+
+// PathToMemory returns the fabrics a block's memory traffic traverses, in
+// order from the block to the memory controller. A block with no fabric
+// attaches directly to memory and has an empty path.
+func (c *Chip) PathToMemory(blockName string) ([]string, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var blk *Block
+	for i := range c.Blocks {
+		if c.Blocks[i].Name == blockName {
+			blk = &c.Blocks[i]
+			break
+		}
+	}
+	if blk == nil {
+		return nil, fmt.Errorf("soc: %s: unknown block %q", c.Name, blockName)
+	}
+	if blk.Fabric == "" {
+		return nil, nil
+	}
+	fabrics := make(map[string]Fabric, len(c.Fabrics))
+	for _, f := range c.Fabrics {
+		fabrics[f.Name] = f
+	}
+	return c.fabricPath(blk.Fabric, fabrics)
+}
+
+// Block returns the named block.
+func (c *Chip) Block(name string) (Block, error) {
+	for _, b := range c.Blocks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Block{}, fmt.Errorf("soc: %s: unknown block %q", c.Name, name)
+}
+
+// BlocksOfClass returns the blocks of a class, in declaration order.
+func (c *Chip) BlocksOfClass(class Class) []Block {
+	var out []Block
+	for _, b := range c.Blocks {
+		if b.Class == class {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ToGables converts the chip to the core N-IP Gables SoC, with the named
+// block as the reference IP[0] (conventionally the CPU complex, giving
+// Ppeak and A0 = 1) and every block's acceleration Ai derived as
+// Peak_i / Peak_ref. The remaining blocks keep declaration order. The
+// returned index map gives each block name's IP index.
+func (c *Chip) ToGables(reference string) (*core.SoC, map[string]int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	ref, err := c.Block(reference)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &core.SoC{
+		Name:            c.Name,
+		Peak:            ref.Peak,
+		MemoryBandwidth: c.DRAMBandwidth,
+	}
+	index := make(map[string]int, len(c.Blocks))
+	s.IPs = append(s.IPs, core.IP{Name: ref.Name, Acceleration: 1, Bandwidth: ref.Bandwidth})
+	index[ref.Name] = 0
+	for _, b := range c.Blocks {
+		if b.Name == reference {
+			continue
+		}
+		index[b.Name] = len(s.IPs)
+		s.IPs = append(s.IPs, core.IP{
+			Name:         b.Name,
+			Acceleration: float64(b.Peak) / float64(ref.Peak),
+			Bandwidth:    b.Bandwidth,
+		})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return s, index, nil
+}
+
+// GablesBuses maps the chip's fabric hierarchy onto the §V-B interconnect
+// extension: one core.Bus per fabric whose users are every block whose
+// path to memory traverses that fabric. index must be the block-to-IP map
+// returned by ToGables.
+func (c *Chip) GablesBuses(index map[string]int) ([]core.Bus, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	users := make(map[string][]int, len(c.Fabrics))
+	for _, b := range c.Blocks {
+		idx, ok := index[b.Name]
+		if !ok {
+			return nil, fmt.Errorf("soc: %s: block %q missing from IP index", c.Name, b.Name)
+		}
+		path, err := c.PathToMemory(b.Name)
+		if err != nil {
+			return nil, err
+		}
+		for _, fname := range path {
+			users[fname] = append(users[fname], idx)
+		}
+	}
+	buses := make([]core.Bus, 0, len(c.Fabrics))
+	for _, f := range c.Fabrics {
+		u := users[f.Name]
+		sort.Ints(u)
+		buses = append(buses, core.Bus{Name: f.Name, Bandwidth: f.Bandwidth, Users: u})
+	}
+	return buses, nil
+}
+
+// Model builds the complete Gables evaluator for the chip: the N-IP SoC
+// with the fabric hierarchy as the interconnect extension.
+func (c *Chip) Model(reference string) (*core.Model, map[string]int, error) {
+	s, index, err := c.ToGables(reference)
+	if err != nil {
+		return nil, nil, err
+	}
+	buses, err := c.GablesBuses(index)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &core.Model{SoC: s, Buses: buses}, index, nil
+}

@@ -1,0 +1,223 @@
+package soc
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/units"
+)
+
+func TestCatalogChipsValidate(t *testing.T) {
+	for _, c := range []*Chip{
+		PaperTwoIP(10), Snapdragon835Like(), Snapdragon821Like(), Figure3Example(),
+	} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := func() *Chip { return Snapdragon835Like() }
+
+	cases := []struct {
+		name   string
+		mutate func(*Chip)
+		substr string
+	}{
+		{"zero DRAM", func(c *Chip) { c.DRAMBandwidth = 0 }, "DRAM"},
+		{"no blocks", func(c *Chip) { c.Blocks = nil }, "at least one block"},
+		{"dup fabric", func(c *Chip) { c.Fabrics = append(c.Fabrics, c.Fabrics[0]) }, "duplicate fabric"},
+		{"zero fabric bw", func(c *Chip) { c.Fabrics[0].Bandwidth = 0 }, "bandwidth"},
+		{"unknown parent", func(c *Chip) { c.Fabrics[1].Parent = "nope" }, "unknown fabric"},
+		{"fabric cycle", func(c *Chip) { c.Fabrics[0].Parent = "multimedia" }, "cycle"},
+		{"dup block", func(c *Chip) { c.Blocks = append(c.Blocks, c.Blocks[0]) }, "duplicate block"},
+		{"zero peak", func(c *Chip) { c.Blocks[0].Peak = 0 }, "peak"},
+		{"zero block bw", func(c *Chip) { c.Blocks[0].Bandwidth = 0 }, "bandwidth"},
+		{"unknown fabric ref", func(c *Chip) { c.Blocks[0].Fabric = "nope" }, "unknown fabric"},
+		{"empty block name", func(c *Chip) { c.Blocks[0].Name = "" }, "empty name"},
+	}
+	for _, tc := range cases {
+		c := base()
+		tc.mutate(c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.substr)
+		}
+	}
+}
+
+func TestPathToMemory(t *testing.T) {
+	c := Figure3Example()
+
+	path, err := c.PathToMemory("USB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"peripheral", "system", "high-bandwidth"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+
+	path, err = c.PathToMemory("CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0] != "high-bandwidth" {
+		t.Errorf("CPU path = %v, want [high-bandwidth]", path)
+	}
+
+	if _, err := c.PathToMemory("nope"); err == nil {
+		t.Error("unknown block must be an error")
+	}
+}
+
+func TestPathToMemoryNoFabric(t *testing.T) {
+	c := PaperTwoIP(10) // blocks attach directly to memory
+	path, err := c.PathToMemory("CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != nil {
+		t.Errorf("direct-attached block path = %v, want nil", path)
+	}
+}
+
+func TestToGables835(t *testing.T) {
+	c := Snapdragon835Like()
+	s, index, err := c.ToGables("CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if index["CPU"] != 0 {
+		t.Errorf("CPU index = %d, want 0", index["CPU"])
+	}
+	if s.IPs[0].Acceleration != 1 {
+		t.Errorf("A0 = %v, want 1", s.IPs[0].Acceleration)
+	}
+	// The paper's §IV-B estimate: A_GPU = 349.6/7.5 ≈ 46.6.
+	gpu := s.IPs[index["GPU"]]
+	if !units.ApproxEqual(gpu.Acceleration, 349.6/7.5, 1e-9) {
+		t.Errorf("A_GPU = %v, want %v", gpu.Acceleration, 349.6/7.5)
+	}
+	// DSP acceleration is fractional: 3.0/7.5 = 0.4.
+	dsp := s.IPs[index["DSP"]]
+	if !units.ApproxEqual(dsp.Acceleration, 0.4, 1e-9) {
+		t.Errorf("A_DSP = %v, want 0.4", dsp.Acceleration)
+	}
+	if s.MemoryBandwidth != units.GBPerSec(30) {
+		t.Errorf("Bpeak = %v, want 30 GB/s", s.MemoryBandwidth)
+	}
+	if len(s.IPs) != len(c.Blocks) {
+		t.Errorf("IP count = %d, want %d", len(s.IPs), len(c.Blocks))
+	}
+}
+
+func TestToGablesUnknownReference(t *testing.T) {
+	c := Snapdragon835Like()
+	if _, _, err := c.ToGables("nope"); err == nil {
+		t.Error("unknown reference must be an error")
+	}
+}
+
+func TestGablesBuses(t *testing.T) {
+	c := Figure3Example()
+	_, index, err := c.ToGables("CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buses, err := c.GablesBuses(index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buses) != len(c.Fabrics) {
+		t.Fatalf("bus count = %d, want %d", len(buses), len(c.Fabrics))
+	}
+	byName := map[string]core.Bus{}
+	for _, b := range buses {
+		byName[b.Name] = b
+	}
+	// Every block routes through high-bandwidth.
+	if got := len(byName["high-bandwidth"].Users); got != len(c.Blocks) {
+		t.Errorf("high-bandwidth users = %d, want %d", got, len(c.Blocks))
+	}
+	// Only USB routes through peripheral.
+	if got := byName["peripheral"].Users; len(got) != 1 || got[0] != index["USB"] {
+		t.Errorf("peripheral users = %v, want [%d]", got, index["USB"])
+	}
+	// system fabric carries system blocks + USB.
+	wantSystem := 6 // modem, gps, mDSP, cDSP, sensors, USB
+	if got := len(byName["system"].Users); got != wantSystem {
+		t.Errorf("system users = %d, want %d", got, wantSystem)
+	}
+}
+
+func TestModelEndToEnd(t *testing.T) {
+	// A usecase on the Figure 3 chip: all work on the cDSP must be
+	// throttled by the system fabric only if the fabric is narrower
+	// than the DSP link; here B_cDSP = 5 < system 10, so the DSP link
+	// binds first at low intensity.
+	c := Figure3Example()
+	m, index, err := c.Model("CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := make([]core.Work, len(m.SoC.IPs))
+	work[index["cDSP"]] = core.Work{Fraction: 1, Intensity: 0.25}
+	u := &core.Usecase{Name: "dsp-only", Work: work}
+
+	res, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D = 4 bytes/op of work; DSP link 5 GB/s → 1.25 Gops/s; compute
+	// peak 3 Gops/s; system fabric 10 GB/s → 2.5; DRAM 30 → 7.5.
+	if !units.ApproxEqual(res.Attainable.Gops(), 1.25, 1e-9) {
+		t.Errorf("Pattainable = %v Gops/s, want 1.25", res.Attainable.Gops())
+	}
+	if res.Bottleneck.Kind != "IP" {
+		t.Errorf("bottleneck = %v, want the DSP's own link", res.Bottleneck)
+	}
+}
+
+func TestBlocksOfClass(t *testing.T) {
+	c := Figure3Example()
+	dsps := c.BlocksOfClass(DSP)
+	if len(dsps) != 2 {
+		t.Errorf("DSP count = %d, want 2", len(dsps))
+	}
+	if len(c.BlocksOfClass(IPU)) != 0 {
+		t.Error("Figure3Example has no IPU")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if CPU.String() != "CPU" || Display.String() != "Display" {
+		t.Error("class names wrong")
+	}
+	if got := Class(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown class = %q", got)
+	}
+}
+
+func TestSnapdragon821Scaling(t *testing.T) {
+	c835, c821 := Snapdragon835Like(), Snapdragon821Like()
+	b835, _ := c835.Block("GPU")
+	b821, _ := c821.Block("GPU")
+	if b821.Peak >= b835.Peak {
+		t.Error("821 GPU must be slower than 835")
+	}
+	if c821.DRAMBandwidth >= c835.DRAMBandwidth {
+		t.Error("821 DRAM must be slower than 835")
+	}
+}

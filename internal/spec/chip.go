@@ -1,0 +1,137 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"github.com/gables-model/gables/internal/soc"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// This file serializes block-level chip descriptions (package soc) — the
+// richer hardware form with named blocks and a fabric hierarchy — as JSON:
+//
+//	{
+//	  "chip": {
+//	    "name": "my-soc",
+//	    "dram_gbs": 30,
+//	    "fabrics": [
+//	      {"name": "hb", "bandwidth_gbs": 28},
+//	      {"name": "mm", "bandwidth_gbs": 20, "parent": "hb"}
+//	    ],
+//	    "blocks": [
+//	      {"name": "CPU", "class": "CPU", "peak_gops": 7.5,
+//	       "bandwidth_gbs": 15.1, "fabric": "hb"}
+//	    ]
+//	  }
+//	}
+
+// FabricSpec is one interconnect entry.
+type FabricSpec struct {
+	Name         string  `json:"name"`
+	BandwidthGBs float64 `json:"bandwidth_gbs"`
+	Parent       string  `json:"parent,omitempty"`
+}
+
+// BlockSpec is one IP block entry.
+type BlockSpec struct {
+	Name         string  `json:"name"`
+	Class        string  `json:"class"`
+	PeakGops     float64 `json:"peak_gops"`
+	BandwidthGBs float64 `json:"bandwidth_gbs"`
+	Fabric       string  `json:"fabric,omitempty"`
+}
+
+// ChipSpec is the chip section.
+type ChipSpec struct {
+	Name    string       `json:"name"`
+	DRAMGBs float64      `json:"dram_gbs"`
+	Fabrics []FabricSpec `json:"fabrics,omitempty"`
+	Blocks  []BlockSpec  `json:"blocks"`
+}
+
+// ChipDoc is a chip spec file.
+type ChipDoc struct {
+	Chip ChipSpec `json:"chip"`
+}
+
+// classNames maps spec strings to block classes, case-insensitively.
+var classNames = map[string]soc.Class{
+	"cpu": soc.CPU, "gpu": soc.GPU, "dsp": soc.DSP, "isp": soc.ISP,
+	"ipu": soc.IPU, "vdec": soc.VDEC, "venc": soc.VENC, "jpeg": soc.JPEG,
+	"g2d": soc.G2D, "display": soc.Display, "modem": soc.Modem,
+	"audio": soc.Audio, "sensor": soc.Sensor, "crypto": soc.Crypto,
+	"other": soc.Other,
+}
+
+// ParseChip decodes and validates a block-level chip spec.
+func ParseChip(data []byte) (*soc.Chip, error) {
+	var d ChipDoc
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return d.ToChip()
+}
+
+// ToChip converts the document to a validated soc.Chip.
+func (d *ChipDoc) ToChip() (*soc.Chip, error) {
+	c := &soc.Chip{
+		Name:          d.Chip.Name,
+		DRAMBandwidth: units.GBPerSec(d.Chip.DRAMGBs),
+	}
+	for _, f := range d.Chip.Fabrics {
+		c.Fabrics = append(c.Fabrics, soc.Fabric{
+			Name:      f.Name,
+			Bandwidth: units.GBPerSec(f.BandwidthGBs),
+			Parent:    f.Parent,
+		})
+	}
+	for _, b := range d.Chip.Blocks {
+		class, ok := classNames[strings.ToLower(b.Class)]
+		if !ok {
+			return nil, fmt.Errorf("spec: block %q: unknown class %q", b.Name, b.Class)
+		}
+		c.Blocks = append(c.Blocks, soc.Block{
+			Name:      b.Name,
+			Class:     class,
+			Peak:      units.GopsPerSec(b.PeakGops),
+			Bandwidth: units.GBPerSec(b.BandwidthGBs),
+			Fabric:    b.Fabric,
+		})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// FromChip builds a chip document from an in-memory description, the
+// inverse of ParseChip.
+func FromChip(c *soc.Chip) *ChipDoc {
+	d := &ChipDoc{Chip: ChipSpec{
+		Name:    c.Name,
+		DRAMGBs: c.DRAMBandwidth.GB(),
+	}}
+	for _, f := range c.Fabrics {
+		d.Chip.Fabrics = append(d.Chip.Fabrics, FabricSpec{
+			Name: f.Name, BandwidthGBs: f.Bandwidth.GB(), Parent: f.Parent,
+		})
+	}
+	for _, b := range c.Blocks {
+		d.Chip.Blocks = append(d.Chip.Blocks, BlockSpec{
+			Name: b.Name, Class: b.Class.String(),
+			PeakGops: b.Peak.Gops(), BandwidthGBs: b.Bandwidth.GB(),
+			Fabric: b.Fabric,
+		})
+	}
+	return d
+}
+
+// Marshal renders the chip document as indented JSON.
+func (d *ChipDoc) Marshal() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}

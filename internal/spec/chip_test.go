@@ -1,0 +1,134 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gables-model/gables/internal/soc"
+)
+
+const chipDoc = `{
+  "chip": {
+    "name": "test-soc",
+    "dram_gbs": 30,
+    "fabrics": [
+      {"name": "hb", "bandwidth_gbs": 28},
+      {"name": "mm", "bandwidth_gbs": 20, "parent": "hb"}
+    ],
+    "blocks": [
+      {"name": "CPU", "class": "cpu", "peak_gops": 7.5, "bandwidth_gbs": 15.1, "fabric": "hb"},
+      {"name": "GPU", "class": "GPU", "peak_gops": 349.6, "bandwidth_gbs": 24.4, "fabric": "hb"},
+      {"name": "ISP", "class": "isp", "peak_gops": 60, "bandwidth_gbs": 12, "fabric": "mm"}
+    ]
+  }
+}`
+
+func TestParseChip(t *testing.T) {
+	c, err := ParseChip([]byte(chipDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "test-soc" || c.DRAMBandwidth.GB() != 30 {
+		t.Errorf("chip header wrong: %v %v", c.Name, c.DRAMBandwidth)
+	}
+	if len(c.Fabrics) != 2 || len(c.Blocks) != 3 {
+		t.Fatalf("counts: %d fabrics, %d blocks", len(c.Fabrics), len(c.Blocks))
+	}
+	gpu, err := c.Block("GPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.Class != soc.GPU || gpu.Peak.Gops() != 349.6 {
+		t.Errorf("GPU block = %+v", gpu)
+	}
+	// The parsed chip is fully usable: fabric paths resolve and the
+	// Gables conversion works.
+	path, err := c.PathToMemory("ISP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Errorf("ISP path = %v", path)
+	}
+	if _, _, err := c.Model("CPU"); err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+}
+
+func TestParseChipErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{"chip":`,
+		"unknown field": strings.Replace(chipDoc, `"dram_gbs"`, `"dramgbs"`, 1),
+		"unknown class": strings.Replace(chipDoc, `"class": "cpu"`, `"class": "npu"`, 1),
+		"zero dram":     strings.Replace(chipDoc, `"dram_gbs": 30`, `"dram_gbs": 0`, 1),
+		"bad fabric":    strings.Replace(chipDoc, `"fabric": "mm"`, `"fabric": "nope"`, 1),
+	}
+	for name, doc := range cases {
+		if _, err := ParseChip([]byte(doc)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestChipRoundTrip(t *testing.T) {
+	orig := soc.Snapdragon835Like()
+	data, err := FromChip(orig).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseChip(data)
+	if err != nil {
+		t.Fatalf("round trip failed: %v\n%s", err, data)
+	}
+	if back.Name != orig.Name || len(back.Blocks) != len(orig.Blocks) ||
+		len(back.Fabrics) != len(orig.Fabrics) {
+		t.Errorf("round trip lost structure")
+	}
+	for i := range orig.Blocks {
+		if back.Blocks[i] != orig.Blocks[i] {
+			t.Errorf("block %d changed: %+v vs %+v", i, back.Blocks[i], orig.Blocks[i])
+		}
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(paperDoc))
+	f.Add([]byte(chipDoc))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"soc":{"ips":[{"acceleration":1e308}]},"usecases":[{}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; on success the document must evaluate.
+		d, err := Parse(data)
+		if err != nil {
+			return
+		}
+		m, err := d.Model()
+		if err != nil {
+			t.Fatalf("Parse accepted a document whose Model fails: %v", err)
+		}
+		us, err := d.CoreUsecases()
+		if err != nil {
+			t.Fatalf("Parse accepted a document whose usecases fail: %v", err)
+		}
+		for _, u := range us {
+			if _, err := m.Evaluate(u); err != nil {
+				t.Fatalf("validated document failed to evaluate: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzParseChip(f *testing.F) {
+	f.Add([]byte(chipDoc))
+	f.Add([]byte(`{"chip":{}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParseChip(data)
+		if err != nil {
+			return
+		}
+		// Accepted chips must be internally consistent.
+		if err := c.Validate(); err != nil {
+			t.Fatalf("ParseChip accepted an invalid chip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,210 @@
+// Package spec serializes Gables models and usecases as JSON documents so
+// the command-line tools can evaluate user-authored SoC descriptions. The
+// format states rates in the paper's units (Gops/s, GB/s, ops/byte) to keep
+// hand-written specs readable:
+//
+//	{
+//	  "soc": {
+//	    "name": "paper-two-ip",
+//	    "ppeak_gops": 40,
+//	    "bpeak_gbs": 10,
+//	    "ips": [
+//	      {"name": "CPU", "acceleration": 1, "bandwidth_gbs": 6},
+//	      {"name": "GPU", "acceleration": 5, "bandwidth_gbs": 15}
+//	    ]
+//	  },
+//	  "usecases": [
+//	    {"name": "fig6b", "work": [
+//	      {"fraction": 0.25, "intensity": 8},
+//	      {"fraction": 0.75, "intensity": 0.1}
+//	    ]}
+//	  ]
+//	}
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// IP is one IP block entry.
+type IP struct {
+	Name         string  `json:"name"`
+	Acceleration float64 `json:"acceleration"`
+	BandwidthGBs float64 `json:"bandwidth_gbs"`
+}
+
+// SRAM is the optional §V-A extension entry.
+type SRAM struct {
+	Name              string    `json:"name,omitempty"`
+	MissRatio         []float64 `json:"miss_ratio"`
+	FiltersBusTraffic bool      `json:"filters_bus_traffic,omitempty"`
+}
+
+// Bus is one §V-B extension entry.
+type Bus struct {
+	Name         string  `json:"name"`
+	BandwidthGBs float64 `json:"bandwidth_gbs"`
+	Users        []int   `json:"users"`
+}
+
+// SoC is the hardware section.
+type SoC struct {
+	Name      string  `json:"name"`
+	PpeakGops float64 `json:"ppeak_gops"`
+	BpeakGBs  float64 `json:"bpeak_gbs"`
+	IPs       []IP    `json:"ips"`
+	SRAM      *SRAM   `json:"sram,omitempty"`
+	Buses     []Bus   `json:"buses,omitempty"`
+}
+
+// Work is one usecase entry, index-aligned with the SoC's IPs.
+type Work struct {
+	Fraction  float64 `json:"fraction"`
+	Intensity float64 `json:"intensity"`
+}
+
+// Usecase is one software workload.
+type Usecase struct {
+	Name     string  `json:"name"`
+	Work     []Work  `json:"work"`
+	TotalOps float64 `json:"total_ops,omitempty"`
+}
+
+// Document is a full spec file.
+type Document struct {
+	SoC      SoC       `json:"soc"`
+	Usecases []Usecase `json:"usecases"`
+}
+
+// Parse decodes and structurally validates a spec document. Unknown fields
+// are rejected so typos ("bandwith_gbs") fail loudly instead of silently
+// defaulting.
+func Parse(data []byte) (*Document, error) {
+	var d Document
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if _, err := d.Model(); err != nil {
+		return nil, err
+	}
+	if _, err := d.CoreUsecases(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Model converts the hardware section to a core evaluator.
+func (d *Document) Model() (*core.Model, error) {
+	s := &core.SoC{
+		Name:            d.SoC.Name,
+		Peak:            units.GopsPerSec(d.SoC.PpeakGops),
+		MemoryBandwidth: units.GBPerSec(d.SoC.BpeakGBs),
+	}
+	for _, ip := range d.SoC.IPs {
+		s.IPs = append(s.IPs, core.IP{
+			Name:         ip.Name,
+			Acceleration: ip.Acceleration,
+			Bandwidth:    units.GBPerSec(ip.BandwidthGBs),
+		})
+	}
+	m := &core.Model{SoC: s}
+	if d.SoC.SRAM != nil {
+		m.SRAM = &core.SRAM{
+			Name:              d.SoC.SRAM.Name,
+			MissRatio:         d.SoC.SRAM.MissRatio,
+			FiltersBusTraffic: d.SoC.SRAM.FiltersBusTraffic,
+		}
+	}
+	for _, b := range d.SoC.Buses {
+		m.Buses = append(m.Buses, core.Bus{
+			Name:      b.Name,
+			Bandwidth: units.GBPerSec(b.BandwidthGBs),
+			Users:     b.Users,
+		})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CoreUsecases converts the workload section, validating each against the
+// SoC.
+func (d *Document) CoreUsecases() ([]*core.Usecase, error) {
+	m, err := d.Model()
+	if err != nil {
+		return nil, err
+	}
+	if len(d.Usecases) == 0 {
+		return nil, fmt.Errorf("spec: document has no usecases")
+	}
+	out := make([]*core.Usecase, 0, len(d.Usecases))
+	for _, us := range d.Usecases {
+		u := &core.Usecase{
+			Name:     us.Name,
+			TotalOps: units.Ops(us.TotalOps),
+		}
+		for _, w := range us.Work {
+			u.Work = append(u.Work, core.Work{
+				Fraction:  w.Fraction,
+				Intensity: units.Intensity(w.Intensity),
+			})
+		}
+		if err := u.ValidateFor(m.SoC); err != nil {
+			return nil, err
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}
+
+// FromModel builds a document from in-memory model objects, the inverse of
+// Parse for tooling that generates specs.
+func FromModel(m *core.Model, usecases []*core.Usecase) *Document {
+	d := &Document{SoC: SoC{
+		Name:      m.SoC.Name,
+		PpeakGops: m.SoC.Peak.Gops(),
+		BpeakGBs:  m.SoC.MemoryBandwidth.GB(),
+	}}
+	for _, ip := range m.SoC.IPs {
+		d.SoC.IPs = append(d.SoC.IPs, IP{
+			Name:         ip.Name,
+			Acceleration: ip.Acceleration,
+			BandwidthGBs: ip.Bandwidth.GB(),
+		})
+	}
+	if m.SRAM != nil {
+		d.SoC.SRAM = &SRAM{
+			Name:              m.SRAM.Name,
+			MissRatio:         m.SRAM.MissRatio,
+			FiltersBusTraffic: m.SRAM.FiltersBusTraffic,
+		}
+	}
+	for _, b := range m.Buses {
+		d.SoC.Buses = append(d.SoC.Buses, Bus{
+			Name:         b.Name,
+			BandwidthGBs: b.Bandwidth.GB(),
+			Users:        b.Users,
+		})
+	}
+	for _, u := range usecases {
+		us := Usecase{Name: u.Name, TotalOps: float64(u.TotalOps)}
+		for _, w := range u.Work {
+			us.Work = append(us.Work, Work{Fraction: w.Fraction, Intensity: float64(w.Intensity)})
+		}
+		d.Usecases = append(d.Usecases, us)
+	}
+	return d
+}
+
+// Marshal renders the document as indented JSON.
+func (d *Document) Marshal() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}

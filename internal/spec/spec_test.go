@@ -1,0 +1,189 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/units"
+)
+
+const paperDoc = `{
+  "soc": {
+    "name": "paper-two-ip",
+    "ppeak_gops": 40,
+    "bpeak_gbs": 10,
+    "ips": [
+      {"name": "CPU", "acceleration": 1, "bandwidth_gbs": 6},
+      {"name": "GPU", "acceleration": 5, "bandwidth_gbs": 15}
+    ]
+  },
+  "usecases": [
+    {"name": "fig6a", "work": [
+      {"fraction": 1, "intensity": 8},
+      {"fraction": 0, "intensity": 0.1}
+    ]},
+    {"name": "fig6b", "work": [
+      {"fraction": 0.25, "intensity": 8},
+      {"fraction": 0.75, "intensity": 0.1}
+    ]}
+  ]
+}`
+
+func TestParseAndEvaluate(t *testing.T) {
+	d, err := Parse([]byte(paperDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := d.CoreUsecases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(us) != 2 {
+		t.Fatalf("usecases = %d", len(us))
+	}
+	// The appendix's golden numbers flow straight through.
+	res, err := m.Evaluate(us[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(res.Attainable.Gops(), 40, 1e-9) {
+		t.Errorf("fig6a = %v, want 40", res.Attainable.Gops())
+	}
+	res, err = m.Evaluate(us[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(res.Attainable.Gops(), 1.3278, 1e-3) {
+		t.Errorf("fig6b = %v, want ~1.3278", res.Attainable.Gops())
+	}
+}
+
+func TestParseRejections(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{`,
+		"unknown field":  strings.Replace(paperDoc, `"bpeak_gbs"`, `"bandwith_gbs"`, 1),
+		"bad fractions":  strings.Replace(paperDoc, `"fraction": 0.25`, `"fraction": 0.5`, 1),
+		"no usecases":    `{"soc": {"name": "x", "ppeak_gops": 1, "bpeak_gbs": 1, "ips": [{"name": "a", "acceleration": 1, "bandwidth_gbs": 1}]}, "usecases": []}`,
+		"a0 not 1":       strings.Replace(paperDoc, `"acceleration": 1`, `"acceleration": 2`, 1),
+		"zero bandwidth": strings.Replace(paperDoc, `"bandwidth_gbs": 6`, `"bandwidth_gbs": 0`, 1),
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseWithExtensions(t *testing.T) {
+	doc := `{
+  "soc": {
+    "name": "ext",
+    "ppeak_gops": 40,
+    "bpeak_gbs": 20,
+    "ips": [
+      {"name": "CPU", "acceleration": 1, "bandwidth_gbs": 6},
+      {"name": "GPU", "acceleration": 5, "bandwidth_gbs": 15}
+    ],
+    "sram": {"name": "syscache", "miss_ratio": [1, 0.1]},
+    "buses": [{"name": "shared", "bandwidth_gbs": 8, "users": [0, 1]}]
+  },
+  "usecases": [
+    {"name": "u", "work": [
+      {"fraction": 0.25, "intensity": 8},
+      {"fraction": 0.75, "intensity": 8}
+    ]}
+  ]
+}`
+	d, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SRAM == nil || m.SRAM.MissRatio[1] != 0.1 {
+		t.Error("SRAM extension lost in parsing")
+	}
+	if len(m.Buses) != 1 || m.Buses[0].Bandwidth != units.GBPerSec(8) {
+		t.Error("bus extension lost in parsing")
+	}
+	us, err := d.CoreUsecases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Evaluate(us[0]); err != nil {
+		t.Fatalf("extended model evaluation: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d, err := Parse([]byte(paperDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := d.Model()
+	us, _ := d.CoreUsecases()
+	out := FromModel(m, us)
+	data, err := out.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(data)
+	if err != nil {
+		t.Fatalf("round-tripped document failed to parse: %v\n%s", err, data)
+	}
+	m2, _ := d2.Model()
+	us2, _ := d2.CoreUsecases()
+	for i := range us {
+		a, err := m.Evaluate(us[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m2.Evaluate(us2[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !units.ApproxEqual(float64(a.Attainable), float64(b.Attainable), 1e-12) {
+			t.Errorf("usecase %d: %v != %v after round trip",
+				i, float64(a.Attainable), float64(b.Attainable))
+		}
+	}
+}
+
+func TestRoundTripExtensions(t *testing.T) {
+	s, err := core.TwoIP("x", units.GopsPerSec(40), units.GBPerSec(20), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &core.Model{
+		SoC:   s,
+		SRAM:  &core.SRAM{Name: "sc", MissRatio: []float64{1, 0.2}, FiltersBusTraffic: true},
+		Buses: []core.Bus{{Name: "b", Bandwidth: units.GBPerSec(8), Users: []int{0, 1}}},
+	}
+	u, _ := core.TwoIPUsecase("u", 0.5, 8, 8)
+	data, err := FromModel(m, []*core.Usecase{u}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := d2.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.SRAM == nil || !m2.SRAM.FiltersBusTraffic || m2.SRAM.MissRatio[1] != 0.2 {
+		t.Error("SRAM lost in round trip")
+	}
+	if len(m2.Buses) != 1 || len(m2.Buses[0].Users) != 2 {
+		t.Error("buses lost in round trip")
+	}
+}

@@ -1,0 +1,38 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedSpecsParse keeps the repository's example spec files valid.
+func TestShippedSpecsParse(t *testing.T) {
+	root := filepath.Join("..", "..", "testdata")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("testdata directory missing: %v", err)
+	}
+	parsed := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(root, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, errModel := Parse(data); errModel == nil {
+			parsed++
+			continue
+		}
+		if _, errChip := ParseChip(data); errChip == nil {
+			parsed++
+			continue
+		}
+		t.Errorf("%s: parses as neither a model spec nor a chip spec", e.Name())
+	}
+	if parsed < 2 {
+		t.Errorf("only %d shipped specs found; expected at least 2", parsed)
+	}
+}

@@ -1,0 +1,187 @@
+// Package sweep runs parameter studies over the Gables model: work-split
+// sweeps (the analytic counterpart of the paper's Figure 8), off-chip
+// bandwidth sweeps (the Bpeak reasoning of Figures 6b–6d), and intensity
+// sweeps (the data-reuse lever of Figure 6d and the §VII conjectures).
+package sweep
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// Point is one sample of a one-dimensional sweep.
+type Point struct {
+	// X is the swept parameter's value.
+	X float64
+	// Attainable is the model's bound at that value.
+	Attainable units.OpsPerSec
+	// Bottleneck identifies the limiting component.
+	Bottleneck core.Component
+}
+
+// Steps returns n+1 evenly spaced values spanning [lo, hi].
+func Steps(lo, hi float64, n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sweep: need at least one step, got %d", n)
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("sweep: inverted range [%v, %v]", lo, hi)
+	}
+	out := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	return out, nil
+}
+
+// WorkSplit sweeps the two-IP work fraction f over the given values,
+// evaluating Pattainable with intensities i0 and i1 — Gables' prediction
+// for the paper's Figure 8 x-axis.
+func WorkSplit(m *core.Model, i0, i1 units.Intensity, fs []float64) ([]Point, error) {
+	if len(m.SoC.IPs) != 2 {
+		return nil, fmt.Errorf("sweep: work-split sweep needs a two-IP SoC, got %d IPs", len(m.SoC.IPs))
+	}
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("sweep: no fractions")
+	}
+	out := make([]Point, 0, len(fs))
+	for _, f := range fs {
+		u, err := core.TwoIPUsecase(fmt.Sprintf("f=%v", f), f, i0, i1)
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.Evaluate(u)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{X: f, Attainable: res.Attainable, Bottleneck: res.Bottleneck})
+	}
+	return out, nil
+}
+
+// MemoryBandwidth sweeps Bpeak over the given values for a fixed usecase —
+// the Figure 6b→6c→6d reasoning about how much off-chip bandwidth a
+// usecase can actually use.
+func MemoryBandwidth(m *core.Model, u *core.Usecase, bpeaks []units.BytesPerSec) ([]Point, error) {
+	if len(bpeaks) == 0 {
+		return nil, fmt.Errorf("sweep: no bandwidths")
+	}
+	out := make([]Point, 0, len(bpeaks))
+	for _, b := range bpeaks {
+		if b <= 0 {
+			return nil, fmt.Errorf("sweep: bandwidth must be positive, got %v", float64(b))
+		}
+		variant := *m.SoC
+		variant.MemoryBandwidth = b
+		vm := &core.Model{SoC: &variant, SRAM: m.SRAM, Buses: m.Buses}
+		res, err := vm.Evaluate(u)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{X: float64(b), Attainable: res.Attainable, Bottleneck: res.Bottleneck})
+	}
+	return out, nil
+}
+
+// Intensity sweeps one IP's operational intensity — the data-reuse lever
+// that turns Figure 6c into the balanced Figure 6d.
+func Intensity(m *core.Model, u *core.Usecase, ipIndex int, intensities []units.Intensity) ([]Point, error) {
+	if ipIndex < 0 || ipIndex >= len(u.Work) {
+		return nil, fmt.Errorf("sweep: IP index %d out of range", ipIndex)
+	}
+	if len(intensities) == 0 {
+		return nil, fmt.Errorf("sweep: no intensities")
+	}
+	out := make([]Point, 0, len(intensities))
+	for _, ii := range intensities {
+		if ii <= 0 {
+			return nil, fmt.Errorf("sweep: intensity must be positive, got %v", float64(ii))
+		}
+		variant := *u
+		variant.Work = append([]core.Work(nil), u.Work...)
+		variant.Work[ipIndex].Intensity = ii
+		res, err := m.Evaluate(&variant)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{X: float64(ii), Attainable: res.Attainable, Bottleneck: res.Bottleneck})
+	}
+	return out, nil
+}
+
+// MissRatio sweeps one IP's SRAM miss ratio under the §V-A extension —
+// the reuse-sensitivity ablation for the memory-side cache.
+func MissRatio(m *core.Model, u *core.Usecase, ipIndex int, ratios []float64) ([]Point, error) {
+	if m.SRAM == nil {
+		return nil, fmt.Errorf("sweep: model has no SRAM extension")
+	}
+	if ipIndex < 0 || ipIndex >= len(m.SRAM.MissRatio) {
+		return nil, fmt.Errorf("sweep: IP index %d out of range", ipIndex)
+	}
+	if len(ratios) == 0 {
+		return nil, fmt.Errorf("sweep: no ratios")
+	}
+	out := make([]Point, 0, len(ratios))
+	for _, r := range ratios {
+		sram := *m.SRAM
+		sram.MissRatio = append([]float64(nil), m.SRAM.MissRatio...)
+		sram.MissRatio[ipIndex] = r
+		vm := &core.Model{SoC: m.SoC, SRAM: &sram, Buses: m.Buses}
+		res, err := vm.Evaluate(u)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{X: r, Attainable: res.Attainable, Bottleneck: res.Bottleneck})
+	}
+	return out, nil
+}
+
+// Grid is the two-dimensional (f × intensity) study: Gables' analytic
+// prediction of the whole Figure 8 family. For each intensity line, every
+// work split is evaluated with I0 = I1 = I, normalized to f=0 at the
+// baseline intensity.
+type GridPoint struct {
+	F          float64
+	Intensity  units.Intensity
+	Attainable units.OpsPerSec
+	Normalized float64
+}
+
+// Figure8Grid evaluates the family of mixing curves on the model.
+// baseline is the intensity that normalizes the grid (the paper uses 1).
+func Figure8Grid(m *core.Model, fs []float64, intensities []units.Intensity, baseline units.Intensity) ([]GridPoint, error) {
+	if len(fs) == 0 || len(intensities) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid")
+	}
+	base, err := core.TwoIPUsecase("baseline", 0, baseline, baseline)
+	if err != nil {
+		return nil, err
+	}
+	baseRes, err := m.Evaluate(base)
+	if err != nil {
+		return nil, err
+	}
+	if baseRes.Attainable <= 0 {
+		return nil, fmt.Errorf("sweep: degenerate baseline")
+	}
+	var out []GridPoint
+	for _, ii := range intensities {
+		for _, f := range fs {
+			u, err := core.TwoIPUsecase("grid", f, ii, ii)
+			if err != nil {
+				return nil, err
+			}
+			res, err := m.Evaluate(u)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, GridPoint{
+				F: f, Intensity: ii, Attainable: res.Attainable,
+				Normalized: float64(res.Attainable) / float64(baseRes.Attainable),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/units"
+)
+
+func paperModel(t *testing.T, bpeakGB float64) *core.Model {
+	t.Helper()
+	s, err := core.TwoIP("paper", units.GopsPerSec(40), units.GBPerSec(bpeakGB), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSteps(t *testing.T) {
+	s, err := Steps(0, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 9 || s[0] != 0 || s[8] != 1 || s[4] != 0.5 {
+		t.Errorf("steps = %v", s)
+	}
+	if _, err := Steps(0, 1, 0); err == nil {
+		t.Error("zero steps must be rejected")
+	}
+	if _, err := Steps(1, 0, 4); err == nil {
+		t.Error("inverted range must be rejected")
+	}
+}
+
+func TestWorkSplit(t *testing.T) {
+	m := paperModel(t, 10)
+	fs, _ := Steps(0, 1, 4)
+	pts, err := WorkSplit(m, 8, 0.1, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// f=0 is Fig 6a: 40 Gops/s; f=0.75 is Fig 6b: 1.33.
+	if !units.ApproxEqual(pts[0].Attainable.Gops(), 40, 1e-9) {
+		t.Errorf("f=0: %v, want 40", pts[0].Attainable.Gops())
+	}
+	if !units.ApproxEqual(pts[3].Attainable.Gops(), 1.3278, 1e-3) {
+		t.Errorf("f=0.75: %v, want ~1.3278", pts[3].Attainable.Gops())
+	}
+	// Low-reuse offloading only hurts: monotone decreasing over f > 0.
+	for i := 1; i < len(pts); i++ {
+		if float64(pts[i].Attainable) > float64(pts[i-1].Attainable)*(1+1e-12) {
+			t.Errorf("low-intensity offload must not help: %v", pts)
+		}
+	}
+}
+
+func TestWorkSplitValidation(t *testing.T) {
+	m := paperModel(t, 10)
+	if _, err := WorkSplit(m, 8, 8, nil); err == nil {
+		t.Error("empty fractions must be rejected")
+	}
+	three := &core.SoC{
+		Name: "three", Peak: units.GopsPerSec(10), MemoryBandwidth: units.GBPerSec(10),
+		IPs: []core.IP{
+			{Name: "a", Acceleration: 1, Bandwidth: units.GBPerSec(1)},
+			{Name: "b", Acceleration: 2, Bandwidth: units.GBPerSec(1)},
+			{Name: "c", Acceleration: 3, Bandwidth: units.GBPerSec(1)},
+		},
+	}
+	m3, err := core.New(three)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorkSplit(m3, 8, 8, []float64{0.5}); err == nil {
+		t.Error("three-IP SoC must be rejected")
+	}
+}
+
+func TestMemoryBandwidthSweep(t *testing.T) {
+	m := paperModel(t, 10)
+	u, _ := core.TwoIPUsecase("6b", 0.75, 8, 0.1)
+	pts, err := MemoryBandwidth(m, u, []units.BytesPerSec{
+		units.GBPerSec(10), units.GBPerSec(30), units.GBPerSec(100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 GB/s → 1.33 (6b); 30 → 2.0 (6c); beyond that IP[1] caps at 2.
+	if !units.ApproxEqual(pts[0].Attainable.Gops(), 1.3278, 1e-3) {
+		t.Errorf("Bpeak=10: %v", pts[0].Attainable.Gops())
+	}
+	if !units.ApproxEqual(pts[1].Attainable.Gops(), 2, 1e-9) {
+		t.Errorf("Bpeak=30: %v, want 2 (Fig 6c)", pts[1].Attainable.Gops())
+	}
+	if !units.ApproxEqual(pts[2].Attainable.Gops(), 2, 1e-9) {
+		t.Errorf("Bpeak=100: %v, want 2 (IP[1] caps)", pts[2].Attainable.Gops())
+	}
+	if pts[2].Bottleneck.Kind != "IP" {
+		t.Errorf("at ample Bpeak the bottleneck must be IP[1], got %v", pts[2].Bottleneck)
+	}
+	// The original model must be untouched by the sweep.
+	if m.SoC.MemoryBandwidth != units.GBPerSec(10) {
+		t.Error("sweep mutated the input model")
+	}
+
+	if _, err := MemoryBandwidth(m, u, nil); err == nil {
+		t.Error("empty sweep must be rejected")
+	}
+	if _, err := MemoryBandwidth(m, u, []units.BytesPerSec{0}); err == nil {
+		t.Error("zero bandwidth must be rejected")
+	}
+}
+
+func TestIntensitySweep(t *testing.T) {
+	m := paperModel(t, 20)
+	u, _ := core.TwoIPUsecase("6d", 0.75, 8, 0.1)
+	pts, err := Intensity(m, u, 1, []units.Intensity{0.1, 1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raising I1 from 0.1 to 8 with Bpeak=20 walks toward Fig 6d's 160.
+	if !units.ApproxEqual(pts[2].Attainable.Gops(), 160, 1e-9) {
+		t.Errorf("I1=8: %v, want 160", pts[2].Attainable.Gops())
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Attainable < pts[i-1].Attainable {
+			t.Error("more reuse must not hurt")
+		}
+	}
+	// Usecase untouched.
+	if u.Work[1].Intensity != 0.1 {
+		t.Error("sweep mutated the input usecase")
+	}
+
+	if _, err := Intensity(m, u, 9, []units.Intensity{1}); err == nil {
+		t.Error("out-of-range IP must be rejected")
+	}
+	if _, err := Intensity(m, u, 1, []units.Intensity{-1}); err == nil {
+		t.Error("negative intensity must be rejected")
+	}
+	if _, err := Intensity(m, u, 1, nil); err == nil {
+		t.Error("empty sweep must be rejected")
+	}
+}
+
+func TestMissRatioSweep(t *testing.T) {
+	m := paperModel(t, 10)
+	m.SRAM = &core.SRAM{Name: "sc", MissRatio: []float64{1, 1}}
+	u, _ := core.TwoIPUsecase("6b", 0.75, 8, 0.1)
+	pts, err := MissRatio(m, u, 1, []float64{1, 0.5, 0.1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Attainable < pts[i-1].Attainable {
+			t.Error("lower miss ratio must not hurt")
+		}
+	}
+	// m1=1 equals the base Fig 6b result.
+	if !units.ApproxEqual(pts[0].Attainable.Gops(), 1.3278, 1e-3) {
+		t.Errorf("m1=1: %v", pts[0].Attainable.Gops())
+	}
+	// m1=0: only IP[1]'s link binds → 2 Gops/s.
+	if !units.ApproxEqual(pts[3].Attainable.Gops(), 2, 1e-9) {
+		t.Errorf("m1=0: %v, want 2", pts[3].Attainable.Gops())
+	}
+	if m.SRAM.MissRatio[1] != 1 {
+		t.Error("sweep mutated the SRAM extension")
+	}
+
+	noSRAM := paperModel(t, 10)
+	if _, err := MissRatio(noSRAM, u, 1, []float64{0.5}); err == nil {
+		t.Error("missing SRAM must be rejected")
+	}
+}
+
+func TestFigure8Grid(t *testing.T) {
+	// Use the measured-SoC shape: CPU-ish IP[0], 47× accelerator.
+	s, err := core.TwoIP("sd835", units.GopsPerSec(7.5), units.GBPerSec(30), 46.6,
+		units.GBPerSec(15.1), units.GBPerSec(24.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := core.New(s)
+	fs, _ := Steps(0, 1, 8)
+	grid, err := Figure8Grid(m, fs, []units.Intensity{1, 1024}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 18 {
+		t.Fatalf("grid size = %d", len(grid))
+	}
+	// The baseline cell normalizes to 1.
+	if math.Abs(grid[0].Normalized-1) > 1e-9 {
+		t.Errorf("baseline cell = %v", grid[0].Normalized)
+	}
+	// High intensity, all offloaded: speedup ~46.6 (the model has no
+	// software coordination overhead, so it exceeds the measured 39.4).
+	last := grid[len(grid)-1]
+	if last.F != 1 || last.Intensity != 1024 {
+		t.Fatalf("grid ordering unexpected: %+v", last)
+	}
+	if math.Abs(last.Normalized-46.6) > 0.5 {
+		t.Errorf("model speedup at I=1024, f=1 = %v, want ~46.6", last.Normalized)
+	}
+
+	if _, err := Figure8Grid(m, nil, []units.Intensity{1}, 1); err == nil {
+		t.Error("empty grid must be rejected")
+	}
+}

@@ -1,0 +1,143 @@
+// Package units defines the physical quantities that appear throughout the
+// Gables model — operation rates, byte rates, operational intensities, data
+// capacities, and times — together with SI-prefixed formatting that matches
+// the conventions of the paper (Gops/s, GB/s, ops/byte).
+//
+// All quantities are thin wrappers over float64. They exist to make API
+// signatures self-documenting and to prevent the classic roofline mistake of
+// mixing up ops/s with bytes/s: the compiler rejects such confusions.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// OpsPerSec is a computation rate in operations per second. The paper's
+// micro-benchmark counts single-precision floating-point operations, but the
+// model is agnostic to the operation type as long as all inputs use the same
+// one (Ppeak, Ai·Ppeak and the Ii all count the same "op").
+type OpsPerSec float64
+
+// BytesPerSec is a data-transfer rate (IP link bandwidth Bi or off-chip
+// memory bandwidth Bpeak).
+type BytesPerSec float64
+
+// Intensity is operational intensity in operations per byte transferred
+// to/from memory (the paper's I, Ii and Iavg).
+type Intensity float64
+
+// Bytes is a data capacity (the paper's Di, data transferred for IP[i]).
+type Bytes float64
+
+// Seconds is a duration in seconds (the paper's Ci, T_IP[i], Tmemory).
+type Seconds float64
+
+// Ops is an operation count. The Gables equations normalize total usecase
+// work to 1 op, so fractions fi are also of type Ops when scaled.
+type Ops float64
+
+// Common scale factors. These are decimal (SI) prefixes, matching the
+// paper's use of Gops/s = 1e9 ops/s and GB/s = 1e9 bytes/s.
+const (
+	Kilo = 1e3
+	Mega = 1e6
+	Giga = 1e9
+	Tera = 1e12
+)
+
+// Giga-scale constructors, mirroring how the paper states its inputs
+// ("Ppeak = 40 Gops/s, Bpeak = 10 Gbytes/s").
+
+// GopsPerSec converts a value in Gops/s to OpsPerSec.
+func GopsPerSec(v float64) OpsPerSec { return OpsPerSec(v * Giga) }
+
+// GBPerSec converts a value in GB/s to BytesPerSec.
+func GBPerSec(v float64) BytesPerSec { return BytesPerSec(v * Giga) }
+
+// Gops returns the rate expressed in Gops/s.
+func (p OpsPerSec) Gops() float64 { return float64(p) / Giga }
+
+// GB returns the rate expressed in GB/s.
+func (b BytesPerSec) GB() float64 { return float64(b) / Giga }
+
+// String formats the rate with an SI prefix, e.g. "40 Gops/s".
+func (p OpsPerSec) String() string { return siFormat(float64(p), "ops/s") }
+
+// String formats the rate with an SI prefix, e.g. "10 GB/s".
+func (b BytesPerSec) String() string { return siFormat(float64(b), "B/s") }
+
+// String formats the intensity, e.g. "8 ops/B".
+func (i Intensity) String() string { return trimFloat(float64(i)) + " ops/B" }
+
+// String formats the capacity with an SI prefix, e.g. "12 MB".
+func (d Bytes) String() string { return siFormat(float64(d), "B") }
+
+// String formats the duration with an SI prefix, e.g. "2.5 ms".
+func (s Seconds) String() string {
+	v := float64(s)
+	switch {
+	case v == 0:
+		return "0 s"
+	case math.Abs(v) < 1e-6:
+		return trimFloat(v*1e9) + " ns"
+	case math.Abs(v) < 1e-3:
+		return trimFloat(v*1e6) + " µs"
+	case math.Abs(v) < 1:
+		return trimFloat(v*1e3) + " ms"
+	default:
+		return trimFloat(v) + " s"
+	}
+}
+
+// siFormat renders v with the largest decimal prefix that keeps the mantissa
+// at least 1, using up to three significant decimals.
+func siFormat(v float64, unit string) string {
+	if v == 0 {
+		return "0 " + unit
+	}
+	abs := math.Abs(v)
+	switch {
+	case abs >= Tera:
+		return trimFloat(v/Tera) + " T" + unit
+	case abs >= Giga:
+		return trimFloat(v/Giga) + " G" + unit
+	case abs >= Mega:
+		return trimFloat(v/Mega) + " M" + unit
+	case abs >= Kilo:
+		return trimFloat(v/Kilo) + " K" + unit
+	default:
+		return trimFloat(v) + " " + unit
+	}
+}
+
+// trimFloat formats with three decimals and strips trailing zeros, so
+// 40.000 prints as "40" and 1.300 as "1.3".
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	if s == "-0" {
+		s = "0"
+	}
+	return s
+}
+
+// ApproxEqual reports whether a and b agree within relative tolerance rel
+// (and an absolute floor of 1e-12 to handle values near zero). It is the
+// comparison used by tests that check model identities.
+func ApproxEqual(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff < 1e-12 {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= rel*scale
+}

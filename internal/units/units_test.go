@@ -1,0 +1,121 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGigaConstructors(t *testing.T) {
+	if got := GopsPerSec(40); got != 40e9 {
+		t.Errorf("GopsPerSec(40) = %v, want 4e10", float64(got))
+	}
+	if got := GBPerSec(10); got != 10e9 {
+		t.Errorf("GBPerSec(10) = %v, want 1e10", float64(got))
+	}
+	if got := GopsPerSec(40).Gops(); got != 40 {
+		t.Errorf("round trip Gops = %v, want 40", got)
+	}
+	if got := GBPerSec(24.4).GB(); math.Abs(got-24.4) > 1e-12 {
+		t.Errorf("round trip GB = %v, want 24.4", got)
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{GopsPerSec(40).String(), "40 Gops/s"},
+		{GopsPerSec(1.3).String(), "1.3 Gops/s"},
+		{GopsPerSec(0.0075).String(), "7.5 Mops/s"},
+		{OpsPerSec(0).String(), "0 ops/s"},
+		{OpsPerSec(999).String(), "999 ops/s"},
+		{OpsPerSec(2.5e12).String(), "2.5 Tops/s"},
+		{GBPerSec(15.1).String(), "15.1 GB/s"},
+		{Bytes(12 * Mega).String(), "12 MB"},
+		{Bytes(2048).String(), "2.048 KB"},
+		{Intensity(8).String(), "8 ops/B"},
+		{Intensity(0.1).String(), "0.1 ops/B"},
+		{Seconds(0).String(), "0 s"},
+		{Seconds(2.5e-3).String(), "2.5 ms"},
+		{Seconds(3.2e-6).String(), "3.2 µs"},
+		{Seconds(15e-9).String(), "15 ns"},
+		{Seconds(1.5).String(), "1.5 s"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		40:     "40",
+		1.3:    "1.3",
+		0.125:  "0.125",
+		-2.5:   "-2.5",
+		0:      "0",
+		3.1416: "3.142",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0, 0) {
+		t.Error("identical values must compare equal")
+	}
+	if !ApproxEqual(100, 100.0001, 1e-5) {
+		t.Error("values within relative tolerance must compare equal")
+	}
+	if ApproxEqual(100, 101, 1e-5) {
+		t.Error("values outside relative tolerance must compare unequal")
+	}
+	if !ApproxEqual(0, 1e-13, 1e-9) {
+		t.Error("near-zero absolute floor must apply")
+	}
+}
+
+func TestApproxEqualSymmetricProperty(t *testing.T) {
+	f := func(a, b float64, tol uint8) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		rel := float64(tol) / 255 // tolerance in [0,1]
+		return ApproxEqual(a, b, rel) == ApproxEqual(b, a, rel)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxEqualReflexiveProperty(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) {
+			return true
+		}
+		return ApproxEqual(a, a, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSIFormatBoundaries(t *testing.T) {
+	cases := map[float64]string{
+		1e3:  "1 Kops/s",
+		1e6:  "1 Mops/s",
+		1e9:  "1 Gops/s",
+		1e12: "1 Tops/s",
+		-2e9: "-2 Gops/s",
+	}
+	for in, want := range cases {
+		if got := OpsPerSec(in).String(); got != want {
+			t.Errorf("OpsPerSec(%v).String() = %q, want %q", in, got, want)
+		}
+	}
+}

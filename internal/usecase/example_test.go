@@ -1,0 +1,40 @@
+package usecase_test
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/soc"
+	"github.com/gables-model/gables/internal/usecase"
+)
+
+// ExampleFrameBytes reproduces the paper's §II-B arithmetic: a 4K YUV420
+// frame (6 bytes per 4 pixels) is about 12 MB.
+func ExampleFrameBytes() {
+	b := usecase.FrameBytes(usecase.UHD4K, usecase.YUV420)
+	fmt.Printf("%.1f MB\n", float64(b)/1e6)
+	// Output: 12.4 MB
+}
+
+// ExampleMaxRate asks the §II-B question directly: how fast can an
+// 835-class chip capture 4K video with HFR noise reduction?
+func ExampleMaxRate() {
+	chip := soc.Snapdragon835Like()
+	flow := usecase.VideoCaptureHFR(usecase.UHD4K)
+	rate, limiter, _ := usecase.MaxRate(flow, chip)
+	fmt.Printf("%.0f FPS, limited by %s\n", rate, limiter)
+	// Output: 105 FPS, limited by VENC link
+}
+
+// ExampleAnalyzeSuite checks the §I criterion: every important usecase
+// must run acceptably; the average is immaterial.
+func ExampleAnalyzeSuite() {
+	chip := soc.Snapdragon835Like()
+	rep, _ := usecase.AnalyzeSuite(chip, []usecase.Requirement{
+		{Graph: usecase.PhoneCall(), TargetRate: 1},
+		{Graph: usecase.VideoCaptureHFR(usecase.UHD4K), TargetRate: 240},
+	})
+	binding := rep.Entries[rep.Binding]
+	fmt.Printf("all met: %v; binding: %s (margin %.2f)\n",
+		rep.AllMet, binding.Usecase, binding.Margin)
+	// Output: all met: false; binding: Videocapture (HFR) (margin 0.44)
+}

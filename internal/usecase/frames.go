@@ -1,0 +1,57 @@
+package usecase
+
+import (
+	"fmt"
+
+	"github.com/gables-model/gables/internal/units"
+)
+
+// PixelFormat describes a video frame encoding by its bytes per pixel.
+type PixelFormat struct {
+	Name string
+	// BytesPerPixel is the storage density; YUV420 uses 6 bytes per 4
+	// pixels = 1.5, the figure the paper's §II-B example uses.
+	BytesPerPixel float64
+}
+
+// Common pixel formats.
+var (
+	YUV420   = PixelFormat{Name: "YUV420", BytesPerPixel: 1.5}
+	YUV422   = PixelFormat{Name: "YUV422", BytesPerPixel: 2}
+	RGBA8888 = PixelFormat{Name: "RGBA8888", BytesPerPixel: 4}
+	RAW10    = PixelFormat{Name: "RAW10", BytesPerPixel: 1.25}
+)
+
+// Resolution is a frame geometry in pixels.
+type Resolution struct {
+	Width, Height int
+}
+
+// Common resolutions.
+var (
+	UHD4K = Resolution{3840, 2160}
+	QHD   = Resolution{2560, 1440}
+	FHD   = Resolution{1920, 1080}
+	HD720 = Resolution{1280, 720}
+)
+
+// Pixels returns the pixel count.
+func (r Resolution) Pixels() int { return r.Width * r.Height }
+
+func (r Resolution) String() string { return fmt.Sprintf("%dx%d", r.Width, r.Height) }
+
+// FrameBytes returns the size of one frame: the §II-B example computes a 4K
+// YUV420 frame as 3840·2160·1.5 ≈ 12 MB.
+func FrameBytes(r Resolution, f PixelFormat) units.Bytes {
+	return units.Bytes(float64(r.Pixels()) * f.BytesPerPixel)
+}
+
+// StreamBandwidth returns the DRAM bandwidth of moving frames at the given
+// rate with the given number of passes (each pass is one full read or
+// write of the frame). The paper's HFR example — 4K at 240 FPS with ISP
+// noise-reduction stages and up to five reference frames flowing through
+// DRAM — multiplies a 12 MB frame by enough passes to approach a mobile
+// SoC's ~30 GB/s.
+func StreamBandwidth(r Resolution, f PixelFormat, fps float64, passes float64) units.BytesPerSec {
+	return units.BytesPerSec(float64(FrameBytes(r, f)) * fps * passes)
+}

@@ -1,0 +1,271 @@
+// Package usecase models SoC application "usecases" the way §II-B of the
+// Gables paper describes them: application-level dataflows from sensors
+// through processing engines, where multiple IPs are exercised
+// concurrently and inter-IP data travels through DRAM buffers.
+//
+// A Graph holds per-item (typically per-frame) stages bound to SoC blocks;
+// steady-state analysis computes each block's compute and bandwidth demand
+// at a target item rate, finds the maximum sustainable rate and its
+// bottleneck, and derives the Gables software parameters (work fractions fi
+// and operational intensities Ii) that the paper's model consumes.
+package usecase
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/soc"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// Stage is one processing step of a dataflow, bound to an IP block. Per
+// item (frame, packet batch, audio buffer...) the stage performs Ops
+// operations, reads BytesIn from DRAM and writes BytesOut back. Following
+// the base Gables assumption, all inter-stage communication flows through
+// DRAM, so a producer's BytesOut and its consumer's BytesIn both count.
+type Stage struct {
+	// Name labels the step, e.g. "wavelet noise reduction".
+	Name string
+	// Block names the SoC block that executes the stage.
+	Block string
+	// Ops is the computation per item.
+	Ops units.Ops
+	// BytesIn is DRAM read traffic per item.
+	BytesIn units.Bytes
+	// BytesOut is DRAM write traffic per item.
+	BytesOut units.Bytes
+}
+
+// Bytes returns the stage's total DRAM traffic per item.
+func (s Stage) Bytes() units.Bytes { return s.BytesIn + s.BytesOut }
+
+// Graph is a usecase dataflow.
+type Graph struct {
+	// Name labels the usecase, e.g. "Streaming Internet content over WiFi".
+	Name string
+	// Stages holds the processing steps. Order documents the flow but
+	// does not affect steady-state analysis (all stages run
+	// concurrently on their blocks, pipelined across items).
+	Stages []Stage
+}
+
+// Validate checks the graph is well formed.
+func (g *Graph) Validate() error {
+	if len(g.Stages) == 0 {
+		return fmt.Errorf("usecase: %s: needs at least one stage", g.Name)
+	}
+	for i, s := range g.Stages {
+		if s.Name == "" {
+			return fmt.Errorf("usecase: %s: stage %d has empty name", g.Name, i)
+		}
+		if s.Block == "" {
+			return fmt.Errorf("usecase: %s: stage %q has no block", g.Name, s.Name)
+		}
+		if s.Ops < 0 || s.BytesIn < 0 || s.BytesOut < 0 {
+			return fmt.Errorf("usecase: %s: stage %q has negative demand", g.Name, s.Name)
+		}
+		if s.Ops == 0 && s.Bytes() == 0 {
+			return fmt.Errorf("usecase: %s: stage %q demands nothing", g.Name, s.Name)
+		}
+	}
+	return nil
+}
+
+// Blocks returns the distinct block names the graph exercises, in first-use
+// order — the row of Table I for this usecase.
+func (g *Graph) Blocks() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range g.Stages {
+		if !seen[s.Block] {
+			seen[s.Block] = true
+			out = append(out, s.Block)
+		}
+	}
+	return out
+}
+
+// BlockDemand aggregates per-item demand per block.
+type BlockDemand struct {
+	Block string
+	Ops   units.Ops
+	Bytes units.Bytes
+}
+
+// Demands returns per-block aggregate demand per item, in first-use order.
+func (g *Graph) Demands() []BlockDemand {
+	index := make(map[string]int)
+	var out []BlockDemand
+	for _, s := range g.Stages {
+		i, ok := index[s.Block]
+		if !ok {
+			i = len(out)
+			index[s.Block] = i
+			out = append(out, BlockDemand{Block: s.Block})
+		}
+		out[i].Ops += s.Ops
+		out[i].Bytes += s.Bytes()
+	}
+	return out
+}
+
+// TotalBytes returns the graph's total DRAM traffic per item.
+func (g *Graph) TotalBytes() units.Bytes {
+	var total units.Bytes
+	for _, s := range g.Stages {
+		total += s.Bytes()
+	}
+	return total
+}
+
+// TotalOps returns the graph's total computation per item.
+func (g *Graph) TotalOps() units.Ops {
+	var total units.Ops
+	for _, s := range g.Stages {
+		total += s.Ops
+	}
+	return total
+}
+
+// RateAnalysis is the steady-state result of running the graph on a chip at
+// some item rate.
+type RateAnalysis struct {
+	// Rate is the analyzed item rate (items/s, e.g. frames/s).
+	Rate float64
+	// DRAMDemand is total DRAM bandwidth demand at that rate.
+	DRAMDemand units.BytesPerSec
+	// DRAMUtilization is demand over the chip's DRAM bandwidth.
+	DRAMUtilization float64
+	// BlockUtilization maps block name to the max of its compute and
+	// link utilizations at the rate.
+	BlockUtilization map[string]float64
+	// Feasible reports whether every utilization is at most 1.
+	Feasible bool
+}
+
+// AnalyzeRate computes steady-state demands of the graph on the chip at a
+// target rate.
+func AnalyzeRate(g *Graph, chip *soc.Chip, rate float64) (*RateAnalysis, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := chip.Validate(); err != nil {
+		return nil, err
+	}
+	if rate <= 0 || math.IsNaN(rate) {
+		return nil, fmt.Errorf("usecase: %s: rate must be positive, got %v", g.Name, rate)
+	}
+	res := &RateAnalysis{
+		Rate:             rate,
+		BlockUtilization: make(map[string]float64),
+		Feasible:         true,
+	}
+	for _, d := range g.Demands() {
+		blk, err := chip.Block(d.Block)
+		if err != nil {
+			return nil, err
+		}
+		cu := float64(d.Ops) * rate / float64(blk.Peak)
+		bu := float64(d.Bytes) * rate / float64(blk.Bandwidth)
+		u := math.Max(cu, bu)
+		res.BlockUtilization[d.Block] = u
+		if u > 1 {
+			res.Feasible = false
+		}
+	}
+	res.DRAMDemand = units.BytesPerSec(float64(g.TotalBytes()) * rate)
+	res.DRAMUtilization = float64(res.DRAMDemand) / float64(chip.DRAMBandwidth)
+	if res.DRAMUtilization > 1 {
+		res.Feasible = false
+	}
+	return res, nil
+}
+
+// MaxRate returns the maximum sustainable item rate of the graph on the
+// chip and the component that limits it — the usecase-level analogue of
+// Gables' Pattainable. The limit is the minimum over blocks of
+// Peak/OpsPerItem and Bandwidth/BytesPerItem, and DRAM's Bpeak/TotalBytes.
+func MaxRate(g *Graph, chip *soc.Chip) (float64, string, error) {
+	if err := g.Validate(); err != nil {
+		return 0, "", err
+	}
+	if err := chip.Validate(); err != nil {
+		return 0, "", err
+	}
+	best := math.Inf(1)
+	limiter := "DRAM"
+	for _, d := range g.Demands() {
+		blk, err := chip.Block(d.Block)
+		if err != nil {
+			return 0, "", err
+		}
+		if d.Ops > 0 {
+			if r := float64(blk.Peak) / float64(d.Ops); r < best {
+				best, limiter = r, d.Block+" compute"
+			}
+		}
+		if d.Bytes > 0 {
+			if r := float64(blk.Bandwidth) / float64(d.Bytes); r < best {
+				best, limiter = r, d.Block+" link"
+			}
+		}
+	}
+	if tb := g.TotalBytes(); tb > 0 {
+		if r := float64(chip.DRAMBandwidth) / float64(tb); r < best {
+			best, limiter = r, "DRAM"
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, "", fmt.Errorf("usecase: %s: no binding constraint", g.Name)
+	}
+	return best, limiter, nil
+}
+
+// ToGables derives the Gables software parameters from the graph for the
+// chip converted with the given reference block: per-IP work fractions fi
+// (each block's share of total ops) and operational intensities Ii (each
+// block's ops over its DRAM bytes). index must be the map returned by
+// Chip.ToGables. Blocks with traffic but no ops cannot be represented in
+// the base model (their intensity would be zero); such pure-DMA demand is
+// folded in by assigning it one op so intensity stays finite but tiny.
+func (g *Graph) ToGables(ipCount int, index map[string]int) (*core.Usecase, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	totalOps := float64(g.TotalOps())
+	if totalOps <= 0 {
+		return nil, fmt.Errorf("usecase: %s: graph has no computation to apportion", g.Name)
+	}
+	u := &core.Usecase{Name: g.Name, Work: make([]core.Work, ipCount), TotalOps: g.TotalOps()}
+	for _, d := range g.Demands() {
+		i, ok := index[d.Block]
+		if !ok {
+			return nil, fmt.Errorf("usecase: %s: block %q not in IP index", g.Name, d.Block)
+		}
+		if i < 0 || i >= ipCount {
+			return nil, fmt.Errorf("usecase: %s: block %q maps to IP %d outside [0,%d)", g.Name, d.Block, i, ipCount)
+		}
+		ops := float64(d.Ops)
+		if ops == 0 {
+			ops = 1 // pure-DMA stage: keep intensity finite
+		}
+		u.Work[i].Fraction = ops / totalOps
+		if d.Bytes > 0 {
+			u.Work[i].Intensity = units.Intensity(ops / float64(d.Bytes))
+		} else {
+			// No DRAM traffic: model as extremely high reuse.
+			u.Work[i].Intensity = units.Intensity(math.Inf(1))
+		}
+	}
+	// Renormalize: the pure-DMA adjustment can leave the sum slightly
+	// off 1.
+	sum := 0.0
+	for _, w := range u.Work {
+		sum += w.Fraction
+	}
+	for i := range u.Work {
+		u.Work[i].Fraction /= sum
+	}
+	return u, nil
+}

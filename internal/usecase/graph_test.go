@@ -1,0 +1,305 @@
+package usecase
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gables-model/gables/internal/soc"
+	"github.com/gables-model/gables/internal/units"
+)
+
+func TestGraphValidate(t *testing.T) {
+	good := &Graph{Name: "g", Stages: []Stage{{Name: "s", Block: "CPU", Ops: 10, BytesIn: 5}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	cases := []*Graph{
+		{Name: "empty"},
+		{Name: "noname", Stages: []Stage{{Block: "CPU", Ops: 1}}},
+		{Name: "noblock", Stages: []Stage{{Name: "s", Ops: 1}}},
+		{Name: "negative", Stages: []Stage{{Name: "s", Block: "CPU", Ops: -1}}},
+		{Name: "nothing", Stages: []Stage{{Name: "s", Block: "CPU"}}},
+	}
+	for _, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: expected error", g.Name)
+		}
+	}
+}
+
+func TestBlocksAndDemands(t *testing.T) {
+	g := &Graph{Name: "g", Stages: []Stage{
+		{Name: "a", Block: "ISP", Ops: 10, BytesIn: 4, BytesOut: 2},
+		{Name: "b", Block: "GPU", Ops: 20, BytesIn: 6},
+		{Name: "c", Block: "ISP", Ops: 5, BytesOut: 1},
+	}}
+	blocks := g.Blocks()
+	if len(blocks) != 2 || blocks[0] != "ISP" || blocks[1] != "GPU" {
+		t.Errorf("Blocks = %v", blocks)
+	}
+	d := g.Demands()
+	if len(d) != 2 {
+		t.Fatalf("Demands len = %d", len(d))
+	}
+	if d[0].Block != "ISP" || d[0].Ops != 15 || d[0].Bytes != 7 {
+		t.Errorf("ISP demand = %+v", d[0])
+	}
+	if g.TotalOps() != 35 || g.TotalBytes() != 13 {
+		t.Errorf("totals = %v ops, %v bytes", float64(g.TotalOps()), float64(g.TotalBytes()))
+	}
+}
+
+func TestFrameBytes(t *testing.T) {
+	// The §II-B example: a 4K YUV420 frame is ~12 MB
+	// (3840·2160·1.5 = 12,441,600 bytes).
+	got := FrameBytes(UHD4K, YUV420)
+	if float64(got) != 3840*2160*1.5 {
+		t.Errorf("FrameBytes(4K, YUV420) = %v, want 12441600", float64(got))
+	}
+	if float64(got)/units.Mega < 12 || float64(got)/units.Mega > 13 {
+		t.Errorf("4K YUV420 frame = %v MB, paper says ~12 MB", float64(got)/units.Mega)
+	}
+}
+
+func TestHFRBandwidthWall(t *testing.T) {
+	// §II-B: 4K at 240 FPS with WNR + TNR and up to five reference
+	// frames through DRAM approaches a mobile SoC's ~30 GB/s. With 10
+	// full-frame passes: 12.4 MB × 240 × 10 ≈ 29.9 GB/s.
+	bw := StreamBandwidth(UHD4K, YUV420, 240, 10)
+	if bw.GB() < 25 || bw.GB() > 35 {
+		t.Errorf("HFR bandwidth = %v GB/s, want ~30", bw.GB())
+	}
+}
+
+func TestAnalyzeRate(t *testing.T) {
+	chip := soc.Snapdragon835Like()
+	g := VideoCapture(FHD, 2)
+	res, err := AnalyzeRate(g, chip, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Errorf("1080p30 capture must be feasible on an 835-class chip: %+v", res)
+	}
+	if res.DRAMUtilization <= 0 || res.DRAMUtilization > 1 {
+		t.Errorf("DRAM utilization = %v", res.DRAMUtilization)
+	}
+	for b, u := range res.BlockUtilization {
+		if u < 0 || u > 1 {
+			t.Errorf("block %s utilization = %v", b, u)
+		}
+	}
+}
+
+func TestAnalyzeRateInfeasible(t *testing.T) {
+	chip := soc.Snapdragon835Like()
+	g := VideoCaptureHFR(UHD4K)
+	res, err := AnalyzeRate(g, chip, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's point: 4K240 HFR blows past the SoC's bandwidth.
+	if res.Feasible {
+		t.Errorf("4K240 HFR must be infeasible, DRAM util = %v", res.DRAMUtilization)
+	}
+	if res.DRAMUtilization <= 1 {
+		t.Errorf("expected DRAM oversubscription, got %v", res.DRAMUtilization)
+	}
+}
+
+func TestAnalyzeRateValidation(t *testing.T) {
+	chip := soc.Snapdragon835Like()
+	g := VideoCapture(FHD, 2)
+	if _, err := AnalyzeRate(g, chip, 0); err == nil {
+		t.Error("zero rate must be rejected")
+	}
+	if _, err := AnalyzeRate(g, chip, math.NaN()); err == nil {
+		t.Error("NaN rate must be rejected")
+	}
+	bad := &Graph{Name: "bad", Stages: []Stage{{Name: "s", Block: "NoSuchBlock", Ops: 1}}}
+	if _, err := AnalyzeRate(bad, chip, 30); err == nil {
+		t.Error("unknown block must be rejected")
+	}
+}
+
+func TestMaxRate(t *testing.T) {
+	chip := soc.Snapdragon835Like()
+	g := VideoCaptureHFR(UHD4K)
+	rate, limiter, err := MaxRate(g, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 || rate >= 240 {
+		t.Errorf("max 4K HFR rate = %v FPS, expected below 240", rate)
+	}
+	if limiter == "" {
+		t.Error("limiter must be named")
+	}
+	// Consistency: the graph is feasible just below the max rate and
+	// infeasible just above.
+	below, err := AnalyzeRate(g, chip, rate*0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !below.Feasible {
+		t.Error("rate just below max must be feasible")
+	}
+	above, err := AnalyzeRate(g, chip, rate*1.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if above.Feasible {
+		t.Error("rate just above max must be infeasible")
+	}
+}
+
+func TestMaxRate1080pFeasibleAt30(t *testing.T) {
+	chip := soc.Snapdragon835Like()
+	g := VideoCapture(FHD, 2)
+	rate, _, err := MaxRate(g, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 30 {
+		t.Errorf("1080p capture max rate = %v FPS, expected at least 30", rate)
+	}
+}
+
+func TestToGables(t *testing.T) {
+	chip := soc.Snapdragon835Like()
+	s, index, err := chip.ToGables("CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GoogleLens(FHD)
+	u, err := g.ToGables(len(s.IPs), index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.ValidateFor(s); err != nil {
+		t.Fatalf("derived usecase invalid: %v", err)
+	}
+	// Fractions must sum to 1 and the DSP must carry the dominant share
+	// (its inference stage has the most ops).
+	var sum, dspF float64
+	for i, w := range u.Work {
+		sum += w.Fraction
+		if i == index["DSP"] {
+			dspF = w.Fraction
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	if dspF < 0.3 {
+		t.Errorf("DSP fraction = %v, expected dominant", dspF)
+	}
+}
+
+func TestToGablesErrors(t *testing.T) {
+	g := &Graph{Name: "g", Stages: []Stage{{Name: "s", Block: "X", Ops: 1, BytesIn: 1}}}
+	if _, err := g.ToGables(2, map[string]int{}); err == nil {
+		t.Error("missing index entry must be rejected")
+	}
+	if _, err := g.ToGables(1, map[string]int{"X": 5}); err == nil {
+		t.Error("out-of-range index must be rejected")
+	}
+	noOps := &Graph{Name: "g", Stages: []Stage{{Name: "dma", Block: "X", BytesIn: 10}}}
+	if _, err := noOps.ToGables(1, map[string]int{"X": 0}); err == nil {
+		t.Error("graph with zero total ops must be rejected")
+	}
+}
+
+func TestLibraryGraphsValid(t *testing.T) {
+	chip := soc.Snapdragon835Like()
+	graphs := []*Graph{
+		StreamingWiFi(FHD, 30),
+		HDRPlus(UHD4K),
+		VideoCapture(UHD4K, 2),
+		VideoCaptureHFR(UHD4K),
+		VideoPlaybackUI(UHD4K),
+		GoogleLens(FHD),
+	}
+	for _, g := range graphs {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+			continue
+		}
+		// Every block the graph names must exist on the chip.
+		for _, b := range g.Blocks() {
+			if _, err := chip.Block(b); err != nil {
+				t.Errorf("%s: %v", g.Name, err)
+			}
+		}
+		// Every library graph must be analyzable end to end.
+		if _, _, err := MaxRate(g, chip); err != nil {
+			t.Errorf("%s: MaxRate: %v", g.Name, err)
+		}
+	}
+}
+
+func TestTableOne(t *testing.T) {
+	rows := TableOne()
+	if len(rows) != 5 {
+		t.Fatalf("Table I has %d rows, want 5", len(rows))
+	}
+	// Every row's active IPs must be Table I columns.
+	cols := map[string]bool{}
+	for _, c := range TableOneColumns {
+		cols[c] = true
+	}
+	for _, r := range rows {
+		for _, a := range r.Active {
+			if !cols[a] {
+				t.Errorf("%s: unknown IP column %q", r.Usecase, a)
+			}
+		}
+		// §II-B: at least half of all listed IPs... the paper says at
+		// least half of all IPs are concurrently active in camera
+		// usecases; each row lists 5–6 of the 10 columns.
+		if len(r.Active) < 5 {
+			t.Errorf("%s: only %d active IPs", r.Usecase, len(r.Active))
+		}
+		if !r.Uses("AP") {
+			t.Errorf("%s: CPU coordination means AP is always active", r.Usecase)
+		}
+	}
+	// Spot checks against the printed table.
+	if !rows[0].Uses("IPU") || rows[0].Uses("VDEC") {
+		t.Error("HDR+ row mismatch")
+	}
+	if !rows[3].Uses("VDEC") || rows[3].Uses("ISP") {
+		t.Error("Videoplayback UI row mismatch")
+	}
+	if !rows[4].Uses("DSP") {
+		t.Error("Google Lens row must use the DSP")
+	}
+}
+
+func TestAnalyzeTableOne(t *testing.T) {
+	stats := AnalyzeTableOne(TableOne())
+	if stats.MinActive < 5 || stats.MaxActive > 6 {
+		t.Errorf("stats = %+v, want 5..6 active", stats)
+	}
+	// Different usecases use different IP subsets (the paper's point) —
+	// Videocapture and its HFR variant share a set, so 4 distinct sets.
+	if stats.DistinctSets != 4 {
+		t.Errorf("distinct sets = %d, want 4", stats.DistinctSets)
+	}
+}
+
+func TestTableOneRowUses(t *testing.T) {
+	r := TableOneRow{Usecase: "x", Active: []string{"AP", "GPU"}}
+	if !r.Uses("GPU") || r.Uses("DSP") {
+		t.Error("Uses is wrong")
+	}
+}
+
+func TestResolutionHelpers(t *testing.T) {
+	if UHD4K.Pixels() != 3840*2160 {
+		t.Error("4K pixel count wrong")
+	}
+	if UHD4K.String() != "3840x2160" {
+		t.Errorf("String = %q", UHD4K.String())
+	}
+}

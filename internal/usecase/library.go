@@ -1,0 +1,176 @@
+package usecase
+
+import (
+	"github.com/gables-model/gables/internal/units"
+)
+
+// This file is the usecase library: dataflow graphs for the paper's
+// Figure 4 streaming scenario and the Table I camera usecases, with stage
+// demands sized from the §II-B frame math. Block names match the
+// soc.Snapdragon835Like catalog entry. Demands are per item — per video
+// frame for camera flows, per one second of stream for Figure 4.
+
+// opsPerByte scales a byte count into an op count at a given intensity,
+// keeping stage definitions readable.
+func opsPerByte(b units.Bytes, i float64) units.Ops { return units.Ops(float64(b) * i) }
+
+// StreamingWiFi builds the Figure 4 usecase: streaming Internet content
+// over WiFi. Per one second of a stream at the given video resolution and
+// frame rate: IP packets land in an insecure buffer, the crypto block
+// decrypts into secure memory, the demuxed video stream is decoded into
+// display frame buffers while audio is DMA'd to the audio DSP, and the
+// display controller consumes the frames.
+func StreamingWiFi(r Resolution, fps float64) *Graph {
+	const (
+		bitrate    = 20e6 / 8 // 20 Mb/s stream → bytes/s
+		audioBytes = 48000 * 4
+	)
+	frame := float64(FrameBytes(r, YUV420))
+	video := frame * fps
+	return &Graph{
+		Name: "Streaming Internet content over WiFi",
+		Stages: []Stage{
+			// Modem writes packet payloads to the insecure buffer.
+			{Name: "WiFi ingest", Block: "Modem",
+				Ops:      opsPerByte(bitrate, 0.5),
+				BytesOut: bitrate},
+			// CPU assembles application buffers and handles control.
+			{Name: "stream buffering", Block: "CPU",
+				Ops:     opsPerByte(bitrate, 2),
+				BytesIn: bitrate, BytesOut: bitrate},
+			// Crypto decrypts into secure memory.
+			{Name: "decrypt", Block: "Crypto",
+				Ops:     opsPerByte(bitrate, 4),
+				BytesIn: bitrate, BytesOut: bitrate},
+			// Video decoder reads the compressed stream and writes
+			// full frames.
+			{Name: "video decode", Block: "VDEC",
+				Ops:     units.Ops(video * 0.5),
+				BytesIn: units.Bytes(bitrate), BytesOut: units.Bytes(video)},
+			// Audio DSP DMAs its stream into SRAM and decodes.
+			{Name: "audio decode", Block: "Audio",
+				Ops:     opsPerByte(audioBytes, 8),
+				BytesIn: audioBytes},
+			// Display controller scans out each frame.
+			{Name: "display scanout", Block: "Display",
+				Ops:     units.Ops(video * 0.1),
+				BytesIn: units.Bytes(video)},
+		},
+	}
+}
+
+// cameraCommon returns the stages every camera usecase shares: sensor
+// frames through the ISP, a GPU preview path, and display scanout, plus
+// CPU coordination (the §II-B "third bottleneck": IP coordination routed
+// through the CPU).
+func cameraCommon(r Resolution, passes float64) []Stage {
+	frame := FrameBytes(r, YUV420)
+	raw := FrameBytes(r, RAW10)
+	return []Stage{
+		{Name: "ISP noise reduction", Block: "ISP",
+			Ops:     opsPerByte(frame, 6),
+			BytesIn: units.Bytes(float64(raw) + float64(frame)*(passes-1)), BytesOut: units.Bytes(float64(frame) * passes)},
+		{Name: "GPU preview render", Block: "GPU",
+			Ops:     opsPerByte(frame, 4),
+			BytesIn: frame, BytesOut: FrameBytes(FHD, RGBA8888)},
+		{Name: "display scanout", Block: "Display",
+			Ops:     opsPerByte(FrameBytes(FHD, RGBA8888), 0.1),
+			BytesIn: FrameBytes(FHD, RGBA8888)},
+		{Name: "CPU coordination", Block: "CPU",
+			Ops:     opsPerByte(frame, 0.3),
+			BytesIn: units.Bytes(float64(frame) * 0.1), BytesOut: units.Bytes(float64(frame) * 0.1)},
+	}
+}
+
+// HDRPlus builds the Table I "HDR+" usecase: a burst of frames fused by
+// the IPU (the Pixel-Visual-Core-style high-dynamic-range pipeline, §II-A)
+// with JPEG encoding of the result.
+func HDRPlus(r Resolution) *Graph {
+	frame := FrameBytes(r, YUV420)
+	burst := 5.0 // frames fused per output shot
+	return &Graph{
+		Name: "HDR+",
+		Stages: append(cameraCommon(r, 2), []Stage{
+			{Name: "IPU HDR fusion", Block: "IPU",
+				Ops:     opsPerByte(frame, 40),
+				BytesIn: units.Bytes(float64(frame) * burst), BytesOut: frame},
+			{Name: "JPEG encode", Block: "JPEG",
+				Ops:     opsPerByte(frame, 8),
+				BytesIn: frame, BytesOut: units.Bytes(float64(frame) * 0.1)},
+		}...),
+	}
+}
+
+// VideoCapture builds the Table I "Videocapture" usecase: camera frames
+// encoded by the video encoder with reference-frame traffic.
+func VideoCapture(r Resolution, referenceFrames int) *Graph {
+	frame := FrameBytes(r, YUV420)
+	refs := float64(referenceFrames)
+	return &Graph{
+		Name: "Videocapture",
+		Stages: append(cameraCommon(r, 2), Stage{
+			Name: "video encode", Block: "VENC",
+			Ops:     opsPerByte(frame, 10),
+			BytesIn: units.Bytes(float64(frame) * (1 + refs)), BytesOut: units.Bytes(float64(frame) * 0.1),
+		}),
+	}
+}
+
+// VideoCaptureHFR builds the Table I high-frame-rate capture variant: the
+// same stages as VideoCapture with the §II-B noise-reduction passes (WNR +
+// TNR) that track up to five reference frames through DRAM. The item rate
+// (e.g., 240 FPS) is applied by the rate analysis, not the graph.
+func VideoCaptureHFR(r Resolution) *Graph {
+	g := VideoCapture(r, 5)
+	g.Name = "Videocapture (HFR)"
+	// HFR adds a second noise-reduction pass: temporal NR over the
+	// wavelet-NR output.
+	frame := FrameBytes(r, YUV420)
+	g.Stages = append(g.Stages, Stage{
+		Name: "ISP temporal NR", Block: "ISP",
+		Ops:     opsPerByte(frame, 4),
+		BytesIn: units.Bytes(float64(frame) * 2), BytesOut: frame,
+	})
+	return g
+}
+
+// VideoPlaybackUI builds the Table I "Videoplayback UI" usecase: decode,
+// UI composition on the GPU with the 2D scaler, display scanout.
+func VideoPlaybackUI(r Resolution) *Graph {
+	frame := FrameBytes(r, YUV420)
+	ui := FrameBytes(FHD, RGBA8888)
+	return &Graph{
+		Name: "Videoplayback UI",
+		Stages: []Stage{
+			{Name: "video decode", Block: "VDEC",
+				Ops:     opsPerByte(frame, 5),
+				BytesIn: units.Bytes(float64(frame) * 0.1), BytesOut: frame},
+			{Name: "G2D scale", Block: "G2D",
+				Ops:     opsPerByte(frame, 1),
+				BytesIn: frame, BytesOut: ui},
+			{Name: "GPU UI composition", Block: "GPU",
+				Ops:     opsPerByte(ui, 4),
+				BytesIn: units.Bytes(float64(ui) * 2), BytesOut: ui},
+			{Name: "display scanout", Block: "Display",
+				Ops:     opsPerByte(ui, 0.1),
+				BytesIn: ui},
+			{Name: "CPU coordination", Block: "CPU",
+				Ops:     opsPerByte(frame, 0.2),
+				BytesIn: units.Bytes(float64(frame) * 0.05), BytesOut: units.Bytes(float64(frame) * 0.05)},
+		},
+	}
+}
+
+// GoogleLens builds the Table I "Google Lens" usecase: camera frames
+// analyzed by on-device vision models on the DSP.
+func GoogleLens(r Resolution) *Graph {
+	frame := FrameBytes(r, YUV420)
+	return &Graph{
+		Name: "Google Lens",
+		Stages: append(cameraCommon(r, 1), Stage{
+			Name: "DSP vision inference", Block: "DSP",
+			Ops:     opsPerByte(frame, 30),
+			BytesIn: frame, BytesOut: units.Bytes(float64(frame) * 0.01),
+		}),
+	}
+}

@@ -1,0 +1,152 @@
+package usecase
+
+import "github.com/gables-model/gables/internal/units"
+
+// This file extends the usecase library toward the paper's §I claim that
+// "a consumer SoC must enable 10-20 important usecases — like making a
+// phone call or watching a movie — to all run acceptably well", beyond the
+// camera flows of Table I. Block names match soc.Snapdragon835Like.
+
+// PhoneCall builds the voice-call usecase the paper names: modem uplink
+// and downlink, the audio DSP running the voice codec and echo
+// cancellation, and light CPU control. Item = one second of call.
+func PhoneCall() *Graph {
+	const voice = 64e3 / 8 // 64 kb/s codec → bytes/s
+	return &Graph{
+		Name: "Phone call",
+		Stages: []Stage{
+			{Name: "modem downlink", Block: "Modem",
+				Ops: opsPerByte(voice, 2), BytesOut: voice},
+			{Name: "voice decode + echo cancel", Block: "Audio",
+				Ops: units.Ops(200e6), BytesIn: voice, BytesOut: voice},
+			{Name: "modem uplink", Block: "Modem",
+				Ops: opsPerByte(voice, 2), BytesIn: voice},
+			{Name: "CPU call control", Block: "CPU",
+				Ops: units.Ops(20e6), BytesIn: 64e3, BytesOut: 64e3},
+		},
+	}
+}
+
+// MoviePlayback builds the "watching a movie" usecase: hardware video
+// decode, audio decode, display scanout, and CPU AV-sync. Item = one
+// second of a movie at the given resolution and frame rate.
+func MoviePlayback(r Resolution, fps float64) *Graph {
+	const bitrate = 8e6 / 8 // 8 Mb/s stream
+	frame := float64(FrameBytes(r, YUV420))
+	video := frame * fps
+	return &Graph{
+		Name: "Movie playback",
+		Stages: []Stage{
+			{Name: "video decode", Block: "VDEC",
+				Ops:     units.Ops(video * 0.5),
+				BytesIn: units.Bytes(bitrate), BytesOut: units.Bytes(video)},
+			{Name: "audio decode", Block: "Audio",
+				Ops: units.Ops(300e6), BytesIn: 48000 * 4},
+			{Name: "display scanout", Block: "Display",
+				Ops: units.Ops(video * 0.1), BytesIn: units.Bytes(video)},
+			{Name: "CPU AV sync", Block: "CPU",
+				Ops: units.Ops(50e6), BytesIn: units.Bytes(bitrate), BytesOut: units.Bytes(bitrate)},
+		},
+	}
+}
+
+// Gaming builds a 3D-game usecase: GPU rendering dominates, with CPU game
+// logic, audio mixing and display scanout. Item = one rendered frame.
+func Gaming(r Resolution) *Graph {
+	fb := FrameBytes(r, RGBA8888)
+	return &Graph{
+		Name: "3D gaming",
+		Stages: []Stage{
+			{Name: "CPU game logic", Block: "CPU",
+				Ops: opsPerByte(fb, 1), BytesIn: units.Bytes(float64(fb) * 0.2), BytesOut: units.Bytes(float64(fb) * 0.2)},
+			{Name: "GPU render", Block: "GPU",
+				Ops: opsPerByte(fb, 24), BytesIn: units.Bytes(float64(fb) * 3), BytesOut: fb},
+			{Name: "audio mix", Block: "Audio",
+				Ops: units.Ops(4e6), BytesIn: 48000 * 4 / 60},
+			{Name: "display scanout", Block: "Display",
+				Ops: opsPerByte(fb, 0.1), BytesIn: fb},
+		},
+	}
+}
+
+// VoiceAssistant builds the always-on keyword-spotting usecase that §IV-D
+// motivates the DSP scalar unit with ("designed to be (almost) always
+// on"). Item = one second of listening.
+func VoiceAssistant() *Graph {
+	const micBytes = 16000 * 2 // 16 kHz, 16-bit mono
+	return &Graph{
+		Name: "Voice assistant (always-on)",
+		Stages: []Stage{
+			{Name: "DSP keyword spotting", Block: "DSP",
+				Ops: units.Ops(500e6), BytesIn: micBytes},
+			{Name: "CPU wake handling", Block: "CPU",
+				Ops: units.Ops(5e6), BytesIn: 4096},
+		},
+	}
+}
+
+// PhotoEdit builds an on-device photo-editing usecase: GPU filters over a
+// full-resolution image with JPEG re-encode. Item = one edit operation.
+func PhotoEdit(r Resolution) *Graph {
+	img := FrameBytes(r, RGBA8888)
+	return &Graph{
+		Name: "Photo edit",
+		Stages: []Stage{
+			{Name: "JPEG decode", Block: "JPEG",
+				Ops: opsPerByte(img, 4), BytesIn: units.Bytes(float64(img) * 0.1), BytesOut: img},
+			{Name: "GPU filter", Block: "GPU",
+				Ops: opsPerByte(img, 16), BytesIn: img, BytesOut: img},
+			{Name: "CPU UI", Block: "CPU",
+				Ops: opsPerByte(img, 0.5), BytesIn: units.Bytes(float64(img) * 0.1)},
+			{Name: "JPEG encode", Block: "JPEG",
+				Ops: opsPerByte(img, 6), BytesIn: img, BytesOut: units.Bytes(float64(img) * 0.1)},
+			{Name: "display preview", Block: "Display",
+				Ops: opsPerByte(FrameBytes(FHD, RGBA8888), 0.1), BytesIn: FrameBytes(FHD, RGBA8888)},
+		},
+	}
+}
+
+// MusicPlayback builds the screen-off audio usecase: the little cores and
+// audio DSP only. Item = one second of music.
+func MusicPlayback() *Graph {
+	const stream = 320e3 / 8 // 320 kb/s
+	return &Graph{
+		Name: "Music playback (screen off)",
+		Stages: []Stage{
+			{Name: "audio decode", Block: "Audio",
+				Ops: units.Ops(400e6), BytesIn: stream, BytesOut: 48000 * 4},
+			{Name: "CPU housekeeping", Block: "CPU",
+				Ops: units.Ops(10e6), BytesIn: stream},
+		},
+	}
+}
+
+// VideoConference builds the two-way video-call usecase: simultaneous
+// capture+encode and decode+display plus network and audio — one of the
+// most concurrent flows a phone runs. Item = one second of call.
+func VideoConference(r Resolution, fps float64) *Graph {
+	frame := float64(FrameBytes(r, YUV420))
+	video := frame * fps
+	const net = 4e6 / 8 // 4 Mb/s each way
+	return &Graph{
+		Name: "Video conference",
+		Stages: []Stage{
+			{Name: "ISP capture", Block: "ISP",
+				Ops: units.Ops(video * 4), BytesIn: units.Bytes(video), BytesOut: units.Bytes(video)},
+			{Name: "video encode", Block: "VENC",
+				Ops: units.Ops(video * 8), BytesIn: units.Bytes(video * 2), BytesOut: net},
+			{Name: "video decode", Block: "VDEC",
+				Ops: units.Ops(video * 4), BytesIn: net, BytesOut: units.Bytes(video)},
+			{Name: "modem up+down", Block: "Modem",
+				Ops: opsPerByte(2*net, 1), BytesIn: net, BytesOut: net},
+			{Name: "audio duplex", Block: "Audio",
+				Ops: units.Ops(400e6), BytesIn: 48000 * 4, BytesOut: 48000 * 4},
+			{Name: "GPU composition", Block: "GPU",
+				Ops: units.Ops(video * 2), BytesIn: units.Bytes(video), BytesOut: units.Bytes(float64(FrameBytes(FHD, RGBA8888)) * fps)},
+			{Name: "display scanout", Block: "Display",
+				Ops: units.Ops(video * 0.1), BytesIn: units.Bytes(float64(FrameBytes(FHD, RGBA8888)) * fps)},
+			{Name: "CPU orchestration", Block: "CPU",
+				Ops: units.Ops(video * 0.5), BytesIn: units.Bytes(video * 0.1), BytesOut: units.Bytes(video * 0.1)},
+		},
+	}
+}

@@ -1,0 +1,129 @@
+package usecase
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/soc"
+)
+
+func TestNewLibraryGraphsValid(t *testing.T) {
+	chip := soc.Snapdragon835Like()
+	graphs := []*Graph{
+		PhoneCall(),
+		MoviePlayback(UHD4K, 30),
+		Gaming(FHD),
+		VoiceAssistant(),
+		PhotoEdit(UHD4K),
+		MusicPlayback(),
+		VideoConference(HD720, 30),
+	}
+	for _, g := range graphs {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+			continue
+		}
+		for _, b := range g.Blocks() {
+			if _, err := chip.Block(b); err != nil {
+				t.Errorf("%s: %v", g.Name, err)
+			}
+		}
+		if _, _, err := MaxRate(g, chip); err != nil {
+			t.Errorf("%s: MaxRate: %v", g.Name, err)
+		}
+	}
+}
+
+func TestLightUsecasesAreEasy(t *testing.T) {
+	// A phone call and music playback barely tax a flagship chip.
+	chip := soc.Snapdragon835Like()
+	for _, g := range []*Graph{PhoneCall(), MusicPlayback(), VoiceAssistant()} {
+		rate, _, err := MaxRate(g, chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate < 5 {
+			t.Errorf("%s: max rate %v, expected ample headroom (>5x real time)", g.Name, rate)
+		}
+	}
+}
+
+func TestAnalyzeSuite(t *testing.T) {
+	chip := soc.Snapdragon835Like()
+	rep, err := AnalyzeSuite(chip, StandardSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 13 {
+		t.Fatalf("entries = %d, want 13", len(rep.Entries))
+	}
+	if rep.Chip != chip.Name {
+		t.Errorf("chip = %q", rep.Chip)
+	}
+	// Every entry must carry a limiter and a consistent margin.
+	for _, e := range rep.Entries {
+		if e.Limiter == "" {
+			t.Errorf("%s: no limiter", e.Usecase)
+		}
+		if e.Met != (e.Margin >= 1) {
+			t.Errorf("%s: met flag inconsistent with margin %v", e.Usecase, e.Margin)
+		}
+	}
+	// The binding entry really is the worst margin.
+	for _, e := range rep.Entries {
+		if e.Margin < rep.Entries[rep.Binding].Margin {
+			t.Errorf("binding entry %q not the worst margin", rep.Entries[rep.Binding].Usecase)
+		}
+	}
+	// The paper's point on the 835-like chip: 4K HFR at 120+ FPS is the
+	// requirement that breaks, so AllMet is false and the binding
+	// usecase is the HFR capture.
+	if rep.AllMet {
+		t.Error("the 4K HFR requirement must fail on a 30 GB/s-class chip")
+	}
+	if rep.Entries[rep.Binding].Usecase != "Videocapture (HFR)" {
+		t.Errorf("binding usecase = %q, want the HFR capture", rep.Entries[rep.Binding].Usecase)
+	}
+	// Everyday usecases must all pass.
+	for _, e := range rep.Entries {
+		switch e.Usecase {
+		case "Phone call", "Music playback (screen off)", "Movie playback", "Voice assistant (always-on)":
+			if !e.Met {
+				t.Errorf("%s must be acceptable, margin %v (limited by %s)", e.Usecase, e.Margin, e.Limiter)
+			}
+		}
+	}
+}
+
+func TestAnalyzeSuiteValidation(t *testing.T) {
+	chip := soc.Snapdragon835Like()
+	if _, err := AnalyzeSuite(chip, nil); err == nil {
+		t.Error("empty suite must be rejected")
+	}
+	if _, err := AnalyzeSuite(chip, []Requirement{{Graph: nil, TargetRate: 1}}); err == nil {
+		t.Error("nil graph must be rejected")
+	}
+	if _, err := AnalyzeSuite(chip, []Requirement{{Graph: PhoneCall(), TargetRate: 0}}); err == nil {
+		t.Error("zero target must be rejected")
+	}
+}
+
+func TestSuiteAverageIsImmaterial(t *testing.T) {
+	// §I: "The average is immaterial." A suite can have a stellar
+	// average margin while still failing its binding usecase.
+	chip := soc.Snapdragon835Like()
+	rep, err := AnalyzeSuite(chip, StandardSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := 0.0
+	for _, e := range rep.Entries {
+		avg += e.Margin
+	}
+	avg /= float64(len(rep.Entries))
+	if avg <= 1 {
+		t.Skip("suite average happens to be below 1; the property is vacuous here")
+	}
+	if rep.AllMet {
+		t.Error("a passing average must not imply a passing suite")
+	}
+}

@@ -1,0 +1,72 @@
+package usecase
+
+import (
+	"sort"
+	"strings"
+)
+
+// TableOneColumns lists the IP columns of the paper's Table I, in the
+// paper's order: AP (application processor / CPU complex), Display, G2DS
+// (2D graphics/scaler), GPU, ISP, JPEG, IPU, VDEC, VENC, DSP.
+var TableOneColumns = []string{
+	"AP", "Display", "G2DS", "GPU", "ISP", "JPEG", "IPU", "VDEC", "VENC", "DSP",
+}
+
+// TableOneRow is one usecase row of Table I: which IPs run concurrently.
+type TableOneRow struct {
+	Usecase string
+	Active  []string
+}
+
+// TableOne reproduces the paper's Table I: five camera-application
+// usecases and the IPs each exercises concurrently.
+func TableOne() []TableOneRow {
+	return []TableOneRow{
+		{Usecase: "HDR+", Active: []string{"AP", "Display", "GPU", "ISP", "JPEG", "IPU"}},
+		{Usecase: "Videocapture", Active: []string{"AP", "Display", "GPU", "ISP", "VENC"}},
+		{Usecase: "Videocapture (HFR)", Active: []string{"AP", "Display", "GPU", "ISP", "VENC"}},
+		{Usecase: "Videoplayback UI", Active: []string{"AP", "Display", "G2DS", "GPU", "VDEC"}},
+		{Usecase: "Google Lens", Active: []string{"AP", "Display", "GPU", "ISP", "DSP"}},
+	}
+}
+
+// Uses reports whether the row exercises the named IP.
+func (r TableOneRow) Uses(ip string) bool {
+	for _, a := range r.Active {
+		if a == ip {
+			return true
+		}
+	}
+	return false
+}
+
+// ConcurrencyStats summarizes Table I the way the paper's §II-B narrative
+// does: in every usecase at least half of the listed IPs are concurrently
+// active, and different usecases use different IP subsets.
+type ConcurrencyStats struct {
+	// MinActive and MaxActive are the smallest and largest counts of
+	// concurrently active IPs across usecases.
+	MinActive, MaxActive int
+	// DistinctSets is the number of distinct IP subsets across usecases.
+	DistinctSets int
+}
+
+// AnalyzeTableOne computes concurrency statistics over rows.
+func AnalyzeTableOne(rows []TableOneRow) ConcurrencyStats {
+	stats := ConcurrencyStats{}
+	sets := make(map[string]bool)
+	for i, r := range rows {
+		n := len(r.Active)
+		if i == 0 || n < stats.MinActive {
+			stats.MinActive = n
+		}
+		if n > stats.MaxActive {
+			stats.MaxActive = n
+		}
+		key := append([]string(nil), r.Active...)
+		sort.Strings(key)
+		sets[strings.Join(key, ",")] = true
+	}
+	stats.DistinctSets = len(sets)
+	return stats
+}

@@ -1,0 +1,104 @@
+package web
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestEvaluateThreeDefaults(t *testing.T) {
+	ev, err := EvaluateThree(DefaultThreeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Terms) != 4 { // three IPs + memory
+		t.Errorf("terms = %d, want 4", len(ev.Terms))
+	}
+	if !strings.Contains(string(ev.SVG), "</svg>") {
+		t.Error("SVG missing")
+	}
+	if ev.Attainable == "" || ev.Bottleneck == "" {
+		t.Error("result fields missing")
+	}
+}
+
+func TestEvaluateThreeValidation(t *testing.T) {
+	bad := DefaultThreeParams()
+	bad.F1, bad.F2 = 0.7, 0.7
+	if _, err := EvaluateThree(bad); err == nil {
+		t.Error("f1+f2 > 1 must be rejected")
+	}
+	bad = DefaultThreeParams()
+	bad.A2 = 0
+	if _, err := EvaluateThree(bad); err == nil {
+		t.Error("zero acceleration must be rejected")
+	}
+	bad = DefaultThreeParams()
+	bad.I2 = -1
+	if _, err := EvaluateThree(bad); err == nil {
+		t.Error("negative intensity must be rejected")
+	}
+}
+
+func TestEvaluateThreeIdleIP(t *testing.T) {
+	// f2 = 0 leaves the DSP idle: only 3 terms.
+	p := DefaultThreeParams()
+	p.F2 = 0
+	ev, err := EvaluateThree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Terms) != 3 {
+		t.Errorf("terms = %d, want 3 with an idle IP", len(ev.Terms))
+	}
+}
+
+func TestThreeHandler(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/three")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	html := string(body)
+	for _, want := range []string{"three-IP", "IP[2]", "</svg>"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+
+	// Bad parameters render an error, not a 500.
+	resp2, err := http.Get(srv.URL + "/three?f1=0.9&f2=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, _ := io.ReadAll(resp2.Body)
+	// Note: "+" is HTML-escaped in the rendered message.
+	if !strings.Contains(string(body2), "fractions must be non-negative") {
+		t.Error("error message missing")
+	}
+}
+
+func TestTwoPageLinksToThree(t *testing.T) {
+	// Cross-navigation: the three-IP page links back to "/".
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/three")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `href="/"`) {
+		t.Error("three-IP page must link to the two-IP page")
+	}
+}

@@ -1,0 +1,129 @@
+package web
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestEvaluateDefaults(t *testing.T) {
+	ev, err := Evaluate(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The defaults are the paper's Figure 6b: 1.328 Gops/s, memory bound.
+	if !strings.Contains(ev.Attainable, "1.328") {
+		t.Errorf("attainable = %q, want 1.328 Gops/s", ev.Attainable)
+	}
+	if !strings.Contains(ev.Bottleneck, "memory") {
+		t.Errorf("bottleneck = %q, want memory", ev.Bottleneck)
+	}
+	if len(ev.Terms) != 3 {
+		t.Errorf("terms = %d, want 3", len(ev.Terms))
+	}
+	if !strings.Contains(string(ev.SVG), "</svg>") {
+		t.Error("SVG missing")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	bad := DefaultParams()
+	bad.F = 2
+	if _, err := Evaluate(bad); err == nil {
+		t.Error("f > 1 must be rejected")
+	}
+	bad = DefaultParams()
+	bad.PpeakGops = 0
+	if _, err := Evaluate(bad); err == nil {
+		t.Error("zero Ppeak must be rejected")
+	}
+	bad = DefaultParams()
+	bad.I1 = -1
+	if _, err := Evaluate(bad); err == nil {
+		t.Error("negative intensity must be rejected")
+	}
+}
+
+func TestHandlerServesPage(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(body)
+	for _, want := range []string{"Gables", "1.328 Gops/s", "</svg>", "memory interface"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
+func TestHandlerQueryParameters(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	// Figure 6d: balanced 160 Gops/s.
+	resp, err := http.Get(srv.URL + "/?bpeak=20&i1=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "160 Gops/s") {
+		t.Errorf("Fig 6d parameters must show 160 Gops/s")
+	}
+}
+
+func TestHandlerBadParamsShowError(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/?f=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (page should render with an error message)", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "must be in [0,1]") {
+		t.Error("error message missing")
+	}
+}
+
+func TestHandlerNotFound(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestParseParamsIgnoresGarbage(t *testing.T) {
+	req := httptest.NewRequest("GET", "/?ppeak=banana&f=0.5", nil)
+	p := parseParams(req)
+	if p.PpeakGops != DefaultParams().PpeakGops {
+		t.Error("unparseable values must keep defaults")
+	}
+	if p.F != 0.5 {
+		t.Error("valid values must apply")
+	}
+}

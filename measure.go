@@ -1,0 +1,70 @@
+package gables
+
+import (
+	"github.com/gables-model/gables/internal/erb"
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/sim"
+)
+
+// Simulated-SoC measurement (see internal/sim and internal/erb): the
+// repository's substitute for the paper's Snapdragon silicon. A SimSystem
+// executes the Algorithm 1 micro-benchmark on simulated IPs; the harness
+// functions apply the §IV methodology to it.
+type (
+	// SimConfig describes a simulated SoC.
+	SimConfig = sim.Config
+	// SimSystem is a validated simulated SoC.
+	SimSystem = sim.System
+	// SimAssignment gives one simulated IP a kernel.
+	SimAssignment = sim.Assignment
+	// SimRunOptions control coordination and thermal modeling.
+	SimRunOptions = sim.RunOptions
+	// SimResult is a measurement run's outcome.
+	SimResult = sim.RunResult
+
+	// Kernel is an Algorithm 1 micro-benchmark descriptor.
+	Kernel = kernel.Kernel
+	// KernelPattern selects the access variant.
+	KernelPattern = kernel.Pattern
+
+	// SweepOptions configure an empirical roofline measurement.
+	SweepOptions = erb.SweepOptions
+	// MixingOptions configure the §IV-C mixing experiment.
+	MixingOptions = erb.MixingOptions
+	// MixingResult is the Figure 8 grid.
+	MixingResult = erb.MixingResult
+)
+
+// Kernel access patterns.
+const (
+	// ReadWrite is the CPU/DSP kernel variant.
+	ReadWrite = kernel.ReadWrite
+	// ReadOnly is the bandwidth sanity-check variant.
+	ReadOnly = kernel.ReadOnly
+	// StreamCopy is the GPU variant.
+	StreamCopy = kernel.StreamCopy
+)
+
+// Simulated chip presets and harness entry points.
+var (
+	// SimSnapdragon835 is the calibrated simulated chip whose measured
+	// ceilings match the paper's Figures 7a, 7b and 9.
+	SimSnapdragon835 = sim.Snapdragon835
+	// SimSnapdragon821 is the older measured chipset.
+	SimSnapdragon821 = sim.Snapdragon821
+
+	// NewSimSystem validates a configuration.
+	NewSimSystem = sim.New
+	// MeasureRoofline sweeps the kernel on one simulated IP and fits
+	// its pessimistic roofline (§IV-B).
+	MeasureRoofline = erb.MeasureRoofline
+	// Mixing runs the §IV-C CPU+accelerator work-split experiment.
+	Mixing = erb.Mixing
+	// DeriveGables assembles a core SoC description from measured
+	// rooflines — the §IV → §III bridge.
+	DeriveGables = erb.DeriveGables
+
+	// RunNativeKernel executes Algorithm 1 on the host CPU, the code
+	// path a real Gables evaluation runs on silicon.
+	RunNativeKernel = kernel.RunNative
+)

@@ -1,0 +1,22 @@
+package gables
+
+import "github.com/gables-model/gables/internal/spec"
+
+// JSON model and chip I/O (see internal/spec for the formats).
+type (
+	// SpecDocument is a JSON SoC+usecases description.
+	SpecDocument = spec.Document
+	// ChipDocument is a JSON block-level chip description.
+	ChipDocument = spec.ChipDoc
+)
+
+var (
+	// ParseSpec decodes and validates a model spec.
+	ParseSpec = spec.Parse
+	// ParseChip decodes and validates a block-level chip spec.
+	ParseChip = spec.ParseChip
+	// ChipToSpec serializes a chip for editing or versioning.
+	ChipToSpec = spec.FromChip
+	// ModelToSpec serializes a model plus usecases.
+	ModelToSpec = spec.FromModel
+)
