@@ -3,19 +3,27 @@
 // rows/series the paper reports, writes each figure as an SVG, and emits a
 // paper-vs-measured summary (the source of EXPERIMENTS.md).
 //
+// Artifacts are computed and rendered concurrently on a bounded worker pool
+// (-j, else GABLES_PARALLEL, else GOMAXPROCS) and then printed in registry
+// order, so the output is byte-identical whatever the pool size.
+//
 // Usage:
 //
-//	gables-repro [-only id] [-dir out] [-list]
+//	gables-repro [-only id] [-dir out] [-j n] [-list]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"github.com/gables-model/gables/internal/experiments"
+	"github.com/gables-model/gables/internal/parallel"
 )
 
 func main() {
@@ -23,6 +31,7 @@ func main() {
 	dir := flag.String("dir", "", "write figure SVGs into this directory")
 	csv := flag.Bool("csv", false, "also write each table as CSV into -dir")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jobs := flag.Int("j", 0, "worker pool size (0 = $"+parallel.EnvVar+" or GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -31,13 +40,27 @@ func main() {
 		}
 		return
 	}
-	if err := run(*only, *dir, *csv); err != nil {
+	if err := run(os.Stdout, *only, *dir, *csv, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "gables-repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(only, dir string, csv bool) error {
+// renderedFile is one artifact output file, rendered in memory during the
+// parallel phase and written to disk during the ordered print phase.
+type renderedFile struct {
+	name string
+	data string
+}
+
+// artifactOutput bundles an artifact with its pre-rendered files.
+type artifactOutput struct {
+	art  *experiments.Artifact
+	csvs []renderedFile
+	svgs []renderedFile
+}
+
+func run(w io.Writer, only, dir string, csv bool, jobs int) error {
 	ids := experiments.IDs()
 	if only != "" {
 		ids = []string{only}
@@ -48,22 +71,59 @@ func run(only, dir string, csv bool) error {
 		}
 	}
 
+	// Phase 1: run every experiment and render its files concurrently.
+	// Results come back in ids order regardless of completion order.
+	outs, err := parallel.Map(context.Background(), jobs, ids,
+		func(_ context.Context, _ int, id string) (*artifactOutput, error) {
+			art, err := experiments.Run(id)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", id, err)
+			}
+			o := &artifactOutput{art: art}
+			if dir != "" && csv {
+				for ti, tbl := range art.Tables {
+					o.csvs = append(o.csvs, renderedFile{
+						name: fmt.Sprintf("%s_table%d.csv", art.ID, ti),
+						data: tbl.CSV(),
+					})
+				}
+			}
+			if dir != "" {
+				for _, name := range sortedKeys(art.Charts) {
+					svg, err := art.Charts[name].SVG(900, 560)
+					if err != nil {
+						return nil, fmt.Errorf("%s: chart %s: %w", id, name, err)
+					}
+					o.svgs = append(o.svgs, renderedFile{name: name + ".svg", data: svg})
+				}
+				for _, name := range sortedKeys(art.Heatmaps) {
+					svg, err := art.Heatmaps[name].SVG(900, 420)
+					if err != nil {
+						return nil, fmt.Errorf("%s: heatmap %s: %w", id, name, err)
+					}
+					o.svgs = append(o.svgs, renderedFile{name: name + ".svg", data: svg})
+				}
+			}
+			return o, nil
+		})
+	if err != nil {
+		return err
+	}
+
+	// Phase 2: print reports and write files sequentially, in ids order.
 	failures := 0
 	var summary []string
-	for _, id := range ids {
-		art, err := experiments.Run(id)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		fmt.Printf("==== %s: %s ====\n\n", art.ID, art.Title)
+	for _, o := range outs {
+		art := o.art
+		fmt.Fprintf(w, "==== %s: %s ====\n\n", art.ID, art.Title)
 		for _, tbl := range art.Tables {
-			if err := tbl.WriteText(os.Stdout); err != nil {
+			if err := tbl.WriteText(w); err != nil {
 				return err
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 		for _, n := range art.Notes {
-			fmt.Printf("note: %s\n", n)
+			fmt.Fprintf(w, "note: %s\n", n)
 		}
 		for _, c := range art.Checks {
 			status := "OK "
@@ -72,50 +132,33 @@ func run(only, dir string, csv bool) error {
 				failures++
 			}
 			line := fmt.Sprintf("[%s] %s — paper: %s; measured: %s", status, c.Metric, c.Paper, c.Measured)
-			fmt.Println(line)
+			fmt.Fprintln(w, line)
 			summary = append(summary, fmt.Sprintf("%-8s %s", art.ID, line))
 		}
-		if dir != "" && csv {
-			for ti, tbl := range art.Tables {
-				path := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", art.ID, ti))
-				if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
-					return err
-				}
-				fmt.Printf("wrote %s\n", path)
+		for _, f := range append(o.csvs, o.svgs...) {
+			path := filepath.Join(dir, f.name)
+			if err := os.WriteFile(path, []byte(f.data), 0o644); err != nil {
+				return err
 			}
+			fmt.Fprintf(w, "wrote %s\n", path)
 		}
-		if dir != "" {
-			for name, ch := range art.Charts {
-				svg, err := ch.SVG(900, 560)
-				if err != nil {
-					return fmt.Errorf("%s: chart %s: %w", id, name, err)
-				}
-				path := filepath.Join(dir, name+".svg")
-				if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
-					return err
-				}
-				fmt.Printf("wrote %s\n", path)
-			}
-			for name, hm := range art.Heatmaps {
-				svg, err := hm.SVG(900, 420)
-				if err != nil {
-					return fmt.Errorf("%s: heatmap %s: %w", id, name, err)
-				}
-				path := filepath.Join(dir, name+".svg")
-				if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
-					return err
-				}
-				fmt.Printf("wrote %s\n", path)
-			}
-		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
-	fmt.Println("==== paper-vs-measured summary ====")
-	fmt.Println(strings.Join(summary, "\n"))
+	fmt.Fprintln(w, "==== paper-vs-measured summary ====")
+	fmt.Fprintln(w, strings.Join(summary, "\n"))
 	if failures > 0 {
 		return fmt.Errorf("%d checks failed", failures)
 	}
-	fmt.Printf("\nall %d checks passed across %d experiments\n", len(summary), len(ids))
+	fmt.Fprintf(w, "\nall %d checks passed across %d experiments\n", len(summary), len(ids))
 	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

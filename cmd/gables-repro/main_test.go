@@ -1,14 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("fig6", dir, true); err != nil {
+	if err := run(io.Discard, "fig6", dir, true, 0); err != nil {
 		t.Fatalf("fig6 repro failed: %v", err)
 	}
 	// Four multi-roofline SVGs plus the table CSV.
@@ -34,13 +37,63 @@ func TestRunSingleExperiment(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if err := run("nope", "", false); err == nil {
+	if err := run(io.Discard, "nope", "", false, 0); err == nil {
 		t.Error("unknown experiment must fail")
 	}
 }
 
 func TestRunNoDir(t *testing.T) {
-	if err := run("table2", "", false); err != nil {
+	if err := run(io.Discard, "table2", "", false, 0); err != nil {
 		t.Fatalf("dir-less run failed: %v", err)
 	}
+}
+
+// TestRunDeterministicAcrossPoolSizes is the acceptance criterion: the full
+// harness output must be byte-identical between a single worker and a wide
+// pool, including every rendered artifact file.
+func TestRunDeterministicAcrossPoolSizes(t *testing.T) {
+	var seq, par bytes.Buffer
+	seqDir, parDir := t.TempDir(), t.TempDir()
+	if err := run(&seq, "", seqDir, true, 1); err != nil {
+		t.Fatalf("sequential run failed: %v", err)
+	}
+	if err := run(&par, "", parDir, true, 8); err != nil {
+		t.Fatalf("parallel run failed: %v", err)
+	}
+	// The temp dir name is the only legitimate difference in the "wrote"
+	// lines; normalize it away before comparing.
+	seqOut := strings.ReplaceAll(seq.String(), seqDir, "DIR")
+	parOut := strings.ReplaceAll(par.String(), parDir, "DIR")
+	if seqOut != parOut {
+		t.Error("stdout differs between -j1 and -j8")
+	}
+	seqFiles, parFiles := readAll(t, seqDir), readAll(t, parDir)
+	if len(seqFiles) == 0 {
+		t.Fatal("sequential run wrote no artifact files")
+	}
+	if len(seqFiles) != len(parFiles) {
+		t.Fatalf("file count differs: %d sequential vs %d parallel", len(seqFiles), len(parFiles))
+	}
+	for name, data := range seqFiles {
+		if !bytes.Equal(data, parFiles[name]) {
+			t.Errorf("artifact %s differs between -j1 and -j8", name)
+		}
+	}
+}
+
+func readAll(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
 }

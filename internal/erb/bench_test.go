@@ -1,0 +1,46 @@
+package erb
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/sim"
+)
+
+func benchSystem(b *testing.B) *sim.System {
+	b.Helper()
+	s, err := sim.New(sim.Snapdragon835())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// The grid benchmarks compare one worker against the GOMAXPROCS pool over
+// the same (fraction x intensity) cells; on one core they coincide.
+func benchValidate(b *testing.B, workers int) {
+	sys := benchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ValidateModel(sys, ValidationOptions{CPU: "CPU", Accel: "GPU", Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidateModelSequential(b *testing.B) { benchValidate(b, 1) }
+func BenchmarkValidateModelParallel(b *testing.B)   { benchValidate(b, 0) }
+
+func benchMixing(b *testing.B, workers int) {
+	sys := benchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mixing(sys, MixingOptions{CPU: "CPU", Accel: "GPU", Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMixingSequential(b *testing.B) { benchMixing(b, 1) }
+func BenchmarkMixingParallel(b *testing.B)   { benchMixing(b, 0) }

@@ -7,10 +7,12 @@
 package erb
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/gables-model/gables/internal/core"
 	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/parallel"
 	"github.com/gables-model/gables/internal/roofline"
 	"github.com/gables-model/gables/internal/sim"
 	"github.com/gables-model/gables/internal/units"
@@ -30,6 +32,9 @@ type SweepOptions struct {
 	// MaxExp sweeps flops-per-word over powers of two up to 2^MaxExp;
 	// defaults to 11 (1..2048).
 	MaxExp int
+	// Workers bounds the sweep's worker pool; 0 uses the
+	// GABLES_PARALLEL/GOMAXPROCS default.
+	Workers int
 }
 
 func (o *SweepOptions) applyDefaults() {
@@ -54,21 +59,30 @@ func MeasureRoofline(sys *sim.System, ipName string, opts SweepOptions) ([]roofl
 	if err != nil {
 		return nil, nil, err
 	}
-	var pts []roofline.Point
-	for _, k := range kernels {
-		res, err := sys.Run([]sim.Assignment{{IP: ipName, Kernel: k}}, sim.RunOptions{})
-		if err != nil {
-			return nil, nil, fmt.Errorf("erb: sweep %s: %w", k.Name, err)
-		}
-		r := res.IPs[0]
-		if r.Bytes <= 0 || r.Rate <= 0 {
-			return nil, nil, fmt.Errorf("erb: sweep %s: degenerate measurement", k.Name)
-		}
-		pts = append(pts, roofline.Point{
-			// Intensity as observed: flops per byte actually moved.
-			Intensity:  units.Intensity(r.Flops / r.Bytes),
-			Attainable: units.OpsPerSec(r.Rate),
+	// Each intensity point is an independent measurement; each owns its
+	// own sim.System because the engine inside a run is not goroutine-safe.
+	pts, err := parallel.Map(context.Background(), opts.Workers, kernels,
+		func(_ context.Context, _ int, k kernel.Kernel) (roofline.Point, error) {
+			ptSys, err := sim.New(sys.Config())
+			if err != nil {
+				return roofline.Point{}, err
+			}
+			res, err := ptSys.Run([]sim.Assignment{{IP: ipName, Kernel: k}}, sim.RunOptions{})
+			if err != nil {
+				return roofline.Point{}, fmt.Errorf("erb: sweep %s: %w", k.Name, err)
+			}
+			r := res.IPs[0]
+			if r.Bytes <= 0 || r.Rate <= 0 {
+				return roofline.Point{}, fmt.Errorf("erb: sweep %s: degenerate measurement", k.Name)
+			}
+			return roofline.Point{
+				// Intensity as observed: flops per byte actually moved.
+				Intensity:  units.Intensity(r.Flops / r.Bytes),
+				Attainable: units.OpsPerSec(r.Rate),
+			}, nil
 		})
+	if err != nil {
+		return nil, nil, err
 	}
 	fit, err := roofline.Fit(ipName, pts)
 	if err != nil {
@@ -141,6 +155,9 @@ type MixingOptions struct {
 	Words int
 	// Trials defaults to 2.
 	Trials int
+	// Workers bounds the grid's worker pool; 0 uses the
+	// GABLES_PARALLEL/GOMAXPROCS default.
+	Workers int
 }
 
 func (o *MixingOptions) applyDefaults() {
@@ -184,7 +201,14 @@ func Mixing(sys *sim.System, opts MixingOptions) (*MixingResult, error) {
 		}
 	}
 
+	// run measures one cell on its own freshly instantiated system: cells
+	// execute concurrently and the engine inside a run is not
+	// goroutine-safe, so they never share a System.
 	run := func(f float64, fpw int) (float64, error) {
+		cellSys, err := sim.New(sys.Config())
+		if err != nil {
+			return 0, err
+		}
 		cpuWords := int(float64(opts.Words) * (1 - f))
 		accWords := opts.Words - cpuWords
 		var assignments []sim.Assignment
@@ -206,7 +230,7 @@ func Mixing(sys *sim.System, opts MixingOptions) (*MixingResult, error) {
 				},
 			})
 		}
-		res, err := sys.Run(assignments, sim.RunOptions{Coordination: true})
+		res, err := cellSys.Run(assignments, sim.RunOptions{Coordination: true})
 		if err != nil {
 			return 0, err
 		}
@@ -220,20 +244,32 @@ func Mixing(sys *sim.System, opts MixingOptions) (*MixingResult, error) {
 	if baseline <= 0 {
 		return nil, fmt.Errorf("erb: mixing baseline rate is zero")
 	}
-	out := &MixingResult{BaselineRate: baseline}
+
+	type gridCell struct {
+		fpw int
+		f   float64
+	}
+	var grid []gridCell
 	for _, fpw := range opts.FlopsPerWord {
 		for _, f := range opts.Fractions {
-			rate, err := run(f, fpw)
-			if err != nil {
-				return nil, fmt.Errorf("erb: mixing f=%v fpw=%d: %w", f, fpw, err)
-			}
-			out.Points = append(out.Points, MixingPoint{
-				F: f, FlopsPerWord: fpw,
-				Rate: rate, Normalized: rate / baseline,
-			})
+			grid = append(grid, gridCell{fpw: fpw, f: f})
 		}
 	}
-	return out, nil
+	points, err := parallel.Map(context.Background(), opts.Workers, grid,
+		func(_ context.Context, _ int, c gridCell) (MixingPoint, error) {
+			rate, err := run(c.f, c.fpw)
+			if err != nil {
+				return MixingPoint{}, fmt.Errorf("erb: mixing f=%v fpw=%d: %w", c.f, c.fpw, err)
+			}
+			return MixingPoint{
+				F: c.f, FlopsPerWord: c.fpw,
+				Rate: rate, Normalized: rate / baseline,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &MixingResult{BaselineRate: baseline, Points: points}, nil
 }
 
 // Line extracts one intensity line of the grid, in fraction order.

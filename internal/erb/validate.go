@@ -1,11 +1,13 @@
 package erb
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"github.com/gables-model/gables/internal/core"
 	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/parallel"
 	"github.com/gables-model/gables/internal/sim"
 	"github.com/gables-model/gables/internal/units"
 )
@@ -59,6 +61,9 @@ type ValidationOptions struct {
 	Words int
 	// Trials defaults to 2.
 	Trials int
+	// Workers bounds the grid's worker pool; 0 uses the
+	// GABLES_PARALLEL/GOMAXPROCS default.
+	Workers int
 }
 
 func (o *ValidationOptions) applyDefaults() {
@@ -100,49 +105,72 @@ func ValidateModel(sys *sim.System, opts ValidationOptions) (*ValidationResult, 
 		return nil, err
 	}
 
-	res := &ValidationResult{ShapeConsistent: true}
+	// The grid cells are fully independent; fan them out. Each cell owns
+	// its own sim.System (the engine inside a run is not goroutine-safe),
+	// and cells are collected in grid order so the aggregates below are
+	// byte-identical at any pool size.
+	type gridCell struct {
+		fpw int
+		f   float64
+	}
+	var grid []gridCell
 	for _, fpw := range opts.FlopsPerWord {
-		intensity := units.Intensity(float64(fpw) / 8)
 		for _, f := range opts.Fractions {
-			u, err := core.TwoIPUsecase("cell", f, intensity, intensity)
+			grid = append(grid, gridCell{fpw: fpw, f: f})
+		}
+	}
+	cells, err := parallel.Map(context.Background(), opts.Workers, grid,
+		func(_ context.Context, _ int, c gridCell) (ValidationCell, error) {
+			intensity := units.Intensity(float64(c.fpw) / 8)
+			u, err := core.TwoIPUsecase("cell", c.f, intensity, intensity)
 			if err != nil {
-				return nil, err
+				return ValidationCell{}, err
 			}
 			pred, err := model.Evaluate(u)
 			if err != nil {
-				return nil, err
+				return ValidationCell{}, err
 			}
 
-			cpuWords := int(float64(opts.Words) * (1 - f))
+			cellSys, err := sim.New(sys.Config())
+			if err != nil {
+				return ValidationCell{}, err
+			}
+			cpuWords := int(float64(opts.Words) * (1 - c.f))
 			accWords := opts.Words - cpuWords
 			var assignments []sim.Assignment
 			if cpuWords > 0 {
 				assignments = append(assignments, sim.Assignment{IP: opts.CPU,
 					Kernel: kernel.Kernel{Name: "v-cpu", WorkingSet: units.Bytes(cpuWords * kernel.WordSize),
-						Trials: opts.Trials, FlopsPerWord: fpw, Pattern: kernel.ReadWrite}})
+						Trials: opts.Trials, FlopsPerWord: c.fpw, Pattern: kernel.ReadWrite}})
 			}
 			if accWords > 0 {
 				assignments = append(assignments, sim.Assignment{IP: opts.Accel,
 					Kernel: kernel.Kernel{Name: "v-acc", WorkingSet: units.Bytes(accWords * kernel.WordSize),
-						Trials: opts.Trials, FlopsPerWord: fpw, Pattern: kernel.ReadWrite}})
+						Trials: opts.Trials, FlopsPerWord: c.fpw, Pattern: kernel.ReadWrite}})
 			}
-			meas, err := sys.Run(assignments, sim.RunOptions{})
+			meas, err := cellSys.Run(assignments, sim.RunOptions{})
 			if err != nil {
-				return nil, err
+				return ValidationCell{}, err
 			}
 
 			cell := ValidationCell{
-				F: f, FlopsPerWord: fpw,
+				F: c.f, FlopsPerWord: c.fpw,
 				Predicted: float64(pred.Attainable),
 				Measured:  meas.Rate,
 			}
 			if cell.Predicted > 0 {
 				cell.RelError = math.Abs(cell.Measured-cell.Predicted) / cell.Predicted
 			}
-			res.Cells = append(res.Cells, cell)
-			res.MeanRelError += cell.RelError
-			res.MaxRelError = math.Max(res.MaxRelError, cell.RelError)
-		}
+			return cell, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ValidationResult{Cells: cells, ShapeConsistent: true}
+	for _, cell := range cells {
+		res.MeanRelError += cell.RelError
+		res.MaxRelError = math.Max(res.MaxRelError, cell.RelError)
 	}
 	if len(res.Cells) > 0 {
 		res.MeanRelError /= float64(len(res.Cells))

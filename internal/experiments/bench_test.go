@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// The harness benchmarks compare the whole experiment registry run
+// sequentially against the bounded worker pool. On a multi-core machine
+// (GOMAXPROCS >= 4) the parallel run should be at least 2x faster; on one
+// core the two are equivalent by the determinism contract.
+func benchRunAll(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		arts, err := RunAll(context.Background(), workers, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(arts) != len(IDs()) {
+			b.Fatalf("got %d artifacts, want %d", len(arts), len(IDs()))
+		}
+	}
+}
+
+func BenchmarkHarnessSequential(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkHarnessParallel(b *testing.B)   { benchRunAll(b, 0) }
+
+func TestRunAllMatchesSequential(t *testing.T) {
+	seq, err := RunAll(context.Background(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAll(context.Background(), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("artifact counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].ID != par[i].ID {
+			t.Errorf("artifact %d: id %q (sequential) vs %q (parallel)", i, seq[i].ID, par[i].ID)
+		}
+		if len(seq[i].Checks) != len(par[i].Checks) {
+			t.Errorf("%s: check counts differ", seq[i].ID)
+			continue
+		}
+		for j := range seq[i].Checks {
+			if seq[i].Checks[j] != par[i].Checks[j] {
+				t.Errorf("%s: check %d differs between pool sizes:\nseq: %+v\npar: %+v",
+					seq[i].ID, j, seq[i].Checks[j], par[i].Checks[j])
+			}
+		}
+	}
+}
+
+func TestRunAllUnknownID(t *testing.T) {
+	if _, err := RunAll(context.Background(), 4, []string{"fig6", "definitely-not-real"}); err == nil {
+		t.Fatal("unknown id must fail the whole run")
+	}
+}

@@ -1,0 +1,133 @@
+// Package parallel is the harness's worker pool: it fans independent work
+// items out over a bounded number of goroutines while keeping results
+// deterministic. Every layer of the repository that sweeps an embarrassingly
+// parallel grid — the figure/table artifacts of cmd/gables-repro, the
+// (fraction × intensity) validation and mixing grids of internal/erb, the
+// usecase suite of internal/usecase — funnels through Map, so "run as fast
+// as the hardware allows" is one implementation, not N ad-hoc loops.
+//
+// Determinism contract: results are collected by item index, never by
+// completion order, so for a pure fn the output of Map is byte-for-byte
+// identical whatever the worker count. CI pins GABLES_PARALLEL=1 against
+// GABLES_PARALLEL=8 and diffs the harness output to enforce exactly that.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar is the environment variable that overrides the default worker
+// count; cmd/gables-repro's -j flag takes precedence over it.
+const EnvVar = "GABLES_PARALLEL"
+
+// Workers resolves a worker count: an explicit positive override wins, then
+// a positive integer in the GABLES_PARALLEL environment variable, then
+// GOMAXPROCS. The result is always at least 1.
+func Workers(explicit int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	if s := os.Getenv(EnvVar); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	if n := runtime.GOMAXPROCS(0); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// Map applies fn to every item with at most workers goroutines in flight
+// and returns the results indexed like items. workers <= 0 means
+// Workers(0), i.e. the GABLES_PARALLEL/GOMAXPROCS default.
+//
+// The first error cancels the context passed to every in-flight and
+// pending fn call; Map drains its workers and returns that error wrapped
+// with the item index. Items never started because of the cancellation are
+// simply skipped. A nil error means every item completed and out[i] is
+// fn's result for items[i].
+//
+// fn must be safe to call concurrently with distinct items; state shared
+// across items must be read-only (the simulator convention: each grid cell
+// owns its own sim.System).
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, index int, item T) (R, error)) ([]R, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("parallel: nil work function")
+	}
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = Workers(workers)
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64 // next item index to claim
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(items) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				r, err := fn(ctx, i, items[i])
+				if err != nil {
+					fail(fmt.Errorf("parallel: item %d: %w", i, err))
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// ForEach is Map for work that produces no result value.
+func ForEach[T any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, index int, item T) error) error {
+	if fn == nil {
+		return fmt.Errorf("parallel: nil work function")
+	}
+	_, err := Map(ctx, workers, items, func(ctx context.Context, i int, item T) (struct{}, error) {
+		return struct{}{}, fn(ctx, i, item)
+	})
+	return err
+}

@@ -1,0 +1,190 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersPrecedence(t *testing.T) {
+	t.Setenv(EnvVar, "3")
+	if got := Workers(7); got != 7 {
+		t.Errorf("explicit override: Workers(7) = %d, want 7", got)
+	}
+	if got := Workers(0); got != 3 {
+		t.Errorf("env override: Workers(0) = %d, want 3", got)
+	}
+	t.Setenv(EnvVar, "not-a-number")
+	if got := Workers(0); got < 1 {
+		t.Errorf("garbage env: Workers(0) = %d, want >= 1", got)
+	}
+	t.Setenv(EnvVar, "-2")
+	if got := Workers(0); got < 1 {
+		t.Errorf("negative env: Workers(0) = %d, want >= 1", got)
+	}
+}
+
+// TestMapDeterministicOrder makes completion order adversarial (later items
+// finish first) and checks results still come back index-ordered.
+func TestMapDeterministicOrder(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(context.Background(), 8, items, func(_ context.Context, i int, v int) (string, error) {
+		// Later indices sleep less, so they complete first.
+		time.Sleep(time.Duration(len(items)-i) * 10 * time.Microsecond)
+		return fmt.Sprintf("item-%d", v), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out {
+		if want := fmt.Sprintf("item-%d", i); s != want {
+			t.Fatalf("out[%d] = %q, want %q", i, s, want)
+		}
+	}
+}
+
+// TestMapPoolSizeOneMatchesSequential checks workers=1 reproduces a plain
+// loop byte-for-byte, including a stateful fn (legal at pool size 1 since
+// execution is strictly index order).
+func TestMapPoolSizeOneMatchesSequential(t *testing.T) {
+	items := []float64{0.1, 0.9, 0.25, 1.0 / 3.0, 7e-17}
+	var seqBuf, parBuf strings.Builder
+	running := 0.0
+	for i, v := range items {
+		running += v
+		fmt.Fprintf(&seqBuf, "%d %.17g %.17g\n", i, v, running)
+	}
+	running = 0.0
+	_, err := Map(context.Background(), 1, items, func(_ context.Context, i int, v float64) (struct{}, error) {
+		running += v
+		fmt.Fprintf(&parBuf, "%d %.17g %.17g\n", i, v, running)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqBuf.String() != parBuf.String() {
+		t.Fatalf("workers=1 output differs from sequential loop:\nseq:\n%spar:\n%s", seqBuf.String(), parBuf.String())
+	}
+}
+
+func TestMapErrorPropagationAndCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	items := make([]int, 100)
+	var started atomic.Int64
+	_, err := Map(context.Background(), 4, items, func(ctx context.Context, i int, _ int) (int, error) {
+		started.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		// Everyone else waits on the cancellation the failure triggers.
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return 0, fmt.Errorf("item %d never saw cancellation", i)
+		}
+	})
+	if !errors.Is(err, boom) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want the injected error or the cancellation it caused", err)
+	}
+	if n := started.Load(); n >= 100 {
+		t.Errorf("all %d items ran despite early failure; cancellation did not prune the queue", n)
+	}
+}
+
+func TestMapFirstErrorWrapsIndex(t *testing.T) {
+	items := []int{0, 1, 2}
+	_, err := Map(context.Background(), 1, items, func(_ context.Context, i int, _ int) (int, error) {
+		if i == 1 {
+			return 0, errors.New("bad cell")
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "item 1") {
+		t.Fatalf("err = %v, want it to identify item 1", err)
+	}
+}
+
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 4, make([]int, 50), func(ctx context.Context, _ int, _ int) (int, error) {
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapEmptyAndNil(t *testing.T) {
+	out, err := Map(context.Background(), 4, []int(nil), func(_ context.Context, _ int, v int) (int, error) {
+		return v, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty input: out=%v err=%v, want empty and nil", out, err)
+	}
+	if _, err := Map[int, int](context.Background(), 4, []int{1}, nil); err == nil {
+		t.Fatal("nil fn must error")
+	}
+	if err := ForEach[int](context.Background(), 4, []int{1}, nil); err == nil {
+		t.Fatal("nil ForEach fn must error")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	if err := ForEach(context.Background(), 8, items, func(_ context.Context, _ int, v int) error {
+		sum.Add(int64(v))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 4950 {
+		t.Errorf("sum = %d, want 4950", got)
+	}
+}
+
+// TestMapStress is the -race workhorse: many rounds of many items over a
+// shared result slice with jittered completion order. CI runs this package
+// with -race -count=5.
+func TestMapStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < 20; round++ {
+		n := 1 + rng.Intn(200)
+		workers := 1 + rng.Intn(16)
+		items := make([]int, n)
+		for i := range items {
+			items[i] = rng.Int()
+		}
+		out, err := Map(context.Background(), workers, items, func(_ context.Context, i int, v int) (int, error) {
+			if v%7 == 0 {
+				time.Sleep(time.Duration(v%50) * time.Microsecond)
+			}
+			return v * 2, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]int, n)
+		for i, v := range items {
+			want[i] = v * 2
+		}
+		if !reflect.DeepEqual(out, want) {
+			t.Fatalf("round %d (n=%d workers=%d): results not index-ordered", round, n, workers)
+		}
+	}
+}

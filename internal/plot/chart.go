@@ -79,6 +79,18 @@ func (c *Chart) Validate() error {
 			}
 		}
 	}
+	// Annotations participate in bounds(): a NaN or Inf would poison the
+	// axis extents and turn every rendered coordinate into NaN.
+	for _, v := range c.VLines {
+		if math.IsNaN(v.X) || math.IsInf(v.X, 0) {
+			return fmt.Errorf("plot: %q: vline %q has non-finite x %v", c.Title, v.Name, v.X)
+		}
+	}
+	for _, m := range c.Markers {
+		if math.IsNaN(m.X) || math.IsNaN(m.Y) || math.IsInf(m.X, 0) || math.IsInf(m.Y, 0) {
+			return fmt.Errorf("plot: %q: marker %q has non-finite point (%v, %v)", c.Title, m.Name, m.X, m.Y)
+		}
+	}
 	return nil
 }
 
@@ -123,9 +135,15 @@ func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
 	return
 }
 
-// scale maps a data value to [0,1] under the axis transform.
+// scale maps a data value to [0,1] under the axis transform. On a log axis
+// a nonpositive value (which Validate rejects for series, and the
+// renderers skip for annotations) clamps to the axis floor rather than
+// silently becoming NaN via math.Log10.
 func scale(v, lo, hi float64, log bool) float64 {
 	if log {
+		if v <= 0 {
+			v = lo
+		}
 		return (math.Log10(v) - math.Log10(lo)) / (math.Log10(hi) - math.Log10(lo))
 	}
 	return (v - lo) / (hi - lo)

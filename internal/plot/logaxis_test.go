@@ -1,0 +1,82 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// These tests pin the log-axis float-edge fix: non-finite annotation values
+// must fail validation (they would poison bounds() and emit NaN
+// coordinates), and nonpositive values on a log axis must clamp to the
+// axis floor instead of reaching math.Log10.
+
+func logChart() *Chart {
+	return &Chart{
+		Title: "log-edge", XLog: true, YLog: true,
+		Series: []Series{{Name: "s", X: []float64{1, 10, 100}, Y: []float64{2, 20, 200}}},
+	}
+}
+
+func TestValidateRejectsNonFiniteVLine(t *testing.T) {
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		c := logChart()
+		c.VLines = []VLine{{Name: "bad", X: x}}
+		if err := c.Validate(); err == nil {
+			t.Errorf("vline x=%v must fail validation", x)
+		}
+		if _, err := c.SVG(400, 300); err == nil {
+			t.Errorf("SVG with vline x=%v must fail", x)
+		}
+	}
+}
+
+func TestValidateRejectsNonFiniteMarker(t *testing.T) {
+	// On a linear axis too: an Inf marker destroys the extents.
+	c := &Chart{
+		Title:   "linear-edge",
+		Series:  []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}},
+		Markers: []Marker{{Name: "bad", X: math.Inf(1), Y: 0.5}},
+	}
+	if err := c.Validate(); err == nil {
+		t.Error("Inf marker must fail validation")
+	}
+	c.Markers = []Marker{{Name: "bad", X: 0.5, Y: math.NaN()}}
+	if err := c.Validate(); err == nil {
+		t.Error("NaN marker must fail validation")
+	}
+}
+
+func TestNonPositiveAnnotationsOnLogAxesRender(t *testing.T) {
+	// Zero/negative annotation coordinates on log axes are legal inputs
+	// (e.g. a drop line at f=0); renderers skip them and the output must
+	// stay NaN-free.
+	c := logChart()
+	c.VLines = append(c.VLines, VLine{Name: "zero", X: 0})
+	c.Markers = append(c.Markers, Marker{Name: "neg", X: -1, Y: 5})
+	svg, err := c.SVG(400, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("SVG contains NaN coordinates")
+	}
+	if _, err := c.ASCII(40, 10); err != nil {
+		t.Fatalf("ASCII render failed: %v", err)
+	}
+}
+
+func TestScaleClampsToAxisFloor(t *testing.T) {
+	if got := scale(0, 1, 100, true); got != 0 {
+		t.Errorf("scale(0) on log axis = %v, want 0 (axis floor)", got)
+	}
+	if got := scale(-5, 1, 100, true); got != 0 {
+		t.Errorf("scale(-5) on log axis = %v, want 0 (axis floor)", got)
+	}
+	if got := scale(10, 1, 100, true); got != 0.5 {
+		t.Errorf("scale(10) on log [1,100] = %v, want 0.5", got)
+	}
+	if got := scale(0, 1, 100, true); math.IsNaN(got) {
+		t.Error("nonpositive value reached math.Log10 and produced NaN")
+	}
+}

@@ -33,6 +33,10 @@ func Steps(lo, hi float64, n int) ([]float64, error) {
 	for i := 0; i <= n; i++ {
 		out[i] = lo + (hi-lo)*float64(i)/float64(n)
 	}
+	// Pin the endpoint: lo+(hi-lo) need not reconstruct hi exactly in
+	// float64 (e.g. lo=0.1, hi=0.9), and downstream validators treat the
+	// requested bound as exact.
+	out[n] = hi
 	return out, nil
 }
 

@@ -38,6 +38,27 @@ func TestSteps(t *testing.T) {
 	}
 }
 
+// TestStepsExactEndpoint pins the float-edge regression: for lo=0.1,
+// hi=0.9, n=3 the naive reconstruction lo+(hi-lo)*3/3 yields
+// 0.9000000000000001, drifting past the requested bound — which overflows
+// validators that treat hi as exact (e.g. a fraction sweep ending at 1).
+func TestStepsExactEndpoint(t *testing.T) {
+	lo, hi := 0.1, 0.9
+	if rebuilt := lo + (hi-lo)*3/3; rebuilt == hi {
+		t.Fatal("test pair no longer exhibits float drift; pick another (lo, hi)")
+	}
+	s, err := Steps(lo, hi, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s[len(s)-1]; got != hi {
+		t.Errorf("final sample = %v, want exactly %v", got, hi)
+	}
+	if s[0] != lo {
+		t.Errorf("first sample = %v, want exactly %v", s[0], lo)
+	}
+}
+
 func TestWorkSplit(t *testing.T) {
 	m := paperModel(t, 10)
 	fs, _ := Steps(0, 1, 4)

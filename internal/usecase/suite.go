@@ -1,9 +1,11 @@
 package usecase
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"github.com/gables-model/gables/internal/parallel"
 	"github.com/gables-model/gables/internal/soc"
 )
 
@@ -57,8 +59,6 @@ func AnalyzeSuite(chip *soc.Chip, reqs []Requirement) (*SuiteReport, error) {
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("usecase: suite needs at least one requirement")
 	}
-	rep := &SuiteReport{Chip: chip.Name, AllMet: true}
-	worst := math.Inf(1)
 	for i, req := range reqs {
 		if req.Graph == nil {
 			return nil, fmt.Errorf("usecase: requirement %d has no graph", i)
@@ -67,18 +67,32 @@ func AnalyzeSuite(chip *soc.Chip, reqs []Requirement) (*SuiteReport, error) {
 			return nil, fmt.Errorf("usecase: requirement %d (%s): target rate must be positive",
 				i, req.Graph.Name)
 		}
-		maxRate, limiter, err := MaxRate(req.Graph, chip)
-		if err != nil {
-			return nil, fmt.Errorf("usecase: requirement %d (%s): %w", i, req.Graph.Name, err)
-		}
-		e := SuiteEntry{
-			Usecase:    req.Graph.Name,
-			TargetRate: req.TargetRate,
-			MaxRate:    maxRate,
-			Limiter:    limiter,
-			Margin:     maxRate / req.TargetRate,
-		}
-		e.Met = e.Margin >= 1
+	}
+	// Requirements are independent of each other — fan them out. Entries
+	// come back in requirement order, so the binding fold below is
+	// deterministic at any pool size.
+	entries, err := parallel.Map(context.Background(), 0, reqs,
+		func(_ context.Context, i int, req Requirement) (SuiteEntry, error) {
+			maxRate, limiter, err := MaxRate(req.Graph, chip)
+			if err != nil {
+				return SuiteEntry{}, fmt.Errorf("usecase: requirement %d (%s): %w", i, req.Graph.Name, err)
+			}
+			e := SuiteEntry{
+				Usecase:    req.Graph.Name,
+				TargetRate: req.TargetRate,
+				MaxRate:    maxRate,
+				Limiter:    limiter,
+				Margin:     maxRate / req.TargetRate,
+			}
+			e.Met = e.Margin >= 1
+			return e, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep := &SuiteReport{Chip: chip.Name, Entries: entries, AllMet: true}
+	worst := math.Inf(1)
+	for i, e := range entries {
 		if !e.Met {
 			rep.AllMet = false
 		}
@@ -86,7 +100,6 @@ func AnalyzeSuite(chip *soc.Chip, reqs []Requirement) (*SuiteReport, error) {
 			worst = e.Margin
 			rep.Binding = i
 		}
-		rep.Entries = append(rep.Entries, e)
 	}
 	return rep, nil
 }

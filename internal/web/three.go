@@ -37,13 +37,15 @@ func DefaultThreeParams() ThreeParams {
 	}
 }
 
-// Validate checks ranges.
+// Validate checks ranges. The f1+f2 bound is checked within the model's
+// FractionTolerance: a legitimate split like f1=0.9, f2=0.1 sums to
+// 1.0000000000000002 in float64 and must not be rejected.
 func (p ThreeParams) Validate() error {
 	if p.PpeakGops <= 0 || p.BpeakGB <= 0 || p.A1 <= 0 || p.A2 <= 0 ||
 		p.B0 <= 0 || p.B1 <= 0 || p.B2 <= 0 {
 		return fmt.Errorf("web: hardware parameters must be positive")
 	}
-	if p.F1 < 0 || p.F2 < 0 || p.F1+p.F2 > 1 {
+	if p.F1 < 0 || p.F2 < 0 || p.F1+p.F2 > 1+core.FractionTolerance {
 		return fmt.Errorf("web: fractions must be non-negative with f1+f2 <= 1, got %v + %v", p.F1, p.F2)
 	}
 	if p.I0 <= 0 || p.I1 <= 0 || p.I2 <= 0 {
@@ -71,10 +73,17 @@ func EvaluateThree(p ThreeParams) (*Evaluation, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The residual fraction 1-f1-f2 can reconstruct to a tiny negative
+	// number (e.g. -2.8e-17 for f1=0.9, f2=0.1), which the model's
+	// non-negativity check would reject; clamp drift within tolerance.
+	f0 := 1 - p.F1 - p.F2
+	if f0 < 0 && f0 >= -core.FractionTolerance {
+		f0 = 0
+	}
 	u := &core.Usecase{
 		Name: "interactive",
 		Work: []core.Work{
-			{Fraction: 1 - p.F1 - p.F2, Intensity: units.Intensity(p.I0)},
+			{Fraction: f0, Intensity: units.Intensity(p.I0)},
 			{Fraction: p.F1, Intensity: units.Intensity(p.I1)},
 			{Fraction: p.F2, Intensity: units.Intensity(p.I2)},
 		},

@@ -42,6 +42,37 @@ func TestEvaluateThreeValidation(t *testing.T) {
 	}
 }
 
+// TestEvaluateThreeFullSplit is the float-edge regression: f1=0.9, f2=0.1
+// sums to 1.0000000000000002 in float64 and makes the residual fraction
+// 1-f1-f2 = -2.8e-17. Both must be accepted as the legitimate "no work on
+// IP[0]" split, not rejected by strict comparisons.
+func TestEvaluateThreeFullSplit(t *testing.T) {
+	p := DefaultThreeParams()
+	p.F1, p.F2 = 0.9, 0.1
+	ev, err := EvaluateThree(p)
+	if err != nil {
+		t.Fatalf("f1=0.9 f2=0.1 rejected: %v", err)
+	}
+	if len(ev.Terms) != 3 {
+		t.Errorf("terms = %d, want 3 (IP[0] idle, two active IPs + memory)", len(ev.Terms))
+	}
+	// The same split must survive the HTTP path.
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/three?f1=0.9&f2=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(body), "fractions must be non-negative") {
+		t.Error("handler rejected the f1=0.9, f2=0.1 split")
+	}
+	if !strings.Contains(string(body), "</svg>") {
+		t.Error("handler did not render a result chart for the split")
+	}
+}
+
 func TestEvaluateThreeIdleIP(t *testing.T) {
 	// f2 = 0 leaves the DSP idle: only 3 terms.
 	p := DefaultThreeParams()
