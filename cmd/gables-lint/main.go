@@ -1,0 +1,155 @@
+// Command gables-lint runs the repository's analyzer suite
+// (internal/analysis/...) over Go packages and reports every finding that
+// is not excused by a //lint:ignore directive. CI runs it as a blocking
+// step:
+//
+//	go run ./cmd/gables-lint ./...
+//
+// The tool type-checks each target package from source; imports are
+// satisfied from compiled export data produced by `go list -export`, so a
+// run needs no network access and no dependencies beyond the Go
+// toolchain. Exit status is 0 when the tree is clean, 1 when there are
+// findings, 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/gables-model/gables/internal/analysis"
+	"github.com/gables-model/gables/internal/analysis/suite"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list the analyzers and exit")
+		only  = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		tests = flag.Bool("tests", true, "also analyze _test.go files")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gables-lint [flags] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the Gables analyzer suite; see DESIGN.md §5.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite.All {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := suite.All
+	if *only != "" {
+		var ok bool
+		analyzers, ok = suite.ByName(strings.Split(*only, ",")...)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gables-lint: unknown analyzer in -only=%s (use -list)\n", *only)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := Lint(".", patterns, analyzers, *tests, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gables-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "gables-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// unit is one type-check target: a package's ordinary compilation or its
+// external _test package.
+type unit struct {
+	path     string   // import path to check under
+	files    []string // absolute source file names
+	xtestFor string   // for external test units: path of the package under test
+}
+
+// Lint runs the analyzers over the packages matching patterns (resolved
+// relative to dir), writes findings to w, and returns how many there
+// were. The unused-directive staleness check is active only when the full
+// suite runs, since a filtered run cannot tell a stale directive from one
+// aimed at an analyzer that was skipped.
+func Lint(dir string, patterns []string, analyzers []*analysis.Analyzer, tests bool, w io.Writer) (int, error) {
+	listed, err := analysis.GoList(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	idx := analysis.NewExportIndex(listed)
+	opts := analysis.RunOptions{ReportUnused: len(analyzers) == len(suite.All)}
+
+	var units []unit
+	for _, p := range listed {
+		if p.Standard || p.Module == nil || p.ForTest != "" || p.IsTestBinary() {
+			continue
+		}
+		files := absFiles(p.Dir, p.GoFiles)
+		if tests {
+			files = append(files, absFiles(p.Dir, p.TestGoFiles)...)
+		}
+		if len(files) > 0 {
+			units = append(units, unit{path: p.ImportPath, files: files})
+		}
+		if tests && len(p.XTestGoFiles) > 0 {
+			units = append(units, unit{
+				path:     p.ImportPath + "_test",
+				files:    absFiles(p.Dir, p.XTestGoFiles),
+				xtestFor: p.ImportPath,
+			})
+		}
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].path < units[j].path })
+
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	for _, u := range units {
+		// Each unit gets its own loader: an external _test package must
+		// import the test-variant export of the package under test (it
+		// may use helpers declared in in-package _test.go files), and
+		// loaders cache imports by path.
+		loader := analysis.NewLoader()
+		loader.Lookup = idx.Lookup(u.xtestFor)
+		pkg, err := loader.CheckFiles(u.path, u.files)
+		if err != nil {
+			return findings, err
+		}
+		diags, err := analysis.Run(pkg, analyzers, opts)
+		if err != nil {
+			return findings, err
+		}
+		for _, d := range diags {
+			pos := d.Position(pkg.Fset)
+			name := pos.Filename
+			if rel, err := filepath.Rel(absDir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	return findings, nil
+}
+
+func absFiles(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = filepath.Join(dir, n)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gables-model/gables/internal/analysis/suite"
+)
+
+// writeModule lays out a throwaway module on disk so Lint exercises the
+// same `go list -export` + type-check path that CI uses, rather than a
+// mocked loader.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLintReportsSeededViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/seeded\n\ngo 1.22\n",
+		"seeded.go": `package seeded
+
+// Match mirrors the pre-fix tag-match bug from internal/experiments.
+func Match(frac float64) bool {
+	return frac == 0.8
+}
+`,
+	})
+	var buf bytes.Buffer
+	n, err := Lint(dir, []string{"./..."}, suite.All, true, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("findings = %d, want 1; output:\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "seeded.go:5:") || !strings.Contains(out, "floatcmp") {
+		t.Errorf("finding not attributed to seeded.go:5 / floatcmp:\n%s", out)
+	}
+}
+
+func TestLintHonorsSuppression(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/sup\n\ngo 1.22\n",
+		"sup.go": `package sup
+
+func Match(frac float64) bool {
+	//lint:ignore floatcmp exact sentinel by contract
+	return frac == 0.8
+}
+`,
+	})
+	var buf bytes.Buffer
+	n, err := Lint(dir, []string{"./..."}, suite.All, true, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("findings = %d, want 0 (suppressed); output:\n%s", n, buf.String())
+	}
+}
+
+func TestLintReportsStaleDirective(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/stale\n\ngo 1.22\n",
+		"stale.go": `package stale
+
+func Fine(a, b int) bool {
+	//lint:ignore floatcmp nothing here actually trips the analyzer
+	return a == b
+}
+`,
+	})
+	var buf bytes.Buffer
+	n, err := Lint(dir, []string{"./..."}, suite.All, true, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !strings.Contains(buf.String(), "unused //lint: directive") {
+		t.Fatalf("findings = %d, want 1 stale-directive report; output:\n%s", n, buf.String())
+	}
+}
+
+func TestLintSkipsStaleCheckWhenFiltered(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/filtered\n\ngo 1.22\n",
+		"f.go": `package filtered
+
+func Fine(a, b int) bool {
+	//lint:ignore floatcmp aimed at an analyzer this run skips
+	return a == b
+}
+`,
+	})
+	only, ok := suite.ByName("maporder")
+	if !ok {
+		t.Fatal("maporder analyzer missing from suite")
+	}
+	var buf bytes.Buffer
+	n, err := Lint(dir, []string{"./..."}, only, true, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("filtered run reported %d finding(s); a partial run cannot judge staleness:\n%s", n, buf.String())
+	}
+}
+
+// TestLintRepositoryClean is the in-process twin of CI's blocking
+// `go run ./cmd/gables-lint ./...` step: the tree must lint clean.
+func TestLintRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repository lint is not a short test")
+	}
+	var buf bytes.Buffer
+	n, err := Lint(filepath.Join("..", ".."), []string{"./..."}, suite.All, true, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("repository has %d lint finding(s); fix them or add //lint:ignore with a reason:\n%s", n, buf.String())
+	}
+}
+
+func TestLintTestFlagExcludesTestFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/tf\n\ngo 1.22\n",
+		"tf.go":  "package tf\n",
+		"tf_test.go": `package tf
+
+import "fmt"
+
+// dump trips maporder, which (unlike floatcmp) applies to test files too.
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`,
+	})
+	n, err := Lint(dir, []string{"./..."}, suite.All, false, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("tests=false still analyzed _test.go files: %d finding(s)", n)
+	}
+	var buf bytes.Buffer
+	n, err = Lint(dir, []string{"./..."}, suite.All, true, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !strings.Contains(buf.String(), "maporder") {
+		t.Fatalf("tests=true run = %d finding(s), want the 1 maporder hit:\n%s", n, buf.String())
+	}
+}

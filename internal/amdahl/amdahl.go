@@ -32,6 +32,7 @@ func Limit(f float64) (float64, error) {
 	if f < 0 || f > 1 || math.IsNaN(f) {
 		return 0, fmt.Errorf("amdahl: fraction must be in [0,1], got %v", f)
 	}
+	//lint:ignore floatcmp f is a caller-supplied parameter, not a computed value; f == 1 is the documented +Inf asymptote
 	if f == 1 {
 		return math.Inf(1), nil
 	}

@@ -1,0 +1,103 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: a framework for writing static analyzers
+// over type-checked Go syntax trees.
+//
+// The repository's dominant bug class is numeric-invariant violations —
+// float equality where a tolerance was intended, log-scale math fed
+// non-positive inputs, map iteration order leaking into repro output,
+// work fractions that do not sum to 1 (see ISSUE 2 and the PR 1 bugfix
+// sweep). The analyzers under internal/analysis/... encode those
+// obligations as machine-checked rules; cmd/gables-lint runs them over the
+// whole module and CI treats any finding as a failure.
+//
+// The x/tools module is deliberately not imported: the build must work
+// from a bare module cache, so the framework re-implements the small slice
+// of the go/analysis API the suite needs (Analyzer, Pass, Diagnostic, a
+// package loader, and an analysistest-style fixture runner) on top of
+// go/ast and go/types alone. Analyzers written against this package use
+// the same shape as x/tools analyzers and can be ported with a one-line
+// import change if the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static analysis rule and how to run it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// directives. It must be a valid identifier.
+	Name string
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+	// Run applies the analyzer to one package and reports findings via
+	// pass.Report. The error return is for operational failures (not
+	// findings); a non-nil error aborts the whole lint run.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the interface between the driver and one analyzer applied to one
+// package: the type-checked syntax trees plus a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding. The driver applies //lint:ignore
+	// suppression after this call, so analyzers never need to know about
+	// directives.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if not found.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by the identifier, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// Diagnostic is one finding: a position and a human-readable message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is filled in by the driver.
+	Analyzer string
+}
+
+// Position resolves the diagnostic's file position against a fileset.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, then analyzer
+// name, so lint output is deterministic regardless of analyzer scheduling.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,144 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, mirroring the x/tools package
+// of the same name. Fixture sources live under
+//
+//	<analyzer dir>/testdata/src/<importpath>/*.go
+//
+// and annotate expected findings with trailing comments:
+//
+//	if frac == 0.8 { // want `floating-point == comparison`
+//
+// Each backquoted (or double-quoted) literal after "want" is a regular
+// expression that must match the message of a distinct diagnostic
+// reported on that line. Diagnostics with no matching expectation, and
+// expectations with no matching diagnostic, fail the test. Fixture files
+// may use //lint:ignore directives; a suppressed diagnostic needs no want
+// comment, which is how suppression itself is tested.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/gables-model/gables/internal/analysis"
+)
+
+// expectation is one want literal: a position and a message pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want ((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+var literalRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Reporter is the slice of *testing.T the runner needs; tests of the
+// runner itself substitute a recorder.
+type Reporter interface {
+	Errorf(format string, args ...any)
+}
+
+// Run loads each fixture package from testdata/src, applies the analyzer,
+// and reports mismatches between diagnostics and want comments as test
+// errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	RunWithReporter(t, testdata, a, paths...)
+}
+
+// RunWithReporter is Run with an explicit failure sink.
+func RunWithReporter(t Reporter, testdata string, a *analysis.Analyzer, paths ...string) {
+	loader := analysis.NewLoader()
+	loader.Resolve = func(importPath string) (string, bool) {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(importPath))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("loading fixture %q: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a}, analysis.RunOptions{ReportUnused: true})
+		if err != nil {
+			t.Errorf("running %s on %q: %v", a.Name, path, err)
+			continue
+		}
+		expects, err := collectWants(pkg)
+		if err != nil {
+			t.Errorf("fixture %q: %v", path, err)
+			continue
+		}
+		for _, d := range diags {
+			pos := d.Position(pkg.Fset)
+			if !claim(expects, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+			}
+		}
+		for _, e := range expects {
+			if !e.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation at (file, line) whose
+// pattern matches message.
+func claim(expects []*expectation, file string, line int, message string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.pattern.MatchString(message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses // want comments out of the fixture's files.
+func collectWants(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want ") {
+						return nil, fmt.Errorf("%s: malformed want comment %q",
+							pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, lit := range literalRE.FindAllString(m[1], -1) {
+					var pat string
+					if strings.HasPrefix(lit, "`") {
+						pat = strings.Trim(lit, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(lit)
+						if err != nil {
+							return nil, fmt.Errorf("%s: bad want literal %s: %v", pos, lit, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}

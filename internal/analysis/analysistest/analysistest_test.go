@@ -1,0 +1,82 @@
+package analysistest_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/gables-model/gables/internal/analysis"
+	"github.com/gables-model/gables/internal/analysis/analysistest"
+)
+
+// recorder captures runner failures instead of failing the test.
+type recorder struct{ errs []string }
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errs = append(r.errs, fmt.Sprintf(format, args...))
+}
+
+// intlit flags every integer literal — a trivially predictable analyzer
+// for exercising the runner and the suppression machinery.
+var intlit = &analysis.Analyzer{
+	Name: "intlit",
+	Doc:  "flags integer literals (test analyzer)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if bl, ok := n.(*ast.BasicLit); ok && bl.Kind == token.INT {
+					pass.Reportf(bl.Pos(), "integer literal %s", bl.Value)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func errsContaining(errs []string, substr string) int {
+	n := 0
+	for _, e := range errs {
+		if strings.Contains(e, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+// The fixtures under testdata/src drive every runner behavior:
+//
+//	ok         — all diagnostics annotated; runner must report nothing
+//	mismatch   — a missing want, a wrong pattern, and an unannotated hit
+//	suppressed — //lint:ignore'd hits need no want; stale directive flagged
+func TestRunnerAcceptsCorrectFixture(t *testing.T) {
+	rec := &recorder{}
+	analysistest.RunWithReporter(rec, "testdata", intlit, "ok")
+	if len(rec.errs) != 0 {
+		t.Fatalf("clean fixture produced failures: %v", rec.errs)
+	}
+}
+
+func TestRunnerFlagsMismatches(t *testing.T) {
+	rec := &recorder{}
+	analysistest.RunWithReporter(rec, "testdata", intlit, "mismatch")
+	if got := errsContaining(rec.errs, "unexpected diagnostic"); got != 2 {
+		t.Errorf("want 2 unexpected-diagnostic failures (unannotated + wrong pattern), got %d: %v", got, rec.errs)
+	}
+	if got := errsContaining(rec.errs, "got none"); got != 2 {
+		t.Errorf("want 2 unmatched-expectation failures, got %d: %v", got, rec.errs)
+	}
+}
+
+func TestRunnerHonorsSuppression(t *testing.T) {
+	rec := &recorder{}
+	analysistest.RunWithReporter(rec, "testdata", intlit, "suppressed")
+	if got := errsContaining(rec.errs, "unused //lint: directive"); got != 1 {
+		t.Errorf("want exactly 1 stale-directive finding, got %d: %v", got, rec.errs)
+	}
+	if len(rec.errs) != 1 {
+		t.Errorf("suppressed hits must not surface: %v", rec.errs)
+	}
+}

@@ -1,0 +1,8 @@
+// Package mismatch provokes every runner failure mode.
+package mismatch
+
+var unannotated = 7 // hit with no want comment
+
+var wrongPattern = 8 // want `this pattern matches nothing`
+
+var missing = "no diagnostic here" // want `expected but absent`

@@ -1,0 +1,8 @@
+// Package ok annotates every intlit hit correctly.
+package ok
+
+var a = 1 // want `integer literal 1`
+
+var b = 2 + 3 // want `integer literal 2` `integer literal 3`
+
+var c = "strings are not flagged"

@@ -1,0 +1,14 @@
+// Package suppressed exercises //lint: directives: suppressed hits need
+// no want comment, and a directive that suppresses nothing is stale.
+package suppressed
+
+//lint:ignore intlit fixture exercises same-line suppression
+var a = 1
+
+var b = 2 //lint:ignore intlit fixture exercises trailing suppression
+
+//lint:ignore intlit stale directive: the next line has no finding
+var c = "nothing to suppress"
+
+// An unsuppressed hit still needs its annotation.
+var d = 3 // want `integer literal 3`

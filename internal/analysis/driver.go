@@ -1,0 +1,54 @@
+package analysis
+
+import "fmt"
+
+// RunOptions tunes a driver run.
+type RunOptions struct {
+	// ReportUnused adds a finding for every //lint:ignore directive that
+	// silenced nothing — a staleness check. Enable only when running the
+	// full analyzer suite; a filtered run would wrongly flag directives
+	// aimed at analyzers that were not executed.
+	ReportUnused bool
+}
+
+// Run applies the analyzers to one package, filters the findings through
+// the package's //lint: directives, and returns them sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, error) {
+	sups, diags := collectSuppressions(pkg)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			pos := pkg.Fset.Position(d.Pos)
+			for _, s := range sups {
+				if s.matches(a.Name) && s.covers(pos) {
+					s.used = true
+					return
+				}
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	if opts.ReportUnused {
+		for _, s := range sups {
+			if !s.used {
+				diags = append(diags, Diagnostic{
+					Pos:      s.pos,
+					Analyzer: "lint",
+					Message:  "unused //lint: directive (no diagnostic on this line to suppress)",
+				})
+			}
+		}
+	}
+	SortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}

@@ -1,0 +1,85 @@
+// Package floatcmp flags == and != comparisons between floating-point
+// expressions. PR 1's regression sweep traced three field bugs to exact
+// float equality where a tolerance was intended (f1+f2 == 1 rejecting
+// 0.9+0.1, frac == 0.8 silently never matching a computed sweep value), so
+// the rule is: float equality is only legitimate inside a tolerance
+// helper, against the exact-zero sentinel, or with an explicit
+// //lint:ignore floatcmp justification.
+//
+// The analyzer skips _test.go files. Test assertions against exact golden
+// values are the repository's established idiom — the determinism
+// contract (byte-identical repro output at any parallelism) is *about*
+// exact float reproducibility — and unlike production code, an exact test
+// comparison that stops holding fails loudly instead of corrupting
+// results silently.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/gables-model/gables/internal/analysis"
+)
+
+// Analyzer is the floatcmp rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flags ==/!= on floating-point expressions outside tolerance helpers (non-test files); " +
+		"exact float equality silently fails on computed values (use math.Abs(a-b) <= eps)",
+	Run: run,
+}
+
+// toleranceHelper matches function names that exist to implement an
+// approximate comparison; exact comparison against the tolerance boundary
+// is their job.
+var toleranceHelper = regexp.MustCompile(`(?i)approx|almost|near|close|within|toler|ulp`)
+
+func run(pass *analysis.Pass) error {
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	analysis.WalkFuncs(files, func(name string, body *ast.BlockStmt) {
+		if toleranceHelper.MatchString(name) {
+			return
+		}
+		analysis.InspectShallow(body, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !analysis.IsFloat(pass.TypeOf(be.X)) && !analysis.IsFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			// Two constants compare exactly by construction.
+			if analysis.IsConst(pass.TypesInfo, be.X) && analysis.IsConst(pass.TypesInfo, be.Y) {
+				return true
+			}
+			// Comparison against the exact zero value is the conventional
+			// "field is unset" sentinel and is bit-exact.
+			if isZero(pass.TypesInfo, be.X) || isZero(pass.TypesInfo, be.Y) {
+				return true
+			}
+			// x != x is the idiomatic NaN test.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison on %s; computed values rarely compare exactly — use a tolerance (math.Abs(a-b) <= eps) or a tolerance helper",
+				be.Op, types.ExprString(be.X))
+			return true
+		})
+	})
+	return nil
+}
+
+func isZero(info *types.Info, e ast.Expr) bool {
+	f, ok := analysis.ConstFloat(info, e)
+	return ok && f == 0
+}

@@ -1,0 +1,52 @@
+// Package a exercises floatcmp: the pre-fix PR 1 patterns that must be
+// flagged, the approved idioms that must stay clean, and suppression.
+package a
+
+// peerFlowsPrefix reproduces the pre-fix selection bug from
+// internal/experiments/extensions.go: frac == 0.8 on a computed sweep
+// value.
+func peerFlowsPrefix() float64 {
+	var at80 float64
+	for _, frac := range []float64{0.25, 0.5, 0.8, 1.0} {
+		if frac == 0.8 { // want `floating-point == comparison`
+			at80 = 2 * frac
+		}
+	}
+	return at80
+}
+
+// validateSumPrefix reproduces the pre-fix three-IP page bug: f1+f2
+// compared exactly against 1, rejecting 0.9+0.1.
+func validateSumPrefix(f1, f2 float64) bool {
+	return f1+f2 != 1 // want `floating-point != comparison`
+}
+
+// unset uses the exact-zero sentinel, which is bit-exact and allowed.
+func unset(f float64) bool { return f == 0 }
+
+// isNaN is the idiomatic self-comparison NaN test, allowed.
+func isNaN(f float64) bool { return f != f }
+
+// consts compare exactly by construction, allowed.
+func consts() bool {
+	const a, b = 0.5, 0.25
+	return a == 2*b
+}
+
+// approxEqual is a tolerance helper; the boundary comparison is its job.
+func approxEqual(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d <= eps {
+		return true
+	}
+	return a == b
+}
+
+// suppressed mirrors core.SoC.Validate's intentional exact identity test.
+func suppressed(accel float64) bool {
+	//lint:ignore floatcmp A0 is set literally in specs; exact identity is intended
+	return accel != 1
+}

@@ -1,0 +1,144 @@
+// Package fractioncheck verifies, at compile time, the Gables model's
+// central usecase invariant: work fractions must sum to 1 (§III-B's
+// Σfi = 1). It evaluates core.Usecase composite literals whose Work
+// fractions are all compile-time constants and flags sums that deviate by
+// more than core.FractionTolerance, plus core.TwoIPUsecase calls whose
+// constant f lies outside [0, 1]. Such configs are rejected at run time by
+// ValidateFor anyway, but in experiment code that path may only be hit on
+// a sweep's last cell; the analyzer moves the failure to lint time.
+package fractioncheck
+
+import (
+	"go/ast"
+	"go/types"
+	"math"
+	"strings"
+
+	"github.com/gables-model/gables/internal/analysis"
+	"github.com/gables-model/gables/internal/core"
+)
+
+// Analyzer is the fractioncheck rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "fractioncheck",
+	Doc: "flags core usecase literals whose constant work fractions do not sum to 1 " +
+		"within core.FractionTolerance, and two-IP fractions outside [0,1]",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				checkUsecaseLit(pass, x)
+			case *ast.CallExpr:
+				checkTwoIPCall(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCoreType reports whether t is the named type pkg.name for a package
+// called "core" (the real internal/core or a fixture stand-in).
+func isCoreType(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "core" || strings.HasSuffix(path, "/core")
+}
+
+// fieldValue extracts the expression initializing the named struct field
+// from a composite literal, handling both keyed and positional forms. A
+// nil return with ok=true means the field is omitted (zero value).
+func fieldValue(pass *analysis.Pass, cl *ast.CompositeLit, field string) (ast.Expr, bool) {
+	if len(cl.Elts) == 0 {
+		return nil, true
+	}
+	if _, keyed := cl.Elts[0].(*ast.KeyValueExpr); keyed {
+		for _, el := range cl.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				return nil, false
+			}
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+				return kv.Value, true
+			}
+		}
+		return nil, true
+	}
+	st, ok := pass.TypeOf(cl).Underlying().(*types.Struct)
+	if !ok {
+		return nil, false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			if i < len(cl.Elts) {
+				return cl.Elts[i], true
+			}
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+func checkUsecaseLit(pass *analysis.Pass, cl *ast.CompositeLit) {
+	if !isCoreType(pass.TypeOf(cl), "Usecase") {
+		return
+	}
+	workExpr, ok := fieldValue(pass, cl, "Work")
+	if !ok || workExpr == nil {
+		return
+	}
+	slice, ok := workExpr.(*ast.CompositeLit)
+	if !ok {
+		return // built dynamically (make, variable); runtime validation owns it
+	}
+	sum := 0.0
+	for _, el := range slice.Elts {
+		wl, ok := el.(*ast.CompositeLit)
+		if !ok {
+			return
+		}
+		frExpr, ok := fieldValue(pass, wl, "Fraction")
+		if !ok {
+			return
+		}
+		if frExpr == nil {
+			continue // omitted field: fraction 0
+		}
+		fr, ok := analysis.ConstFloat(pass.TypesInfo, frExpr)
+		if !ok {
+			return // non-constant fraction; runtime validation owns it
+		}
+		sum += fr
+	}
+	if math.Abs(sum-1) > core.FractionTolerance {
+		pass.Reportf(cl.Pos(),
+			"usecase work fractions are constants summing to %v, want 1 (±%v); ValidateFor will reject this at run time",
+			sum, core.FractionTolerance)
+	}
+}
+
+func checkTwoIPCall(pass *analysis.Pass, call *ast.CallExpr) {
+	name, _, ok := analysis.CalleeName(pass.TypesInfo, call)
+	if !ok || name != "TwoIPUsecase" || len(call.Args) < 2 {
+		return
+	}
+	f, ok := analysis.ConstFloat(pass.TypesInfo, call.Args[1])
+	if !ok {
+		return
+	}
+	if f < -core.FractionTolerance || f > 1+core.FractionTolerance {
+		pass.Reportf(call.Args[1].Pos(),
+			"two-IP work fraction f=%v outside [0, 1]; the constructor will reject it at run time", f)
+	}
+}

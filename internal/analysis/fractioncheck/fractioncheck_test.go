@@ -1,0 +1,12 @@
+package fractioncheck_test
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/analysis/analysistest"
+	"github.com/gables-model/gables/internal/analysis/fractioncheck"
+)
+
+func TestFractioncheck(t *testing.T) {
+	analysistest.Run(t, "testdata", fractioncheck.Analyzer, "a")
+}

@@ -1,0 +1,96 @@
+// Package a exercises fractioncheck on usecase literals and two-IP
+// constructor calls.
+package a
+
+import "core"
+
+// badSum leaves a quarter of the work unassigned.
+func badSum() *core.Usecase {
+	return &core.Usecase{ // want `work fractions are constants summing to 0\.75`
+		Name: "bad",
+		Work: []core.Work{
+			{Fraction: 0.5, Intensity: 8},
+			{Fraction: 0.25, Intensity: 2},
+		},
+	}
+}
+
+// badSumPositional checks the positional-literal path.
+func badSumPositional() core.Usecase {
+	return core.Usecase{"bad", []core.Work{{0.5, 8}, {0.25, 2}}, 0} // want `work fractions are constants summing to 0\.75`
+}
+
+// oversubscribed assigns 110% of the work.
+func oversubscribed() core.Usecase {
+	return core.Usecase{ // want `work fractions are constants summing to 1\.1`
+		Name: "over",
+		Work: []core.Work{
+			{Fraction: 0.6, Intensity: 8},
+			{Fraction: 0.5, Intensity: 2},
+		},
+	}
+}
+
+// goodSum is exactly 1: clean.
+func goodSum() core.Usecase {
+	return core.Usecase{
+		Name: "good",
+		Work: []core.Work{
+			{Fraction: 0.75, Intensity: 8},
+			{Fraction: 0.25, Intensity: 2},
+		},
+	}
+}
+
+// omittedFraction: a keyed element without Fraction contributes 0.
+func omittedFraction() core.Usecase {
+	return core.Usecase{
+		Name: "idle IP",
+		Work: []core.Work{
+			{Fraction: 1, Intensity: 8},
+			{Intensity: 2},
+		},
+	}
+}
+
+// nonConstant fractions are the runtime validator's job: clean here.
+func nonConstant(f float64) core.Usecase {
+	return core.Usecase{
+		Name: "dynamic",
+		Work: []core.Work{
+			{Fraction: 1 - f, Intensity: 8},
+			{Fraction: f, Intensity: 2},
+		},
+	}
+}
+
+// dynamicWork slices (make, variables) are skipped.
+func dynamicWork(n int) core.Usecase {
+	return core.Usecase{Name: "make", Work: make([]core.Work, n)}
+}
+
+// twoIPOutOfRange passes a fraction above 1.
+func twoIPOutOfRange() {
+	core.TwoIPUsecase("bad", 1.5, 8, 2) // want `two-IP work fraction f=1\.5 outside \[0, 1\]`
+}
+
+// twoIPNegative passes a negative fraction.
+func twoIPNegative() {
+	core.TwoIPUsecase("bad", -0.1, 8, 2) // want `two-IP work fraction f=-0\.1 outside \[0, 1\]`
+}
+
+// twoIPGood and computed fractions are clean.
+func twoIPGood(f float64) {
+	core.TwoIPUsecase("good", 0.75, 8, 2)
+	core.TwoIPUsecase("dynamic", f, 8, 2)
+}
+
+// suppressed: tests that exercise ValidateFor's rejection path construct
+// deliberately bad configs.
+func suppressed() core.Usecase {
+	//lint:ignore fractioncheck deliberately invalid: exercises ValidateFor rejection
+	return core.Usecase{
+		Name: "invalid on purpose",
+		Work: []core.Work{{Fraction: 0.5, Intensity: 8}},
+	}
+}

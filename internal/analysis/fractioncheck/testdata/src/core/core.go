@@ -1,0 +1,34 @@
+// Package core is a minimal stand-in for internal/core: just enough
+// surface for fractioncheck fixtures to type-check. The analyzer matches
+// any package named core, so fixtures need not import the real module.
+package core
+
+// FractionTolerance mirrors internal/core.FractionTolerance.
+const FractionTolerance = 1e-9
+
+// Intensity mirrors units.Intensity.
+type Intensity float64
+
+// Work mirrors core.Work: field order matters for positional literals.
+type Work struct {
+	Fraction  float64
+	Intensity Intensity
+}
+
+// Usecase mirrors core.Usecase.
+type Usecase struct {
+	Name     string
+	Work     []Work
+	TotalOps float64
+}
+
+// TwoIPUsecase mirrors core.TwoIPUsecase.
+func TwoIPUsecase(name string, f float64, i0, i1 Intensity) (*Usecase, error) {
+	return &Usecase{
+		Name: name,
+		Work: []Work{
+			{Fraction: 1 - f, Intensity: i0},
+			{Fraction: f, Intensity: i1},
+		},
+	}, nil
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// IsFloat reports whether t is (or aliases) a floating-point type.
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// ConstFloat returns the value of a compile-time numeric constant
+// expression, if e is one.
+func ConstFloat(info *types.Info, e ast.Expr) (float64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	if tv.Value.Kind() != constant.Int && tv.Value.Kind() != constant.Float {
+		return 0, false
+	}
+	f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	return f, true
+}
+
+// IsConst reports whether e is a compile-time constant expression.
+func IsConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// Unconvert strips parentheses and type conversions (float64(x), T(x))
+// from an expression, returning the innermost operand.
+func Unconvert(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if len(x.Args) != 1 {
+				return e
+			}
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				e = x.Args[0]
+				continue
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+// CalleeName returns the name of the function being called — "Log10" for
+// math.Log10(x) or a method call m.Log10(x), "clamp" for clamp(x) — and,
+// when the callee resolves to a package-level function, the path of the
+// package that declares it. It returns ok=false for indirect calls and
+// type conversions.
+func CalleeName(info *types.Info, call *ast.CallExpr) (name, pkgPath string, ok bool) {
+	if tv, isType := info.Types[call.Fun]; isType && tv.IsType() {
+		return "", "", false
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", "", false
+	}
+	if obj := info.Uses[id]; obj != nil && obj.Pkg() != nil {
+		pkgPath = obj.Pkg().Path()
+	}
+	return id.Name, pkgPath, true
+}
+
+// InspectShallow walks n like ast.Inspect but does not descend into
+// nested function literals: a FuncLit's body belongs to the WalkFuncs
+// visit of the literal itself, not to its enclosing function.
+func InspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, isLit := c.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(c)
+	})
+}
+
+// WalkFuncs visits every function declaration and function literal in the
+// files, handing fn the node whose Body it should inspect along with the
+// best available name ("" for anonymous literals). Pair with
+// InspectShallow so nested literals are not analyzed twice.
+func WalkFuncs(files []*ast.File, fn func(name string, body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Name.Name, d.Body)
+				}
+			case *ast.FuncLit:
+				fn("", d.Body)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path the package was loaded under.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages for analysis. Target packages are
+// always checked from source; their imports are satisfied, in order of
+// preference, by (1) Resolve — more source packages, used by analysistest
+// fixtures, (2) Lookup — compiled export data from the build cache, used by
+// cmd/gables-lint via `go list -export`, and (3) a source importer that
+// type-checks the standard library from $GOROOT/src, which keeps the whole
+// pipeline working offline with an empty build cache.
+type Loader struct {
+	Fset *token.FileSet
+	// Resolve maps an import path to a directory whose sources should be
+	// type-checked to satisfy the import. Optional.
+	Resolve func(importPath string) (dir string, ok bool)
+	// Lookup returns compiled export data for an import path, as the
+	// lookup functions of go/importer.ForCompiler do. Optional.
+	Lookup func(importPath string) (io.ReadCloser, error)
+	// IncludeTests makes source loads include in-package _test.go files.
+	IncludeTests bool
+
+	pkgs   map[string]*Package
+	gcImp  types.Importer
+	srcImp types.Importer
+}
+
+// NewLoader returns a loader with a fresh fileset.
+func NewLoader() *Loader {
+	return &Loader{Fset: token.NewFileSet(), pkgs: map[string]*Package{}}
+}
+
+// inProgress marks a package currently being type-checked (cycle sentinel).
+var inProgress = &Package{}
+
+// Load type-checks the package at importPath from source, resolving the
+// directory via Resolve.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		if p == inProgress {
+			return nil, fmt.Errorf("analysis: import cycle through %q", importPath)
+		}
+		return p, nil
+	}
+	if l.Resolve == nil {
+		return nil, fmt.Errorf("analysis: no resolver configured for %q", importPath)
+	}
+	dir, ok := l.Resolve(importPath)
+	if !ok {
+		return nil, fmt.Errorf("analysis: cannot resolve import path %q to a directory", importPath)
+	}
+	files, err := l.sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.CheckFiles(importPath, files)
+}
+
+// sourceFiles lists the .go files of dir that belong in a source load:
+// sorted for determinism, test files only when IncludeTests is set.
+func (l *Loader) sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// CheckFiles parses and type-checks exactly the given files as the package
+// at importPath. Files whose package clause disagrees with the first file's
+// (external _test packages mixed into a directory listing) are skipped.
+func (l *Loader) CheckFiles(importPath string, filenames []string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok && p != inProgress {
+		return p, nil
+	}
+	l.pkgs[importPath] = inProgress
+
+	var (
+		astFiles []*ast.File
+		pkgName  string
+	)
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			delete(l.pkgs, importPath)
+			return nil, fmt.Errorf("analysis: parse %s: %v", fn, err)
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name != pkgName {
+			continue
+		}
+		astFiles = append(astFiles, f)
+	}
+	if len(astFiles) == 0 {
+		delete(l.pkgs, importPath)
+		return nil, fmt.Errorf("analysis: no files for package %q", importPath)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, astFiles, info)
+	if err != nil {
+		delete(l.pkgs, importPath)
+		return nil, fmt.Errorf("analysis: typecheck %s: %v", importPath, err)
+	}
+	p := &Package{Path: importPath, Fset: l.Fset, Files: astFiles, Types: tpkg, Info: info}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// Import implements types.Importer for the dependency chain described on
+// Loader.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.Resolve != nil {
+		if _, ok := l.Resolve(path); ok {
+			p, err := l.Load(path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+	}
+	if l.Lookup != nil {
+		if l.gcImp == nil {
+			l.gcImp = importer.ForCompiler(l.Fset, "gc", l.Lookup)
+		}
+		if pkg, err := l.gcImp.Import(path); err == nil {
+			return pkg, nil
+		}
+	}
+	if l.srcImp == nil {
+		l.srcImp = importer.ForCompiler(l.Fset, "source", nil)
+	}
+	return l.srcImp.Import(path)
+}

@@ -1,0 +1,134 @@
+// Package logguard flags math.Log / math.Log10 / math.Log2 calls whose
+// argument is not visibly guarded for positivity, and divisions whose
+// denominator is built from such logs (zero when the log argument is 1).
+// A non-positive input turns the whole downstream pipeline into NaN with
+// no error — exactly the bug internal/plot had to fix in PR 1 by clamping
+// log-axis inputs to the axis floor.
+//
+// "Guarded" is a per-function, syntactic judgment: the function compares
+// the same expression (modulo parentheses and conversions) against a
+// bound somewhere, or the argument is already the result of a clamping
+// call (clamp*, math.Max, the max builtin, math.Floor...). The analyzer
+// does not do interprocedural range analysis; a call site that is safe for
+// non-local reasons gets a //lint:ignore logguard directive with the
+// reason spelled out.
+package logguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"github.com/gables-model/gables/internal/analysis"
+)
+
+// Analyzer is the logguard rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "logguard",
+	Doc: "flags math.Log/Log10/Log2 calls (and divisions by them) whose input is not " +
+		"guarded for positivity in the same function; log of a non-positive value is NaN/-Inf",
+	Run: run,
+}
+
+var logNames = map[string]bool{"Log": true, "Log10": true, "Log2": true}
+
+// clampCall matches callee names whose result is safe to take a log of.
+var clampCall = regexp.MustCompile(`(?i)clamp|floor|max`)
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkFuncs(pass.Files, func(_ string, body *ast.BlockStmt) {
+		guards := comparisonOperands(pass, body)
+		analysis.InspectShallow(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := mathLogCall(pass, x); ok && !argGuarded(pass, guards, x.Args[0]) {
+					pass.Reportf(x.Pos(),
+						"math.%s on %s without a positivity guard in this function; a non-positive input yields NaN/-Inf — guard (v <= 0) or clamp first",
+						name, types.ExprString(x.Args[0]))
+				}
+			case *ast.BinaryExpr:
+				if x.Op != token.QUO {
+					return true
+				}
+				logs := logCallsWithin(pass, x.Y)
+				if len(logs) == 0 {
+					return true
+				}
+				if guards[types.ExprString(x.Y)] {
+					return true
+				}
+				for _, lc := range logs {
+					if !argGuarded(pass, guards, lc.Args[0]) {
+						pass.Reportf(x.OpPos,
+							"dividing by %s, which is zero when the log argument is 1 and NaN when it is non-positive; guard the denominator",
+							types.ExprString(x.Y))
+						break
+					}
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// mathLogCall reports whether call is math.Log, math.Log10 or math.Log2.
+func mathLogCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	name, pkg, ok := analysis.CalleeName(pass.TypesInfo, call)
+	if !ok || pkg != "math" || !logNames[name] || len(call.Args) != 1 {
+		return "", false
+	}
+	return name, true
+}
+
+// argGuarded decides whether a log argument is safe: a positive constant,
+// a clamping call, or an expression the function compares against a bound.
+func argGuarded(pass *analysis.Pass, guards map[string]bool, arg ast.Expr) bool {
+	core := analysis.Unconvert(pass.TypesInfo, arg)
+	if f, ok := analysis.ConstFloat(pass.TypesInfo, core); ok {
+		return f > 0
+	}
+	if call, ok := core.(*ast.CallExpr); ok {
+		if name, _, ok := analysis.CalleeName(pass.TypesInfo, call); ok && clampCall.MatchString(name) {
+			return true
+		}
+	}
+	return guards[types.ExprString(arg)] || guards[types.ExprString(core)]
+}
+
+// comparisonOperands collects the rendered operands of every comparison in
+// the function body: `if lo <= 0 || lo >= hi { return err }` contributes
+// "lo", "0" and "hi", which then vouch for math.Log(float64(lo)).
+func comparisonOperands(pass *analysis.Pass, body *ast.BlockStmt) map[string]bool {
+	guards := map[string]bool{}
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				guards[types.ExprString(side)] = true
+				guards[types.ExprString(analysis.Unconvert(pass.TypesInfo, side))] = true
+			}
+		}
+		return true
+	})
+	return guards
+}
+
+// logCallsWithin returns the math.Log* calls appearing anywhere in e.
+func logCallsWithin(pass *analysis.Pass, e ast.Expr) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, isLog := mathLogCall(pass, call); isLog {
+				out = append(out, call)
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package logguard_test
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/analysis/analysistest"
+	"github.com/gables-model/gables/internal/analysis/logguard"
+)
+
+func TestLogguard(t *testing.T) {
+	analysistest.Run(t, "testdata", logguard.Analyzer, "a")
+}

@@ -1,0 +1,64 @@
+// Package a exercises logguard: unguarded log-space sampling (the
+// pre-units.Logspace roofline/logca pattern), divisions by inline logs,
+// and the guarded/clamped idioms that must stay clean.
+package a
+
+import "math"
+
+// curvePrefix reproduces the log-spaced sampling that internal/roofline
+// and internal/logca carried before delegating to units.Logspace: nothing
+// in this function bounds lo or hi.
+func curvePrefix(lo, hi float64, n int) []float64 {
+	logLo, logHi := math.Log(lo), math.Log(hi) // want `math\.Log on lo without a positivity guard` `math\.Log on hi without a positivity guard`
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		out[k] = math.Exp(logLo + (logHi-logLo)*float64(k)/float64(n-1))
+	}
+	return out
+}
+
+// guarded mirrors the accepted pattern: validate, then sample.
+func guarded(lo, hi float64) (float64, float64) {
+	if lo <= 0 || hi <= 0 || lo >= hi {
+		return 0, 0
+	}
+	return math.Log(lo), math.Log(hi)
+}
+
+// guardedConversion matches through float64(...) conversions the way
+// roofline.Curve guards units.Intensity values.
+func guardedConversion(lo float64) float64 {
+	if lo <= 0 {
+		return 0
+	}
+	return math.Log10(float64(lo))
+}
+
+// clamped inputs are safe by construction.
+func clamped(v float64) float64 { return math.Log10(math.Max(v, 1e-12)) }
+
+// positive constants are safe.
+func constant() float64 { return math.Log(10) }
+
+// divByLog reproduces the denominator-zero hazard of plot's pre-fix
+// scale(): Log10(y) is zero at y == 1 and NaN for y <= 0.
+func divByLog(x, y float64) float64 {
+	if x <= 0 {
+		x = 1
+	}
+	return x / math.Log10(y) // want `math\.Log10 on y without a positivity guard` `dividing by math\.Log10\(y\)`
+}
+
+// divGuarded bounds the log argument away from the zero of the log.
+func divGuarded(x, y float64) float64 {
+	if y <= 1 {
+		return 0
+	}
+	return x / math.Log10(y)
+}
+
+// suppressed documents a non-local invariant instead of restating it.
+func suppressed(t float64) float64 {
+	//lint:ignore logguard t is a wall-clock duration in seconds, >= 1 by construction
+	return math.Log(t)
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/analysis/analysistest"
+	"github.com/gables-model/gables/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "a")
+}

@@ -1,0 +1,67 @@
+// Package a exercises maporder with local stand-ins for the output sinks
+// (fmt.Fprintf, report.Table.AddRow, ...) so the fixture type-checks
+// without imports; the analyzer matches sinks by callee name.
+package a
+
+// Builder stands in for strings.Builder / io.Writer sinks.
+type Builder struct{}
+
+func (b *Builder) WriteString(s string) {}
+
+// Fprintf stands in for fmt.Fprintf.
+func Fprintf(b *Builder, format string, args ...any) {}
+
+// sortStrings stands in for sort.Strings.
+func sortStrings(s []string) {}
+
+// emitDirect writes rows straight out of a map: the order is randomized
+// run to run, which breaks the byte-identical repro diff.
+func emitDirect(w *Builder, cells map[string]float64) {
+	for k, v := range cells { // want `writing output while ranging over map cells`
+		Fprintf(w, "%s,%g\n", k, v)
+	}
+}
+
+// collectUnsorted gathers rows from a map but never sorts them before the
+// function prints, so the order still leaks.
+func collectUnsorted(w *Builder, cells map[string]float64) {
+	var rows []string
+	for k := range cells { // want `ranging over map cells in a function that writes output`
+		rows = append(rows, k)
+	}
+	for _, r := range rows {
+		w.WriteString(r)
+	}
+}
+
+// sortedKeys is the approved pattern: collect, sort, then emit.
+func sortedKeys(w *Builder, cells map[string]float64) {
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		Fprintf(w, "%s,%g\n", k, cells[k])
+	}
+}
+
+// pureAccumulation produces no output; iteration order is not maporder's
+// business here.
+func pureAccumulation(cells map[string]float64) int {
+	n := 0
+	for range cells {
+		n++
+	}
+	return n
+}
+
+// suppressedTotal justifies an order-insensitive reduction inline.
+func suppressedTotal(w *Builder, counts map[string]int) {
+	total := 0
+	//lint:ignore maporder integer summation is order-independent
+	for _, c := range counts {
+		total += c
+	}
+	Fprintf(w, "%d\n", total)
+}

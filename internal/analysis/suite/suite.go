@@ -1,0 +1,40 @@
+// Package suite registers the repository's analyzers in one place.
+// cmd/gables-lint runs exactly this list; adding a rule means adding it
+// here (and documenting it in DESIGN.md §5).
+package suite
+
+import (
+	"github.com/gables-model/gables/internal/analysis"
+	"github.com/gables-model/gables/internal/analysis/floatcmp"
+	"github.com/gables-model/gables/internal/analysis/fractioncheck"
+	"github.com/gables-model/gables/internal/analysis/logguard"
+	"github.com/gables-model/gables/internal/analysis/maporder"
+)
+
+// All is the full analyzer suite, in the order findings are attributed.
+var All = []*analysis.Analyzer{
+	floatcmp.Analyzer,
+	fractioncheck.Analyzer,
+	logguard.Analyzer,
+	maporder.Analyzer,
+}
+
+// ByName returns the subset of All matching the given names; unknown
+// names return false.
+func ByName(names ...string) ([]*analysis.Analyzer, bool) {
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		found := false
+		for _, a := range All {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return out, true
+}

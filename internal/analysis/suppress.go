@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// The suite's suppression convention, modeled on staticcheck's:
+//
+//	//lint:ignore analyzer1,analyzer2 reason
+//
+// placed on the offending line or on the line directly above it silences
+// those analyzers for that line. The analyzer list may be * to silence all.
+// A whole file is exempted with
+//
+//	//lint:file-ignore analyzer reason
+//
+// anywhere in the file. The reason is mandatory: a suppression with no
+// justification is itself reported as a finding, and so is a suppression
+// that no longer matches any diagnostic (staleness check).
+type suppression struct {
+	file      string
+	line      int // line the directive occupies; 0 for file-ignore
+	wholeFile bool
+	analyzers map[string]bool // nil means * (all analyzers)
+	reason    string
+	pos       token.Pos
+	used      bool
+}
+
+func (s *suppression) matches(name string) bool {
+	return s.analyzers == nil || s.analyzers[name]
+}
+
+// covers reports whether the suppression silences a diagnostic at p.
+func (s *suppression) covers(p token.Position) bool {
+	if p.Filename != s.file {
+		return false
+	}
+	return s.wholeFile || p.Line == s.line || p.Line == s.line+1
+}
+
+// collectSuppressions scans a package's comments for //lint: directives.
+// Malformed directives are returned as diagnostics (analyzer "lint").
+func collectSuppressions(pkg *Package) ([]*suppression, []Diagnostic) {
+	var sups []*suppression
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				verb, rest, _ := strings.Cut(text, " ")
+				switch verb {
+				case "ignore", "file-ignore":
+				default:
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lint",
+						Message:  "malformed //lint: directive: unknown verb " + verb + " (want ignore or file-ignore)",
+					})
+					continue
+				}
+				names, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				reason = strings.TrimSpace(reason)
+				if names == "" || reason == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lint",
+						Message:  "malformed //lint:" + verb + " directive: want \"//lint:" + verb + " analyzer[,analyzer] reason\"",
+					})
+					continue
+				}
+				s := &suppression{
+					file:      pos.Filename,
+					line:      pos.Line,
+					wholeFile: verb == "file-ignore",
+					reason:    reason,
+					pos:       c.Pos(),
+				}
+				if names != "*" {
+					s.analyzers = map[string]bool{}
+					for _, n := range strings.Split(names, ",") {
+						s.analyzers[strings.TrimSpace(n)] = true
+					}
+				}
+				sups = append(sups, s)
+			}
+		}
+	}
+	return sups, bad
+}

@@ -157,6 +157,7 @@ func TestTotalOpsScaling(t *testing.T) {
 func TestEvaluateRejectsInvalid(t *testing.T) {
 	s := paperSoC(t, 10)
 	m, _ := New(s)
+	//lint:ignore fractioncheck deliberately invalid: exercises Evaluate's rejection of mismatched fractions
 	bad := &Usecase{Name: "bad", Work: []Work{{Fraction: 0.5, Intensity: 8}}}
 	if _, err := m.Evaluate(bad); err == nil {
 		t.Error("mismatched usecase must be rejected")

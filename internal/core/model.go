@@ -78,6 +78,7 @@ func (s *SoC) Validate() error {
 	if len(s.IPs) == 0 {
 		return fmt.Errorf("gables: SoC %q: needs at least one IP", s.Name)
 	}
+	//lint:ignore floatcmp A0 = 1 is an exact normalization identity written in SoC definitions, not computed; tolerance would accept mis-specified configs
 	if s.IPs[0].Acceleration != 1 {
 		return fmt.Errorf("gables: SoC %q: IP[0] (%s) must have acceleration A0 = 1, got %v",
 			s.Name, s.IPs[0].Name, s.IPs[0].Acceleration)

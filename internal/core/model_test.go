@@ -127,9 +127,11 @@ func TestFractionTolerance(t *testing.T) {
 }
 
 func TestTwoIPUsecaseValidation(t *testing.T) {
+	//lint:ignore fractioncheck deliberately invalid: exercises TwoIPUsecase's f < 0 rejection
 	if _, err := TwoIPUsecase("bad", -0.1, 8, 8); err == nil {
 		t.Error("f < 0 must be rejected")
 	}
+	//lint:ignore fractioncheck deliberately invalid: exercises TwoIPUsecase's f > 1 rejection
 	if _, err := TwoIPUsecase("bad", 1.1, 8, 8); err == nil {
 		t.Error("f > 1 must be rejected")
 	}
@@ -166,6 +168,7 @@ func TestAverageIntensity(t *testing.T) {
 	}
 
 	// No active work: undefined.
+	//lint:ignore fractioncheck deliberately invalid: a zero-work usecase makes AverageIntensity undefined
 	empty := &Usecase{Work: []Work{{}, {}}}
 	if _, ok := empty.AverageIntensity(); ok {
 		t.Error("Iavg must be undefined with no work")

@@ -67,6 +67,7 @@ func TestPerformanceFormNoWorkError(t *testing.T) {
 	// Fractions summing to 1 is enforced by validation, so a no-work
 	// usecase is impossible through the public API; invalid input must
 	// error rather than return an unbounded result.
+	//lint:ignore fractioncheck deliberately invalid: exercises PerformanceForm's no-work rejection
 	u := &Usecase{Name: "none", Work: []Work{{}, {}}}
 	if _, _, err := m.PerformanceForm(u); err == nil {
 		t.Error("no-work usecase must be rejected")

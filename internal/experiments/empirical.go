@@ -229,7 +229,7 @@ func Figure8() (*Artifact, error) {
 	}
 	modelBest := 0.0
 	for _, p := range grid {
-		if p.Intensity == 1024 && p.Normalized > modelBest {
+		if units.ApproxEqual(float64(p.Intensity), 1024, 1e-12) && p.Normalized > modelBest {
 			modelBest = p.Normalized
 		}
 	}

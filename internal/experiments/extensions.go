@@ -480,7 +480,7 @@ func PeerFlows() (*Artifact, error) {
 			return nil, err
 		}
 		tbl.AddRow(frac, res.Attainable.Gops(), float64(res.MemoryTraffic), res.Bottleneck.String())
-		if frac == 0.8 {
+		if units.ApproxEqual(frac, 0.8, 1e-12) {
 			at80 = res.Attainable.Gops()
 		}
 	}

@@ -27,6 +27,8 @@ package logca
 import (
 	"fmt"
 	"math"
+
+	"github.com/gables-model/gables/internal/units"
 )
 
 // Model is one accelerator interface characterization.
@@ -192,10 +194,12 @@ func (m Model) Curve(lo, hi float64, n int) ([]Point, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("logca: need at least 2 samples, got %d", n)
 	}
+	gs, err := units.Logspace(lo, hi, n)
+	if err != nil {
+		return nil, fmt.Errorf("logca: %w", err)
+	}
 	out := make([]Point, n)
-	logLo, logHi := math.Log(lo), math.Log(hi)
-	for k := 0; k < n; k++ {
-		gk := math.Exp(logLo + (logHi-logLo)*float64(k)/float64(n-1))
+	for k, gk := range gs {
 		s, err := m.Speedup(gk)
 		if err != nil {
 			return nil, err

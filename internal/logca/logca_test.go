@@ -225,3 +225,16 @@ func TestSpeedupMonotoneBoundedProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCurveRejectsDegenerateRanges(t *testing.T) {
+	m := Model{Latency: 1e-9, Overhead: 1e-6, ComputeIndex: 1e-8, Beta: 1, Acceleration: 10}
+	if _, err := m.Curve(0, 10, 5); err == nil {
+		t.Error("lo = 0 must be rejected before math.Log sees it")
+	}
+	if _, err := m.Curve(-1, 10, 5); err == nil {
+		t.Error("lo < 0 must be rejected before math.Log sees it")
+	}
+	if _, err := m.Curve(7, 7, 5); err == nil {
+		t.Error("degenerate lo == hi must be rejected")
+	}
+}

@@ -118,6 +118,7 @@ func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
 		}
 	}
 	// Degenerate extents get a synthetic margin so scaling stays finite.
+	//lint:ignore floatcmp exact degenerate-extent test: any nonzero width is renderable, so a tolerance would misclassify legitimately tiny extents
 	if xmin == xmax {
 		if c.XLog {
 			xmin, xmax = xmin/2, xmax*2
@@ -125,6 +126,7 @@ func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
 			xmin, xmax = xmin-1, xmax+1
 		}
 	}
+	//lint:ignore floatcmp exact degenerate-extent test, as for xmin == xmax above
 	if ymin == ymax {
 		if c.YLog {
 			ymin, ymax = ymin/2, ymax*2
@@ -141,6 +143,12 @@ func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
 // silently becoming NaN via math.Log10.
 func scale(v, lo, hi float64, log bool) float64 {
 	if log {
+		// bounds() only emits positive, non-degenerate log extents, but
+		// scale is also reachable from annotation paths; a broken extent
+		// pins everything to the axis origin instead of producing NaN.
+		if lo <= 0 || hi <= lo {
+			return 0
+		}
 		if v <= 0 {
 			v = lo
 		}
@@ -153,6 +161,11 @@ func scale(v, lo, hi float64, log bool) float64 {
 // up to n evenly spaced ticks otherwise.
 func niceTicks(lo, hi float64, log bool, n int) []float64 {
 	if log {
+		// A nonpositive or degenerate extent has no decade structure;
+		// fall back to the endpoints rather than feeding Log10 garbage.
+		if lo <= 0 || hi <= lo {
+			return []float64{lo, hi}
+		}
 		var ticks []float64
 		start := math.Floor(math.Log10(lo))
 		end := math.Ceil(math.Log10(hi))

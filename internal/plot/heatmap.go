@@ -51,6 +51,7 @@ func (h *Heatmap) rangeOf() (lo, hi float64) {
 			lo, hi = math.Min(lo, v), math.Max(hi, v)
 		}
 	}
+	//lint:ignore floatcmp exact degenerate-extent test: any nonzero spread is colorable, so a tolerance would flatten legitimately narrow ranges
 	if lo == hi {
 		hi = lo + 1
 	}

@@ -2,7 +2,6 @@ package plot
 
 import (
 	"fmt"
-	"math"
 
 	"github.com/gables-model/gables/internal/core"
 	"github.com/gables-model/gables/internal/roofline"
@@ -68,11 +67,13 @@ func GablesChart(m *core.Model, u *core.Usecase, lo, hi units.Intensity, samples
 		XLog:   true,
 		YLog:   true,
 	}
-	logLo, logHi := math.Log(float64(lo)), math.Log(float64(hi))
+	xs, err := units.Logspace(float64(lo), float64(hi), samples)
+	if err != nil {
+		return nil, fmt.Errorf("plot: %w", err)
+	}
 	for _, c := range curves {
 		s := Series{Name: c.Component.String()}
-		for k := 0; k < samples; k++ {
-			x := math.Exp(logLo + (logHi-logLo)*float64(k)/float64(samples-1))
+		for _, x := range xs {
 			s.X = append(s.X, x)
 			s.Y = append(s.Y, float64(c.Value(units.Intensity(x))))
 		}

@@ -15,7 +15,6 @@ package roofline
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 
 	"github.com/gables-model/gables/internal/units"
@@ -160,10 +159,13 @@ func (m *Model) Curve(lo, hi units.Intensity, n int) ([]Point, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("roofline: need at least 2 samples, got %d", n)
 	}
+	xs, err := units.Logspace(float64(lo), float64(hi), n)
+	if err != nil {
+		return nil, fmt.Errorf("roofline: %w", err)
+	}
 	pts := make([]Point, n)
-	logLo, logHi := math.Log(float64(lo)), math.Log(float64(hi))
-	for k := 0; k < n; k++ {
-		i := units.Intensity(math.Exp(logLo + (logHi-logLo)*float64(k)/float64(n-1)))
+	for k, x := range xs {
+		i := units.Intensity(x)
 		p, err := m.Attainable(i)
 		if err != nil {
 			return nil, err

@@ -24,6 +24,7 @@ type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
+	//lint:ignore floatcmp deterministic event ordering requires bitwise time equality before the seq tie-break; a tolerance would make the order depend on insertion history
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}

@@ -141,3 +141,25 @@ func ApproxEqual(a, b, rel float64) bool {
 	scale := math.Max(math.Abs(a), math.Abs(b))
 	return diff <= rel*scale
 }
+
+// Logspace returns n logarithmically spaced samples spanning [lo, hi],
+// with both endpoints pinned to exactly lo and hi: round-tripping the
+// bounds through exp(log(·)) would land one ulp off, and downstream
+// consumers (curve sampling, plots) want the stated range hit bit-exactly.
+// It is the shared guard in front of math.Log for curve generators: lo and
+// hi must be finite and positive with lo < hi, and n must be at least 2.
+func Logspace(lo, hi float64, n int) ([]float64, error) {
+	if !(lo > 0) || !(hi > lo) || math.IsInf(hi, 1) {
+		return nil, fmt.Errorf("units: logspace needs 0 < lo < hi (finite), got [%v, %v]", lo, hi)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("units: logspace needs at least 2 samples, got %d", n)
+	}
+	out := make([]float64, n)
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	for k := range out {
+		out[k] = math.Exp(logLo + (logHi-logLo)*float64(k)/float64(n-1))
+	}
+	out[0], out[n-1] = lo, hi
+	return out, nil
+}

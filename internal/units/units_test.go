@@ -119,3 +119,51 @@ func TestSIFormatBoundaries(t *testing.T) {
 		}
 	}
 }
+
+func TestLogspace(t *testing.T) {
+	xs, err := Logspace(0.01, 100, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 33 {
+		t.Fatalf("len = %d, want 33", len(xs))
+	}
+	// Endpoints are pinned bit-exactly, not round-tripped through exp(log).
+	if xs[0] != 0.01 || xs[32] != 100 {
+		t.Errorf("endpoints = %v, %v; want exactly 0.01, 100", xs[0], xs[32])
+	}
+	for i := 1; i < len(xs); i++ {
+		if !(xs[i] > xs[i-1]) {
+			t.Fatalf("not strictly increasing at %d: %v, %v", i, xs[i-1], xs[i])
+		}
+	}
+	// Log-spaced: adjacent ratios are constant.
+	ratio := xs[1] / xs[0]
+	for i := 2; i < len(xs); i++ {
+		if !ApproxEqual(xs[i]/xs[i-1], ratio, 1e-9) {
+			t.Errorf("ratio at %d = %v, want %v", i, xs[i]/xs[i-1], ratio)
+		}
+	}
+}
+
+func TestLogspaceRejectsDegenerateRanges(t *testing.T) {
+	cases := []struct {
+		name   string
+		lo, hi float64
+		n      int
+	}{
+		{"lo zero", 0, 10, 5},
+		{"lo negative", -1, 10, 5},
+		{"lo == hi", 3, 3, 5},
+		{"hi < lo", 10, 1, 5},
+		{"lo NaN", math.NaN(), 10, 5},
+		{"hi NaN", 1, math.NaN(), 5},
+		{"hi +Inf", 1, math.Inf(1), 5},
+		{"n too small", 1, 10, 1},
+	}
+	for _, c := range cases {
+		if _, err := Logspace(c.lo, c.hi, c.n); err == nil {
+			t.Errorf("%s: Logspace(%v, %v, %d) did not error", c.name, c.lo, c.hi, c.n)
+		}
+	}
+}
