@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/gables-model/gables
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSimKernel-8   	  143142	     15950 ns/op	    7752 B/op	     110 allocs/op
+BenchmarkScheduleRun 	 3129111	        38.12 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/gables-model/gables	3.2s
+`
+
+func TestParseBench(t *testing.T) {
+	results := ParseBench(sampleOutput)
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkSimKernel" {
+		t.Errorf("name = %q, want BenchmarkSimKernel (GOMAXPROCS suffix stripped)", r.Name)
+	}
+	if r.Iterations != 143142 || r.NsPerOp != 15950 || r.BytesPerOp != 7752 || r.AllocsPerOp != 110 {
+		t.Errorf("unexpected fields: %+v", r)
+	}
+	if results[1].NsPerOp != 38.12 {
+		t.Errorf("fractional ns/op = %v, want 38.12", results[1].NsPerOp)
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	if got := ParseBench("PASS\nok pkg 1.2s\n"); len(got) != 0 {
+		t.Errorf("parsed %d results from non-benchmark output", len(got))
+	}
+}
+
+func rec(name string, ns, allocs float64) Record {
+	return Record{Benchmarks: []Result{{Name: name, NsPerOp: ns, AllocsPerOp: allocs}}}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	regs := Compare(rec("BenchmarkX", 100, 10), rec("BenchmarkX", 140, 10), 0.25)
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("regs = %+v, want one ns/op regression", regs)
+	}
+	regs = Compare(rec("BenchmarkX", 100, 10), rec("BenchmarkX", 100, 20), 0.25)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regs = %+v, want one allocs/op regression", regs)
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	if regs := Compare(rec("BenchmarkX", 100, 10), rec("BenchmarkX", 120, 12), 0.25); len(regs) != 0 {
+		t.Errorf("regs = %+v, want none within threshold", regs)
+	}
+	// Improvements never flag.
+	if regs := Compare(rec("BenchmarkX", 100, 10), rec("BenchmarkX", 50, 1), 0.25); len(regs) != 0 {
+		t.Errorf("regs = %+v, improvement must not flag", regs)
+	}
+}
+
+func TestCompareZeroAllocBaselineNoise(t *testing.T) {
+	// An amortized-zero-alloc benchmark drifting to a fraction of an
+	// allocation per op must not flag (ratio floor of one alloc).
+	if regs := Compare(rec("BenchmarkX", 100, 0), rec("BenchmarkX", 100, 0.9), 0.25); len(regs) != 0 {
+		t.Errorf("regs = %+v, sub-1 allocs baseline must use a floor", regs)
+	}
+	if regs := Compare(rec("BenchmarkX", 100, 0), rec("BenchmarkX", 100, 3), 0.25); len(regs) != 1 {
+		t.Errorf("regs = %+v, a real allocation jump must flag", regs)
+	}
+}
+
+func TestCompareSkipsUnmatched(t *testing.T) {
+	prev := rec("BenchmarkOld", 1, 1)
+	cur := rec("BenchmarkNew", 1e9, 1e9)
+	if regs := Compare(prev, cur, 0.25); len(regs) != 0 {
+		t.Errorf("regs = %+v, unmatched benchmarks must be skipped", regs)
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+
+	// Missing file is an empty trajectory, not an error.
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Records) != 0 {
+		t.Fatalf("missing file yielded %d records", len(f.Records))
+	}
+
+	f.Records = append(f.Records, Record{
+		GitSHA:     "abc1234",
+		GoVersion:  "go1.22.0",
+		Benchmarks: []Result{{Name: "BenchmarkX", Iterations: 10, NsPerOp: 1.5, BytesPerOp: 8, AllocsPerOp: 1}},
+	})
+	if err := Save(path, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != 1 || back.Records[0].GitSHA != "abc1234" ||
+		back.Records[0].Benchmarks[0] != f.Records[0].Benchmarks[0] {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("corrupt trajectory file must be rejected")
+	}
+}

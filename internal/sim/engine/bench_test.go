@@ -1,0 +1,81 @@
+package engine
+
+import "testing"
+
+// BenchmarkScheduleRun is the engine's core cost: schedule a batch of
+// future events and drain them. ns/op and allocs/op are per event.
+func BenchmarkScheduleRun(b *testing.B) {
+	e := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Interleave two time streams so pushes exercise real sifting
+		// rather than append-only heap order.
+		var at Time
+		if i%2 == 0 {
+			at = e.Now() + 1e-9
+		} else {
+			at = e.Now() + 2e-9
+		}
+		if err := e.Schedule(at, fn); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			if _, err := e.Run(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if _, err := e.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCascade measures the self-rescheduling pattern every bandwidth
+// server uses: each event schedules the next one.
+func BenchmarkCascade(b *testing.B) {
+	e := New()
+	remaining := b.N
+	var step func()
+	step = func() {
+		remaining--
+		if remaining > 0 {
+			if err := e.After(1e-9, step); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Schedule(0, step); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSameInstantFIFO measures the same-timestamp fast path: each
+// event schedules a follow-up at the exact current instant.
+func BenchmarkSameInstantFIFO(b *testing.B) {
+	e := New()
+	remaining := b.N
+	var step func()
+	step = func() {
+		remaining--
+		if remaining > 0 {
+			if err := e.Schedule(e.Now(), step); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Schedule(0, step); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -2,10 +2,16 @@
 // priority queue of timestamped events with deterministic FIFO ordering for
 // ties. Every other sim package (bandwidth servers, IP pipelines, thermal
 // governors) schedules closures on an Engine.
+//
+// The queue is allocation-lean: events are value structs in an inlined
+// 4-ary min-heap whose backing slice grows in place and is reused across
+// Run calls, and events scheduled for the *current* instant bypass the heap
+// entirely through a FIFO fast path. Ordering is the strict total order
+// (at, seq) — bitwise time comparison first, scheduling sequence as the
+// tie-break — so a given schedule always replays identically.
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -13,39 +19,43 @@ import (
 // Time is simulated time in seconds.
 type Time float64
 
-// Event is a scheduled closure.
+// event is a scheduled closure. Events are stored by value: scheduling
+// allocates nothing beyond amortized slice growth.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+// less orders events by (at, seq). The comparison on at is intentionally
+// bitwise: the engine's determinism contract is that two events at the
+// same float64 instant run in scheduling order, and a tolerance would make
+// that order depend on insertion history.
+func less(a, b event) bool {
 	//lint:ignore floatcmp deterministic event ordering requires bitwise time equality before the seq tie-break; a tolerance would make the order depend on insertion history
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine drives a simulation.
 type Engine struct {
-	now   Time
-	seq   uint64
-	queue eventQueue
+	now Time
+	seq uint64
+
+	// heap is an inlined 4-ary min-heap ordered by less. Its backing
+	// array is retained when the queue drains, so repeated Run calls on
+	// one engine stop allocating once the first run has sized it.
+	heap []event
+
+	// fifo holds events scheduled for exactly the current instant
+	// (at == now). They are popped in insertion order after every heap
+	// event at the same instant — see popNext for why that is exactly
+	// (at, seq) order — turning same-timestamp cascades into O(1)
+	// queue operations instead of heap sifts.
+	fifo     []event
+	fifoHead int
 }
 
 // New returns an engine at time zero.
@@ -67,7 +77,17 @@ func (e *Engine) Schedule(at Time, fn func()) error {
 		return fmt.Errorf("engine: nil event function")
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	ev := event{at: at, seq: e.seq, fn: fn}
+	//lint:ignore floatcmp the fast path keys on bitwise equality with the current instant; anything merely close must still order through the heap
+	if at == e.now {
+		// Same-instant fast path. Every event already in the heap with
+		// this timestamp was scheduled before the clock reached it and
+		// therefore carries a smaller seq than anything appended here,
+		// so heap-then-fifo draining preserves (at, seq) order.
+		e.fifo = append(e.fifo, ev)
+		return nil
+	}
+	e.heapPush(ev)
 	return nil
 }
 
@@ -79,16 +99,61 @@ func (e *Engine) After(delay Time, fn func()) error {
 	return e.Schedule(e.now+delay, fn)
 }
 
+// peek returns the next event's timestamp without popping it.
+func (e *Engine) peek() (Time, bool) {
+	if len(e.heap) > 0 {
+		//lint:ignore floatcmp bitwise comparison against the current instant mirrors the fast-path test in Schedule
+		if e.heap[0].at == e.now {
+			return e.now, true
+		}
+	}
+	if e.fifoHead < len(e.fifo) {
+		return e.now, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].at, true
+	}
+	return 0, false
+}
+
+// popNext removes and returns the globally next event in (at, seq) order.
+//
+// Heap events at the current instant always precede fifo events: the fifo
+// only receives events scheduled *while* now == at (strictly larger seq),
+// whereas same-instant heap events were scheduled before the clock
+// advanced. Events at later instants come after both, and the fifo is
+// empty whenever the clock advances (rule three only fires once rules one
+// and two are exhausted).
+func (e *Engine) popNext() event {
+	if len(e.heap) > 0 {
+		//lint:ignore floatcmp see popNext doc comment: bitwise same-instant test against now
+		if e.heap[0].at == e.now {
+			return e.heapPop()
+		}
+	}
+	if e.fifoHead < len(e.fifo) {
+		ev := e.fifo[e.fifoHead]
+		e.fifo[e.fifoHead] = event{} // release the closure
+		e.fifoHead++
+		if e.fifoHead == len(e.fifo) {
+			e.fifo = e.fifo[:0] // reuse the backing array
+			e.fifoHead = 0
+		}
+		return ev
+	}
+	return e.heapPop()
+}
+
 // Run processes events until the queue drains or the optional limit is
 // exceeded, returning the number of events processed. limit <= 0 means no
 // limit (bounded only by the queue draining).
 func (e *Engine) Run(limit int) (int, error) {
 	processed := 0
-	for e.queue.Len() > 0 {
+	for e.Pending() > 0 {
 		if limit > 0 && processed >= limit {
 			return processed, fmt.Errorf("engine: event limit %d exceeded at t=%v (livelock?)", limit, e.now)
 		}
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.popNext()
 		e.now = ev.at
 		ev.fn()
 		processed++
@@ -103,8 +168,12 @@ func (e *Engine) RunUntil(deadline Time) (int, error) {
 		return 0, fmt.Errorf("engine: deadline %v before now %v", deadline, e.now)
 	}
 	processed := 0
-	for e.queue.Len() > 0 && e.queue[0].at <= deadline {
-		ev := heap.Pop(&e.queue).(*event)
+	for {
+		at, ok := e.peek()
+		if !ok || at > deadline {
+			break
+		}
+		ev := e.popNext()
 		e.now = ev.at
 		ev.fn()
 		processed++
@@ -114,4 +183,54 @@ func (e *Engine) RunUntil(deadline Time) (int, error) {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.heap) + len(e.fifo) - e.fifoHead }
+
+// heapPush inserts ev into the 4-ary min-heap.
+func (e *Engine) heapPush(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+// heapPop removes and returns the minimum event. The vacated tail slot is
+// zeroed so popped closures do not outlive their execution.
+func (e *Engine) heapPop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	e.heap = h
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := i
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}

@@ -119,6 +119,77 @@ func TestRunLimit(t *testing.T) {
 	}
 }
 
+// TestSameInstantFastPathOrdering pins the interaction between the heap
+// and the same-instant FIFO: events pre-scheduled for an instant run
+// before events scheduled *at* that instant, which run before anything
+// later, all in scheduling order.
+func TestSameInstantFastPathOrdering(t *testing.T) {
+	e := New()
+	var order []string
+	note := func(s string) func() { return func() { order = append(order, s) } }
+	// Pre-scheduled heap events at t=1 and t=2.
+	if err := e.Schedule(1, func() {
+		order = append(order, "a")
+		// Scheduled while now == 1: FIFO fast path, must run after the
+		// pre-scheduled "b" at the same instant but before t=2.
+		if err := e.Schedule(1, func() {
+			order = append(order, "c")
+			if err := e.Schedule(1, note("d")); err != nil { // nested same-instant
+				t.Error(err)
+			}
+		}); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(1, note("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(2, note("e")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := "abcde"
+	got := ""
+	for _, s := range order {
+		got += s
+	}
+	if got != want {
+		t.Errorf("order = %q, want %q", got, want)
+	}
+}
+
+// TestRunUntilDrainsSameInstant: RunUntil must also process fast-path
+// events at the deadline instant itself.
+func TestRunUntilDrainsSameInstant(t *testing.T) {
+	e := New()
+	fired := 0
+	if err := e.Schedule(1, func() {
+		fired++
+		if err := e.Schedule(1, func() { fired++ }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(3, func() { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.RunUntil(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || fired != 2 {
+		t.Errorf("processed %d (fired %d), want 2: same-instant follow-up must run", n, fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+}
+
 func TestRunUntil(t *testing.T) {
 	e := New()
 	fired := 0

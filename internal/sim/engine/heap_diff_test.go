@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// This file drives the engine's inlined 4-ary heap and a reference
+// container/heap implementation (the pre-optimization event queue,
+// preserved here verbatim) through identical randomized schedules and
+// asserts identical pop order — including same-timestamp ties, which is
+// where the determinism contract actually bites.
+
+// refEvent / refQueue are the reference binary-heap event queue.
+type refEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	// Bitwise comparison on purpose: the reference queue must use the
+	// same exact tie-break as the engine under test.
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(*refEvent)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// refEngine reimplements Schedule/Run on the reference queue.
+type refEngine struct {
+	now   Time
+	seq   uint64
+	queue refQueue
+}
+
+func (e *refEngine) Now() Time { return e.now }
+
+func (e *refEngine) Schedule(at Time, fn func()) error {
+	e.seq++
+	heap.Push(&e.queue, &refEvent{at: at, seq: e.seq, fn: fn})
+	return nil
+}
+
+func (e *refEngine) run() int {
+	processed := 0
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*refEvent)
+		e.now = ev.at
+		ev.fn()
+		processed++
+	}
+	return processed
+}
+
+// scheduler abstracts the two implementations for the shared driver.
+type scheduler interface {
+	Now() Time
+	Schedule(at Time, fn func()) error
+}
+
+// scriptEvent is one node of a pre-generated schedule: roots carry an
+// absolute time, children a delay relative to their parent's execution.
+// Delays are drawn from a tiny discrete set so timestamps collide
+// constantly and the (at, seq) tie-break decides most of the order.
+type scriptEvent struct {
+	at       Time // roots only
+	delay    Time // children only
+	children []int
+}
+
+// genScript builds a deterministic random schedule of n events.
+func genScript(seed int64, n, roots int) []scriptEvent {
+	rng := rand.New(rand.NewSource(seed))
+	delays := []Time{0, 0, 1e-9, 2e-9, 5e-9} // zero twice: bias toward ties
+	script := make([]scriptEvent, n)
+	for i := 0; i < roots; i++ {
+		script[i].at = delays[rng.Intn(len(delays))]
+	}
+	for i := roots; i < n; i++ {
+		parent := rng.Intn(i) // any earlier event; roots reachable from id 0
+		script[i].delay = delays[rng.Intn(len(delays))]
+		script[parent].children = append(script[parent].children, i)
+	}
+	return script
+}
+
+// play schedules the script's roots on s and returns the execution order.
+func play(t *testing.T, s scheduler, script []scriptEvent, roots int) []int {
+	t.Helper()
+	var order []int
+	var fire func(id int) func()
+	fire = func(id int) func() {
+		return func() {
+			order = append(order, id)
+			for _, child := range script[id].children {
+				if err := s.Schedule(s.Now()+script[child].delay, fire(child)); err != nil {
+					t.Errorf("schedule child %d: %v", child, err)
+				}
+			}
+		}
+	}
+	for i := 0; i < roots; i++ {
+		if err := s.Schedule(script[i].at, fire(i)); err != nil {
+			t.Fatalf("schedule root %d: %v", i, err)
+		}
+	}
+	return order
+}
+
+func TestHeapMatchesReferenceDifferential(t *testing.T) {
+	const n, roots = 600, 25
+	for seed := int64(1); seed <= 20; seed++ {
+		script := genScript(seed, n, roots)
+
+		eng := New()
+		gotOrder := play(t, eng, script, roots)
+		processed, err := eng.Run(0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		gotOrder = gotOrder[:len(gotOrder):len(gotOrder)]
+
+		ref := &refEngine{}
+		wantOrder := play(t, ref, script, roots)
+		ref.run()
+
+		if processed != n {
+			t.Fatalf("seed %d: engine processed %d events, want %d", seed, processed, n)
+		}
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("seed %d: engine ran %d events, reference %d", seed, len(gotOrder), len(wantOrder))
+		}
+		for i := range wantOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("seed %d: pop order diverges at position %d: engine %d, reference %d",
+					seed, i, gotOrder[i], wantOrder[i])
+			}
+		}
+		if eng.Now() != ref.Now() {
+			t.Errorf("seed %d: final time %v vs reference %v", seed, eng.Now(), ref.Now())
+		}
+		if eng.Pending() != 0 {
+			t.Errorf("seed %d: %d events left pending", seed, eng.Pending())
+		}
+	}
+}
+
+// TestHeapReusesBacking pins the allocation contract: after a first run
+// has sized the heap, subsequent identically-shaped runs on the same
+// engine allocate nothing in the scheduler itself.
+func TestHeapReusesBacking(t *testing.T) {
+	eng := New()
+	fn := func() {}
+	load := func() {
+		for i := 0; i < 256; i++ {
+			if err := eng.Schedule(eng.Now()+Time(1+i%7)*1e-9, fn); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := eng.Run(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load() // size the backing arrays
+	allocs := testing.AllocsPerRun(10, load)
+	if allocs > 0 {
+		t.Errorf("steady-state run allocated %.1f times per run, want 0", allocs)
+	}
+}

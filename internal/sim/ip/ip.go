@@ -202,6 +202,40 @@ type chunk struct {
 	cached      bool
 }
 
+// runState is the per-RunKernel bookkeeping: the chunk cursor, the
+// completion count, and a FIFO of per-chunk flops mirroring the compute
+// server's queue. The compute server services requests in issue order, so
+// one shared pre-bound completion callback pops the matching flops from
+// the front instead of carrying a closure per chunk.
+type runState struct {
+	b      *IP
+	host   *mem.Server
+	chunks []chunk
+
+	next      int
+	completed int
+	done      func()
+
+	flopsQ     []float64
+	flopsHead  int
+	onComputed func() // pre-bound rs.computed
+
+	slots []slot
+}
+
+// slot is one of the MaxInflight pipeline positions. Each slot owns a
+// reusable hops backing array and two pre-bound callbacks, so launching a
+// chunk in the steady state allocates nothing: the slot is recycled the
+// moment its previous chunk's data arrives.
+type slot struct {
+	rs   *runState
+	c    chunk
+	hops []mem.Hop
+
+	onTransferDone func() // pre-bound sl.transferDone
+	onArrived      func() // pre-bound sl.arrived
+}
+
 // RunKernel executes the kernel on the block and calls done when every
 // chunk's computation has completed. host, when non-nil, is the host CPU
 // compute server that coordination costs are charged to (enable it for
@@ -219,52 +253,99 @@ func (b *IP) RunKernel(k kernel.Kernel, host *mem.Server, done func()) error {
 		return fmt.Errorf("ip: %s: kernel %s produced no work", b.cfg.Name, k.Name)
 	}
 
-	next := 0
-	completed := 0
-	var launch func()
-	finishOne := func(c chunk) {
-		b.flopsDone += c.flops
-		completed++
-		if completed == len(chunks) {
-			done()
-		}
+	rs := &runState{b: b, host: host, chunks: chunks, done: done}
+	rs.onComputed = rs.computed
+	inflight := b.cfg.MaxInflight
+	if inflight > len(chunks) {
+		inflight = len(chunks)
 	}
-	launch = func() {
-		if next >= len(chunks) {
-			return
-		}
-		c := chunks[next]
-		next++
-		hops := b.hops(c, host)
-		arrived := func() {
-			b.bytesMoved += c.read + c.write
-			// Data arrived: free the pipeline slot, then queue the
-			// chunk's computation.
-			if err := b.compute.Request(c.flops, func() { finishOne(c) }); err != nil {
-				panic(fmt.Sprintf("ip: %s: compute request: %v", b.cfg.Name, err))
-			}
-			launch()
-		}
-		err := mem.Transfer(hops, func() {
-			// Miss chunks pay the fixed round-trip latency on top of
-			// their bandwidth service; it occupies no server, so
-			// deeper outstanding windows hide it.
-			if b.cfg.MemoryLatency > 0 && !c.cached {
-				if err := b.eng.After(engine.Time(b.cfg.MemoryLatency), arrived); err != nil {
-					panic(fmt.Sprintf("ip: %s: latency: %v", b.cfg.Name, err))
-				}
-				return
-			}
-			arrived()
-		})
-		if err != nil {
-			panic(fmt.Sprintf("ip: %s: transfer: %v", b.cfg.Name, err))
-		}
+	rs.slots = make([]slot, inflight)
+	for i := range rs.slots {
+		sl := &rs.slots[i]
+		sl.rs = rs
+		sl.onTransferDone = sl.transferDone
+		sl.onArrived = sl.arrived
 	}
-	for i := 0; i < b.cfg.MaxInflight && i < len(chunks); i++ {
-		launch()
+	for i := range rs.slots {
+		rs.launch(&rs.slots[i])
 	}
 	return nil
+}
+
+// launch starts the next pending chunk on the given slot, reusing the
+// slot's hops array and callbacks.
+func (rs *runState) launch(sl *slot) {
+	if rs.next >= len(rs.chunks) {
+		return
+	}
+	sl.c = rs.chunks[rs.next]
+	rs.next++
+	sl.hops = rs.b.appendHops(sl.hops[:0], sl.c, rs.host)
+	// Transfer arguments are validated by construction; a failure here is
+	// a programming error surfaced by the panic rather than a silently
+	// dropped chunk.
+	if err := mem.Transfer(sl.hops, sl.onTransferDone); err != nil {
+		panic(fmt.Sprintf("ip: %s: transfer: %v", rs.b.cfg.Name, err))
+	}
+}
+
+// transferDone runs when the slot's chunk finishes its last hop. Miss
+// chunks pay the fixed round-trip latency on top of their bandwidth
+// service; it occupies no server, so deeper outstanding windows hide it.
+func (sl *slot) transferDone() {
+	b := sl.rs.b
+	if b.cfg.MemoryLatency > 0 && !sl.c.cached {
+		if err := b.eng.After(engine.Time(b.cfg.MemoryLatency), sl.onArrived); err != nil {
+			panic(fmt.Sprintf("ip: %s: latency: %v", b.cfg.Name, err))
+		}
+		return
+	}
+	sl.arrived()
+}
+
+// arrived accounts the chunk's traffic, queues its computation, and frees
+// the pipeline slot for the next chunk.
+func (sl *slot) arrived() {
+	rs := sl.rs
+	b := rs.b
+	b.bytesMoved += sl.c.read + sl.c.write
+	rs.pushFlops(sl.c.flops)
+	if err := b.compute.Request(sl.c.flops, rs.onComputed); err != nil {
+		panic(fmt.Sprintf("ip: %s: compute request: %v", b.cfg.Name, err))
+	}
+	rs.launch(sl)
+}
+
+// computed runs once per chunk computation, in compute-server FIFO order —
+// the same order arrived queued them — so the front of flopsQ is always
+// the completing chunk's contribution.
+func (rs *runState) computed() {
+	rs.b.flopsDone += rs.popFlops()
+	rs.completed++
+	if rs.completed == len(rs.chunks) {
+		rs.done()
+	}
+}
+
+// pushFlops appends to the pending-computation FIFO, compacting the
+// consumed prefix in place of growing when it can.
+func (rs *runState) pushFlops(f float64) {
+	if rs.flopsHead > 0 && len(rs.flopsQ) == cap(rs.flopsQ) {
+		n := copy(rs.flopsQ, rs.flopsQ[rs.flopsHead:])
+		rs.flopsQ = rs.flopsQ[:n]
+		rs.flopsHead = 0
+	}
+	rs.flopsQ = append(rs.flopsQ, f)
+}
+
+func (rs *runState) popFlops() float64 {
+	f := rs.flopsQ[rs.flopsHead]
+	rs.flopsHead++
+	if rs.flopsHead == len(rs.flopsQ) {
+		rs.flopsQ = rs.flopsQ[:0]
+		rs.flopsHead = 0
+	}
+	return f
 }
 
 // buildChunks splits the kernel into pipeline chunks, trial by trial.
@@ -272,7 +353,8 @@ func (b *IP) buildChunks(k kernel.Kernel) []chunk {
 	readPer, writePer := k.TrafficPerTrial()
 	ws := float64(k.WorkingSet)
 	flopsPerTrial := float64(k.Words()) * float64(k.FlopsPerWord)
-	var out []chunk
+	perTrial := int(math.Ceil(ws / b.cfg.ChunkBytes))
+	out := make([]chunk, 0, perTrial*k.Trials)
 	for trial := 0; trial < k.Trials; trial++ {
 		cached := b.cache != nil && b.cache.Hits(ws, trial)
 		remaining := ws
@@ -291,25 +373,24 @@ func (b *IP) buildChunks(k kernel.Kernel) []chunk {
 	return out
 }
 
-// hops builds the transfer path for a chunk.
-func (b *IP) hops(c chunk, host *mem.Server) []mem.Hop {
+// appendHops builds the transfer path for a chunk into dst (typically a
+// slot's reset scratch slice, so the steady state allocates nothing).
+func (b *IP) appendHops(dst []mem.Hop, c chunk, host *mem.Server) []mem.Hop {
 	if c.cached {
-		return []mem.Hop{{Server: b.cache.Server, Amount: c.read + c.write}}
+		return append(dst, mem.Hop{Server: b.cache.Server, Amount: c.read + c.write})
 	}
-	var hops []mem.Hop
 	if host != nil && b.cfg.CoordinationOpsPerByte > 0 {
-		hops = append(hops, mem.Hop{
+		dst = append(dst, mem.Hop{
 			Server: host,
 			Amount: (c.read + c.write) * b.cfg.CoordinationOpsPerByte,
 		})
 	}
-	hops = append(hops, mem.Hop{
+	dst = append(dst, mem.Hop{
 		Server: b.link,
 		Amount: c.read + c.write*b.cfg.WritePenalty,
 	})
 	for _, f := range b.fabricPath {
-		hops = append(hops, mem.Hop{Server: f, Amount: c.read + c.write})
+		dst = append(dst, mem.Hop{Server: f, Amount: c.read + c.write})
 	}
-	hops = append(hops, mem.Hop{Server: b.dram, Amount: c.read + c.write})
-	return hops
+	return append(dst, mem.Hop{Server: b.dram, Amount: c.read + c.write})
 }

@@ -317,3 +317,39 @@ func TestMemoryLatencyValidation(t *testing.T) {
 		t.Error("negative latency must be rejected")
 	}
 }
+
+// TestComputeCoalescingExactEquivalence runs the same kernel with and
+// without completion coalescing on the private compute server (the sink
+// sim.Run batches outside thermal runs) and requires bitwise-identical
+// finish time and accounting, with strictly fewer engine events.
+func TestComputeCoalescingExactEquivalence(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CacheSize = 1 << 20
+	cfg.CacheBandwidth = 64e9
+	cfg.ChunkBytes = 64 << 10
+	k := kernel.Kernel{Name: "coal", WorkingSet: 1 << 20, Trials: 3,
+		FlopsPerWord: 16, Pattern: kernel.ReadWrite}
+	run := func(coalesce bool) (finish engine.Time, flops, bytes float64, events int) {
+		r := newRig(t, cfg, 30e9)
+		r.blk.ComputeServer().SetCoalescing(coalesce)
+		if err := r.blk.RunKernel(k, nil, func() { finish = r.eng.Now() }); err != nil {
+			t.Fatal(err)
+		}
+		n, err := r.eng.Run(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return finish, r.blk.OpsDone(), r.blk.BytesMoved(), n
+	}
+	pf, pflops, pbytes, pe := run(false)
+	cf, cflops, cbytes, ce := run(true)
+	if pf != cf {
+		t.Errorf("finish time %v (plain) vs %v (coalesced): must be bitwise equal", pf, cf)
+	}
+	if pflops != cflops || pbytes != cbytes {
+		t.Errorf("accounting differs: flops %v/%v bytes %v/%v", pflops, cflops, pbytes, cbytes)
+	}
+	if ce >= pe {
+		t.Errorf("coalesced run processed %d events, plain %d: batching must schedule fewer", ce, pe)
+	}
+}

@@ -9,11 +9,18 @@
 // two IPs pushing chunks through the same DRAM server each see roughly half
 // its capacity, which is exactly the mechanism behind the Gables paper's
 // shared-Bpeak bound and its Figure 8 mixing results.
+//
+// The hot path is allocation-lean: the server's queue is an index-based
+// ring buffer (no per-request boxing, no head-retaining reslicing), each
+// service completion reuses one pre-bound callback per server, and Transfer
+// threads a chunk through its hops with a single pooled state object
+// instead of a closure per hop.
 package mem
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/gables-model/gables/internal/sim/engine"
 )
@@ -26,10 +33,21 @@ type Server struct {
 	name     string
 	eng      *engine.Engine
 	capacity float64 // units per second
-	queue    []request
-	active   bool
-	busy     float64 // total busy seconds
-	served   float64 // total units served
+
+	// buf is an index-based ring buffer: head is the next request to
+	// service, count the number queued. Growing copies into a larger
+	// ring; steady state allocates nothing.
+	buf   []request
+	head  int
+	count int
+
+	active     bool
+	onServiced func() // pre-bound completion callback, one per server
+	batch      []func()
+	coalesce   bool
+
+	busy   float64 // total busy seconds
+	served float64 // total units served
 }
 
 type request struct {
@@ -45,7 +63,9 @@ func NewServer(eng *engine.Engine, name string, capacity float64) (*Server, erro
 	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
 		return nil, fmt.Errorf("mem: server %q: capacity must be positive and finite, got %v", name, capacity)
 	}
-	return &Server{name: name, eng: eng, capacity: capacity}, nil
+	s := &Server{name: name, eng: eng, capacity: capacity}
+	s.onServiced = s.serviced
+	return s, nil
 }
 
 // Name returns the server's label.
@@ -66,6 +86,19 @@ func (s *Server) SetCapacity(c float64) error {
 	return nil
 }
 
+// SetCoalescing toggles completion coalescing. A coalescing server starts
+// every request queued at service start as one batch and fires their
+// completions together — in FIFO order, at the exact instant the last
+// batched request would have completed on its own — scheduling one engine
+// event per batch instead of one per request.
+//
+// Coalescing is only sound for *sink* servers: completions that do nothing
+// but account (an IP's private compute server outside coordination runs).
+// A completion that forwards work to another server must fire at its own
+// instant, and a batch locks in the capacity at batch start, so coalescing
+// must stay off wherever DVFS can retime queued work (thermal runs).
+func (s *Server) SetCoalescing(on bool) { s.coalesce = on }
+
 // Request enqueues amount units of service and calls done when it
 // completes. Zero-amount requests complete after any queued work, with no
 // service time of their own.
@@ -76,33 +109,95 @@ func (s *Server) Request(amount float64, done func()) error {
 	if done == nil {
 		return fmt.Errorf("mem: server %q: nil completion", s.name)
 	}
-	s.queue = append(s.queue, request{amount: amount, done: done})
+	s.push(request{amount: amount, done: done})
 	if !s.active {
 		s.startNext()
 	}
 	return nil
 }
 
-// startNext begins servicing the queue head, if any.
+// push appends to the ring buffer, growing it when full.
+func (s *Server) push(r request) {
+	if s.count == len(s.buf) {
+		s.grow()
+	}
+	i := s.head + s.count
+	if i >= len(s.buf) {
+		i -= len(s.buf)
+	}
+	s.buf[i] = r
+	s.count++
+}
+
+// popFront removes and returns the queue head, clearing the vacated slot
+// so completed closures do not linger in the ring.
+func (s *Server) popFront() request {
+	r := s.buf[s.head]
+	s.buf[s.head] = request{}
+	s.head++
+	if s.head == len(s.buf) {
+		s.head = 0
+	}
+	s.count--
+	return r
+}
+
+// grow doubles the ring, unwrapping it so head returns to zero.
+func (s *Server) grow() {
+	n := len(s.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	next := make([]request, n)
+	copied := copy(next, s.buf[s.head:])
+	copy(next[copied:], s.buf[:s.head])
+	s.buf = next
+	s.head = 0
+}
+
+// startNext begins servicing the queue head, if any. A coalescing server
+// drains the whole queue into one batch; the batch's single event fires at
+// the same instant — computed by the same sequence of time additions, so
+// bitwise identical — as the last request's individual completion would
+// have.
 func (s *Server) startNext() {
-	if len(s.queue) == 0 {
+	if s.count == 0 {
 		s.active = false
 		return
 	}
 	s.active = true
-	r := s.queue[0]
-	s.queue = s.queue[1:]
-	service := engine.Time(r.amount / s.capacity)
-	s.busy += float64(service)
-	s.served += r.amount
-	// Delay and engine state are valid by construction; a scheduling
+	n := 1
+	if s.coalesce {
+		n = s.count
+	}
+	at := s.eng.Now()
+	for i := 0; i < n; i++ {
+		r := s.popFront()
+		service := engine.Time(r.amount / s.capacity)
+		at += service
+		s.busy += float64(service)
+		s.served += r.amount
+		s.batch = append(s.batch, r.done)
+	}
+	// Time and engine state are valid by construction; a scheduling
 	// failure here is a programming error.
-	if err := s.eng.After(service, func() {
-		r.done()
-		s.startNext()
-	}); err != nil {
+	if err := s.eng.Schedule(at, s.onServiced); err != nil {
 		panic(fmt.Sprintf("mem: server %q: %v", s.name, err))
 	}
+}
+
+// serviced fires the completed batch's callbacks in FIFO order, then
+// services whatever queued up in the meantime. The server stays active
+// while callbacks run, so re-entrant Requests (a cache completion launching
+// the next cached chunk) enqueue instead of recursing into startNext.
+func (s *Server) serviced() {
+	for i := 0; i < len(s.batch); i++ {
+		done := s.batch[i]
+		s.batch[i] = nil
+		done()
+	}
+	s.batch = s.batch[:0]
+	s.startNext()
 }
 
 // Served returns the total units served so far.
@@ -138,10 +233,56 @@ type Hop struct {
 	Amount float64
 }
 
+// transfer is the reusable state of one in-flight Transfer: the hop cursor
+// plus a single pre-bound step callback shared by every hop, so an N-hop
+// chunk costs O(1) allocations (amortized zero via the pool) instead of a
+// closure per hop.
+type transfer struct {
+	hops []Hop
+	i    int
+	done func()
+	step func() // pre-bound t.advance, created once per pooled object
+}
+
+// transferPool recycles transfer states. step is bound on first use (not
+// in New: a method value referring back to the pool would be an
+// initialization cycle) and survives round-trips through the pool.
+var transferPool = sync.Pool{New: func() any { return new(transfer) }}
+
+// start requests the current hop's service with the shared step callback.
+// Request errors are validated by Transfer before the chain starts; a
+// failure here is a programming error surfaced by the panic rather than a
+// silently dropped chunk.
+func (t *transfer) start() {
+	h := t.hops[t.i]
+	if err := h.Server.Request(h.Amount, t.step); err != nil {
+		panic(fmt.Sprintf("mem: transfer hop %d: %v", t.i, err))
+	}
+}
+
+// advance moves to the next hop, or finishes. The state object is returned
+// to the pool *before* done runs so a completion that immediately starts
+// another transfer can reuse it.
+func (t *transfer) advance() {
+	t.i++
+	if t.i < len(t.hops) {
+		t.start()
+		return
+	}
+	done := t.done
+	t.hops, t.done = nil, nil
+	transferPool.Put(t)
+	done()
+}
+
 // Transfer moves a request through the hops in order — each hop's service
 // begins when the previous hop completes — and calls done at the end.
 // Different transfers overlap across hops, so a chain of servers behaves
 // like a pipeline whose throughput is set by its busiest stage.
+//
+// The hops slice is borrowed until done fires; callers reusing a backing
+// array (the IP pipeline's per-slot scratch) must not overwrite it before
+// then.
 func Transfer(hops []Hop, done func()) error {
 	if done == nil {
 		return fmt.Errorf("mem: transfer: nil completion")
@@ -153,27 +294,18 @@ func Transfer(hops []Hop, done func()) error {
 		if h.Server == nil {
 			return fmt.Errorf("mem: transfer: hop %d has nil server", i)
 		}
-	}
-	var step func(i int)
-	step = func(i int) {
-		if i == len(hops) {
-			done()
-			return
-		}
-		// Request errors are validated above (amount checked by the
-		// server); a failure here is a programming error surfaced by
-		// the panic below rather than silently dropping the chunk.
-		if err := hops[i].Server.Request(hops[i].Amount, func() { step(i + 1) }); err != nil {
-			panic(fmt.Sprintf("mem: transfer hop %d: %v", i, err))
-		}
-	}
-	// Validate all amounts before starting so no partial transfer runs.
-	for i, h := range hops {
+		// Validate every amount before starting so no partial transfer
+		// runs.
 		if h.Amount < 0 || math.IsNaN(h.Amount) || math.IsInf(h.Amount, 0) {
 			return fmt.Errorf("mem: transfer: hop %d amount %v invalid", i, h.Amount)
 		}
 	}
-	step(0)
+	t := transferPool.Get().(*transfer)
+	if t.step == nil {
+		t.step = t.advance
+	}
+	t.hops, t.i, t.done = hops, 0, done
+	t.start()
 	return nil
 }
 

@@ -180,6 +180,203 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// TestRingWraparound cycles far more requests through the server than the
+// ring's initial capacity, refilling from completions so head and tail
+// wrap repeatedly, and asserts strict FIFO completion order and exact
+// service timing throughout.
+func TestRingWraparound(t *testing.T) {
+	eng := engine.New()
+	s := server(t, eng, "x", 10)
+	const total = 100
+	var order []int
+	issued := 0
+	var issue func()
+	issue = func() {
+		id := issued
+		issued++
+		if err := s.Request(1, func() {
+			order = append(order, id)
+			// Keep 3 in flight so the queue stays partially full while
+			// the head advances — the wraparound regime.
+			if issued < total {
+				issue()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		issue()
+	}
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != total {
+		t.Fatalf("completed %d requests, want %d", len(order), total)
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("completion order[%d] = %d, want FIFO", i, id)
+		}
+	}
+	// 100 requests of 1 unit at 10 units/s, serviced back to back.
+	if math.Abs(float64(eng.Now())-10) > 1e-9 {
+		t.Errorf("drained at t=%v, want 10", eng.Now())
+	}
+	if s.Served() != total {
+		t.Errorf("served = %v, want %d", s.Served(), total)
+	}
+}
+
+// TestRingGrowWithWrappedHead floods a server whose ring head has already
+// advanced (so growing must unwrap the buffer) and checks nothing is lost
+// or reordered.
+func TestRingGrowWithWrappedHead(t *testing.T) {
+	eng := engine.New()
+	s := server(t, eng, "x", 1)
+	var order []int
+	record := func(id int) func() { return func() { order = append(order, id) } }
+	// Advance the head a few slots.
+	for i := 0; i < 5; i++ {
+		if err := s.Request(1, record(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.RunUntil(3.5); err != nil { // 3 of 5 completed, head=4-ish
+		t.Fatal(err)
+	}
+	// Flood past any initial capacity while requests are still queued:
+	// the ring must grow with head > 0 and stay FIFO.
+	for i := 5; i < 40; i++ {
+		if err := s.Request(1, record(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 40 {
+		t.Fatalf("completed %d, want 40", len(order))
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("order[%d] = %d, want FIFO across the grow", i, id)
+		}
+	}
+}
+
+// TestInterleavedRequestSetCapacityReset drives the documented contract
+// through the ring buffer: capacity changes apply to every service that
+// starts afterwards (queued work included, the in-flight request keeps its
+// timing), and an idle Reset clears accounting without corrupting the
+// queue state for the next run.
+func TestInterleavedRequestSetCapacityReset(t *testing.T) {
+	eng := engine.New()
+	s := server(t, eng, "dvfs", 10)
+	var times []engine.Time
+	mark := func() { times = append(times, eng.Now()) }
+	// Three 10-unit requests at capacity 10: services would end at 1, 2, 3.
+	for i := 0; i < 3; i++ {
+		if err := s.Request(10, mark); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Halve the rate while the first request is being serviced: it keeps
+	// its timing (ends at 1), the queued two take 2s each (end at 3, 5).
+	if _, err := eng.RunUntil(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetCapacity(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 5}
+	if len(times) != len(want) {
+		t.Fatalf("completions = %v, want %v", times, want)
+	}
+	for i := range want {
+		if math.Abs(float64(times[i])-want[i]) > 1e-12 {
+			t.Fatalf("completions = %v, want %v", times, want)
+		}
+	}
+	if math.Abs(s.BusyTime()-5) > 1e-12 {
+		t.Errorf("busy = %v, want 5", s.BusyTime())
+	}
+
+	// Idle now: Reset and immediately reuse through the same ring.
+	s.Reset()
+	if s.Served() != 0 || s.BusyTime() != 0 {
+		t.Fatal("reset must clear accounting")
+	}
+	var doneAt engine.Time
+	start := eng.Now()
+	if err := s.Request(5, func() { doneAt = eng.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(doneAt-start)-1) > 1e-12 {
+		t.Errorf("post-reset service took %v, want 1 (5 units at capacity 5)", doneAt-start)
+	}
+}
+
+// TestCoalescingMatchesUncoalesced runs the same queued workload through a
+// coalescing and a plain server and asserts identical completion order,
+// identical final completion instants (bitwise, by construction), and
+// identical accounting.
+func TestCoalescingMatchesUncoalesced(t *testing.T) {
+	run := func(coalesce bool) (order []int, last engine.Time, busy, served float64, events int) {
+		eng := engine.New()
+		s := server(t, eng, "sink", 7)
+		s.SetCoalescing(coalesce)
+		issued := 0
+		var issue func()
+		issue = func() {
+			id := issued
+			issued++
+			if err := s.Request(float64(1+id%3), func() {
+				order = append(order, id)
+				last = eng.Now()
+				if issued < 50 {
+					issue()
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			issue()
+		}
+		n, err := eng.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return order, last, s.BusyTime(), s.Served(), n
+	}
+	po, pl, pb, ps, pe := run(false)
+	co, cl, cb, cs, ce := run(true)
+	if len(po) != len(co) {
+		t.Fatalf("completions: %d plain vs %d coalesced", len(po), len(co))
+	}
+	for i := range po {
+		if po[i] != co[i] {
+			t.Fatalf("order diverges at %d: %d vs %d", i, po[i], co[i])
+		}
+	}
+	if pl != cl {
+		t.Errorf("final completion instant %v (plain) vs %v (coalesced): must be bitwise equal", pl, cl)
+	}
+	if pb != cb || ps != cs {
+		t.Errorf("accounting differs: busy %v/%v served %v/%v", pb, cb, ps, cs)
+	}
+	if ce >= pe {
+		t.Errorf("coalescing processed %d events, plain %d: batching must schedule fewer", ce, pe)
+	}
+}
+
 func TestTransferPipeline(t *testing.T) {
 	// Chain of two servers: a 2 GB/s link then a 10 GB/s DRAM. One
 	// 2 MB transfer takes 1 ms + 0.2 ms.

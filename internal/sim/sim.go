@@ -143,7 +143,8 @@ type RunOptions struct {
 	// paper's thermally controlled measurement rig.
 	Thermal bool
 	// MaxEvents caps the event count as a livelock guard; defaults to
-	// 50 million.
+	// 50 million. Negative values are rejected: they would silently
+	// disable the guard.
 	MaxEvents int
 }
 
@@ -184,6 +185,9 @@ type RunResult struct {
 func (s *System) Run(assignments []Assignment, opt RunOptions) (*RunResult, error) {
 	if len(assignments) == 0 {
 		return nil, fmt.Errorf("sim: %s: no assignments", s.cfg.Name)
+	}
+	if opt.MaxEvents < 0 {
+		return nil, fmt.Errorf("sim: %s: MaxEvents must be non-negative (negative would disable the livelock guard), got %d", s.cfg.Name, opt.MaxEvents)
 	}
 	if opt.MaxEvents == 0 {
 		opt.MaxEvents = 50_000_000
@@ -230,6 +234,23 @@ func (s *System) Run(assignments []Assignment, opt RunOptions) (*RunResult, erro
 			if err := gov.Start(); err != nil {
 				return nil, err
 			}
+		}
+	}
+
+	// Outside thermal runs capacities never change mid-flight, so each
+	// assigned block's compute server — a pure sink whose completions
+	// only account finished chunks — can coalesce back-to-back chunk
+	// completions into one engine event per busy period. The completion
+	// instants it reports are bitwise identical to the uncoalesced
+	// schedule. The coordination host's compute server is excluded: under
+	// coordination it also services other blocks' shepherding hops, whose
+	// completions forward work and must fire at their own instants.
+	if !opt.Thermal {
+		for _, sl := range slots {
+			if opt.Coordination && inst.host != nil && sl.blk == inst.host {
+				continue
+			}
+			sl.blk.ComputeServer().SetCoalescing(true)
 		}
 	}
 

@@ -80,6 +80,10 @@ func TestRunValidation(t *testing.T) {
 	if _, err := s.Run(dup, RunOptions{}); err == nil {
 		t.Error("double assignment must be rejected")
 	}
+	if _, err := s.Run([]Assignment{{IP: "CPU", Kernel: bigRW(4)}},
+		RunOptions{MaxEvents: -1}); err == nil {
+		t.Error("negative MaxEvents must be rejected, not silently disable the livelock guard")
+	}
 }
 
 // TestCalibrationCPU checks the simulated CPU reproduces the paper's
