@@ -38,13 +38,15 @@ type target struct {
 
 // suite is the benchmark trajectory's fixed coverage: the discrete-event
 // core, the bandwidth servers, the whole simulated kernel path, the model
-// evaluator, and the sequential experiment harness.
+// evaluator, the sequential experiment harness, and the simulation-result
+// cache (cold vs warm sweep grids).
 var suite = []target{
 	{Pkg: "./internal/sim/engine", Bench: ".", Tier1: true},
 	{Pkg: "./internal/sim/mem", Bench: ".", Tier1: true},
 	{Pkg: ".", Bench: "BenchmarkSimKernel$|BenchmarkEvaluateTwoIP$|BenchmarkEvaluateNIP$", Tier1: true},
 	{Pkg: "./internal/experiments", Bench: "BenchmarkHarnessSequential$", Tier1: true},
 	{Pkg: "./internal/experiments", Bench: "BenchmarkHarnessParallel$"},
+	{Pkg: "./internal/simcache", Bench: "BenchmarkCacheColdGrid$|BenchmarkCacheWarmGrid$", Tier1: true},
 }
 
 // Result is one benchmark's measurement.

@@ -4,9 +4,13 @@
 // fits and prints each IP's pessimistic roofline, and optionally runs the
 // §IV-C mixing analysis or the host-native kernel.
 //
+// Sweep cells are memoized through internal/simcache; -cache (or
+// GABLES_CACHE_DIR) persists them on disk across invocations, and -v
+// prints the cache counters to stderr.
+//
 // Usage:
 //
-//	gables-erb [-chip 835|821] [-ip CPU,GPU,DSP] [-mixing] [-native] [-dir out]
+//	gables-erb [-chip 835|821] [-ip CPU,GPU,DSP] [-mixing] [-native] [-cache dir] [-v] [-dir out]
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"github.com/gables-model/gables/internal/plot"
 	"github.com/gables-model/gables/internal/report"
 	"github.com/gables-model/gables/internal/sim"
+	"github.com/gables-model/gables/internal/simcache"
 )
 
 func main() {
@@ -30,17 +35,25 @@ func main() {
 	native := flag.Bool("native", false, "also run Algorithm 1 natively on this host")
 	validate := flag.Bool("validate", false, "also cross-validate the analytic model against the simulator")
 	dir := flag.String("dir", "", "write roofline SVGs into this directory")
+	cacheDir := flag.String("cache", "", "persist simulation results in this directory (default $"+simcache.EnvDir+")")
+	verbose := flag.Bool("v", false, "print cache statistics to stderr after the run")
 	flag.Parse()
 
-	if err := run(*chip, *ips, *mixing, *native, *dir); err != nil {
+	if *cacheDir != "" {
+		simcache.EnableDisk(*cacheDir)
+	} else {
+		simcache.EnableDiskFromEnv()
+	}
+	err := run(*chip, *ips, *mixing, *native, *dir)
+	if err == nil && *validate {
+		err = runValidation(*chip)
+	}
+	if *verbose {
+		fmt.Fprintln(os.Stderr, simcache.FormatStats("sim-cache", simcache.DefaultStats()))
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gables-erb:", err)
 		os.Exit(1)
-	}
-	if *validate {
-		if err := runValidation(*chip); err != nil {
-			fmt.Fprintln(os.Stderr, "gables-erb:", err)
-			os.Exit(1)
-		}
 	}
 }
 

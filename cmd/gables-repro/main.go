@@ -7,9 +7,14 @@
 // (-j, else GABLES_PARALLEL, else GOMAXPROCS) and then printed in registry
 // order, so the output is byte-identical whatever the pool size.
 //
+// Simulation runs are memoized through internal/simcache; -cache (or
+// GABLES_CACHE_DIR) adds a persistent on-disk layer so repeated harness
+// runs replay from disk, and -v prints the cache counters to stderr
+// (stderr, so cold and warm stdout stay byte-identical).
+//
 // Usage:
 //
-//	gables-repro [-only id] [-dir out] [-j n] [-list]
+//	gables-repro [-only id] [-dir out] [-j n] [-cache dir] [-v] [-list]
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 
 	"github.com/gables-model/gables/internal/experiments"
 	"github.com/gables-model/gables/internal/parallel"
+	"github.com/gables-model/gables/internal/simcache"
 )
 
 func main() {
@@ -32,6 +38,8 @@ func main() {
 	csv := flag.Bool("csv", false, "also write each table as CSV into -dir")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jobs := flag.Int("j", 0, "worker pool size (0 = $"+parallel.EnvVar+" or GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "persist simulation results in this directory (default $"+simcache.EnvDir+")")
+	verbose := flag.Bool("v", false, "print cache statistics to stderr after the run")
 	flag.Parse()
 
 	if *list {
@@ -40,10 +48,28 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdout, *only, *dir, *csv, *jobs); err != nil {
+	if *cacheDir != "" {
+		simcache.EnableDisk(*cacheDir)
+	} else {
+		simcache.EnableDiskFromEnv()
+	}
+	err := run(os.Stdout, options{only: *only, dir: *dir, csv: *csv, jobs: *jobs})
+	if *verbose {
+		fmt.Fprintln(os.Stderr, simcache.FormatStats("sim-cache", simcache.DefaultStats()))
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gables-repro:", err)
 		os.Exit(1)
 	}
+}
+
+// options collects run's knobs (the flag set minus -list and the
+// process-wide cache/stats flags, which main applies itself).
+type options struct {
+	only string
+	dir  string
+	csv  bool
+	jobs int
 }
 
 // renderedFile is one artifact output file, rendered in memory during the
@@ -60,51 +86,51 @@ type artifactOutput struct {
 	svgs []renderedFile
 }
 
-func run(w io.Writer, only, dir string, csv bool, jobs int) error {
+func run(w io.Writer, o options) error {
 	ids := experiments.IDs()
-	if only != "" {
-		ids = []string{only}
+	if o.only != "" {
+		ids = []string{o.only}
 	}
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+	if o.dir != "" {
+		if err := os.MkdirAll(o.dir, 0o755); err != nil {
 			return err
 		}
 	}
 
 	// Phase 1: run every experiment and render its files concurrently.
 	// Results come back in ids order regardless of completion order.
-	outs, err := parallel.Map(context.Background(), jobs, ids,
+	outs, err := parallel.Map(context.Background(), o.jobs, ids,
 		func(_ context.Context, _ int, id string) (*artifactOutput, error) {
 			art, err := experiments.Run(id)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", id, err)
 			}
-			o := &artifactOutput{art: art}
-			if dir != "" && csv {
+			out := &artifactOutput{art: art}
+			if o.dir != "" && o.csv {
 				for ti, tbl := range art.Tables {
-					o.csvs = append(o.csvs, renderedFile{
+					out.csvs = append(out.csvs, renderedFile{
 						name: fmt.Sprintf("%s_table%d.csv", art.ID, ti),
 						data: tbl.CSV(),
 					})
 				}
 			}
-			if dir != "" {
+			if o.dir != "" {
 				for _, name := range sortedKeys(art.Charts) {
 					svg, err := art.Charts[name].SVG(900, 560)
 					if err != nil {
 						return nil, fmt.Errorf("%s: chart %s: %w", id, name, err)
 					}
-					o.svgs = append(o.svgs, renderedFile{name: name + ".svg", data: svg})
+					out.svgs = append(out.svgs, renderedFile{name: name + ".svg", data: svg})
 				}
 				for _, name := range sortedKeys(art.Heatmaps) {
 					svg, err := art.Heatmaps[name].SVG(900, 420)
 					if err != nil {
 						return nil, fmt.Errorf("%s: heatmap %s: %w", id, name, err)
 					}
-					o.svgs = append(o.svgs, renderedFile{name: name + ".svg", data: svg})
+					out.svgs = append(out.svgs, renderedFile{name: name + ".svg", data: svg})
 				}
 			}
-			return o, nil
+			return out, nil
 		})
 	if err != nil {
 		return err
@@ -113,8 +139,8 @@ func run(w io.Writer, only, dir string, csv bool, jobs int) error {
 	// Phase 2: print reports and write files sequentially, in ids order.
 	failures := 0
 	var summary []string
-	for _, o := range outs {
-		art := o.art
+	for _, out := range outs {
+		art := out.art
 		fmt.Fprintf(w, "==== %s: %s ====\n\n", art.ID, art.Title)
 		for _, tbl := range art.Tables {
 			if err := tbl.WriteText(w); err != nil {
@@ -135,8 +161,8 @@ func run(w io.Writer, only, dir string, csv bool, jobs int) error {
 			fmt.Fprintln(w, line)
 			summary = append(summary, fmt.Sprintf("%-8s %s", art.ID, line))
 		}
-		for _, f := range append(o.csvs, o.svgs...) {
-			path := filepath.Join(dir, f.name)
+		for _, f := range append(out.csvs, out.svgs...) {
+			path := filepath.Join(o.dir, f.name)
 			if err := os.WriteFile(path, []byte(f.data), 0o644); err != nil {
 				return err
 			}

@@ -7,11 +7,13 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/gables-model/gables/internal/simcache"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(io.Discard, "fig6", dir, true, 0); err != nil {
+	if err := run(io.Discard, options{only: "fig6", dir: dir, csv: true}); err != nil {
 		t.Fatalf("fig6 repro failed: %v", err)
 	}
 	// Four multi-roofline SVGs plus the table CSV.
@@ -37,13 +39,13 @@ func TestRunSingleExperiment(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if err := run(io.Discard, "nope", "", false, 0); err == nil {
+	if err := run(io.Discard, options{only: "nope"}); err == nil {
 		t.Error("unknown experiment must fail")
 	}
 }
 
 func TestRunNoDir(t *testing.T) {
-	if err := run(io.Discard, "table2", "", false, 0); err != nil {
+	if err := run(io.Discard, options{only: "table2"}); err != nil {
 		t.Fatalf("dir-less run failed: %v", err)
 	}
 }
@@ -54,10 +56,10 @@ func TestRunNoDir(t *testing.T) {
 func TestRunDeterministicAcrossPoolSizes(t *testing.T) {
 	var seq, par bytes.Buffer
 	seqDir, parDir := t.TempDir(), t.TempDir()
-	if err := run(&seq, "", seqDir, true, 1); err != nil {
+	if err := run(&seq, options{dir: seqDir, csv: true, jobs: 1}); err != nil {
 		t.Fatalf("sequential run failed: %v", err)
 	}
-	if err := run(&par, "", parDir, true, 8); err != nil {
+	if err := run(&par, options{dir: parDir, csv: true, jobs: 8}); err != nil {
 		t.Fatalf("parallel run failed: %v", err)
 	}
 	// The temp dir name is the only legitimate difference in the "wrote"
@@ -96,4 +98,43 @@ func readAll(t *testing.T, dir string) map[string][]byte {
 		out[e.Name()] = data
 	}
 	return out
+}
+
+// TestRunDeterministicColdVsWarmCache extends the determinism criterion to
+// the simulation cache: a run that populates an on-disk cache and a run
+// that replays entirely from it must produce byte-identical stdout and
+// artifact files.
+func TestRunDeterministicColdVsWarmCache(t *testing.T) {
+	simcache.EnableDisk(t.TempDir())
+	defer simcache.DisableDisk()
+	simcache.ResetDefault()
+	defer simcache.ResetDefault()
+
+	var cold, warm bytes.Buffer
+	coldDir, warmDir := t.TempDir(), t.TempDir()
+	if err := run(&cold, options{dir: coldDir, csv: true, jobs: 4}); err != nil {
+		t.Fatalf("cold-cache run failed: %v", err)
+	}
+	// Drop the memory layer so the warm run must replay from disk.
+	simcache.ResetDefault()
+	if err := run(&warm, options{dir: warmDir, csv: true, jobs: 4}); err != nil {
+		t.Fatalf("warm-cache run failed: %v", err)
+	}
+	if s := simcache.DefaultStats(); s.DiskHits == 0 {
+		t.Errorf("warm run had no disk hits (stats %+v) — cache not exercised", s)
+	}
+	coldOut := strings.ReplaceAll(cold.String(), coldDir, "DIR")
+	warmOut := strings.ReplaceAll(warm.String(), warmDir, "DIR")
+	if coldOut != warmOut {
+		t.Error("stdout differs between cold and warm cache runs")
+	}
+	coldFiles, warmFiles := readAll(t, coldDir), readAll(t, warmDir)
+	if len(coldFiles) == 0 || len(coldFiles) != len(warmFiles) {
+		t.Fatalf("file count differs: %d cold vs %d warm", len(coldFiles), len(warmFiles))
+	}
+	for name, data := range coldFiles {
+		if !bytes.Equal(data, warmFiles[name]) {
+			t.Errorf("artifact %s differs between cold and warm cache runs", name)
+		}
+	}
 }

@@ -1,17 +1,24 @@
 // Command gables-web serves the interactive Gables visualization — the
 // repository's counterpart of the interactive tool published on the
 // paper's home page. It renders the two-IP multi-roofline plot live as
-// hardware and usecase parameters change.
+// hardware and usecase parameters change. Identical form submissions are
+// memoized through internal/simcache; /stats reports the cache counters
+// as JSON.
+//
+// -pprof exposes net/http/pprof on a separate localhost-only listener for
+// profiling the evaluation and render path; it is off by default so the
+// public listener never serves profiling data.
 //
 // Usage:
 //
-//	gables-web [-addr :8337]
+//	gables-web [-addr :8337] [-pprof 6060]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"github.com/gables-model/gables/internal/web"
@@ -19,11 +26,32 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8337", "listen address")
+	pprofPort := flag.Int("pprof", 0, "serve net/http/pprof on localhost:PORT (0 = disabled)")
 	flag.Parse()
 
-	fmt.Printf("gables-web: serving the interactive model on http://localhost%s/\n", *addr)
+	if *pprofPort != 0 {
+		go servePprof(*pprofPort)
+	}
+	fmt.Printf("gables-web: serving the interactive model on http://localhost%s/ (cache stats at /stats)\n", *addr)
 	if err := http.ListenAndServe(*addr, web.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "gables-web:", err)
 		os.Exit(1)
+	}
+}
+
+// servePprof runs the profiling endpoints on their own mux (the main
+// handler uses a private ServeMux, so the pprof default-mux registrations
+// never leak into it) bound to loopback only.
+func servePprof(port int) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	addr := fmt.Sprintf("localhost:%d", port)
+	fmt.Printf("gables-web: pprof on http://%s/debug/pprof/\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "gables-web: pprof:", err)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/gables-model/gables/internal/parallel"
 	"github.com/gables-model/gables/internal/roofline"
 	"github.com/gables-model/gables/internal/sim"
+	"github.com/gables-model/gables/internal/simcache"
 	"github.com/gables-model/gables/internal/units"
 )
 
@@ -59,15 +60,13 @@ func MeasureRoofline(sys *sim.System, ipName string, opts SweepOptions) ([]roofl
 	if err != nil {
 		return nil, nil, err
 	}
-	// Each intensity point is an independent measurement; each owns its
-	// own sim.System because the engine inside a run is not goroutine-safe.
+	// Each intensity point is an independent measurement; each goes
+	// through the content-addressed result cache, which builds a fresh
+	// sim.System per computed point (runs never share an engine) and
+	// coalesces concurrent workers computing the same point.
 	pts, err := parallel.Map(context.Background(), opts.Workers, kernels,
 		func(_ context.Context, _ int, k kernel.Kernel) (roofline.Point, error) {
-			ptSys, err := sim.New(sys.Config())
-			if err != nil {
-				return roofline.Point{}, err
-			}
-			res, err := ptSys.Run([]sim.Assignment{{IP: ipName, Kernel: k}}, sim.RunOptions{})
+			res, err := simcache.Run(sys.Config(), []sim.Assignment{{IP: ipName, Kernel: k}}, sim.RunOptions{})
 			if err != nil {
 				return roofline.Point{}, fmt.Errorf("erb: sweep %s: %w", k.Name, err)
 			}
@@ -112,7 +111,7 @@ func MeasureCacheBandwidth(sys *sim.System, ipName string, sizes []units.Bytes, 
 			Name: fmt.Sprintf("%s/ws=%d", ipName, int(ws)), WorkingSet: ws,
 			Trials: 8, FlopsPerWord: 1, Pattern: p,
 		}
-		res, err := sys.Run([]sim.Assignment{{IP: ipName, Kernel: k}}, sim.RunOptions{})
+		res, err := simcache.Run(sys.Config(), []sim.Assignment{{IP: ipName, Kernel: k}}, sim.RunOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -201,14 +200,12 @@ func Mixing(sys *sim.System, opts MixingOptions) (*MixingResult, error) {
 		}
 	}
 
-	// run measures one cell on its own freshly instantiated system: cells
-	// execute concurrently and the engine inside a run is not
-	// goroutine-safe, so they never share a System.
+	// run measures one cell through the result cache: a computed cell gets
+	// its own freshly instantiated system (runs never share an engine),
+	// repeated cells — the baseline reappears in the grid as (f=0, fpw=8) —
+	// are served from memory, and concurrent workers on the same cell
+	// coalesce onto one computation.
 	run := func(f float64, fpw int) (float64, error) {
-		cellSys, err := sim.New(sys.Config())
-		if err != nil {
-			return 0, err
-		}
 		cpuWords := int(float64(opts.Words) * (1 - f))
 		accWords := opts.Words - cpuWords
 		var assignments []sim.Assignment
@@ -230,7 +227,7 @@ func Mixing(sys *sim.System, opts MixingOptions) (*MixingResult, error) {
 				},
 			})
 		}
-		res, err := cellSys.Run(assignments, sim.RunOptions{Coordination: true})
+		res, err := simcache.Run(sys.Config(), assignments, sim.RunOptions{Coordination: true})
 		if err != nil {
 			return 0, err
 		}

@@ -9,6 +9,7 @@ import (
 	"github.com/gables-model/gables/internal/kernel"
 	"github.com/gables-model/gables/internal/parallel"
 	"github.com/gables-model/gables/internal/sim"
+	"github.com/gables-model/gables/internal/simcache"
 	"github.com/gables-model/gables/internal/units"
 )
 
@@ -105,8 +106,9 @@ func ValidateModel(sys *sim.System, opts ValidationOptions) (*ValidationResult, 
 		return nil, err
 	}
 
-	// The grid cells are fully independent; fan them out. Each cell owns
-	// its own sim.System (the engine inside a run is not goroutine-safe),
+	// The grid cells are fully independent; fan them out. Each computed
+	// cell gets its own sim.System via the result cache (runs never share
+	// an engine; repeated and concurrent-identical cells are deduplicated),
 	// and cells are collected in grid order so the aggregates below are
 	// byte-identical at any pool size.
 	type gridCell struct {
@@ -131,10 +133,6 @@ func ValidateModel(sys *sim.System, opts ValidationOptions) (*ValidationResult, 
 				return ValidationCell{}, err
 			}
 
-			cellSys, err := sim.New(sys.Config())
-			if err != nil {
-				return ValidationCell{}, err
-			}
 			cpuWords := int(float64(opts.Words) * (1 - c.f))
 			accWords := opts.Words - cpuWords
 			var assignments []sim.Assignment
@@ -148,7 +146,7 @@ func ValidateModel(sys *sim.System, opts ValidationOptions) (*ValidationResult, 
 					Kernel: kernel.Kernel{Name: "v-acc", WorkingSet: units.Bytes(accWords * kernel.WordSize),
 						Trials: opts.Trials, FlopsPerWord: c.fpw, Pattern: kernel.ReadWrite}})
 			}
-			meas, err := cellSys.Run(assignments, sim.RunOptions{})
+			meas, err := simcache.Run(sys.Config(), assignments, sim.RunOptions{})
 			if err != nil {
 				return ValidationCell{}, err
 			}

@@ -3,15 +3,23 @@ package experiments
 import (
 	"context"
 	"testing"
+
+	"github.com/gables-model/gables/internal/simcache"
 )
 
 // The harness benchmarks compare the whole experiment registry run
 // sequentially against the bounded worker pool. On a multi-core machine
 // (GOMAXPROCS >= 4) the parallel run should be at least 2x faster; on one
 // core the two are equivalent by the determinism contract.
+//
+// The simulation cache is reset each iteration so every iteration measures
+// a cold in-process harness run (with the intra-run dedup the cache
+// legitimately provides); warm-cache performance is measured separately by
+// internal/simcache's grid benchmarks.
 func benchRunAll(b *testing.B, workers int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		simcache.ResetDefault()
 		arts, err := RunAll(context.Background(), workers, nil)
 		if err != nil {
 			b.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"github.com/gables-model/gables/internal/plot"
 	"github.com/gables-model/gables/internal/report"
 	"github.com/gables-model/gables/internal/sim"
+	"github.com/gables-model/gables/internal/simcache"
 	"github.com/gables-model/gables/internal/sweep"
 	"github.com/gables-model/gables/internal/units"
 )
@@ -90,7 +91,7 @@ func Figure7a() (*Artifact, error) {
 	}
 	ro := kernel.Kernel{Name: "ro", WorkingSet: 16 << 20, Trials: 3,
 		FlopsPerWord: 1, Pattern: kernel.ReadOnly}
-	res, err := sys.Run([]sim.Assignment{{IP: "CPU", Kernel: ro}}, sim.RunOptions{})
+	res, err := simcache.Run(sys.Config(), []sim.Assignment{{IP: "CPU", Kernel: ro}}, sim.RunOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -330,11 +331,11 @@ func ThermalAblation() (*Artifact, error) {
 	}
 	k := kernel.Kernel{Name: "sustained", WorkingSet: 32 << 20, Trials: 8,
 		FlopsPerWord: 2048, Pattern: kernel.StreamCopy}
-	controlled, err := sys.Run([]sim.Assignment{{IP: "GPU", Kernel: k}}, sim.RunOptions{})
+	controlled, err := simcache.Run(sys.Config(), []sim.Assignment{{IP: "GPU", Kernel: k}}, sim.RunOptions{})
 	if err != nil {
 		return nil, err
 	}
-	throttled, err := sys.Run([]sim.Assignment{{IP: "GPU", Kernel: k}}, sim.RunOptions{Thermal: true})
+	throttled, err := simcache.Run(sys.Config(), []sim.Assignment{{IP: "GPU", Kernel: k}}, sim.RunOptions{Thermal: true})
 	if err != nil {
 		return nil, err
 	}

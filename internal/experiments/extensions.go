@@ -12,6 +12,7 @@ import (
 	"github.com/gables-model/gables/internal/report"
 	"github.com/gables-model/gables/internal/roofline"
 	"github.com/gables-model/gables/internal/sim"
+	"github.com/gables-model/gables/internal/simcache"
 	"github.com/gables-model/gables/internal/units"
 )
 
@@ -97,13 +98,13 @@ func DSPMixing() (*Artifact, error) {
 	gpuK := mk(words/2, 512, kernel.ReadWrite)
 	dspK := mk(words/4, 512, kernel.ReadWrite)
 
-	two, err := sys.Run([]sim.Assignment{
+	two, err := simcache.Run(sys.Config(), []sim.Assignment{
 		{IP: "CPU", Kernel: cpuK}, {IP: "GPU", Kernel: gpuK},
 	}, sim.RunOptions{Coordination: true})
 	if err != nil {
 		return nil, err
 	}
-	three, err := sys.Run([]sim.Assignment{
+	three, err := simcache.Run(sys.Config(), []sim.Assignment{
 		{IP: "CPU", Kernel: cpuK}, {IP: "GPU", Kernel: gpuK}, {IP: "DSP", Kernel: dspK},
 	}, sim.RunOptions{Coordination: true})
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"github.com/gables-model/gables/internal/report"
 	"github.com/gables-model/gables/internal/sim"
 	"github.com/gables-model/gables/internal/sim/ip"
+	"github.com/gables-model/gables/internal/simcache"
 )
 
 func init() {
@@ -42,13 +43,9 @@ func LatencyTolerance() (*Artifact, error) {
 				MemoryLatency: latency,
 			}}},
 		}
-		sys, err := sim.New(cfg)
-		if err != nil {
-			return 0, err
-		}
 		k := kernel.Kernel{Name: "stream", WorkingSet: 4 << 20, Trials: 2,
 			FlopsPerWord: 1, Pattern: kernel.ReadOnly}
-		res, err := sys.Run([]sim.Assignment{{IP: "engine", Kernel: k}}, sim.RunOptions{})
+		res, err := simcache.Run(cfg, []sim.Assignment{{IP: "engine", Kernel: k}}, sim.RunOptions{})
 		if err != nil {
 			return 0, err
 		}

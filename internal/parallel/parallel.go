@@ -15,6 +15,7 @@ package parallel
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -26,9 +27,22 @@ import (
 // count; cmd/gables-repro's -j flag takes precedence over it.
 const EnvVar = "GABLES_PARALLEL"
 
+// envWarn makes the malformed-GABLES_PARALLEL warning fire once per
+// process rather than once per Map call (a full harness run resolves the
+// pool size hundreds of times).
+var envWarn sync.Once
+
+// envWarnOut is where the warning goes; a variable so tests can capture it.
+var envWarnOut io.Writer = os.Stderr
+
 // Workers resolves a worker count: an explicit positive override wins, then
 // a positive integer in the GABLES_PARALLEL environment variable, then
 // GOMAXPROCS. The result is always at least 1.
+//
+// A set-but-malformed GABLES_PARALLEL (unparseable, zero, or negative) is
+// rejected with a one-time warning on stderr instead of being silently
+// ignored: a typo'd override that quietly falls back to GOMAXPROCS is
+// indistinguishable from one that worked.
 func Workers(explicit int) int {
 	if explicit > 0 {
 		return explicit
@@ -37,6 +51,9 @@ func Workers(explicit int) int {
 		if v, err := strconv.Atoi(s); err == nil && v > 0 {
 			return v
 		}
+		envWarn.Do(func() {
+			fmt.Fprintf(envWarnOut, "parallel: ignoring %s=%q: want a positive integer\n", EnvVar, s)
+		})
 	}
 	if n := runtime.GOMAXPROCS(0); n > 0 {
 		return n

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"reflect"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -186,5 +189,113 @@ func TestMapStress(t *testing.T) {
 		if !reflect.DeepEqual(out, want) {
 			t.Fatalf("round %d (n=%d workers=%d): results not index-ordered", round, n, workers)
 		}
+	}
+}
+
+// TestWorkersEnvValidation pins the resolution rule for every shape of
+// GABLES_PARALLEL: valid values win, malformed values (unparseable, zero,
+// negative) are rejected with a warning and fall back to the GOMAXPROCS
+// default, and unset stays silent.
+func TestWorkersEnvValidation(t *testing.T) {
+	def := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		env  string
+		want int
+		warn bool
+	}{
+		{env: "", want: def, warn: false},
+		{env: "0", want: def, warn: true},
+		{env: "-3", want: def, warn: true},
+		{env: "abc", want: def, warn: true},
+		{env: "8", want: 8, warn: false},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("env=%q", c.env), func(t *testing.T) {
+			t.Setenv(EnvVar, c.env)
+			var buf strings.Builder
+			envWarn = sync.Once{}
+			envWarnOut = &buf
+			defer func() { envWarnOut = os.Stderr }()
+			if got := Workers(0); got != c.want {
+				t.Errorf("Workers(0) = %d, want %d", got, c.want)
+			}
+			warned := buf.Len() > 0
+			if warned != c.warn {
+				t.Errorf("warning emitted = %v, want %v (output %q)", warned, c.warn, buf.String())
+			}
+			if c.warn && !strings.Contains(buf.String(), c.env) {
+				t.Errorf("warning %q must quote the rejected value %q", buf.String(), c.env)
+			}
+		})
+	}
+}
+
+// TestWorkersEnvWarnsOnce checks the malformed-env warning is per-process,
+// not per-call: a harness run resolves the pool size hundreds of times.
+func TestWorkersEnvWarnsOnce(t *testing.T) {
+	t.Setenv(EnvVar, "banana")
+	var buf strings.Builder
+	envWarn = sync.Once{}
+	envWarnOut = &buf
+	defer func() { envWarnOut = os.Stderr }()
+	for i := 0; i < 5; i++ {
+		Workers(0)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Errorf("warning emitted %d times over 5 calls, want exactly 1:\n%s", got, buf.String())
+	}
+}
+
+// TestMapCancellationSkipsRemainingItems pins the three observable effects
+// of a failing item: in-flight work sees the cancelled context, items not
+// yet claimed are never started (their side effects keep zero values), and
+// the returned error wraps the failing index.
+func TestMapCancellationSkipsRemainingItems(t *testing.T) {
+	boom := errors.New("boom")
+	const n = 256
+	items := make([]int, n)
+	ran := make([]atomic.Bool, n)
+	gate := make(chan struct{})
+	out, err := Map(context.Background(), 2, items, func(ctx context.Context, i int, _ int) (int, error) {
+		ran[i].Store(true)
+		if i == 0 {
+			// Hold the failure until the other worker is blocked in-flight,
+			// so cancellation provably reaches a running fn.
+			<-gate
+			return 0, boom
+		}
+		if i == 1 {
+			close(gate)
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return 0, fmt.Errorf("in-flight item %d never saw cancellation", i)
+			}
+		}
+		return i, nil
+	})
+	if out != nil {
+		t.Errorf("out = %v, want nil on error", out)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected error", err)
+	}
+	if !strings.Contains(err.Error(), "item 0") {
+		t.Errorf("err = %v, want it to identify item 0", err)
+	}
+	started := 0
+	for i := range ran {
+		if ran[i].Load() {
+			started++
+		}
+	}
+	// Two workers: items 0 and 1 start, and each worker may claim at most
+	// one more item before observing the cancelled context.
+	if started > 4 {
+		t.Errorf("%d items started after the failure; skipped items must never run", started)
+	}
+	if started == n {
+		t.Error("every item ran; cancellation pruned nothing")
 	}
 }

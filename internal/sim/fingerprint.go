@@ -1,0 +1,155 @@
+// Content-addressed fingerprints for simulation runs.
+//
+// A run of the discrete-event substrate is a pure function of
+// (Config, assignments, RunOptions): the engine is seeded from nothing and
+// every event is deterministic. Fingerprint canonicalizes that triple into
+// a fixed-size key so the harness can reuse results across grid cells,
+// experiment suites, processes (via the on-disk cache layer), and web
+// requests. internal/simcache keys its cache with it.
+//
+// Canonicalization rules:
+//
+//   - every field is written explicitly, in struct declaration order —
+//     never via reflection or map iteration, so the byte stream is stable
+//     across runs and Go versions;
+//   - floats are written as their IEEE-754 bit patterns, so any two
+//     configs that compare == produce the same key and any bitwise
+//     difference produces a different one (no formatting round-trips);
+//   - strings are length-prefixed and slices count-prefixed, so
+//     concatenation ambiguities ("ab","c" vs "a","bc") cannot collide;
+//   - display-only labels that cannot affect simulation results —
+//     Kernel.Name is the only one — are excluded, so differently labeled
+//     but physically identical kernels share one cache entry;
+//   - RunOptions.MaxEvents is normalized (0 → DefaultMaxEvents) because
+//     both spellings run the same schedule.
+//
+// FingerprintVersion is hashed in first. Bump it whenever the simulated
+// semantics of an existing field change, a field is added or removed on
+// Config/ip.Config/noc.FabricSpec/thermal.Config/kernel.Kernel/RunOptions,
+// or the encoding itself changes: stale on-disk cache entries then miss
+// instead of serving results from an older model.
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/sim/thermal"
+)
+
+// FingerprintVersion versions the fingerprint encoding and the simulated
+// semantics it captures. See the package comment for when to bump it.
+const FingerprintVersion = 1
+
+// Fingerprint returns a stable hex key identifying the result of
+// (*System).Run for this configuration, assignment list, and options.
+// Two calls agree if and only if they describe the same simulated run
+// under the current FingerprintVersion.
+func Fingerprint(cfg Config, assignments []Assignment, opt RunOptions) string {
+	w := fpWriter{h: sha256.New()}
+	w.uint64(FingerprintVersion)
+
+	// Config, declaration order.
+	w.str(cfg.Name)
+	w.f64(cfg.DRAMBandwidth)
+	w.uint64(uint64(len(cfg.Fabrics)))
+	for _, f := range cfg.Fabrics {
+		w.str(f.Name)
+		w.f64(f.Bandwidth)
+		w.str(f.Parent)
+	}
+	w.uint64(uint64(len(cfg.IPs)))
+	for _, spec := range cfg.IPs {
+		w.str(spec.Name)
+		w.f64(spec.ComputeRate)
+		w.f64(spec.LinkBandwidth)
+		w.f64(spec.WritePenalty)
+		w.f64(spec.CacheSize)
+		w.f64(spec.CacheBandwidth)
+		w.f64(spec.ChunkBytes)
+		w.uint64(uint64(spec.MaxInflight))
+		w.f64(spec.CoordinationOpsPerByte)
+		w.f64(spec.MemoryLatency)
+		w.str(spec.Fabric)
+	}
+	w.str(cfg.Host)
+	w.thermal(cfg.Thermal)
+
+	// Assignments, in order: order is semantically meaningful (results
+	// come back assignment-ordered and ties in the engine break by
+	// schedule order).
+	w.uint64(uint64(len(assignments)))
+	for _, a := range assignments {
+		w.str(a.IP)
+		// Kernel.Name is a display label only; excluded by design.
+		w.f64(float64(a.Kernel.WorkingSet))
+		w.uint64(uint64(a.Kernel.Trials))
+		w.uint64(uint64(a.Kernel.FlopsPerWord))
+		w.uint64(uint64(a.Kernel.Pattern))
+	}
+
+	// Options.
+	w.bool(opt.Coordination)
+	w.bool(opt.Thermal)
+	maxEvents := opt.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	w.uint64(uint64(maxEvents))
+
+	return hex.EncodeToString(w.h.Sum(nil))
+}
+
+// FingerprintAssignment is a convenience for the common single-assignment
+// run shape the sweep harnesses use.
+func FingerprintAssignment(cfg Config, ip string, k kernel.Kernel, opt RunOptions) string {
+	return Fingerprint(cfg, []Assignment{{IP: ip, Kernel: k}}, opt)
+}
+
+// fpWriter streams canonical primitives into the hash. Hash writes never
+// fail, so the helpers are error-free.
+type fpWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (w *fpWriter) uint64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	w.h.Write(w.buf[:])
+}
+
+func (w *fpWriter) f64(v float64) { w.uint64(math.Float64bits(v)) }
+
+func (w *fpWriter) bool(v bool) {
+	if v {
+		w.uint64(1)
+	} else {
+		w.uint64(0)
+	}
+}
+
+func (w *fpWriter) str(s string) {
+	w.uint64(uint64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w *fpWriter) thermal(c *thermal.Config) {
+	if c == nil {
+		w.bool(false)
+		return
+	}
+	w.bool(true)
+	w.f64(c.Ambient)
+	w.f64(c.Resistance)
+	w.f64(c.Capacitance)
+	w.f64(c.IdlePower)
+	w.f64(c.EnergyPerOp)
+	w.f64(c.ThrottleAt)
+	w.f64(c.ResumeAt)
+	w.f64(c.ThrottleScale)
+	w.f64(c.Interval)
+}

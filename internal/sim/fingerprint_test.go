@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/sim/noc"
+	"github.com/gables-model/gables/internal/sim/thermal"
+)
+
+func fpKernel() kernel.Kernel {
+	return kernel.Kernel{Name: "k", WorkingSet: 1 << 20, Trials: 2, FlopsPerWord: 8, Pattern: kernel.ReadWrite}
+}
+
+func fpBase() (Config, []Assignment, RunOptions) {
+	return Snapdragon835(), []Assignment{{IP: "CPU", Kernel: fpKernel()}}, RunOptions{}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	cfg, as, opt := fpBase()
+	a := Fingerprint(cfg, as, opt)
+	for i := 0; i < 100; i++ {
+		if b := Fingerprint(cfg, as, opt); b != a {
+			t.Fatalf("fingerprint not deterministic: %s vs %s", a, b)
+		}
+	}
+	if len(a) != 64 {
+		t.Fatalf("fingerprint length %d, want 64 hex chars", len(a))
+	}
+}
+
+// TestFingerprintSensitivity mutates every semantically meaningful input
+// one at a time and requires each mutation to move the key.
+func TestFingerprintSensitivity(t *testing.T) {
+	base, as, opt := fpBase()
+	baseKey := Fingerprint(base, as, opt)
+
+	mutations := map[string]func() string{
+		"config name": func() string {
+			c := base
+			c.Name = "other"
+			return Fingerprint(c, as, opt)
+		},
+		"dram bandwidth": func() string {
+			c := base
+			c.DRAMBandwidth *= 2
+			return Fingerprint(c, as, opt)
+		},
+		"fabric bandwidth": func() string {
+			c := base
+			c.Fabrics = append([]noc.FabricSpec(nil), base.Fabrics...)
+			c.Fabrics[0].Bandwidth *= 2
+			return Fingerprint(c, as, opt)
+		},
+		"ip compute rate": func() string {
+			c := base
+			c.IPs = append([]IPSpec(nil), base.IPs...)
+			c.IPs[0].ComputeRate *= 2
+			return Fingerprint(c, as, opt)
+		},
+		"ip order": func() string {
+			c := base
+			c.IPs = append([]IPSpec(nil), base.IPs...)
+			c.IPs[0], c.IPs[1] = c.IPs[1], c.IPs[0]
+			return Fingerprint(c, as, opt)
+		},
+		"host": func() string {
+			c := base
+			c.Host = ""
+			return Fingerprint(c, as, opt)
+		},
+		"thermal override": func() string {
+			c := base
+			tc := thermal.DefaultConfig()
+			tc.ThrottleAt += 5
+			c.Thermal = &tc
+			return Fingerprint(c, as, opt)
+		},
+		"assignment ip": func() string {
+			a2 := []Assignment{{IP: "GPU", Kernel: fpKernel()}}
+			return Fingerprint(base, a2, opt)
+		},
+		"kernel working set": func() string {
+			k := fpKernel()
+			k.WorkingSet *= 2
+			return Fingerprint(base, []Assignment{{IP: "CPU", Kernel: k}}, opt)
+		},
+		"kernel trials": func() string {
+			k := fpKernel()
+			k.Trials++
+			return Fingerprint(base, []Assignment{{IP: "CPU", Kernel: k}}, opt)
+		},
+		"kernel flops per word": func() string {
+			k := fpKernel()
+			k.FlopsPerWord *= 2
+			return Fingerprint(base, []Assignment{{IP: "CPU", Kernel: k}}, opt)
+		},
+		"kernel pattern": func() string {
+			k := fpKernel()
+			k.Pattern = kernel.ReadOnly
+			return Fingerprint(base, []Assignment{{IP: "CPU", Kernel: k}}, opt)
+		},
+		"assignment count": func() string {
+			a2 := append([]Assignment{}, as...)
+			a2 = append(a2, Assignment{IP: "GPU", Kernel: fpKernel()})
+			return Fingerprint(base, a2, opt)
+		},
+		"coordination": func() string {
+			return Fingerprint(base, as, RunOptions{Coordination: true})
+		},
+		"thermal option": func() string {
+			return Fingerprint(base, as, RunOptions{Thermal: true})
+		},
+		"max events": func() string {
+			return Fingerprint(base, as, RunOptions{MaxEvents: 1000})
+		},
+	}
+	seen := map[string]string{baseKey: "base"}
+	for name, mutate := range mutations {
+		key := mutate()
+		if prev, dup := seen[key]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+			continue
+		}
+		seen[key] = name
+	}
+}
+
+// TestFingerprintLabelInsensitive pins the documented exclusions: the
+// kernel's display name never splits cache entries, and string boundaries
+// cannot be shifted to forge a collision.
+func TestFingerprintLabelInsensitive(t *testing.T) {
+	base, _, opt := fpBase()
+	k1, k2 := fpKernel(), fpKernel()
+	k2.Name = "a completely different label"
+	a := Fingerprint(base, []Assignment{{IP: "CPU", Kernel: k1}}, opt)
+	b := Fingerprint(base, []Assignment{{IP: "CPU", Kernel: k2}}, opt)
+	if a != b {
+		t.Error("kernel display name must not affect the fingerprint")
+	}
+
+	// Length-prefixing: moving a byte across a string boundary must not
+	// collide ("CPUx" host vs "CPU" host with trailing data elsewhere).
+	c1, c2 := base, base
+	c1.Name, c1.Host = "chipA", "CPU"
+	c2.Name, c2.Host = "chip", "ACPU"
+	if Fingerprint(c1, nil, opt) == Fingerprint(c2, nil, opt) {
+		t.Error("shifting bytes across string boundaries must change the key")
+	}
+}
+
+// TestFingerprintMaxEventsNormalized pins the 0 → DefaultMaxEvents
+// normalization: both spellings run the same schedule, so they share a key.
+func TestFingerprintMaxEventsNormalized(t *testing.T) {
+	base, as, _ := fpBase()
+	implicit := Fingerprint(base, as, RunOptions{})
+	explicit := Fingerprint(base, as, RunOptions{MaxEvents: DefaultMaxEvents})
+	if implicit != explicit {
+		t.Error("MaxEvents 0 and DefaultMaxEvents must share a fingerprint")
+	}
+}

@@ -133,6 +133,11 @@ type Assignment struct {
 	Kernel kernel.Kernel
 }
 
+// DefaultMaxEvents is the livelock guard applied when RunOptions.MaxEvents
+// is zero. Fingerprint normalizes against it so an explicit default and an
+// implicit one address the same cache entry.
+const DefaultMaxEvents = 50_000_000
+
 // RunOptions control a measurement run.
 type RunOptions struct {
 	// Coordination charges each offloaded block's traffic to the host
@@ -190,7 +195,7 @@ func (s *System) Run(assignments []Assignment, opt RunOptions) (*RunResult, erro
 		return nil, fmt.Errorf("sim: %s: MaxEvents must be non-negative (negative would disable the livelock guard), got %d", s.cfg.Name, opt.MaxEvents)
 	}
 	if opt.MaxEvents == 0 {
-		opt.MaxEvents = 50_000_000
+		opt.MaxEvents = DefaultMaxEvents
 	}
 	inst, err := s.cfg.instantiate()
 	if err != nil {

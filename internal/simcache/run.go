@@ -1,0 +1,114 @@
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/gables-model/gables/internal/sim"
+)
+
+// This file binds the generic cache to the simulated SoC: a process-wide
+// default Cache[*sim.RunResult] keyed by sim.Fingerprint, which every
+// harness layer (internal/erb grids, internal/experiments suites, the
+// cmds) routes runs through via Run. The in-memory layer is always on —
+// it can only deduplicate work, never change results — while the on-disk
+// layer is opt-in through EnableDisk (the -cache flags / GABLES_CACHE_DIR).
+
+// EnvDir is the environment variable naming the on-disk cache directory;
+// the cmds' -cache flags take precedence over it.
+const EnvDir = "GABLES_CACHE_DIR"
+
+var defaultCache = New[*sim.RunResult](Options{})
+
+// Run executes assignments on a system described by cfg through the
+// default cache: memory hit, in-flight coalesce, disk hit, or a fresh
+// sim.New + Run. The result is a private copy — callers may mutate it
+// freely without poisoning the cache.
+func Run(cfg sim.Config, assignments []sim.Assignment, opt sim.RunOptions) (*sim.RunResult, error) {
+	key := sim.Fingerprint(cfg, assignments, opt)
+	res, err := defaultCache.Get(key, func() (*sim.RunResult, error) {
+		sys, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sys.Run(assignments, opt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cloneResult(res), nil
+}
+
+// cloneResult deep-copies a run result (the struct plus its one slice) so
+// cache-resident values stay immutable.
+func cloneResult(r *sim.RunResult) *sim.RunResult {
+	cp := *r
+	cp.IPs = append([]sim.IPResult(nil), r.IPs...)
+	return &cp
+}
+
+// EnableDisk turns on the default cache's on-disk layer in dir, preserving
+// the current in-memory contents and counters. An empty dir is a no-op.
+func EnableDisk(dir string) {
+	if dir == "" {
+		return
+	}
+	defaultCache.SetDir(dir)
+}
+
+// EnableDiskFromEnv enables the disk layer from GABLES_CACHE_DIR and
+// returns the directory used (empty when the variable is unset).
+func EnableDiskFromEnv() string {
+	dir := os.Getenv(EnvDir)
+	EnableDisk(dir)
+	return dir
+}
+
+// DisableDisk turns the default cache's on-disk layer back off; tests use
+// it to undo EnableDisk.
+func DisableDisk() { defaultCache.SetDir("") }
+
+// DefaultStats snapshots the default sim-run cache's counters.
+func DefaultStats() Stats { return defaultCache.Stats() }
+
+// ResetDefault clears the default cache's memory layer and counters —
+// benchmarks use it to measure cold in-process runs, and tests use it for
+// isolation. The disk layer setting is preserved.
+func ResetDefault() { defaultCache.Reset() }
+
+// FormatStats renders a stats snapshot as the one-line summary the cmds
+// print under -v.
+func FormatStats(name string, s Stats) string {
+	return fmt.Sprintf("%s: hits=%d disk_hits=%d misses=%d coalesced=%d evictions=%d entries=%d",
+		name, s.Hits, s.DiskHits, s.Misses, s.Coalesced, s.Evictions, s.Entries)
+}
+
+// Key builds a content-addressed cache key from arbitrary JSON-encodable
+// parts: each part is marshaled with encoding/json (struct fields in
+// declaration order, map keys sorted — deterministic by construction) and
+// length-prefixed into a sha-256. Use it for caches over value types that
+// do not have a hand-written fingerprint; the first part should be a
+// versioned scope label (e.g. "web-eval/v1") so unrelated caches and
+// schema revisions never share keys. Parts that cannot be marshaled
+// (NaN/Inf floats, channels...) return an error — callers should then
+// bypass their cache.
+func Key(parts ...any) (string, error) {
+	h := sha256.New()
+	var buf [8]byte
+	for i, p := range parts {
+		data, err := json.Marshal(p)
+		if err != nil {
+			return "", fmt.Errorf("simcache: key part %d: %w", i, err)
+		}
+		n := uint64(len(data))
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(n >> (8 * b))
+		}
+		h.Write(buf[:])
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

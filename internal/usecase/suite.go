@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"github.com/gables-model/gables/internal/parallel"
+	"github.com/gables-model/gables/internal/simcache"
 	"github.com/gables-model/gables/internal/soc"
 )
 
@@ -73,7 +74,7 @@ func AnalyzeSuite(chip *soc.Chip, reqs []Requirement) (*SuiteReport, error) {
 	// deterministic at any pool size.
 	entries, err := parallel.Map(context.Background(), 0, reqs,
 		func(_ context.Context, i int, req Requirement) (SuiteEntry, error) {
-			maxRate, limiter, err := MaxRate(req.Graph, chip)
+			maxRate, limiter, err := maxRateCached(req.Graph, chip)
 			if err != nil {
 				return SuiteEntry{}, fmt.Errorf("usecase: requirement %d (%s): %w", i, req.Graph.Name, err)
 			}
@@ -102,6 +103,36 @@ func AnalyzeSuite(chip *soc.Chip, reqs []Requirement) (*SuiteReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// rateCache memoizes MaxRate across suite analyses: experiment suites and
+// design-space sweeps re-evaluate the same (graph, chip) pairs many times.
+// Keys are content-addressed over both structs (plain exported data, so
+// simcache.Key's canonical JSON covers every field); the "/v1" label is
+// the schema version — bump it when Graph, Stage, or the analysis
+// semantics change.
+var rateCache = simcache.New[rated](simcache.Options{Capacity: 1024})
+
+type rated struct {
+	Rate    float64
+	Limiter string
+}
+
+func maxRateCached(g *Graph, chip *soc.Chip) (float64, string, error) {
+	key, err := simcache.Key("usecase-maxrate/v1", g, chip)
+	if err != nil {
+		// Unkeyable inputs (non-finite floats) bypass the cache.
+		rate, limiter, err := MaxRate(g, chip)
+		return rate, limiter, err
+	}
+	r, err := rateCache.Get(key, func() (rated, error) {
+		rate, limiter, err := MaxRate(g, chip)
+		return rated{Rate: rate, Limiter: limiter}, err
+	})
+	if err != nil {
+		return 0, "", err
+	}
+	return r.Rate, r.Limiter, nil
 }
 
 // StandardSuite returns a representative phone workload suite at sensible

@@ -1,0 +1,76 @@
+package web
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"github.com/gables-model/gables/internal/simcache"
+)
+
+// Whole-page memoization: the interactive pages are pure functions of
+// their form parameters, and real traffic repeats them heavily (the
+// default form, the back button, many users poking the same example), so
+// identical submissions are served from a bounded content-addressed cache.
+// Concurrent identical requests coalesce onto one model evaluation + SVG
+// render via the cache's singleflight. Errors (invalid parameters) are
+// never cached.
+//
+// The "/v1" in the key scopes are the page schema versions: bump one
+// whenever its Params struct or rendering changes meaning.
+var evalCache = simcache.New[*Evaluation](simcache.Options{Capacity: 512})
+
+// EvaluateCached is Evaluate through the page cache.
+func EvaluateCached(p Params) (*Evaluation, error) {
+	key, err := simcache.Key("web-eval2/v1", p)
+	if err != nil {
+		return Evaluate(p) // unkeyable (non-finite) params bypass the cache
+	}
+	ev, err := evalCache.Get(key, func() (*Evaluation, error) { return Evaluate(p) })
+	if err != nil {
+		return nil, err
+	}
+	return cloneEvaluation(ev), nil
+}
+
+// EvaluateThreeCached is EvaluateThree through the page cache.
+func EvaluateThreeCached(p ThreeParams) (*Evaluation, error) {
+	key, err := simcache.Key("web-eval3/v1", p)
+	if err != nil {
+		return EvaluateThree(p)
+	}
+	ev, err := evalCache.Get(key, func() (*Evaluation, error) { return EvaluateThree(p) })
+	if err != nil {
+		return nil, err
+	}
+	return cloneEvaluation(ev), nil
+}
+
+// cloneEvaluation hands each request a private copy so cache-resident
+// pages stay immutable.
+func cloneEvaluation(ev *Evaluation) *Evaluation {
+	cp := *ev
+	cp.Terms = append([]termView(nil), ev.Terms...)
+	return &cp
+}
+
+// CacheStats reports the page cache's counters (the /stats payload also
+// includes the simulation-run cache for completeness: gables-web itself
+// is analytic, but the snapshot shape is shared with the harness cmds).
+func CacheStats() simcache.Stats { return evalCache.Stats() }
+
+// ResetCache clears the page cache; tests use it for isolation.
+func ResetCache() { evalCache.Reset() }
+
+// statsHandler serves the cache counters as JSON at /stats.
+func statsHandler(w http.ResponseWriter, r *http.Request) {
+	snapshot := struct {
+		Web simcache.Stats `json:"web_eval"`
+		Sim simcache.Stats `json:"sim_runs"`
+	}{Web: evalCache.Stats(), Sim: simcache.DefaultStats()}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snapshot); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

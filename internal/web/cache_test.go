@@ -1,0 +1,128 @@
+package web
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"github.com/gables-model/gables/internal/simcache"
+)
+
+func TestEvaluateCachedMatchesDirect(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+
+	p := DefaultParams()
+	direct, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := EvaluateCached(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := EvaluateCached(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, cold) {
+		t.Error("cold cached evaluation differs from direct")
+	}
+	if !reflect.DeepEqual(direct, warm) {
+		t.Error("warm cached evaluation differs from direct")
+	}
+	s := CacheStats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss then 1 hit", s)
+	}
+
+	// Returned pages are private copies: mutating one must not poison
+	// later hits.
+	warm.Attainable = "poisoned"
+	if len(warm.Terms) > 0 {
+		warm.Terms[0].Component = "poisoned"
+	}
+	again, err := EvaluateCached(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, again) {
+		t.Error("cache entry was mutated through a returned page")
+	}
+}
+
+func TestEvaluateCachedDistinguishesPages(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+
+	if _, err := EvaluateCached(DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvaluateThreeCached(DefaultThreeParams()); err != nil {
+		t.Fatal(err)
+	}
+	s := CacheStats()
+	if s.Misses != 2 || s.Hits != 0 || s.Entries != 2 {
+		t.Errorf("stats = %+v, want two distinct misses (scoped keys)", s)
+	}
+}
+
+func TestEvaluateCachedErrorsNotCached(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+
+	bad := DefaultParams()
+	bad.F = 5
+	for i := 0; i < 2; i++ {
+		if _, err := EvaluateCached(bad); err == nil {
+			t.Fatal("invalid params must error")
+		}
+	}
+	s := CacheStats()
+	if s.Entries != 0 || s.Misses != 2 {
+		t.Errorf("stats = %+v, want errors recomputed and never stored", s)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	// Two identical submissions: one miss, one hit.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var snapshot struct {
+		Web simcache.Stats `json:"web_eval"`
+		Sim simcache.Stats `json:"sim_runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snapshot); err != nil {
+		t.Fatal(err)
+	}
+	if snapshot.Web.Misses != 1 || snapshot.Web.Hits != 1 || snapshot.Web.Entries != 1 {
+		t.Errorf("web stats = %+v, want 1 miss + 1 hit", snapshot.Web)
+	}
+}

@@ -186,7 +186,7 @@ var threeTemplate = template.Must(template.New("three").Parse(`<!DOCTYPE html>
 // threeHandler serves the three-IP page.
 func threeHandler(w http.ResponseWriter, r *http.Request) {
 	p := parseThreeParams(r)
-	ev, err := EvaluateThree(p)
+	ev, err := EvaluateThreeCached(p)
 	if err != nil {
 		ev = &Evaluation{Err: err.Error()}
 	}
