@@ -13,6 +13,7 @@ import (
 
 	gables "github.com/gables-model/gables"
 	"github.com/gables-model/gables/internal/experiments"
+	"github.com/gables-model/gables/internal/sim/trace"
 )
 
 // benchArtifact runs one experiment per iteration and verifies its checks.
@@ -138,6 +139,27 @@ func BenchmarkSimKernel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.Run([]gables.SimAssignment{{IP: "CPU", Kernel: k}},
 			gables.SimRunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimKernelTraced measures the same run with a metrics probe
+// attached — the observe-only overhead of the tracing layer. Compare
+// against BenchmarkSimKernel to see what a probe costs; the nil-probe
+// path itself must stay at BenchmarkSimKernel's allocation count (the
+// zero-overhead contract, asserted by the trace differential tests).
+func BenchmarkSimKernelTraced(b *testing.B) {
+	sys, err := gables.NewSimSystem(gables.SimSnapdragon835())
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := gables.Kernel{Name: "bench", WorkingSet: 4 << 20, Trials: 2,
+		FlopsPerWord: 8, Pattern: gables.ReadWrite}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := gables.SimRunOptions{Probe: trace.NewMetrics("bench")}
+		if _, err := sys.Run([]gables.SimAssignment{{IP: "CPU", Kernel: k}}, opt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -43,7 +43,7 @@ type target struct {
 var suite = []target{
 	{Pkg: "./internal/sim/engine", Bench: ".", Tier1: true},
 	{Pkg: "./internal/sim/mem", Bench: ".", Tier1: true},
-	{Pkg: ".", Bench: "BenchmarkSimKernel$|BenchmarkEvaluateTwoIP$|BenchmarkEvaluateNIP$", Tier1: true},
+	{Pkg: ".", Bench: "BenchmarkSimKernel$|BenchmarkSimKernelTraced$|BenchmarkEvaluateTwoIP$|BenchmarkEvaluateNIP$", Tier1: true},
 	{Pkg: "./internal/experiments", Bench: "BenchmarkHarnessSequential$", Tier1: true},
 	{Pkg: "./internal/experiments", Bench: "BenchmarkHarnessParallel$"},
 	{Pkg: "./internal/simcache", Bench: "BenchmarkCacheColdGrid$|BenchmarkCacheWarmGrid$", Tier1: true},

@@ -8,9 +8,14 @@
 // GABLES_CACHE_DIR) persists them on disk across invocations, and -v
 // prints the cache counters to stderr.
 //
+// -trace FILE records every sweep cell's simulation as a Chrome
+// trace-event JSON file (Perfetto-loadable) and -metrics prints a
+// plain-text utilization summary to stderr; both are observe-only but
+// bypass the simulation cache.
+//
 // Usage:
 //
-//	gables-erb [-chip 835|821] [-ip CPU,GPU,DSP] [-mixing] [-native] [-cache dir] [-v] [-dir out]
+//	gables-erb [-chip 835|821] [-ip CPU,GPU,DSP] [-mixing] [-native] [-cache dir] [-trace file] [-metrics] [-v] [-dir out]
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"github.com/gables-model/gables/internal/plot"
 	"github.com/gables-model/gables/internal/report"
 	"github.com/gables-model/gables/internal/sim"
+	"github.com/gables-model/gables/internal/sim/trace"
 	"github.com/gables-model/gables/internal/simcache"
 )
 
@@ -36,6 +42,8 @@ func main() {
 	validate := flag.Bool("validate", false, "also cross-validate the analytic model against the simulator")
 	dir := flag.String("dir", "", "write roofline SVGs into this directory")
 	cacheDir := flag.String("cache", "", "persist simulation results in this directory (default $"+simcache.EnvDir+")")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event/Perfetto JSON trace of every simulation run to this file")
+	metrics := flag.Bool("metrics", false, "print a metrics summary of the traced simulation runs to stderr")
 	verbose := flag.Bool("v", false, "print cache statistics to stderr after the run")
 	flag.Parse()
 
@@ -44,9 +52,17 @@ func main() {
 	} else {
 		simcache.EnableDiskFromEnv()
 	}
+	var session *trace.Session
+	if *traceFile != "" || *metrics {
+		session = trace.NewSession()
+		simcache.SetProbeFactory(session.NewRun)
+	}
 	err := run(*chip, *ips, *mixing, *native, *dir)
 	if err == nil && *validate {
 		err = runValidation(*chip)
+	}
+	if session != nil && err == nil {
+		err = writeTraceArtifacts(session, *traceFile, *metrics)
 	}
 	if *verbose {
 		fmt.Fprintln(os.Stderr, simcache.FormatStats("sim-cache", simcache.DefaultStats()))
@@ -55,6 +71,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gables-erb:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTraceArtifacts exports the session's trace file and/or metrics
+// summary. The summary goes to stderr so traced and untraced stdout stay
+// byte-identical.
+func writeTraceArtifacts(session *trace.Session, traceFile string, metrics bool) error {
+	if traceFile != "" {
+		if err := session.WriteChromeFile(traceFile); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace of %d simulation runs to %s\n", session.Runs(), traceFile)
+	}
+	if metrics {
+		return session.WriteSummary(os.Stderr)
+	}
+	return nil
 }
 
 // runValidation prints the model-vs-simulator grid (the paper's "correct

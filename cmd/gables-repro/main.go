@@ -12,9 +12,15 @@
 // runs replay from disk, and -v prints the cache counters to stderr
 // (stderr, so cold and warm stdout stay byte-identical).
 //
+// -trace FILE records every simulation run as a Chrome trace-event JSON
+// file (load it in Perfetto or chrome://tracing), and -metrics prints a
+// plain-text utilization summary to stderr. Both attach observe-only
+// probes: results are bitwise identical, but traced runs bypass the
+// simulation cache, so expect cold-run timings.
+//
 // Usage:
 //
-//	gables-repro [-only id] [-dir out] [-j n] [-cache dir] [-v] [-list]
+//	gables-repro [-only id] [-dir out] [-j n] [-cache dir] [-trace file] [-metrics] [-v] [-list]
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 
 	"github.com/gables-model/gables/internal/experiments"
 	"github.com/gables-model/gables/internal/parallel"
+	"github.com/gables-model/gables/internal/sim/trace"
 	"github.com/gables-model/gables/internal/simcache"
 )
 
@@ -39,6 +46,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jobs := flag.Int("j", 0, "worker pool size (0 = $"+parallel.EnvVar+" or GOMAXPROCS)")
 	cacheDir := flag.String("cache", "", "persist simulation results in this directory (default $"+simcache.EnvDir+")")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event/Perfetto JSON trace of every simulation run to this file")
+	metrics := flag.Bool("metrics", false, "print a metrics summary of the traced simulation runs to stderr")
 	verbose := flag.Bool("v", false, "print cache statistics to stderr after the run")
 	flag.Parse()
 
@@ -53,7 +62,15 @@ func main() {
 	} else {
 		simcache.EnableDiskFromEnv()
 	}
+	var session *trace.Session
+	if *traceFile != "" || *metrics {
+		session = trace.NewSession()
+		simcache.SetProbeFactory(session.NewRun)
+	}
 	err := run(os.Stdout, options{only: *only, dir: *dir, csv: *csv, jobs: *jobs})
+	if session != nil && err == nil {
+		err = writeTraceArtifacts(session, *traceFile, *metrics)
+	}
 	if *verbose {
 		fmt.Fprintln(os.Stderr, simcache.FormatStats("sim-cache", simcache.DefaultStats()))
 	}
@@ -61,6 +78,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gables-repro:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTraceArtifacts exports the session's trace file and/or metrics
+// summary. The summary goes to stderr so traced and untraced stdout stay
+// byte-identical.
+func writeTraceArtifacts(session *trace.Session, traceFile string, metrics bool) error {
+	if traceFile != "" {
+		if err := session.WriteChromeFile(traceFile); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace of %d simulation runs to %s\n", session.Runs(), traceFile)
+	}
+	if metrics {
+		return session.WriteSummary(os.Stderr)
+	}
+	return nil
 }
 
 // options collects run's knobs (the flag set minus -list and the

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/sim"
+	"github.com/gables-model/gables/internal/sim/trace"
+)
+
+// traceFromRealRun produces a trace file from an actual simulated run, so
+// the validator test exercises the same artifact the -trace flags emit.
+func traceFromRealRun(t *testing.T) string {
+	t.Helper()
+	sys, err := sim.New(sim.Snapdragon835())
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := trace.NewSession()
+	k := kernel.Kernel{Name: "smoke", WorkingSet: 1 << 20, Trials: 2,
+		FlopsPerWord: 16, Pattern: kernel.ReadWrite}
+	opt := sim.RunOptions{Probe: session.NewRun("smoke")}
+	if _, err := sys.Run([]sim.Assignment{{IP: "CPU", Kernel: k}}, opt); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := session.WriteChromeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunValidFile(t *testing.T) {
+	path := traceFromRealRun(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{path}, false, &out, &errBuf); code != 0 {
+		t.Fatalf("valid trace rejected (exit %d): %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("summary missing: %q", out.String())
+	}
+	if errBuf.Len() != 0 {
+		t.Errorf("unexpected stderr: %q", errBuf.String())
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	path := traceFromRealRun(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{path}, true, &out, &errBuf); code != 0 {
+		t.Fatalf("valid trace rejected (exit %d): %s", code, errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("-q must suppress the summary, got %q", out.String())
+	}
+}
+
+func TestRunInvalidFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"empty.json":   `{"traceEvents":[]}`,
+		"missing.json": `{"traceEvents":[{"ph":"X","ts":0}]}`,
+		"garbage.json": `not json`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errBuf bytes.Buffer
+		if code := run([]string{path}, false, &out, &errBuf); code != 1 {
+			t.Errorf("%s: want exit 1, got %d", name, code)
+		}
+		if errBuf.Len() == 0 {
+			t.Errorf("%s: expected a diagnostic on stderr", name)
+		}
+	}
+}
+
+func TestRunMixedFilesStillFails(t *testing.T) {
+	good := traceFromRealRun(t)
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{good, bad}, false, &out, &errBuf); code != 1 {
+		t.Errorf("one bad file of two must fail: got exit %d", code)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("good file should still be summarized: %q", out.String())
+	}
+}

@@ -14,6 +14,8 @@ package engine
 import (
 	"fmt"
 	"math"
+
+	"github.com/gables-model/gables/internal/sim/trace"
 )
 
 // Time is simulated time in seconds.
@@ -56,6 +58,11 @@ type Engine struct {
 	// queue operations instead of heap sifts.
 	fifo     []event
 	fifoHead int
+
+	// probe, when non-nil, observes every event dispatch. The nil fast
+	// path is a single branch: no allocation, no call, and — because
+	// probes are observe-only — identical schedules either way.
+	probe trace.Probe
 }
 
 // New returns an engine at time zero.
@@ -63,6 +70,12 @@ func New() *Engine { return &Engine{} }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetProbe attaches (or, with nil, detaches) a trace probe. The probe must
+// be observe-only: it must not schedule events or mutate any component on
+// this engine. Attach it before running; swapping probes mid-run is legal
+// but splits the observed stream.
+func (e *Engine) SetProbe(p trace.Probe) { e.probe = p }
 
 // Schedule runs fn at the given absolute time, which must not be in the
 // past. Events scheduled for the same instant run in scheduling order.
@@ -144,17 +157,35 @@ func (e *Engine) popNext() event {
 	return e.heapPop()
 }
 
+// LimitError reports the Run livelock guard tripping: the event limit was
+// reached with work still queued. It carries the limit, the number of
+// events processed, and the simulated time reached, so callers can tell a
+// genuine livelock from a legitimately long schedule at a glance.
+type LimitError struct {
+	Limit     int
+	Processed int
+	Now       Time
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("engine: event limit %d exceeded after %d events at t=%v (livelock?)",
+		e.Limit, e.Processed, e.Now)
+}
+
 // Run processes events until the queue drains or the optional limit is
-// exceeded, returning the number of events processed. limit <= 0 means no
-// limit (bounded only by the queue draining).
+// exceeded (returning a *LimitError), with the number of events processed.
+// limit <= 0 means no limit (bounded only by the queue draining).
 func (e *Engine) Run(limit int) (int, error) {
 	processed := 0
 	for e.Pending() > 0 {
 		if limit > 0 && processed >= limit {
-			return processed, fmt.Errorf("engine: event limit %d exceeded at t=%v (livelock?)", limit, e.now)
+			return processed, &LimitError{Limit: limit, Processed: processed, Now: e.now}
 		}
 		ev := e.popNext()
 		e.now = ev.at
+		if e.probe != nil {
+			e.probe.EventDispatched(float64(ev.at), e.Pending())
+		}
 		ev.fn()
 		processed++
 	}
@@ -175,6 +206,9 @@ func (e *Engine) RunUntil(deadline Time) (int, error) {
 		}
 		ev := e.popNext()
 		e.now = ev.at
+		if e.probe != nil {
+			e.probe.EventDispatched(float64(ev.at), e.Pending())
+		}
 		ev.fn()
 		processed++
 	}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/gables-model/gables/internal/sim/trace"
+)
+
+// countProbe records engine dispatches; the other Probe methods are
+// no-ops (the engine only emits EventDispatched).
+type countProbe struct {
+	dispatched int
+	times      []float64
+}
+
+func (p *countProbe) EventDispatched(at float64, pending int) {
+	p.dispatched++
+	p.times = append(p.times, at)
+}
+func (p *countProbe) Enqueued(string, float64, float64, int)                          {}
+func (p *countProbe) ServiceStart(string, float64, float64, float64, int)             {}
+func (p *countProbe) HopStart(string, int, int, string, float64, float64)             {}
+func (p *countProbe) HopDone(string, int, int, string, float64)                       {}
+func (p *countProbe) ChunkStart(string, int, int, float64, float64, float64, float64) {}
+func (p *countProbe) ChunkArrived(string, int, int, float64)                          {}
+func (p *countProbe) ChunkDone(string, float64, float64)                              {}
+func (p *countProbe) ThrottleTrip(string, float64, float64)                           {}
+func (p *countProbe) ThrottleClear(string, float64, float64)                          {}
+func (p *countProbe) ThermalSample(string, float64, float64)                          {}
+
+var _ trace.Probe = (*countProbe)(nil)
+
+// noopProbe is the cheapest possible probe, for the allocation assertion.
+type noopProbe struct{}
+
+func (noopProbe) EventDispatched(float64, int)                                    {}
+func (noopProbe) Enqueued(string, float64, float64, int)                          {}
+func (noopProbe) ServiceStart(string, float64, float64, float64, int)             {}
+func (noopProbe) HopStart(string, int, int, string, float64, float64)             {}
+func (noopProbe) HopDone(string, int, int, string, float64)                       {}
+func (noopProbe) ChunkStart(string, int, int, float64, float64, float64, float64) {}
+func (noopProbe) ChunkArrived(string, int, int, float64)                          {}
+func (noopProbe) ChunkDone(string, float64, float64)                              {}
+func (noopProbe) ThrottleTrip(string, float64, float64)                           {}
+func (noopProbe) ThrottleClear(string, float64, float64)                          {}
+func (noopProbe) ThermalSample(string, float64, float64)                          {}
+
+// TestProbeObservesWithoutPerturbing replays the tie-heavy differential
+// schedules with and without a probe attached and asserts identical
+// execution order — the zero-overhead contract at the engine level — and
+// that the probe saw every dispatch in time order.
+func TestProbeObservesWithoutPerturbing(t *testing.T) {
+	const n, roots = 600, 25
+	for seed := int64(1); seed <= 10; seed++ {
+		script := genScript(seed, n, roots)
+
+		plain := New()
+		wantOrder := play(t, plain, script, roots)
+		if _, err := plain.Run(0); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		probed := New()
+		p := &countProbe{}
+		probed.SetProbe(p)
+		gotOrder := play(t, probed, script, roots)
+		if _, err := probed.Run(0); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("seed %d: probed engine ran %d events, plain %d", seed, len(gotOrder), len(wantOrder))
+		}
+		for i := range wantOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("seed %d: order diverges at %d with a probe attached", seed, i)
+			}
+		}
+		if p.dispatched != n {
+			t.Errorf("seed %d: probe saw %d dispatches, want %d", seed, p.dispatched, n)
+		}
+		for i := 1; i < len(p.times); i++ {
+			if p.times[i] < p.times[i-1] {
+				t.Fatalf("seed %d: probe timestamps went backwards at %d", seed, i)
+			}
+		}
+		if probed.Now() != plain.Now() {
+			t.Errorf("seed %d: final time differs with a probe attached", seed)
+		}
+	}
+}
+
+// TestProbeBranchStaysZeroAlloc pins the hot-path cost of the tracing
+// layer: the steady-state scheduler allocates nothing with a nil probe
+// (the shipped configuration) and nothing extra with a stateless one.
+func TestProbeBranchStaysZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		probe trace.Probe
+	}{
+		{"nil probe", nil},
+		{"noop probe", noopProbe{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := New()
+			eng.SetProbe(tc.probe)
+			fn := func() {}
+			load := func() {
+				for i := 0; i < 256; i++ {
+					if err := eng.Schedule(eng.Now()+Time(1+i%7)*1e-9, fn); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if _, err := eng.Run(0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			load() // size the backing arrays
+			if allocs := testing.AllocsPerRun(10, load); allocs > 0 {
+				t.Errorf("steady-state run allocated %.1f times per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestRunLimitTyped pins the livelock guard's typed error: callers must be
+// able to extract the limit, the processed count, and the simulated time.
+func TestRunLimitTyped(t *testing.T) {
+	eng := New()
+	var reschedule func()
+	reschedule = func() {
+		if err := eng.After(1e-9, reschedule); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Schedule(0, reschedule); err != nil {
+		t.Fatal(err)
+	}
+	n, err := eng.Run(100)
+	if err == nil {
+		t.Fatal("livelock must trip the limit")
+	}
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %T must be a *LimitError", err)
+	}
+	if le.Limit != 100 || le.Processed != n || float64(le.Now) <= 0 {
+		t.Errorf("LimitError fields = %+v (processed %d)", le, n)
+	}
+}

@@ -20,6 +20,12 @@
 //   - display-only labels that cannot affect simulation results —
 //     Kernel.Name is the only one — are excluded, so differently labeled
 //     but physically identical kernels share one cache entry;
+//   - RunOptions.Probe is excluded for the same reason: probes are
+//     observe-only, so a traced and an untraced run produce bitwise
+//     identical results. Cache layers must nevertheless not answer a
+//     traced run from cache — a hit cannot replay the event stream —
+//     which internal/simcache.Run enforces by bypassing the cache when a
+//     probe is attached;
 //   - RunOptions.MaxEvents is normalized (0 → DefaultMaxEvents) because
 //     both spellings run the same schedule.
 //
@@ -92,7 +98,8 @@ func Fingerprint(cfg Config, assignments []Assignment, opt RunOptions) string {
 		w.uint64(uint64(a.Kernel.Pattern))
 	}
 
-	// Options.
+	// Options. Probe is excluded by design (observe-only, no effect on
+	// the result — see the package comment).
 	w.bool(opt.Coordination)
 	w.bool(opt.Thermal)
 	maxEvents := opt.MaxEvents

@@ -27,6 +27,7 @@ import (
 	"github.com/gables-model/gables/internal/kernel"
 	"github.com/gables-model/gables/internal/sim/engine"
 	"github.com/gables-model/gables/internal/sim/mem"
+	"github.com/gables-model/gables/internal/sim/trace"
 )
 
 // Config parameterizes an IP block.
@@ -122,6 +123,11 @@ type IP struct {
 	fabricPath []*mem.Server
 	dram       *mem.Server
 
+	// probe, when non-nil, observes the block's chunk pipeline and its
+	// private servers. Observe-only; nil costs one branch per emission
+	// site.
+	probe trace.Probe
+
 	flopsDone  float64
 	bytesMoved float64
 }
@@ -174,6 +180,20 @@ func (b *IP) BytesMoved() float64 { return b.bytesMoved }
 // ComputeServer exposes the compute resource, e.g. as the host server for
 // other IPs' coordination costs.
 func (b *IP) ComputeServer() *mem.Server { return b.compute }
+
+// SetProbe attaches (or, with nil, detaches) a trace probe to the block's
+// pipeline and to its private servers (compute, link, cache). The shared
+// servers on the transfer path — fabrics and DRAM — belong to the system
+// and get their probe there, so each service window is observed exactly
+// once.
+func (b *IP) SetProbe(p trace.Probe) {
+	b.probe = p
+	b.compute.SetProbe(p)
+	b.link.SetProbe(p)
+	if b.cache != nil {
+		b.cache.Server.SetProbe(p)
+	}
+}
 
 // SetFrequencyScale scales the compute clock (thermal.Target).
 func (b *IP) SetFrequencyScale(s float64) error {
@@ -232,6 +252,9 @@ type slot struct {
 	c    chunk
 	hops []mem.Hop
 
+	idx int // pipeline position, labels this slot's trace track
+	ci  int // index (within the run) of the chunk currently in flight
+
 	onTransferDone func() // pre-bound sl.transferDone
 	onArrived      func() // pre-bound sl.arrived
 }
@@ -263,6 +286,7 @@ func (b *IP) RunKernel(k kernel.Kernel, host *mem.Server, done func()) error {
 	for i := range rs.slots {
 		sl := &rs.slots[i]
 		sl.rs = rs
+		sl.idx = i
 		sl.onTransferDone = sl.transferDone
 		sl.onArrived = sl.arrived
 	}
@@ -278,14 +302,19 @@ func (rs *runState) launch(sl *slot) {
 	if rs.next >= len(rs.chunks) {
 		return
 	}
+	b := rs.b
 	sl.c = rs.chunks[rs.next]
+	sl.ci = rs.next
 	rs.next++
-	sl.hops = rs.b.appendHops(sl.hops[:0], sl.c, rs.host)
+	if b.probe != nil {
+		b.probe.ChunkStart(b.cfg.Name, sl.idx, sl.ci, float64(b.eng.Now()), sl.c.read, sl.c.write, sl.c.flops)
+	}
+	sl.hops = b.appendHops(sl.hops[:0], sl.c, rs.host)
 	// Transfer arguments are validated by construction; a failure here is
 	// a programming error surfaced by the panic rather than a silently
 	// dropped chunk.
-	if err := mem.Transfer(sl.hops, sl.onTransferDone); err != nil {
-		panic(fmt.Sprintf("ip: %s: transfer: %v", rs.b.cfg.Name, err))
+	if err := mem.TransferTraced(sl.hops, sl.onTransferDone, b.probe, b.cfg.Name, sl.idx); err != nil {
+		panic(fmt.Sprintf("ip: %s: transfer: %v", b.cfg.Name, err))
 	}
 }
 
@@ -308,6 +337,9 @@ func (sl *slot) transferDone() {
 func (sl *slot) arrived() {
 	rs := sl.rs
 	b := rs.b
+	if b.probe != nil {
+		b.probe.ChunkArrived(b.cfg.Name, sl.idx, sl.ci, float64(b.eng.Now()))
+	}
 	b.bytesMoved += sl.c.read + sl.c.write
 	rs.pushFlops(sl.c.flops)
 	if err := b.compute.Request(sl.c.flops, rs.onComputed); err != nil {
@@ -320,7 +352,12 @@ func (sl *slot) arrived() {
 // the same order arrived queued them — so the front of flopsQ is always
 // the completing chunk's contribution.
 func (rs *runState) computed() {
-	rs.b.flopsDone += rs.popFlops()
+	b := rs.b
+	f := rs.popFlops()
+	b.flopsDone += f
+	if b.probe != nil {
+		b.probe.ChunkDone(b.cfg.Name, float64(b.eng.Now()), f)
+	}
 	rs.completed++
 	if rs.completed == len(rs.chunks) {
 		rs.done()

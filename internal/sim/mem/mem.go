@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"github.com/gables-model/gables/internal/sim/engine"
+	"github.com/gables-model/gables/internal/sim/trace"
 )
 
 // Server is a FIFO bandwidth resource. Requests queue and are serviced one
@@ -45,6 +46,12 @@ type Server struct {
 	onServiced func() // pre-bound completion callback, one per server
 	batch      []func()
 	coalesce   bool
+
+	// probe, when non-nil, observes enqueues and service windows. The
+	// nil fast path is a single branch per site (the zero-overhead
+	// tracing contract); probes are observe-only and cannot perturb the
+	// schedule.
+	probe trace.Probe
 
 	busy   float64 // total busy seconds
 	served float64 // total units served
@@ -70,6 +77,14 @@ func NewServer(eng *engine.Engine, name string, capacity float64) (*Server, erro
 
 // Name returns the server's label.
 func (s *Server) Name() string { return s.name }
+
+// Now returns the engine's current simulated time (for observers that hold
+// a server but not its engine, like an in-flight transfer).
+func (s *Server) Now() engine.Time { return s.eng.Now() }
+
+// SetProbe attaches (or, with nil, detaches) a trace probe observing this
+// server's queue and service windows.
+func (s *Server) SetProbe(p trace.Probe) { s.probe = p }
 
 // Capacity returns the current service rate.
 func (s *Server) Capacity() float64 { return s.capacity }
@@ -110,6 +125,9 @@ func (s *Server) Request(amount float64, done func()) error {
 		return fmt.Errorf("mem: server %q: nil completion", s.name)
 	}
 	s.push(request{amount: amount, done: done})
+	if s.probe != nil {
+		s.probe.Enqueued(s.name, float64(s.eng.Now()), amount, s.count)
+	}
 	if !s.active {
 		s.startNext()
 	}
@@ -174,6 +192,12 @@ func (s *Server) startNext() {
 	for i := 0; i < n; i++ {
 		r := s.popFront()
 		service := engine.Time(r.amount / s.capacity)
+		if s.probe != nil {
+			// Per-request windows, with or without coalescing: the
+			// window arithmetic below is unchanged either way, so the
+			// observed busy windows are identical too.
+			s.probe.ServiceStart(s.name, float64(at), float64(service), r.amount, s.count)
+		}
 		at += service
 		s.busy += float64(service)
 		s.served += r.amount
@@ -242,6 +266,12 @@ type transfer struct {
 	i    int
 	done func()
 	step func() // pre-bound t.advance, created once per pooled object
+
+	// probe, when non-nil, observes the chunk's per-hop lifecycle on
+	// behalf of the owning IP's pipeline slot (ip/slot label the track).
+	probe trace.Probe
+	ip    string
+	slot  int
 }
 
 // transferPool recycles transfer states. step is bound on first use (not
@@ -255,6 +285,9 @@ var transferPool = sync.Pool{New: func() any { return new(transfer) }}
 // silently dropped chunk.
 func (t *transfer) start() {
 	h := t.hops[t.i]
+	if t.probe != nil {
+		t.probe.HopStart(t.ip, t.slot, t.i, h.Server.Name(), float64(h.Server.Now()), h.Amount)
+	}
 	if err := h.Server.Request(h.Amount, t.step); err != nil {
 		panic(fmt.Sprintf("mem: transfer hop %d: %v", t.i, err))
 	}
@@ -264,6 +297,10 @@ func (t *transfer) start() {
 // to the pool *before* done runs so a completion that immediately starts
 // another transfer can reuse it.
 func (t *transfer) advance() {
+	if t.probe != nil {
+		h := t.hops[t.i]
+		t.probe.HopDone(t.ip, t.slot, t.i, h.Server.Name(), float64(h.Server.Now()))
+	}
 	t.i++
 	if t.i < len(t.hops) {
 		t.start()
@@ -271,6 +308,7 @@ func (t *transfer) advance() {
 	}
 	done := t.done
 	t.hops, t.done = nil, nil
+	t.probe, t.ip, t.slot = nil, "", 0
 	transferPool.Put(t)
 	done()
 }
@@ -284,6 +322,14 @@ func (t *transfer) advance() {
 // array (the IP pipeline's per-slot scratch) must not overwrite it before
 // then.
 func Transfer(hops []Hop, done func()) error {
+	return TransferTraced(hops, done, nil, "", 0)
+}
+
+// TransferTraced is Transfer with an optional observe-only probe: each
+// hop's start (request issued) and finish (service complete) is emitted on
+// the (ip, slot) track. A nil probe is exactly Transfer — the hot path
+// pays one branch per hop transition and nothing else.
+func TransferTraced(hops []Hop, done func(), p trace.Probe, ip string, slot int) error {
 	if done == nil {
 		return fmt.Errorf("mem: transfer: nil completion")
 	}
@@ -305,6 +351,7 @@ func Transfer(hops []Hop, done func()) error {
 		t.step = t.advance
 	}
 	t.hops, t.i, t.done = hops, 0, done
+	t.probe, t.ip, t.slot = p, ip, slot
 	t.start()
 	return nil
 }

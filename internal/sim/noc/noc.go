@@ -11,6 +11,7 @@ import (
 
 	"github.com/gables-model/gables/internal/sim/engine"
 	"github.com/gables-model/gables/internal/sim/mem"
+	"github.com/gables-model/gables/internal/sim/trace"
 )
 
 // FabricSpec declares one fabric of the topology.
@@ -98,6 +99,14 @@ func (t *Topology) Names() []string {
 		out = append(out, n)
 	}
 	return out
+}
+
+// SetProbe attaches (or, with nil, detaches) an observe-only trace probe
+// to every fabric server.
+func (t *Topology) SetProbe(p trace.Probe) {
+	for _, s := range t.servers {
+		s.SetProbe(p)
+	}
 }
 
 // Reset clears accounting on every fabric server.

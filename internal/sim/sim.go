@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/gables-model/gables/internal/kernel"
@@ -18,6 +19,7 @@ import (
 	"github.com/gables-model/gables/internal/sim/mem"
 	"github.com/gables-model/gables/internal/sim/noc"
 	"github.com/gables-model/gables/internal/sim/thermal"
+	"github.com/gables-model/gables/internal/sim/trace"
 )
 
 // IPSpec attaches an IP configuration to a fabric.
@@ -151,6 +153,13 @@ type RunOptions struct {
 	// 50 million. Negative values are rejected: they would silently
 	// disable the guard.
 	MaxEvents int
+	// Probe, when non-nil, observes the run: event dispatches, server
+	// queues and service windows, per-chunk pipeline progress, thermal
+	// samples. Probes are observe-only — the RunResult is bitwise
+	// identical with and without one — and excluded from Fingerprint
+	// (like Kernel.Name), so traced runs must not be answered from the
+	// simulation cache. One probe observes one run.
+	Probe trace.Probe
 }
 
 // IPResult reports one block's achieved performance.
@@ -201,6 +210,14 @@ func (s *System) Run(assignments []Assignment, opt RunOptions) (*RunResult, erro
 	if err != nil {
 		return nil, err
 	}
+	if opt.Probe != nil {
+		inst.eng.SetProbe(opt.Probe)
+		inst.dram.SetProbe(opt.Probe)
+		inst.topo.SetProbe(opt.Probe)
+		for _, blk := range inst.ips {
+			blk.SetProbe(opt.Probe)
+		}
+	}
 
 	type slot struct {
 		blk      *ip.IP
@@ -236,6 +253,9 @@ func (s *System) Run(assignments []Assignment, opt RunOptions) (*RunResult, erro
 			}
 			sl.gov = gov
 			govs = append(govs, gov)
+			if opt.Probe != nil {
+				gov.SetProbe(opt.Probe, sl.blk.Name())
+			}
 			if err := gov.Start(); err != nil {
 				return nil, err
 			}
@@ -280,6 +300,11 @@ func (s *System) Run(assignments []Assignment, opt RunOptions) (*RunResult, erro
 	}
 
 	if _, err := inst.eng.Run(opt.MaxEvents); err != nil {
+		var le *engine.LimitError
+		if errors.As(err, &le) {
+			return nil, fmt.Errorf("sim: %s: MaxEvents guard (%d) tripped after %d events at t=%.6gs simulated: %w",
+				s.cfg.Name, le.Limit, le.Processed, float64(le.Now), err)
+		}
 		return nil, err
 	}
 	if remaining != 0 {

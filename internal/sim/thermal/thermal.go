@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"github.com/gables-model/gables/internal/sim/engine"
+	"github.com/gables-model/gables/internal/sim/trace"
 )
 
 // Config parameterizes the RC model and the throttle governor.
@@ -80,6 +81,12 @@ type Governor struct {
 	lastTime  engine.Time
 	throttled bool
 	running   bool
+
+	// probe, when non-nil, observes every temperature sample and the
+	// throttle transitions; probeName labels the governed target.
+	probe     trace.Probe
+	probeName string
+
 	// MaxTemp records the peak temperature observed.
 	MaxTemp float64
 	// ThrottleEvents counts throttle activations.
@@ -101,6 +108,13 @@ func NewGovernor(eng *engine.Engine, target Target, cfg Config) (*Governor, erro
 		temp:    cfg.Ambient,
 		MaxTemp: cfg.Ambient,
 	}, nil
+}
+
+// SetProbe attaches (or, with nil, detaches) an observe-only trace probe;
+// name labels the governed target in the emitted thermal events.
+func (g *Governor) SetProbe(p trace.Probe, name string) {
+	g.probe = p
+	g.probeName = name
 }
 
 // Temperature returns the current junction temperature.
@@ -138,14 +152,23 @@ func (g *Governor) step() {
 		g.MaxTemp = math.Max(g.MaxTemp, g.temp)
 		g.lastOps = ops
 		g.lastTime = now
+		if g.probe != nil {
+			g.probe.ThermalSample(g.probeName, float64(now), g.temp)
+		}
 
 		if !g.throttled && g.temp >= g.cfg.ThrottleAt {
 			g.throttled = true
 			g.ThrottleEvents++
+			if g.probe != nil {
+				g.probe.ThrottleTrip(g.probeName, float64(now), g.temp)
+			}
 			// The target validated ThrottleScale ∈ (0,1).
 			_ = g.target.SetFrequencyScale(g.cfg.ThrottleScale)
 		} else if g.throttled && g.temp <= g.cfg.ResumeAt {
 			g.throttled = false
+			if g.probe != nil {
+				g.probe.ThrottleClear(g.probeName, float64(now), g.temp)
+			}
 			_ = g.target.SetFrequencyScale(1)
 		}
 	}

@@ -1,0 +1,352 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// ChromeTracer records probe events in the Chrome trace-event format
+// ("JSON Object Format"), which Perfetto and chrome://tracing load
+// directly. One tracer observes one run: the run becomes one "process"
+// (pid) whose "threads" (tids) are tracks — one per server, one per IP
+// pipeline slot, one per governor — so a multi-run Session renders each
+// simulation as its own process lane.
+//
+// Event mapping:
+//
+//   - server service windows → complete ("X") slices on the server's track;
+//   - queue depths → counter ("C") samples on the server's track, updated
+//     at every enqueue and dequeue;
+//   - chunk slot occupancy and per-hop transfers → nested begin/end
+//     ("B"/"E") slices on the owning IP's per-slot track;
+//   - throttle trips/clears → instant ("i") events, and junction
+//     temperature → counter samples, on the governor's track;
+//   - engine event dispatch → a cumulative counter sampled every
+//     dispatchSampleEvery dispatches (per-event slices would dwarf the
+//     trace without adding signal).
+//
+// Timestamps are simulated microseconds (the format's ts unit).
+type ChromeTracer struct {
+	label string
+	pid   int
+
+	events []chromeEvent
+	tids   map[string]int
+	order  []string // tid names in first-use order
+
+	dispatched uint64
+}
+
+// dispatchSampleEvery is the engine-event counter sampling stride.
+const dispatchSampleEvery = 1024
+
+// chromeEvent is one trace-event record. Dur is a pointer so complete
+// events keep an explicit dur of 0 while other phases omit the field.
+type chromeEvent struct {
+	Name string             `json:"name"`
+	Ph   string             `json:"ph"`
+	Ts   float64            `json:"ts"`
+	Pid  int                `json:"pid"`
+	Tid  int                `json:"tid"`
+	Cat  string             `json:"cat,omitempty"`
+	Dur  *float64           `json:"dur,omitempty"`
+	S    string             `json:"s,omitempty"`
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// NewChromeTracer returns a tracer labeling its run's process `label`,
+// emitting under the given pid.
+func NewChromeTracer(label string, pid int) *ChromeTracer {
+	return &ChromeTracer{label: label, pid: pid, tids: make(map[string]int)}
+}
+
+var _ Probe = (*ChromeTracer)(nil)
+
+// Label returns the run label.
+func (c *ChromeTracer) Label() string { return c.label }
+
+// Events returns the number of recorded events so far.
+func (c *ChromeTracer) Events() int { return len(c.events) }
+
+func (c *ChromeTracer) tid(track string) int {
+	id, ok := c.tids[track]
+	if !ok {
+		id = len(c.order)
+		c.tids[track] = id
+		c.order = append(c.order, track)
+	}
+	return id
+}
+
+// us converts simulated seconds to trace microseconds.
+func us(at float64) float64 { return at * 1e6 }
+
+// EventDispatched implements Probe.
+func (c *ChromeTracer) EventDispatched(at float64, pending int) {
+	c.dispatched++
+	if c.dispatched%dispatchSampleEvery != 0 {
+		return
+	}
+	c.events = append(c.events, chromeEvent{
+		Name: "engine events", Ph: "C", Ts: us(at), Pid: c.pid, Tid: c.tid("engine"),
+		Args: map[string]float64{"dispatched": float64(c.dispatched), "pending": float64(pending)},
+	})
+}
+
+func (c *ChromeTracer) depthSample(server string, at float64, depth int) {
+	c.events = append(c.events, chromeEvent{
+		Name: "queue " + server, Ph: "C", Ts: us(at), Pid: c.pid, Tid: c.tid(server),
+		Args: map[string]float64{"depth": float64(depth)},
+	})
+}
+
+// Enqueued implements Probe.
+func (c *ChromeTracer) Enqueued(server string, at, amount float64, depth int) {
+	c.depthSample(server, at, depth)
+}
+
+// ServiceStart implements Probe.
+func (c *ChromeTracer) ServiceStart(server string, start, duration, amount float64, depth int) {
+	dur := us(duration)
+	c.events = append(c.events, chromeEvent{
+		Name: "service", Cat: "server", Ph: "X", Ts: us(start), Dur: &dur,
+		Pid: c.pid, Tid: c.tid(server),
+		Args: map[string]float64{"amount": amount},
+	})
+	c.depthSample(server, start, depth)
+}
+
+func slotTrack(ip string, slot int) string { return fmt.Sprintf("%s/slot%d", ip, slot) }
+
+// HopStart implements Probe.
+func (c *ChromeTracer) HopStart(ip string, slot, hop int, server string, at, amount float64) {
+	c.events = append(c.events, chromeEvent{
+		Name: fmt.Sprintf("hop%d %s", hop, server), Cat: "transfer", Ph: "B", Ts: us(at),
+		Pid: c.pid, Tid: c.tid(slotTrack(ip, slot)),
+		Args: map[string]float64{"amount": amount},
+	})
+}
+
+// HopDone implements Probe.
+func (c *ChromeTracer) HopDone(ip string, slot, hop int, server string, at float64) {
+	c.events = append(c.events, chromeEvent{
+		Name: fmt.Sprintf("hop%d %s", hop, server), Cat: "transfer", Ph: "E", Ts: us(at),
+		Pid: c.pid, Tid: c.tid(slotTrack(ip, slot)),
+	})
+}
+
+// ChunkStart implements Probe.
+func (c *ChromeTracer) ChunkStart(ip string, slot, index int, at, read, write, flops float64) {
+	c.events = append(c.events, chromeEvent{
+		Name: fmt.Sprintf("chunk %d", index), Cat: "chunk", Ph: "B", Ts: us(at),
+		Pid: c.pid, Tid: c.tid(slotTrack(ip, slot)),
+		Args: map[string]float64{"read": read, "write": write, "flops": flops},
+	})
+}
+
+// ChunkArrived implements Probe.
+func (c *ChromeTracer) ChunkArrived(ip string, slot, index int, at float64) {
+	c.events = append(c.events, chromeEvent{
+		Name: fmt.Sprintf("chunk %d", index), Cat: "chunk", Ph: "E", Ts: us(at),
+		Pid: c.pid, Tid: c.tid(slotTrack(ip, slot)),
+	})
+}
+
+// ChunkDone implements Probe.
+func (c *ChromeTracer) ChunkDone(ip string, at, flops float64) {
+	c.events = append(c.events, chromeEvent{
+		Name: "retire", Cat: "chunk", Ph: "i", S: "t", Ts: us(at),
+		Pid: c.pid, Tid: c.tid(ip + "/retire"),
+		Args: map[string]float64{"flops": flops},
+	})
+}
+
+// ThrottleTrip implements Probe.
+func (c *ChromeTracer) ThrottleTrip(target string, at, temp float64) {
+	c.events = append(c.events, chromeEvent{
+		Name: "throttle", Cat: "thermal", Ph: "i", S: "t", Ts: us(at),
+		Pid: c.pid, Tid: c.tid(target + "/thermal"),
+		Args: map[string]float64{"temp": temp},
+	})
+}
+
+// ThrottleClear implements Probe.
+func (c *ChromeTracer) ThrottleClear(target string, at, temp float64) {
+	c.events = append(c.events, chromeEvent{
+		Name: "resume", Cat: "thermal", Ph: "i", S: "t", Ts: us(at),
+		Pid: c.pid, Tid: c.tid(target + "/thermal"),
+		Args: map[string]float64{"temp": temp},
+	})
+}
+
+// ThermalSample implements Probe.
+func (c *ChromeTracer) ThermalSample(target string, at, temp float64) {
+	c.events = append(c.events, chromeEvent{
+		Name: "temp " + target, Ph: "C", Ts: us(at), Pid: c.pid, Tid: c.tid(target + "/thermal"),
+		Args: map[string]float64{"celsius": temp},
+	})
+}
+
+// chromeFile is the on-disk trace container.
+type chromeFile struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+// metaEvent is a metadata record (string args, unlike the sample events).
+type metaEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// appendJSON marshals the run's metadata and sample events into dst.
+func (c *ChromeTracer) appendJSON(dst []json.RawMessage) ([]json.RawMessage, error) {
+	name := c.label
+	if name == "" {
+		name = fmt.Sprintf("run %d", c.pid)
+	}
+	metas := []metaEvent{{Name: "process_name", Ph: "M", Pid: c.pid, Args: map[string]string{"name": name}}}
+	for tid, track := range c.order {
+		metas = append(metas, metaEvent{
+			Name: "thread_name", Ph: "M", Pid: c.pid, Tid: tid,
+			Args: map[string]string{"name": track},
+		})
+	}
+	for _, m := range metas {
+		raw, err := json.Marshal(m)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, raw)
+	}
+	for i := range c.events {
+		raw, err := json.Marshal(&c.events[i])
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, raw)
+	}
+	return dst, nil
+}
+
+// WriteJSON writes this single run as a complete trace file.
+func (c *ChromeTracer) WriteJSON(w io.Writer) error {
+	return writeChromeFile(w, []*ChromeTracer{c})
+}
+
+func writeChromeFile(w io.Writer, runs []*ChromeTracer) error {
+	f := chromeFile{DisplayTimeUnit: "ns", TraceEvents: []json.RawMessage{}}
+	for _, r := range runs {
+		var err error
+		f.TraceEvents, err = r.appendJSON(f.TraceEvents)
+		if err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// ValidateStats summarizes a validated trace file.
+type ValidateStats struct {
+	Events    int // total records, metadata included
+	Samples   int // non-metadata records
+	Processes int
+	Tracks    int
+}
+
+// Validate checks that data is a well-formed Chrome trace-event JSON file
+// of the shape this package emits: a traceEvents array whose records all
+// carry name/ph/pid/tid, complete events carry dur, counters carry args,
+// and begin/end pairs balance per track. It is the schema check CI runs
+// over emitted artifacts.
+func Validate(data []byte) (ValidateStats, error) {
+	var stats ValidateStats
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return stats, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return stats, fmt.Errorf("trace: missing traceEvents array")
+	}
+	if len(f.TraceEvents) == 0 {
+		return stats, fmt.Errorf("trace: empty traceEvents array")
+	}
+	procs := make(map[float64]bool)
+	tracks := make(map[string]bool)
+	depth := make(map[string]int) // B/E nesting per pid/tid
+	for i, ev := range f.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		name, nameOK := ev["name"].(string)
+		pid, pidOK := ev["pid"].(float64)
+		tid, tidOK := ev["tid"].(float64)
+		if ph == "" || !nameOK || name == "" || !pidOK || !tidOK {
+			return stats, fmt.Errorf("trace: event %d: missing name/ph/pid/tid", i)
+		}
+		procs[pid] = true
+		key := fmt.Sprintf("%v/%v", pid, tid)
+		tracks[key] = true
+		if ph != "M" {
+			stats.Samples++
+			ts, ok := ev["ts"].(float64)
+			if !ok || math.IsNaN(ts) || math.IsInf(ts, 0) || ts < 0 {
+				return stats, fmt.Errorf("trace: event %d (%s): bad ts %v", i, name, ev["ts"])
+			}
+		}
+		switch ph {
+		case "X":
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur < 0 || math.IsNaN(dur) || math.IsInf(dur, 0) {
+				return stats, fmt.Errorf("trace: event %d (%s): complete event without valid dur", i, name)
+			}
+		case "C":
+			if _, ok := ev["args"].(map[string]any); !ok {
+				return stats, fmt.Errorf("trace: event %d (%s): counter without args", i, name)
+			}
+		case "B":
+			depth[key]++
+		case "E":
+			depth[key]--
+			if depth[key] < 0 {
+				return stats, fmt.Errorf("trace: event %d (%s): end without begin on track %s", i, name, key)
+			}
+		case "M", "i":
+			// metadata and instants need no extra fields
+		default:
+			return stats, fmt.Errorf("trace: event %d (%s): unknown phase %q", i, name, ph)
+		}
+	}
+	trackKeys := make([]string, 0, len(depth))
+	for key := range depth {
+		trackKeys = append(trackKeys, key)
+	}
+	sort.Strings(trackKeys)
+	for _, key := range trackKeys {
+		if d := depth[key]; d != 0 {
+			return stats, fmt.Errorf("trace: track %s: %d unbalanced begin events", key, d)
+		}
+	}
+	stats.Events = len(f.TraceEvents)
+	stats.Processes = len(procs)
+	stats.Tracks = len(tracks)
+	return stats, nil
+}
+
+// ValidateFile runs Validate over a file on disk.
+func ValidateFile(path string) (ValidateStats, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ValidateStats{}, err
+	}
+	return Validate(data)
+}

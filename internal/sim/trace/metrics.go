@@ -1,0 +1,341 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Metrics aggregates probe events into the numbers the paper's evaluation
+// reads off its instrumented runs: per-server (and therefore per-IP)
+// utilization timelines, DRAM busy-window histograms, queue-depth extremes,
+// and event-rate counters. One Metrics observes one run; it is not safe for
+// concurrent use (attach one per run, merge afterwards — see Merge).
+type Metrics struct {
+	// Label names the run in summaries.
+	Label string
+
+	// Dispatched counts engine events; MaxPending is the deepest the
+	// event queue got; End is the largest timestamp observed.
+	Dispatched uint64
+	MaxPending int
+	End        float64
+
+	// Hops, Chunks, ThrottleTrips, ThermalSamples count pipeline and
+	// governor events across all IPs.
+	Hops           uint64
+	Chunks         uint64
+	ThrottleTrips  uint64
+	ThrottleClears uint64
+	ThermalSamples uint64
+	MaxTemp        float64
+
+	// Merged counts how many runs were folded into this Metrics (1 for a
+	// live collector). Window-derived views (timelines, histograms) are
+	// only available when Merged == 1.
+	Merged int
+
+	servers map[string]*ServerMetrics
+}
+
+// ServerMetrics is one server's aggregate view.
+type ServerMetrics struct {
+	Requests int     // service windows observed
+	Enqueued int     // requests queued
+	Units    float64 // total units serviced
+	Busy     float64 // total busy seconds
+	MaxDepth int     // deepest queue observed (at enqueue)
+
+	// windows are the per-request service windows (start, duration), in
+	// service order; they back Timeline and DurationHistogram.
+	windows []window
+}
+
+type window struct{ start, dur float64 }
+
+// NewMetrics returns an empty collector.
+func NewMetrics(label string) *Metrics {
+	return &Metrics{Label: label, Merged: 1, servers: make(map[string]*ServerMetrics)}
+}
+
+var _ Probe = (*Metrics)(nil)
+
+func (m *Metrics) server(name string) *ServerMetrics {
+	s := m.servers[name]
+	if s == nil {
+		s = &ServerMetrics{}
+		m.servers[name] = s
+	}
+	return s
+}
+
+func (m *Metrics) stamp(at float64) {
+	if at > m.End {
+		m.End = at
+	}
+}
+
+// EventDispatched implements Probe.
+func (m *Metrics) EventDispatched(at float64, pending int) {
+	m.Dispatched++
+	if pending > m.MaxPending {
+		m.MaxPending = pending
+	}
+	m.stamp(at)
+}
+
+// Enqueued implements Probe.
+func (m *Metrics) Enqueued(server string, at, amount float64, depth int) {
+	s := m.server(server)
+	s.Enqueued++
+	if depth > s.MaxDepth {
+		s.MaxDepth = depth
+	}
+	m.stamp(at)
+}
+
+// ServiceStart implements Probe.
+func (m *Metrics) ServiceStart(server string, start, duration, amount float64, depth int) {
+	s := m.server(server)
+	s.Requests++
+	s.Units += amount
+	s.Busy += duration
+	s.windows = append(s.windows, window{start: start, dur: duration})
+	m.stamp(start + duration)
+}
+
+// HopStart implements Probe.
+func (m *Metrics) HopStart(ip string, slot, hop int, server string, at, amount float64) {
+	m.Hops++
+	m.stamp(at)
+}
+
+// HopDone implements Probe.
+func (m *Metrics) HopDone(ip string, slot, hop int, server string, at float64) { m.stamp(at) }
+
+// ChunkStart implements Probe.
+func (m *Metrics) ChunkStart(ip string, slot, index int, at, read, write, flops float64) {
+	m.Chunks++
+	m.stamp(at)
+}
+
+// ChunkArrived implements Probe.
+func (m *Metrics) ChunkArrived(ip string, slot, index int, at float64) { m.stamp(at) }
+
+// ChunkDone implements Probe.
+func (m *Metrics) ChunkDone(ip string, at, flops float64) { m.stamp(at) }
+
+// ThrottleTrip implements Probe.
+func (m *Metrics) ThrottleTrip(target string, at, temp float64) {
+	m.ThrottleTrips++
+	m.noteTemp(at, temp)
+}
+
+// ThrottleClear implements Probe.
+func (m *Metrics) ThrottleClear(target string, at, temp float64) {
+	m.ThrottleClears++
+	m.noteTemp(at, temp)
+}
+
+// ThermalSample implements Probe.
+func (m *Metrics) ThermalSample(target string, at, temp float64) {
+	m.ThermalSamples++
+	m.noteTemp(at, temp)
+}
+
+func (m *Metrics) noteTemp(at, temp float64) {
+	if temp > m.MaxTemp {
+		m.MaxTemp = temp
+	}
+	m.stamp(at)
+}
+
+// ServerNames returns the observed server names, sorted.
+func (m *Metrics) ServerNames() []string {
+	names := make([]string, 0, len(m.servers))
+	for n := range m.servers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Server returns one server's metrics, or nil if it was never observed.
+func (m *Metrics) Server(name string) *ServerMetrics { return m.servers[name] }
+
+// Timeline buckets a server's busy time over [0, End] into `buckets`
+// equal-width bins and returns each bin's busy fraction in [0, ~1].
+// Available only on un-merged metrics (nil otherwise).
+func (m *Metrics) Timeline(server string, buckets int) []float64 {
+	s := m.servers[server]
+	if s == nil || m.Merged != 1 || buckets <= 0 || m.End <= 0 {
+		return nil
+	}
+	out := make([]float64, buckets)
+	width := m.End / float64(buckets)
+	for _, w := range s.windows {
+		lo, hi := w.start, w.start+w.dur
+		for b := 0; b < buckets; b++ {
+			bLo, bHi := float64(b)*width, float64(b+1)*width
+			overlap := math.Min(hi, bHi) - math.Max(lo, bLo)
+			if overlap > 0 {
+				out[b] += overlap
+			}
+		}
+	}
+	for b := range out {
+		out[b] /= width
+	}
+	return out
+}
+
+// HistBin is one bin of a log10 service-duration histogram: durations in
+// [10^Decade, 10^(Decade+1)) seconds.
+type HistBin struct {
+	Decade int
+	Count  int
+}
+
+// DurationHistogram returns the server's service-window durations bucketed
+// by decade (the "DRAM busy histogram" when applied to the dram server).
+// Zero-duration windows are counted in a dedicated Decade = math.MinInt
+// bin, reported first. Available only on un-merged metrics (nil otherwise).
+func (m *Metrics) DurationHistogram(server string) []HistBin {
+	s := m.servers[server]
+	if s == nil || m.Merged != 1 {
+		return nil
+	}
+	counts := make(map[int]int)
+	for _, w := range s.windows {
+		bin := math.MinInt
+		if w.dur > 0 {
+			bin = int(math.Floor(math.Log10(w.dur)))
+		}
+		counts[bin]++
+	}
+	decades := make([]int, 0, len(counts))
+	for d := range counts {
+		decades = append(decades, d)
+	}
+	sort.Ints(decades)
+	out := make([]HistBin, 0, len(decades))
+	for _, d := range decades {
+		out = append(out, HistBin{Decade: d, Count: counts[d]})
+	}
+	return out
+}
+
+// Merge folds other into m: counters add, extremes take the max, and
+// window-derived views become unavailable (Merged > 1). Sessions use it to
+// aggregate a whole harness invocation.
+func (m *Metrics) Merge(other *Metrics) {
+	m.Dispatched += other.Dispatched
+	m.Hops += other.Hops
+	m.Chunks += other.Chunks
+	m.ThrottleTrips += other.ThrottleTrips
+	m.ThrottleClears += other.ThrottleClears
+	m.ThermalSamples += other.ThermalSamples
+	if other.MaxPending > m.MaxPending {
+		m.MaxPending = other.MaxPending
+	}
+	if other.MaxTemp > m.MaxTemp {
+		m.MaxTemp = other.MaxTemp
+	}
+	if other.End > m.End {
+		m.End = other.End
+	}
+	m.Merged += other.Merged
+	for name, os := range other.servers {
+		s := m.server(name)
+		s.Requests += os.Requests
+		s.Enqueued += os.Enqueued
+		s.Units += os.Units
+		s.Busy += os.Busy
+		if os.MaxDepth > s.MaxDepth {
+			s.MaxDepth = os.MaxDepth
+		}
+	}
+}
+
+// summaryBuckets is the timeline resolution WriteSummary prints.
+const summaryBuckets = 20
+
+// WriteSummary renders the plain-text metrics summary: run-level counters,
+// then one block per server (sorted by name) with busy accounting, queue
+// depth, and — for single runs — a utilization timeline and, for the DRAM
+// controller, a busy-window histogram. Output is deterministic.
+func (m *Metrics) WriteSummary(w io.Writer) error {
+	label := m.Label
+	if label == "" {
+		label = "run"
+	}
+	rate := 0.0
+	if m.End > 0 {
+		rate = float64(m.Dispatched) / m.End
+	}
+	if _, err := fmt.Fprintf(w, "%s: %d runs, %d events over %.6gs simulated (%.3g events/simulated-s), max queue %d\n",
+		label, m.Merged, m.Dispatched, m.End, rate, m.MaxPending); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  chunks %d, transfer hops %d, throttle trips %d (clears %d), thermal samples %d",
+		m.Chunks, m.Hops, m.ThrottleTrips, m.ThrottleClears, m.ThermalSamples); err != nil {
+		return err
+	}
+	if m.ThermalSamples > 0 {
+		if _, err := fmt.Fprintf(w, ", max temp %.1f°C", m.MaxTemp); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, name := range m.ServerNames() {
+		s := m.servers[name]
+		util := 0.0
+		if m.End > 0 && m.Merged == 1 {
+			util = s.Busy / m.End
+		}
+		if _, err := fmt.Fprintf(w, "  %-24s %8d served  %12.4g units  busy %.6gs", name, s.Requests, s.Units, s.Busy); err != nil {
+			return err
+		}
+		if m.Merged == 1 {
+			if _, err := fmt.Fprintf(w, "  util %5.1f%%", 100*util); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  max depth %d\n", s.MaxDepth); err != nil {
+			return err
+		}
+		if tl := m.Timeline(name, summaryBuckets); tl != nil {
+			if _, err := fmt.Fprintf(w, "    timeline%% "); err != nil {
+				return err
+			}
+			for _, f := range tl {
+				if _, err := fmt.Fprintf(w, " %3.0f", 100*f); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	// The DRAM controller is the shared bottleneck the paper's model is
+	// built around; give its busy windows a histogram.
+	if hist := m.DurationHistogram("dram"); len(hist) > 0 {
+		if _, err := fmt.Fprintf(w, "  dram busy-window histogram (count per decade of seconds):\n"); err != nil {
+			return err
+		}
+		for _, b := range hist {
+			lbl := "=0"
+			if b.Decade != math.MinInt {
+				lbl = fmt.Sprintf("1e%d", b.Decade)
+			}
+			if _, err := fmt.Fprintf(w, "    %-6s %d\n", lbl, b.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

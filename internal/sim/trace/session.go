@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Session collects traces and metrics across the many simulation runs of
+// one harness invocation (gables-repro's experiment registry, gables-erb's
+// sweeps). Each run gets its own probe — runs on the parallel harness
+// execute concurrently, and per-run probes keep the hot path lock-free —
+// and the session merges them at reporting time. NewRun is safe for
+// concurrent use; the per-run probes it returns are not (each belongs to
+// exactly one run, like the engine it observes).
+type Session struct {
+	mu   sync.Mutex
+	runs []*sessionRun
+}
+
+// sessionRun couples one run's two consumers.
+type sessionRun struct {
+	Multi
+	chrome  *ChromeTracer
+	metrics *Metrics
+}
+
+// NewSession returns an empty session.
+func NewSession() *Session { return &Session{} }
+
+// NewRun returns a fresh probe observing one simulation run under the
+// given label. The label becomes the run's process name in the exported
+// trace and its heading in summaries.
+func (s *Session) NewRun(label string) Probe {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run := &sessionRun{
+		chrome:  NewChromeTracer(label, len(s.runs)+1),
+		metrics: NewMetrics(label),
+	}
+	run.Multi = Multi{run.metrics, run.chrome}
+	s.runs = append(s.runs, run)
+	globalRuns.Add(1)
+	return run
+}
+
+// Runs returns how many run probes the session has handed out.
+func (s *Session) Runs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runs)
+}
+
+// sorted snapshots the runs ordered by (label, pid): parallel harnesses
+// create runs in completion-dependent order, and sorting makes the
+// exported artifacts deterministic for a deterministic workload.
+func (s *Session) sorted() []*sessionRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	runs := append([]*sessionRun(nil), s.runs...)
+	sort.SliceStable(runs, func(i, j int) bool {
+		if runs[i].chrome.label != runs[j].chrome.label {
+			return runs[i].chrome.label < runs[j].chrome.label
+		}
+		return runs[i].chrome.pid < runs[j].chrome.pid
+	})
+	return runs
+}
+
+// WriteChrome writes every run as one Chrome trace-event JSON file, one
+// process per run.
+func (s *Session) WriteChrome(w io.Writer) error {
+	runs := s.sorted()
+	if len(runs) == 0 {
+		return fmt.Errorf("trace: session observed no runs")
+	}
+	tracers := make([]*ChromeTracer, len(runs))
+	for i, r := range runs {
+		tracers[i] = r.chrome
+	}
+	n := 0
+	for _, t := range tracers {
+		n += t.Events()
+	}
+	globalEvents.Add(int64(n))
+	return writeChromeFile(w, tracers)
+}
+
+// WriteChromeFile writes the merged trace to path.
+func (s *Session) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Summary merges every run's metrics. With exactly one run the result
+// retains its window-level views (timelines, histograms); with several it
+// is the aggregate counters.
+func (s *Session) Summary() *Metrics {
+	runs := s.sorted()
+	if len(runs) == 1 {
+		return runs[0].metrics
+	}
+	agg := NewMetrics(fmt.Sprintf("trace session (%d runs)", len(runs)))
+	agg.Merged = 0
+	for _, r := range runs {
+		agg.Merge(r.metrics)
+	}
+	return agg
+}
+
+// WriteSummary writes the session's plain-text metrics summary.
+func (s *Session) WriteSummary(w io.Writer) error {
+	if s.Runs() == 0 {
+		_, err := fmt.Fprintln(w, "trace session: no simulation runs observed")
+		return err
+	}
+	return s.Summary().WriteSummary(w)
+}
+
+// Process-wide tracing counters, exposed through GlobalStats so the web
+// /stats endpoint (and anything else sharing the snapshot shape) can report
+// observability activity alongside the cache counters.
+var (
+	globalRuns   atomic.Int64
+	globalEvents atomic.Int64
+)
+
+// GlobalStats is the process-wide tracing activity snapshot.
+type GlobalStats struct {
+	// RunsTraced counts run probes handed out by sessions in this
+	// process.
+	RunsTraced int64 `json:"runs_traced"`
+	// EventsExported counts trace events written out by sessions.
+	EventsExported int64 `json:"events_exported"`
+}
+
+// Stats snapshots the process-wide tracing counters.
+func Stats() GlobalStats {
+	return GlobalStats{RunsTraced: globalRuns.Load(), EventsExported: globalEvents.Load()}
+}

@@ -1,0 +1,169 @@
+// Package trace is the simulated SoC's observability layer: a pluggable
+// Probe interface that the discrete-event engine, the bandwidth servers,
+// the IP pipelines, and the thermal governors emit structured events into,
+// plus consumers that aggregate those events (Metrics) or export them as
+// Chrome trace-event / Perfetto JSON (ChromeTracer, Session).
+//
+// The paper's evaluation (§IV) rests on measuring where time goes inside
+// the SoC — per-IP busy windows, DRAM utilization, throttle trips — and
+// this package makes the simulator's runs explainable the same way: every
+// service window, queue-depth change, transfer hop, and governor decision
+// is observable.
+//
+// # The zero-overhead contract
+//
+// Instrumentation must not perturb simulator semantics. Two hard rules,
+// both enforced by tests:
+//
+//   - With no probe attached (the default), the hot path is a single nil
+//     check per emission site: zero allocations, and event schedules that
+//     are byte-identical to an uninstrumented build.
+//   - With a probe attached, the simulation's RunResult is still bitwise
+//     identical: probes observe, they never schedule, mutate capacities,
+//     or otherwise feed back into the run. Probe implementations MUST NOT
+//     call back into the engine or servers they observe.
+//
+// Probes are engine-scoped, not global: every run attaches its own probe
+// (or none), so concurrent runs on the parallel harness never share
+// mutable probe state unless the probe itself is thread-safe.
+//
+// # Event vocabulary
+//
+// Times are simulated seconds as float64 (the engine's Time flattened, so
+// this package stays a leaf the whole sim tree can import). A chunk's
+// per-hop transfer lifecycle surfaces twice: as HopStart/HopDone on the
+// owning IP's pipeline slot, and as Enqueued/ServiceStart windows on the
+// hop's server — the first gives the chunk's view, the second the
+// resource's (queue depths and busy windows, including per-request windows
+// inside a coalesced batch).
+package trace
+
+// Probe observes simulation internals. Implementations must be observe-only
+// (see the package comment); any method may be called many millions of
+// times per run, so implementations should avoid per-call allocation where
+// practical (the nil-probe fast path in the emitters is what the
+// zero-overhead contract actually guarantees).
+type Probe interface {
+	// EventDispatched fires once per engine event, just before the event's
+	// closure runs. pending is the queue depth after the pop.
+	EventDispatched(at float64, pending int)
+
+	// Enqueued fires when a request joins a server's queue. depth is the
+	// queue depth including the new request (a transfer hop's "start").
+	Enqueued(server string, at, amount float64, depth int)
+
+	// ServiceStart fires when a request's service window is fixed: the
+	// window is [start, start+duration]. Coalescing servers fire it once
+	// per request in the batch with each request's own window, so busy
+	// accounting is identical with coalescing on or off. depth is the
+	// queue depth after the dequeue.
+	ServiceStart(server string, start, duration, amount float64, depth int)
+
+	// HopStart / HopDone bracket one hop of a chunk's transfer path from
+	// the owning IP's perspective: HopStart when the hop's server request
+	// is issued, HopDone when that hop's service completes (a transfer
+	// hop's "finish"). slot is the pipeline slot index, hop the position
+	// on the path.
+	HopStart(ip string, slot, hop int, server string, at, amount float64)
+	HopDone(ip string, slot, hop int, server string, at float64)
+
+	// ChunkStart / ChunkArrived bracket a chunk's occupancy of a pipeline
+	// slot: launch of the transfer through arrival of the data (after any
+	// memory latency), at which point its computation is queued and the
+	// slot is recycled. index is the chunk's position in the kernel.
+	ChunkStart(ip string, slot, index int, at, read, write, flops float64)
+	ChunkArrived(ip string, slot, index int, at float64)
+
+	// ChunkDone fires when a chunk's computation retires on the IP's
+	// compute server, in issue order.
+	ChunkDone(ip string, at, flops float64)
+
+	// ThrottleTrip / ThrottleClear fire on thermal governor transitions;
+	// ThermalSample fires once per governor sampling interval.
+	ThrottleTrip(target string, at, temp float64)
+	ThrottleClear(target string, at, temp float64)
+	ThermalSample(target string, at, temp float64)
+}
+
+// Multi fans every probe event out to several consumers, in order — e.g.
+// one Metrics aggregator plus one ChromeTracer over the same run.
+type Multi []Probe
+
+var _ Probe = Multi(nil)
+
+// EventDispatched implements Probe.
+func (m Multi) EventDispatched(at float64, pending int) {
+	for _, p := range m {
+		p.EventDispatched(at, pending)
+	}
+}
+
+// Enqueued implements Probe.
+func (m Multi) Enqueued(server string, at, amount float64, depth int) {
+	for _, p := range m {
+		p.Enqueued(server, at, amount, depth)
+	}
+}
+
+// ServiceStart implements Probe.
+func (m Multi) ServiceStart(server string, start, duration, amount float64, depth int) {
+	for _, p := range m {
+		p.ServiceStart(server, start, duration, amount, depth)
+	}
+}
+
+// HopStart implements Probe.
+func (m Multi) HopStart(ip string, slot, hop int, server string, at, amount float64) {
+	for _, p := range m {
+		p.HopStart(ip, slot, hop, server, at, amount)
+	}
+}
+
+// HopDone implements Probe.
+func (m Multi) HopDone(ip string, slot, hop int, server string, at float64) {
+	for _, p := range m {
+		p.HopDone(ip, slot, hop, server, at)
+	}
+}
+
+// ChunkStart implements Probe.
+func (m Multi) ChunkStart(ip string, slot, index int, at, read, write, flops float64) {
+	for _, p := range m {
+		p.ChunkStart(ip, slot, index, at, read, write, flops)
+	}
+}
+
+// ChunkArrived implements Probe.
+func (m Multi) ChunkArrived(ip string, slot, index int, at float64) {
+	for _, p := range m {
+		p.ChunkArrived(ip, slot, index, at)
+	}
+}
+
+// ChunkDone implements Probe.
+func (m Multi) ChunkDone(ip string, at, flops float64) {
+	for _, p := range m {
+		p.ChunkDone(ip, at, flops)
+	}
+}
+
+// ThrottleTrip implements Probe.
+func (m Multi) ThrottleTrip(target string, at, temp float64) {
+	for _, p := range m {
+		p.ThrottleTrip(target, at, temp)
+	}
+}
+
+// ThrottleClear implements Probe.
+func (m Multi) ThrottleClear(target string, at, temp float64) {
+	for _, p := range m {
+		p.ThrottleClear(target, at, temp)
+	}
+}
+
+// ThermalSample implements Probe.
+func (m Multi) ThermalSample(target string, at, temp float64) {
+	for _, p := range m {
+		p.ThermalSample(target, at, temp)
+	}
+}

@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// feed pushes a small deterministic run through a probe: two servers, one
+// IP with two chunks over a two-hop path, and a thermal excursion.
+func feed(p Probe) {
+	p.EventDispatched(0, 3)
+	p.ChunkStart("CPU", 0, 0, 0, 1024, 512, 4096)
+	p.HopStart("CPU", 0, 0, "CPU:link", 0, 1536)
+	p.Enqueued("CPU:link", 0, 1536, 1)
+	p.ServiceStart("CPU:link", 0, 0.25, 1536, 0)
+	p.EventDispatched(0.25, 2)
+	p.HopDone("CPU", 0, 0, "CPU:link", 0.25)
+	p.HopStart("CPU", 0, 1, "dram", 0.25, 1536)
+	p.Enqueued("dram", 0.25, 1536, 1)
+	p.ServiceStart("dram", 0.25, 0.25, 1536, 0)
+	p.EventDispatched(0.5, 1)
+	p.HopDone("CPU", 0, 1, "dram", 0.5)
+	p.ChunkArrived("CPU", 0, 0, 0.5)
+	p.ChunkStart("CPU", 0, 1, 0.5, 1024, 512, 4096)
+	p.HopStart("CPU", 0, 0, "CPU:link", 0.5, 1536)
+	p.Enqueued("CPU:link", 0.5, 1536, 2)
+	p.ServiceStart("CPU:link", 0.5, 0.5, 1536, 1)
+	p.HopDone("CPU", 0, 0, "CPU:link", 1)
+	p.ChunkArrived("CPU", 0, 1, 1)
+	p.ChunkDone("CPU", 1, 4096)
+	p.ThermalSample("CPU", 0.5, 55)
+	p.ThrottleTrip("CPU", 0.75, 76)
+	p.ThrottleClear("CPU", 1, 64)
+	p.ChunkDone("CPU", 1, 4096)
+	p.EventDispatched(1, 0)
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	m := NewMetrics("unit")
+	feed(m)
+
+	if m.Dispatched != 4 || m.MaxPending != 3 {
+		t.Errorf("dispatch counters: %d/%d", m.Dispatched, m.MaxPending)
+	}
+	if m.Chunks != 2 || m.Hops != 3 {
+		t.Errorf("pipeline counters: chunks %d hops %d", m.Chunks, m.Hops)
+	}
+	if m.ThrottleTrips != 1 || m.ThrottleClears != 1 || m.ThermalSamples != 1 {
+		t.Errorf("thermal counters: %d/%d/%d", m.ThrottleTrips, m.ThrottleClears, m.ThermalSamples)
+	}
+	if m.MaxTemp != 76 {
+		t.Errorf("MaxTemp = %v, want 76", m.MaxTemp)
+	}
+	if m.End != 1 {
+		t.Errorf("End = %v, want 1", m.End)
+	}
+	link := m.Server("CPU:link")
+	if link == nil || link.Requests != 2 || link.Enqueued != 2 || link.MaxDepth != 2 {
+		t.Fatalf("link metrics = %+v", link)
+	}
+	if link.Busy != 0.75 {
+		t.Errorf("link busy = %v, want 0.75", link.Busy)
+	}
+	if got := m.ServerNames(); len(got) != 2 || got[0] != "CPU:link" || got[1] != "dram" {
+		t.Errorf("ServerNames = %v", got)
+	}
+}
+
+func TestMetricsTimeline(t *testing.T) {
+	m := NewMetrics("unit")
+	feed(m)
+	tl := m.Timeline("CPU:link", 4) // buckets of 0.25s over [0,1]
+	if tl == nil {
+		t.Fatal("timeline unavailable")
+	}
+	want := []float64{1, 0, 1, 1} // busy [0,0.25] and [0.5,1]
+	for i := range want {
+		if math.Abs(tl[i]-want[i]) > 1e-9 {
+			t.Errorf("timeline[%d] = %v, want %v (full %v)", i, tl[i], want[i], tl)
+		}
+	}
+	if m.Timeline("ghost", 4) != nil {
+		t.Error("unknown server must yield nil")
+	}
+}
+
+func TestMetricsHistogram(t *testing.T) {
+	m := NewMetrics("unit")
+	m.ServiceStart("dram", 0, 0.5, 1, 0)  // decade -1
+	m.ServiceStart("dram", 1, 0.02, 1, 0) // decade -2
+	m.ServiceStart("dram", 2, 0.05, 1, 0) // decade -2
+	m.ServiceStart("dram", 3, 0, 1, 0)    // zero-duration bin
+	hist := m.DurationHistogram("dram")
+	if len(hist) != 3 {
+		t.Fatalf("histogram = %+v", hist)
+	}
+	if hist[0].Decade != math.MinInt || hist[0].Count != 1 {
+		t.Errorf("zero bin first: %+v", hist[0])
+	}
+	if hist[1].Decade != -2 || hist[1].Count != 2 || hist[2].Decade != -1 || hist[2].Count != 1 {
+		t.Errorf("decades wrong: %+v", hist)
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a, b := NewMetrics("a"), NewMetrics("b")
+	feed(a)
+	feed(b)
+	b.ThermalSample("CPU", 2, 90) // push b's extremes past a's
+	a.Merge(b)
+	if a.Merged != 2 {
+		t.Errorf("Merged = %d", a.Merged)
+	}
+	if a.Dispatched != 8 || a.Chunks != 4 {
+		t.Errorf("summed counters: %d/%d", a.Dispatched, a.Chunks)
+	}
+	if a.MaxTemp != 90 || a.End != 2 {
+		t.Errorf("maxes: temp %v end %v", a.MaxTemp, a.End)
+	}
+	if a.Timeline("CPU:link", 4) != nil || a.DurationHistogram("CPU:link") != nil {
+		t.Error("window views must be unavailable after merging")
+	}
+	if link := a.Server("CPU:link"); link.Requests != 4 {
+		t.Errorf("merged server requests = %d", link.Requests)
+	}
+}
+
+func TestSummaryDeterministic(t *testing.T) {
+	render := func() string {
+		m := NewMetrics("unit")
+		feed(m)
+		var buf bytes.Buffer
+		if err := m.WriteSummary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if got := render(); got != first {
+			t.Fatalf("summary not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+	for _, want := range []string{"CPU:link", "dram", "throttle trips 1", "max temp 76.0"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("summary missing %q:\n%s", want, first)
+		}
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewMetrics("a"), NewMetrics("b")
+	feed(Multi{a, b})
+	if a.Dispatched != b.Dispatched || a.Chunks != b.Chunks || a.Hops != b.Hops {
+		t.Errorf("fan-out diverged: %+v vs %+v", a, b)
+	}
+	if a.Dispatched == 0 {
+		t.Error("fan-out delivered nothing")
+	}
+}
+
+func TestChromeExportValidates(t *testing.T) {
+	tracer := NewChromeTracer("unit", 1)
+	feed(tracer)
+	var buf bytes.Buffer
+	if err := writeChromeFile(&buf, []*ChromeTracer{tracer}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Validate(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exporter emitted an invalid trace: %v\n%s", err, buf.String())
+	}
+	if stats.Processes != 1 {
+		t.Errorf("processes = %d, want 1", stats.Processes)
+	}
+	if stats.Tracks < 3 { // servers, slot track, governor
+		t.Errorf("tracks = %d, want >= 3", stats.Tracks)
+	}
+}
+
+func TestChromeExportDeterministic(t *testing.T) {
+	render := func() string {
+		tracer := NewChromeTracer("unit", 1)
+		feed(tracer)
+		var buf bytes.Buffer
+		if err := writeChromeFile(&buf, []*ChromeTracer{tracer}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if got := render(); got != first {
+			t.Fatal("chrome export not deterministic")
+		}
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `]`,
+		"no events":      `{"traceEvents":[]}`,
+		"missing fields": `{"traceEvents":[{"ph":"X","ts":0}]}`,
+		"negative ts":    `{"traceEvents":[{"name":"a","ph":"i","ts":-1,"pid":1,"tid":1}]}`,
+		"X without dur":  `{"traceEvents":[{"name":"a","ph":"X","ts":0,"pid":1,"tid":1}]}`,
+		"C without args": `{"traceEvents":[{"name":"a","ph":"C","ts":0,"pid":1,"tid":1}]}`,
+		"unbalanced B":   `{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1}]}`,
+		"E before B":     `{"traceEvents":[{"name":"a","ph":"E","ts":0,"pid":1,"tid":1}]}`,
+		"unknown phase":  `{"traceEvents":[{"name":"a","ph":"Q","ts":0,"pid":1,"tid":1}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Validate([]byte(doc)); err == nil {
+			t.Errorf("%s: must be rejected", name)
+		}
+	}
+}
+
+func TestSessionSortsRunsDeterministically(t *testing.T) {
+	render := func(order []string) string {
+		s := NewSession()
+		for _, label := range order {
+			feed(s.NewRun(label))
+		}
+		var buf bytes.Buffer
+		if err := s.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	// Same labels created in different orders produce different pids, so
+	// only the label ordering (not creation order) shapes the artifact's
+	// section order; assert label-section ordering is sorted.
+	out := render([]string{"beta", "alpha"})
+	ia, ib := strings.Index(out, "alpha"), strings.Index(out, "beta")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("runs not emitted in label order (alpha@%d beta@%d)", ia, ib)
+	}
+}
+
+func TestSessionSummaryAggregates(t *testing.T) {
+	s := NewSession()
+	feed(s.NewRun("a"))
+	feed(s.NewRun("b"))
+	m := s.Summary()
+	if m.Merged != 2 || m.Dispatched != 8 {
+		t.Errorf("aggregate = merged %d dispatched %d", m.Merged, m.Dispatched)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 runs") {
+		t.Errorf("summary: %s", buf.String())
+	}
+
+	empty := NewSession()
+	if err := empty.WriteChrome(&buf); err == nil {
+		t.Error("empty session must refuse to write a trace")
+	}
+}
+
+func TestGlobalStatsCount(t *testing.T) {
+	before := Stats()
+	s := NewSession()
+	feed(s.NewRun("stats"))
+	var buf bytes.Buffer
+	if err := s.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	after := Stats()
+	if after.RunsTraced != before.RunsTraced+1 {
+		t.Errorf("RunsTraced %d -> %d, want +1", before.RunsTraced, after.RunsTraced)
+	}
+	if after.EventsExported <= before.EventsExported {
+		t.Errorf("EventsExported %d -> %d, want growth", before.EventsExported, after.EventsExported)
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/sim/engine"
+	"github.com/gables-model/gables/internal/sim/trace"
+)
+
+// requireBitwiseEqual asserts two run results are bitwise identical —
+// float comparison via IEEE-754 bits, not tolerance, because the tracing
+// layer's contract is "observes, never perturbs".
+func requireBitwiseEqual(t *testing.T, label string, a, b *RunResult) {
+	t.Helper()
+	feq := func(field string, x, y float64) {
+		if math.Float64bits(x) != math.Float64bits(y) {
+			t.Errorf("%s: %s differs: %v (%#x) vs %v (%#x)",
+				label, field, x, math.Float64bits(x), y, math.Float64bits(y))
+		}
+	}
+	feq("Makespan", a.Makespan, b.Makespan)
+	feq("TotalFlops", a.TotalFlops, b.TotalFlops)
+	feq("Rate", a.Rate, b.Rate)
+	feq("DRAMUtilization", a.DRAMUtilization, b.DRAMUtilization)
+	if len(a.IPs) != len(b.IPs) {
+		t.Fatalf("%s: IP result count differs: %d vs %d", label, len(a.IPs), len(b.IPs))
+	}
+	for i := range a.IPs {
+		x, y := a.IPs[i], b.IPs[i]
+		if x.IP != y.IP || x.Throttled != y.Throttled {
+			t.Errorf("%s: IPs[%d] identity/throttle differs: %+v vs %+v", label, i, x, y)
+		}
+		feq("IPs.Flops", x.Flops, y.Flops)
+		feq("IPs.Bytes", x.Bytes, y.Bytes)
+		feq("IPs.Time", x.Time, y.Time)
+		feq("IPs.Rate", x.Rate, y.Rate)
+		feq("IPs.Bandwidth", x.Bandwidth, y.Bandwidth)
+		feq("IPs.MaxTemp", x.MaxTemp, y.MaxTemp)
+	}
+}
+
+// TestProbeDoesNotPerturbResults is the tracing layer's acceptance test:
+// for every run shape (concurrent IPs, coordination, thermal throttling),
+// the RunResult with a full session probe attached is bitwise identical to
+// the untraced run, and the exported trace is structurally valid.
+func TestProbeDoesNotPerturbResults(t *testing.T) {
+	rw := func(fpw int) kernel.Kernel {
+		return kernel.Kernel{Name: "rw", WorkingSet: 4 << 20, Trials: 2,
+			FlopsPerWord: fpw, Pattern: kernel.ReadWrite}
+	}
+	cases := []struct {
+		name        string
+		assignments []Assignment
+		opt         RunOptions
+	}{
+		{"single-ip", []Assignment{{IP: "CPU", Kernel: rw(8)}}, RunOptions{}},
+		{"concurrent", []Assignment{{IP: "CPU", Kernel: rw(8)}, {IP: "GPU", Kernel: rw(64)}}, RunOptions{}},
+		{"coordination", []Assignment{{IP: "CPU", Kernel: rw(8)}, {IP: "GPU", Kernel: rw(64)}}, RunOptions{Coordination: true}},
+		{"thermal", []Assignment{{IP: "CPU", Kernel: rw(512)}}, RunOptions{Thermal: true}},
+		{"thermal-coordination", []Assignment{{IP: "CPU", Kernel: rw(512)}, {IP: "DSP", Kernel: rw(64)}}, RunOptions{Thermal: true, Coordination: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := mustSystem(t, Snapdragon835())
+			plain, err := sys.Run(tc.assignments, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			session := trace.NewSession()
+			opt := tc.opt
+			opt.Probe = session.NewRun(tc.name)
+			traced, err := sys.Run(tc.assignments, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			requireBitwiseEqual(t, tc.name, plain, traced)
+
+			var buf bytes.Buffer
+			if err := session.WriteChrome(&buf); err != nil {
+				t.Fatal(err)
+			}
+			stats, err := trace.Validate(buf.Bytes())
+			if err != nil {
+				t.Fatalf("exported trace invalid: %v", err)
+			}
+			if stats.Events == 0 || stats.Tracks < 2 {
+				t.Errorf("trace suspiciously empty: %+v", stats)
+			}
+
+			// The metrics view must agree with the simulated outcome.
+			m := session.Summary()
+			if m.Dispatched == 0 {
+				t.Error("metrics saw no dispatches")
+			}
+			if m.End <= 0 || m.End < plain.Makespan-1e-12 {
+				t.Errorf("metrics End %v vs makespan %v", m.End, plain.Makespan)
+			}
+			if dram := m.Server("dram"); dram == nil || dram.Requests == 0 {
+				t.Error("metrics missed the DRAM server")
+			}
+			if tc.opt.Thermal && m.ThermalSamples == 0 {
+				t.Error("thermal run produced no thermal samples")
+			}
+		})
+	}
+}
+
+// TestProbeRerunIdentical guards against probe state leaking between runs:
+// tracing the same system twice gives the same results both times.
+func TestProbeRerunIdentical(t *testing.T) {
+	sys := mustSystem(t, Snapdragon835())
+	k := kernel.Kernel{Name: "rw", WorkingSet: 2 << 20, Trials: 2,
+		FlopsPerWord: 16, Pattern: kernel.ReadWrite}
+	session := trace.NewSession()
+	first, err := sys.Run([]Assignment{{IP: "GPU", Kernel: k}}, RunOptions{Probe: session.NewRun("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sys.Run([]Assignment{{IP: "GPU", Kernel: k}}, RunOptions{Probe: session.NewRun("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwiseEqual(t, "rerun", first, second)
+	if session.Runs() != 2 {
+		t.Errorf("session recorded %d runs, want 2", session.Runs())
+	}
+}
+
+// TestMaxEventsGuardNamed pins the livelock guard's diagnosability: the
+// error from Run must name the guard, the event count it allowed, and the
+// simulated time reached, and unwrap to engine.LimitError.
+func TestMaxEventsGuardNamed(t *testing.T) {
+	sys := mustSystem(t, Snapdragon835())
+	_, err := sys.Run([]Assignment{{IP: "CPU", Kernel: bigRW(8)}}, RunOptions{MaxEvents: 50})
+	if err == nil {
+		t.Fatal("a 50-event cap must trip on a real kernel")
+	}
+	msg := err.Error()
+	for _, want := range []string{"MaxEvents guard (50)", "50 events", "simulated"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q must contain %q", msg, want)
+		}
+	}
+	var le *engine.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %T must unwrap to *engine.LimitError", err)
+	}
+	if le.Limit != 50 || le.Processed != 50 {
+		t.Errorf("LimitError = %+v, want limit=processed=50", le)
+	}
+}

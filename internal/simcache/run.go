@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
 
 	"github.com/gables-model/gables/internal/sim"
+	"github.com/gables-model/gables/internal/sim/trace"
 )
 
 // This file binds the generic cache to the simulated SoC: a process-wide
@@ -23,11 +26,80 @@ const EnvDir = "GABLES_CACHE_DIR"
 
 var defaultCache = New[*sim.RunResult](Options{})
 
+// probeFactory, when set, hands every Run a fresh observe-only probe. It
+// is the chokepoint that lets the cmds trace whole harness invocations
+// (experiment registries, ERB sweeps) without threading a probe through
+// the intermediate layers. Guarded by probeMu: harnesses run in parallel.
+var (
+	probeMu      sync.Mutex
+	probeFactory func(label string) trace.Probe
+)
+
+// SetProbeFactory installs (or, with nil, removes) a factory that supplies
+// a per-run trace probe for every subsequent Run call that does not carry
+// its own. The factory must be safe for concurrent use (trace.Session's
+// NewRun is); the label passed to it names the config and assignments.
+// Traced runs bypass the result cache — a cache hit cannot replay the
+// event stream — so expect tracing to cost the deduplicated work back.
+func SetProbeFactory(f func(label string) trace.Probe) {
+	probeMu.Lock()
+	probeFactory = f
+	probeMu.Unlock()
+}
+
+// runProbe resolves the probe for one Run call: an explicit one wins,
+// otherwise the installed factory (if any) supplies one.
+func runProbe(opt sim.RunOptions, label string) trace.Probe {
+	if opt.Probe != nil {
+		return opt.Probe
+	}
+	probeMu.Lock()
+	f := probeFactory
+	probeMu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f(label)
+}
+
+// runLabel names one run for trace artifacts: the chip, then each
+// assignment as ip/kernel.
+func runLabel(cfg sim.Config, assignments []sim.Assignment) string {
+	var b strings.Builder
+	b.WriteString(cfg.Name)
+	for i, a := range assignments {
+		if i == 0 {
+			b.WriteString(": ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.IP)
+		if a.Kernel.Name != "" {
+			b.WriteString("/")
+			b.WriteString(a.Kernel.Name)
+		}
+	}
+	return b.String()
+}
+
 // Run executes assignments on a system described by cfg through the
 // default cache: memory hit, in-flight coalesce, disk hit, or a fresh
 // sim.New + Run. The result is a private copy — callers may mutate it
 // freely without poisoning the cache.
+//
+// Runs observed by a probe (explicit in opt, or supplied by the installed
+// factory) bypass the cache in both directions: a hit could not replay the
+// event stream, and storing the result would be redundant with the
+// untraced entry's key (Fingerprint excludes the probe).
 func Run(cfg sim.Config, assignments []sim.Assignment, opt sim.RunOptions) (*sim.RunResult, error) {
+	if p := runProbe(opt, runLabel(cfg, assignments)); p != nil {
+		opt.Probe = p
+		sys, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sys.Run(assignments, opt)
+	}
 	key := sim.Fingerprint(cfg, assignments, opt)
 	res, err := defaultCache.Get(key, func() (*sim.RunResult, error) {
 		sys, err := sim.New(cfg)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"github.com/gables-model/gables/internal/sim/trace"
 	"github.com/gables-model/gables/internal/simcache"
 )
 
@@ -61,12 +62,13 @@ func CacheStats() simcache.Stats { return evalCache.Stats() }
 // ResetCache clears the page cache; tests use it for isolation.
 func ResetCache() { evalCache.Reset() }
 
-// statsHandler serves the cache counters as JSON at /stats.
+// statsHandler serves the cache and tracing counters as JSON at /stats.
 func statsHandler(w http.ResponseWriter, r *http.Request) {
 	snapshot := struct {
-		Web simcache.Stats `json:"web_eval"`
-		Sim simcache.Stats `json:"sim_runs"`
-	}{Web: evalCache.Stats(), Sim: simcache.DefaultStats()}
+		Web   simcache.Stats    `json:"web_eval"`
+		Sim   simcache.Stats    `json:"sim_runs"`
+		Trace trace.GlobalStats `json:"trace"`
+	}{Web: evalCache.Stats(), Sim: simcache.DefaultStats(), Trace: trace.Stats()}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

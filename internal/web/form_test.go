@@ -1,0 +1,111 @@
+package web
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// getPage fetches one page off a fresh Handler and returns status + body.
+func getPage(t *testing.T, path string) (int, string) {
+	t.Helper()
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// Malformed numeric inputs used to be silently swallowed (the field kept
+// its default and the page gave no hint); both pages must now name the
+// rejected field while still rendering a working page from the defaults.
+func TestFormErrorsSurfaced(t *testing.T) {
+	cases := []struct {
+		name, path string
+		wantErrs   []string // substrings the page must show
+		wantResult bool     // the result block must still render
+	}{
+		{"two-ip garbage", "/?ppeak=banana", []string{"ppeak=banana", "not a number"}, true},
+		{"two-ip inf", "/?bpeak=Inf", []string{"bpeak=Inf", "finite"}, true},
+		{"two-ip negative inf", "/?i0=-Inf", []string{"i0=-Inf", "finite"}, true},
+		{"two-ip nan", "/?f=NaN", []string{"f=NaN", "finite"}, true},
+		{"two-ip multiple", "/?a=x&b0=y", []string{"a=x", "b0=y"}, true},
+		{"two-ip empty is fine", "/?ppeak=", nil, true},
+		{"two-ip clean", "/?ppeak=50", nil, true},
+		{"three-ip garbage", "/three?b2=garbage", []string{"b2=garbage", "not a number"}, true},
+		{"three-ip nan", "/three?f1=nan", []string{"f1=nan", "finite"}, true},
+		{"three-ip inf", "/three?i2=%2BInf", []string{"finite"}, true},
+		{"three-ip empty is fine", "/three?i2=", nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := getPage(t, tc.path)
+			if status != http.StatusOK {
+				t.Fatalf("status = %d, want 200", status)
+			}
+			for _, want := range tc.wantErrs {
+				if !strings.Contains(body, want) {
+					t.Errorf("page must report %q; body lacks it", want)
+				}
+			}
+			if tc.wantErrs == nil && strings.Contains(body, "rejected") {
+				t.Error("clean submission must not show form errors")
+			}
+			if tc.wantResult && !strings.Contains(body, "attainable") {
+				t.Error("page must still render a result from the defaults")
+			}
+		})
+	}
+}
+
+// NaN used to slip through validation entirely: ParseFloat accepts "NaN"
+// and NaN fails every `<= 0` comparison, so the model ran on garbage.
+// Rejecting non-finite values at the form boundary keeps the defaults.
+func TestNonFiniteKeepsDefaults(t *testing.T) {
+	req := httptest.NewRequest("GET", "/?ppeak=NaN&bpeak=Inf&f=-Inf", nil)
+	p, ferrs := parseParams(req)
+	if p != DefaultParams() {
+		t.Errorf("non-finite inputs must keep defaults, got %+v", p)
+	}
+	if len(ferrs) != 3 {
+		t.Errorf("want 3 form errors, got %+v", ferrs)
+	}
+
+	req = httptest.NewRequest("GET", "/three?a1=NaN&f2=Inf", nil)
+	p3, ferrs3 := parseThreeParams(req)
+	if p3 != DefaultThreeParams() {
+		t.Errorf("non-finite inputs must keep defaults, got %+v", p3)
+	}
+	if len(ferrs3) != 2 {
+		t.Errorf("want 2 form errors, got %+v", ferrs3)
+	}
+}
+
+// Form errors are presentation state: the cached evaluation for the same
+// parameters must not replay a previous request's errors.
+func TestFormErrorsNotCached(t *testing.T) {
+	ResetCache()
+	// First request: garbage field → default params evaluation + error.
+	status, body := getPage(t, "/?ppeak=banana")
+	if status != http.StatusOK || !strings.Contains(body, "ppeak=banana") {
+		t.Fatalf("first request must surface the error (status %d)", status)
+	}
+	// Second request: same effective params (all defaults), clean form.
+	// A poisoned cache entry would replay "ppeak=banana" here.
+	status, body = getPage(t, "/")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if strings.Contains(body, "rejected") {
+		t.Error("cache replayed a previous request's form errors")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
-	"strconv"
 
 	"github.com/gables-model/gables/internal/core"
 	"github.com/gables-model/gables/internal/plot"
@@ -174,6 +173,7 @@ var threeTemplate = template.Must(template.New("three").Parse(`<!DOCTYPE html>
  </fieldset>
  <p><input type="submit" value="Evaluate"></p>
 </form>
+{{range .FormErrors}}<p class="err">input {{.Field}}={{.Value}} rejected ({{.Reason}}); using the default instead</p>{{end}}
 {{if .Err}}<p class="err">{{.Err}}</p>{{else}}
 <div class="result">P<sub>attainable</sub> = <b>{{.Attainable}}</b> &mdash; limited by {{.Bottleneck}}</div>
 <table><tr><th>component</th><th>scaled-roofline bound</th></tr>
@@ -185,37 +185,35 @@ var threeTemplate = template.Must(template.New("three").Parse(`<!DOCTYPE html>
 
 // threeHandler serves the three-IP page.
 func threeHandler(w http.ResponseWriter, r *http.Request) {
-	p := parseThreeParams(r)
+	p, ferrs := parseThreeParams(r)
 	ev, err := EvaluateThreeCached(p)
 	if err != nil {
 		ev = &Evaluation{Err: err.Error()}
 	}
+	ev.FormErrors = ferrs // after the cache clone: never cached
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := threeTemplate.Execute(w, threePage{Params: p, Evaluation: ev}); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 
-func parseThreeParams(r *http.Request) ThreeParams {
+// parseThreeParams reads the three-IP form, reporting each malformed field
+// rather than silently keeping its default.
+func parseThreeParams(r *http.Request) (ThreeParams, []FormError) {
 	p := DefaultThreeParams()
-	get := func(name string, dst *float64) {
-		if v := r.URL.Query().Get(name); v != "" {
-			if f, err := strconv.ParseFloat(v, 64); err == nil {
-				*dst = f
-			}
-		}
-	}
-	get("ppeak", &p.PpeakGops)
-	get("bpeak", &p.BpeakGB)
-	get("a1", &p.A1)
-	get("a2", &p.A2)
-	get("b0", &p.B0)
-	get("b1", &p.B1)
-	get("b2", &p.B2)
-	get("f1", &p.F1)
-	get("f2", &p.F2)
-	get("i0", &p.I0)
-	get("i1", &p.I1)
-	get("i2", &p.I2)
-	return p
+	var errs []FormError
+	q := r.URL.Query()
+	parseFloatField(q, "ppeak", &p.PpeakGops, &errs)
+	parseFloatField(q, "bpeak", &p.BpeakGB, &errs)
+	parseFloatField(q, "a1", &p.A1, &errs)
+	parseFloatField(q, "a2", &p.A2, &errs)
+	parseFloatField(q, "b0", &p.B0, &errs)
+	parseFloatField(q, "b1", &p.B1, &errs)
+	parseFloatField(q, "b2", &p.B2, &errs)
+	parseFloatField(q, "f1", &p.F1, &errs)
+	parseFloatField(q, "f2", &p.F2, &errs)
+	parseFloatField(q, "i0", &p.I0, &errs)
+	parseFloatField(q, "i1", &p.I1, &errs)
+	parseFloatField(q, "i2", &p.I2, &errs)
+	return p, errs
 }

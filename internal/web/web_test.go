@@ -119,11 +119,14 @@ func TestHandlerNotFound(t *testing.T) {
 
 func TestParseParamsIgnoresGarbage(t *testing.T) {
 	req := httptest.NewRequest("GET", "/?ppeak=banana&f=0.5", nil)
-	p := parseParams(req)
+	p, ferrs := parseParams(req)
 	if p.PpeakGops != DefaultParams().PpeakGops {
 		t.Error("unparseable values must keep defaults")
 	}
 	if p.F != 0.5 {
 		t.Error("valid values must apply")
+	}
+	if len(ferrs) != 1 || ferrs[0].Field != "ppeak" {
+		t.Errorf("want one form error for ppeak, got %+v", ferrs)
 	}
 }
