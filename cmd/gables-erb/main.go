@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"github.com/gables-model/gables/internal/erb"
+	"github.com/gables-model/gables/internal/eval"
 	"github.com/gables-model/gables/internal/kernel"
 	"github.com/gables-model/gables/internal/plot"
 	"github.com/gables-model/gables/internal/report"
@@ -45,8 +46,16 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event/Perfetto JSON trace of every simulation run to this file")
 	metrics := flag.Bool("metrics", false, "print a metrics summary of the traced simulation runs to stderr")
 	verbose := flag.Bool("v", false, "print cache statistics to stderr after the run")
+	backend := flag.String("backend", "", "evaluation backend for the mixing analysis: "+
+		strings.Join(eval.Names(), "|")+" (default sim; auto routes to analytic inside the calibrated envelope)")
 	flag.Parse()
 
+	if *backend != "" {
+		if err := eval.SetDefault(*backend); err != nil {
+			fmt.Fprintln(os.Stderr, "gables-erb:", err)
+			os.Exit(1)
+		}
+	}
 	if *cacheDir != "" {
 		simcache.EnableDisk(*cacheDir)
 	} else {

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/gables-model/gables/internal/eval"
 	"github.com/gables-model/gables/internal/experiments"
 	"github.com/gables-model/gables/internal/parallel"
 	"github.com/gables-model/gables/internal/sim/trace"
@@ -49,6 +50,8 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event/Perfetto JSON trace of every simulation run to this file")
 	metrics := flag.Bool("metrics", false, "print a metrics summary of the traced simulation runs to stderr")
 	verbose := flag.Bool("v", false, "print cache statistics to stderr after the run")
+	backend := flag.String("backend", "", "evaluation backend for evaluator-threaded experiments: "+
+		strings.Join(eval.Names(), "|")+" (default sim; auto routes to analytic inside the calibrated envelope)")
 	flag.Parse()
 
 	if *list {
@@ -56,6 +59,12 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+	if *backend != "" {
+		if err := eval.SetDefault(*backend); err != nil {
+			fmt.Fprintln(os.Stderr, "gables-repro:", err)
+			os.Exit(1)
+		}
 	}
 	if *cacheDir != "" {
 		simcache.EnableDisk(*cacheDir)

@@ -14,9 +14,13 @@
 // profiling the evaluation and render path; it is off by default so the
 // public listener never serves profiling data.
 //
+// The /eval JSON endpoint answers SoC+work queries through the unified
+// evaluator registry; -backend selects the process-default backend it uses
+// when a request does not name one (?backend=analytic|sim|auto).
+//
 // Usage:
 //
-//	gables-web [-addr :8337] [-pprof 6060]
+//	gables-web [-addr :8337] [-backend auto] [-pprof 6060]
 package main
 
 import (
@@ -30,9 +34,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/gables-model/gables/internal/eval"
 	"github.com/gables-model/gables/internal/web"
 )
 
@@ -50,7 +56,16 @@ const (
 func main() {
 	addr := flag.String("addr", ":8337", "listen address")
 	pprofPort := flag.Int("pprof", 0, "serve net/http/pprof on localhost:PORT (0 = disabled)")
+	backend := flag.String("backend", "", "default /eval backend: "+
+		strings.Join(eval.Names(), "|")+" (default sim; requests override with ?backend=)")
 	flag.Parse()
+
+	if *backend != "" {
+		if err := eval.SetDefault(*backend); err != nil {
+			fmt.Fprintln(os.Stderr, "gables-web:", err)
+			os.Exit(1)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -55,9 +55,14 @@ func run(specPath string, serialized bool, svgPath string, ascii bool) error {
 
 	for i, u := range usecases {
 		var res *core.Result
+		// The spec CLI renders user-authored models and usecases verbatim
+		// (arbitrary fractions, TotalOps, SRAM) — shapes the eval query
+		// does not express.
 		if serialized {
+			//lint:ignore evalboundary spec-driven CLI evaluates user-authored models the eval query cannot express
 			res, err = m.EvaluateSerialized(u)
 		} else {
+			//lint:ignore evalboundary spec-driven CLI evaluates user-authored models the eval query cannot express
 			res, err = m.Evaluate(u)
 		}
 		if err != nil {

@@ -1,0 +1,42 @@
+package evalboundary_test
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/analysis/analysistest"
+	"github.com/gables-model/gables/internal/analysis/evalboundary"
+)
+
+func TestEvalBoundary(t *testing.T) {
+	analysistest.Run(t, "testdata", evalboundary.Analyzer,
+		"a",               // violations, decoys, suppression
+		"x/internal/eval", // the evaluation layer itself is exempt
+		"b_test",          // external test units are exempt
+	)
+}
+
+func TestExemptPackage(t *testing.T) {
+	cases := []struct {
+		path   string
+		exempt bool
+	}{
+		{"github.com/gables-model/gables/internal/eval", true},
+		{"github.com/gables-model/gables/internal/core", true},
+		{"github.com/gables-model/gables/internal/simcache", true},
+		{"github.com/gables-model/gables/internal/sim", true},
+		{"github.com/gables-model/gables/internal/sim/trace", true},
+		{"github.com/gables-model/gables/internal/web_test", true},
+		{"internal/eval", true},
+		{"github.com/gables-model/gables/examples/quickstart", true},
+		{"github.com/gables-model/gables/internal/web", false},
+		{"github.com/gables-model/gables/internal/erb", false},
+		{"github.com/gables-model/gables/cmd/gables-repro", false},
+		{"github.com/gables-model/gables/internal/simulate", false},
+		{"github.com/gables-model/gables/internal/evaluate", false},
+	}
+	for _, c := range cases {
+		if got := evalboundary.ExemptPackage(c.path); got != c.exempt {
+			t.Errorf("ExemptPackage(%q) = %v, want %v", c.path, got, c.exempt)
+		}
+	}
+}

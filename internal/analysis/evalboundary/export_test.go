@@ -1,0 +1,4 @@
+package evalboundary
+
+// ExemptPackage exposes the boundary predicate to the external test.
+var ExemptPackage = exemptPackage

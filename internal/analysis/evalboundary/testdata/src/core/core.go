@@ -1,0 +1,25 @@
+// Package core is a minimal stand-in for internal/core: a Model with the
+// Evaluate/EvaluateSerialized methods evalboundary guards, plus decoys
+// (PeerModel methods, a package-level Evaluate function) that must stay
+// clean.
+package core
+
+// Model mirrors core.Model.
+type Model struct{}
+
+// Evaluate mirrors (*core.Model).Evaluate.
+func (m *Model) Evaluate() (float64, error) { return 0, nil }
+
+// EvaluateSerialized mirrors (*core.Model).EvaluateSerialized.
+func (m *Model) EvaluateSerialized() (float64, error) { return 0, nil }
+
+// PeerModel is a decoy: its Evaluate is a different entry point and is not
+// guarded.
+type PeerModel struct{}
+
+// Evaluate is not the guarded method.
+func (p *PeerModel) Evaluate() float64 { return 0 }
+
+// Evaluate (package-level) is a decoy: no receiver, so not the guarded
+// method.
+func Evaluate() float64 { return 0 }

@@ -1,0 +1,19 @@
+// Package sim is a minimal stand-in for internal/sim: a System with a Run
+// method, which evalboundary guards, plus a decoy type whose Run method
+// must stay clean.
+package sim
+
+// System mirrors sim.System.
+type System struct{}
+
+// Run mirrors (*sim.System).Run.
+func (s *System) Run(words int) (float64, error) {
+	return float64(words), nil
+}
+
+// Sampler is a decoy: a Run method on a non-System type in the sim
+// package is not an evaluation entry point.
+type Sampler struct{}
+
+// Run is not the guarded method.
+func (s *Sampler) Run() int { return 0 }

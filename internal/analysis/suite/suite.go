@@ -5,6 +5,7 @@ package suite
 
 import (
 	"github.com/gables-model/gables/internal/analysis"
+	"github.com/gables-model/gables/internal/analysis/evalboundary"
 	"github.com/gables-model/gables/internal/analysis/floatcmp"
 	"github.com/gables-model/gables/internal/analysis/fractioncheck"
 	"github.com/gables-model/gables/internal/analysis/logguard"
@@ -13,6 +14,7 @@ import (
 
 // All is the full analyzer suite, in the order findings are attributed.
 var All = []*analysis.Analyzer{
+	evalboundary.Analyzer,
 	floatcmp.Analyzer,
 	fractioncheck.Analyzer,
 	logguard.Analyzer,

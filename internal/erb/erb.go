@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/eval"
 	"github.com/gables-model/gables/internal/kernel"
 	"github.com/gables-model/gables/internal/parallel"
 	"github.com/gables-model/gables/internal/roofline"
@@ -66,6 +67,7 @@ func MeasureRoofline(sys *sim.System, ipName string, opts SweepOptions) ([]roofl
 	// coalesces concurrent workers computing the same point.
 	pts, err := parallel.Map(context.Background(), opts.Workers, kernels,
 		func(_ context.Context, _ int, k kernel.Kernel) (roofline.Point, error) {
+			//lint:ignore evalboundary raw §IV measurement substrate: sweeps characterize the machine the evaluators answer queries about
 			res, err := simcache.Run(sys.Config(), []sim.Assignment{{IP: ipName, Kernel: k}}, sim.RunOptions{})
 			if err != nil {
 				return roofline.Point{}, fmt.Errorf("erb: sweep %s: %w", k.Name, err)
@@ -111,6 +113,7 @@ func MeasureCacheBandwidth(sys *sim.System, ipName string, sizes []units.Bytes, 
 			Name: fmt.Sprintf("%s/ws=%d", ipName, int(ws)), WorkingSet: ws,
 			Trials: 8, FlopsPerWord: 1, Pattern: p,
 		}
+		//lint:ignore evalboundary raw §IV measurement substrate: the cache-size sweep characterizes the memory hierarchy itself
 		res, err := simcache.Run(sys.Config(), []sim.Assignment{{IP: ipName, Kernel: k}}, sim.RunOptions{})
 		if err != nil {
 			return nil, err
@@ -157,6 +160,11 @@ type MixingOptions struct {
 	// Workers bounds the grid's worker pool; 0 uses the
 	// GABLES_PARALLEL/GOMAXPROCS default.
 	Workers int
+	// Evaluator answers the grid's queries; nil uses the process default
+	// (eval.Default(), "sim" unless reconfigured). The experiment charges
+	// host coordination, so backends that cannot represent it (analytic)
+	// reject the grid rather than silently answering a different question.
+	Evaluator eval.Evaluator
 }
 
 func (o *MixingOptions) applyDefaults() {
@@ -200,41 +208,34 @@ func Mixing(sys *sim.System, opts MixingOptions) (*MixingResult, error) {
 		}
 	}
 
-	// run measures one cell through the result cache: a computed cell gets
-	// its own freshly instantiated system (runs never share an engine),
+	ev := opts.Evaluator
+	if ev == nil {
+		ev = eval.Default()
+	}
+
+	// run answers one cell through the evaluator contract. The default sim
+	// backend measures through the result cache: a computed cell gets its
+	// own freshly instantiated system (runs never share an engine),
 	// repeated cells — the baseline reappears in the grid as (f=0, fpw=8) —
 	// are served from memory, and concurrent workers on the same cell
 	// coalesce onto one computation.
-	run := func(f float64, fpw int) (float64, error) {
-		cpuWords := int(float64(opts.Words) * (1 - f))
-		accWords := opts.Words - cpuWords
-		var assignments []sim.Assignment
-		if cpuWords > 0 {
-			assignments = append(assignments, sim.Assignment{
-				IP: opts.CPU,
-				Kernel: kernel.Kernel{
-					Name: "mix-cpu", WorkingSet: units.Bytes(cpuWords * kernel.WordSize),
-					Trials: opts.Trials, FlopsPerWord: fpw, Pattern: kernel.ReadWrite,
-				},
-			})
-		}
-		if accWords > 0 {
-			assignments = append(assignments, sim.Assignment{
-				IP: opts.Accel,
-				Kernel: kernel.Kernel{
-					Name: "mix-acc", WorkingSet: units.Bytes(accWords * kernel.WordSize),
-					Trials: opts.Trials, FlopsPerWord: fpw, Pattern: kernel.ReadWrite,
-				},
-			})
-		}
-		res, err := simcache.Run(sys.Config(), assignments, sim.RunOptions{Coordination: true})
+	run := func(ctx context.Context, f float64, fpw int) (float64, error) {
+		work, err := eval.SplitWork(sys.Config(), opts.Words, fpw, kernel.ReadWrite, []eval.Share{
+			{IP: opts.CPU, Fraction: 1 - f}, {IP: opts.Accel, Fraction: f},
+		})
 		if err != nil {
 			return 0, err
 		}
-		return res.Rate, nil
+		o, err := ev.Evaluate(ctx, eval.Query{
+			Chip: sys.Config(), Work: work, Trials: opts.Trials, Coordination: true,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return o.Attainable, nil
 	}
 
-	baseline, err := run(0, 8) // all CPU at intensity 1
+	baseline, err := run(context.Background(), 0, 8) // all CPU at intensity 1
 	if err != nil {
 		return nil, fmt.Errorf("erb: mixing baseline: %w", err)
 	}
@@ -253,8 +254,8 @@ func Mixing(sys *sim.System, opts MixingOptions) (*MixingResult, error) {
 		}
 	}
 	points, err := parallel.Map(context.Background(), opts.Workers, grid,
-		func(_ context.Context, _ int, c gridCell) (MixingPoint, error) {
-			rate, err := run(c.f, c.fpw)
+		func(ctx context.Context, _ int, c gridCell) (MixingPoint, error) {
+			rate, err := run(ctx, c.f, c.fpw)
 			if err != nil {
 				return MixingPoint{}, fmt.Errorf("erb: mixing f=%v fpw=%d: %w", c.f, c.fpw, err)
 			}

@@ -6,11 +6,10 @@ import (
 	"math"
 
 	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/eval"
 	"github.com/gables-model/gables/internal/kernel"
 	"github.com/gables-model/gables/internal/parallel"
 	"github.com/gables-model/gables/internal/sim"
-	"github.com/gables-model/gables/internal/simcache"
-	"github.com/gables-model/gables/internal/units"
 )
 
 // This file cross-validates the analytic Gables model against the
@@ -105,6 +104,14 @@ func ValidateModel(sys *sim.System, opts ValidationOptions) (*ValidationResult, 
 	if err != nil {
 		return nil, err
 	}
+	// Both sides of each cell go through the eval contract: the analytic
+	// backend wraps the measurement-derived model, the sim backend measures
+	// the identical Query (same fingerprint, shared result cache entries).
+	analytic, err := eval.NewAnalyticModel(model, []string{opts.CPU, opts.Accel})
+	if err != nil {
+		return nil, err
+	}
+	simEv := eval.NewSim()
 
 	// The grid cells are fully independent; fan them out. Each computed
 	// cell gets its own sim.System via the result cache (runs never share
@@ -122,39 +129,27 @@ func ValidateModel(sys *sim.System, opts ValidationOptions) (*ValidationResult, 
 		}
 	}
 	cells, err := parallel.Map(context.Background(), opts.Workers, grid,
-		func(_ context.Context, _ int, c gridCell) (ValidationCell, error) {
-			intensity := units.Intensity(float64(c.fpw) / 8)
-			u, err := core.TwoIPUsecase("cell", c.f, intensity, intensity)
+		func(ctx context.Context, _ int, c gridCell) (ValidationCell, error) {
+			work, err := eval.SplitWork(sys.Config(), opts.Words, c.fpw, kernel.ReadWrite, []eval.Share{
+				{IP: opts.CPU, Fraction: 1 - c.f}, {IP: opts.Accel, Fraction: c.f},
+			})
 			if err != nil {
 				return ValidationCell{}, err
 			}
-			pred, err := model.Evaluate(u)
+			q := eval.Query{Chip: sys.Config(), Work: work, Trials: opts.Trials}
+			pred, err := analytic.Evaluate(ctx, q)
 			if err != nil {
 				return ValidationCell{}, err
 			}
-
-			cpuWords := int(float64(opts.Words) * (1 - c.f))
-			accWords := opts.Words - cpuWords
-			var assignments []sim.Assignment
-			if cpuWords > 0 {
-				assignments = append(assignments, sim.Assignment{IP: opts.CPU,
-					Kernel: kernel.Kernel{Name: "v-cpu", WorkingSet: units.Bytes(cpuWords * kernel.WordSize),
-						Trials: opts.Trials, FlopsPerWord: c.fpw, Pattern: kernel.ReadWrite}})
-			}
-			if accWords > 0 {
-				assignments = append(assignments, sim.Assignment{IP: opts.Accel,
-					Kernel: kernel.Kernel{Name: "v-acc", WorkingSet: units.Bytes(accWords * kernel.WordSize),
-						Trials: opts.Trials, FlopsPerWord: c.fpw, Pattern: kernel.ReadWrite}})
-			}
-			meas, err := simcache.Run(sys.Config(), assignments, sim.RunOptions{})
+			meas, err := simEv.Evaluate(ctx, q)
 			if err != nil {
 				return ValidationCell{}, err
 			}
 
 			cell := ValidationCell{
 				F: c.f, FlopsPerWord: c.fpw,
-				Predicted: float64(pred.Attainable),
-				Measured:  meas.Rate,
+				Predicted: pred.Attainable,
+				Measured:  meas.Attainable,
 			}
 			if cell.Predicted > 0 {
 				cell.RelError = math.Abs(cell.Measured-cell.Predicted) / cell.Predicted

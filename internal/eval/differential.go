@@ -1,0 +1,224 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/sim"
+)
+
+// The differential oracle: a fixture corpus of SoC+usecase queries that
+// both production backends must answer within documented per-metric
+// agreement bands. It turns analytic-vs-sim disagreement from folklore
+// into a regression-caught bug class — the corpus runs as a tier-1 test
+// and as the blocking `differential` CI job.
+//
+// The bands follow the paper's stated accuracy goal ("the correct shape
+// and reasonable relative error", §IV) and the calibration the repo
+// already holds erb.ValidateModel to: attainable performance within 30%
+// per query and 10% mean across the corpus, and agreement on bottleneck
+// *identity* unless the analytic answer is a near-tie (two constraints
+// within TieEscape of each other — attribution between two equally
+// binding constraints is legitimately unstable at measurement fidelity).
+
+// Bands are the per-metric agreement thresholds for one fixture.
+type Bands struct {
+	// MaxAttainableRelErr bounds |sim−analytic|/sim.
+	MaxAttainableRelErr float64
+	// MatchBottleneck requires both backends to name the same
+	// bottleneck component, unless the analytic TieRatio exceeds
+	// TieEscape.
+	MatchBottleneck bool
+	// TieEscape is the TieRatio above which a bottleneck mismatch is
+	// excused (0 uses DefaultTieEscape).
+	TieEscape float64
+}
+
+// DefaultTieEscape excuses bottleneck mismatches when the analytic
+// second-tightest constraint is within 10% of the tightest.
+const DefaultTieEscape = 0.9
+
+// DefaultBands are the corpus-wide per-fixture thresholds, matching the
+// erb.ValidateModel calibration.
+func DefaultBands() Bands {
+	return Bands{MaxAttainableRelErr: 0.30, MatchBottleneck: true}
+}
+
+// Fixture is one corpus entry.
+type Fixture struct {
+	// Name labels the fixture in test and CI output.
+	Name string
+	// Query is the question both backends answer.
+	Query Query
+	// Bands are the agreement thresholds.
+	Bands Bands
+}
+
+// DiffResult is one fixture's comparison.
+type DiffResult struct {
+	Fixture Fixture
+	// Analytic and Sim are the two answers.
+	Analytic, Sim *Outcome
+	// RelErr is |Sim−Analytic|/Sim attainable.
+	RelErr float64
+	// BottleneckAgree reports identity agreement (before tie escape).
+	BottleneckAgree bool
+	// TieEscaped reports that a mismatch was excused as a near-tie.
+	TieEscaped bool
+	// Pass reports whether every band held.
+	Pass bool
+	// Reason explains a failure.
+	Reason string
+}
+
+// RunDifferential answers one fixture with both backends and applies its
+// bands.
+func RunDifferential(ctx context.Context, f Fixture) (*DiffResult, error) {
+	analytic := NewAnalytic()
+	simEv := NewSim()
+	a, err := analytic.Evaluate(ctx, f.Query)
+	if err != nil {
+		return nil, fmt.Errorf("eval: differential %q: analytic: %w", f.Name, err)
+	}
+	s, err := simEv.Evaluate(ctx, f.Query)
+	if err != nil {
+		return nil, fmt.Errorf("eval: differential %q: sim: %w", f.Name, err)
+	}
+	d := &DiffResult{Fixture: f, Analytic: a, Sim: s, Pass: true}
+	if s.Attainable <= 0 {
+		return nil, fmt.Errorf("eval: differential %q: sim measured non-positive rate", f.Name)
+	}
+	d.RelErr = math.Abs(s.Attainable-a.Attainable) / s.Attainable
+	if d.RelErr > f.Bands.MaxAttainableRelErr {
+		d.Pass = false
+		d.Reason = fmt.Sprintf("attainable disagrees by %.1f%% (band %.1f%%): analytic %.3g vs sim %.3g flops/s",
+			100*d.RelErr, 100*f.Bands.MaxAttainableRelErr, a.Attainable, s.Attainable)
+	}
+	d.BottleneckAgree = a.Bottleneck == s.Bottleneck
+	if f.Bands.MatchBottleneck && !d.BottleneckAgree {
+		escape := f.Bands.TieEscape
+		if escape == 0 {
+			escape = DefaultTieEscape
+		}
+		if a.TieRatio >= escape {
+			d.TieEscaped = true
+		} else {
+			d.Pass = false
+			if d.Reason != "" {
+				d.Reason += "; "
+			}
+			d.Reason += fmt.Sprintf("bottleneck identity disagrees: analytic %v (tie ratio %.2f) vs sim %v",
+				a.Bottleneck, a.TieRatio, s.Bottleneck)
+		}
+	}
+	return d, nil
+}
+
+// CorpusResult aggregates a corpus run.
+type CorpusResult struct {
+	Results []*DiffResult
+	// MeanRelErr and MaxRelErr aggregate attainable disagreement.
+	MeanRelErr, MaxRelErr float64
+	// Failures counts fixtures whose bands did not hold.
+	Failures int
+}
+
+// MaxCorpusMeanRelErr is the corpus-wide band on mean attainable
+// disagreement, matching erb.ValidateModel's calibration.
+const MaxCorpusMeanRelErr = 0.10
+
+// RunCorpus runs every fixture and aggregates; the corpus-wide mean band
+// is applied by the caller (the tier-1 test and CI job) against
+// MaxCorpusMeanRelErr.
+func RunCorpus(ctx context.Context, fixtures []Fixture) (*CorpusResult, error) {
+	out := &CorpusResult{}
+	for _, f := range fixtures {
+		d, err := RunDifferential(ctx, f)
+		if err != nil {
+			return nil, err
+		}
+		out.Results = append(out.Results, d)
+		out.MeanRelErr += d.RelErr
+		out.MaxRelErr = math.Max(out.MaxRelErr, d.RelErr)
+		if !d.Pass {
+			out.Failures++
+		}
+	}
+	if len(out.Results) > 0 {
+		out.MeanRelErr /= float64(len(out.Results))
+	}
+	return out, nil
+}
+
+// DefaultCorpus is the oracle's fixture grid on the calibrated simulated
+// chip: the Figure 6-style two-IP work splits and Figure 8-style
+// intensity lines (device-resident, since the base model has no
+// coordination term), the three-IP web-path shape, and §V-C serialized
+// fixtures. Word counts keep every active working set DRAM-resident (the
+// analytic envelope); fractions are exact binary so the analytic work
+// fractions match the historical TwoIPUsecase values bit-for-bit.
+func DefaultCorpus() []Fixture {
+	cfg := sim.Snapdragon835()
+	bands := DefaultBands()
+	const words = 4 << 20
+	var fixtures []Fixture
+
+	twoIP := func(name string, f float64, fpw int, serialized bool) Fixture {
+		work, err := SplitWork(cfg, words, fpw, kernel.ReadWrite, []Share{
+			{IP: "CPU", Fraction: 1 - f}, {IP: "GPU", Fraction: f},
+		})
+		if err != nil {
+			panic(err) // static corpus: shares are known-valid
+		}
+		return Fixture{
+			Name:  name,
+			Query: Query{Chip: cfg, Work: work, Trials: 2, Serialized: serialized},
+			Bands: bands,
+		}
+	}
+
+	// Figure 6/8 grid: CPU↔GPU splits across the paper's intensity
+	// range (I = fpw/8 ops/byte).
+	for _, f := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for _, fpw := range []int{8, 512} {
+			fixtures = append(fixtures,
+				twoIP(fmt.Sprintf("fig6-two-ip/f=%v/fpw=%d", f, fpw), f, fpw, false))
+		}
+	}
+	// High-intensity compute-bound corner.
+	fixtures = append(fixtures, twoIP("fig6-two-ip/f=0.5/fpw=4096", 0.5, 4096, false))
+
+	// §V-C serialized fixtures (EvaluateSerialized differential).
+	for _, fpw := range []int{8, 512} {
+		fixtures = append(fixtures,
+			twoIP(fmt.Sprintf("serialized-two-ip/f=0.5/fpw=%d", fpw), 0.5, fpw, true))
+	}
+
+	// Three-IP web-path shape: CPU+GPU+DSP all active. The DSP's share
+	// stays small (it is the paper's wimpy scalar unit) but its working
+	// set must clear its 512 KiB cache, so the three-IP fixtures use a
+	// larger array.
+	threeIP := func(name string, fCPU, fGPU float64, fpw int, serialized bool) Fixture {
+		work, err := SplitWork(cfg, 4*words, fpw, kernel.ReadWrite, []Share{
+			{IP: "CPU", Fraction: fCPU}, {IP: "GPU", Fraction: fGPU}, {IP: "DSP", Fraction: 0},
+		})
+		if err != nil {
+			panic(err)
+		}
+		return Fixture{
+			Name:  name,
+			Query: Query{Chip: cfg, Work: work, Trials: 2, Serialized: serialized},
+			Bands: bands,
+		}
+	}
+	for _, fpw := range []int{32, 512} {
+		fixtures = append(fixtures,
+			threeIP(fmt.Sprintf("three-ip/cpu=0.5,gpu=0.375,dsp=rest/fpw=%d", fpw), 0.5, 0.375, fpw, false))
+	}
+	fixtures = append(fixtures,
+		threeIP("serialized-three-ip/fpw=64", 0.5, 0.375, 64, true))
+
+	return fixtures
+}

@@ -1,0 +1,32 @@
+package eval
+
+import (
+	"context"
+	"testing"
+)
+
+// TestDifferentialCorpus is the oracle: every corpus fixture must hold
+// its per-metric bands (attainable within Bands.MaxAttainableRelErr,
+// bottleneck identity agreement modulo the near-tie escape), and the
+// corpus-wide mean disagreement must stay under MaxCorpusMeanRelErr.
+// This is a tier-1 test and the blocking `differential` CI job.
+func TestDifferentialCorpus(t *testing.T) {
+	res, err := RunCorpus(context.Background(), DefaultCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Results {
+		t.Logf("%-45s analytic=%10.3g sim=%10.3g relerr=%5.1f%% a.bottleneck=%v s.bottleneck=%v tie=%.2f escaped=%v",
+			d.Fixture.Name, d.Analytic.Attainable, d.Sim.Attainable, 100*d.RelErr,
+			d.Analytic.Bottleneck, d.Sim.Bottleneck, d.Analytic.TieRatio, d.TieEscaped)
+		if !d.Pass {
+			t.Errorf("%s: %s", d.Fixture.Name, d.Reason)
+		}
+	}
+	if res.MeanRelErr > MaxCorpusMeanRelErr {
+		t.Errorf("corpus mean rel err = %.1f%%, band is %.1f%%",
+			100*res.MeanRelErr, 100*MaxCorpusMeanRelErr)
+	}
+	t.Logf("corpus: %d fixtures, mean rel err %.1f%%, max %.1f%%, %d failures",
+		len(res.Results), 100*res.MeanRelErr, 100*res.MaxRelErr, res.Failures)
+}

@@ -1,0 +1,187 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/gables-model/gables/internal/kernel"
+)
+
+// The backend registry: cmds and harnesses select evaluators by name
+// (-backend=analytic|sim|auto). Construction is lazy so importing eval
+// costs nothing until a backend is used.
+
+var (
+	registryMu  sync.Mutex
+	registry    = map[string]func() (Evaluator, error){}
+	instances   = map[string]Evaluator{}
+	defaultName = "sim"
+)
+
+// Register adds a named backend constructor. Later registrations of the
+// same name win (tests use this to stub backends).
+func Register(name string, make func() (Evaluator, error)) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = make
+	delete(instances, name)
+}
+
+// Resolve returns the named backend, constructing it on first use.
+func Resolve(name string) (Evaluator, error) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	return resolveLocked(name)
+}
+
+func resolveLocked(name string) (Evaluator, error) {
+	if ev, ok := instances[name]; ok {
+		return ev, nil
+	}
+	make, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown backend %q (have %v)", name, namesLocked())
+	}
+	ev, err := make()
+	if err != nil {
+		return nil, err
+	}
+	instances[name] = ev
+	return ev, nil
+}
+
+// Names lists the registered backends, sorted.
+func Names() []string {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetDefault selects the process-default backend (what Default returns
+// and what rethreaded harnesses use when not handed an explicit
+// evaluator). The initial default is "sim": measurement semantics, the
+// historical behavior of every harness path.
+func SetDefault(name string) error {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, err := resolveLocked(name); err != nil {
+		return err
+	}
+	defaultName = name
+	return nil
+}
+
+// Default returns the process-default backend.
+func Default() Evaluator {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	ev, err := resolveLocked(defaultName)
+	if err != nil {
+		// The built-in default always resolves; a broken custom
+		// registration falls back to measurement.
+		ev, _ = resolveLocked("sim")
+	}
+	return ev
+}
+
+func init() {
+	Register("analytic", func() (Evaluator, error) { return NewAnalytic(), nil })
+	Register("sim", func() (Evaluator, error) { return NewSim(), nil })
+	Register("auto", func() (Evaluator, error) { return NewAuto(NewAnalytic(), NewSim(), DefaultEnvelope()), nil })
+}
+
+// Envelope is the calibrated region of query space where the analytic
+// backend is trusted to stand in for measurement. Its constants come from
+// the differential oracle's corpus (differential.go): inside the
+// envelope, the corpus holds the backends to the documented agreement
+// bands; outside it, known model blind spots (coordination overhead,
+// thermal throttling, cache-resident working sets) make the closed form
+// unreliable and Auto routes to measurement.
+type Envelope struct {
+	// MinWorkingSetFactor requires each active IP's working set to be
+	// at least this multiple of its private cache (an analytic DRAM
+	// roofline cannot see cache-resident speedups).
+	MinWorkingSetFactor float64
+}
+
+// DefaultEnvelope is the oracle-calibrated envelope.
+func DefaultEnvelope() Envelope {
+	return Envelope{MinWorkingSetFactor: 2}
+}
+
+// Check reports nil when the query lies inside the envelope; otherwise an
+// error naming the first reason measurement is required.
+func (e Envelope) Check(q Query) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if q.Coordination {
+		return fmt.Errorf("eval: coordination overhead is outside the analytic envelope")
+	}
+	if q.Thermal {
+		return fmt.Errorf("eval: thermal throttling is outside the analytic envelope")
+	}
+	for i, w := range q.Work {
+		if w.Words == 0 {
+			continue
+		}
+		spec := q.Chip.IPs[i]
+		ws := float64(w.Words * kernel.WordSize)
+		if spec.CacheSize > 0 && ws < e.MinWorkingSetFactor*spec.CacheSize {
+			return fmt.Errorf("eval: IP %q working set %.0f B is under %.0f× its %.0f B cache — cache effects outside the analytic envelope",
+				spec.Name, ws, e.MinWorkingSetFactor, spec.CacheSize)
+		}
+	}
+	return nil
+}
+
+// Auto routes each query to the cheapest trustworthy backend: analytic
+// inside the calibrated envelope, measurement otherwise. The produced
+// Outcome's Backend field records which one answered.
+type Auto struct {
+	analytic Evaluator
+	sim      Evaluator
+	env      Envelope
+}
+
+// NewAuto builds the router.
+func NewAuto(analytic, sim Evaluator, env Envelope) *Auto {
+	return &Auto{analytic: analytic, sim: sim, env: env}
+}
+
+// Meta implements Evaluator.
+func (a *Auto) Meta() Meta {
+	return Meta{
+		Name:        "auto",
+		Fidelity:    FidelitySimulation,
+		Description: "analytic inside the calibrated envelope, sim outside",
+	}
+}
+
+// Supports implements Evaluator: Auto answers whatever the measurement
+// backend can.
+func (a *Auto) Supports(q Query) error { return a.sim.Supports(q) }
+
+// Pick returns the backend Auto would use for the query.
+func (a *Auto) Pick(q Query) Evaluator {
+	if a.env.Check(q) == nil && a.analytic.Supports(q) == nil {
+		return a.analytic
+	}
+	return a.sim
+}
+
+// Evaluate implements Evaluator.
+func (a *Auto) Evaluate(ctx context.Context, q Query) (*Outcome, error) {
+	return a.Pick(q).Evaluate(ctx, q)
+}

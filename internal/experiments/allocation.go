@@ -10,6 +10,8 @@ import (
 	"github.com/gables-model/gables/internal/units"
 )
 
+//lint:file-ignore evalboundary compares hand-built model variants (ample vs realistic memory) against MultiAmdahl; these are analytic-math contrasts, not chip queries
+
 func init() {
 	register("allocation", AllocationComparison)
 }

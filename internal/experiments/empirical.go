@@ -14,6 +14,8 @@ import (
 	"github.com/gables-model/gables/internal/units"
 )
 
+//lint:file-ignore evalboundary reproduces the §IV empirical methodology: single-kernel micro-benchmark runs that measure the machine, not usecase queries
+
 func init() {
 	register("fig7a", Figure7a)
 	register("fig7b", Figure7b)

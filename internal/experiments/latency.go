@@ -45,6 +45,7 @@ func LatencyTolerance() (*Artifact, error) {
 		}
 		k := kernel.Kernel{Name: "stream", WorkingSet: 4 << 20, Trials: 2,
 			FlopsPerWord: 1, Pattern: kernel.ReadOnly}
+		//lint:ignore evalboundary measurement substrate: probes a synthetic one-IP config's latency tolerance, not a usecase query
 		res, err := simcache.Run(cfg, []sim.Assignment{{IP: "engine", Kernel: k}}, sim.RunOptions{})
 		if err != nil {
 			return 0, err

@@ -90,6 +90,7 @@ func BestSplit(m *core.Model, i0, i1 units.Intensity) (*SplitResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lint:ignore evalboundary analytic substrate: the ternary search perturbs an injected model's work split hundreds of times per call
 		return m.Evaluate(u)
 	}
 	lo, hi := 0.0, 1.0

@@ -89,6 +89,7 @@ func Evaluate(m *core.Model, b *Budget, u *core.Usecase) (*Result, error) {
 	if err := b.Validate(m.SoC); err != nil {
 		return nil, err
 	}
+	//lint:ignore evalboundary analytic substrate: the power bound scales the injected model's own result, so both must come from the same backend
 	base, err := m.Evaluate(u)
 	if err != nil {
 		return nil, err

@@ -45,6 +45,9 @@ func TestProbeFactoryBypassesCache(t *testing.T) {
 	if s := DefaultStats(); s.Hits != 0 || s.Misses != 0 || s.Entries != 0 {
 		t.Errorf("traced runs touched the cache: %+v", s)
 	}
+	if s := DefaultStats(); s.Bypassed != 2 {
+		t.Errorf("traced runs must be reported as bypassed: got %+v, want Bypassed=2", s)
+	}
 	if session.Runs() != 2 {
 		t.Errorf("factory handed out %d run probes, want 2", session.Runs())
 	}
@@ -67,8 +70,8 @@ func TestProbeFactoryBypassesCache(t *testing.T) {
 	if _, err := Run(cfg, as, opt); err != nil {
 		t.Fatal(err)
 	}
-	if s := DefaultStats(); s.Misses != 1 || s.Hits != 1 {
-		t.Errorf("stats after factory removal = %+v, want one miss then one hit", s)
+	if s := DefaultStats(); s.Misses != 1 || s.Hits != 1 || s.Bypassed != 2 {
+		t.Errorf("stats after factory removal = %+v, want one miss, one hit, two bypassed", s)
 	}
 	if fmt.Sprintf("%#v", *cold) != fmt.Sprintf("%#v", *first) {
 		t.Errorf("cached result differs from traced run:\n%#v\n%#v", *cold, *first)
@@ -95,5 +98,8 @@ func TestExplicitProbeBypassesCache(t *testing.T) {
 	}
 	if s := DefaultStats(); s.Misses != 0 || s.Entries != 0 {
 		t.Errorf("explicit-probe run touched the cache: %+v", s)
+	}
+	if s := DefaultStats(); s.Bypassed != 1 {
+		t.Errorf("explicit-probe run must be reported as bypassed: got %+v, want Bypassed=1", s)
 	}
 }

@@ -90,9 +90,11 @@ func runLabel(cfg sim.Config, assignments []sim.Assignment) string {
 // Runs observed by a probe (explicit in opt, or supplied by the installed
 // factory) bypass the cache in both directions: a hit could not replay the
 // event stream, and storing the result would be redundant with the
-// untraced entry's key (Fingerprint excludes the probe).
+// untraced entry's key (Fingerprint excludes the probe). Such runs are
+// reported in the Bypassed counter — never as misses.
 func Run(cfg sim.Config, assignments []sim.Assignment, opt sim.RunOptions) (*sim.RunResult, error) {
 	if p := runProbe(opt, runLabel(cfg, assignments)); p != nil {
+		defaultCache.Bypass()
 		opt.Probe = p
 		sys, err := sim.New(cfg)
 		if err != nil {
@@ -154,8 +156,8 @@ func ResetDefault() { defaultCache.Reset() }
 // FormatStats renders a stats snapshot as the one-line summary the cmds
 // print under -v.
 func FormatStats(name string, s Stats) string {
-	return fmt.Sprintf("%s: hits=%d disk_hits=%d misses=%d coalesced=%d evictions=%d entries=%d",
-		name, s.Hits, s.DiskHits, s.Misses, s.Coalesced, s.Evictions, s.Entries)
+	return fmt.Sprintf("%s: hits=%d disk_hits=%d misses=%d coalesced=%d bypassed=%d evictions=%d entries=%d",
+		name, s.Hits, s.DiskHits, s.Misses, s.Coalesced, s.Bypassed, s.Evictions, s.Entries)
 }
 
 // Key builds a content-addressed cache key from arbitrary JSON-encodable

@@ -32,8 +32,9 @@ import (
 )
 
 // Stats is a point-in-time snapshot of a cache's counters. Semantics,
-// pinned by tests: every Get increments exactly one of Hits, DiskHits,
-// Coalesced, or Misses.
+// pinned by tests: every lookup increments exactly one of Hits, DiskHits,
+// Coalesced, or Misses (per Get), or Bypassed (per Bypass — a lookup the
+// caller deliberately routed around the cache, e.g. a traced run).
 type Stats struct {
 	// Hits counts Gets served from the in-memory LRU.
 	Hits int64 `json:"hits"`
@@ -45,6 +46,10 @@ type Stats struct {
 	// Coalesced counts Gets that blocked on another caller's in-flight
 	// computation of the same key instead of starting their own.
 	Coalesced int64 `json:"coalesced"`
+	// Bypassed counts lookups that skipped the cache in both directions
+	// by design (reported via Bypass); they are not misses — the cache
+	// was never consulted and the result was never stored.
+	Bypassed int64 `json:"bypassed"`
 	// Evictions counts entries dropped from the LRU to respect Capacity.
 	Evictions int64 `json:"evictions"`
 	// Entries is the current in-memory entry count.
@@ -169,6 +174,17 @@ func (c *Cache[V]) Peek(key string) bool {
 	defer c.mu.Unlock()
 	_, ok := c.entries[key]
 	return ok
+}
+
+// Bypass records one lookup that deliberately skipped the cache in both
+// directions. Callers that route around Get by design (internal/simcache.Run
+// does for probe-observed runs: a hit could not replay the event stream)
+// report here so the counters still account for every lookup — bypassed
+// work must not masquerade as misses.
+func (c *Cache[V]) Bypass() {
+	c.mu.Lock()
+	c.stats.Bypassed++
+	c.mu.Unlock()
 }
 
 // Stats returns a snapshot of the counters.

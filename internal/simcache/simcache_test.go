@@ -30,8 +30,9 @@ func wantStats(t *testing.T, c *Cache[int], want Stats) {
 	}
 }
 
-// TestCounterSemantics pins the contract: every Get increments exactly one
-// of Hits, DiskHits, Coalesced, or Misses.
+// TestCounterSemantics pins the contract: every lookup increments exactly
+// one counter — Hits, DiskHits, Coalesced, or Misses per Get, and Bypassed
+// per Bypass (which must not touch any Get counter or store an entry).
 func TestCounterSemantics(t *testing.T) {
 	c := New[int](Options{Capacity: 8})
 	calls := 0
@@ -52,6 +53,14 @@ func TestCounterSemantics(t *testing.T) {
 
 	mustGet(t, c, "k2", compute)
 	wantStats(t, c, Stats{Hits: 1, Misses: 2, Entries: 2})
+
+	// A bypassed lookup is its own class: not a miss, no entry stored.
+	c.Bypass()
+	wantStats(t, c, Stats{Hits: 1, Misses: 2, Bypassed: 1, Entries: 2})
+
+	// Bypassing never perturbs subsequent Get semantics.
+	mustGet(t, c, "k1", compute)
+	wantStats(t, c, Stats{Hits: 2, Misses: 2, Bypassed: 1, Entries: 2})
 }
 
 func TestLRUEviction(t *testing.T) {

@@ -11,6 +11,8 @@ import (
 	"github.com/gables-model/gables/internal/units"
 )
 
+//lint:file-ignore evalboundary analytic substrate: sweeps perturb an injected model's parameters point by point; routing each point through eval would re-derive the model it was handed
+
 // Point is one sample of a one-dimensional sweep.
 type Point struct {
 	// X is the swept parameter's value.

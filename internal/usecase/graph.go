@@ -182,10 +182,22 @@ func AnalyzeRate(g *Graph, chip *soc.Chip, rate float64) (*RateAnalysis, error) 
 	return res, nil
 }
 
+// Constraint kinds for MaxRate's tie-break, in attribution priority order.
+const (
+	limitCompute = iota
+	limitLink
+	limitDRAM
+)
+
 // MaxRate returns the maximum sustainable item rate of the graph on the
 // chip and the component that limits it — the usecase-level analogue of
 // Gables' Pattainable. The limit is the minimum over blocks of
 // Peak/OpsPerItem and Bandwidth/BytesPerItem, and DRAM's Bpeak/TotalBytes.
+//
+// When two constraints bind at exactly the same rate, attribution is
+// deterministic and independent of demand iteration order: compute beats
+// link beats DRAM, and within a kind the lexicographically smaller block
+// name wins.
 func MaxRate(g *Graph, chip *soc.Chip) (float64, string, error) {
 	if err := g.Validate(); err != nil {
 		return 0, "", err
@@ -194,27 +206,38 @@ func MaxRate(g *Graph, chip *soc.Chip) (float64, string, error) {
 		return 0, "", err
 	}
 	best := math.Inf(1)
-	limiter := "DRAM"
+	bestKind := limitDRAM
+	bestBlock := ""
+	limiter := ""
+	// consider keeps the smaller rate; on an exact tie the lower kind,
+	// then the smaller block name, wins. Rates are finite and positive
+	// here (Validate rejects non-positive capacities and demands), so
+	// "neither smaller nor larger" means exactly equal.
+	consider := func(r float64, kind int, block, label string) {
+		switch {
+		case r > best:
+			return
+		case r < best:
+			// New minimum.
+		case kind > bestKind || (kind == bestKind && block >= bestBlock):
+			return // tie, but the incumbent wins the tie-break
+		}
+		best, bestKind, bestBlock, limiter = r, kind, block, label
+	}
 	for _, d := range g.Demands() {
 		blk, err := chip.Block(d.Block)
 		if err != nil {
 			return 0, "", err
 		}
 		if d.Ops > 0 {
-			if r := float64(blk.Peak) / float64(d.Ops); r < best {
-				best, limiter = r, d.Block+" compute"
-			}
+			consider(float64(blk.Peak)/float64(d.Ops), limitCompute, d.Block, d.Block+" compute")
 		}
 		if d.Bytes > 0 {
-			if r := float64(blk.Bandwidth) / float64(d.Bytes); r < best {
-				best, limiter = r, d.Block+" link"
-			}
+			consider(float64(blk.Bandwidth)/float64(d.Bytes), limitLink, d.Block, d.Block+" link")
 		}
 	}
 	if tb := g.TotalBytes(); tb > 0 {
-		if r := float64(chip.DRAMBandwidth) / float64(tb); r < best {
-			best, limiter = r, "DRAM"
-		}
+		consider(float64(chip.DRAMBandwidth)/float64(tb), limitDRAM, "", "DRAM")
 	}
 	if math.IsInf(best, 1) {
 		return 0, "", fmt.Errorf("usecase: %s: no binding constraint", g.Name)
@@ -229,15 +252,21 @@ func MaxRate(g *Graph, chip *soc.Chip) (float64, string, error) {
 // Chip.ToGables. Blocks with traffic but no ops cannot be represented in
 // the base model (their intensity would be zero); such pure-DMA demand is
 // folded in by assigning it one op so intensity stays finite but tiny.
+//
+// Demand is accumulated per IP index — several blocks may legally share
+// one index — and fractions are normalized against the fold-adjusted op
+// total, so they sum to 1 within core.FractionTolerance no matter how
+// many zero-op blocks the fold touched.
 func (g *Graph) ToGables(ipCount int, index map[string]int) (*core.Usecase, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	totalOps := float64(g.TotalOps())
-	if totalOps <= 0 {
+	if g.TotalOps() <= 0 {
 		return nil, fmt.Errorf("usecase: %s: graph has no computation to apportion", g.Name)
 	}
-	u := &core.Usecase{Name: g.Name, Work: make([]core.Work, ipCount), TotalOps: g.TotalOps()}
+	ops := make([]float64, ipCount)
+	bytes := make([]float64, ipCount)
+	adjustedTotal := 0.0
 	for _, d := range g.Demands() {
 		i, ok := index[d.Block]
 		if !ok {
@@ -246,26 +275,26 @@ func (g *Graph) ToGables(ipCount int, index map[string]int) (*core.Usecase, erro
 		if i < 0 || i >= ipCount {
 			return nil, fmt.Errorf("usecase: %s: block %q maps to IP %d outside [0,%d)", g.Name, d.Block, i, ipCount)
 		}
-		ops := float64(d.Ops)
-		if ops == 0 {
-			ops = 1 // pure-DMA stage: keep intensity finite
+		o := float64(d.Ops)
+		if o == 0 {
+			o = 1 // pure-DMA block: keep intensity finite
 		}
-		u.Work[i].Fraction = ops / totalOps
-		if d.Bytes > 0 {
-			u.Work[i].Intensity = units.Intensity(ops / float64(d.Bytes))
+		ops[i] += o
+		bytes[i] += float64(d.Bytes)
+		adjustedTotal += o
+	}
+	u := &core.Usecase{Name: g.Name, Work: make([]core.Work, ipCount), TotalOps: g.TotalOps()}
+	for i := range u.Work {
+		if ops[i] == 0 {
+			continue // IP not exercised by this graph
+		}
+		u.Work[i].Fraction = ops[i] / adjustedTotal
+		if bytes[i] > 0 {
+			u.Work[i].Intensity = units.Intensity(ops[i] / bytes[i])
 		} else {
 			// No DRAM traffic: model as extremely high reuse.
 			u.Work[i].Intensity = units.Intensity(math.Inf(1))
 		}
-	}
-	// Renormalize: the pure-DMA adjustment can leave the sum slightly
-	// off 1.
-	sum := 0.0
-	for _, w := range u.Work {
-		sum += w.Fraction
-	}
-	for i := range u.Work {
-		u.Work[i].Fraction /= sum
 	}
 	return u, nil
 }

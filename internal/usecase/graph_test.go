@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"github.com/gables-model/gables/internal/core"
 	"github.com/gables-model/gables/internal/soc"
 	"github.com/gables-model/gables/internal/units"
 )
@@ -301,5 +302,143 @@ func TestResolutionHelpers(t *testing.T) {
 	}
 	if UHD4K.String() != "3840x2160" {
 		t.Errorf("String = %q", UHD4K.String())
+	}
+}
+
+// TestMaxRateTieBreak pins the deterministic limiter attribution when two
+// constraints bind at exactly the same rate: compute beats link beats DRAM,
+// then the lexicographically smaller block name wins — never demand
+// iteration order.
+func TestMaxRateTieBreak(t *testing.T) {
+	chip := &soc.Chip{
+		Name:          "tie-chip",
+		DRAMBandwidth: 1e12,
+		Blocks: []soc.Block{
+			{Name: "A", Peak: 100, Bandwidth: 1e12},
+			{Name: "B", Peak: 100, Bandwidth: 1e12},
+		},
+	}
+
+	// Both blocks compute-bound at exactly 100/10 = 10 items/s. "B" is
+	// first in demand order; "A" must still win the name tie-break.
+	g := &Graph{Name: "tie", Stages: []Stage{
+		{Name: "s1", Block: "B", Ops: 10},
+		{Name: "s2", Block: "A", Ops: 10},
+	}}
+	rate, limiter, err := MaxRate(g, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 10 {
+		t.Errorf("rate = %v, want exactly 10", rate)
+	}
+	if limiter != "A compute" {
+		t.Errorf("limiter = %q, want %q (name tie-break)", limiter, "A compute")
+	}
+
+	// Compute and link of the same block tie at 10: compute wins.
+	chip2 := &soc.Chip{
+		Name:          "tie-chip2",
+		DRAMBandwidth: 1e12,
+		Blocks:        []soc.Block{{Name: "A", Peak: 100, Bandwidth: 50}},
+	}
+	g2 := &Graph{Name: "tie2", Stages: []Stage{
+		{Name: "s", Block: "A", Ops: 10, BytesIn: 5},
+	}}
+	_, limiter, err = MaxRate(g2, chip2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limiter != "A compute" {
+		t.Errorf("limiter = %q, want %q (compute before link)", limiter, "A compute")
+	}
+
+	// Link and DRAM tie at 10: the block link wins over DRAM.
+	chip3 := &soc.Chip{
+		Name:          "tie-chip3",
+		DRAMBandwidth: 50,
+		Blocks:        []soc.Block{{Name: "A", Peak: 1e12, Bandwidth: 50}},
+	}
+	g3 := &Graph{Name: "tie3", Stages: []Stage{
+		{Name: "s", Block: "A", Ops: 1, BytesIn: 5},
+	}}
+	_, limiter, err = MaxRate(g3, chip3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limiter != "A link" {
+		t.Errorf("limiter = %q, want %q (link before DRAM)", limiter, "A link")
+	}
+}
+
+// TestToGablesPureDMAFold is the regression test for the pure-DMA fold:
+// a graph with several zero-op blocks must still produce fractions that
+// sum to 1 within core.FractionTolerance and round-trip through the
+// analytic model.
+func TestToGablesPureDMAFold(t *testing.T) {
+	g := &Graph{Name: "dma-heavy", Stages: []Stage{
+		{Name: "compute", Block: "C", Ops: 1000, BytesIn: 100, BytesOut: 100},
+		{Name: "dma1", Block: "D1", BytesIn: 64},
+		{Name: "dma2", Block: "D2", BytesOut: 128},
+		{Name: "dma3", Block: "D3", BytesIn: 256},
+		{Name: "dma4", Block: "D4", BytesOut: 512},
+	}}
+	index := map[string]int{"C": 0, "D1": 1, "D2": 2, "D3": 3, "D4": 4}
+	u, err := g.ToGables(5, index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, w := range u.Work {
+		sum += w.Fraction
+	}
+	if math.Abs(sum-1) > core.FractionTolerance {
+		t.Fatalf("fractions sum to %v, off by %v (> tolerance %v)", sum, math.Abs(sum-1), core.FractionTolerance)
+	}
+
+	// Round-trip: the derived usecase must be evaluable on a matching SoC.
+	s := &core.SoC{
+		Name:            "dma-soc",
+		Peak:            units.GopsPerSec(10),
+		MemoryBandwidth: units.GBPerSec(30),
+		IPs: []core.IP{
+			{Name: "C", Acceleration: 1, Bandwidth: units.GBPerSec(15)},
+			{Name: "D1", Acceleration: 0.1, Bandwidth: units.GBPerSec(5)},
+			{Name: "D2", Acceleration: 0.1, Bandwidth: units.GBPerSec(5)},
+			{Name: "D3", Acceleration: 0.1, Bandwidth: units.GBPerSec(5)},
+			{Name: "D4", Acceleration: 0.1, Bandwidth: units.GBPerSec(5)},
+		},
+	}
+	m, err := core.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Evaluate(u)
+	if err != nil {
+		t.Fatalf("round-trip through core.Model.Evaluate failed: %v", err)
+	}
+	if res.Attainable <= 0 {
+		t.Errorf("attainable = %v, want positive", float64(res.Attainable))
+	}
+}
+
+// TestToGablesAggregatesSharedIndex pins per-IP accumulation: when two
+// blocks map to the same IP index, their demand must aggregate (the old
+// code overwrote, keeping only the last block's share and intensity).
+func TestToGablesAggregatesSharedIndex(t *testing.T) {
+	g := &Graph{Name: "shared", Stages: []Stage{
+		{Name: "x", Block: "X", Ops: 30, BytesIn: 10},
+		{Name: "y", Block: "Y", Ops: 10, BytesIn: 10},
+	}}
+	u, err := g.ToGables(1, map[string]int{"X": 0, "Y": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Work[0].Fraction; math.Abs(got-1) > core.FractionTolerance {
+		t.Errorf("fraction = %v, want 1", got)
+	}
+	// Combined: 40 ops over 20 bytes = 2 ops/byte, not either block's own.
+	if got := float64(u.Work[0].Intensity); got != 2 {
+		t.Errorf("intensity = %v, want 2 (aggregated ops/bytes)", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/gables-model/gables/internal/eval"
 	"github.com/gables-model/gables/internal/parallel"
 	"github.com/gables-model/gables/internal/simcache"
 	"github.com/gables-model/gables/internal/soc"
@@ -107,10 +108,11 @@ func AnalyzeSuite(chip *soc.Chip, reqs []Requirement) (*SuiteReport, error) {
 
 // rateCache memoizes MaxRate across suite analyses: experiment suites and
 // design-space sweeps re-evaluate the same (graph, chip) pairs many times.
-// Keys are content-addressed over both structs (plain exported data, so
-// simcache.Key's canonical JSON covers every field); the "/v1" label is
-// the schema version — bump it when Graph, Stage, or the analysis
-// semantics change.
+// Keys derive through eval.Key, the evaluation layer's shared
+// content-addressing scheme (plain exported structs, so the canonical JSON
+// covers every field); the "/v2" label is the schema version — bumped for
+// the deterministic limiter tie-break — and must be bumped again whenever
+// Graph, Stage, or the analysis semantics change.
 var rateCache = simcache.New[rated](simcache.Options{Capacity: 1024})
 
 type rated struct {
@@ -119,7 +121,7 @@ type rated struct {
 }
 
 func maxRateCached(g *Graph, chip *soc.Chip) (float64, string, error) {
-	key, err := simcache.Key("usecase-maxrate/v1", g, chip)
+	key, err := eval.Key("usecase-maxrate/v2", g, chip)
 	if err != nil {
 		// Unkeyable inputs (non-finite floats) bypass the cache.
 		rate, limiter, err := MaxRate(g, chip)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"github.com/gables-model/gables/internal/eval"
 	"github.com/gables-model/gables/internal/sim/trace"
 	"github.com/gables-model/gables/internal/simcache"
 )
@@ -17,12 +18,13 @@ import (
 // never cached.
 //
 // The "/v1" in the key scopes are the page schema versions: bump one
-// whenever its Params struct or rendering changes meaning.
+// whenever its Params struct or rendering changes meaning. Keys derive
+// through eval.Key, the evaluation layer's shared key scheme.
 var evalCache = simcache.New[*Evaluation](simcache.Options{Capacity: 512})
 
 // EvaluateCached is Evaluate through the page cache.
 func EvaluateCached(p Params) (*Evaluation, error) {
-	key, err := simcache.Key("web-eval2/v1", p)
+	key, err := eval.Key("web-eval2/v1", p)
 	if err != nil {
 		return Evaluate(p) // unkeyable (non-finite) params bypass the cache
 	}
@@ -35,7 +37,7 @@ func EvaluateCached(p Params) (*Evaluation, error) {
 
 // EvaluateThreeCached is EvaluateThree through the page cache.
 func EvaluateThreeCached(p ThreeParams) (*Evaluation, error) {
-	key, err := simcache.Key("web-eval3/v1", p)
+	key, err := eval.Key("web-eval3/v1", p)
 	if err != nil {
 		return EvaluateThree(p)
 	}
@@ -67,8 +69,9 @@ func statsHandler(w http.ResponseWriter, r *http.Request) {
 	snapshot := struct {
 		Web   simcache.Stats    `json:"web_eval"`
 		Sim   simcache.Stats    `json:"sim_runs"`
+		Eval  simcache.Stats    `json:"eval_outcomes"`
 		Trace trace.GlobalStats `json:"trace"`
-	}{Web: evalCache.Stats(), Sim: simcache.DefaultStats(), Trace: trace.Stats()}
+	}{Web: evalCache.Stats(), Sim: simcache.DefaultStats(), Eval: eval.CacheStats(), Trace: trace.Stats()}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,160 @@
+package web
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/gables-model/gables/internal/eval"
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/sim"
+)
+
+// /eval exposes the unified evaluator as a JSON API: one SoC+work query,
+// answered by a registry-selected backend. Unlike the HTML pages — which
+// render the closed-form model over free-form hardware parameters — this
+// endpoint works on the simulated chip presets, so the same question can
+// be answered at either fidelity (?backend=analytic|sim|auto) and the
+// response records which backend produced the number.
+
+// evalResponse is the /eval payload.
+type evalResponse struct {
+	// Chip and Backend echo the resolved query.
+	Chip    string `json:"chip"`
+	Backend string `json:"backend"`
+	// Fingerprint is the canonical query identity (eval.Fingerprint).
+	Fingerprint string `json:"fingerprint"`
+	// Outcome is the evaluator's answer.
+	Outcome *eval.Outcome `json:"outcome"`
+}
+
+// evalChip resolves a preset name; the default is the calibrated 835.
+func evalChip(name string) (sim.Config, error) {
+	switch name {
+	case "", "snapdragon835":
+		return sim.Snapdragon835(), nil
+	case "snapdragon821":
+		return sim.Snapdragon821(), nil
+	case "snapdragon835x":
+		return sim.Snapdragon835Extended(), nil
+	}
+	return sim.Config{}, fmt.Errorf("unknown chip %q (have snapdragon835, snapdragon821, snapdragon835x)", name)
+}
+
+// evalHandler answers GET /eval.
+func evalHandler(w http.ResponseWriter, r *http.Request) {
+	q, err := parseEvalQuery(r)
+	if err != nil {
+		evalError(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.URL.Query().Get("backend")
+	var ev eval.Evaluator
+	if name == "" {
+		ev = eval.Default()
+	} else if ev, err = eval.Resolve(name); err != nil {
+		evalError(w, http.StatusBadRequest, err)
+		return
+	}
+	o, err := ev.Evaluate(r.Context(), q)
+	if err != nil {
+		evalError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	fp, err := eval.Fingerprint(q)
+	if err != nil {
+		evalError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(evalResponse{
+		Chip: q.Chip.Name, Backend: o.Backend, Fingerprint: fp, Outcome: o,
+	}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// parseEvalQuery builds the eval.Query from the request: a CPU/GPU(/DSP)
+// work split on a preset chip, mirroring the §IV-C harness shape.
+func parseEvalQuery(r *http.Request) (eval.Query, error) {
+	form := r.URL.Query()
+	cfg, err := evalChip(form.Get("chip"))
+	if err != nil {
+		return eval.Query{}, err
+	}
+
+	parseF := func(name string, def float64) (float64, error) {
+		v := form.Get(name)
+		if v == "" {
+			return def, nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s=%q is not a number", name, v)
+		}
+		return f, nil
+	}
+	parseI := func(name string, def int) (int, error) {
+		v := form.Get(name)
+		if v == "" {
+			return def, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("%s=%q is not an integer", name, v)
+		}
+		return n, nil
+	}
+
+	fGPU, err := parseF("f", 0.5) // GPU work fraction, the Figure 6 x-axis
+	if err != nil {
+		return eval.Query{}, err
+	}
+	fDSP, err := parseF("dsp", 0)
+	if err != nil {
+		return eval.Query{}, err
+	}
+	fpw, err := parseI("fpw", 32)
+	if err != nil {
+		return eval.Query{}, err
+	}
+	words, err := parseI("words", 4<<20)
+	if err != nil {
+		return eval.Query{}, err
+	}
+	trials, err := parseI("trials", eval.DefaultTrials)
+	if err != nil {
+		return eval.Query{}, err
+	}
+	if fGPU < 0 || fDSP < 0 || fGPU+fDSP > 1 {
+		return eval.Query{}, fmt.Errorf("fractions f=%v dsp=%v must be non-negative and sum to at most 1", fGPU, fDSP)
+	}
+
+	shares := []eval.Share{{IP: "GPU", Fraction: fGPU}}
+	if fDSP > 0 {
+		shares = append(shares, eval.Share{IP: "DSP", Fraction: fDSP})
+	}
+	// The CPU is last: it absorbs the integer remainder, like the
+	// harnesses' historical arithmetic.
+	shares = append(shares, eval.Share{IP: "CPU", Fraction: 1 - fGPU - fDSP})
+	work, err := eval.SplitWork(cfg, words, fpw, kernel.ReadWrite, shares)
+	if err != nil {
+		return eval.Query{}, err
+	}
+	return eval.Query{
+		Chip:       cfg,
+		Work:       work,
+		Trials:     trials,
+		Serialized: form.Get("serialized") == "1",
+	}, nil
+}
+
+// evalError reports an /eval failure as JSON.
+func evalError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,116 @@
+package web
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func getEval(t *testing.T, srv *httptest.Server, query string) (*evalResponse, int) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/eval" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var out evalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp.StatusCode
+}
+
+func TestEvalEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	// Default query answers with the process-default backend.
+	def, status := getEval(t, srv, "")
+	if status != http.StatusOK {
+		t.Fatalf("default query status = %d", status)
+	}
+	if def.Backend == "" || def.Fingerprint == "" || def.Outcome == nil {
+		t.Fatalf("incomplete response %+v", def)
+	}
+	if def.Outcome.Attainable <= 0 {
+		t.Errorf("attainable = %v, want positive", def.Outcome.Attainable)
+	}
+	if def.Chip != "snapdragon-835-sim" {
+		t.Errorf("chip = %q", def.Chip)
+	}
+
+	// Both explicit backends answer the same fingerprint and agree within
+	// the differential oracle's per-fixture band.
+	an, status := getEval(t, srv, "?backend=analytic&f=0.5&fpw=512")
+	if status != http.StatusOK {
+		t.Fatalf("analytic status = %d", status)
+	}
+	sm, status := getEval(t, srv, "?backend=sim&f=0.5&fpw=512")
+	if status != http.StatusOK {
+		t.Fatalf("sim status = %d", status)
+	}
+	if an.Fingerprint != sm.Fingerprint {
+		t.Error("backends answered different fingerprints for the same query")
+	}
+	if an.Backend != "analytic" || sm.Backend != "sim" {
+		t.Errorf("backends = %q/%q", an.Backend, sm.Backend)
+	}
+	rel := math.Abs(sm.Outcome.Attainable-an.Outcome.Attainable) / sm.Outcome.Attainable
+	if rel > 0.30 {
+		t.Errorf("backends disagree by %.1f%% on the web-path query", 100*rel)
+	}
+
+	// The three-IP web-path shape (DSP active) keeps bottleneck identity
+	// across backends (the corpus asserts this wholesale; this pins the
+	// HTTP path).
+	an3, status := getEval(t, srv, "?backend=analytic&f=0.375&dsp=0.125&fpw=512&words=16777216")
+	if status != http.StatusOK {
+		t.Fatalf("three-IP analytic status = %d", status)
+	}
+	sm3, status := getEval(t, srv, "?backend=sim&f=0.375&dsp=0.125&fpw=512&words=16777216")
+	if status != http.StatusOK {
+		t.Fatalf("three-IP sim status = %d", status)
+	}
+	if len(an3.Outcome.IPs) != 3 || len(sm3.Outcome.IPs) != 3 {
+		t.Fatalf("three-IP query activated %d/%d IPs, want 3", len(an3.Outcome.IPs), len(sm3.Outcome.IPs))
+	}
+	if an3.Outcome.Bottleneck != sm3.Outcome.Bottleneck && an3.Outcome.TieRatio < 0.9 {
+		t.Errorf("three-IP bottleneck identity disagrees: analytic %v (tie %.2f) vs sim %v",
+			an3.Outcome.Bottleneck, an3.Outcome.TieRatio, sm3.Outcome.Bottleneck)
+	}
+
+	// Serialized form works through the endpoint.
+	ser, status := getEval(t, srv, "?serialized=1&backend=sim")
+	if status != http.StatusOK {
+		t.Fatalf("serialized status = %d", status)
+	}
+	if ser.Fingerprint == sm.Fingerprint {
+		t.Error("serialized query must fingerprint differently")
+	}
+}
+
+func TestEvalEndpointErrors(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		query string
+		want  int
+	}{
+		{"?backend=nope", http.StatusBadRequest},
+		{"?chip=nope", http.StatusBadRequest},
+		{"?f=1.5", http.StatusBadRequest},
+		{"?f=0.5&dsp=0.75", http.StatusBadRequest},
+		{"?fpw=x", http.StatusBadRequest},
+		{"?words=-4", http.StatusBadRequest},
+	} {
+		if _, status := getEval(t, srv, tc.query); status != tc.want {
+			t.Errorf("GET /eval%s status = %d, want %d", tc.query, status, tc.want)
+		}
+	}
+}

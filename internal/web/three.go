@@ -87,6 +87,7 @@ func EvaluateThree(p ThreeParams) (*Evaluation, error) {
 			{Fraction: p.F2, Intensity: units.Intensity(p.I2)},
 		},
 	}
+	//lint:ignore evalboundary the interactive form renders the user's ad-hoc model verbatim (memoized upstream via eval.Key); /eval is the registry-backed endpoint
 	res, err := m.Evaluate(u)
 	if err != nil {
 		return nil, err
