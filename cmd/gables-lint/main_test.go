@@ -2,12 +2,12 @@ package main
 
 import (
 	"bytes"
-	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"github.com/gables-model/gables/internal/analysis"
 	"github.com/gables-model/gables/internal/analysis/suite"
 )
 
@@ -29,6 +29,15 @@ func writeModule(t *testing.T, files map[string]string) string {
 	return dir
 }
 
+func lintAll(t *testing.T, dir string, opt Options) []analysis.Finding {
+	t.Helper()
+	findings, err := Lint(dir, []string{"./..."}, suite.All, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
 func TestLintReportsSeededViolation(t *testing.T) {
 	dir := writeModule(t, map[string]string{
 		"go.mod": "module example.com/seeded\n\ngo 1.22\n",
@@ -40,17 +49,13 @@ func Match(frac float64) bool {
 }
 `,
 	})
-	var buf bytes.Buffer
-	n, err := Lint(dir, []string{"./..."}, suite.All, true, &buf)
-	if err != nil {
-		t.Fatal(err)
+	findings := lintAll(t, dir, Options{Tests: true})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %v", len(findings), findings)
 	}
-	if n != 1 {
-		t.Fatalf("findings = %d, want 1; output:\n%s", n, buf.String())
-	}
-	out := buf.String()
-	if !strings.Contains(out, "seeded.go:5:") || !strings.Contains(out, "floatcmp") {
-		t.Errorf("finding not attributed to seeded.go:5 / floatcmp:\n%s", out)
+	f := findings[0]
+	if f.File != "seeded.go" || f.Line != 5 || f.Analyzer != "floatcmp" || f.Severity != "error" {
+		t.Errorf("finding not attributed to seeded.go:5 / floatcmp / error: %+v", f)
 	}
 }
 
@@ -65,13 +70,8 @@ func Match(frac float64) bool {
 }
 `,
 	})
-	var buf bytes.Buffer
-	n, err := Lint(dir, []string{"./..."}, suite.All, true, &buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n != 0 {
-		t.Fatalf("findings = %d, want 0 (suppressed); output:\n%s", n, buf.String())
+	if findings := lintAll(t, dir, Options{Tests: true}); len(findings) != 0 {
+		t.Fatalf("findings = %d, want 0 (suppressed): %v", len(findings), findings)
 	}
 }
 
@@ -86,13 +86,12 @@ func Fine(a, b int) bool {
 }
 `,
 	})
-	var buf bytes.Buffer
-	n, err := Lint(dir, []string{"./..."}, suite.All, true, &buf)
-	if err != nil {
-		t.Fatal(err)
+	findings := lintAll(t, dir, Options{Tests: true})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "unused //lint: directive") {
+		t.Fatalf("findings = %v, want 1 stale-directive report", findings)
 	}
-	if n != 1 || !strings.Contains(buf.String(), "unused //lint: directive") {
-		t.Fatalf("findings = %d, want 1 stale-directive report; output:\n%s", n, buf.String())
+	if findings[0].Severity != "warning" {
+		t.Errorf("stale-directive severity = %q, want warning", findings[0].Severity)
 	}
 }
 
@@ -111,29 +110,25 @@ func Fine(a, b int) bool {
 	if !ok {
 		t.Fatal("maporder analyzer missing from suite")
 	}
-	var buf bytes.Buffer
-	n, err := Lint(dir, []string{"./..."}, only, true, &buf)
+	findings, err := Lint(dir, []string{"./..."}, only, Options{Tests: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 0 {
-		t.Fatalf("filtered run reported %d finding(s); a partial run cannot judge staleness:\n%s", n, buf.String())
+	if len(findings) != 0 {
+		t.Fatalf("filtered run reported %d finding(s); a partial run cannot judge staleness:\n%v", len(findings), findings)
 	}
 }
 
 // TestLintRepositoryClean is the in-process twin of CI's blocking
-// `go run ./cmd/gables-lint ./...` step: the tree must lint clean.
+// `go run ./cmd/gables-lint ./...` step: the tree must lint clean under
+// the full suite, including the stale-directive meta-check.
 func TestLintRepositoryClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-repository lint is not a short test")
 	}
-	var buf bytes.Buffer
-	n, err := Lint(filepath.Join("..", ".."), []string{"./..."}, suite.All, true, &buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n != 0 {
-		t.Errorf("repository has %d lint finding(s); fix them or add //lint:ignore with a reason:\n%s", n, buf.String())
+	findings := lintAll(t, filepath.Join("..", ".."), Options{Tests: true})
+	for _, f := range findings {
+		t.Errorf("repository lint finding (fix it or add //lint:ignore with a reason): %s", f)
 	}
 }
 
@@ -153,19 +148,117 @@ func dump(m map[string]int) {
 }
 `,
 	})
-	n, err := Lint(dir, []string{"./..."}, suite.All, false, io.Discard)
-	if err != nil {
-		t.Fatal(err)
+	if findings := lintAll(t, dir, Options{Tests: false}); len(findings) != 0 {
+		t.Fatalf("tests=false still analyzed _test.go files: %v", findings)
 	}
-	if n != 0 {
-		t.Fatalf("tests=false still analyzed _test.go files: %d finding(s)", n)
+	findings := lintAll(t, dir, Options{Tests: true})
+	if len(findings) != 1 || findings[0].Analyzer != "maporder" {
+		t.Fatalf("tests=true run = %v, want the 1 maporder hit", findings)
+	}
+}
+
+// TestLintTestOnlyPackage covers the suite-runner edge case of a package
+// directory holding nothing but test files: it must be analyzed when
+// tests are on, skipped cleanly (no error, no findings) when off.
+func TestLintTestOnlyPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/onlytests\n\ngo 1.22\n",
+		"probe/probe_test.go": `package probe
+
+import "fmt"
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`,
+	})
+	if findings := lintAll(t, dir, Options{Tests: false}); len(findings) != 0 {
+		t.Fatalf("tests=false found %v in a test-only package", findings)
+	}
+	findings := lintAll(t, dir, Options{Tests: true})
+	if len(findings) != 1 || findings[0].Analyzer != "maporder" || findings[0].File != "probe/probe_test.go" {
+		t.Fatalf("test-only package findings = %v, want 1 maporder hit in probe/probe_test.go", findings)
+	}
+}
+
+// TestLintZeroFindingsEverywhere covers the all-clean path: every
+// analyzer runs and returns nothing, and the (nil) finding list still
+// serializes as an empty JSON array.
+func TestLintZeroFindingsEverywhere(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":   "module example.com/clean\n\ngo 1.22\n",
+		"clean.go": "package clean\n\n// Nothing reports anything here.\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	findings := lintAll(t, dir, Options{Tests: true})
+	if len(findings) != 0 {
+		t.Fatalf("clean module produced findings: %v", findings)
 	}
 	var buf bytes.Buffer
-	n, err = Lint(dir, []string{"./..."}, suite.All, true, &buf)
+	if err := analysis.WriteJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("zero findings serialized as %q, want []", buf.String())
+	}
+}
+
+// TestLintOverlappingSuppressionsOneLine pins the resolution order when
+// two directives cover the same diagnostic line: the first in source
+// order (the line-above form) claims the diagnostic, and the trailing
+// same-line directive is reported stale rather than silently double
+// counted.
+func TestLintOverlappingSuppressionsOneLine(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/overlap\n\ngo 1.22\n",
+		"o.go": `package overlap
+
+func Match(frac float64) bool {
+	//lint:ignore floatcmp first form: claims the diagnostic below
+	return frac == 0.8 //lint:ignore floatcmp second form on the same line: never consulted
+}
+`,
+	})
+	findings := lintAll(t, dir, Options{Tests: true})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the stale second directive", findings)
+	}
+	f := findings[0]
+	if !strings.Contains(f.Message, "unused //lint: directive") || f.Line != 5 {
+		t.Errorf("overlapping suppression resolution changed: %+v", f)
+	}
+}
+
+// TestLintFixDeletesStaleDirective exercises the -fix pipeline
+// end-to-end: the stale directive is deleted in place, the finding is
+// marked Fixed, and a rerun comes back clean.
+func TestLintFixDeletesStaleDirective(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/fixme\n\ngo 1.22\n",
+		"fixme.go": `package fixme
+
+func Fine(a, b int) bool {
+	//lint:ignore floatcmp stale: ints never trip floatcmp
+	return a == b
+}
+`,
+	})
+	findings := lintAll(t, dir, Options{Tests: true, Fix: true})
+	if len(findings) != 1 || !findings[0].Fixed {
+		t.Fatalf("fix run findings = %v, want 1 finding marked fixed", findings)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "fixme.go"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 1 || !strings.Contains(buf.String(), "maporder") {
-		t.Fatalf("tests=true run = %d finding(s), want the 1 maporder hit:\n%s", n, buf.String())
+	if strings.Contains(string(src), "lint:ignore") {
+		t.Errorf("stale directive survived -fix:\n%s", src)
+	}
+	if strings.Contains(string(src), "\n\n\treturn") {
+		t.Errorf("-fix left a blank-line residue:\n%s", src)
+	}
+	if rerun := lintAll(t, dir, Options{Tests: true}); len(rerun) != 0 {
+		t.Errorf("tree not clean after -fix: %v", rerun)
 	}
 }

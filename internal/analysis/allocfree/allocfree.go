@@ -1,0 +1,181 @@
+// Package allocfree statically enforces the repository's zero-allocation
+// hot-path contracts. PR 3 rewrote the discrete-event core allocation-lean
+// and PR 5 pinned the probe emission layer at zero allocations — but the
+// guarantees live in sampled benchmarks (allocs/op) and a handful of
+// AllocsPerRun tests, which only catch a regression on the inputs they
+// happen to run. This analyzer turns the contract into a static property:
+// a function whose doc comment carries
+//
+//	//gables:allocfree
+//
+// promises that it, and every same-package function reachable from it,
+// performs no per-call heap allocation at steady state. Inside that call
+// graph the analyzer flags the four allocation idioms that have actually
+// regressed these paths:
+//
+//   - function literals (closures capture and escape — the pre-PR 3 mem
+//     transfer path allocated one closure per hop);
+//   - fmt calls (variadic ...any boxes every argument);
+//   - string <-> []byte conversions (each copies);
+//   - append (growing the backing array allocates; steady-state appends
+//     into retained, pre-grown buffers are legitimate and carry a
+//     reasoned //lint:ignore allocfree explaining why capacity is stable).
+//
+// The analyzer is deliberately conservative: it cannot prove escape or
+// capacity, so a flagged site is "justify or restructure", not "this
+// allocates". The escape hatch is the ordinary reasoned directive.
+package allocfree
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/gables-model/gables/internal/analysis"
+)
+
+// Directive marks a function whose call graph must stay allocation-free.
+const Directive = "//gables:allocfree"
+
+// Analyzer is the allocfree rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "flags closures, fmt boxing, string<->[]byte conversions, and growing appends " +
+		"inside //gables:allocfree call graphs — the static form of the zero-alloc benchmarks",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+			if hasDirective(fd.Doc) {
+				roots = append(roots, fd)
+			}
+		}
+	}
+
+	visited := map[*ast.FuncDecl]bool{}
+	for _, root := range roots {
+		checkGraph(pass, root, root, decls, visited)
+	}
+	return nil
+}
+
+// checkGraph checks fd's body and recurses into same-package callees.
+// Each function is checked once even when reachable from several roots.
+func checkGraph(pass *analysis.Pass, root, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl, visited map[*ast.FuncDecl]bool) {
+	if visited[fd] || fd.Body == nil {
+		return
+	}
+	visited[fd] = true
+	where := ""
+	if fd != root {
+		where = " (on the allocation-free path of " + root.Name.Name + ")"
+	}
+	// Not InspectShallow: that helper hides FuncLit nodes entirely,
+	// whereas here the literal itself is the finding (and its body is not
+	// descended into — the closure allocation is the diagnostic, whatever
+	// it goes on to do).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(),
+				"function literal in //gables:allocfree code%s: closures capture and escape — restructure with retained state or explicit arguments", where)
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, x, where, root, decls, visited)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, where string, root *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl, visited map[*ast.FuncDecl]bool) {
+	// Conversions: string(b) / []byte(s) copy.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := pass.TypeOf(call.Fun), pass.TypeOf(call.Args[0])
+		if isStringBytesPair(to, from) {
+			pass.Reportf(call.Pos(),
+				"%s conversion in //gables:allocfree code%s copies its operand: keep the hot path on one representation",
+				types.ExprString(call.Fun), where)
+		}
+		return
+	}
+	name, pkg, ok := analysis.CalleeName(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	if pkg == "fmt" {
+		pass.Reportf(call.Pos(),
+			"fmt.%s in //gables:allocfree code%s boxes its arguments into interfaces: build the message off the hot path or use a retained buffer", name, where)
+		return
+	}
+	if name == "append" && pkg == "" {
+		pass.Reportf(call.Pos(),
+			"append in //gables:allocfree code%s allocates when it grows the backing array: pre-size or pool the buffer, "+
+				"or justify stable capacity with //lint:ignore allocfree <why>", where)
+		return
+	}
+	// Descend into same-package callees: the annotation covers the whole
+	// reachable graph, not just the annotated body.
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	}
+	if id == nil {
+		return
+	}
+	if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+		if next, ok := decls[fn]; ok {
+			checkGraph(pass, root, next, decls, visited)
+		}
+	}
+}
+
+// isStringBytesPair reports whether (to, from) is a string<->[]byte
+// conversion in either direction.
+func isStringBytesPair(to, from types.Type) bool {
+	return (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func hasDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, cm := range cg.List {
+		if cm.Text == Directive {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/analysis/allocfree"
+	"github.com/gables-model/gables/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "af")
+}

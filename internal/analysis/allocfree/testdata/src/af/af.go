@@ -1,0 +1,63 @@
+// Package af exercises the allocfree analyzer: each allocation idiom in
+// annotated code, call-graph descent into helpers, the clean hot path,
+// unannotated code staying out of scope, and the suppressed case.
+package af
+
+import "fmt"
+
+type ring struct {
+	buf  []float64
+	head int
+}
+
+// Push is a clean annotated hot path: index writes into retained storage,
+// no allocation idiom in sight.
+//
+//gables:allocfree
+func Push(r *ring, v float64) {
+	r.buf[r.head] = v
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+}
+
+// Emit trips every rule in its own body.
+//
+//gables:allocfree
+func Emit(r *ring, label string, vs []float64) string {
+	cb := func() float64 { return r.buf[r.head] } // want `function literal in //gables:allocfree code`
+	_ = cb
+	msg := fmt.Sprintf("ring %s", label) // want `fmt\.Sprintf in //gables:allocfree code`
+	raw := []byte(label)                 // want `\[\]byte conversion in //gables:allocfree code`
+	back := string(raw)                  // want `string conversion in //gables:allocfree code`
+	r.buf = append(r.buf, vs...)         // want `append in //gables:allocfree code`
+	return msg + back
+}
+
+// Observe delegates to a helper; the violation is reported inside the
+// helper, attributed to this root.
+//
+//gables:allocfree
+func Observe(r *ring, v float64) {
+	note(r, v)
+}
+
+func note(r *ring, v float64) {
+	r.buf = append(r.buf, v) // want `append in //gables:allocfree code \(on the allocation-free path of Observe\)`
+}
+
+// Cold is unannotated: the same idioms are fine off the hot path.
+func Cold(label string, vs []float64) string {
+	out := append([]float64{}, vs...)
+	_ = out
+	return fmt.Sprintf("cold %s", label)
+}
+
+// Steady documents a justified steady-state append.
+//
+//gables:allocfree
+func Steady(r *ring, v float64) {
+	//lint:ignore allocfree fixture: capacity is pre-grown at construction and retained across calls
+	r.buf = append(r.buf, v)
+}

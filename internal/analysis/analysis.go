@@ -71,12 +71,56 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.TypesInfo.ObjectOf(id)
 }
 
+// Severity classifies how a finding gates the build. The zero value is
+// SeverityError, so analyzers that never think about severity stay
+// blocking — downgrading a rule is the deliberate act, not upgrading it.
+type Severity int
+
+const (
+	// SeverityError findings block CI.
+	SeverityError Severity = iota
+	// SeverityWarning findings are surfaced (text, JSON, SARIF) and still
+	// fail the lint run, but render as warnings in code-scanning UIs.
+	SeverityWarning
+)
+
+func (s Severity) String() string {
+	if s == SeverityWarning {
+		return "warning"
+	}
+	return "error"
+}
+
+// TextEdit is one replacement: the half-open source range [Pos, End) is
+// replaced by NewText. A deletion has empty NewText; an insertion has
+// Pos == End.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// SuggestedFix is a self-contained mechanical resolution for a diagnostic,
+// applied by `gables-lint -fix` (ApplyFixes). Fixes must be safe to apply
+// blindly: they may only encode resolutions that are correct whenever the
+// diagnostic itself is.
+type SuggestedFix struct {
+	// Message says what applying the fix does ("delete stale directive").
+	Message string
+	// TextEdits are the replacements, in any order; they must not overlap.
+	TextEdits []TextEdit
+}
+
 // Diagnostic is one finding: a position and a human-readable message.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
 	// Analyzer is filled in by the driver.
 	Analyzer string
+	// Severity defaults to SeverityError.
+	Severity Severity
+	// Fixes holds mechanical resolutions, if the analyzer has one.
+	Fixes []SuggestedFix
 }
 
 // Position resolves the diagnostic's file position against a fileset.

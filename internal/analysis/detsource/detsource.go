@@ -1,0 +1,237 @@
+// Package detsource forbids nondeterminism sources inside the packages
+// whose outputs are content-addressed or diffed byte-for-byte in CI: the
+// simulation substrate (internal/sim and subpackages), the evaluation
+// layer (internal/eval), the result cache (internal/simcache), the grid
+// harnesses (internal/erb), the usecase analyzer (internal/usecase), and
+// the kernel definitions (internal/kernel). A wall-clock read or a global
+// rand draw in any of them silently breaks the determinism contracts the
+// repository's caches and differential oracles depend on: fingerprints
+// stop identifying results, the GABLES_PARALLEL=1-vs-8 diff flakes, and
+// cold-vs-warm cache byte-identity fails only when the nondeterminism
+// happens to land in an artifact.
+//
+// Three rules, in non-test files of a deterministic package:
+//
+//  1. wall clock: calls to time.Now, time.Since, or time.Until;
+//  2. global rand: package-level math/rand (and math/rand/v2) draws —
+//     the process-global source is seeded nondeterministically. Explicit
+//     sources (rand.New(rand.NewSource(seed))) are fine: they are
+//     deterministic in the seed, which the caller owns;
+//  3. map-order into keys: ranging over a map while feeding a hash.Hash,
+//     a fingerprint function, or a cache-key builder inside the loop
+//     body. Go randomizes map iteration order, so the digest differs run
+//     to run; collect and sort the keys first.
+//
+// A package outside the built-in list opts in by carrying a
+// //gables:deterministic comment in any non-test file. The measurement
+// substrate (internal/kernel/native.go measures real wall-clock kernel
+// executions by design) and other deliberate exceptions are excused
+// file-wide with the ordinary reasoned form:
+//
+//	//lint:file-ignore detsource <why this file may read the clock>
+package detsource
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/gables-model/gables/internal/analysis"
+)
+
+// Analyzer is the detsource rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "detsource",
+	Doc: "forbids nondeterminism sources (wall clock, global math/rand, map-order-fed hashes) " +
+		"in the deterministic packages whose results are content-addressed or byte-diffed",
+	Run: run,
+}
+
+// roots are the module-relative package paths (subpackages included) the
+// determinism contracts cover. Kept in sync with DESIGN.md §10.
+var roots = []string{
+	"internal/sim",
+	"internal/eval",
+	"internal/simcache",
+	"internal/erb",
+	"internal/usecase",
+	"internal/kernel",
+}
+
+// DeterministicPath reports whether the import path falls under the
+// built-in deterministic package set.
+func DeterministicPath(path string) bool {
+	for _, r := range roots {
+		if path == r || strings.HasSuffix(path, "/"+r) {
+			return true
+		}
+		if strings.HasPrefix(path, r+"/") || strings.Contains(path, "/"+r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// forbiddenTime are the wall-clock reads: everything else in package time
+// (durations, formatting) is deterministic data manipulation.
+var forbiddenTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors build explicit sources and are allowed; every other
+// package-level math/rand function draws from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// keySinkName matches callees that derive fingerprints or cache keys.
+var keySinkName = regexp.MustCompile(`(?i)fingerprint|^Key$`)
+
+func run(pass *analysis.Pass) error {
+	if !DeterministicPath(pass.Pkg.Path()) && !optedIn(pass) {
+		return nil
+	}
+	hashIface := lookupHashInterface(pass.Pkg)
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, x)
+			case *ast.RangeStmt:
+				checkRange(pass, x, hashIface)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// optedIn reports whether any non-test file carries //gables:deterministic.
+func optedIn(pass *analysis.Pass) bool {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text == "//gables:deterministic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkCall flags wall-clock reads and global-source rand draws.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	name, pkg, ok := analysis.CalleeName(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	switch pkg {
+	case "time":
+		if forbiddenTime[name] && isPackageFunc(pass, call) {
+			pass.Reportf(call.Pos(),
+				"time.%s in a deterministic package: wall-clock reads make results irreproducible and poison content-addressed caches; "+
+					"thread simulated time (engine.Now) or move the measurement behind //lint:file-ignore detsource with a reason", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[name] && isPackageFunc(pass, call) {
+			pass.Reportf(call.Pos(),
+				"global math/rand.%s in a deterministic package: the process-global source is seeded nondeterministically; "+
+					"draw from an explicit rand.New(rand.NewSource(seed)) owned by the caller", name)
+		}
+	}
+}
+
+// isPackageFunc reports whether the call's callee is a package-level
+// function (methods on explicit sources like *rand.Rand are allowed).
+func isPackageFunc(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// checkRange flags map iteration whose body feeds a hash, fingerprint, or
+// cache-key sink: the digest then depends on randomized iteration order.
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, hashIface *types.Interface) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	sink := ""
+	analysis.InspectShallow(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return sink == ""
+		}
+		if name, _, named := analysis.CalleeName(pass.TypesInfo, call); named {
+			if keySinkName.MatchString(name) {
+				sink = name
+				return false
+			}
+			if hashIface != nil {
+				if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+					if rt := pass.TypeOf(sel.X); rt != nil && types.Implements(rt, hashIface) {
+						sink = "hash." + name
+						return false
+					}
+				}
+			}
+		}
+		return sink == ""
+	})
+	if sink != "" {
+		pass.Reportf(rs.For,
+			"ranging over map %s feeds %s: map iteration order is randomized, so the derived key/digest differs run to run — "+
+				"collect and sort the keys, then iterate the slice",
+			types.ExprString(rs.X), sink)
+	}
+}
+
+// lookupHashInterface finds hash.Hash through the package's transitive
+// imports, so the analyzer needs no compiled-in copy of the stdlib type.
+func lookupHashInterface(pkg *types.Package) *types.Interface {
+	seen := map[*types.Package]bool{}
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == "hash" {
+			if obj, ok := p.Scope().Lookup("Hash").(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+			return nil
+		}
+		for _, imp := range p.Imports() {
+			if iface := find(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}

@@ -1,0 +1,49 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"github.com/gables-model/gables/internal/analysis/analysistest"
+	"github.com/gables-model/gables/internal/analysis/detsource"
+)
+
+func TestDetsourceFindings(t *testing.T) {
+	analysistest.Run(t, "testdata", detsource.Analyzer, "detpos")
+}
+
+func TestDetsourceAllowedPatterns(t *testing.T) {
+	analysistest.Run(t, "testdata", detsource.Analyzer, "detneg")
+}
+
+func TestDetsourceOnlyCoversDeterministicPackages(t *testing.T) {
+	analysistest.Run(t, "testdata", detsource.Analyzer, "detoff")
+}
+
+func TestDeterministicPath(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"github.com/gables-model/gables/internal/sim", true},
+		{"github.com/gables-model/gables/internal/sim/engine", true},
+		{"github.com/gables-model/gables/internal/sim/trace", true},
+		{"github.com/gables-model/gables/internal/eval", true},
+		{"github.com/gables-model/gables/internal/simcache", true},
+		{"github.com/gables-model/gables/internal/erb", true},
+		{"github.com/gables-model/gables/internal/usecase", true},
+		{"github.com/gables-model/gables/internal/kernel", true},
+		{"internal/sim", true},
+		{"github.com/gables-model/gables/internal/web", false},
+		{"github.com/gables-model/gables/internal/plot", false},
+		{"github.com/gables-model/gables/cmd/gables-web", false},
+		// External test packages are separate compilation units and are
+		// exempt (tests may time things).
+		{"github.com/gables-model/gables/internal/eval_test", false},
+		{"example.com/other/internal/simulator", false},
+	}
+	for _, c := range cases {
+		if got := detsource.DeterministicPath(c.path); got != c.want {
+			t.Errorf("DeterministicPath(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package detneg holds the allowed patterns: explicit seeded sources,
+// the sorted-keys hashing idiom, deterministic time arithmetic, and map
+// iteration that never feeds a digest.
+//
+//gables:deterministic
+package detneg
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Seeded draws from an explicit source: deterministic in the seed.
+func Seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// Budget does duration arithmetic with no clock read.
+func Budget(per time.Duration, n int) time.Duration {
+	return per * time.Duration(n)
+}
+
+// DigestSorted hashes map entries through the sorted-keys idiom.
+func DigestSorted(weights map[string]float64) uint64 {
+	names := make([]string, 0, len(weights))
+	for name := range weights {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, name := range names {
+		h.Write([]byte(name))
+	}
+	return h.Sum64()
+}
+
+// Total ranges over a map without feeding any digest; summation is
+// order-insensitive.
+func Total(weights map[string]float64) float64 {
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	return sum
+}

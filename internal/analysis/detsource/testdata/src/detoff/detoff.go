@@ -1,0 +1,10 @@
+// Package detoff is neither in the built-in deterministic set nor opted
+// in: wall-clock reads are its own business.
+package detoff
+
+import "time"
+
+// Uptime may read the clock freely.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

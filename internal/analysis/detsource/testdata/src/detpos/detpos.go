@@ -1,0 +1,62 @@
+// Package detpos exercises every detsource rule: wall-clock reads, global
+// rand draws, and map iteration feeding hashes and key builders, plus the
+// suppressed case.
+//
+//gables:deterministic
+package detpos
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock twice.
+func Stamp() (time.Time, time.Duration) {
+	start := time.Now()    // want `time\.Now in a deterministic package`
+	d := time.Since(start) // want `time\.Since in a deterministic package`
+	return start, d
+}
+
+// Jitter draws from the global source.
+func Jitter() float64 {
+	return rand.Float64() // want `global math/rand\.Float64 in a deterministic package`
+}
+
+// Pick draws an index from the global source.
+func Pick(n int) int {
+	return rand.Intn(n) // want `global math/rand\.Intn in a deterministic package`
+}
+
+// DigestWeights hashes map entries in iteration order.
+func DigestWeights(weights map[string]float64) uint64 {
+	h := fnv.New64a()
+	for name := range weights { // want `ranging over map weights feeds hash\.Write`
+		h.Write([]byte(name))
+	}
+	return h.Sum64()
+}
+
+// Key mimics a cache-key builder.
+func Key(parts ...string) string {
+	out := ""
+	for _, p := range parts {
+		out += "/" + p
+	}
+	return out
+}
+
+// KeyFromSet builds a cache key from map entries in iteration order.
+func KeyFromSet(set map[string]bool) string {
+	out := ""
+	for name := range set { // want `ranging over map set feeds Key`
+		out += Key(name)
+	}
+	return out
+}
+
+// Excused shows the reasoned escape hatch.
+func Excused() time.Time {
+	//lint:ignore detsource fixture: deliberate wall-clock read excused with a reason
+	return time.Now()
+}

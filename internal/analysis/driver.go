@@ -44,7 +44,12 @@ func Run(pkg *Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, er
 				diags = append(diags, Diagnostic{
 					Pos:      s.pos,
 					Analyzer: "lint",
+					Severity: SeverityWarning,
 					Message:  "unused //lint: directive (no diagnostic on this line to suppress)",
+					Fixes: []SuggestedFix{{
+						Message:   "delete the stale directive",
+						TextEdits: []TextEdit{{Pos: s.pos, End: s.end}},
+					}},
 				})
 			}
 		}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Finding is one diagnostic resolved against the fileset and (usually) the
+// repository root: the machine-readable record behind every gables-lint
+// output format. Field order is the JSON contract — `gables-lint -json`
+// emits these structs verbatim and external tooling keys on the order
+// being stable, so fields must not be reordered.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+	// Fixed reports that a -fix run applied this finding's suggested fix.
+	Fixed bool `json:"fixed,omitempty"`
+}
+
+// String renders the canonical single-line text form.
+func (f Finding) String() string {
+	sev := ""
+	if f.Severity != SeverityError.String() {
+		sev = f.Severity + ": "
+	}
+	fixed := ""
+	if f.Fixed {
+		fixed = " [fixed]"
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s%s%s", f.File, f.Line, f.Column, f.Analyzer, sev, f.Message, fixed)
+}
+
+// WriteJSON emits findings as an indented JSON array (never null: zero
+// findings is []), terminated by a newline.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	b, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies the first suggested fix of every diagnostic that has
+// one, rewriting the affected files in place. The returned slice is
+// index-aligned with diags and marks which diagnostics had their fix
+// applied; n is the count of trues. Diagnostics whose edits would overlap
+// an already-accepted edit are skipped (left outstanding) rather than
+// half-applied, so repeated -fix runs converge.
+//
+// A deletion edit whose removal leaves its source line all-whitespace is
+// widened to swallow the whole line, so deleting a directive comment that
+// stood alone on a line does not leave trailing-whitespace debris behind
+// (the tree must stay `gofmt -l`-clean after a fix run).
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (fixed []bool, n int, err error) {
+	type edit struct {
+		start, end int // byte offsets within file
+		newText    []byte
+	}
+	perFile := map[string][]edit{}
+	fixed = make([]bool, len(diags))
+	applied := 0
+	for i, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		fix := d.Fixes[0]
+		file := ""
+		var edits []edit
+		ok := true
+		for _, te := range fix.TextEdits {
+			p, e := fset.Position(te.Pos), fset.Position(te.End)
+			if file == "" {
+				file = p.Filename
+			}
+			if p.Filename != file || e.Filename != file || e.Offset < p.Offset {
+				ok = false
+				break
+			}
+			edits = append(edits, edit{start: p.Offset, end: e.Offset, newText: te.NewText})
+		}
+		if !ok || file == "" {
+			continue
+		}
+		// Reject edits overlapping anything already accepted for the file.
+		for _, ne := range edits {
+			for _, pe := range perFile[file] {
+				if ne.start < pe.end && pe.start < ne.end {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		perFile[file] = append(perFile[file], edits...)
+		fixed[i] = true
+		applied++
+	}
+	if applied == 0 {
+		return fixed, 0, nil
+	}
+
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return fixed, applied, fmt.Errorf("analysis: applying fixes: %v", err)
+		}
+		edits := perFile[file]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		var out bytes.Buffer
+		prev := 0
+		for _, e := range edits {
+			if e.start > len(src) || e.end > len(src) || e.start < prev {
+				return fixed, applied, fmt.Errorf("analysis: fix edit out of range in %s", file)
+			}
+			start, end := e.start, e.end
+			if len(e.newText) == 0 {
+				start, end = widenDeletion(src, start, end)
+				if start < prev {
+					start = e.start // widening collided with the previous edit
+					end = e.end
+				}
+			}
+			out.Write(src[prev:start])
+			out.Write(e.newText)
+			prev = end
+		}
+		out.Write(src[prev:])
+		if err := os.WriteFile(file, out.Bytes(), 0o644); err != nil {
+			return fixed, applied, fmt.Errorf("analysis: applying fixes: %v", err)
+		}
+	}
+	return fixed, applied, nil
+}
+
+// widenDeletion grows the deletion [start, end) to cover its entire source
+// line — leading indentation through the trailing newline — when the rest
+// of the line is whitespace only. Deletions sharing a line with code are
+// left untouched.
+func widenDeletion(src []byte, start, end int) (int, int) {
+	ls := start
+	for ls > 0 && src[ls-1] != '\n' {
+		ls--
+	}
+	le := end
+	for le < len(src) && src[le] != '\n' {
+		le++
+	}
+	for _, b := range src[ls:start] {
+		if b != ' ' && b != '\t' {
+			return start, end
+		}
+	}
+	for _, b := range src[end:le] {
+		if b != ' ' && b != '\t' {
+			return start, end
+		}
+	}
+	if le < len(src) {
+		le++ // swallow the newline
+	}
+	return ls, le
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseFixture writes src to a temp file and parses it into fset so tests
+// can mint real token.Pos values for edits.
+func parseFixture(t *testing.T, fset *token.FileSet, src string) (string, *token.File) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fix.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, fset.File(f.Pos())
+}
+
+func TestApplyFixesDeletesWholeDirectiveLine(t *testing.T) {
+	src := "package p\n\nfunc f() int {\n\t//lint:ignore floatcmp stale reason\n\treturn 1\n}\n"
+	fset := token.NewFileSet()
+	path, tf := parseFixture(t, fset, src)
+	start := strings.Index(src, "//lint:")
+	end := strings.Index(src, "reason") + len("reason")
+	d := Diagnostic{
+		Pos:      tf.Pos(start),
+		Analyzer: "lint",
+		Message:  "unused directive",
+		Fixes: []SuggestedFix{{
+			Message:   "delete",
+			TextEdits: []TextEdit{{Pos: tf.Pos(start), End: tf.Pos(end)}},
+		}},
+	}
+	fixed, n, err := ApplyFixes(fset, []Diagnostic{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !fixed[0] {
+		t.Fatalf("applied %d fixes (fixed=%v), want 1", n, fixed)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "package p\n\nfunc f() int {\n\treturn 1\n}\n"
+	if string(got) != want {
+		t.Errorf("after fix:\n%q\nwant (whole line gone, no blank residue):\n%q", got, want)
+	}
+}
+
+func TestApplyFixesKeepsSharedLineIntact(t *testing.T) {
+	// A deletion sharing its line with code must not swallow the code.
+	src := "package p\n\nvar x = 1 // trailing note\n"
+	fset := token.NewFileSet()
+	path, tf := parseFixture(t, fset, src)
+	start := strings.Index(src, "// trailing")
+	end := strings.Index(src, "note") + len("note")
+	d := Diagnostic{
+		Pos:   tf.Pos(start),
+		Fixes: []SuggestedFix{{TextEdits: []TextEdit{{Pos: tf.Pos(start), End: tf.Pos(end)}}}},
+	}
+	if _, _, err := ApplyFixes(fset, []Diagnostic{d}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if !strings.Contains(string(got), "var x = 1") {
+		t.Errorf("fix deleted code sharing the comment's line:\n%q", got)
+	}
+	if strings.Contains(string(got), "trailing") {
+		t.Errorf("fix did not delete the comment:\n%q", got)
+	}
+}
+
+func TestApplyFixesReplacement(t *testing.T) {
+	src := "package p\n\n//fp:lock v1 deadbeefdeadbeef\nconst V = 1\n"
+	fset := token.NewFileSet()
+	path, tf := parseFixture(t, fset, src)
+	start := strings.Index(src, "//fp:lock")
+	end := strings.Index(src, "deadbeefdeadbeef") + 16
+	d := Diagnostic{
+		Pos: tf.Pos(start),
+		Fixes: []SuggestedFix{{
+			TextEdits: []TextEdit{{Pos: tf.Pos(start), End: tf.Pos(end), NewText: []byte("//fp:lock v2 0123456789abcdef")}},
+		}},
+	}
+	_, n, err := ApplyFixes(fset, []Diagnostic{d})
+	if err != nil || n != 1 {
+		t.Fatalf("ApplyFixes = %d, %v; want 1, nil", n, err)
+	}
+	got, _ := os.ReadFile(path)
+	want := "package p\n\n//fp:lock v2 0123456789abcdef\nconst V = 1\n"
+	if string(got) != want {
+		t.Errorf("after fix:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestApplyFixesSkipsOverlapping(t *testing.T) {
+	src := "package p\n\n//lint:ignore a,b overlapping fixes target me\nvar x = 1\n"
+	fset := token.NewFileSet()
+	path, tf := parseFixture(t, fset, src)
+	start := strings.Index(src, "//lint:")
+	end := strings.Index(src, "me") + 2
+	edit := []TextEdit{{Pos: tf.Pos(start), End: tf.Pos(end)}}
+	diags := []Diagnostic{
+		{Pos: tf.Pos(start), Fixes: []SuggestedFix{{TextEdits: edit}}},
+		{Pos: tf.Pos(start), Fixes: []SuggestedFix{{TextEdits: edit}}},
+	}
+	fixed, n, err := ApplyFixes(fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !fixed[0] || fixed[1] {
+		t.Fatalf("applied %d fixes (fixed=%v), want only the first (second overlaps)", n, fixed)
+	}
+	got, _ := os.ReadFile(path)
+	if strings.Contains(string(got), "lint:ignore") {
+		t.Errorf("first fix not applied:\n%q", got)
+	}
+}
+
+func TestApplyFixesNothingToDo(t *testing.T) {
+	fixed, n, err := ApplyFixes(token.NewFileSet(), []Diagnostic{{Message: "no fix attached"}})
+	if err != nil || n != 0 || fixed[0] {
+		t.Fatalf("ApplyFixes = %d, %v (fixed=%v); want 0, nil", n, err, fixed)
+	}
+}

@@ -1,0 +1,48 @@
+// Package ok exercises the clean path: a complete encoder, field-attached
+// and remote skip/delegate annotations, and an in-sync shape lock.
+package ok
+
+import (
+	"fmt"
+
+	"okdep"
+)
+
+// FingerprintVersion versions the encoding.
+//
+//fp:lock v3 a256765344cf5961
+const FingerprintVersion = 3
+
+// Inner is a nested encoded struct.
+type Inner struct {
+	Rate float64
+	Note string //fp:skip display label only; physically identical parts share a key
+}
+
+// Spec is the encoder's root struct.
+type Spec struct {
+	Name  string
+	Parts []Inner
+	Dep   okdep.Leaf
+	Meta  okdep.Opaque //fp:delegate consumed wholesale by okdep's own fingerprint scheme
+}
+
+//fp:skip okdep.Leaf.Label display-only label on an imported struct
+
+// Fingerprint canonicalizes a Spec.
+//
+//fp:encoder
+func Fingerprint(s Spec, trials int) string {
+	out := s.Name
+	for _, p := range s.Parts {
+		out += num(p.Rate)
+	}
+	out += s.Dep.ID + num(s.Dep.Weight)
+	out += consume(s.Meta)
+	out += fmt.Sprint(trials)
+	return out
+}
+
+func num(f float64) string { return fmt.Sprint(f) }
+
+func consume(o okdep.Opaque) string { return fmt.Sprint(o) }

@@ -1,0 +1,18 @@
+// Package okdep is an imported dependency of the ok fixture: its structs
+// are reachable from the encoder, so its exported fields are covered by
+// the cross-package (remote) directive forms.
+package okdep
+
+// Leaf is encoded field by field; Label carries a remote //fp:skip in ok.
+type Leaf struct {
+	ID     string
+	Weight float64
+	Label  string
+}
+
+// Opaque is consumed wholesale (//fp:delegate in ok), so its own exported
+// fields are not part of ok's encoded surface.
+type Opaque struct {
+	Blob  string
+	Extra int
+}

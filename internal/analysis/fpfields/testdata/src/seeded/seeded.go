@@ -1,0 +1,37 @@
+// Package seeded is the acceptance-criteria mutation: a field was added
+// to an encoded struct without touching the encoder, the lock, or the
+// version. Every layer of the analyzer must notice.
+package seeded
+
+import (
+	"fmt"
+
+	"seededdep"
+)
+
+// FingerprintVersion was NOT bumped when Added appeared, and the lock
+// digest below records the pre-mutation shape.
+//
+//fp:lock v1 0000000000000000
+const FingerprintVersion = 1 // want `encoded struct shape changed \(digest [0-9a-f]{16}, lock has 0000000000000000\) without a FingerprintVersion bump`
+
+// Cfg is the encoded struct after the seeded mutation.
+type Cfg struct {
+	Rate  float64
+	Added float64 // want `fingerprint does not encode seeded\.Cfg\.Added`
+	//lint:ignore fpfields deliberately unencoded: the suppressed-case fixture
+	Quiet float64
+	Dep   seededdep.Leaf
+	Del   seededdep.Leaf //fp:delegate hashed elsewhere, allegedly // want `marked //fp:delegate but the fingerprint encoder never consumes it`
+}
+
+//fp:skip seededdep.Leaf.Nothing typo in the target name // want `//fp:skip seededdep\.Leaf\.Nothing names no field of an encoded struct`
+
+// Fingerprint forgets Added, Del, and the imported Leaf.Weight.
+//
+//fp:encoder
+func Fingerprint(c Cfg) string { // want `fingerprint does not encode seededdep\.Leaf\.Weight`
+	return num(c.Rate) + c.Dep.ID
+}
+
+func num(f float64) string { return fmt.Sprint(f) }

@@ -1,0 +1,9 @@
+// Package seededdep is the imported dependency of the seeded fixture.
+package seededdep
+
+// Leaf has one field the seeded encoder forgets (Weight) — a
+// cross-package coverage hole reported at the encoder.
+type Leaf struct {
+	ID     string
+	Weight float64
+}

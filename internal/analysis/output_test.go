@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONStableFieldOrder(t *testing.T) {
+	findings := []Finding{
+		{File: "a/a.go", Line: 3, Column: 7, Analyzer: "floatcmp", Severity: "error", Message: "exact == on float"},
+		{File: "b/b.go", Line: 1, Column: 1, Analyzer: "lint", Severity: "warning", Message: "unused directive", Fixed: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	want := `[
+  {
+    "file": "a/a.go",
+    "line": 3,
+    "column": 7,
+    "analyzer": "floatcmp",
+    "severity": "error",
+    "message": "exact == on float"
+  },
+  {
+    "file": "b/b.go",
+    "line": 1,
+    "column": 1,
+    "analyzer": "lint",
+    "severity": "warning",
+    "message": "unused directive",
+    "fixed": true
+  }
+]
+`
+	if buf.String() != want {
+		t.Errorf("JSON output not byte-stable:\n got: %s\nwant: %s", buf.String(), want)
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("zero findings = %q, want []", buf.String())
+	}
+}
+
+func TestWriteSARIFShape(t *testing.T) {
+	findings := []Finding{
+		{File: "internal/sim/sim.go", Line: 10, Column: 2, Analyzer: "detsource", Severity: "error", Message: "time.Now in deterministic package"},
+		{File: "cmd/x/main.go", Line: 4, Column: 1, Analyzer: "lint", Severity: "warning", Message: "unused //lint: directive"},
+	}
+	rules := []SARIFRule{
+		{ID: "detsource", Summary: "forbids nondeterminism sources"},
+		{ID: "lint", Summary: "directive hygiene"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "gables-lint", "https://example.invalid/gables", rules, findings); err != nil {
+		t.Fatal(err)
+	}
+
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if v := log["version"]; v != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", v)
+	}
+	runs := log["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "gables-lint" {
+		t.Errorf("driver.name = %v", driver["name"])
+	}
+	if n := len(driver["rules"].([]any)); n != 2 {
+		t.Errorf("rules = %d, want 2", n)
+	}
+	results := run["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["ruleId"] != "detsource" || first["level"] != "error" {
+		t.Errorf("first result = %v", first)
+	}
+	loc := first["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	art := loc["artifactLocation"].(map[string]any)
+	if art["uri"] != "internal/sim/sim.go" || art["uriBaseId"] != "%SRCROOT%" {
+		t.Errorf("artifactLocation = %v", art)
+	}
+	region := loc["region"].(map[string]any)
+	if region["startLine"].(float64) != 10 || region["startColumn"].(float64) != 2 {
+		t.Errorf("region = %v", region)
+	}
+	second := results[1].(map[string]any)
+	if second["level"] != "warning" {
+		t.Errorf("warning severity mapped to %v", second["level"])
+	}
+}
+
+func TestWriteSARIFEmptyResults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "gables-lint", "", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("zero findings must serialize as an empty results array:\n%s", buf.String())
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "x.go", Line: 2, Column: 5, Analyzer: "floatcmp", Severity: "error", Message: "m"}
+	if got := f.String(); got != "x.go:2:5: floatcmp: m" {
+		t.Errorf("String() = %q", got)
+	}
+	f.Severity = "warning"
+	f.Fixed = true
+	if got := f.String(); got != "x.go:2:5: floatcmp: warning: m [fixed]" {
+		t.Errorf("String() = %q", got)
+	}
+}

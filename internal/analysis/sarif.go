@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF 2.1.0 output, the minimal subset GitHub code scanning ingests:
+// one run, one tool driver carrying the rule catalog, one result per
+// finding with a physical location relative to %SRCROOT%. The structs
+// mirror the spec's property names; Go's struct-order marshaling keeps the
+// byte stream deterministic for a given finding list.
+
+const sarifSchema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// SARIFRule describes one analyzer in the tool's rule catalog.
+type SARIFRule struct {
+	ID      string
+	Summary string
+}
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string          `json:"name"`
+	InformationURI string          `json:"informationUri,omitempty"`
+	Rules          []sarifRuleDesc `json:"rules"`
+}
+
+type sarifRuleDesc struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF emits a SARIF 2.1.0 log for the findings. rules is the full
+// analyzer catalog of the run (reported or not — code-scanning UIs use it
+// to describe the tool); findings must already carry repo-relative,
+// slash-separated paths.
+func WriteSARIF(w io.Writer, toolName, infoURI string, rules []SARIFRule, findings []Finding) error {
+	driver := sarifDriver{Name: toolName, InformationURI: infoURI, Rules: []sarifRuleDesc{}}
+	for _, r := range rules {
+		driver.Rules = append(driver.Rules, sarifRuleDesc{
+			ID:               r.ID,
+			ShortDescription: sarifMessage{Text: r.Summary},
+		})
+	}
+	results := []sarifResult{}
+	for _, f := range findings {
+		level := "error"
+		if f.Severity == SeverityWarning.String() {
+			level = "warning"
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   level,
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	b, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -4,9 +4,14 @@
 package suite
 
 import (
+	"strings"
+
 	"github.com/gables-model/gables/internal/analysis"
+	"github.com/gables-model/gables/internal/analysis/allocfree"
+	"github.com/gables-model/gables/internal/analysis/detsource"
 	"github.com/gables-model/gables/internal/analysis/evalboundary"
 	"github.com/gables-model/gables/internal/analysis/floatcmp"
+	"github.com/gables-model/gables/internal/analysis/fpfields"
 	"github.com/gables-model/gables/internal/analysis/fractioncheck"
 	"github.com/gables-model/gables/internal/analysis/logguard"
 	"github.com/gables-model/gables/internal/analysis/maporder"
@@ -14,11 +19,29 @@ import (
 
 // All is the full analyzer suite, in the order findings are attributed.
 var All = []*analysis.Analyzer{
+	allocfree.Analyzer,
+	detsource.Analyzer,
 	evalboundary.Analyzer,
 	floatcmp.Analyzer,
+	fpfields.Analyzer,
 	fractioncheck.Analyzer,
 	logguard.Analyzer,
 	maporder.Analyzer,
+}
+
+// Rules is the SARIF rule catalog for the suite: every analyzer plus the
+// driver's own "lint" meta-analyzer (malformed/stale directives).
+func Rules() []analysis.SARIFRule {
+	rules := make([]analysis.SARIFRule, 0, len(All)+1)
+	for _, a := range All {
+		summary, _, _ := strings.Cut(a.Doc, ";")
+		rules = append(rules, analysis.SARIFRule{ID: a.Name, Summary: summary})
+	}
+	rules = append(rules, analysis.SARIFRule{
+		ID:      "lint",
+		Summary: "directive hygiene: malformed //lint: directives and stale suppressions that no longer fire",
+	})
+	return rules
 }
 
 // ByName returns the subset of All matching the given names; unknown

@@ -25,6 +25,7 @@ type suppression struct {
 	analyzers map[string]bool // nil means * (all analyzers)
 	reason    string
 	pos       token.Pos
+	end       token.Pos // end of the directive comment, for deletion fixes
 	used      bool
 }
 
@@ -80,6 +81,7 @@ func collectSuppressions(pkg *Package) ([]*suppression, []Diagnostic) {
 					wholeFile: verb == "file-ignore",
 					reason:    reason,
 					pos:       c.Pos(),
+					end:       c.End(),
 				}
 				if names != "*" {
 					s.analyzers = map[string]bool{}

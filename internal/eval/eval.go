@@ -58,6 +58,8 @@ type IPWork struct {
 // work, these execution semantics. Work is index-aligned with Chip.IPs.
 type Query struct {
 	// Chip describes the SoC in the measurement substrate's terms.
+	//
+	//fp:delegate encoded wholesale by sim.Fingerprint, which realize() feeds the chip into; sim's own //fp:lock tracks its shape
 	Chip sim.Config
 	// Work assigns kernel work per IP, index-aligned with Chip.IPs.
 	Work []IPWork

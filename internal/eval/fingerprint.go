@@ -13,7 +13,11 @@ import (
 // FingerprintVersion versions the query fingerprint encoding. Bump it when
 // Query gains a field that affects answers or when the encoding changes;
 // sim-level semantic changes are already covered by sim.FingerprintVersion,
-// which the delegated inner fingerprint hashes in.
+// which the delegated inner fingerprint hashes in. The lock below is
+// maintained by the fpfields analyzer (`gables-lint -fix` refreshes it
+// after a deliberate shape change has bumped this constant).
+//
+//fp:lock v1 154adf1d61f5a6e2
 const FingerprintVersion = 1
 
 // Fingerprint returns a stable hex key identifying the query's answer:
@@ -22,6 +26,8 @@ const FingerprintVersion = 1
 // canonical (Config, assignments, RunOptions) triple and that run
 // fingerprint is hashed together with the eval-level semantics the triple
 // cannot express (the serialized-execution flag).
+//
+//fp:encoder
 func Fingerprint(q Query) (string, error) {
 	as, opt, err := q.realize()
 	if err != nil {

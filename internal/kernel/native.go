@@ -1,3 +1,5 @@
+//lint:file-ignore detsource RunNative times real host execution; wall-clock measurement is this file's whole purpose and its results never feed fingerprints or caches
+
 package kernel
 
 import (

@@ -175,6 +175,8 @@ func (e *LimitError) Error() string {
 // Run processes events until the queue drains or the optional limit is
 // exceeded (returning a *LimitError), with the number of events processed.
 // limit <= 0 means no limit (bounded only by the queue draining).
+//
+//gables:allocfree
 func (e *Engine) Run(limit int) (int, error) {
 	processed := 0
 	for e.Pending() > 0 {

@@ -351,6 +351,8 @@ func (sl *slot) arrived() {
 // computed runs once per chunk computation, in compute-server FIFO order —
 // the same order arrived queued them — so the front of flopsQ is always
 // the completing chunk's contribution.
+//
+//gables:allocfree
 func (rs *runState) computed() {
 	b := rs.b
 	f := rs.popFlops()
@@ -366,12 +368,15 @@ func (rs *runState) computed() {
 
 // pushFlops appends to the pending-computation FIFO, compacting the
 // consumed prefix in place of growing when it can.
+//
+//gables:allocfree
 func (rs *runState) pushFlops(f float64) {
 	if rs.flopsHead > 0 && len(rs.flopsQ) == cap(rs.flopsQ) {
 		n := copy(rs.flopsQ, rs.flopsQ[rs.flopsHead:])
 		rs.flopsQ = rs.flopsQ[:n]
 		rs.flopsHead = 0
 	}
+	//lint:ignore allocfree the compaction above reuses the backing array; capacity stops growing once it matches the pipeline depth (MaxInflight)
 	rs.flopsQ = append(rs.flopsQ, f)
 }
 

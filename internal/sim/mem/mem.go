@@ -119,9 +119,11 @@ func (s *Server) SetCoalescing(on bool) { s.coalesce = on }
 // service time of their own.
 func (s *Server) Request(amount float64, done func()) error {
 	if amount < 0 || math.IsNaN(amount) || math.IsInf(amount, 0) {
+		//lint:ignore allocfree cold validation branch; chained transfers pre-validate every hop, so the steady state never takes it
 		return fmt.Errorf("mem: server %q: amount must be non-negative and finite, got %v", s.name, amount)
 	}
 	if done == nil {
+		//lint:ignore allocfree cold validation branch; chained transfers pre-validate every hop, so the steady state never takes it
 		return fmt.Errorf("mem: server %q: nil completion", s.name)
 	}
 	s.push(request{amount: amount, done: done})
@@ -201,11 +203,13 @@ func (s *Server) startNext() {
 		at += service
 		s.busy += float64(service)
 		s.served += r.amount
+		//lint:ignore allocfree batch is retained across batches and reset via [:0]; capacity stops growing once it has seen the largest batch the run coalesces
 		s.batch = append(s.batch, r.done)
 	}
 	// Time and engine state are valid by construction; a scheduling
 	// failure here is a programming error.
 	if err := s.eng.Schedule(at, s.onServiced); err != nil {
+		//lint:ignore allocfree unreachable programming-error path; boxing on the way to a panic does not touch the steady state
 		panic(fmt.Sprintf("mem: server %q: %v", s.name, err))
 	}
 }
@@ -214,6 +218,8 @@ func (s *Server) startNext() {
 // services whatever queued up in the meantime. The server stays active
 // while callbacks run, so re-entrant Requests (a cache completion launching
 // the next cached chunk) enqueue instead of recursing into startNext.
+//
+//gables:allocfree
 func (s *Server) serviced() {
 	for i := 0; i < len(s.batch); i++ {
 		done := s.batch[i]
@@ -289,6 +295,7 @@ func (t *transfer) start() {
 		t.probe.HopStart(t.ip, t.slot, t.i, h.Server.Name(), float64(h.Server.Now()), h.Amount)
 	}
 	if err := h.Server.Request(h.Amount, t.step); err != nil {
+		//lint:ignore allocfree unreachable programming-error path; boxing on the way to a panic does not touch the steady state
 		panic(fmt.Sprintf("mem: transfer hop %d: %v", t.i, err))
 	}
 }
@@ -296,6 +303,8 @@ func (t *transfer) start() {
 // advance moves to the next hop, or finishes. The state object is returned
 // to the pool *before* done runs so a completion that immediately starts
 // another transfer can reuse it.
+//
+//gables:allocfree
 func (t *transfer) advance() {
 	if t.probe != nil {
 		h := t.hops[t.i]

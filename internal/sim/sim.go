@@ -159,6 +159,8 @@ type RunOptions struct {
 	// identical with and without one — and excluded from Fingerprint
 	// (like Kernel.Name), so traced runs must not be answered from the
 	// simulation cache. One probe observes one run.
+	//
+	//fp:skip observe-only; results are bitwise identical with and without a probe, and simcache bypasses the cache for traced runs
 	Probe trace.Probe
 }
 
