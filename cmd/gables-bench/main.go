@@ -11,7 +11,9 @@
 //
 // With -check the process exits 1 when any benchmark regressed (ns/op or
 // allocs/op grew by more than the threshold relative to the previous
-// record). CI runs this as a non-blocking perf-smoke job and uploads the
+// record), or when the parallel experiment harness fell below the pinned
+// HarnessParallelFloor speedup over the sequential baseline on a machine
+// with enough cores. CI runs this as a non-blocking perf-smoke job and uploads the
 // refreshed trajectory as an artifact; DESIGN.md §6 describes how to read
 // and refresh the committed file.
 package main
@@ -38,15 +40,70 @@ type target struct {
 
 // suite is the benchmark trajectory's fixed coverage: the discrete-event
 // core, the bandwidth servers, the whole simulated kernel path, the model
-// evaluator, the sequential experiment harness, and the simulation-result
-// cache (cold vs warm sweep grids).
+// evaluator, the experiment harness (sequential and parallel, so the
+// speedup floor below is checkable from one record), the batched analytic
+// grid, the coarse-to-fine sim grid, and the simulation-result cache
+// (cold vs warm sweep grids).
 var suite = []target{
 	{Pkg: "./internal/sim/engine", Bench: ".", Tier1: true},
 	{Pkg: "./internal/sim/mem", Bench: ".", Tier1: true},
 	{Pkg: ".", Bench: "BenchmarkSimKernel$|BenchmarkSimKernelTraced$|BenchmarkEvaluateTwoIP$|BenchmarkEvaluateNIP$", Tier1: true},
 	{Pkg: "./internal/experiments", Bench: "BenchmarkHarnessSequential$", Tier1: true},
-	{Pkg: "./internal/experiments", Bench: "BenchmarkHarnessParallel$"},
+	{Pkg: "./internal/experiments", Bench: "BenchmarkHarnessParallel$", Tier1: true},
+	{Pkg: "./internal/sweep", Bench: "BenchmarkGridAnalyticBatch$", Tier1: true},
+	{Pkg: "./internal/gridplan", Bench: "BenchmarkGridCoarseToFine$", Tier1: true},
 	{Pkg: "./internal/simcache", Bench: "BenchmarkCacheColdGrid$|BenchmarkCacheWarmGrid$", Tier1: true},
+}
+
+// HarnessParallelFloor is the pinned minimum speedup of the parallel
+// experiment harness over the honest sequential baseline
+// (BenchmarkHarnessSequential pins GABLES_PARALLEL=1). The floor is only
+// enforced on runners with at least harnessMinCPU cores — below that the
+// worker pool cannot express the speedup and the check logs a skip.
+const HarnessParallelFloor = 1.5
+
+// harnessMinCPU matches the 4-vCPU GitHub-hosted runner the floor was
+// pinned on.
+const harnessMinCPU = 4
+
+// HarnessRatio extracts the sequential/parallel ns-per-op ratio (the
+// parallel speedup) from one record's results; ok is false when either
+// harness benchmark is missing from the run.
+func HarnessRatio(results []Result) (ratio float64, ok bool) {
+	var seq, par float64
+	for _, r := range results {
+		switch r.Name {
+		case "BenchmarkHarnessSequential":
+			seq = r.NsPerOp
+		case "BenchmarkHarnessParallel":
+			par = r.NsPerOp
+		}
+	}
+	if seq <= 0 || par <= 0 {
+		return 0, false
+	}
+	return seq / par, true
+}
+
+// CheckHarnessRatio renders the speedup line for the log and reports
+// whether the floor was missed on a machine where it applies. An empty
+// line means the run did not include both harness benchmarks.
+func CheckHarnessRatio(results []Result, ncpu int) (line string, miss bool) {
+	ratio, ok := HarnessRatio(results)
+	if !ok {
+		return "", false
+	}
+	switch {
+	case ncpu < harnessMinCPU:
+		return fmt.Sprintf("harness parallel speedup %.2fx (floor %.1fx not enforced: %d CPUs < %d)",
+			ratio, HarnessParallelFloor, ncpu, harnessMinCPU), false
+	case ratio < HarnessParallelFloor:
+		return fmt.Sprintf("FLOOR MISS harness parallel speedup %.2fx < %.1fx floor",
+			ratio, HarnessParallelFloor), true
+	default:
+		return fmt.Sprintf("harness parallel speedup %.2fx (floor %.1fx)",
+			ratio, HarnessParallelFloor), false
+	}
 }
 
 // Result is one benchmark's measurement.
@@ -254,6 +311,11 @@ func run(args []string, stdout *os.File) int {
 		logf("\nno previous record in %s: baseline established\n", *out)
 	}
 
+	ratioLine, floorMiss := CheckHarnessRatio(results, runtime.NumCPU())
+	if ratioLine != "" {
+		logf("%s\n", ratioLine)
+	}
+
 	if !*dry {
 		traj.Records = append(traj.Records, cur)
 		if err := Save(*out, traj); err != nil {
@@ -263,7 +325,7 @@ func run(args []string, stdout *os.File) int {
 		logf("appended record %d to %s\n", len(traj.Records)-1, *out)
 	}
 
-	if *check && len(regs) > 0 {
+	if *check && (len(regs) > 0 || floorMiss) {
 		return 1
 	}
 	return 0

@@ -83,6 +83,48 @@ func TestCompareSkipsUnmatched(t *testing.T) {
 	}
 }
 
+func harnessResults(seq, par float64) []Result {
+	return []Result{
+		{Name: "BenchmarkHarnessSequential", NsPerOp: seq},
+		{Name: "BenchmarkHarnessParallel", NsPerOp: par},
+		{Name: "BenchmarkSimKernel", NsPerOp: 1},
+	}
+}
+
+func TestHarnessRatio(t *testing.T) {
+	if ratio, ok := HarnessRatio(harnessResults(300, 100)); !ok || ratio != 3 {
+		t.Errorf("ratio = %v, %v; want 3, true", ratio, ok)
+	}
+	if _, ok := HarnessRatio([]Result{{Name: "BenchmarkHarnessSequential", NsPerOp: 100}}); ok {
+		t.Error("missing parallel result must not produce a ratio")
+	}
+	if _, ok := HarnessRatio(nil); ok {
+		t.Error("empty results must not produce a ratio")
+	}
+}
+
+func TestCheckHarnessRatioFloor(t *testing.T) {
+	// Above the floor on a big machine: logged, no miss.
+	line, miss := CheckHarnessRatio(harnessResults(200, 100), 8)
+	if miss || line == "" {
+		t.Errorf("2.0x on 8 CPUs: line=%q miss=%v, want logged pass", line, miss)
+	}
+	// Below the floor on a big machine: miss.
+	line, miss = CheckHarnessRatio(harnessResults(110, 100), 8)
+	if !miss {
+		t.Errorf("1.1x on 8 CPUs must miss the %vx floor (line=%q)", HarnessParallelFloor, line)
+	}
+	// Below the floor on a small machine: logged skip, never a miss.
+	line, miss = CheckHarnessRatio(harnessResults(100, 100), 1)
+	if miss || line == "" {
+		t.Errorf("1.0x on 1 CPU: line=%q miss=%v, want logged skip", line, miss)
+	}
+	// Harness benchmarks absent (e.g. a filtered run): silent no-op.
+	if line, miss := CheckHarnessRatio(nil, 8); line != "" || miss {
+		t.Errorf("no harness results: line=%q miss=%v, want silence", line, miss)
+	}
+}
+
 func TestLoadSaveRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
 

@@ -4,17 +4,19 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/gables-model/gables/internal/gridplan"
 )
 
 func TestRunDSPOnly(t *testing.T) {
-	if err := run("835", "DSP", false, false, ""); err != nil {
+	if err := run("835", "DSP", false, false, "", nil); err != nil {
 		t.Fatalf("DSP roofline failed: %v", err)
 	}
 }
 
 func TestRunWithDirAndMixing(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("821", "CPU", false, false, dir); err != nil {
+	if err := run("821", "CPU", false, false, dir, nil); err != nil {
 		t.Fatalf("821 CPU with dir failed: %v", err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "cpu_roofline.svg")); err != nil {
@@ -24,17 +26,37 @@ func TestRunWithDirAndMixing(t *testing.T) {
 
 func TestRunNative(t *testing.T) {
 	// Only the native Algorithm 1 pass: measure the host briefly.
-	if err := run("835", "", false, true, ""); err != nil {
+	if err := run("835", "", false, true, "", nil); err != nil {
 		t.Fatalf("native run failed: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("999", "CPU", false, false, ""); err == nil {
+	if err := run("999", "CPU", false, false, "", nil); err == nil {
 		t.Error("unknown chip must fail")
 	}
-	if err := run("835", "GhostIP", false, false, ""); err == nil {
+	if err := run("835", "GhostIP", false, false, "", nil); err == nil {
 		t.Error("unknown IP must fail")
+	}
+}
+
+func TestParseRefine(t *testing.T) {
+	if opts, err := parseRefine("off", 0); err != nil || opts != nil {
+		t.Errorf("off: opts=%v err=%v, want nil, nil", opts, err)
+	}
+	opts, err := parseRefine("exact", 0.1)
+	if err != nil || opts == nil || opts.Mode != gridplan.ModeExact || opts.Tolerance != 0.1 {
+		t.Errorf("exact: opts=%+v err=%v", opts, err)
+	}
+	opts, err = parseRefine("fast", 0.25)
+	if err != nil || opts == nil || opts.Mode != gridplan.ModeFast || opts.Tolerance != 0.25 {
+		t.Errorf("fast: opts=%+v err=%v", opts, err)
+	}
+	if _, err := parseRefine("bogus", 0); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := parseRefine("fast", -1); err == nil {
+		t.Error("negative tolerance accepted")
 	}
 }
 

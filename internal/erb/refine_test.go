@@ -1,0 +1,96 @@
+package erb
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/gables-model/gables/internal/gridplan"
+	"github.com/gables-model/gables/internal/simcache"
+)
+
+// TestMixingRefineExactMatchesDense pins the coarse-to-fine wiring: the
+// mixing grid with Refine in exact mode (the zero Options value)
+// produces byte-identical Points to the dense grid, plus plan stats.
+func TestMixingRefineExactMatchesDense(t *testing.T) {
+	sys := system(t)
+	opts := MixingOptions{
+		CPU: "CPU", Accel: "GPU",
+		Fractions:    []float64{0, 0.25, 0.5, 0.75, 1},
+		FlopsPerWord: []int{8, 512, 8192},
+		Words:        1 << 20,
+	}
+	simcache.ResetDefault()
+	dense, err := Mixing(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOpts := opts
+	refOpts.Refine = &gridplan.Options{RowStride: 2, ColStride: 2}
+	refined, err := Mixing(sys, refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Plan == nil {
+		t.Fatal("refined run reported no plan stats")
+	}
+	if dense.Plan != nil {
+		t.Error("dense run reported plan stats")
+	}
+	if refined.BaselineRate != dense.BaselineRate {
+		t.Errorf("baseline %v vs dense %v", refined.BaselineRate, dense.BaselineRate)
+	}
+	if !reflect.DeepEqual(refined.Points, dense.Points) {
+		t.Errorf("exact-mode refined grid diverged from dense grid:\nrefined %+v\ndense   %+v", refined.Points, dense.Points)
+	}
+	if got := refined.Plan.Evaluated + refined.Plan.Interpolated; got != len(dense.Points) {
+		t.Errorf("plan stats cover %d cells, grid has %d", got, len(dense.Points))
+	}
+}
+
+// TestMixingRefineFastStaysInBand runs the same grid in fast mode and
+// checks interpolated cells stay within twice the tolerance of the dense
+// truth (the band exact mode enforces).
+func TestMixingRefineFastStaysInBand(t *testing.T) {
+	sys := system(t)
+	opts := MixingOptions{
+		CPU: "CPU", Accel: "GPU",
+		Fractions:    []float64{0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1},
+		FlopsPerWord: []int{8, 32, 128, 512},
+		Words:        1 << 20,
+	}
+	simcache.ResetDefault()
+	dense, err := Mixing(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 0.6
+	fastOpts := opts
+	fastOpts.Refine = &gridplan.Options{RowStride: 3, ColStride: 4, Tolerance: tol, Mode: gridplan.ModeFast}
+	fast, err := Mixing(sys, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Plan.Evaluated >= len(dense.Points) {
+		t.Errorf("fast mode evaluated the whole grid (%d of %d cells)", fast.Plan.Evaluated, len(dense.Points))
+	}
+	for i := range dense.Points {
+		d, f := dense.Points[i], fast.Points[i]
+		if d.F != f.F || d.FlopsPerWord != f.FlopsPerWord {
+			t.Fatalf("point %d order mismatch", i)
+		}
+		if diff := absRel(f.Rate, d.Rate); diff > 2*tol {
+			t.Errorf("f=%v fpw=%d: fast rate off by %.4f (> %.2f)", d.F, d.FlopsPerWord, diff, 2*tol)
+		}
+	}
+}
+
+func absRel(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}

@@ -128,27 +128,35 @@ func ValidateModel(sys *sim.System, opts ValidationOptions) (*ValidationResult, 
 			grid = append(grid, gridCell{fpw: fpw, f: f})
 		}
 	}
+	// The analytic column is answered in one batch call up front: the
+	// whole grid shares the injected model's hoisted terms and one result
+	// arena, and the batch contract guarantees each Predicted value is
+	// bitwise what a per-cell analytic.Evaluate would have produced.
+	qs := make([]eval.Query, len(grid))
+	for i, c := range grid {
+		work, err := eval.SplitWork(sys.Config(), opts.Words, c.fpw, kernel.ReadWrite, []eval.Share{
+			{IP: opts.CPU, Fraction: 1 - c.f}, {IP: opts.Accel, Fraction: c.f},
+		})
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = eval.Query{Chip: sys.Config(), Work: work, Trials: opts.Trials}
+	}
+	preds := make([]eval.Outcome, len(qs))
+	if err := eval.EvaluateBatch(context.Background(), analytic, qs, preds); err != nil {
+		return nil, err
+	}
+
 	cells, err := parallel.Map(context.Background(), opts.Workers, grid,
-		func(ctx context.Context, _ int, c gridCell) (ValidationCell, error) {
-			work, err := eval.SplitWork(sys.Config(), opts.Words, c.fpw, kernel.ReadWrite, []eval.Share{
-				{IP: opts.CPU, Fraction: 1 - c.f}, {IP: opts.Accel, Fraction: c.f},
-			})
-			if err != nil {
-				return ValidationCell{}, err
-			}
-			q := eval.Query{Chip: sys.Config(), Work: work, Trials: opts.Trials}
-			pred, err := analytic.Evaluate(ctx, q)
-			if err != nil {
-				return ValidationCell{}, err
-			}
-			meas, err := simEv.Evaluate(ctx, q)
+		func(ctx context.Context, i int, c gridCell) (ValidationCell, error) {
+			meas, err := simEv.Evaluate(ctx, qs[i])
 			if err != nil {
 				return ValidationCell{}, err
 			}
 
 			cell := ValidationCell{
 				F: c.f, FlopsPerWord: c.fpw,
-				Predicted: pred.Attainable,
+				Predicted: preds[i].Attainable,
 				Measured:  meas.Attainable,
 			}
 			if cell.Predicted > 0 {

@@ -1,0 +1,217 @@
+package eval
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/sim"
+)
+
+// batchQueries builds a mixed grid over one chip: fractions × intensities,
+// alternating serialized cells and an occasional read-only pattern, the
+// shapes the sweep harnesses actually generate.
+func batchQueries(t *testing.T, cfg sim.Config, cpu, accel string) []Query {
+	t.Helper()
+	var qs []Query
+	i := 0
+	for _, fpw := range []int{8, 64, 512, 4096} {
+		for _, f := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			p := kernel.ReadWrite
+			if i%7 == 3 {
+				p = kernel.ReadOnly
+			}
+			work, err := SplitWork(cfg, 4<<20, fpw, p, []Share{
+				{IP: cpu, Fraction: 1 - f}, {IP: accel, Fraction: f},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs = append(qs, Query{Chip: cfg, Work: work, Trials: 2, Serialized: i%3 == 2})
+			i++
+		}
+	}
+	return qs
+}
+
+// outcomesBitEq compares two outcomes field by field with bitwise float
+// equality.
+func outcomesBitEq(t *testing.T, label string, got Outcome, want *Outcome) {
+	t.Helper()
+	feq := func(name string, g, w float64) {
+		t.Helper()
+		if math.Float64bits(g) != math.Float64bits(w) {
+			t.Errorf("%s: %s = %v (%x), point API %v (%x)", label, name, g, math.Float64bits(g), w, math.Float64bits(w))
+		}
+	}
+	if got.Backend != want.Backend || got.Fidelity != want.Fidelity {
+		t.Errorf("%s: backend/fidelity %s/%s, want %s/%s", label, got.Backend, got.Fidelity, want.Backend, want.Fidelity)
+	}
+	feq("Attainable", got.Attainable, want.Attainable)
+	feq("Makespan", got.Makespan, want.Makespan)
+	feq("TotalFlops", got.TotalFlops, want.TotalFlops)
+	feq("TieRatio", got.TieRatio, want.TieRatio)
+	feq("DRAMUtilization", got.DRAMUtilization, want.DRAMUtilization)
+	if got.Bottleneck != want.Bottleneck {
+		t.Errorf("%s: bottleneck %+v, want %+v", label, got.Bottleneck, want.Bottleneck)
+	}
+	if len(got.IPs) != len(want.IPs) {
+		t.Fatalf("%s: %d IP outcomes, want %d", label, len(got.IPs), len(want.IPs))
+	}
+	for k := range got.IPs {
+		if got.IPs[k].IP != want.IPs[k].IP {
+			t.Errorf("%s: IP[%d] name %q, want %q", label, k, got.IPs[k].IP, want.IPs[k].IP)
+		}
+		feq("IP.Flops", got.IPs[k].Flops, want.IPs[k].Flops)
+		feq("IP.Bytes", got.IPs[k].Bytes, want.IPs[k].Bytes)
+		feq("IP.Time", got.IPs[k].Time, want.IPs[k].Time)
+		feq("IP.Rate", got.IPs[k].Rate, want.IPs[k].Rate)
+	}
+}
+
+// TestAnalyticBatchMatchesEvaluateBitwise pins the BatchEvaluator
+// contract for both analytic modes: every batch outcome is bitwise
+// identical to the point API's answer for the same query.
+func TestAnalyticBatchMatchesEvaluateBitwise(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("configured", func(t *testing.T) {
+		ResetCache()
+		a := NewAnalytic()
+		// Interleave two chips so the derivation grouping has to split
+		// and re-derive mid-slab.
+		qs := batchQueries(t, sim.Snapdragon835(), "CPU", "GPU")
+		qs = append(qs, batchQueries(t, sim.Snapdragon821(), "CPU", "GPU")...)
+		qs = append(qs, qs[0], qs[len(qs)/2]) // repeats across group boundaries
+		out := make([]Outcome, len(qs))
+		if err := EvaluateBatch(ctx, a, qs, out); err != nil {
+			t.Fatal(err)
+		}
+		for i := range qs {
+			want, err := a.Evaluate(ctx, qs[i])
+			if err != nil {
+				t.Fatalf("query %d: %v", i, err)
+			}
+			outcomesBitEq(t, qs[i].Chip.Name, out[i], want)
+		}
+	})
+
+	t.Run("injected", func(t *testing.T) {
+		ResetCache()
+		soc, err := core.TwoIP("cal", 4e9, 12e9, 6, 8e9, 30e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := &core.Model{
+			SoC:  soc,
+			SRAM: &core.SRAM{Name: "cache", MissRatio: []float64{0.4, 0.9}},
+		}
+		a, err := NewAnalyticModel(model, []string{"CPU", "GPU"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := batchQueries(t, sim.Snapdragon835(), "CPU", "GPU")
+		out := make([]Outcome, len(qs))
+		if err := EvaluateBatch(ctx, a, qs, out); err != nil {
+			t.Fatal(err)
+		}
+		for i := range qs {
+			want, err := a.Evaluate(ctx, qs[i])
+			if err != nil {
+				t.Fatalf("query %d: %v", i, err)
+			}
+			outcomesBitEq(t, "injected", out[i], want)
+		}
+	})
+}
+
+// TestEvaluateBatchFallback pins the helper's point-wise path for
+// backends without a batch implementation.
+func TestEvaluateBatchFallback(t *testing.T) {
+	cfg := sim.Snapdragon835()
+	work, err := SplitWork(cfg, 1<<20, 8, kernel.ReadWrite, []Share{
+		{IP: "CPU", Fraction: 0.5}, {IP: "GPU", Fraction: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []Query{{Chip: cfg, Work: work, Trials: 1}}
+	out := make([]Outcome, 1)
+	simEv := NewSim()
+	if err := EvaluateBatch(context.Background(), simEv, qs, out); err != nil {
+		t.Fatal(err)
+	}
+	want, err := simEv.Evaluate(context.Background(), qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Attainable != want.Attainable || out[0].Bottleneck != want.Bottleneck {
+		t.Errorf("fallback outcome diverged: %+v vs %+v", out[0], want)
+	}
+	if err := EvaluateBatch(context.Background(), simEv, qs, make([]Outcome, 2)); err == nil {
+		t.Error("mismatched arena length accepted")
+	}
+}
+
+// TestAnalyticBatchErrors pins per-query error attribution.
+func TestAnalyticBatchErrors(t *testing.T) {
+	cfg := sim.Snapdragon835()
+	work, err := SplitWork(cfg, 1<<20, 8, kernel.ReadWrite, []Share{
+		{IP: "CPU", Fraction: 0.5}, {IP: "GPU", Fraction: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalytic()
+	good := Query{Chip: cfg, Work: work, Trials: 2}
+	coord := good
+	coord.Coordination = true
+	if err := a.EvaluateBatch(context.Background(), []Query{good, coord}, make([]Outcome, 2)); err == nil {
+		t.Error("coordination query accepted by analytic batch")
+	}
+	bad := good
+	bad.Work = nil
+	if err := a.EvaluateBatch(context.Background(), []Query{bad}, make([]Outcome, 1)); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+// TestAnalyticBatchAllocsConstant pins the arena discipline: the number
+// of allocations per batch call is a small constant — it does not grow
+// with the cell count, so the per-cell inner loop is allocation-free.
+func TestAnalyticBatchAllocsConstant(t *testing.T) {
+	cfg := sim.Snapdragon835()
+	build := func(n int) ([]Query, []Outcome) {
+		qs := make([]Query, 0, n)
+		for len(qs) < n {
+			f := float64(len(qs)%5) / 4
+			work, err := SplitWork(cfg, 4<<20, 8+len(qs)%64, kernel.ReadWrite, []Share{
+				{IP: "CPU", Fraction: 1 - f}, {IP: "GPU", Fraction: f},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs = append(qs, Query{Chip: cfg, Work: work, Trials: 2})
+		}
+		return qs, make([]Outcome, n)
+	}
+	a := NewAnalytic()
+	measure := func(qs []Query, out []Outcome) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if err := a.EvaluateBatch(context.Background(), qs, out); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	qsSmall, outSmall := build(64)
+	qsBig, outBig := build(512)
+	small, big := measure(qsSmall, outSmall), measure(qsBig, outBig)
+	if big > small {
+		t.Errorf("allocs grew with cell count: %v for 64 cells, %v for 512", small, big)
+	}
+	if small > 64 {
+		t.Errorf("batch setup allocates %v times, want a small constant", small)
+	}
+}

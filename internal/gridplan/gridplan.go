@@ -1,0 +1,564 @@
+// Package gridplan turns a dense evaluation grid into a planned
+// coarse-to-fine pipeline: simulate a sparse lattice, interpolate the
+// interior, and re-simulate only the tiles where a probe shows the
+// interpolation is not trustworthy. The planner has two modes with one
+// decision procedure:
+//
+//   - ModeExact (the zero value, and the CI default) evaluates every
+//     cell densely — the result is byte-identical to the naive loop —
+//     and *replays* the coarse-to-fine plan against the dense values,
+//     verifying that every cell the fast mode would have interpolated
+//     lands inside the differential-oracle bands. Exact mode is how CI
+//     proves the plan is safe before anyone trusts ModeFast on a grid
+//     family.
+//   - ModeFast actually skips the interior: lattice + probes + refined
+//     tiles are evaluated, everything else is bilinearly interpolated.
+//
+// Both modes make identical refinement decisions for a deterministic
+// evaluator, because probes and lattice cells are always real
+// evaluations — exact mode just also knows the truth for the rest.
+package gridplan
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/gables-model/gables/internal/eval"
+	"github.com/gables-model/gables/internal/parallel"
+)
+
+// Plan describes a rectangular grid of queries without materializing
+// them: Build must be deterministic and pure (it is called at most a
+// handful of times per cell, from multiple goroutines).
+type Plan struct {
+	// Rows and Cols give the grid shape; both must be at least 1.
+	Rows, Cols int
+	// Build constructs the query for cell (r, c).
+	Build func(r, c int) (eval.Query, error)
+}
+
+// Mode selects how much of the grid is actually evaluated.
+type Mode int
+
+const (
+	// ModeExact evaluates the full grid densely and verifies the plan's
+	// would-be interpolations against the measured truth. It is the
+	// zero value on purpose: the safe mode is the default.
+	ModeExact Mode = iota
+	// ModeFast evaluates only lattice, probe and refined cells, and
+	// interpolates the rest.
+	ModeFast
+)
+
+// Source records how a cell's outcome was produced.
+type Source uint8
+
+const (
+	// SourceLattice cells are evaluated members of the sparse lattice.
+	SourceLattice Source = iota
+	// SourceProbe cells are evaluated tile centers used to estimate
+	// interpolation error.
+	SourceProbe
+	// SourceRefined cells were evaluated because their tile's probe
+	// error exceeded the tolerance.
+	SourceRefined
+	// SourceInterpolated cells were bilinearly interpolated from their
+	// tile's corners (in exact mode: would have been, and were
+	// verified against the measured value instead).
+	SourceInterpolated
+)
+
+// String names the source for stats output.
+func (s Source) String() string {
+	switch s {
+	case SourceLattice:
+		return "lattice"
+	case SourceProbe:
+		return "probe"
+	case SourceRefined:
+		return "refined"
+	case SourceInterpolated:
+		return "interpolated"
+	}
+	return fmt.Sprintf("source(%d)", int(s))
+}
+
+// Options tunes the planner. The zero value is valid: exact mode,
+// default strides and tolerance, automatic worker count.
+type Options struct {
+	// Workers bounds evaluation parallelism (0 = parallel.Workers
+	// default).
+	Workers int
+	// RowStride and ColStride set the lattice spacing (0 = 4). The
+	// last row/column is always part of the lattice so every tile has
+	// four measured corners.
+	RowStride, ColStride int
+	// Tolerance is the relative Attainable error at a tile's probe
+	// above which the whole tile is re-evaluated (0 = 0.05).
+	Tolerance float64
+	// Mode selects exact (default) or fast evaluation.
+	Mode Mode
+	// Verify bounds exact mode's check of would-be-interpolated cells
+	// against the dense truth. Nil uses MaxAttainableRelErr =
+	// 2×Tolerance with no bottleneck matching: a probe only samples
+	// one point, so the interior is allowed twice the probe's budget.
+	Verify *eval.Bands
+}
+
+const (
+	defaultStride    = 4
+	defaultTolerance = 0.05
+)
+
+// Cell is one grid cell's outcome plus its provenance.
+type Cell struct {
+	Outcome eval.Outcome
+	Source  Source
+}
+
+// Stats summarizes what the plan did (or, in exact mode, would do).
+type Stats struct {
+	// Evaluated counts cells answered by the evaluator under the plan
+	// (lattice + probes + refined); in exact mode this still reports
+	// the plan's count even though every cell was measured.
+	Evaluated int
+	// Interpolated counts cells the plan fills by interpolation.
+	Interpolated int
+	// Refined counts cells evaluated only because their tile failed
+	// its probe check.
+	Refined int
+	// Tiles and RefinedTiles count probe regions and how many failed.
+	Tiles, RefinedTiles int
+	// MaxInterpErr and MeanInterpErr aggregate the probe relative
+	// errors across tiles.
+	MaxInterpErr, MeanInterpErr float64
+}
+
+// Result is the planned grid: Cells is row-major (index r*Cols + c).
+type Result struct {
+	Rows, Cols int
+	Cells      []Cell
+	Stats      Stats
+}
+
+// At returns the cell at (r, c).
+func (res *Result) At(r, c int) *Cell { return &res.Cells[r*res.Cols+c] }
+
+// Run evaluates the plan's grid with ev under opts. In exact mode the
+// returned outcomes are byte-identical to evaluating every cell
+// directly; fast mode returns interpolated outcomes (Backend
+// "interpolated") for cells the plan trusted.
+func Run(ctx context.Context, ev eval.Evaluator, plan Plan, opts Options) (*Result, error) {
+	if plan.Rows < 1 || plan.Cols < 1 {
+		return nil, fmt.Errorf("gridplan: grid is %dx%d, need at least 1x1", plan.Rows, plan.Cols)
+	}
+	if plan.Build == nil {
+		return nil, fmt.Errorf("gridplan: nil Build")
+	}
+	if opts.Tolerance < 0 {
+		return nil, fmt.Errorf("gridplan: negative tolerance %v", opts.Tolerance)
+	}
+	p := &planner{
+		plan: plan,
+		opts: opts,
+		R:    lattice(plan.Rows, opts.RowStride),
+		C:    lattice(plan.Cols, opts.ColStride),
+	}
+	if p.opts.Tolerance == 0 {
+		p.opts.Tolerance = defaultTolerance
+	}
+	switch opts.Mode {
+	case ModeFast:
+		return p.runFast(ctx, ev)
+	case ModeExact:
+		return p.runExact(ctx, ev)
+	}
+	return nil, fmt.Errorf("gridplan: unknown mode %d", opts.Mode)
+}
+
+// lattice returns the strided index set for one dimension, always
+// including the last index.
+func lattice(n, stride int) []int {
+	if stride < 1 {
+		stride = defaultStride
+	}
+	idx := make([]int, 0, n/stride+2)
+	for i := 0; i < n; i += stride {
+		idx = append(idx, i)
+	}
+	if idx[len(idx)-1] != n-1 {
+		idx = append(idx, n-1)
+	}
+	return idx
+}
+
+// tileIndex maps a cell coordinate onto its tile along one dimension:
+// the tile a with lat[a] <= v < lat[a+1], with the final lattice line
+// belonging to the last tile.
+func tileIndex(lat []int, v int) int {
+	if len(lat) < 2 {
+		return 0
+	}
+	for a := len(lat) - 2; a >= 0; a-- {
+		if v >= lat[a] {
+			return a
+		}
+	}
+	return 0
+}
+
+// tiles counts probe regions along one dimension.
+func tiles(lat []int) int {
+	if len(lat) < 2 {
+		return 1
+	}
+	return len(lat) - 1
+}
+
+type planner struct {
+	plan Plan
+	opts Options
+	R, C []int
+}
+
+type coord struct{ r, c int }
+
+// tileSpan returns the corner coordinates of tile (a, b). Degenerate
+// dimensions (a single lattice line) collapse both corners onto it.
+func (p *planner) tileSpan(a, b int) (r0, r1, c0, c1 int) {
+	r0, r1 = p.R[a], p.R[min(a+1, len(p.R)-1)]
+	c0, c1 = p.C[b], p.C[min(b+1, len(p.C)-1)]
+	return
+}
+
+// interp bilinearly interpolates a corner-valued quantity at (r, c)
+// inside the tile spanning [r0,r1]×[c0,c1].
+func interp(v00, v01, v10, v11 float64, r0, r1, c0, c1, r, c int) float64 {
+	t, u := 0.0, 0.0
+	if r1 > r0 {
+		t = float64(r-r0) / float64(r1-r0)
+	}
+	if c1 > c0 {
+		u = float64(c-c0) / float64(c1-c0)
+	}
+	return (1-t)*(1-u)*v00 + (1-t)*u*v01 + t*(1-u)*v10 + t*u*v11
+}
+
+// nearestCorner picks the corner a cell copies non-interpolable outcome
+// fields from (bottleneck, per-IP detail).
+func nearestCorner(r0, r1, c0, c1, r, c int) (int, int) {
+	cr, cc := r0, c0
+	if r1 > r0 && r-r0 > r1-r {
+		cr = r1
+	}
+	if c1 > c0 && c-c0 > c1-c {
+		cc = c1
+	}
+	return cr, cc
+}
+
+// relErr is the relative Attainable error of estimate vs measured.
+func relErr(estimate, measured float64) float64 {
+	if measured == 0 {
+		if estimate == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(estimate-measured) / math.Abs(measured)
+}
+
+// evaluate runs the evaluator over a coordinate list, writing outcomes
+// and sources into the result grid.
+func (p *planner) evaluate(ctx context.Context, ev eval.Evaluator, coords []coord, src Source, res *Result) error {
+	outs, err := parallel.Map(ctx, p.opts.Workers, coords, func(ctx context.Context, _ int, at coord) (*eval.Outcome, error) {
+		q, err := p.plan.Build(at.r, at.c)
+		if err != nil {
+			return nil, fmt.Errorf("gridplan: build (%d,%d): %w", at.r, at.c, err)
+		}
+		o, err := ev.Evaluate(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("gridplan: cell (%d,%d): %w", at.r, at.c, err)
+		}
+		return o, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, at := range coords {
+		cell := res.At(at.r, at.c)
+		cell.Outcome = *outs[i]
+		cell.Source = src
+	}
+	return nil
+}
+
+// decisions holds the per-tile refinement verdicts and probe errors.
+type decisions struct {
+	refined []bool // tile-major: a*tilesC + b
+	errs    []float64
+	tilesR  int
+	tilesC  int
+}
+
+// decide computes the refinement decision for every tile from measured
+// lattice and probe values. value must return the measured Attainable
+// for an evaluated cell.
+func (p *planner) decide(probes map[coord]float64, value func(r, c int) float64) decisions {
+	tr, tc := tiles(p.R), tiles(p.C)
+	d := decisions{refined: make([]bool, tr*tc), errs: make([]float64, tr*tc), tilesR: tr, tilesC: tc}
+	for a := 0; a < tr; a++ {
+		for b := 0; b < tc; b++ {
+			r0, r1, c0, c1 := p.tileSpan(a, b)
+			pr, pc := (r0+r1)/2, (c0+c1)/2
+			measured, ok := probes[coord{pr, pc}]
+			if !ok {
+				continue // probe coincides with a lattice cell: nothing to check
+			}
+			est := interp(value(r0, c0), value(r0, c1), value(r1, c0), value(r1, c1), r0, r1, c0, c1, pr, pc)
+			e := relErr(est, measured)
+			d.errs[a*tc+b] = e
+			if e > p.opts.Tolerance {
+				d.refined[a*tc+b] = true
+			}
+		}
+	}
+	return d
+}
+
+// probeCoords lists each tile's center cell when it is not already a
+// lattice cell (deduplicated: adjacent degenerate tiles can share one).
+func (p *planner) probeCoords() []coord {
+	onLattice := func(lat []int, v int) bool {
+		for _, x := range lat {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	seen := make(map[coord]bool)
+	var out []coord
+	for a := 0; a < tiles(p.R); a++ {
+		for b := 0; b < tiles(p.C); b++ {
+			r0, r1, c0, c1 := p.tileSpan(a, b)
+			pr, pc := (r0+r1)/2, (c0+c1)/2
+			at := coord{pr, pc}
+			if (onLattice(p.R, pr) && onLattice(p.C, pc)) || seen[at] {
+				continue
+			}
+			seen[at] = true
+			out = append(out, at)
+		}
+	}
+	return out
+}
+
+// latticeCoords lists the cross product of lattice rows and columns.
+func (p *planner) latticeCoords() []coord {
+	out := make([]coord, 0, len(p.R)*len(p.C))
+	for _, r := range p.R {
+		for _, c := range p.C {
+			out = append(out, coord{r, c})
+		}
+	}
+	return out
+}
+
+// runFast is the production path: evaluate lattice and probes, refine
+// failing tiles, interpolate the rest.
+func (p *planner) runFast(ctx context.Context, ev eval.Evaluator) (*Result, error) {
+	res := &Result{Rows: p.plan.Rows, Cols: p.plan.Cols, Cells: make([]Cell, p.plan.Rows*p.plan.Cols)}
+	evaluated := make(map[coord]bool)
+
+	lat := p.latticeCoords()
+	if err := p.evaluate(ctx, ev, lat, SourceLattice, res); err != nil {
+		return nil, err
+	}
+	for _, at := range lat {
+		evaluated[at] = true
+	}
+	probes := p.probeCoords()
+	if err := p.evaluate(ctx, ev, probes, SourceProbe, res); err != nil {
+		return nil, err
+	}
+	probeVals := make(map[coord]float64, len(probes))
+	for _, at := range probes {
+		evaluated[at] = true
+		probeVals[at] = res.At(at.r, at.c).Outcome.Attainable
+	}
+	d := p.decide(probeVals, func(r, c int) float64 { return res.At(r, c).Outcome.Attainable })
+
+	// Refine failing tiles: evaluate every not-yet-evaluated cell.
+	var refine []coord
+	for r := 0; r < p.plan.Rows; r++ {
+		for c := 0; c < p.plan.Cols; c++ {
+			at := coord{r, c}
+			if evaluated[at] {
+				continue
+			}
+			a, b := tileIndex(p.R, r), tileIndex(p.C, c)
+			if d.refined[a*d.tilesC+b] {
+				refine = append(refine, at)
+			}
+		}
+	}
+	if err := p.evaluate(ctx, ev, refine, SourceRefined, res); err != nil {
+		return nil, err
+	}
+	for _, at := range refine {
+		evaluated[at] = true
+	}
+
+	// Interpolate the trusted remainder.
+	interpolated := 0
+	for r := 0; r < p.plan.Rows; r++ {
+		for c := 0; c < p.plan.Cols; c++ {
+			if evaluated[coord{r, c}] {
+				continue
+			}
+			q, err := p.plan.Build(r, c)
+			if err != nil {
+				return nil, fmt.Errorf("gridplan: build (%d,%d): %w", r, c, err)
+			}
+			cell := res.At(r, c)
+			*cell = p.interpolateCell(res, r, c, q)
+			interpolated++
+		}
+	}
+	res.Stats = p.stats(d, len(lat)+len(probes)+len(refine), interpolated, len(refine))
+	return res, nil
+}
+
+// interpolateCell synthesizes an interpolated outcome for (r, c) from
+// its tile corners: Attainable is bilinear, Makespan follows from the
+// cell's own query, and categorical fields copy the nearest corner.
+func (p *planner) interpolateCell(res *Result, r, c int, q eval.Query) Cell {
+	a, b := tileIndex(p.R, r), tileIndex(p.C, c)
+	r0, r1, c0, c1 := p.tileSpan(a, b)
+	att := interp(
+		res.At(r0, c0).Outcome.Attainable, res.At(r0, c1).Outcome.Attainable,
+		res.At(r1, c0).Outcome.Attainable, res.At(r1, c1).Outcome.Attainable,
+		r0, r1, c0, c1, r, c)
+	nr, nc := nearestCorner(r0, r1, c0, c1, r, c)
+	o := res.At(nr, nc).Outcome
+	o.Backend = "interpolated"
+	o.Attainable = att
+	o.TotalFlops = q.TotalFlops()
+	o.Makespan = 0
+	if att > 0 {
+		o.Makespan = o.TotalFlops / att
+	}
+	o.IPs = nil // per-IP detail does not interpolate; don't fake it
+	return Cell{Outcome: o, Source: SourceInterpolated}
+}
+
+// runExact evaluates the whole grid densely, then replays the plan's
+// decisions against the dense truth and verifies every cell the plan
+// would have interpolated.
+func (p *planner) runExact(ctx context.Context, ev eval.Evaluator) (*Result, error) {
+	res := &Result{Rows: p.plan.Rows, Cols: p.plan.Cols, Cells: make([]Cell, p.plan.Rows*p.plan.Cols)}
+	all := make([]coord, 0, p.plan.Rows*p.plan.Cols)
+	for r := 0; r < p.plan.Rows; r++ {
+		for c := 0; c < p.plan.Cols; c++ {
+			all = append(all, coord{r, c})
+		}
+	}
+	// Dense evaluation: the returned outcomes ARE the direct answers.
+	if err := p.evaluate(ctx, ev, all, SourceRefined, res); err != nil {
+		return nil, err
+	}
+
+	// Replay the plan. The evaluator is deterministic, so the lattice
+	// and probe values the fast path would have measured are exactly
+	// the dense values at those coordinates.
+	planned := make(map[coord]Source)
+	for _, at := range p.latticeCoords() {
+		planned[at] = SourceLattice
+	}
+	probes := p.probeCoords()
+	probeVals := make(map[coord]float64, len(probes))
+	for _, at := range probes {
+		planned[at] = SourceProbe
+		probeVals[at] = res.At(at.r, at.c).Outcome.Attainable
+	}
+	d := p.decide(probeVals, func(r, c int) float64 { return res.At(r, c).Outcome.Attainable })
+
+	bands := eval.Bands{MaxAttainableRelErr: 2 * p.opts.Tolerance}
+	if p.opts.Verify != nil {
+		bands = *p.opts.Verify
+	}
+	evaluatedN, interpolatedN, refinedN := len(planned), 0, 0
+	for r := 0; r < p.plan.Rows; r++ {
+		for c := 0; c < p.plan.Cols; c++ {
+			at := coord{r, c}
+			cell := res.At(r, c)
+			if src, ok := planned[at]; ok {
+				cell.Source = src
+				continue
+			}
+			a, b := tileIndex(p.R, r), tileIndex(p.C, c)
+			if d.refined[a*d.tilesC+b] {
+				cell.Source = SourceRefined
+				evaluatedN++
+				refinedN++
+				continue
+			}
+			// The plan would interpolate this cell: verify the
+			// interpolation against the measured truth.
+			cell.Source = SourceInterpolated
+			interpolatedN++
+			r0, r1, c0, c1 := p.tileSpan(a, b)
+			est := interp(
+				res.At(r0, c0).Outcome.Attainable, res.At(r0, c1).Outcome.Attainable,
+				res.At(r1, c0).Outcome.Attainable, res.At(r1, c1).Outcome.Attainable,
+				r0, r1, c0, c1, r, c)
+			truth := &cell.Outcome
+			if e := relErr(est, truth.Attainable); e > bands.MaxAttainableRelErr {
+				return nil, fmt.Errorf("gridplan: exact-mode verification failed at (%d,%d): interpolation err %.4f exceeds band %.4f (tile probe err %.4f, tolerance %.4f)",
+					r, c, e, bands.MaxAttainableRelErr, d.errs[a*d.tilesC+b], p.opts.Tolerance)
+			}
+			if bands.MatchBottleneck {
+				nr, nc := nearestCorner(r0, r1, c0, c1, r, c)
+				if near := res.At(nr, nc).Outcome; near.Bottleneck != truth.Bottleneck {
+					escape := bands.TieEscape
+					if escape == 0 {
+						escape = eval.DefaultTieEscape
+					}
+					if truth.TieRatio < escape {
+						return nil, fmt.Errorf("gridplan: exact-mode verification failed at (%d,%d): interpolated bottleneck %s/%s differs from measured %s/%s (tie ratio %.3f)",
+							r, c, near.Bottleneck.Kind, near.Bottleneck.Name, truth.Bottleneck.Kind, truth.Bottleneck.Name, truth.TieRatio)
+					}
+				}
+			}
+		}
+	}
+	res.Stats = p.stats(d, evaluatedN, interpolatedN, refinedN)
+	return res, nil
+}
+
+// stats assembles the run summary from the tile decisions.
+func (p *planner) stats(d decisions, evaluated, interpolated, refined int) Stats {
+	st := Stats{
+		Evaluated:    evaluated,
+		Interpolated: interpolated,
+		Refined:      refined,
+		Tiles:        d.tilesR * d.tilesC,
+	}
+	sum, n := 0.0, 0
+	for i, e := range d.errs {
+		if d.refined[i] {
+			st.RefinedTiles++
+		}
+		if e > st.MaxInterpErr {
+			st.MaxInterpErr = e
+		}
+		sum += e
+		n++
+	}
+	if n > 0 {
+		st.MeanInterpErr = sum / float64(n)
+	}
+	return st
+}

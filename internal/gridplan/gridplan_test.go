@@ -1,0 +1,305 @@
+package gridplan
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/gables-model/gables/internal/eval"
+	"github.com/gables-model/gables/internal/kernel"
+	"github.com/gables-model/gables/internal/sim"
+	"github.com/gables-model/gables/internal/simcache"
+)
+
+// simPlan builds a fractions × flops-per-word grid over cfg, the shape
+// the erb harness sweeps.
+func simPlan(cfg sim.Config, fracs []float64, fpws []int, words int) Plan {
+	return Plan{
+		Rows: len(fpws),
+		Cols: len(fracs),
+		Build: func(r, c int) (eval.Query, error) {
+			work, err := eval.SplitWork(cfg, words, fpws[r], kernel.ReadWrite, []eval.Share{
+				{IP: "CPU", Fraction: 1 - fracs[c]},
+				{IP: "GPU", Fraction: fracs[c]},
+			})
+			if err != nil {
+				return eval.Query{}, err
+			}
+			return eval.Query{Chip: cfg, Work: work, Trials: 1}, nil
+		},
+	}
+}
+
+// TestExactModeMatchesDense is the acceptance property: across seeded
+// chip configs, exact mode's grid is byte-identical to evaluating every
+// cell directly with the sim backend — the planner's replay changes
+// provenance labels, never outcomes.
+func TestExactModeMatchesDense(t *testing.T) {
+	fracs := []float64{0, 0.25, 0.5, 0.625, 0.75, 1}
+	fpws := []int{8, 32, 128, 512, 2048}
+	configs := []sim.Config{sim.Snapdragon835(), sim.Snapdragon821(), sim.Snapdragon835Extended()}
+	ev := eval.NewSim()
+	for _, cfg := range configs {
+		t.Run(cfg.Name, func(t *testing.T) {
+			simcache.ResetDefault()
+			plan := simPlan(cfg, fracs, fpws, 1<<14)
+			res, err := Run(context.Background(), ev, plan, Options{
+				RowStride: 2, ColStride: 3, Tolerance: math.Inf(1),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Evaluated+res.Stats.Interpolated != plan.Rows*plan.Cols {
+				t.Errorf("stats don't cover the grid: %+v", res.Stats)
+			}
+			for r := 0; r < plan.Rows; r++ {
+				for c := 0; c < plan.Cols; c++ {
+					q, err := plan.Build(r, c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := ev.Evaluate(context.Background(), q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := res.At(r, c).Outcome; !reflect.DeepEqual(got, *want) {
+						t.Errorf("cell (%d,%d) [%s] diverged from dense evaluation:\n got %+v\nwant %+v",
+							r, c, res.At(r, c).Source, got, *want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExactModeVerifiesInterpolation pins exact mode's safety check: a
+// grid whose interior cannot be interpolated within the band must fail
+// verification — unless the tile's probe already catches it, in which
+// case the plan refines and exact mode reports the refinement.
+func TestExactModeVerifiesInterpolation(t *testing.T) {
+	// A sharp step in attainable halfway across the grid. The probe
+	// sits on the step, so a loose tolerance trusts the tile while the
+	// interior is badly wrong: exact mode must reject the plan.
+	step := &stubEvaluator{f: func(r, c int) float64 {
+		if c >= 4 {
+			return 100
+		}
+		return 1
+	}}
+	plan := stubPlan(3, 9)
+	_, err := Run(context.Background(), step.ev(), plan, Options{
+		RowStride: 8, ColStride: 8, Tolerance: 1,
+		Verify: &eval.Bands{MaxAttainableRelErr: 0.5},
+	})
+	if err == nil {
+		t.Fatal("exact mode trusted an uninterpolatable grid")
+	}
+	// The same grid with a tight tolerance refines the tile instead:
+	// the probe error exceeds it, every cell is measured, and exact
+	// mode passes.
+	res, err := Run(context.Background(), step.ev(), plan, Options{
+		RowStride: 8, ColStride: 8, Tolerance: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RefinedTiles == 0 || res.Stats.Interpolated != 0 {
+		t.Errorf("step grid should refine everything: %+v", res.Stats)
+	}
+}
+
+// TestFastModeRefinesAndInterpolates pins the fast path on the same
+// step fixture: the failing tile is re-evaluated cell by cell
+// (byte-identical to direct evaluation), and a smooth grid is mostly
+// interpolated with every synthetic cell labeled and in-band.
+func TestFastModeRefinesAndInterpolates(t *testing.T) {
+	step := &stubEvaluator{f: func(r, c int) float64 {
+		if c >= 4 {
+			return 100
+		}
+		return 1
+	}}
+	plan := stubPlan(3, 9)
+	res, err := Run(context.Background(), step.ev(), plan, Options{
+		RowStride: 8, ColStride: 8, Tolerance: 0.01, Mode: ModeFast,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RefinedTiles == 0 || res.Stats.Refined == 0 {
+		t.Fatalf("step fixture did not trigger re-simulation: %+v", res.Stats)
+	}
+	for r := 0; r < plan.Rows; r++ {
+		for c := 0; c < plan.Cols; c++ {
+			cell := res.At(r, c)
+			if cell.Source == SourceInterpolated {
+				t.Errorf("cell (%d,%d) interpolated inside a refined tile", r, c)
+				continue
+			}
+			if want := step.f(r, c); cell.Outcome.Attainable != want {
+				t.Errorf("cell (%d,%d) [%s]: attainable %v, want measured %v", r, c, cell.Source, cell.Outcome.Attainable, want)
+			}
+		}
+	}
+
+	// A plane is interpolated exactly: no refinement, interior cells
+	// synthetic but bitwise on the bilinear value.
+	plane := &stubEvaluator{f: func(r, c int) float64 { return 10 + 3*float64(r) + 2*float64(c) }}
+	res, err = Run(context.Background(), plane.ev(), stubPlan(9, 9), Options{
+		RowStride: 4, ColStride: 4, Tolerance: 0.01, Mode: ModeFast,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RefinedTiles != 0 || res.Stats.Interpolated == 0 {
+		t.Fatalf("plane fixture should interpolate without refinement: %+v", res.Stats)
+	}
+	for r := 0; r < 9; r++ {
+		for c := 0; c < 9; c++ {
+			cell := res.At(r, c)
+			want := plane.f(r, c)
+			if e := relErr(cell.Outcome.Attainable, want); e > 1e-12 {
+				t.Errorf("cell (%d,%d) [%s]: attainable %v, want %v", r, c, cell.Source, cell.Outcome.Attainable, want)
+			}
+			if cell.Source == SourceInterpolated {
+				if cell.Outcome.Backend != "interpolated" {
+					t.Errorf("cell (%d,%d): synthetic outcome labeled %q", r, c, cell.Outcome.Backend)
+				}
+			} else if cell.Outcome.Backend != "stub" {
+				t.Errorf("cell (%d,%d) [%s]: measured outcome labeled %q", r, c, cell.Source, cell.Outcome.Backend)
+			}
+		}
+	}
+}
+
+// TestFastModeMatchesExactOnSimGrid cross-checks the two modes on a
+// real sim grid: every cell fast mode measured is byte-identical to
+// the exact grid, and every interpolated cell is inside the verify
+// band that exact mode enforced.
+func TestFastModeMatchesExactOnSimGrid(t *testing.T) {
+	fracs := []float64{0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}
+	fpws := []int{8, 16, 32, 64, 128, 256, 512}
+	cfg := sim.Snapdragon835()
+	ev := eval.NewSim()
+	const tol = 0.1
+	simcache.ResetDefault()
+	exact, err := Run(context.Background(), ev, simPlan(cfg, fracs, fpws, 1<<14), Options{
+		RowStride: 3, ColStride: 4, Tolerance: tol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(context.Background(), ev, simPlan(cfg, fracs, fpws, 1<<14), Options{
+		RowStride: 3, ColStride: 4, Tolerance: tol, Mode: ModeFast,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Stats.Tiles != fast.Stats.Tiles || exact.Stats.RefinedTiles != fast.Stats.RefinedTiles ||
+		exact.Stats.Evaluated != fast.Stats.Evaluated || exact.Stats.Interpolated != fast.Stats.Interpolated {
+		t.Errorf("modes planned differently:\nexact %+v\n fast %+v", exact.Stats, fast.Stats)
+	}
+	for r := 0; r < len(fpws); r++ {
+		for c := 0; c < len(fracs); c++ {
+			e, f := exact.At(r, c), fast.At(r, c)
+			if e.Source != f.Source {
+				t.Errorf("cell (%d,%d): source %s vs %s", r, c, e.Source, f.Source)
+			}
+			if f.Source == SourceInterpolated {
+				if err := relErr(f.Outcome.Attainable, e.Outcome.Attainable); err > 2*tol {
+					t.Errorf("cell (%d,%d): interpolation err %.4f out of band", r, c, err)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(f.Outcome, e.Outcome) {
+				t.Errorf("cell (%d,%d) [%s]: fast measured cell diverged from dense", r, c, f.Source)
+			}
+		}
+	}
+}
+
+// TestRunRejectsBadPlans pins the argument checks.
+func TestRunRejectsBadPlans(t *testing.T) {
+	ev := (&stubEvaluator{f: func(r, c int) float64 { return 1 }}).ev()
+	if _, err := Run(context.Background(), ev, Plan{Rows: 0, Cols: 3, Build: stubPlan(1, 1).Build}, Options{}); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := Run(context.Background(), ev, Plan{Rows: 2, Cols: 2}, Options{}); err == nil {
+		t.Error("nil Build accepted")
+	}
+	if _, err := Run(context.Background(), ev, stubPlan(2, 2), Options{Tolerance: -1}); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if _, err := Run(context.Background(), ev, stubPlan(2, 2), Options{Mode: Mode(42)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// BenchmarkGridCoarseToFine measures the planned sim grid against the
+// work a dense sweep would do; it is the tier-1 pin for the
+// coarse-to-fine path's constant factors.
+func BenchmarkGridCoarseToFine(b *testing.B) {
+	fracs := []float64{0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}
+	fpws := []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+	cfg := sim.Snapdragon835()
+	ev := eval.NewSim()
+	plan := simPlan(cfg, fracs, fpws, 1<<14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		simcache.ResetDefault()
+		res, err := Run(context.Background(), ev, plan, Options{
+			RowStride: 3, ColStride: 4, Tolerance: 0.25, Mode: ModeFast,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Evaluated+res.Stats.Interpolated != plan.Rows*plan.Cols {
+			b.Fatalf("bad plan coverage: %+v", res.Stats)
+		}
+	}
+}
+
+// stubEvaluator returns synthetic attainables computed from the cell
+// coordinate that stubPlan encodes in the query's work vector, giving
+// the tests exact control over the grid's shape.
+type stubEvaluator struct {
+	f func(r, c int) float64
+}
+
+func (s *stubEvaluator) ev() eval.Evaluator { return s }
+
+func (s *stubEvaluator) Meta() eval.Meta {
+	return eval.Meta{Name: "stub", Fidelity: eval.FidelityAnalytic}
+}
+
+func (s *stubEvaluator) Supports(eval.Query) error { return nil }
+
+func (s *stubEvaluator) Evaluate(_ context.Context, q eval.Query) (*eval.Outcome, error) {
+	if len(q.Work) != 1 {
+		return nil, fmt.Errorf("stub: want coordinate-encoded work, got %d entries", len(q.Work))
+	}
+	r, c := q.Work[0].Words/1000, q.Work[0].Words%1000
+	return &eval.Outcome{
+		Backend:    "stub",
+		Fidelity:   eval.FidelityAnalytic,
+		Attainable: s.f(r, c),
+		TotalFlops: float64(q.Work[0].Words * q.Work[0].FlopsPerWord),
+	}, nil
+}
+
+// stubPlan encodes (r, c) into Words so stubEvaluator can decode it.
+func stubPlan(rows, cols int) Plan {
+	chip := sim.Snapdragon835()
+	return Plan{
+		Rows: rows,
+		Cols: cols,
+		Build: func(r, c int) (eval.Query, error) {
+			return eval.Query{
+				Chip: chip,
+				Work: []eval.IPWork{{Words: r*1000 + c, FlopsPerWord: 8}},
+			}, nil
+		},
+	}
+}

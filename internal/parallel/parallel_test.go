@@ -299,3 +299,40 @@ func TestMapCancellationSkipsRemainingItems(t *testing.T) {
 		t.Error("every item ran; cancellation pruned nothing")
 	}
 }
+
+// TestMapChunkedLargeGrid exercises the chunked-claim path (inputs large
+// enough that chunk > 1): full coverage, index-ordered output, and error
+// attribution from deep inside a chunk.
+func TestMapChunkedLargeGrid(t *testing.T) {
+	const n = 100_000
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(context.Background(), 4, items, func(_ context.Context, i, item int) (int, error) {
+		return item * 3, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*3 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+
+	var calls atomic.Int64
+	_, err = Map(context.Background(), 4, items, func(_ context.Context, i, item int) (int, error) {
+		calls.Add(1)
+		if item == 54_321 {
+			return 0, fmt.Errorf("boom")
+		}
+		return item, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "item 54321") {
+		t.Fatalf("error should name the failing item, got %v", err)
+	}
+	if c := calls.Load(); c >= n {
+		t.Errorf("cancellation did not skip remaining chunked items (%d calls)", c)
+	}
+}

@@ -1,6 +1,8 @@
 package simcache
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"github.com/gables-model/gables/internal/kernel"
@@ -73,5 +75,48 @@ func BenchmarkCacheWarmGrid(b *testing.B) {
 	b.StopTimer()
 	if s := DefaultStats(); s.Hits == 0 || s.Evictions > 0 {
 		b.Fatalf("warm grid must run entirely from the memory layer (stats %+v)", s)
+	}
+}
+
+// BenchmarkCacheContention measures warm-hit throughput under parallel
+// load at 1 vs 16 shards: every Get takes a shard lock, so the sharded
+// layout should scale with workers where the single lock serializes.
+// Keys are picked deterministically (per-goroutine counters, no rand).
+func BenchmarkCacheContention(b *testing.B) {
+	const keys = 1024
+	keyset := make([]string, keys)
+	for i := range keyset {
+		k, err := Key("contention", i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keyset[i] = k
+	}
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := New[int](Options{Capacity: 4 * keys, Shards: shards})
+			for i, k := range keyset {
+				if _, err := c.Get(k, func() (int, error) { return i, nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(next.Add(1)) * 7919 // offset goroutines into the keyset
+				for pb.Next() {
+					k := keyset[i%keys]
+					i++
+					if _, err := c.Get(k, func() (int, error) { return 0, nil }); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			if s := c.Stats(); s.Misses != keys || s.Evictions != 0 {
+				b.Fatalf("contention run must be all warm hits (stats %+v)", s)
+			}
+		})
 	}
 }

@@ -1,0 +1,118 @@
+package simcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestShardCount pins the shard heuristic: small caches stay on one lock
+// (their tests pin exact LRU order), explicit counts round up to powers
+// of two, and nothing exceeds the capacity.
+func TestShardCount(t *testing.T) {
+	cases := []struct {
+		requested, capacity, want int
+	}{
+		{0, 2, 1},   // tiny: single shard
+		{0, 127, 1}, // below one shard per 64 entries
+		{0, 128, 2}, // auto scales with capacity
+		{0, DefaultCapacity, 16},
+		{0, 1 << 20, 16}, // auto is capped
+		{3, 4096, 4},     // explicit rounds up to a power of two
+		{16, 4096, 16},   // explicit power of two kept
+		{64, 32, 32},     // explicit capped at capacity
+		{-5, 256, 4},     // negative behaves like auto
+	}
+	for _, tc := range cases {
+		if got := shardCount(tc.requested, tc.capacity); got != tc.want {
+			t.Errorf("shardCount(%d, %d) = %d, want %d", tc.requested, tc.capacity, got, tc.want)
+		}
+	}
+}
+
+// TestShardedKeysSpread checks real cache keys land on more than one
+// shard (the hash reads the high-entropy key prefix).
+func TestShardedKeysSpread(t *testing.T) {
+	c := New[int](Options{Capacity: 4096, Shards: 16})
+	seen := make(map[*shard[int]]bool)
+	for i := 0; i < 64; i++ {
+		k, err := Key("spread", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[c.shardFor(k)] = true
+	}
+	if len(seen) < 8 {
+		t.Errorf("64 keys landed on only %d of 16 shards", len(seen))
+	}
+}
+
+// TestShardedCounterInvariant runs concurrent Gets over a sharded cache
+// and checks the merged stats preserve the exactly-one-per-Get
+// invariant: Hits + DiskHits + Coalesced + Misses equals the number of
+// Get calls, with one miss per distinct key.
+func TestShardedCounterInvariant(t *testing.T) {
+	const (
+		workers = 8
+		keys    = 100
+		rounds  = 5
+	)
+	c := New[int](Options{Capacity: 4096, Shards: 8})
+	keyset := make([]string, keys)
+	for i := range keyset {
+		k, err := Key("invariant", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keyset[i] = k
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i, k := range keyset {
+					v, err := c.Get(k, func() (int, error) { return i, nil })
+					if err != nil || v != i {
+						panic(fmt.Sprintf("Get(%d) = %d, %v", i, v, err))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	total := s.Hits + s.DiskHits + s.Coalesced + s.Misses
+	if want := int64(workers * rounds * keys); total != want {
+		t.Errorf("counters account for %d Gets, want %d (stats %+v)", total, want, s)
+	}
+	if s.Misses != keys {
+		t.Errorf("%d misses for %d distinct keys (coalesced %d)", s.Misses, keys, s.Coalesced)
+	}
+	if s.Entries != keys || s.Evictions != 0 {
+		t.Errorf("unexpected occupancy: %+v", s)
+	}
+}
+
+// TestShardedEvictionBound checks the total resident count respects the
+// configured capacity even when keys skew across shards.
+func TestShardedEvictionBound(t *testing.T) {
+	const capacity = 64
+	c := New[int](Options{Capacity: capacity, Shards: 4})
+	for i := 0; i < 10*capacity; i++ {
+		k, err := Key("evict", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Get(k, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	// Per-shard capacity is ceil(capacity/shards); a worst-case skew can
+	// not exceed shards × per-shard.
+	if s.Entries > capacity || s.Evictions == 0 {
+		t.Errorf("sharded LRU failed to bound occupancy: %+v", s)
+	}
+}

@@ -12,6 +12,11 @@
 //     GABLES_CACHE_DIR) lets reruns and CI determinism diffs skip
 //     already-simulated points across processes.
 //
+// The LRU is sharded (power-of-two shard count, per-shard mutex, shard
+// chosen by a hash of the key prefix) so parallel grid workers don't
+// serialize on one lock; a key always maps to one shard, which preserves
+// the singleflight guarantee. Stats are merged across shards on read.
+//
 // Correctness contract: a key must be content-addressed — it encodes every
 // input that can influence the value — and the computation must be
 // deterministic, so a cached value is byte-identical to a recomputed one.
@@ -56,15 +61,32 @@ type Stats struct {
 	Entries int `json:"entries"`
 }
 
+// add merges another snapshot into s (Stats is a sum across shards).
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.DiskHits += o.DiskHits
+	s.Misses += o.Misses
+	s.Coalesced += o.Coalesced
+	s.Bypassed += o.Bypassed
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+}
+
 // Options configure a Cache.
 type Options struct {
-	// Capacity bounds the in-memory entry count; <= 0 uses
+	// Capacity bounds the total in-memory entry count; <= 0 uses
 	// DefaultCapacity.
 	Capacity int
 	// Dir enables the on-disk layer in this directory (created on first
 	// write). Entries are JSON files named <key>.json. Empty disables
 	// the layer.
 	Dir string
+	// Shards sets the LRU shard count, rounded up to a power of two and
+	// capped at Capacity. 0 picks automatically: one shard per 64
+	// entries of capacity, at most 16 — small caches (the kind tests pin
+	// exact eviction order on) stay single-sharded, grid-sized caches
+	// spread contention.
+	Shards int
 }
 
 // DefaultCapacity is the in-memory bound when Options.Capacity is unset:
@@ -73,12 +95,25 @@ type Options struct {
 // in the tens of megabytes.
 const DefaultCapacity = 4096
 
+// maxAutoShards bounds the automatic shard count; contention wins flatten
+// out well before lock count reaches typical grid worker counts.
+const maxAutoShards = 16
+
 // Cache is a bounded, content-addressed result cache with singleflight
 // deduplication. The zero value is not usable; construct with New. All
 // methods are safe for concurrent use.
 type Cache[V any] struct {
+	shards []*shard[V]
+	mask   uint32
+
+	dirMu sync.Mutex
+	dir   string
+}
+
+// shard is one lock domain: a slice of the key space with its own LRU,
+// flight table and counters.
+type shard[V any] struct {
 	capacity int
-	dir      string
 
 	mu      sync.Mutex
 	entries map[string]*list.Element // key → lru element holding *entry[V]
@@ -99,19 +134,71 @@ type flight[V any] struct {
 	err  error
 }
 
+// shardCount resolves Options.Shards against the capacity.
+func shardCount(requested, capacity int) int {
+	n := requested
+	if n <= 0 {
+		n = capacity / 64
+		if n > maxAutoShards {
+			n = maxAutoShards
+		}
+	}
+	if n > capacity {
+		n = capacity
+	}
+	if n < 1 {
+		n = 1
+	}
+	// Round up to a power of two so shard selection is a mask.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // New constructs a cache.
 func New[V any](opts Options) *Cache[V] {
 	capacity := opts.Capacity
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Cache[V]{
-		capacity: capacity,
-		dir:      opts.Dir,
-		entries:  make(map[string]*list.Element),
-		lru:      list.New(),
-		flights:  make(map[string]*flight[V]),
+	n := shardCount(opts.Shards, capacity)
+	// Ceil-divide so the shards together hold at least Capacity.
+	per := (capacity + n - 1) / n
+	c := &Cache[V]{
+		shards: make([]*shard[V], n),
+		mask:   uint32(n - 1),
+		dir:    opts.Dir,
 	}
+	for i := range c.shards {
+		c.shards[i] = &shard[V]{
+			capacity: per,
+			entries:  make(map[string]*list.Element),
+			lru:      list.New(),
+			flights:  make(map[string]*flight[V]),
+		}
+	}
+	return c
+}
+
+// shardFor hashes the key prefix (run fingerprints and sha-256 keys front-
+// load their entropy) onto a shard with FNV-1a.
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	n := len(key)
+	if n > 16 {
+		n = 16
+	}
+	for i := 0; i < n; i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return c.shards[h&c.mask]
 }
 
 // Get returns the value for key, computing it with compute on a miss.
@@ -121,23 +208,24 @@ func New[V any](opts Options) *Cache[V] {
 // cached. The returned value is shared with the cache: callers must treat
 // it as immutable (wrap Get if a defensive copy is needed).
 func (c *Cache[V]) Get(key string, compute func() (V, error)) (V, error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		c.stats.Hits++
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		s.stats.Hits++
 		v := el.Value.(*entry[V]).val
-		c.mu.Unlock()
+		s.mu.Unlock()
 		return v, nil
 	}
-	if f, ok := c.flights[key]; ok {
-		c.stats.Coalesced++
-		c.mu.Unlock()
+	if f, ok := s.flights[key]; ok {
+		s.stats.Coalesced++
+		s.mu.Unlock()
 		<-f.done
 		return f.val, f.err
 	}
 	f := &flight[V]{done: make(chan struct{})}
-	c.flights[key] = f
-	c.mu.Unlock()
+	s.flights[key] = f
+	s.mu.Unlock()
 
 	fromDisk := false
 	v, err := c.loadDisk(key)
@@ -150,17 +238,17 @@ func (c *Cache[V]) Get(key string, compute func() (V, error)) (V, error) {
 		}
 	}
 
-	c.mu.Lock()
+	s.mu.Lock()
 	if fromDisk {
-		c.stats.DiskHits++
+		s.stats.DiskHits++
 	} else {
-		c.stats.Misses++
+		s.stats.Misses++
 	}
 	if err == nil {
-		c.insertLocked(key, v)
+		s.insertLocked(key, v)
 	}
-	delete(c.flights, key)
-	c.mu.Unlock()
+	delete(s.flights, key)
+	s.mu.Unlock()
 
 	f.val, f.err = v, err
 	close(f.done)
@@ -170,9 +258,10 @@ func (c *Cache[V]) Get(key string, compute func() (V, error)) (V, error) {
 // Peek reports whether key is resident in memory, without touching LRU
 // order or counters.
 func (c *Cache[V]) Peek(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.entries[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
 	return ok
 }
 
@@ -182,60 +271,67 @@ func (c *Cache[V]) Peek(key string) bool {
 // report here so the counters still account for every lookup — bypassed
 // work must not masquerade as misses.
 func (c *Cache[V]) Bypass() {
-	c.mu.Lock()
-	c.stats.Bypassed++
-	c.mu.Unlock()
+	s := c.shards[0]
+	s.mu.Lock()
+	s.stats.Bypassed++
+	s.mu.Unlock()
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, summed across shards.
 func (c *Cache[V]) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = len(c.entries)
-	return s
+	var out Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		snap := s.stats
+		snap.Entries = len(s.entries)
+		s.mu.Unlock()
+		out.add(snap)
+	}
+	return out
 }
 
 // Reset drops every in-memory entry and zeroes the counters. In-flight
 // computations are unaffected (they complete and insert into the fresh
 // table). The disk layer is not touched.
 func (c *Cache[V]) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*list.Element)
-	c.lru.Init()
-	c.stats = Stats{}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.entries = make(map[string]*list.Element)
+		s.lru.Init()
+		s.stats = Stats{}
+		s.mu.Unlock()
+	}
 }
 
-func (c *Cache[V]) insertLocked(key string, v V) {
-	if el, ok := c.entries[key]; ok {
+func (s *shard[V]) insertLocked(key string, v V) {
+	if el, ok := s.entries[key]; ok {
 		// A concurrent flight (e.g. after Reset) already reinserted.
 		el.Value.(*entry[V]).val = v
-		c.lru.MoveToFront(el)
+		s.lru.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.lru.PushFront(&entry[V]{key: key, val: v})
-	for c.lru.Len() > c.capacity {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*entry[V]).key)
-		c.stats.Evictions++
+	s.entries[key] = s.lru.PushFront(&entry[V]{key: key, val: v})
+	for s.lru.Len() > s.capacity {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*entry[V]).key)
+		s.stats.Evictions++
 	}
 }
 
 // SetDir enables (or, with "", disables) the on-disk layer on a live
 // cache; in-memory contents and counters are preserved.
 func (c *Cache[V]) SetDir(dir string) {
-	c.mu.Lock()
+	c.dirMu.Lock()
 	c.dir = dir
-	c.mu.Unlock()
+	c.dirMu.Unlock()
 }
 
-// getDir reads the disk directory under the lock: SetDir can flip it
+// getDir reads the disk directory under its lock: SetDir can flip it
 // on a live cache while flights are reading it.
 func (c *Cache[V]) getDir() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.dirMu.Lock()
+	defer c.dirMu.Unlock()
 	return c.dir
 }
 

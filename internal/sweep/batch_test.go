@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/gables-model/gables/internal/core"
+	"github.com/gables-model/gables/internal/units"
+)
+
+// benchModel is paperModel without the testing.T plumbing.
+func benchModel(bpeakGB float64) (*core.Model, error) {
+	s, err := core.TwoIP("paper", units.GopsPerSec(40), units.GBPerSec(bpeakGB), 5,
+		units.GBPerSec(6), units.GBPerSec(15))
+	if err != nil {
+		return nil, err
+	}
+	return core.New(s)
+}
+
+// gridAxes builds a fractions × intensities grid of the given shape.
+func gridAxes(nf, ni int) ([]float64, []units.Intensity) {
+	fs, _ := Steps(0, 1, nf-1)
+	intensities := make([]units.Intensity, ni)
+	for i := range intensities {
+		intensities[i] = units.Intensity(math.Exp(float64(i) / 4))
+	}
+	return fs, intensities
+}
+
+// TestFigure8GridMatchesPointAPI re-derives a grid slice through the
+// point API and checks the batch-backed sweep reproduced it bitwise:
+// migrating the sweep onto the batch evaluator must not move any byte
+// of any artifact built from it.
+func TestFigure8GridMatchesPointAPI(t *testing.T) {
+	m := paperModel(t, 10)
+	fs, intensities := gridAxes(9, 6)
+	got, err := Figure8Grid(m, fs, intensities, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.TwoIPUsecase("baseline", 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := m.Evaluate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 0
+	for _, ii := range intensities {
+		for _, f := range fs {
+			u, err := core.TwoIPUsecase("grid", f, ii, ii)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Evaluate(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := got[k]
+			k++
+			if math.Float64bits(float64(p.Attainable)) != math.Float64bits(float64(res.Attainable)) {
+				t.Errorf("f=%v I=%v: attainable %v, point API %v", f, ii, p.Attainable, res.Attainable)
+			}
+			wantNorm := float64(res.Attainable) / float64(baseRes.Attainable)
+			if math.Float64bits(p.Normalized) != math.Float64bits(wantNorm) {
+				t.Errorf("f=%v I=%v: normalized %v, point API %v", f, ii, p.Normalized, wantNorm)
+			}
+		}
+	}
+}
+
+// TestFigure8GridErrorParity pins that batch-path validation failures
+// surface the point API's error text.
+func TestFigure8GridErrorParity(t *testing.T) {
+	m := paperModel(t, 10)
+	if _, err := Figure8Grid(m, []float64{0, 1.5}, []units.Intensity{1}, 1); err == nil {
+		t.Error("out-of-range fraction accepted")
+	}
+	if _, err := WorkSplit(m, 8, 0.1, []float64{0, math.NaN()}); err == nil {
+		t.Error("NaN fraction accepted")
+	}
+	if _, err := WorkSplit(m, 0, 0.1, []float64{0.5}); err == nil {
+		t.Error("zero intensity on a working IP accepted")
+	}
+}
+
+// TestFigure8GridAllocsConstant pins the tentpole's per-cell allocation
+// bound for the analytic grid sweep: total allocations are a per-call
+// constant, so allocs per cell go to zero as the grid grows.
+func TestFigure8GridAllocsConstant(t *testing.T) {
+	m := paperModel(t, 10)
+	measure := func(nf, ni int) float64 {
+		fs, intensities := gridAxes(nf, ni)
+		return testing.AllocsPerRun(10, func() {
+			if _, err := Figure8Grid(m, fs, intensities, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, big := measure(8, 4), measure(64, 32)
+	// The result slice grows with the grid, but the evaluation loop must
+	// not: allow only the handful of buffer/result allocations to differ.
+	if big > small+8 {
+		t.Errorf("allocations scale with the grid: %v for 32 cells, %v for 2048", small, big)
+	}
+}
+
+// BenchmarkGridAnalyticBatch is the tier-1 pin for the analytic grid
+// fast path: a 64×32 Figure 8 family on the paper's two-IP rig.
+func BenchmarkGridAnalyticBatch(b *testing.B) {
+	m, err := benchModel(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, intensities := gridAxes(64, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := Figure8Grid(m, fs, intensities, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(fs)*len(intensities) {
+			b.Fatal(fmt.Errorf("short grid: %d", len(out)))
+		}
+	}
+}

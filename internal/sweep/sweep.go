@@ -44,7 +44,10 @@ func Steps(lo, hi float64, n int) ([]float64, error) {
 
 // WorkSplit sweeps the two-IP work fraction f over the given values,
 // evaluating Pattainable with intensities i0 and i1 — Gables' prediction
-// for the paper's Figure 8 x-axis.
+// for the paper's Figure 8 x-axis. The sweep runs on the model's batch
+// evaluator: loop-invariant model terms are hoisted once and the inner
+// loop is allocation-free, with results bitwise identical to the point
+// API (the core batch contract).
 func WorkSplit(m *core.Model, i0, i1 units.Intensity, fs []float64) ([]Point, error) {
 	if len(m.SoC.IPs) != 2 {
 		return nil, fmt.Errorf("sweep: work-split sweep needs a two-IP SoC, got %d IPs", len(m.SoC.IPs))
@@ -52,19 +55,60 @@ func WorkSplit(m *core.Model, i0, i1 units.Intensity, fs []float64) ([]Point, er
 	if len(fs) == 0 {
 		return nil, fmt.Errorf("sweep: no fractions")
 	}
+	be, err := m.Batch()
+	if err != nil {
+		return nil, err
+	}
+	cs := core.NewCells(2, len(fs))
+	fillTwoIP(cs, fs, i0, i1)
+	res := core.NewCellResults(2, len(fs))
+	if bad, ok := evalGrid(be, cs, false, res); !ok {
+		return nil, twoIPCellError(m, fmt.Sprintf("f=%v", fs[bad]), fs[bad], i0, i1)
+	}
 	out := make([]Point, 0, len(fs))
-	for _, f := range fs {
-		u, err := core.TwoIPUsecase(fmt.Sprintf("f=%v", f), f, i0, i1)
-		if err != nil {
-			return nil, err
-		}
-		res, err := m.Evaluate(u)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Point{X: f, Attainable: res.Attainable, Bottleneck: res.Bottleneck})
+	for c, f := range fs {
+		out = append(out, Point{X: f, Attainable: units.OpsPerSec(res.Attainable[c]), Bottleneck: res.Bottleneck[c]})
 	}
 	return out, nil
+}
+
+// fillTwoIP writes the two-IP mixing cells ((1-f) at IP0/i0, f at
+// IP1/i1), replicating core.TwoIPUsecase's arithmetic; invalid f values
+// are caught cell-by-cell during evaluation.
+//
+//gables:allocfree
+func fillTwoIP(cs *core.Cells, fs []float64, i0, i1 units.Intensity) {
+	for c, f := range fs {
+		cs.Set(c, 0, 1-f, float64(i0))
+		cs.Set(c, 1, f, float64(i1))
+	}
+}
+
+// evalGrid is the shared allocation-free inner loop of the analytic
+// sweeps: evaluate every cell, reporting the first invalid one.
+//
+//gables:allocfree
+func evalGrid(be *core.BatchEval, cs *core.Cells, serialized bool, res *core.CellResults) (int, bool) {
+	for c := 0; c < cs.Len(); c++ {
+		if !be.EvaluateCell(cs, c, serialized, res) {
+			return c, false
+		}
+	}
+	return 0, true
+}
+
+// twoIPCellError reproduces the point API's error for an invalid two-IP
+// cell: the batch path only reports that a cell failed validation, so the
+// slow path is re-run once to name the reason exactly as it always has.
+func twoIPCellError(m *core.Model, name string, f float64, i0, i1 units.Intensity) error {
+	u, err := core.TwoIPUsecase(name, f, i0, i1)
+	if err != nil {
+		return err
+	}
+	if _, err := m.Evaluate(u); err != nil {
+		return err
+	}
+	return fmt.Errorf("sweep: cell %q failed batch validation", name)
 }
 
 // MemoryBandwidth sweeps Bpeak over the given values for a fixed usecase —
@@ -100,21 +144,53 @@ func Intensity(m *core.Model, u *core.Usecase, ipIndex int, intensities []units.
 	if len(intensities) == 0 {
 		return nil, fmt.Errorf("sweep: no intensities")
 	}
-	out := make([]Point, 0, len(intensities))
 	for _, ii := range intensities {
 		if ii <= 0 {
 			return nil, fmt.Errorf("sweep: intensity must be positive, got %v", float64(ii))
 		}
-		variant := *u
-		variant.Work = append([]core.Work(nil), u.Work...)
-		variant.Work[ipIndex].Intensity = ii
-		res, err := m.Evaluate(&variant)
-		if err != nil {
+	}
+	if len(u.Work) != len(m.SoC.IPs) {
+		// The batch cells are SoC-width; let the point API report the
+		// shape mismatch the way it always has.
+		if _, err := m.Evaluate(u); err != nil {
 			return nil, err
 		}
-		out = append(out, Point{X: float64(ii), Attainable: res.Attainable, Bottleneck: res.Bottleneck})
+		return nil, fmt.Errorf("sweep: usecase %q has %d work entries for a %d-IP SoC", u.Name, len(u.Work), len(m.SoC.IPs))
+	}
+	be, err := m.Batch()
+	if err != nil {
+		return nil, err
+	}
+	cs := core.NewCells(len(u.Work), len(intensities))
+	fillIntensity(cs, u, ipIndex, intensities)
+	res := core.NewCellResults(len(u.Work), len(intensities))
+	if bad, ok := evalGrid(be, cs, false, res); !ok {
+		variant := *u
+		variant.Work = append([]core.Work(nil), u.Work...)
+		variant.Work[ipIndex].Intensity = intensities[bad]
+		if _, err := m.Evaluate(&variant); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("sweep: intensity cell %v failed batch validation", float64(intensities[bad]))
+	}
+	out := make([]Point, 0, len(intensities))
+	for c, ii := range intensities {
+		out = append(out, Point{X: float64(ii), Attainable: units.OpsPerSec(res.Attainable[c]), Bottleneck: res.Bottleneck[c]})
 	}
 	return out, nil
+}
+
+// fillIntensity writes the usecase's work vector into every cell with
+// the swept IP's intensity overridden.
+//
+//gables:allocfree
+func fillIntensity(cs *core.Cells, u *core.Usecase, ipIndex int, intensities []units.Intensity) {
+	for c, ii := range intensities {
+		for i, w := range u.Work {
+			cs.Set(c, i, w.Fraction, float64(w.Intensity))
+		}
+		cs.Set(c, ipIndex, u.Work[ipIndex].Fraction, float64(ii))
+	}
 }
 
 // MissRatio sweeps one IP's SRAM miss ratio under the §V-A extension —
@@ -155,11 +231,16 @@ type GridPoint struct {
 	Normalized float64
 }
 
-// Figure8Grid evaluates the family of mixing curves on the model.
-// baseline is the intensity that normalizes the grid (the paper uses 1).
+// Figure8Grid evaluates the family of mixing curves on the model's batch
+// evaluator: one hoisted model, one cell buffer, an allocation-free inner
+// loop, and bitwise the same numbers the point API produced. baseline is
+// the intensity that normalizes the grid (the paper uses 1).
 func Figure8Grid(m *core.Model, fs []float64, intensities []units.Intensity, baseline units.Intensity) ([]GridPoint, error) {
 	if len(fs) == 0 || len(intensities) == 0 {
 		return nil, fmt.Errorf("sweep: empty grid")
+	}
+	if len(m.SoC.IPs) != 2 {
+		return nil, fmt.Errorf("sweep: figure-8 grid needs a two-IP SoC, got %d IPs", len(m.SoC.IPs))
 	}
 	base, err := core.TwoIPUsecase("baseline", 0, baseline, baseline)
 	if err != nil {
@@ -172,22 +253,41 @@ func Figure8Grid(m *core.Model, fs []float64, intensities []units.Intensity, bas
 	if baseRes.Attainable <= 0 {
 		return nil, fmt.Errorf("sweep: degenerate baseline")
 	}
-	var out []GridPoint
-	for _, ii := range intensities {
-		for _, f := range fs {
-			u, err := core.TwoIPUsecase("grid", f, ii, ii)
-			if err != nil {
-				return nil, err
-			}
-			res, err := m.Evaluate(u)
-			if err != nil {
-				return nil, err
-			}
+	be, err := m.Batch()
+	if err != nil {
+		return nil, err
+	}
+	cells := len(intensities) * len(fs)
+	cs := core.NewCells(2, cells)
+	fillFigure8(cs, fs, intensities)
+	res := core.NewCellResults(2, cells)
+	if bad, ok := evalGrid(be, cs, false, res); !ok {
+		f, ii := fs[bad%len(fs)], intensities[bad/len(fs)]
+		return nil, twoIPCellError(m, "grid", f, ii, ii)
+	}
+	out := make([]GridPoint, 0, cells)
+	for ci, ii := range intensities {
+		for fi, f := range fs {
+			c := ci*len(fs) + fi
 			out = append(out, GridPoint{
-				F: f, Intensity: ii, Attainable: res.Attainable,
-				Normalized: float64(res.Attainable) / float64(baseRes.Attainable),
+				F: f, Intensity: ii, Attainable: units.OpsPerSec(res.Attainable[c]),
+				Normalized: res.Attainable[c] / float64(baseRes.Attainable),
 			})
 		}
 	}
 	return out, nil
+}
+
+// fillFigure8 writes the (intensity-major × fraction) mixing cells with
+// I0 = I1 = I, the Figure 8 family's work shape.
+//
+//gables:allocfree
+func fillFigure8(cs *core.Cells, fs []float64, intensities []units.Intensity) {
+	for ci, ii := range intensities {
+		for fi, f := range fs {
+			c := ci*len(fs) + fi
+			cs.Set(c, 0, 1-f, float64(ii))
+			cs.Set(c, 1, f, float64(ii))
+		}
+	}
 }
