@@ -11,9 +11,11 @@
 //
 // With -check the process exits 1 when any benchmark regressed (ns/op or
 // allocs/op grew by more than the threshold relative to the previous
-// record), or when the parallel experiment harness fell below the pinned
+// record), when the parallel experiment harness fell below the pinned
 // HarnessParallelFloor speedup over the sequential baseline on a machine
-// with enough cores. CI runs this as a non-blocking perf-smoke job and uploads the
+// with enough cores, or when the surrogate backend's fitted fast path
+// fell below the pinned SurrogateSpeedupFloor over the equivalent cold
+// sim query. CI runs this as a non-blocking perf-smoke job and uploads the
 // refreshed trajectory as an artifact; DESIGN.md §6 describes how to read
 // and refresh the committed file.
 package main
@@ -42,8 +44,9 @@ type target struct {
 // core, the bandwidth servers, the whole simulated kernel path, the model
 // evaluator, the experiment harness (sequential and parallel, so the
 // speedup floor below is checkable from one record), the batched analytic
-// grid, the coarse-to-fine sim grid, and the simulation-result cache
-// (cold vs warm sweep grids).
+// grid, the coarse-to-fine sim grid, the simulation-result cache (cold vs
+// warm sweep grids), and the surrogate backend (fitted fast path vs the
+// cold sim query it stands in for, plus the warm-cache re-calibration).
 var suite = []target{
 	{Pkg: "./internal/sim/engine", Bench: ".", Tier1: true},
 	{Pkg: "./internal/sim/mem", Bench: ".", Tier1: true},
@@ -53,6 +56,7 @@ var suite = []target{
 	{Pkg: "./internal/sweep", Bench: "BenchmarkGridAnalyticBatch$", Tier1: true},
 	{Pkg: "./internal/gridplan", Bench: "BenchmarkGridCoarseToFine$", Tier1: true},
 	{Pkg: "./internal/simcache", Bench: "BenchmarkCacheColdGrid$|BenchmarkCacheWarmGrid$", Tier1: true},
+	{Pkg: "./internal/surrogate", Bench: "BenchmarkSurrogateEvaluate$|BenchmarkSurrogateSimCold$|BenchmarkCalibrate$", Tier1: true},
 }
 
 // HarnessParallelFloor is the pinned minimum speedup of the parallel
@@ -104,6 +108,49 @@ func CheckHarnessRatio(results []Result, ncpu int) (line string, miss bool) {
 		return fmt.Sprintf("harness parallel speedup %.2fx (floor %.1fx)",
 			ratio, HarnessParallelFloor), false
 	}
+}
+
+// SurrogateSpeedupFloor is the pinned minimum speedup of the surrogate
+// backend's fitted fast path over the cold sim query it replaces
+// (BenchmarkSurrogateSimCold resets the simulation cache every iteration,
+// so the ratio compares against genuine measurement cost, not a cache
+// hit). Unlike the harness floor this one is not CPU-gated: both sides
+// are single-threaded closed-form-vs-simulation work.
+const SurrogateSpeedupFloor = 100
+
+// SurrogateRatio extracts the cold-sim/fitted ns-per-op ratio (the
+// surrogate speedup) from one record's results; ok is false when either
+// benchmark is missing from the run.
+func SurrogateRatio(results []Result) (ratio float64, ok bool) {
+	var fast, cold float64
+	for _, r := range results {
+		switch r.Name {
+		case "BenchmarkSurrogateEvaluate":
+			fast = r.NsPerOp
+		case "BenchmarkSurrogateSimCold":
+			cold = r.NsPerOp
+		}
+	}
+	if fast <= 0 || cold <= 0 {
+		return 0, false
+	}
+	return cold / fast, true
+}
+
+// CheckSurrogateRatio renders the speedup line for the log and reports
+// whether the floor was missed. An empty line means the run did not
+// include both surrogate benchmarks.
+func CheckSurrogateRatio(results []Result) (line string, miss bool) {
+	ratio, ok := SurrogateRatio(results)
+	if !ok {
+		return "", false
+	}
+	if ratio < SurrogateSpeedupFloor {
+		return fmt.Sprintf("FLOOR MISS surrogate fast-path speedup %.0fx < %.0fx floor",
+			ratio, float64(SurrogateSpeedupFloor)), true
+	}
+	return fmt.Sprintf("surrogate fast-path speedup %.0fx (floor %.0fx)",
+		ratio, float64(SurrogateSpeedupFloor)), false
 }
 
 // Result is one benchmark's measurement.
@@ -315,6 +362,11 @@ func run(args []string, stdout *os.File) int {
 	if ratioLine != "" {
 		logf("%s\n", ratioLine)
 	}
+	surLine, surMiss := CheckSurrogateRatio(results)
+	if surLine != "" {
+		logf("%s\n", surLine)
+	}
+	floorMiss = floorMiss || surMiss
 
 	if !*dry {
 		traj.Records = append(traj.Records, cur)

@@ -125,6 +125,43 @@ func TestCheckHarnessRatioFloor(t *testing.T) {
 	}
 }
 
+func surrogateResults(fast, cold float64) []Result {
+	return []Result{
+		{Name: "BenchmarkSurrogateEvaluate", NsPerOp: fast},
+		{Name: "BenchmarkSurrogateSimCold", NsPerOp: cold},
+		{Name: "BenchmarkCalibrate", NsPerOp: 1},
+	}
+}
+
+func TestSurrogateRatio(t *testing.T) {
+	if ratio, ok := SurrogateRatio(surrogateResults(100, 20000)); !ok || ratio != 200 {
+		t.Errorf("ratio = %v, %v; want 200, true", ratio, ok)
+	}
+	if _, ok := SurrogateRatio([]Result{{Name: "BenchmarkSurrogateEvaluate", NsPerOp: 100}}); ok {
+		t.Error("missing cold-sim result must not produce a ratio")
+	}
+	if _, ok := SurrogateRatio(nil); ok {
+		t.Error("empty results must not produce a ratio")
+	}
+}
+
+func TestCheckSurrogateRatioFloor(t *testing.T) {
+	// Above the floor: logged, no miss.
+	line, miss := CheckSurrogateRatio(surrogateResults(100, 20000))
+	if miss || line == "" {
+		t.Errorf("200x: line=%q miss=%v, want logged pass", line, miss)
+	}
+	// Below the floor: miss.
+	line, miss = CheckSurrogateRatio(surrogateResults(100, 5000))
+	if !miss {
+		t.Errorf("50x must miss the %vx floor (line=%q)", SurrogateSpeedupFloor, line)
+	}
+	// Surrogate benchmarks absent (e.g. a filtered run): silent no-op.
+	if line, miss := CheckSurrogateRatio(nil); line != "" || miss {
+		t.Errorf("no surrogate results: line=%q miss=%v, want silence", line, miss)
+	}
+}
+
 func TestLoadSaveRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
 

@@ -13,19 +13,28 @@
 // plain-text utilization summary to stderr; both are observe-only but
 // bypass the simulation cache.
 //
-// -refine routes the mixing grid through the coarse-to-fine planner:
+// -refine routes the mixing grid — and, when -validate is set, the
+// validation grid's measured column — through the coarse-to-fine planner:
 // "exact" still simulates every cell but byte-verifies the plan (the CI
 // posture), "fast" interpolates tile interiors whose probes land within
 // -refine-tol and prints the planner's savings to stderr.
 //
+// -calibrate fits (or loads, when -calibration-dir or
+// $GABLES_CALIBRATION_DIR holds a matching artifact) the surrogate
+// backend's calibration for the selected chip and prints the fitted
+// roofline parameters, the efficiency-table residuals, and the artifact's
+// content address.
+//
 // Usage:
 //
-//	gables-erb [-chip 835|821] [-ip CPU,GPU,DSP] [-mixing] [-refine off|exact|fast] [-native] [-cache dir] [-trace file] [-metrics] [-v] [-dir out]
+//	gables-erb [-chip 835|821] [-ip CPU,GPU,DSP] [-mixing] [-refine off|exact|fast] [-calibrate] [-native] [-cache dir] [-trace file] [-metrics] [-v] [-dir out]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,6 +48,7 @@ import (
 	"github.com/gables-model/gables/internal/sim"
 	"github.com/gables-model/gables/internal/sim/trace"
 	"github.com/gables-model/gables/internal/simcache"
+	"github.com/gables-model/gables/internal/surrogate"
 )
 
 func main() {
@@ -56,13 +66,13 @@ func main() {
 	verbose := flag.Bool("v", false, "print cache statistics to stderr after the run")
 	backend := flag.String("backend", "", "evaluation backend for the mixing analysis: "+
 		strings.Join(eval.Names(), "|")+" (default sim; auto routes to analytic inside the calibrated envelope)")
+	calibrate := flag.Bool("calibrate", false, "fit (or load) the surrogate calibration for -chip and print the fitted parameters")
+	calibDir := flag.String("calibration-dir", "", "persist surrogate calibration artifacts in this directory (default $"+surrogate.EnvDir+")")
 	flag.Parse()
 
-	if *backend != "" {
-		if err := eval.SetDefault(*backend); err != nil {
-			fmt.Fprintln(os.Stderr, "gables-erb:", err)
-			os.Exit(1)
-		}
+	if err := selectBackend(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "gables-erb:", err)
+		os.Exit(1)
 	}
 	if *cacheDir != "" {
 		simcache.EnableDisk(*cacheDir)
@@ -79,9 +89,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gables-erb:", err)
 		os.Exit(1)
 	}
-	err = run(*chip, *ips, *mixing, *native, *dir, refineOpts)
-	if err == nil && *validate {
-		err = runValidation(*chip)
+	if *calibrate {
+		err = runCalibrate(os.Stdout, *chip, *calibDir)
+	} else {
+		err = run(*chip, *ips, *mixing, *native, *dir, refineOpts)
+		if err == nil && *validate {
+			err = runValidation(*chip, refineOpts)
+		}
 	}
 	if session != nil && err == nil {
 		err = writeTraceArtifacts(session, *traceFile, *metrics)
@@ -111,20 +125,83 @@ func writeTraceArtifacts(session *trace.Session, traceFile string, metrics bool)
 	return nil
 }
 
+// selectBackend validates -backend at flag-parse time — a typo'd name
+// fails immediately with the allowed set, before any sweep has run — and
+// installs the valid, non-empty name as the process-default evaluator.
+func selectBackend(name string) error {
+	if err := eval.CheckBackend(name); err != nil {
+		return err
+	}
+	if name == "" {
+		return nil
+	}
+	return eval.SetDefault(name)
+}
+
+// chipConfig resolves the -chip flag to a simulated chip preset.
+func chipConfig(chip string) (sim.Config, error) {
+	switch chip {
+	case "835":
+		return sim.Snapdragon835(), nil
+	case "821":
+		return sim.Snapdragon821(), nil
+	default:
+		return sim.Config{}, fmt.Errorf("unknown chip %q (want 835 or 821)", chip)
+	}
+}
+
+// runCalibrate fits (or loads) the surrogate calibration for the chip and
+// prints the fitted roofline parameters and residual summary — the
+// human-readable face of the artifact the surrogate backend answers from.
+func runCalibrate(w io.Writer, chip, dir string) error {
+	cfg, err := chipConfig(chip)
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		dir = os.Getenv(surrogate.EnvDir)
+	}
+	backend := surrogate.New(surrogate.Options{Dir: dir})
+	cal, err := backend.Calibration(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "surrogate calibration for %s (fingerprint %s):\n", cal.Chip, cal.Fingerprint)
+	fmt.Fprintf(w, "  Bpeak: %.4g GB/s\n", cal.Bpeak/1e9)
+	tbl := report.NewTable("fitted rooflines", "IP", "peak GFLOPS/s", "link GB/s", "fit residual")
+	for _, ip := range cal.IPs {
+		tbl.AddRow(ip.Name, ip.Peak/1e9, ip.Bandwidth/1e9, fmt.Sprintf("%.1f%%", 100*ip.Residual))
+	}
+	if err := tbl.WriteText(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "efficiency table: %d buckets, residual mean %.1f%%, max %.1f%%\n",
+		len(cal.Table), 100*cal.ResidualMean, 100*cal.ResidualMax)
+	if dir != "" {
+		fmt.Fprintf(w, "artifact: %s\n", surrogate.NewStore(dir).Path(cal.Fingerprint))
+	}
+	return nil
+}
+
 // runValidation prints the model-vs-simulator grid (the paper's "correct
-// shape and reasonable relative error" bar).
-func runValidation(chip string) error {
-	cfg := sim.Snapdragon835()
-	if chip == "821" {
-		cfg = sim.Snapdragon821()
+// shape and reasonable relative error" bar). A non-nil refine routes the
+// measured column through the coarse-to-fine planner.
+func runValidation(chip string, refine *gridplan.Options) error {
+	cfg, err := chipConfig(chip)
+	if err != nil {
+		return err
 	}
 	sys, err := sim.New(cfg)
 	if err != nil {
 		return err
 	}
-	res, err := erb.ValidateModel(sys, erb.ValidationOptions{CPU: "CPU", Accel: "GPU"})
+	res, err := erb.ValidateModel(sys, erb.ValidationOptions{CPU: "CPU", Accel: "GPU", Refine: refine})
 	if err != nil {
 		return err
+	}
+	if res.Plan != nil {
+		fmt.Fprintf(os.Stderr, "validation plan: %d simulated, %d interpolated, %d/%d tiles refined, max probe err %.3f\n",
+			res.Plan.Evaluated, res.Plan.Interpolated, res.Plan.RefinedTiles, res.Plan.Tiles, res.Plan.MaxInterpErr)
 	}
 	tbl := report.NewTable("model vs simulator (GFLOPS/s)", "f", "I (ops/B)", "predicted", "measured", "rel err")
 	for _, c := range res.Cells {
@@ -159,14 +236,9 @@ func parseRefine(mode string, tol float64) (*gridplan.Options, error) {
 }
 
 func run(chip, ips string, mixing, native bool, dir string, refine *gridplan.Options) error {
-	var cfg sim.Config
-	switch chip {
-	case "835":
-		cfg = sim.Snapdragon835()
-	case "821":
-		cfg = sim.Snapdragon821()
-	default:
-		return fmt.Errorf("unknown chip %q (want 835 or 821)", chip)
+	cfg, err := chipConfig(chip)
+	if err != nil {
+		return err
 	}
 	sys, err := sim.New(cfg)
 	if err != nil {

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"github.com/gables-model/gables/internal/eval"
 	"github.com/gables-model/gables/internal/gridplan"
 )
 
@@ -61,7 +65,74 @@ func TestParseRefine(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := runValidation("835"); err != nil {
+	if err := runValidation("835", nil); err != nil {
 		t.Fatalf("validation failed: %v", err)
+	}
+}
+
+func TestRunValidationRefined(t *testing.T) {
+	if err := runValidation("835", &gridplan.Options{}); err != nil {
+		t.Fatalf("refined (exact-mode) validation failed: %v", err)
+	}
+	if err := runValidation("999", nil); err == nil {
+		t.Error("unknown chip must fail")
+	}
+}
+
+// TestSelectBackend is the flag-parse-time gate: every registered backend
+// name (surrogate included) is accepted, anything else fails immediately
+// with the allowed set.
+func TestSelectBackend(t *testing.T) {
+	defer func() {
+		if err := eval.SetDefault("sim"); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	valid := append([]string{""}, eval.Names()...)
+	for _, name := range valid {
+		if err := selectBackend(name); err != nil {
+			t.Errorf("selectBackend(%q) = %v, want nil", name, err)
+		}
+	}
+	for _, name := range []string{"bogus", "SIM", "simulator"} {
+		err := selectBackend(name)
+		if err == nil {
+			t.Errorf("selectBackend(%q) accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "allowed:") || !strings.Contains(err.Error(), "surrogate") {
+			t.Errorf("selectBackend(%q) error %q does not list the allowed set", name, err)
+		}
+	}
+}
+
+// TestRunCalibrate drives the -calibrate entry point end to end: fit,
+// print, persist, and re-load from the persisted artifact.
+func TestRunCalibrate(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := runCalibrate(&out, "835", dir); err != nil {
+		t.Fatalf("calibrate failed: %v", err)
+	}
+	for _, want := range []string{"surrogate calibration for", "Bpeak", "CPU", "efficiency table", "artifact: "} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("calibrate output missing %q:\n%s", want, out.String())
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("artifact dir entries = %v, err %v, want exactly one artifact", entries, err)
+	}
+	// Second run loads the artifact instead of re-fitting and prints the
+	// same parameters.
+	var again bytes.Buffer
+	if err := runCalibrate(&again, "835", dir); err != nil {
+		t.Fatalf("re-calibrate failed: %v", err)
+	}
+	if out.String() != again.String() {
+		t.Errorf("loaded calibration prints differently:\nfit:  %s\nload: %s", out.String(), again.String())
+	}
+	if err := runCalibrate(io.Discard, "999", dir); err == nil {
+		t.Error("unknown chip must fail")
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"github.com/gables-model/gables/internal/parallel"
 	"github.com/gables-model/gables/internal/sim/trace"
 	"github.com/gables-model/gables/internal/simcache"
+	_ "github.com/gables-model/gables/internal/surrogate" // registers -backend=surrogate
 )
 
 func main() {
@@ -60,11 +61,9 @@ func main() {
 		}
 		return
 	}
-	if *backend != "" {
-		if err := eval.SetDefault(*backend); err != nil {
-			fmt.Fprintln(os.Stderr, "gables-repro:", err)
-			os.Exit(1)
-		}
+	if err := selectBackend(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "gables-repro:", err)
+		os.Exit(1)
 	}
 	if *cacheDir != "" {
 		simcache.EnableDisk(*cacheDir)
@@ -87,6 +86,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gables-repro:", err)
 		os.Exit(1)
 	}
+}
+
+// selectBackend validates -backend at flag-parse time — a typo'd name
+// fails immediately with the allowed set, before any experiment has run —
+// and installs the valid, non-empty name as the process-default evaluator.
+func selectBackend(name string) error {
+	if err := eval.CheckBackend(name); err != nil {
+		return err
+	}
+	if name == "" {
+		return nil
+	}
+	return eval.SetDefault(name)
 }
 
 // writeTraceArtifacts exports the session's trace file and/or metrics

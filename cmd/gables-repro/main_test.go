@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/gables-model/gables/internal/eval"
 	"github.com/gables-model/gables/internal/simcache"
 )
 
@@ -135,6 +136,33 @@ func TestRunDeterministicColdVsWarmCache(t *testing.T) {
 	for name, data := range coldFiles {
 		if !bytes.Equal(data, warmFiles[name]) {
 			t.Errorf("artifact %s differs between cold and warm cache runs", name)
+		}
+	}
+}
+
+// TestSelectBackend is the flag-parse-time gate: every registered backend
+// name (surrogate included) is accepted, anything else fails immediately
+// with the allowed set.
+func TestSelectBackend(t *testing.T) {
+	defer func() {
+		if err := eval.SetDefault("sim"); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	valid := append([]string{""}, eval.Names()...)
+	for _, name := range valid {
+		if err := selectBackend(name); err != nil {
+			t.Errorf("selectBackend(%q) = %v, want nil", name, err)
+		}
+	}
+	for _, name := range []string{"bogus", "SIM", "simulator"} {
+		err := selectBackend(name)
+		if err == nil {
+			t.Errorf("selectBackend(%q) accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "allowed:") || !strings.Contains(err.Error(), "surrogate") {
+			t.Errorf("selectBackend(%q) error %q does not list the allowed set", name, err)
 		}
 	}
 }

@@ -60,11 +60,9 @@ func main() {
 		strings.Join(eval.Names(), "|")+" (default sim; requests override with ?backend=)")
 	flag.Parse()
 
-	if *backend != "" {
-		if err := eval.SetDefault(*backend); err != nil {
-			fmt.Fprintln(os.Stderr, "gables-web:", err)
-			os.Exit(1)
-		}
+	if err := selectBackend(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "gables-web:", err)
+		os.Exit(1)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -73,6 +71,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gables-web:", err)
 		os.Exit(1)
 	}
+}
+
+// selectBackend validates -backend at flag-parse time — a typo'd name
+// fails immediately with the allowed set, before the listeners come up —
+// and installs the valid, non-empty name as the process-default evaluator.
+func selectBackend(name string) error {
+	if err := eval.CheckBackend(name); err != nil {
+		return err
+	}
+	if name == "" {
+		return nil
+	}
+	return eval.SetDefault(name)
 }
 
 // newServer returns an http.Server with the hardening timeouts applied —

@@ -41,8 +41,9 @@ var exemptPkgs = []string{
 	"internal/eval",
 	"internal/core",
 	"internal/simcache",
-	"internal/sim", // the substrate subtree: sim, sim/ip, sim/cpu, sim/trace...
-	"examples",     // pedagogical walkthroughs of the public analytic API
+	"internal/sim",       // the substrate subtree: sim, sim/ip, sim/cpu, sim/trace...
+	"internal/surrogate", // a backend implementation: its fast path IS a (fitted) core.Model
+	"examples",           // pedagogical walkthroughs of the public analytic API
 }
 
 func run(pass *analysis.Pass) error {

@@ -94,3 +94,46 @@ func absRel(got, want float64) float64 {
 	}
 	return d / want
 }
+
+// TestValidateRefineExactMatchesDense pins the same contract for the
+// validation grid: ValidateModel with Refine in exact mode (the zero
+// Options value) produces byte-identical Cells and aggregates to the
+// dense grid, plus plan stats.
+func TestValidateRefineExactMatchesDense(t *testing.T) {
+	sys := system(t)
+	opts := ValidationOptions{
+		CPU: "CPU", Accel: "GPU",
+		Fractions:    []float64{0, 0.25, 0.5, 0.75, 1},
+		FlopsPerWord: []int{8, 512, 8192},
+		Words:        1 << 20,
+	}
+	simcache.ResetDefault()
+	dense, err := ValidateModel(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOpts := opts
+	refOpts.Refine = &gridplan.Options{RowStride: 2, ColStride: 2}
+	refined, err := ValidateModel(sys, refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Plan == nil {
+		t.Fatal("refined run reported no plan stats")
+	}
+	if dense.Plan != nil {
+		t.Error("dense run reported plan stats")
+	}
+	if !reflect.DeepEqual(refined.Cells, dense.Cells) {
+		t.Errorf("exact-mode refined grid diverged from dense grid:\nrefined %+v\ndense   %+v", refined.Cells, dense.Cells)
+	}
+	if refined.MeanRelError != dense.MeanRelError || refined.MaxRelError != dense.MaxRelError ||
+		refined.ShapeConsistent != dense.ShapeConsistent {
+		t.Errorf("refined aggregates diverged: mean %v/%v max %v/%v shape %v/%v",
+			refined.MeanRelError, dense.MeanRelError, refined.MaxRelError, dense.MaxRelError,
+			refined.ShapeConsistent, dense.ShapeConsistent)
+	}
+	if got := refined.Plan.Evaluated + refined.Plan.Interpolated; got != len(dense.Cells) {
+		t.Errorf("plan stats cover %d cells, grid has %d", got, len(dense.Cells))
+	}
+}

@@ -152,14 +152,41 @@ type Outcome struct {
 	TieRatio float64 `json:"tie_ratio,omitempty"`
 	// DRAMUtilization, sim only, is measured DRAM busy fraction.
 	DRAMUtilization float64 `json:"dram_utilization,omitempty"`
+	// Confidence, surrogate only, bounds the answer with the fitted
+	// model's calibration residuals. Backends that answer exactly (sim)
+	// or within the differential oracle's global bands (analytic) leave
+	// it nil — in particular, a surrogate fallback to sim carries no
+	// Confidence, keeping the fallback byte-identical to the sim backend.
+	Confidence *Confidence `json:"confidence,omitempty"`
 	// IPs holds per-IP detail for the active IPs, in chip order.
 	IPs []IPOutcome `json:"ips"`
+}
+
+// Confidence is a residual-derived envelope around a fitted-model answer:
+// the producing backend asserts the true (measured) Attainable lies within
+// RelErrBound of the reported one, based on the calibration residuals of
+// the bucket that answered.
+type Confidence struct {
+	// RelErrBound is the asserted relative error bound on Attainable.
+	RelErrBound float64 `json:"rel_err_bound"`
+	// Lo and Hi are Attainable·(1∓RelErrBound), the asserted interval.
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// Bucket names the calibration bucket that answered (e.g.
+	// "fpw=512/f=0.5"), for residual-table triage.
+	Bucket string `json:"bucket"`
+	// Efficiency is the calibrated sim/analytic correction applied.
+	Efficiency float64 `json:"efficiency"`
 }
 
 // Clone returns a deep copy; cache-resident outcomes stay immutable.
 func (o *Outcome) Clone() *Outcome {
 	cp := *o
 	cp.IPs = append([]IPOutcome(nil), o.IPs...)
+	if o.Confidence != nil {
+		conf := *o.Confidence
+		cp.Confidence = &conf
+	}
 	return &cp
 }
 

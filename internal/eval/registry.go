@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/gables-model/gables/internal/kernel"
@@ -66,6 +67,23 @@ func namesLocked() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// CheckBackend validates a backend name without constructing the backend:
+// the CLIs call it at flag-parse time so a typo'd -backend fails
+// immediately with the allowed set, instead of surfacing later as a
+// registry error mid-run. The empty name is valid (it means "keep the
+// process default").
+func CheckBackend(name string) error {
+	if name == "" {
+		return nil
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, ok := registry[name]; !ok {
+		return fmt.Errorf("eval: unknown backend %q (allowed: %s)", name, strings.Join(namesLocked(), ", "))
+	}
+	return nil
 }
 
 // SetDefault selects the process-default backend (what Default returns
@@ -146,39 +164,60 @@ func (e Envelope) Check(q Query) error {
 	return nil
 }
 
-// Auto routes each query to the cheapest trustworthy backend: analytic
-// inside the calibrated envelope, measurement otherwise. The produced
-// Outcome's Backend field records which one answered.
+// Checker gates a router's fast path: nil means the query lies inside the
+// region where the fast backend is trusted. Envelope implements it with
+// the oracle-calibrated constants; the surrogate backend implements it
+// with its per-chip calibration residuals.
+type Checker interface {
+	Check(q Query) error
+}
+
+// Auto routes each query to the cheapest trustworthy backend: the fast
+// evaluator inside the checker's envelope, the fallback otherwise. The
+// produced Outcome's Backend field records which one answered. The
+// registry's "auto" instance pairs analytic with sim under the default
+// envelope; NewRouter builds the same machinery around other pairs (the
+// surrogate backend routes its fitted fast path over sim with it).
 type Auto struct {
-	analytic Evaluator
-	sim      Evaluator
-	env      Envelope
+	name        string
+	description string
+	fast        Evaluator
+	fallback    Evaluator
+	env         Checker
 }
 
-// NewAuto builds the router.
+// NewAuto builds the analytic-over-sim router.
 func NewAuto(analytic, sim Evaluator, env Envelope) *Auto {
-	return &Auto{analytic: analytic, sim: sim, env: env}
+	return NewRouter("auto", "analytic inside the calibrated envelope, sim outside", analytic, sim, env)
 }
 
-// Meta implements Evaluator.
+// NewRouter builds a named envelope router over an arbitrary fast/fallback
+// pair.
+func NewRouter(name, description string, fast, fallback Evaluator, env Checker) *Auto {
+	return &Auto{name: name, description: description, fast: fast, fallback: fallback, env: env}
+}
+
+// Meta implements Evaluator. The fidelity is the fallback's: that is the
+// semantics the router guarantees everywhere, the fast path merely matches
+// it inside the envelope.
 func (a *Auto) Meta() Meta {
 	return Meta{
-		Name:        "auto",
+		Name:        a.name,
 		Fidelity:    FidelitySimulation,
-		Description: "analytic inside the calibrated envelope, sim outside",
+		Description: a.description,
 	}
 }
 
-// Supports implements Evaluator: Auto answers whatever the measurement
+// Supports implements Evaluator: the router answers whatever its fallback
 // backend can.
-func (a *Auto) Supports(q Query) error { return a.sim.Supports(q) }
+func (a *Auto) Supports(q Query) error { return a.fallback.Supports(q) }
 
-// Pick returns the backend Auto would use for the query.
+// Pick returns the backend the router would use for the query.
 func (a *Auto) Pick(q Query) Evaluator {
-	if a.env.Check(q) == nil && a.analytic.Supports(q) == nil {
-		return a.analytic
+	if a.env.Check(q) == nil && a.fast.Supports(q) == nil {
+		return a.fast
 	}
-	return a.sim
+	return a.fallback
 }
 
 // Evaluate implements Evaluator.

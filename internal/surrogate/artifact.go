@@ -1,0 +1,94 @@
+package surrogate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// EnvDir names the environment variable that, when set, gives the default
+// backend a calibration artifact directory (mirroring simcache's
+// GABLES_CACHE_DIR): calibrations are loaded from and persisted to
+// <dir>/<fingerprint>.json.
+const EnvDir = "GABLES_CALIBRATION_DIR"
+
+// Store persists calibration artifacts content-addressed by fingerprint.
+type Store struct {
+	dir string
+}
+
+// NewStore returns a store rooted at dir (created on first Save).
+func NewStore(dir string) *Store { return &Store{dir: dir} }
+
+// Path is the artifact file for a fingerprint.
+func (s *Store) Path(fingerprint string) string {
+	return filepath.Join(s.dir, fingerprint+".json")
+}
+
+// Encode serializes an artifact deterministically: fixed field order (Go's
+// encoder follows struct declaration order), indented, floats written with
+// round-tripping precision, trailing newline. Re-encoding an identical fit
+// yields identical bytes — the CI calibration-determinism step diffs this.
+func Encode(a *Artifact) ([]byte, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("surrogate: encode artifact: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Load reads the artifact addressed by fingerprint. A missing file, a
+// version mismatch, or a content-address mismatch all return (nil, nil):
+// every one of those means "no valid calibration here, fit again", never
+// an error the caller should surface.
+func (s *Store) Load(fingerprint string) (*Artifact, error) {
+	data, err := os.ReadFile(s.Path(fingerprint))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("surrogate: load artifact: %w", err)
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("surrogate: artifact %s is corrupt: %w", s.Path(fingerprint), err)
+	}
+	if a.Version != FingerprintVersion || a.Fingerprint != fingerprint {
+		return nil, nil // stale: written under another version or address
+	}
+	return &a, nil
+}
+
+// Save atomically persists the artifact at its content address (temp file
+// + rename, so concurrent readers never observe a partial write).
+func (s *Store) Save(a *Artifact) (string, error) {
+	data, err := Encode(a)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return "", fmt.Errorf("surrogate: save artifact: %w", err)
+	}
+	path := s.Path(a.Fingerprint)
+	tmp, err := os.CreateTemp(s.dir, "calib-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("surrogate: save artifact: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("surrogate: save artifact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("surrogate: save artifact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("surrogate: save artifact: %w", err)
+	}
+	return path, nil
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/gables-model/gables/internal/eval"
 	"github.com/gables-model/gables/internal/sim/trace"
 	"github.com/gables-model/gables/internal/simcache"
+	"github.com/gables-model/gables/internal/surrogate"
 )
 
 // Whole-page memoization: the interactive pages are pure functions of
@@ -64,14 +65,18 @@ func CacheStats() simcache.Stats { return evalCache.Stats() }
 // ResetCache clears the page cache; tests use it for isolation.
 func ResetCache() { evalCache.Reset() }
 
-// statsHandler serves the cache and tracing counters as JSON at /stats.
+// statsHandler serves the cache, tracing, and surrogate-backend counters
+// as JSON at /stats. The surrogate section reports the default backend's
+// calibrations (fit parameters, residual summary) and its fast-answer vs
+// sim-fallback routing counts.
 func statsHandler(w http.ResponseWriter, r *http.Request) {
 	snapshot := struct {
-		Web   simcache.Stats    `json:"web_eval"`
-		Sim   simcache.Stats    `json:"sim_runs"`
-		Eval  simcache.Stats    `json:"eval_outcomes"`
-		Trace trace.GlobalStats `json:"trace"`
-	}{Web: evalCache.Stats(), Sim: simcache.DefaultStats(), Eval: eval.CacheStats(), Trace: trace.Stats()}
+		Web       simcache.Stats    `json:"web_eval"`
+		Sim       simcache.Stats    `json:"sim_runs"`
+		Eval      simcache.Stats    `json:"eval_outcomes"`
+		Trace     trace.GlobalStats `json:"trace"`
+		Surrogate surrogate.Stats   `json:"surrogate"`
+	}{Web: evalCache.Stats(), Sim: simcache.DefaultStats(), Eval: eval.CacheStats(), Trace: trace.Stats(), Surrogate: surrogate.DefaultStats()}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

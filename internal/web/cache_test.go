@@ -116,13 +116,17 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Errorf("content type = %q", ct)
 	}
 	var snapshot struct {
-		Web simcache.Stats `json:"web_eval"`
-		Sim simcache.Stats `json:"sim_runs"`
+		Web       simcache.Stats   `json:"web_eval"`
+		Sim       simcache.Stats   `json:"sim_runs"`
+		Surrogate *json.RawMessage `json:"surrogate"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&snapshot); err != nil {
 		t.Fatal(err)
 	}
 	if snapshot.Web.Misses != 1 || snapshot.Web.Hits != 1 || snapshot.Web.Entries != 1 {
 		t.Errorf("web stats = %+v, want 1 miss + 1 hit", snapshot.Web)
+	}
+	if snapshot.Surrogate == nil {
+		t.Error("stats payload carries no surrogate section")
 	}
 }

@@ -94,6 +94,49 @@ func TestEvalEndpoint(t *testing.T) {
 	}
 }
 
+// TestEvalEndpointSurrogate pins the surrogate backend's HTTP face: an
+// in-envelope query is answered by the fitted fast path (Backend
+// "surrogate") with a confidence envelope containing sim's answer, and an
+// out-of-envelope query routes to sim (Backend "sim", no confidence).
+func TestEvalEndpointSurrogate(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	sur, status := getEval(t, srv, "?backend=surrogate&f=0.5&fpw=512")
+	if status != http.StatusOK {
+		t.Fatalf("surrogate status = %d", status)
+	}
+	if sur.Backend != "surrogate" {
+		t.Fatalf("backend = %q, want the fitted fast path", sur.Backend)
+	}
+	c := sur.Outcome.Confidence
+	if c == nil {
+		t.Fatal("in-envelope surrogate answer carries no confidence")
+	}
+	sm, status := getEval(t, srv, "?backend=sim&f=0.5&fpw=512")
+	if status != http.StatusOK {
+		t.Fatalf("sim status = %d", status)
+	}
+	if sur.Fingerprint != sm.Fingerprint {
+		t.Error("surrogate answered a different fingerprint than sim")
+	}
+	if sm.Outcome.Attainable < c.Lo || sm.Outcome.Attainable > c.Hi {
+		t.Errorf("sim's %.4g outside the surrogate confidence envelope [%.4g, %.4g]",
+			sm.Outcome.Attainable, c.Lo, c.Hi)
+	}
+
+	ser, status := getEval(t, srv, "?backend=surrogate&serialized=1")
+	if status != http.StatusOK {
+		t.Fatalf("serialized surrogate status = %d", status)
+	}
+	if ser.Backend != "sim" {
+		t.Errorf("serialized query answered by %q, want the sim fallback", ser.Backend)
+	}
+	if ser.Outcome.Confidence != nil {
+		t.Error("fallback answer must carry no confidence")
+	}
+}
+
 func TestEvalEndpointErrors(t *testing.T) {
 	srv := httptest.NewServer(Handler())
 	defer srv.Close()
