@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGenRequestsDeterministic(t *testing.T) {
+	a := GenRequests(7, 50, "analytic", 0.2)
+	b := GenRequests(7, 50, "analytic", 0.2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different mixes")
+	}
+	c := GenRequests(8, 50, "analytic", 0.2)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the identical mix")
+	}
+	batches := 0
+	for _, r := range a {
+		if r.Body != "" {
+			if r.Path != "/eval/batch" {
+				t.Errorf("batch body on %s", r.Path)
+			}
+			batches++
+			continue
+		}
+		if !strings.HasPrefix(r.Path, "/eval?") {
+			t.Errorf("unexpected path %s", r.Path)
+		}
+	}
+	if batches == 0 {
+		t.Error("batch-frac 0.2 over 50 requests produced no batch posts")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(vals, 0.5); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := Percentile(vals, 0.99); got != 5 {
+		t.Errorf("p99 = %v, want 5", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty p50 = %v", got)
+	}
+	// Percentile must not reorder the caller's slice.
+	if vals[0] != 5 {
+		t.Error("input slice mutated")
+	}
+}
+
+func TestValidateRecord(t *testing.T) {
+	good := Record{
+		GitSHA: "abc", GoVersion: "go1.22", Target: "http://x", Backend: "analytic",
+		RatePerSec: 100, Phases: []PhaseStats{
+			{Phase: "cold", Requests: 10, OK: 8, Shed: 1, Failed: 1, P50Ms: 1, P99Ms: 2, ShedRate: 0.1},
+			{Phase: "warm", Requests: 10, OK: 10, P50Ms: 0.5, P99Ms: 1, CacheHitRate: 0.9},
+		},
+	}
+	if err := ValidateRecord(good); err != nil {
+		t.Fatalf("good record rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Record){
+		"no-sha":        func(r *Record) { r.GitSHA = "" },
+		"no-target":     func(r *Record) { r.Target = "" },
+		"zero-rate":     func(r *Record) { r.RatePerSec = 0 },
+		"no-phases":     func(r *Record) { r.Phases = nil },
+		"bad-sum":       func(r *Record) { r.Phases[0].OK = 5 },
+		"inverted-p":    func(r *Record) { r.Phases[1].P99Ms = 0.1 },
+		"bad-shed-rate": func(r *Record) { r.Phases[0].ShedRate = 1.5 },
+	} {
+		r := good
+		r.Phases = append([]PhaseStats(nil), good.Phases...)
+		mutate(&r)
+		if err := ValidateRecord(r); err == nil {
+			t.Errorf("%s: invalid record accepted", name)
+		}
+	}
+}
+
+// TestLoadSmoke is the CI load-smoke shape in miniature: an in-process
+// run, a structurally valid record appended, and a second run appending
+// rather than overwriting.
+func TestLoadSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	args := []string{"-inprocess", "-rate", "500", "-n", "40", "-batch-frac", "0.2", "-check", "-out", out}
+
+	var buf bytes.Buffer
+	if code := run(args, &buf); code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, buf.String())
+	}
+	traj, err := Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Records) != 1 {
+		t.Fatalf("got %d records, want 1", len(traj.Records))
+	}
+	rec := traj.Records[0]
+	if err := ValidateRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Phases) != 2 || rec.Phases[0].Phase != "cold" || rec.Phases[1].Phase != "warm" {
+		t.Fatalf("phases = %+v", rec.Phases)
+	}
+	for _, p := range rec.Phases {
+		if p.OK == 0 {
+			t.Errorf("phase %s: no successful requests:\n%s", p.Phase, buf.String())
+		}
+	}
+	// The warm phase replays the cold phase's seeded sequence, so the
+	// server answers it mostly from cache.
+	if cold, warm := rec.Phases[0], rec.Phases[1]; warm.CacheHitRate < cold.CacheHitRate {
+		t.Errorf("warm hit rate %.2f below cold %.2f", warm.CacheHitRate, cold.CacheHitRate)
+	}
+
+	if code := run(args, &buf); code != 0 {
+		t.Fatalf("second run exited %d:\n%s", code, buf.String())
+	}
+	traj, err = Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Records) != 2 {
+		t.Fatalf("got %d records after second run, want 2 (append-only)", len(traj.Records))
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{}, &buf); code != 2 {
+		t.Errorf("no target: exit %d, want 2", code)
+	}
+	if code := run([]string{"-inprocess", "-target", "http://x"}, &buf); code != 2 {
+		t.Errorf("both targets: exit %d, want 2", code)
+	}
+	if code := run([]string{"-inprocess", "-rate", "0"}, &buf); code != 2 {
+		t.Errorf("zero rate: exit %d, want 2", code)
+	}
+}

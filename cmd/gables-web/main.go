@@ -17,10 +17,20 @@
 // The /eval JSON endpoint answers SoC+work queries through the unified
 // evaluator registry; -backend selects the process-default backend it uses
 // when a request does not name one (?backend=analytic|sim|auto).
+// POST /eval/batch answers arrays of the same question. Both run behind
+// the admission limiter: -max-inflight bounds concurrent evaluations,
+// -queue bounds each class's wait queue, and requests beyond both are
+// shed with 429 (flags override GABLES_MAX_INFLIGHT / GABLES_QUEUE_DEPTH).
+//
+// -peer-cache points the simulation cache at another replica's /simcache/
+// surface (overriding GABLES_PEER_CACHE) so a fleet deduplicates sim work:
+// each replica consults its peer before simulating and pushes fresh
+// results back. This replica serves its own /simcache/ unconditionally.
 //
 // Usage:
 //
 //	gables-web [-addr :8337] [-backend auto] [-pprof 6060]
+//	           [-max-inflight 64] [-queue 128] [-peer-cache http://replica:8337]
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 	"time"
 
 	"github.com/gables-model/gables/internal/eval"
+	"github.com/gables-model/gables/internal/simcache"
 	"github.com/gables-model/gables/internal/web"
 )
 
@@ -58,16 +69,31 @@ func main() {
 	pprofPort := flag.Int("pprof", 0, "serve net/http/pprof on localhost:PORT (0 = disabled)")
 	backend := flag.String("backend", "", "default /eval backend: "+
 		strings.Join(eval.Names(), "|")+" (default sim; requests override with ?backend=)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrent evaluations (0 = GABLES_MAX_INFLIGHT or default)")
+	queueDepth := flag.Int("queue", 0, "admission queue depth per class (0 = GABLES_QUEUE_DEPTH or default)")
+	peerCache := flag.String("peer-cache", "", "peer replica base URL for sim-cache dedup (empty = GABLES_PEER_CACHE)")
 	flag.Parse()
 
 	if err := selectBackend(*backend); err != nil {
 		fmt.Fprintln(os.Stderr, "gables-web:", err)
 		os.Exit(1)
 	}
+	if *peerCache != "" {
+		simcache.EnablePeer(*peerCache)
+	} else {
+		simcache.EnablePeerFromEnv()
+	}
+	opts := web.EnvOptions()
+	if *maxInFlight > 0 {
+		opts.MaxInFlight = *maxInFlight
+	}
+	if *queueDepth > 0 {
+		opts.QueueDepth = *queueDepth
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *pprofPort, os.Stdout); err != nil {
+	if err := run(ctx, *addr, *pprofPort, opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gables-web:", err)
 		os.Exit(1)
 	}
@@ -102,8 +128,8 @@ func newServer(addr string, h http.Handler) *http.Server {
 // run serves until ctx is canceled (the signal path) or a listener fails,
 // then drains in-flight requests for up to shutdownGrace. It is main minus
 // the process concerns, so tests can drive the full lifecycle.
-func run(ctx context.Context, addr string, pprofPort int, out io.Writer) error {
-	srv := newServer(addr, web.Handler())
+func run(ctx context.Context, addr string, pprofPort int, opts web.Options, out io.Writer) error {
+	srv := newServer(addr, web.NewHandler(opts))
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/gables-model/gables/internal/eval"
+	"github.com/gables-model/gables/internal/web"
 )
 
 // syncBuffer is a goroutine-safe writer the lifecycle tests poll while
@@ -55,7 +56,7 @@ func waitForAddr(t *testing.T, out *syncBuffer, n int) string {
 // channel carrying its exit.
 func startRun(ctx context.Context, addr string, pprofPort int, out io.Writer) chan error {
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, addr, pprofPort, out) }()
+	go func() { done <- run(ctx, addr, pprofPort, web.Options{}, out) }()
 	return done
 }
 
@@ -135,7 +136,7 @@ func TestRunListenFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	if err := run(context.Background(), ln.Addr().String(), 0, io.Discard); err == nil {
+	if err := run(context.Background(), ln.Addr().String(), 0, web.Options{}, io.Discard); err == nil {
 		t.Fatal("binding an in-use address must fail")
 	}
 }
@@ -148,7 +149,7 @@ func TestRunPprofListenFailure(t *testing.T) {
 	}
 	defer ln.Close()
 	port := ln.Addr().(*net.TCPAddr).Port
-	err = run(context.Background(), "127.0.0.1:0", port, io.Discard)
+	err = run(context.Background(), "127.0.0.1:0", port, web.Options{}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "pprof") {
 		t.Fatalf("want a pprof bind error, got %v", err)
 	}

@@ -1,0 +1,205 @@
+package simcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// The peer tier: an optional shared HTTP cache behind the memory and disk
+// layers, so a fleet of replicas deduplicates simulation work fleet-wide.
+// Each replica serves its own in-memory entries over PeerHTTPHandler
+// (gables-web mounts the default cache's handler at /simcache/) and, when
+// GABLES_PEER_CACHE names a peer base URL, consults that peer on a local
+// miss before computing — and pushes freshly computed entries back, so a
+// central cache or a mesh of mutually-peered replicas converges on one
+// computation per fingerprint.
+//
+// The tier inherits the correctness contract of the disk layer: keys are
+// content-addressed and computations deterministic, so a peer-served value
+// is byte-identical to a recomputed one, and every failure (peer down,
+// slow, serving garbage) degrades soft — the replica just computes. Peer
+// serving never recurses: the handler answers from resident memory only,
+// so two replicas pointing at each other cannot loop.
+
+// EnvPeer is the environment variable naming the peer cache base URL
+// (e.g. http://replica-a:8337); the cmds' -peer-cache flags take
+// precedence over it.
+const EnvPeer = "GABLES_PEER_CACHE"
+
+// PeerPathPrefix is the URL path prefix peer entries are served under.
+const PeerPathPrefix = "/simcache/"
+
+// peerTimeout bounds one peer lookup or store: a slow peer must cost less
+// than the simulation it would save, and far less than a request deadline.
+const peerTimeout = 2 * time.Second
+
+// peerMaxBody bounds a peer entry's encoded size on both the serving and
+// storing side; run results are a few hundred bytes.
+const peerMaxBody = 8 << 20
+
+// peerHTTPClient is shared by every cache: connection pooling across
+// lookups matters more than per-cache isolation.
+var peerHTTPClient = &http.Client{Timeout: peerTimeout}
+
+// SetPeer enables (or, with "", disables) the peer tier against the given
+// base URL on a live cache; in-memory contents and counters are preserved.
+func (c *Cache[V]) SetPeer(base string) {
+	c.peerMu.Lock()
+	c.peer = strings.TrimSuffix(base, "/")
+	c.peerMu.Unlock()
+}
+
+// getPeer reads the peer base URL under its lock: SetPeer can flip it on a
+// live cache while flights are reading it.
+func (c *Cache[V]) getPeer() string {
+	c.peerMu.Lock()
+	defer c.peerMu.Unlock()
+	return c.peer
+}
+
+var errPeerDisabled = fmt.Errorf("simcache: peer tier disabled")
+
+// peerURL maps a key to its peer entry URL.
+func (c *Cache[V]) peerURL(key string) (string, error) {
+	base := c.getPeer()
+	if base == "" {
+		return "", errPeerDisabled
+	}
+	if !pathSafe(key) {
+		return "", fmt.Errorf("simcache: key %q is not path-safe", key)
+	}
+	return base + PeerPathPrefix + key, nil
+}
+
+// loadPeer fetches an entry from the peer. Any failure — tier disabled,
+// peer unreachable, entry absent, or undecodable — reports an error and
+// the caller falls back to computing.
+func (c *Cache[V]) loadPeer(key string) (V, error) {
+	var v V
+	url, err := c.peerURL(key)
+	if err != nil {
+		return v, err
+	}
+	resp, err := peerHTTPClient.Get(url)
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("simcache: peer miss for %s: status %d", key, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, peerMaxBody))
+	if err != nil {
+		return v, err
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return v, fmt.Errorf("simcache: corrupt peer entry %s: %w", key, err)
+	}
+	return v, nil
+}
+
+// storePeer pushes a freshly computed entry to the peer with a bounded
+// PUT. Peer trouble is deliberately soft — the tier degrades to local-only
+// rather than failing the computation that just succeeded.
+func (c *Cache[V]) storePeer(key string, v V) {
+	url, err := c.peerURL(key)
+	if err != nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil || len(data) > peerMaxBody {
+		return
+	}
+	req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(string(data)))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := peerHTTPClient.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// PeerHTTPHandler serves one cache's entries to peer replicas under
+// PeerPathPrefix: GET answers from resident memory only (a miss is a 404,
+// never a recursive fetch or a computation), PUT accepts a pushed entry
+// into the memory (and, when enabled, disk) layers. Neither direction
+// touches the per-Get counters — peer traffic is accounted on the
+// requesting side.
+func PeerHTTPHandler[V any](c *Cache[V]) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, PeerPathPrefix)
+		if key == r.URL.Path { // prefix absent: mounted somewhere unexpected
+			http.NotFound(w, r)
+			return
+		}
+		if !pathSafe(key) {
+			http.Error(w, "simcache: key is not path-safe", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			v, ok := c.Lookup(key)
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			data, err := json.Marshal(v)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+		case http.MethodPut:
+			data, err := io.ReadAll(io.LimitReader(r.Body, peerMaxBody+1))
+			if err != nil || len(data) > peerMaxBody {
+				http.Error(w, "simcache: entry too large or unreadable", http.StatusBadRequest)
+				return
+			}
+			var v V
+			if err := json.Unmarshal(data, &v); err != nil {
+				http.Error(w, "simcache: undecodable entry", http.StatusBadRequest)
+				return
+			}
+			c.Put(key, v)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			w.Header().Set("Allow", "GET, PUT")
+			http.Error(w, "simcache: method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// DefaultPeerHandler serves the default sim-run cache to peer replicas;
+// gables-web mounts it at PeerPathPrefix.
+func DefaultPeerHandler() http.Handler { return PeerHTTPHandler(defaultCache) }
+
+// EnablePeer points the default cache's peer tier at base (empty is a
+// no-op), so local sim misses consult the peer before computing.
+func EnablePeer(base string) {
+	if base == "" {
+		return
+	}
+	defaultCache.SetPeer(base)
+}
+
+// EnablePeerFromEnv enables the peer tier from GABLES_PEER_CACHE and
+// returns the base URL used (empty when the variable is unset).
+func EnablePeerFromEnv() string {
+	base := os.Getenv(EnvPeer)
+	EnablePeer(base)
+	return base
+}
+
+// DisablePeer turns the default cache's peer tier back off; tests use it
+// to undo EnablePeer.
+func DisablePeer() { defaultCache.SetPeer("") }

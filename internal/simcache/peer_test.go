@@ -1,0 +1,166 @@
+package simcache
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// peerServer serves one cache's entries the way gables-web does: the peer
+// handler mounted at PeerPathPrefix.
+func peerServer(t *testing.T, c *Cache[int]) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle(PeerPathPrefix, PeerHTTPHandler(c))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestPeerTierHit pins the tier order and counter semantics: a key resident
+// on the peer is served as exactly one PeerHit — the local computation
+// never runs — and lands in local memory for subsequent plain Hits.
+func TestPeerTierHit(t *testing.T) {
+	a := New[int](Options{Capacity: 8})
+	mustGet(t, a, "shared-key", func() (int, error) { return 77, nil })
+
+	b := New[int](Options{Capacity: 8})
+	b.SetPeer(peerServer(t, a).URL)
+
+	v, err := b.Get("shared-key", func() (int, error) {
+		return 0, fmt.Errorf("computed locally despite a peer entry")
+	})
+	if err != nil || v != 77 {
+		t.Fatalf("Get via peer = %d, %v; want 77", v, err)
+	}
+	wantStats(t, b, Stats{PeerHits: 1, Entries: 1})
+
+	// Now resident: a repeat is a plain memory hit, not another fetch.
+	mustGet(t, b, "shared-key", func() (int, error) { return 0, fmt.Errorf("recomputed") })
+	wantStats(t, b, Stats{Hits: 1, PeerHits: 1, Entries: 1})
+}
+
+// TestPeerTierSoftFail pins the degradation contract: an unreachable peer
+// costs nothing but the failed lookup — the Get computes and counts a miss.
+func TestPeerTierSoftFail(t *testing.T) {
+	c := New[int](Options{Capacity: 8})
+	c.SetPeer("http://127.0.0.1:1") // reserved port: connection refused
+
+	v := mustGet(t, c, "k", func() (int, error) { return 5, nil })
+	if v != 5 {
+		t.Fatalf("Get = %d, want 5", v)
+	}
+	wantStats(t, c, Stats{Misses: 1, Entries: 1})
+}
+
+// TestPeerStorePropagates pins the write-back half: a fresh computation is
+// pushed to the peer, so the peer can later serve it from memory.
+func TestPeerStorePropagates(t *testing.T) {
+	a := New[int](Options{Capacity: 8})
+	b := New[int](Options{Capacity: 8})
+	b.SetPeer(peerServer(t, a).URL)
+
+	mustGet(t, b, "pushed", func() (int, error) { return 9, nil })
+	if v, ok := a.Lookup("pushed"); !ok || v != 9 {
+		t.Fatalf("peer Lookup = %d, %v; want the pushed entry", v, ok)
+	}
+	// The push must not touch the peer's per-Get counters.
+	if s := a.Stats(); s.Hits != 0 || s.Misses != 0 || s.PeerHits != 0 || s.Entries != 1 {
+		t.Fatalf("peer stats = %+v, want only the entry", s)
+	}
+}
+
+// TestPeerFleetDedup is the fleet-wide contract the tier exists for: two
+// mutually-peered replicas running an overlapping query mix converge on one
+// computation per key — the second replica's miss count stays zero.
+func TestPeerFleetDedup(t *testing.T) {
+	a := New[int](Options{Capacity: 64})
+	b := New[int](Options{Capacity: 64})
+	a.SetPeer(peerServer(t, b).URL)
+	b.SetPeer(peerServer(t, a).URL)
+
+	const n = 16
+	for i := 0; i < n; i++ {
+		i := i
+		mustGet(t, a, fmt.Sprintf("grid-%d", i), func() (int, error) { return i * i, nil })
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("grid-%d", i)
+		v, err := b.Get(key, func() (int, error) {
+			return 0, fmt.Errorf("replica B recomputed %s", key)
+		})
+		if err != nil || v != i*i {
+			t.Fatalf("replica B Get(%s) = %d, %v; want %d", key, v, err, i*i)
+		}
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa.Misses != n {
+		t.Errorf("replica A misses = %d, want %d (it computed the mix)", sa.Misses, n)
+	}
+	// B never simulates: every lookup is served from memory (warmed by
+	// A's write-backs) or from the peer fetch path.
+	if sb.Misses != 0 || sb.Hits+sb.PeerHits != n {
+		t.Errorf("replica B stats = %+v, want 0 misses and %d hits+peer hits (fleet dedup)", sb, n)
+	}
+}
+
+// TestPeerHandler pins the serving surface: resident keys are served as
+// JSON, absent keys 404, unsafe keys 400, other methods 405 with Allow.
+func TestPeerHandler(t *testing.T) {
+	c := New[int](Options{Capacity: 8})
+	mustGet(t, c, "present", func() (int, error) { return 3, nil })
+	srv := peerServer(t, c)
+
+	for _, tc := range []struct {
+		method, path string
+		body         string
+		want         int
+	}{
+		{http.MethodGet, PeerPathPrefix + "present", "", http.StatusOK},
+		{http.MethodGet, PeerPathPrefix + "absent", "", http.StatusNotFound},
+		{http.MethodGet, PeerPathPrefix + "not%2Fsafe", "", http.StatusBadRequest},
+		{http.MethodPut, PeerPathPrefix + "pushed", "11", http.StatusNoContent},
+		{http.MethodPut, PeerPathPrefix + "garbage", "{", http.StatusBadRequest},
+		{http.MethodPost, PeerPathPrefix + "present", "", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s status = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+	if v, ok := c.Lookup("pushed"); !ok || v != 11 {
+		t.Errorf("PUT entry Lookup = %d, %v; want 11", v, ok)
+	}
+}
+
+// TestLookupPutSemantics pins that the peer-serving primitives are
+// counter-free and non-mutating: Lookup does not promote LRU order, Put
+// does not count as a miss or hit.
+func TestLookupPutSemantics(t *testing.T) {
+	c := New[int](Options{Capacity: 2, Shards: 1})
+	mustGet(t, c, "old", func() (int, error) { return 1, nil })
+	mustGet(t, c, "new", func() (int, error) { return 2, nil })
+
+	// Lookup must not promote: "old" stays oldest and is evicted next.
+	if _, ok := c.Lookup("old"); !ok {
+		t.Fatal("Lookup(old) missed")
+	}
+	c.Put("third", 3)
+	if _, ok := c.Lookup("old"); ok {
+		t.Error("Lookup promoted the oldest entry; eviction order changed")
+	}
+	s := c.Stats()
+	if s.Misses != 2 || s.Hits != 0 || s.PeerHits != 0 || s.Evictions != 1 || s.Entries != 2 {
+		t.Errorf("stats = %+v, want Lookup/Put to leave per-Get counters alone", s)
+	}
+}

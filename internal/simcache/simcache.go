@@ -10,7 +10,11 @@
 //     form submissions — block on one computation instead of N;
 //   - an optional on-disk layer (Options.Dir, wired to the -cache flag and
 //     GABLES_CACHE_DIR) lets reruns and CI determinism diffs skip
-//     already-simulated points across processes.
+//     already-simulated points across processes;
+//   - an optional HTTP peer tier (SetPeer, wired to GABLES_PEER_CACHE; see
+//     peer.go) lets a fleet of replicas deduplicate simulation work
+//     fleet-wide: a local miss consults the peer before computing, and
+//     fresh computations are pushed back.
 //
 // The LRU is sharded (power-of-two shard count, per-shard mutex, shard
 // chosen by a hash of the key prefix) so parallel grid workers don't
@@ -38,13 +42,17 @@ import (
 
 // Stats is a point-in-time snapshot of a cache's counters. Semantics,
 // pinned by tests: every lookup increments exactly one of Hits, DiskHits,
-// Coalesced, or Misses (per Get), or Bypassed (per Bypass — a lookup the
-// caller deliberately routed around the cache, e.g. a traced run).
+// PeerHits, Coalesced, or Misses (per Get), or Bypassed (per Bypass — a
+// lookup the caller deliberately routed around the cache, e.g. a traced
+// run).
 type Stats struct {
 	// Hits counts Gets served from the in-memory LRU.
 	Hits int64 `json:"hits"`
 	// DiskHits counts Gets served by decoding an on-disk entry.
 	DiskHits int64 `json:"disk_hits"`
+	// PeerHits counts Gets served by fetching a peer replica's entry
+	// (the tier behind disk; see peer.go).
+	PeerHits int64 `json:"peer_hits"`
 	// Misses counts Gets that ran the computation (including ones whose
 	// computation failed).
 	Misses int64 `json:"misses"`
@@ -65,6 +73,7 @@ type Stats struct {
 func (s *Stats) add(o Stats) {
 	s.Hits += o.Hits
 	s.DiskHits += o.DiskHits
+	s.PeerHits += o.PeerHits
 	s.Misses += o.Misses
 	s.Coalesced += o.Coalesced
 	s.Bypassed += o.Bypassed
@@ -108,6 +117,9 @@ type Cache[V any] struct {
 
 	dirMu sync.Mutex
 	dir   string
+
+	peerMu sync.Mutex
+	peer   string // peer base URL; "" disables the tier (see peer.go)
 }
 
 // shard is one lock domain: a slice of the key space with its own LRU,
@@ -227,21 +239,32 @@ func (c *Cache[V]) Get(key string, compute func() (V, error)) (V, error) {
 	s.flights[key] = f
 	s.mu.Unlock()
 
-	fromDisk := false
+	// Tier order behind memory: disk, then peer, then compute. A peer
+	// hit warms the local disk layer (when enabled); a fresh computation
+	// propagates to both, so the fleet converges on one computation per
+	// content-addressed key.
+	fromDisk, fromPeer := false, false
 	v, err := c.loadDisk(key)
 	if err == nil {
 		fromDisk = true
+	} else if v, err = c.loadPeer(key); err == nil {
+		fromPeer = true
+		c.storeDisk(key, v)
 	} else {
 		v, err = compute()
 		if err == nil {
 			c.storeDisk(key, v)
+			c.storePeer(key, v)
 		}
 	}
 
 	s.mu.Lock()
-	if fromDisk {
+	switch {
+	case fromDisk:
 		s.stats.DiskHits++
-	} else {
+	case fromPeer:
+		s.stats.PeerHits++
+	default:
 		s.stats.Misses++
 	}
 	if err == nil {
@@ -263,6 +286,34 @@ func (c *Cache[V]) Peek(key string) bool {
 	defer s.mu.Unlock()
 	_, ok := s.entries[key]
 	return ok
+}
+
+// Lookup returns the in-memory value for key without computing, touching
+// LRU order, or incrementing any counter. It is the peer-serving read: a
+// replica answering another replica's lookup must account nothing locally
+// (the requesting side records the peer hit) and must never trigger
+// recursive work.
+func (c *Cache[V]) Lookup(key string) (V, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts a value into the memory layer (and, when enabled, the disk
+// layer) without touching the per-Get counters. It is the peer-serving
+// write: an entry pushed by another replica is already accounted there.
+// The value must be content-addressed by key, exactly like a computed one.
+func (c *Cache[V]) Put(key string, v V) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	s.insertLocked(key, v)
+	s.mu.Unlock()
+	c.storeDisk(key, v)
 }
 
 // Bypass records one lookup that deliberately skipped the cache in both

@@ -1,0 +1,260 @@
+package web
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/gables-model/gables/internal/eval"
+	"github.com/gables-model/gables/internal/parallel"
+)
+
+// POST /eval/batch: the fleet-scale face of the /eval question. A client
+// submits an array of SoC+work queries and gets per-item outcomes — or
+// per-item errors; a malformed or unanswerable item never fails the
+// request (the transport succeeds, the item reports). Items naming the
+// same backend are evaluated together: through the backend's
+// EvaluateBatch fast path when it implements eval.BatchEvaluator (the
+// analytic backend answers a whole slab allocation-free), and through a
+// bounded parallel.Map fan-out otherwise (sim items run concurrently up
+// to the worker bound, deduplicated by the simcache singleflight).
+//
+// With ?stream=1 or Accept: application/x-ndjson the response is NDJSON —
+// one result object per line, in item order — so large batches can be
+// consumed incrementally.
+
+// DefaultBatchLimit bounds the item count of one batch request.
+const DefaultBatchLimit = 1024
+
+// maxBatchBody bounds the request body; 8 MiB comfortably holds a
+// DefaultBatchLimit-item request with every field spelled out.
+const maxBatchBody = 8 << 20
+
+// ndjsonContentType is the streaming response content type.
+const ndjsonContentType = "application/x-ndjson"
+
+// batchItem is one query in the request array. Pointer fields distinguish
+// "absent" (use the /eval default) from an explicit zero (rejected by
+// validation, exactly like the GET surface).
+type batchItem struct {
+	// Chip names the preset chip ("" = snapdragon835).
+	Chip string `json:"chip"`
+	// Backend overrides the request-level backend for this item.
+	Backend string `json:"backend"`
+	// F and DSP are the GPU and DSP work fractions.
+	F   *float64 `json:"f"`
+	DSP *float64 `json:"dsp"`
+	// FPW, Words, Trials are the sizing counts; must be positive.
+	FPW    *int `json:"fpw"`
+	Words  *int `json:"words"`
+	Trials *int `json:"trials"`
+	// Serialized selects the §V-C exclusive-work form.
+	Serialized bool `json:"serialized"`
+}
+
+// spec resolves the item against the shared defaults.
+func (it batchItem) spec() evalQuerySpec {
+	s := defaultEvalSpec()
+	s.Chip = it.Chip
+	s.Serialized = it.Serialized
+	if it.F != nil {
+		s.F = *it.F
+	}
+	if it.DSP != nil {
+		s.DSP = *it.DSP
+	}
+	if it.FPW != nil {
+		s.FPW = *it.FPW
+	}
+	if it.Words != nil {
+		s.Words = *it.Words
+	}
+	if it.Trials != nil {
+		s.Trials = *it.Trials
+	}
+	return s
+}
+
+// batchRequest is the POST body.
+type batchRequest struct {
+	// Backend selects the evaluator for items that do not name their
+	// own ("" = the process default).
+	Backend string `json:"backend"`
+	// Items are the queries, answered in order.
+	Items []batchItem `json:"items"`
+}
+
+// batchItemResult is one item's answer: exactly one of Outcome or Error is
+// set.
+type batchItemResult struct {
+	Chip        string        `json:"chip,omitempty"`
+	Backend     string        `json:"backend,omitempty"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Outcome     *eval.Outcome `json:"outcome,omitempty"`
+	Error       string        `json:"error,omitempty"`
+}
+
+// batchResponse is the non-streaming response envelope.
+type batchResponse struct {
+	Items []batchItemResult `json:"items"`
+}
+
+// batchHandler answers POST /eval/batch.
+func (s *server) batchHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		evalError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed on /eval/batch (POST a JSON body)", r.Method))
+		return
+	}
+	limit := s.opts.BatchLimit
+	if limit <= 0 {
+		limit = DefaultBatchLimit
+	}
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	if err := dec.Decode(&req); err != nil {
+		evalError(w, http.StatusBadRequest, fmt.Errorf("undecodable batch body: %w", err))
+		return
+	}
+	if len(req.Items) == 0 {
+		evalError(w, http.StatusBadRequest, fmt.Errorf("batch has no items"))
+		return
+	}
+	if len(req.Items) > limit {
+		evalError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("batch has %d items, limit %d", len(req.Items), limit))
+		return
+	}
+
+	results := s.evaluateBatch(r.Context(), req)
+
+	if wantsNDJSON(r) {
+		w.Header().Set("Content-Type", ndjsonContentType)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for i := range results {
+			if err := enc.Encode(&results[i]); err != nil {
+				return // mid-stream failure: the line boundary marks the cut
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(batchResponse{Items: results}); err != nil {
+		evalError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+// wantsNDJSON reports whether the client asked for the streaming shape.
+func wantsNDJSON(r *http.Request) bool {
+	return r.URL.Query().Get("stream") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), ndjsonContentType)
+}
+
+// evaluateBatch answers every item, grouping by backend so batch-capable
+// evaluators see whole slabs.
+func (s *server) evaluateBatch(ctx context.Context, req batchRequest) []batchItemResult {
+	n := len(req.Items)
+	results := make([]batchItemResult, n)
+	queries := make([]eval.Query, n)
+
+	// Parse every item and bucket the parseable ones by backend name, in
+	// first-appearance order (deterministic grouping; results go back to
+	// their item index, so grouping never reorders the response).
+	groups := make(map[string][]int)
+	var names []string
+	for i, it := range req.Items {
+		q, err := it.spec().buildQuery()
+		if err != nil {
+			results[i] = batchItemResult{Chip: it.Chip, Error: err.Error()}
+			continue
+		}
+		queries[i] = q
+		name := it.Backend
+		if name == "" {
+			name = req.Backend
+		}
+		if _, seen := groups[name]; !seen {
+			names = append(names, name)
+		}
+		groups[name] = append(groups[name], i)
+	}
+
+	for _, name := range names {
+		idxs := groups[name]
+		ev, err := resolveBackend(name)
+		if err != nil {
+			for _, i := range idxs {
+				results[i] = batchItemResult{Chip: req.Items[i].Chip, Error: err.Error()}
+			}
+			continue
+		}
+		s.evaluateGroup(ctx, ev, idxs, queries, results)
+	}
+	return results
+}
+
+// evaluateGroup answers one backend's items: slab-wise through the batch
+// fast path when every query is supported and the backend implements it,
+// point-wise under a bounded fan-out otherwise (including as the fallback
+// that attributes a slab failure to its item).
+func (s *server) evaluateGroup(ctx context.Context, ev eval.Evaluator, idxs []int, queries []eval.Query, results []batchItemResult) {
+	if be, ok := ev.(eval.BatchEvaluator); ok && allSupported(be, idxs, queries) {
+		qs := make([]eval.Query, len(idxs))
+		for k, i := range idxs {
+			qs[k] = queries[i]
+		}
+		out := make([]eval.Outcome, len(qs))
+		if err := be.EvaluateBatch(ctx, qs, out); err == nil {
+			for k, i := range idxs {
+				o := out[k]
+				results[i] = finishItem(queries[i], &o)
+			}
+			return
+		}
+		// A slab error names one query but poisons the whole slab's
+		// outcomes; replay point-wise so each item reports its own.
+	}
+	workers := s.opts.BatchWorkers
+	parallel.ForEach(ctx, workers, idxs, func(ctx context.Context, _ int, i int) error {
+		o, err := ev.Evaluate(ctx, queries[i])
+		if err != nil {
+			results[i] = batchItemResult{Chip: queries[i].Chip.Name, Error: err.Error()}
+			return nil // item errors stay with the item
+		}
+		results[i] = finishItem(queries[i], o)
+		return nil
+	})
+}
+
+// allSupported reports whether the backend can answer every query in the
+// group (the batch contract has no per-item error channel, so one
+// unsupported query sends the whole group down the point-wise path).
+func allSupported(ev eval.Evaluator, idxs []int, queries []eval.Query) bool {
+	for _, i := range idxs {
+		if ev.Supports(queries[i]) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// finishItem builds one successful item result, attaching the canonical
+// fingerprint.
+func finishItem(q eval.Query, o *eval.Outcome) batchItemResult {
+	res := batchItemResult{Chip: q.Chip.Name, Backend: o.Backend, Outcome: o}
+	if fp, err := eval.Fingerprint(q); err == nil {
+		res.Fingerprint = fp
+	}
+	return res
+}

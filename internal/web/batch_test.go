@@ -1,0 +1,199 @@
+package web
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postBatch(t *testing.T, srv *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, body := postBatch(t, srv, "/eval/batch", `{
+		"backend": "analytic",
+		"items": [
+			{"f": 0.5, "fpw": 512},
+			{"f": 0.375, "dsp": 0.125, "fpw": 512, "words": 16777216},
+			{"serialized": true}
+		]
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out batchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 3 {
+		t.Fatalf("got %d items, want 3", len(out.Items))
+	}
+	for i, it := range out.Items {
+		if it.Error != "" || it.Outcome == nil {
+			t.Fatalf("item %d: error=%q outcome=%v", i, it.Error, it.Outcome)
+		}
+		if it.Backend != "analytic" {
+			t.Errorf("item %d backend = %q", i, it.Backend)
+		}
+		if it.Fingerprint == "" {
+			t.Errorf("item %d has no fingerprint", i)
+		}
+		if it.Outcome.Attainable <= 0 {
+			t.Errorf("item %d attainable = %v", i, it.Outcome.Attainable)
+		}
+	}
+	if len(out.Items[1].Outcome.IPs) != 3 {
+		t.Errorf("three-IP item activated %d IPs", len(out.Items[1].Outcome.IPs))
+	}
+
+	// Batch answers must match the point endpoint bitwise: same query,
+	// same fingerprint, same attainable.
+	point, status := getEval(t, srv, "?backend=analytic&f=0.5&fpw=512")
+	if status != http.StatusOK {
+		t.Fatalf("point status = %d", status)
+	}
+	if out.Items[0].Fingerprint != point.Fingerprint {
+		t.Error("batch item fingerprints differently than the point query")
+	}
+	if out.Items[0].Outcome.Attainable != point.Outcome.Attainable {
+		t.Errorf("batch attainable %v != point %v", out.Items[0].Outcome.Attainable, point.Outcome.Attainable)
+	}
+}
+
+// TestBatchPartialFailure pins the per-item error contract: bad items
+// report their own errors, good items still answer, and the request as a
+// whole succeeds.
+func TestBatchPartialFailure(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, body := postBatch(t, srv, "/eval/batch", `{
+		"backend": "analytic",
+		"items": [
+			{"f": 0.5},
+			{"f": 2.0},
+			{"chip": "nope"},
+			{"backend": "nope"},
+			{"trials": -1},
+			{"words": 0}
+		]
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 despite bad items: %s", resp.StatusCode, body)
+	}
+	var out batchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 6 {
+		t.Fatalf("got %d items, want 6", len(out.Items))
+	}
+	if out.Items[0].Error != "" || out.Items[0].Outcome == nil {
+		t.Errorf("good item: error=%q outcome=%v", out.Items[0].Error, out.Items[0].Outcome)
+	}
+	for i, frag := range map[int]string{
+		1: "fraction", 2: "unknown chip", 3: "unknown backend", 4: "trials", 5: "words",
+	} {
+		it := out.Items[i]
+		if it.Outcome != nil {
+			t.Errorf("bad item %d produced an outcome", i)
+		}
+		if !strings.Contains(it.Error, frag) {
+			t.Errorf("item %d error %q does not mention %q", i, it.Error, frag)
+		}
+	}
+}
+
+// TestBatchStream pins the NDJSON shape: one result object per line, in
+// item order.
+func TestBatchStream(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, body := postBatch(t, srv, "/eval/batch?stream=1", `{
+		"backend": "analytic",
+		"items": [{"f": 0.25}, {"f": 2.0}, {"f": 0.75}]
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ndjsonContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ndjsonContentType)
+	}
+	var items []batchItemResult
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var it batchItemResult
+		if err := json.Unmarshal(sc.Bytes(), &it); err != nil {
+			t.Fatalf("line %d: %v", len(items), err)
+		}
+		items = append(items, it)
+	}
+	if len(items) != 3 {
+		t.Fatalf("got %d lines, want 3", len(items))
+	}
+	if items[0].Outcome == nil || items[2].Outcome == nil {
+		t.Error("good items missing outcomes")
+	}
+	if items[1].Error == "" {
+		t.Error("bad middle item reported no error")
+	}
+	if items[0].Outcome.Attainable == items[2].Outcome.Attainable {
+		t.Error("distinct queries answered identically: order lost?")
+	}
+
+	// The Accept header selects the same shape.
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/eval/batch",
+		strings.NewReader(`{"backend":"analytic","items":[{"f":0.5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", ndjsonContentType)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != ndjsonContentType {
+		t.Errorf("Accept negotiation: Content-Type = %q", ct)
+	}
+}
+
+func TestBatchRequestErrors(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{BatchLimit: 2}))
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		name, body string
+		want       int
+	}{
+		{"garbage", `{"items": [`, http.StatusBadRequest},
+		{"empty", `{"items": []}`, http.StatusBadRequest},
+		{"no-items", `{}`, http.StatusBadRequest},
+		{"over-limit", `{"items": [{}, {}, {}]}`, http.StatusRequestEntityTooLarge},
+	} {
+		resp, body := postBatch(t, srv, "/eval/batch", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d: %s", tc.name, resp.StatusCode, tc.want, body)
+		}
+	}
+}

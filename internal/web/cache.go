@@ -65,18 +65,21 @@ func CacheStats() simcache.Stats { return evalCache.Stats() }
 // ResetCache clears the page cache; tests use it for isolation.
 func ResetCache() { evalCache.Reset() }
 
-// statsHandler serves the cache, tracing, and surrogate-backend counters
-// as JSON at /stats. The surrogate section reports the default backend's
-// calibrations (fit parameters, residual summary) and its fast-answer vs
-// sim-fallback routing counts.
-func statsHandler(w http.ResponseWriter, r *http.Request) {
+// statsHandler serves the cache, tracing, surrogate-backend, and admission
+// counters as JSON at /stats. The surrogate section reports the default
+// backend's calibrations (fit parameters, residual summary) and its
+// fast-answer vs sim-fallback routing counts; the admission section is the
+// overload picture (in-flight and queue-depth gauges, admitted/queued/
+// shed/canceled counters — exactly one per evaluation request).
+func (s *server) statsHandler(w http.ResponseWriter, r *http.Request) {
 	snapshot := struct {
 		Web       simcache.Stats    `json:"web_eval"`
 		Sim       simcache.Stats    `json:"sim_runs"`
 		Eval      simcache.Stats    `json:"eval_outcomes"`
 		Trace     trace.GlobalStats `json:"trace"`
 		Surrogate surrogate.Stats   `json:"surrogate"`
-	}{Web: evalCache.Stats(), Sim: simcache.DefaultStats(), Eval: eval.CacheStats(), Trace: trace.Stats(), Surrogate: surrogate.DefaultStats()}
+		Admission AdmissionStats    `json:"admission"`
+	}{Web: evalCache.Stats(), Sim: simcache.DefaultStats(), Eval: eval.CacheStats(), Trace: trace.Stats(), Surrogate: surrogate.DefaultStats(), Admission: s.adm.Stats()}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,13 +1,12 @@
 package web
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"strconv"
 
 	"github.com/gables-model/gables/internal/eval"
-	"github.com/gables-model/gables/internal/kernel"
 	"github.com/gables-model/gables/internal/sim"
 )
 
@@ -16,7 +15,8 @@ import (
 // render the closed-form model over free-form hardware parameters — this
 // endpoint works on the simulated chip presets, so the same question can
 // be answered at either fidelity (?backend=analytic|sim|auto) and the
-// response records which backend produced the number.
+// response records which backend produced the number. /eval/batch
+// (batch.go) answers arrays of the same question shape.
 
 // evalResponse is the /eval payload.
 type evalResponse struct {
@@ -43,17 +43,19 @@ func evalChip(name string) (sim.Config, error) {
 }
 
 // evalHandler answers GET /eval.
-func evalHandler(w http.ResponseWriter, r *http.Request) {
+func (s *server) evalHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		evalError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed on /eval (use GET; POST /eval/batch for arrays)", r.Method))
+		return
+	}
 	q, err := parseEvalQuery(r)
 	if err != nil {
 		evalError(w, http.StatusBadRequest, err)
 		return
 	}
-	name := r.URL.Query().Get("backend")
-	var ev eval.Evaluator
-	if name == "" {
-		ev = eval.Default()
-	} else if ev, err = eval.Resolve(name); err != nil {
+	ev, err := resolveBackend(r.URL.Query().Get("backend"))
+	if err != nil {
 		evalError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -67,89 +69,61 @@ func evalHandler(w http.ResponseWriter, r *http.Request) {
 		evalError(w, http.StatusInternalServerError, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	// Encode into a buffer first: an encoding failure after the first
+	// body byte would otherwise truncate a committed 200 response.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(evalResponse{
 		Chip: q.Chip.Name, Backend: o.Backend, Fingerprint: fp, Outcome: o,
 	}); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		evalError(w, http.StatusInternalServerError, err)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
 }
 
-// parseEvalQuery builds the eval.Query from the request: a CPU/GPU(/DSP)
-// work split on a preset chip, mirroring the §IV-C harness shape.
+// resolveBackend maps a request's backend name to an evaluator: the
+// process default when empty, the registry otherwise.
+func resolveBackend(name string) (eval.Evaluator, error) {
+	if name == "" {
+		return eval.Default(), nil
+	}
+	return eval.Resolve(name)
+}
+
+// parseEvalQuery builds the eval.Query from the request's query string;
+// all numeric fields go through the shared validated parsers (parse.go),
+// so NaN/Inf and non-positive counts are rejected with the field named.
 func parseEvalQuery(r *http.Request) (eval.Query, error) {
 	form := r.URL.Query()
-	cfg, err := evalChip(form.Get("chip"))
-	if err != nil {
-		return eval.Query{}, err
-	}
+	spec := defaultEvalSpec()
+	spec.Chip = form.Get("chip")
+	spec.Serialized = form.Get("serialized") == "1"
 
-	parseF := func(name string, def float64) (float64, error) {
-		v := form.Get(name)
-		if v == "" {
-			return def, nil
+	var err error
+	for _, f := range []struct {
+		name string
+		dst  *float64
+	}{{"f", &spec.F}, {"dsp", &spec.DSP}} {
+		if v := form.Get(f.name); v != "" {
+			if *f.dst, err = parseFinite(f.name, v); err != nil {
+				return eval.Query{}, err
+			}
 		}
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return 0, fmt.Errorf("%s=%q is not a number", name, v)
+	}
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"fpw", &spec.FPW}, {"words", &spec.Words}, {"trials", &spec.Trials}} {
+		if v := form.Get(f.name); v != "" {
+			if *f.dst, err = parsePositiveInt(f.name, v); err != nil {
+				return eval.Query{}, err
+			}
 		}
-		return f, nil
 	}
-	parseI := func(name string, def int) (int, error) {
-		v := form.Get(name)
-		if v == "" {
-			return def, nil
-		}
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			return 0, fmt.Errorf("%s=%q is not an integer", name, v)
-		}
-		return n, nil
-	}
-
-	fGPU, err := parseF("f", 0.5) // GPU work fraction, the Figure 6 x-axis
-	if err != nil {
-		return eval.Query{}, err
-	}
-	fDSP, err := parseF("dsp", 0)
-	if err != nil {
-		return eval.Query{}, err
-	}
-	fpw, err := parseI("fpw", 32)
-	if err != nil {
-		return eval.Query{}, err
-	}
-	words, err := parseI("words", 4<<20)
-	if err != nil {
-		return eval.Query{}, err
-	}
-	trials, err := parseI("trials", eval.DefaultTrials)
-	if err != nil {
-		return eval.Query{}, err
-	}
-	if fGPU < 0 || fDSP < 0 || fGPU+fDSP > 1 {
-		return eval.Query{}, fmt.Errorf("fractions f=%v dsp=%v must be non-negative and sum to at most 1", fGPU, fDSP)
-	}
-
-	shares := []eval.Share{{IP: "GPU", Fraction: fGPU}}
-	if fDSP > 0 {
-		shares = append(shares, eval.Share{IP: "DSP", Fraction: fDSP})
-	}
-	// The CPU is last: it absorbs the integer remainder, like the
-	// harnesses' historical arithmetic.
-	shares = append(shares, eval.Share{IP: "CPU", Fraction: 1 - fGPU - fDSP})
-	work, err := eval.SplitWork(cfg, words, fpw, kernel.ReadWrite, shares)
-	if err != nil {
-		return eval.Query{}, err
-	}
-	return eval.Query{
-		Chip:       cfg,
-		Work:       work,
-		Trials:     trials,
-		Serialized: form.Get("serialized") == "1",
-	}, nil
+	return spec.buildQuery()
 }
 
 // evalError reports an /eval failure as JSON.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -151,9 +152,69 @@ func TestEvalEndpointErrors(t *testing.T) {
 		{"?f=0.5&dsp=0.75", http.StatusBadRequest},
 		{"?fpw=x", http.StatusBadRequest},
 		{"?words=-4", http.StatusBadRequest},
+		// Non-finite floats must be rejected at the boundary: NaN slips
+		// through the fGPU+fDSP range check (NaN comparisons are false)
+		// and used to reach SplitWork through /eval's old local parser.
+		{"?f=NaN", http.StatusBadRequest},
+		{"?f=Inf", http.StatusBadRequest},
+		{"?f=-Inf", http.StatusBadRequest},
+		{"?dsp=NaN", http.StatusBadRequest},
+		// Counts must be strictly positive, rejected at parse time with
+		// 400 (not surfaced later as a 422 from the evaluator).
+		{"?words=0", http.StatusBadRequest},
+		{"?fpw=0", http.StatusBadRequest},
+		{"?fpw=-32", http.StatusBadRequest},
+		{"?trials=0", http.StatusBadRequest},
+		{"?trials=-1", http.StatusBadRequest},
+		{"?trials=1.5", http.StatusBadRequest},
 	} {
 		if _, status := getEval(t, srv, tc.query); status != tc.want {
 			t.Errorf("GET /eval%s status = %d, want %d", tc.query, status, tc.want)
 		}
+	}
+
+	// Field errors name the offending field so clients can fix the query.
+	resp, err := http.Get(srv.URL + "/eval?trials=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body["error"], "trials") {
+		t.Errorf("error %q does not name the field", body["error"])
+	}
+}
+
+// TestEvalMethodNotAllowed pins the method contract: /eval is GET-only and
+// /eval/batch is POST-only, each advertising the allowed method.
+func TestEvalMethodNotAllowed(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/eval", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /eval status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+		t.Errorf("POST /eval Allow = %q, want %q", allow, http.MethodGet)
+	}
+
+	resp, err = http.Get(srv.URL + "/eval/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /eval/batch status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("GET /eval/batch Allow = %q, want %q", allow, http.MethodPost)
 	}
 }
