@@ -25,12 +25,18 @@
 // -peer-cache points the simulation cache at another replica's /simcache/
 // surface (overriding GABLES_PEER_CACHE) so a fleet deduplicates sim work:
 // each replica consults its peer before simulating and pushes fresh
-// results back. This replica serves its own /simcache/ unconditionally.
+// results back. This replica's own /simcache/ surface is served only when
+// peer serving is enabled — explicitly with -serve-peer, or implicitly
+// when -peer-cache/GABLES_PEER_CACHE makes it part of a mesh — because
+// the surface accepts cache pushes and so assumes a trusted network;
+// -peer-token (or GABLES_PEER_TOKEN) adds a shared bearer token in both
+// directions for fleets whose network is not.
 //
 // Usage:
 //
 //	gables-web [-addr :8337] [-backend auto] [-pprof 6060]
-//	           [-max-inflight 64] [-queue 128] [-peer-cache http://replica:8337]
+//	           [-max-inflight 64] [-queue 128]
+//	           [-peer-cache http://replica:8337] [-serve-peer] [-peer-token T]
 package main
 
 import (
@@ -72,16 +78,25 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrent evaluations (0 = GABLES_MAX_INFLIGHT or default)")
 	queueDepth := flag.Int("queue", 0, "admission queue depth per class (0 = GABLES_QUEUE_DEPTH or default)")
 	peerCache := flag.String("peer-cache", "", "peer replica base URL for sim-cache dedup (empty = GABLES_PEER_CACHE)")
+	servePeer := flag.Bool("serve-peer", false, "serve this replica's /simcache/ peer surface (implied by -peer-cache/GABLES_PEER_CACHE; assumes a trusted network unless -peer-token is set)")
+	peerToken := flag.String("peer-token", "", "shared bearer token for the peer surface and outgoing peer requests (empty = GABLES_PEER_TOKEN)")
 	flag.Parse()
 
 	if err := selectBackend(*backend); err != nil {
 		fmt.Fprintln(os.Stderr, "gables-web:", err)
 		os.Exit(1)
 	}
-	if *peerCache != "" {
-		simcache.EnablePeer(*peerCache)
-	} else {
-		simcache.EnablePeerFromEnv()
+	peerBase := *peerCache
+	if peerBase == "" {
+		peerBase = os.Getenv(simcache.EnvPeer)
+	}
+	token := *peerToken
+	if token == "" {
+		token = os.Getenv(simcache.EnvPeerToken)
+	}
+	simcache.EnablePeer(peerBase)
+	if token != "" {
+		simcache.EnablePeerToken(token)
 	}
 	opts := web.EnvOptions()
 	if *maxInFlight > 0 {
@@ -90,6 +105,8 @@ func main() {
 	if *queueDepth > 0 {
 		opts.QueueDepth = *queueDepth
 	}
+	opts.ServePeer = *servePeer || peerBase != ""
+	opts.PeerToken = token
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

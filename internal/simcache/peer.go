@@ -1,9 +1,13 @@
+//lint:file-ignore detsource the peer circuit breaker times real network health (failure cooldowns); wall-clock here gates availability only — cached values stay a pure function of their content-addressed keys
+
 package simcache
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -13,11 +17,11 @@ import (
 // The peer tier: an optional shared HTTP cache behind the memory and disk
 // layers, so a fleet of replicas deduplicates simulation work fleet-wide.
 // Each replica serves its own in-memory entries over PeerHTTPHandler
-// (gables-web mounts the default cache's handler at /simcache/) and, when
-// GABLES_PEER_CACHE names a peer base URL, consults that peer on a local
-// miss before computing — and pushes freshly computed entries back, so a
-// central cache or a mesh of mutually-peered replicas converges on one
-// computation per fingerprint.
+// (gables-web mounts the default cache's handler at /simcache/ only when
+// peer serving is explicitly enabled) and, when GABLES_PEER_CACHE names a
+// peer base URL, consults that peer on a local miss before computing — and
+// pushes freshly computed entries back, so a central cache or a mesh of
+// mutually-peered replicas converges on one computation per fingerprint.
 //
 // The tier inherits the correctness contract of the disk layer: keys are
 // content-addressed and computations deterministic, so a peer-served value
@@ -25,70 +29,172 @@ import (
 // slow, serving garbage) degrades soft — the replica just computes. Peer
 // serving never recurses: the handler answers from resident memory only,
 // so two replicas pointing at each other cannot loop.
+//
+// Trust model: the protocol cannot verify that a pushed value matches its
+// content-addressed key (the key is a fingerprint of the *inputs*; only
+// re-running the simulation would check the value), so anyone who can PUT
+// to the serving surface can poison the fleet's results. The mesh
+// therefore assumes a trusted network: peer serving is opt-in on the
+// serving side, and GABLES_PEER_TOKEN / SetPeerToken adds a shared bearer
+// token both directions so an exposed replica still only accepts traffic
+// from its own fleet. Do not mount the surface on an untrusted network
+// without the token.
+//
+// Availability: a peer lookup sits inside the singleflight, so it is
+// bounded tightly (peerLookupTimeout, tens of milliseconds — a stalled
+// peer must cost a cold query little next to the simulation it might
+// save), push-backs run on a background goroutine off the Get path
+// entirely, and a circuit breaker skips the tier for peerBreakerCooldown
+// after peerBreakerThreshold consecutive transport failures, so a peer
+// outage costs a few bounded probes rather than a stall per cold query.
 
 // EnvPeer is the environment variable naming the peer cache base URL
 // (e.g. http://replica-a:8337); the cmds' -peer-cache flags take
 // precedence over it.
 const EnvPeer = "GABLES_PEER_CACHE"
 
+// EnvPeerToken is the environment variable holding the fleet's shared
+// peer-auth bearer token; the cmds' -peer-token flags take precedence.
+const EnvPeerToken = "GABLES_PEER_TOKEN"
+
 // PeerPathPrefix is the URL path prefix peer entries are served under.
 const PeerPathPrefix = "/simcache/"
 
-// peerTimeout bounds one peer lookup or store: a slow peer must cost less
-// than the simulation it would save, and far less than a request deadline.
-const peerTimeout = 2 * time.Second
+// peerLookupTimeout bounds one peer GET. Lookups run inside the
+// singleflight — every coalesced waiter blocks on them — so a stalled
+// peer must cost far less than the simulation it might save; on a healthy
+// fleet network a resident-memory answer takes single-digit milliseconds.
+const peerLookupTimeout = 100 * time.Millisecond
+
+// peerDialTimeout bounds connection establishment for lookups, so a
+// blackholed peer (no RST, just silence) fails fast instead of eating the
+// whole lookup budget per attempt.
+const peerDialTimeout = 50 * time.Millisecond
+
+// peerStoreTimeout bounds one push-back PUT. Stores run on a background
+// goroutine off the Get path, so they can afford a generous bound.
+const peerStoreTimeout = 2 * time.Second
+
+// Circuit breaker: after peerBreakerThreshold consecutive transport
+// failures the tier is skipped for peerBreakerCooldown, then probed again.
+// Any response from the peer — including a 404 miss — closes the breaker.
+const (
+	peerBreakerThreshold = 3
+	peerBreakerCooldown  = 3 * time.Second
+)
 
 // peerMaxBody bounds a peer entry's encoded size on both the serving and
 // storing side; run results are a few hundred bytes.
 const peerMaxBody = 8 << 20
 
-// peerHTTPClient is shared by every cache: connection pooling across
-// lookups matters more than per-cache isolation.
-var peerHTTPClient = &http.Client{Timeout: peerTimeout}
+// The clients are shared by every cache: connection pooling across
+// lookups matters more than per-cache isolation. Lookup and store split
+// because their budgets differ by an order of magnitude (see the timeout
+// constants), but they pool connections through one transport.
+var (
+	peerTransport = &http.Transport{
+		DialContext:         (&net.Dialer{Timeout: peerDialTimeout}).DialContext,
+		MaxIdleConnsPerHost: 4,
+	}
+	peerLookupClient = &http.Client{Timeout: peerLookupTimeout, Transport: peerTransport}
+	peerStoreClient  = &http.Client{Timeout: peerStoreTimeout, Transport: peerTransport}
+)
 
 // SetPeer enables (or, with "", disables) the peer tier against the given
 // base URL on a live cache; in-memory contents and counters are preserved.
 func (c *Cache[V]) SetPeer(base string) {
 	c.peerMu.Lock()
 	c.peer = strings.TrimSuffix(base, "/")
+	c.peerFails = 0
+	c.peerDownUntil = time.Time{}
 	c.peerMu.Unlock()
 }
 
-// getPeer reads the peer base URL under its lock: SetPeer can flip it on a
-// live cache while flights are reading it.
-func (c *Cache[V]) getPeer() string {
+// SetPeerToken sets the shared bearer token attached to outgoing peer
+// requests ("" sends none). The serving side enforces the same token via
+// PeerAuthHTTPHandler.
+func (c *Cache[V]) SetPeerToken(token string) {
+	c.peerMu.Lock()
+	c.peerToken = token
+	c.peerMu.Unlock()
+}
+
+// peerConfig reads the peer base URL and token under the lock: SetPeer
+// and SetPeerToken can flip them on a live cache while flights read them.
+func (c *Cache[V]) peerConfig() (base, token string) {
 	c.peerMu.Lock()
 	defer c.peerMu.Unlock()
-	return c.peer
+	return c.peer, c.peerToken
+}
+
+// peerOpen reports whether the circuit breaker currently admits peer
+// traffic.
+func (c *Cache[V]) peerOpen() bool {
+	c.peerMu.Lock()
+	defer c.peerMu.Unlock()
+	return c.peerDownUntil.IsZero() || time.Now().After(c.peerDownUntil)
+}
+
+// peerFailure records one transport-level failure; at the threshold the
+// breaker opens for the cooldown.
+func (c *Cache[V]) peerFailure() {
+	c.peerMu.Lock()
+	defer c.peerMu.Unlock()
+	c.peerFails++
+	if c.peerFails >= peerBreakerThreshold {
+		c.peerDownUntil = time.Now().Add(peerBreakerCooldown)
+		c.peerFails = 0
+	}
+}
+
+// peerSuccess records a reachable peer (any HTTP response, hit or miss)
+// and closes the breaker.
+func (c *Cache[V]) peerSuccess() {
+	c.peerMu.Lock()
+	defer c.peerMu.Unlock()
+	c.peerFails = 0
+	c.peerDownUntil = time.Time{}
 }
 
 var errPeerDisabled = fmt.Errorf("simcache: peer tier disabled")
 
-// peerURL maps a key to its peer entry URL.
-func (c *Cache[V]) peerURL(key string) (string, error) {
-	base := c.getPeer()
+// peerRequest builds one authenticated peer request for key.
+func (c *Cache[V]) peerRequest(method, key string, body io.Reader) (*http.Request, error) {
+	base, token := c.peerConfig()
 	if base == "" {
-		return "", errPeerDisabled
+		return nil, errPeerDisabled
+	}
+	if !c.peerOpen() {
+		return nil, fmt.Errorf("simcache: peer breaker open")
 	}
 	if !pathSafe(key) {
-		return "", fmt.Errorf("simcache: key %q is not path-safe", key)
+		return nil, fmt.Errorf("simcache: key %q is not path-safe", key)
 	}
-	return base + PeerPathPrefix + key, nil
+	req, err := http.NewRequest(method, base+PeerPathPrefix+key, body)
+	if err != nil {
+		return nil, err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	return req, nil
 }
 
 // loadPeer fetches an entry from the peer. Any failure — tier disabled,
-// peer unreachable, entry absent, or undecodable — reports an error and
-// the caller falls back to computing.
+// breaker open, peer unreachable, entry absent, or undecodable — reports
+// an error and the caller falls back to computing.
 func (c *Cache[V]) loadPeer(key string) (V, error) {
 	var v V
-	url, err := c.peerURL(key)
+	req, err := c.peerRequest(http.MethodGet, key, nil)
 	if err != nil {
 		return v, err
 	}
-	resp, err := peerHTTPClient.Get(url)
+	resp, err := peerLookupClient.Do(req)
 	if err != nil {
+		c.peerFailure()
 		return v, err
 	}
+	c.peerSuccess()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return v, fmt.Errorf("simcache: peer miss for %s: status %d", key, resp.StatusCode)
@@ -104,38 +210,69 @@ func (c *Cache[V]) loadPeer(key string) (V, error) {
 }
 
 // storePeer pushes a freshly computed entry to the peer with a bounded
-// PUT. Peer trouble is deliberately soft — the tier degrades to local-only
-// rather than failing the computation that just succeeded.
+// PUT. Get runs it on a background goroutine (see pushPeer): the caller
+// that just paid for a simulation never also waits on the network. Peer
+// trouble is deliberately soft — the tier degrades to local-only rather
+// than failing the computation that just succeeded.
 func (c *Cache[V]) storePeer(key string, v V) {
-	url, err := c.peerURL(key)
-	if err != nil {
-		return
-	}
 	data, err := json.Marshal(v)
 	if err != nil || len(data) > peerMaxBody {
 		return
 	}
-	req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(string(data)))
+	req, err := c.peerRequest(http.MethodPut, key, strings.NewReader(string(data)))
 	if err != nil {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := peerHTTPClient.Do(req)
+	resp, err := peerStoreClient.Do(req)
 	if err != nil {
+		c.peerFailure()
 		return
 	}
+	c.peerSuccess()
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 }
 
+// pushPeer queues an asynchronous push-back; peerWG lets tests and
+// shutdown paths wait for in-flight pushes.
+func (c *Cache[V]) pushPeer(key string, v V) {
+	if base, _ := c.peerConfig(); base == "" {
+		return
+	}
+	c.peerWG.Add(1)
+	go func() {
+		defer c.peerWG.Done()
+		c.storePeer(key, v)
+	}()
+}
+
+// FlushPeerStores blocks until every queued push-back has completed (or
+// soft-failed); tests and graceful shutdowns use it to avoid abandoning
+// in-flight pushes.
+func (c *Cache[V]) FlushPeerStores() { c.peerWG.Wait() }
+
 // PeerHTTPHandler serves one cache's entries to peer replicas under
-// PeerPathPrefix: GET answers from resident memory only (a miss is a 404,
+// PeerPathPrefix with no authentication: the trusted-network shape (see
+// the trust-model note above; use PeerAuthHTTPHandler anywhere exposure
+// is in doubt). GET answers from resident memory only (a miss is a 404,
 // never a recursive fetch or a computation), PUT accepts a pushed entry
 // into the memory (and, when enabled, disk) layers. Neither direction
 // touches the per-Get counters — peer traffic is accounted on the
 // requesting side.
-func PeerHTTPHandler[V any](c *Cache[V]) http.Handler {
+func PeerHTTPHandler[V any](c *Cache[V]) http.Handler { return PeerAuthHTTPHandler(c, "") }
+
+// PeerAuthHTTPHandler is PeerHTTPHandler behind a shared bearer token:
+// when token is non-empty, every request must carry
+// "Authorization: Bearer <token>" or is rejected with 401. The requesting
+// side attaches the token via SetPeerToken / GABLES_PEER_TOKEN.
+func PeerAuthHTTPHandler[V any](c *Cache[V], token string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if token != "" && !peerAuthorized(r, token) {
+			w.Header().Set("WWW-Authenticate", "Bearer")
+			http.Error(w, "simcache: missing or wrong peer token", http.StatusUnauthorized)
+			return
+		}
 		key := strings.TrimPrefix(r.URL.Path, PeerPathPrefix)
 		if key == r.URL.Path { // prefix absent: mounted somewhere unexpected
 			http.NotFound(w, r)
@@ -179,9 +316,18 @@ func PeerHTTPHandler[V any](c *Cache[V]) http.Handler {
 	})
 }
 
-// DefaultPeerHandler serves the default sim-run cache to peer replicas;
-// gables-web mounts it at PeerPathPrefix.
-func DefaultPeerHandler() http.Handler { return PeerHTTPHandler(defaultCache) }
+// peerAuthorized checks the bearer token in constant time.
+func peerAuthorized(r *http.Request, token string) bool {
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return ok && subtle.ConstantTimeCompare([]byte(got), []byte(token)) == 1
+}
+
+// DefaultPeerHandler serves the default sim-run cache to peer replicas
+// with token auth when token is non-empty; gables-web mounts it at
+// PeerPathPrefix only when peer serving is enabled (web.Options.ServePeer).
+func DefaultPeerHandler(token string) http.Handler {
+	return PeerAuthHTTPHandler(defaultCache, token)
+}
 
 // EnablePeer points the default cache's peer tier at base (empty is a
 // no-op), so local sim misses consult the peer before computing.
@@ -192,14 +338,24 @@ func EnablePeer(base string) {
 	defaultCache.SetPeer(base)
 }
 
-// EnablePeerFromEnv enables the peer tier from GABLES_PEER_CACHE and
-// returns the base URL used (empty when the variable is unset).
+// EnablePeerToken sets the default cache's outgoing peer bearer token.
+func EnablePeerToken(token string) { defaultCache.SetPeerToken(token) }
+
+// EnablePeerFromEnv enables the peer tier from GABLES_PEER_CACHE (and the
+// bearer token from GABLES_PEER_TOKEN) and returns the base URL used
+// (empty when the variable is unset).
 func EnablePeerFromEnv() string {
 	base := os.Getenv(EnvPeer)
 	EnablePeer(base)
+	if token := os.Getenv(EnvPeerToken); token != "" {
+		EnablePeerToken(token)
+	}
 	return base
 }
 
 // DisablePeer turns the default cache's peer tier back off; tests use it
 // to undo EnablePeer.
-func DisablePeer() { defaultCache.SetPeer("") }
+func DisablePeer() {
+	defaultCache.SetPeer("")
+	defaultCache.SetPeerToken("")
+}

@@ -63,6 +63,7 @@ func TestPeerStorePropagates(t *testing.T) {
 	b.SetPeer(peerServer(t, a).URL)
 
 	mustGet(t, b, "pushed", func() (int, error) { return 9, nil })
+	b.FlushPeerStores() // push-backs are asynchronous; wait before observing
 	if v, ok := a.Lookup("pushed"); !ok || v != 9 {
 		t.Fatalf("peer Lookup = %d, %v; want the pushed entry", v, ok)
 	}
@@ -86,6 +87,7 @@ func TestPeerFleetDedup(t *testing.T) {
 		i := i
 		mustGet(t, a, fmt.Sprintf("grid-%d", i), func() (int, error) { return i * i, nil })
 	}
+	a.FlushPeerStores() // push-backs are asynchronous; let B's memory warm
 	for i := 0; i < n; i++ {
 		key := fmt.Sprintf("grid-%d", i)
 		v, err := b.Get(key, func() (int, error) {
@@ -140,6 +142,90 @@ func TestPeerHandler(t *testing.T) {
 	}
 	if v, ok := c.Lookup("pushed"); !ok || v != 11 {
 		t.Errorf("PUT entry Lookup = %d, %v; want 11", v, ok)
+	}
+}
+
+// TestPeerAuth pins the bearer-token contract in both directions: a
+// token-protected surface rejects unauthenticated and wrong-token
+// requests with 401, and a client configured with the matching token is
+// served normally (lookups and push-backs both carry it).
+func TestPeerAuth(t *testing.T) {
+	const token = "fleet-secret"
+	a := New[int](Options{Capacity: 8})
+	mustGet(t, a, "guarded", func() (int, error) { return 21, nil })
+	mux := http.NewServeMux()
+	mux.Handle(PeerPathPrefix, PeerAuthHTTPHandler(a, token))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	for name, hdr := range map[string]string{"none": "", "wrong": "Bearer nope"} {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+PeerPathPrefix+"guarded", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr != "" {
+			req.Header.Set("Authorization", hdr)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s token: status = %d, want 401", name, resp.StatusCode)
+		}
+	}
+
+	// Without the token the requesting side soft-fails to computing...
+	noAuth := New[int](Options{Capacity: 8})
+	noAuth.SetPeer(srv.URL)
+	mustGet(t, noAuth, "guarded", func() (int, error) { return -1, nil })
+	wantStats(t, noAuth, Stats{Misses: 1, Entries: 1})
+
+	// ...and with it, lookups and push-backs work end to end.
+	b := New[int](Options{Capacity: 8})
+	b.SetPeer(srv.URL)
+	b.SetPeerToken(token)
+	v, err := b.Get("guarded", func() (int, error) {
+		return 0, fmt.Errorf("computed locally despite an authorized peer entry")
+	})
+	if err != nil || v != 21 {
+		t.Fatalf("authorized Get = %d, %v; want 21", v, err)
+	}
+	wantStats(t, b, Stats{PeerHits: 1, Entries: 1})
+	mustGet(t, b, "pushed-auth", func() (int, error) { return 34, nil })
+	b.FlushPeerStores()
+	if v, ok := a.Lookup("pushed-auth"); !ok || v != 34 {
+		t.Fatalf("authorized push-back Lookup = %d, %v; want 34", v, ok)
+	}
+}
+
+// TestPeerBreaker pins the outage behavior: consecutive transport
+// failures open the circuit breaker, so subsequent lookups skip the peer
+// without touching the network until the cooldown expires.
+func TestPeerBreaker(t *testing.T) {
+	c := New[int](Options{Capacity: 64})
+	c.SetPeer("http://127.0.0.1:1") // reserved port: connection refused
+
+	for i := 0; i < peerBreakerThreshold; i++ {
+		mustGet(t, c, fmt.Sprintf("fail-%d", i), func() (int, error) { return i, nil })
+		c.FlushPeerStores()
+	}
+	if c.peerOpen() {
+		t.Fatalf("breaker still closed after %d consecutive failures", peerBreakerThreshold)
+	}
+	// Breaker open: the next request never hits the network.
+	if _, err := c.peerRequest(http.MethodGet, "whatever", nil); err == nil {
+		t.Fatal("peerRequest succeeded with the breaker open")
+	}
+	mustGet(t, c, "during-outage", func() (int, error) { return 7, nil })
+
+	// A reachable peer closes it again (any response counts, hit or miss).
+	c.SetPeer(peerServer(t, New[int](Options{Capacity: 8})).URL)
+	mustGet(t, c, "probe", func() (int, error) { return 8, nil })
+	c.FlushPeerStores()
+	if !c.peerOpen() {
+		t.Fatal("breaker still open after a reachable peer answered")
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // Stats is a point-in-time snapshot of a cache's counters. Semantics,
@@ -118,8 +119,15 @@ type Cache[V any] struct {
 	dirMu sync.Mutex
 	dir   string
 
-	peerMu sync.Mutex
-	peer   string // peer base URL; "" disables the tier (see peer.go)
+	// Peer tier state (see peer.go): base URL and bearer token ("" each
+	// disables), plus the circuit breaker and the in-flight push-back
+	// tracker.
+	peerMu        sync.Mutex
+	peer          string
+	peerToken     string
+	peerFails     int       // consecutive transport failures
+	peerDownUntil time.Time // breaker open until this instant (zero = closed)
+	peerWG        sync.WaitGroup
 }
 
 // shard is one lock domain: a slice of the key space with its own LRU,
@@ -242,7 +250,9 @@ func (c *Cache[V]) Get(key string, compute func() (V, error)) (V, error) {
 	// Tier order behind memory: disk, then peer, then compute. A peer
 	// hit warms the local disk layer (when enabled); a fresh computation
 	// propagates to both, so the fleet converges on one computation per
-	// content-addressed key.
+	// content-addressed key. The peer push-back is asynchronous (pushPeer):
+	// the Get that just paid for the computation — and every coalesced
+	// waiter behind it — never also waits on the network.
 	fromDisk, fromPeer := false, false
 	v, err := c.loadDisk(key)
 	if err == nil {
@@ -254,7 +264,7 @@ func (c *Cache[V]) Get(key string, compute func() (V, error)) (V, error) {
 		v, err = compute()
 		if err == nil {
 			c.storeDisk(key, v)
-			c.storePeer(key, v)
+			c.pushPeer(key, v)
 		}
 	}
 

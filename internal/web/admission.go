@@ -15,7 +15,11 @@ import (
 // server must degrade by policy, not by accident. The admission struct is
 // a concurrency limiter with a bounded two-class priority queue in front:
 //
-//   - at most MaxInFlight evaluations run at once;
+//   - at most MaxInFlight evaluations run at once — counting batch
+//     fan-out: a /eval/batch request's admission slot covers one
+//     evaluation at a time, and every additional parallel worker it runs
+//     must win its own slot non-blockingly (tryAcquire), so a batch can
+//     never multiply real concurrency past the limit;
 //   - excess requests wait in a per-class FIFO queue, and releases grant
 //     interactive (point /eval) waiters strictly before batch
 //     (/eval/batch) waiters — a human poking the form outranks a sweep;
@@ -152,6 +156,28 @@ func (a *admission) acquire(ctx context.Context, class int) (func(), error) {
 		a.mu.Unlock()
 		return nil, ctx.Err()
 	}
+}
+
+// tryAcquire claims a slot only when one is immediately free: no
+// queueing, no shedding, and no outcome counter — the per-request
+// Admitted/Queued/Shed/Canceled invariant counts requests, and an extra
+// slot belongs to a request already counted. The batch fan-out charges
+// each worker beyond a request's own slot through here, so MaxInFlight
+// bounds real evaluation concurrency across point requests, batch
+// requests, and their workers together; when nothing is free the batch
+// degrades toward sequential on the slot it already holds, which always
+// makes progress — holding-while-trying cannot deadlock. The returned
+// release behaves exactly like acquire's (it hands the slot to the
+// longest-waiting interactive-then-batch waiter before freeing it) and
+// must be called exactly once.
+func (a *admission) tryAcquire() (func(), bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight >= a.max {
+		return nil, false
+	}
+	a.inflight++
+	return a.release, true
 }
 
 // release returns a slot: the longest-waiting interactive request is

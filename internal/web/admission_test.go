@@ -272,6 +272,61 @@ func TestOverloadSheds(t *testing.T) {
 	}
 }
 
+// TestBatchFanoutBounded pins the fix for the review's concurrency-bound
+// finding: a /eval/batch request's point-wise fan-out must charge every
+// worker beyond its own admission slot against MaxInFlight, so real
+// evaluation concurrency never reaches MaxInFlight × BatchWorkers.
+func TestBatchFanoutBounded(t *testing.T) {
+	stub := &stubBackend{started: make(chan int, 16), gate: make(chan struct{})}
+	eval.Register("stub-fanout", func() (eval.Evaluator, error) { return stub, nil })
+	srv := httptest.NewServer(NewHandler(Options{MaxInFlight: 2, QueueDepth: 4, BatchWorkers: 4}))
+	defer srv.Close()
+
+	respc := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/eval/batch", "application/json",
+			strings.NewReader(`{"backend":"stub-fanout","items":[{"trials":1},{"trials":2},{"trials":3},{"trials":4}]}`))
+		if err != nil {
+			respc <- nil
+			return
+		}
+		respc <- resp
+	}()
+
+	// The request's own slot plus one free slot: exactly two evaluations
+	// may run, despite BatchWorkers = 4 and four pending items.
+	<-stub.started
+	<-stub.started
+	select {
+	case trials := <-stub.started:
+		t.Fatalf("a third evaluation (trials=%d) started with MaxInFlight=2: fan-out is not charged", trials)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(stub.gate) // let the two workers drain all four items
+	resp := <-respc
+	if resp == nil {
+		t.Fatal("batch request failed")
+	}
+	var out batchResponse
+	err := json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 4 {
+		t.Fatalf("got %d items, want 4", len(out.Items))
+	}
+	for i, it := range out.Items {
+		if it.Error != "" || it.Outcome == nil {
+			t.Errorf("item %d: error=%q outcome=%v", i, it.Error, it.Outcome)
+		}
+	}
+	if s := serveStats(t, srv); s.InFlight != 0 {
+		t.Fatalf("in-flight %d after the batch drained: extra slots leaked", s.InFlight)
+	}
+}
+
 // TestOverloadPriorityHTTP pins the class priority through the mux: with
 // the slot held, a queued interactive /eval is evaluated before a batch
 // request that has been queued longer.

@@ -19,12 +19,17 @@ import (
 // same backend are evaluated together: through the backend's
 // EvaluateBatch fast path when it implements eval.BatchEvaluator (the
 // analytic backend answers a whole slab allocation-free), and through a
-// bounded parallel.Map fan-out otherwise (sim items run concurrently up
-// to the worker bound, deduplicated by the simcache singleflight).
+// bounded parallel fan-out otherwise (sim items run concurrently up
+// to the worker bound, deduplicated by the simcache singleflight). The
+// fan-out is charged against the admission limiter: the request's own
+// slot covers one evaluation at a time, and each additional worker runs
+// only if it wins a free slot (admission.tryAcquire), so MaxInFlight
+// bounds real concurrency whatever the batch mix.
 //
 // With ?stream=1 or Accept: application/x-ndjson the response is NDJSON —
-// one result object per line, in item order — so large batches can be
-// consumed incrementally.
+// one result object per line, in item order, written and flushed as
+// results complete — so a large batch delivers its early answers while
+// later items are still evaluating.
 
 // DefaultBatchLimit bounds the item count of one batch request.
 const DefaultBatchLimit = 1024
@@ -88,7 +93,8 @@ type batchRequest struct {
 }
 
 // batchItemResult is one item's answer: exactly one of Outcome or Error is
-// set.
+// set — including for items the request's cancellation kept from ever
+// starting, which report the context error.
 type batchItemResult struct {
 	Chip        string        `json:"chip,omitempty"`
 	Backend     string        `json:"backend,omitempty"`
@@ -128,22 +134,12 @@ func (s *server) batchHandler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	results := s.evaluateBatch(r.Context(), req)
-
 	if wantsNDJSON(r) {
-		w.Header().Set("Content-Type", ndjsonContentType)
-		flusher, _ := w.(http.Flusher)
-		enc := json.NewEncoder(w)
-		for i := range results {
-			if err := enc.Encode(&results[i]); err != nil {
-				return // mid-stream failure: the line boundary marks the cut
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
+		s.streamBatch(w, r, req)
 		return
 	}
+	results := make([]batchItemResult, len(req.Items))
+	s.evaluateBatch(r.Context(), req, results, nil)
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
@@ -155,17 +151,61 @@ func (s *server) batchHandler(w http.ResponseWriter, r *http.Request) {
 	w.Write(buf.Bytes())
 }
 
+// streamBatch answers the NDJSON shape: evaluation runs concurrently with
+// the response writer, which emits each line — in item order — as soon as
+// that item's result is final, so early answers reach the client while
+// later items are still evaluating. A write failure (client gone) cancels
+// the evaluation context; the handler still waits for the evaluation
+// goroutine so the admission slot is never released with work in flight.
+func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, req batchRequest) {
+	n := len(req.Items)
+	results := make([]batchItemResult, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.evaluateBatch(ctx, req, results, func(i int) { close(ready[i]) })
+	}()
+
+	w.Header().Set("Content-Type", ndjsonContentType)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := 0; i < n; i++ {
+		<-ready[i] // evaluateBatch finalizes every item, canceled or not
+		if err := enc.Encode(&results[i]); err != nil {
+			cancel() // mid-stream failure: the line boundary marks the cut
+			break
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	<-done
+}
+
 // wantsNDJSON reports whether the client asked for the streaming shape.
 func wantsNDJSON(r *http.Request) bool {
 	return r.URL.Query().Get("stream") == "1" ||
 		strings.Contains(r.Header.Get("Accept"), ndjsonContentType)
 }
 
-// evaluateBatch answers every item, grouping by backend so batch-capable
-// evaluators see whole slabs.
-func (s *server) evaluateBatch(ctx context.Context, req batchRequest) []batchItemResult {
+// evaluateBatch answers every item into results, grouping by backend so
+// batch-capable evaluators see whole slabs. note, when non-nil, is called
+// exactly once per item the moment results[i] is final (the streaming
+// writer's signal); every item is finalized — and noted — before return,
+// with items that never ran (cancellation) reporting the context error so
+// the exactly-one-of-Outcome-or-Error contract holds unconditionally.
+func (s *server) evaluateBatch(ctx context.Context, req batchRequest, results []batchItemResult, note func(i int)) {
+	if note == nil {
+		note = func(int) {}
+	}
 	n := len(req.Items)
-	results := make([]batchItemResult, n)
 	queries := make([]eval.Query, n)
 
 	// Parse every item and bucket the parseable ones by backend name, in
@@ -177,6 +217,7 @@ func (s *server) evaluateBatch(ctx context.Context, req batchRequest) []batchIte
 		q, err := it.spec().buildQuery()
 		if err != nil {
 			results[i] = batchItemResult{Chip: it.Chip, Error: err.Error()}
+			note(i)
 			continue
 		}
 		queries[i] = q
@@ -196,19 +237,19 @@ func (s *server) evaluateBatch(ctx context.Context, req batchRequest) []batchIte
 		if err != nil {
 			for _, i := range idxs {
 				results[i] = batchItemResult{Chip: req.Items[i].Chip, Error: err.Error()}
+				note(i)
 			}
 			continue
 		}
-		s.evaluateGroup(ctx, ev, idxs, queries, results)
+		s.evaluateGroup(ctx, ev, idxs, queries, results, note)
 	}
-	return results
 }
 
 // evaluateGroup answers one backend's items: slab-wise through the batch
 // fast path when every query is supported and the backend implements it,
 // point-wise under a bounded fan-out otherwise (including as the fallback
 // that attributes a slab failure to its item).
-func (s *server) evaluateGroup(ctx context.Context, ev eval.Evaluator, idxs []int, queries []eval.Query, results []batchItemResult) {
+func (s *server) evaluateGroup(ctx context.Context, ev eval.Evaluator, idxs []int, queries []eval.Query, results []batchItemResult, note func(i int)) {
 	if be, ok := ev.(eval.BatchEvaluator); ok && allSupported(be, idxs, queries) {
 		qs := make([]eval.Query, len(idxs))
 		for k, i := range idxs {
@@ -219,22 +260,59 @@ func (s *server) evaluateGroup(ctx context.Context, ev eval.Evaluator, idxs []in
 			for k, i := range idxs {
 				o := out[k]
 				results[i] = finishItem(queries[i], &o)
+				note(i)
 			}
 			return
 		}
 		// A slab error names one query but poisons the whole slab's
 		// outcomes; replay point-wise so each item reports its own.
 	}
-	workers := s.opts.BatchWorkers
-	parallel.ForEach(ctx, workers, idxs, func(ctx context.Context, _ int, i int) error {
-		o, err := ev.Evaluate(ctx, queries[i])
-		if err != nil {
-			results[i] = batchItemResult{Chip: queries[i].Chip.Name, Error: err.Error()}
-			return nil // item errors stay with the item
+
+	// The request's admission slot covers one worker; each one beyond it
+	// must win a free slot or it doesn't run, so the whole fleet of point
+	// requests, batches, and batch workers stays under MaxInFlight. With
+	// nothing free the group degrades to sequential on the slot it holds.
+	workers := parallel.Workers(s.opts.BatchWorkers)
+	if workers > len(idxs) {
+		workers = len(idxs)
+	}
+	var extra []func()
+	for len(extra) < workers-1 {
+		release, ok := s.adm.tryAcquire()
+		if !ok {
+			break
 		}
-		results[i] = finishItem(queries[i], o)
-		return nil
+		extra = append(extra, release)
+	}
+	parallel.ForEach(ctx, 1+len(extra), idxs, func(ctx context.Context, _ int, i int) error {
+		o, err := ev.Evaluate(ctx, queries[i])
+		switch {
+		case err != nil:
+			results[i] = batchItemResult{Chip: queries[i].Chip.Name, Error: err.Error()}
+		case o == nil:
+			results[i] = batchItemResult{Chip: queries[i].Chip.Name, Error: "backend returned no outcome"}
+		default:
+			results[i] = finishItem(queries[i], o)
+		}
+		note(i)
+		return nil // item errors stay with the item
 	})
+	for _, release := range extra {
+		release()
+	}
+
+	// Cancellation can keep items from ever starting; finalize them with
+	// the context error rather than leaving zero-value results behind.
+	for _, i := range idxs {
+		if results[i].Outcome == nil && results[i].Error == "" {
+			err := ctx.Err()
+			if err == nil {
+				err = context.Canceled
+			}
+			results[i] = batchItemResult{Chip: queries[i].Chip.Name, Error: err.Error()}
+			note(i)
+		}
+	}
 }
 
 // allSupported reports whether the backend can answer every query in the

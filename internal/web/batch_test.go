@@ -3,11 +3,16 @@ package web
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"github.com/gables-model/gables/internal/eval"
 )
 
 func postBatch(t *testing.T, srv *httptest.Server, path, body string) (*http.Response, []byte) {
@@ -175,6 +180,129 @@ func TestBatchStream(t *testing.T) {
 	resp2.Body.Close()
 	if ct := resp2.Header.Get("Content-Type"); ct != ndjsonContentType {
 		t.Errorf("Accept negotiation: Content-Type = %q", ct)
+	}
+}
+
+// slowItemBackend answers immediately except for trials == block, which
+// waits on gate; batch streaming tests use it to hold one item open while
+// others complete.
+type slowItemBackend struct {
+	block int
+	gate  chan struct{}
+}
+
+func (s *slowItemBackend) Meta() eval.Meta {
+	return eval.Meta{Name: "slow-item", Fidelity: eval.FidelityAnalytic, Description: "per-item gated test stub"}
+}
+func (s *slowItemBackend) Supports(eval.Query) error { return nil }
+func (s *slowItemBackend) Evaluate(ctx context.Context, q eval.Query) (*eval.Outcome, error) {
+	if q.Trials == s.block {
+		select {
+		case <-s.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return &eval.Outcome{Backend: "slow-item", Attainable: float64(q.Trials), TotalFlops: 1}, nil
+}
+
+// TestBatchStreamIncremental pins the streaming contract the review found
+// hollow: with ?stream=1, an early item's line must reach the client
+// while a later item is still evaluating — not after the whole batch.
+func TestBatchStreamIncremental(t *testing.T) {
+	stub := &slowItemBackend{block: 2, gate: make(chan struct{})}
+	eval.Register("stub-stream", func() (eval.Evaluator, error) { return stub, nil })
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/eval/batch?stream=1", "application/json",
+		strings.NewReader(`{"backend":"stub-stream","items":[{"trials":1},{"trials":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	br := bufio.NewReader(resp.Body)
+	lines := make(chan []byte, 2)
+	readErr := make(chan error, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			line, err := br.ReadBytes('\n')
+			if err != nil {
+				readErr <- err
+				return
+			}
+			lines <- line
+		}
+	}()
+
+	// The first line must arrive while item 2 is still gated.
+	var first batchItemResult
+	select {
+	case line := <-lines:
+		if err := json.Unmarshal(line, &first); err != nil {
+			t.Fatalf("first line: %v", err)
+		}
+	case err := <-readErr:
+		t.Fatalf("read: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no line delivered while a later item was still evaluating: streaming is not incremental")
+	}
+	if first.Outcome == nil || first.Outcome.Attainable != 1 {
+		t.Fatalf("first line = %+v, want item 0's outcome", first)
+	}
+
+	close(stub.gate)
+	select {
+	case line := <-lines:
+		var second batchItemResult
+		if err := json.Unmarshal(line, &second); err != nil {
+			t.Fatalf("second line: %v", err)
+		}
+		if second.Outcome == nil || second.Outcome.Attainable != 2 {
+			t.Fatalf("second line = %+v, want item 1's outcome", second)
+		}
+	case err := <-readErr:
+		t.Fatalf("read: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("second line never arrived after the gate opened")
+	}
+}
+
+// TestBatchCanceledItems pins the exactly-one-of-Outcome-or-Error
+// contract under cancellation: items the canceled context kept from ever
+// starting still report an explicit error (and are finalized exactly
+// once), never a zero-value result.
+func TestBatchCanceledItems(t *testing.T) {
+	stub := &slowItemBackend{block: -1, gate: make(chan struct{})}
+	eval.Register("stub-cancel", func() (eval.Evaluator, error) { return stub, nil })
+	s := &server{opts: Options{}, adm: newAdmission(4, 4)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before any item can start
+	req := batchRequest{Backend: "stub-cancel", Items: []batchItem{{}, {}, {}}}
+	results := make([]batchItemResult, len(req.Items))
+	var mu sync.Mutex
+	noted := make(map[int]int)
+	s.evaluateBatch(ctx, req, results, func(i int) {
+		mu.Lock()
+		noted[i]++
+		mu.Unlock()
+	})
+
+	for i, res := range results {
+		if res.Outcome != nil {
+			t.Errorf("item %d produced an outcome under a canceled context", i)
+		}
+		if !strings.Contains(res.Error, context.Canceled.Error()) {
+			t.Errorf("item %d error = %q, want the context error", i, res.Error)
+		}
+		if noted[i] != 1 {
+			t.Errorf("item %d finalized %d times, want exactly once", i, noted[i])
+		}
 	}
 }
 

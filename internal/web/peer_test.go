@@ -1,0 +1,70 @@
+package web
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/gables-model/gables/internal/simcache"
+)
+
+// The /simcache/ peer surface accepts cache pushes (PUT), so exposing it
+// is an operator decision, not a default: unmounted unless
+// Options.ServePeer, and bearer-token-guarded when Options.PeerToken is
+// set. These tests pin that gating through the real mux.
+
+func peerDo(t *testing.T, srv *httptest.Server, method, key, body, token string) int {
+	t.Helper()
+	req, err := http.NewRequest(method, srv.URL+simcache.PeerPathPrefix+key, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestPeerSurfaceNotMountedByDefault pins the high-severity review fix:
+// a handler that never opted into peer serving must not expose the
+// sim-run cache's PUT surface to arbitrary clients.
+func TestPeerSurfaceNotMountedByDefault(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{}))
+	defer srv.Close()
+
+	if got := peerDo(t, srv, http.MethodPut, "webpeeroptout", "{}", ""); got != http.StatusNotFound {
+		t.Errorf("PUT on unmounted surface: status = %d, want 404", got)
+	}
+	if got := peerDo(t, srv, http.MethodGet, "webpeeroptout", "", ""); got != http.StatusNotFound {
+		t.Errorf("GET on unmounted surface: status = %d, want 404", got)
+	}
+}
+
+// TestPeerSurfaceOptIn pins the enabled shape: with ServePeer the surface
+// serves peers, and with PeerToken only authenticated peers.
+func TestPeerSurfaceOptIn(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{ServePeer: true}))
+	defer srv.Close()
+
+	if got := peerDo(t, srv, http.MethodPut, "webpeeroptin", "{}", ""); got != http.StatusNoContent {
+		t.Fatalf("PUT on mounted surface: status = %d, want 204", got)
+	}
+	if got := peerDo(t, srv, http.MethodGet, "webpeeroptin", "", ""); got != http.StatusOK {
+		t.Errorf("GET of pushed entry: status = %d, want 200", got)
+	}
+
+	guarded := httptest.NewServer(NewHandler(Options{ServePeer: true, PeerToken: "tok"}))
+	defer guarded.Close()
+	if got := peerDo(t, guarded, http.MethodPut, "webpeerauth", "{}", ""); got != http.StatusUnauthorized {
+		t.Errorf("unauthenticated PUT on guarded surface: status = %d, want 401", got)
+	}
+	if got := peerDo(t, guarded, http.MethodPut, "webpeerauth", "{}", "tok"); got != http.StatusNoContent {
+		t.Errorf("authenticated PUT on guarded surface: status = %d, want 204", got)
+	}
+}
